@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the substrate hot paths: dense linear
+//! algebra, attention, the CDAP generator, FINCH clustering, FedAvg, and the
+//! DPCL loss. These quantify where a federated round's time goes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use refil_clustering::{finch, kmeans};
+use refil_core::{dpcl_loss, CdapConfig, CdapGenerator};
+use refil_fed::{fedavg, WeightedUpdate};
+use refil_nn::layers::TransformerBlock;
+use refil_nn::models::{BackboneConfig, PromptedBackbone};
+use refil_nn::{Graph, Params, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    c.bench_function("tensor/matmul_128x128", |bench| bench.iter(|| a.matmul(&b)));
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut params = Params::new();
+    let blk = TransformerBlock::new(&mut params, "b", 32, 4, &mut rng);
+    let x = Tensor::randn(&[32, 9, 32], 1.0, &mut rng);
+    c.bench_function("nn/attention_block_fwd_b32_t9_d32", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let xv = g.constant(x.clone());
+            let y = blk.forward(&g, &params, xv);
+            g.value(y)
+        })
+    });
+}
+
+fn bench_backbone_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut params = Params::new();
+    let cfg = BackboneConfig::default();
+    let model = PromptedBackbone::new(&mut params, "m", cfg, &mut rng);
+    let x = Tensor::randn(&[32, cfg.in_dim], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % cfg.classes).collect();
+    c.bench_function("nn/backbone_fwd_bwd_b32", |bench| {
+        bench.iter_batched(
+            || params.clone(),
+            |mut p| {
+                let g = Graph::new();
+                let out = model.forward(&g, &p, &x, None);
+                let loss = g.cross_entropy(out.logits, &labels);
+                g.backward(loss, &mut p);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cdap_generate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut params = Params::new();
+    let gen = CdapGenerator::new(&mut params, "cdap", CdapConfig::default(), &mut rng);
+    let tokens = Tensor::randn(&[32, 5, 32], 1.0, &mut rng);
+    c.bench_function("core/cdap_generate_b32", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let tv = g.constant(tokens.clone());
+            let p = gen.generate(&g, &params, tv, 2);
+            g.value(p)
+        })
+    });
+}
+
+fn bench_finch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // 64 prompts from 4 synthetic domains of dimension 128 (p*d = 4*32).
+    let mut points = Vec::new();
+    for dom in 0..4 {
+        let center = Tensor::randn(&[128], 1.0, &mut rng);
+        for _ in 0..16 {
+            let noise = Tensor::randn(&[128], 0.1, &mut rng);
+            points.push(
+                center
+                    .data()
+                    .iter()
+                    .zip(noise.data())
+                    .map(|(a, b)| a + b + dom as f32)
+                    .collect::<Vec<f32>>(),
+            );
+        }
+    }
+    c.bench_function("clustering/finch_64x128", |bench| bench.iter(|| finch(&points)));
+    c.bench_function("clustering/kmeans_64x128_k4", |bench| {
+        bench.iter(|| kmeans(&points, 4, 7, 50))
+    });
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let updates: Vec<WeightedUpdate> = (0..10)
+        .map(|i| WeightedUpdate {
+            flat: Tensor::randn(&[50_000], 1.0, &mut rng).into_vec(),
+            weight: 1.0 + i as f32,
+        })
+        .collect();
+    c.bench_function("fed/fedavg_10x50k", |bench| bench.iter(|| fedavg(&updates)));
+}
+
+fn bench_dpcl(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let u = Tensor::randn(&[32, 128], 1.0, &mut rng);
+    let candidates: Vec<Vec<f32>> =
+        (0..40).map(|_| Tensor::randn(&[128], 1.0, &mut rng).into_vec()).collect();
+    let classes: Vec<usize> = (0..40).map(|i| i % 10).collect();
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    c.bench_function("core/dpcl_loss_b32_m40", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let uv = g.constant(u.clone());
+            let l = dpcl_loss(&g, uv, &candidates, &classes, &labels, 1, 0.7).unwrap();
+            g.value(l)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_attention_forward, bench_backbone_step,
+        bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl
+}
+criterion_main!(micro);

@@ -1,0 +1,47 @@
+//! Design ablation beyond the paper: how the server condenses uploaded
+//! prompts — FINCH (the paper's choice) vs. k-means vs. plain averaging
+//! (the strawman §3 argues against).
+
+use refil_bench::methods::method_config;
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_core::{ClusterMode, RefFiL, RefFiLConfig};
+use refil_eval::{pct, scores, Table};
+use refil_fed::run_fdil;
+
+fn main() {
+    let ds_choice = DatasetChoice::OfficeCaltech10;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+
+    let modes = [
+        ("FINCH (paper)", ClusterMode::Finch),
+        ("k-means (k=4)", ClusterMode::Kmeans(4)),
+        ("plain average", ClusterMode::Average),
+    ];
+    let mut table =
+        Table::new(["Clustering", "Avg", "Last", "Forgetting", "Reps/class cap hit"].map(String::from).to_vec());
+    for (label, mode) in modes {
+        eprintln!("[ablation_clustering] {label} ...");
+        let mut strat = RefFiL::new(RefFiLConfig::new(prompt_cfg).with_cluster_mode(mode));
+        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let s = scores(&res.domain_acc);
+        let reps = strat.prompt_store().total_reps();
+        table.row(vec![
+            label.into(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+            reps.to_string(),
+        ]);
+    }
+    emit(
+        "ablation_clustering",
+        "Ablation — global prompt clustering algorithm (RefFiL on OfficeCaltech10)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

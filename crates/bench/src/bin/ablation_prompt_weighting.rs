@@ -1,0 +1,44 @@
+//! Design ablation beyond the paper: the balanced prompt averaging of Eq. 2
+//! versus data-size-weighted sharing, where resource-rich clients dominate
+//! the global prompt pool — the bias Eq. 2's balanced averaging prevents.
+
+use refil_bench::methods::method_config;
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_core::{RefFiL, RefFiLConfig};
+use refil_eval::{pct, scores, Table};
+use refil_fed::run_fdil;
+
+fn main() {
+    let ds_choice = DatasetChoice::OfficeCaltech10;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+
+    let variants = [("balanced (paper, Eq. 2)", false), ("data-size weighted", true)];
+    let mut table = Table::new(
+        ["Prompt sharing", "Avg", "Last", "Forgetting", "Uploads stored"].map(String::from).to_vec(),
+    );
+    for (label, weighted) in variants {
+        eprintln!("[ablation_prompt_weighting] {label} ...");
+        let mut strat =
+            RefFiL::new(RefFiLConfig::new(prompt_cfg).with_weighted_prompt_sharing(weighted));
+        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let s = scores(&res.domain_acc);
+        table.row(vec![
+            label.into(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+            strat.prompt_store().total_reps().to_string(),
+        ]);
+    }
+    emit(
+        "ablation_prompt_weighting",
+        "Ablation — balanced vs. data-size-weighted prompt sharing (RefFiL on OfficeCaltech10)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

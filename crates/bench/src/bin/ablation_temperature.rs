@@ -1,0 +1,40 @@
+//! Design ablation beyond the paper: the DPCL temperature decay (Eq. 7)
+//! versus a fixed temperature.
+
+use refil_bench::methods::method_config;
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_core::{RefFiL, RefFiLConfig, TemperatureSchedule};
+use refil_eval::{pct, scores, Table};
+use refil_fed::run_fdil;
+
+fn main() {
+    let ds_choice = DatasetChoice::OfficeCaltech10;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+
+    let schedules = [
+        ("decay (paper: τ=0.9, γ=0.1, β=0.05)", TemperatureSchedule::default()),
+        ("fixed τ=0.9", TemperatureSchedule { tau: 0.9, tau_min: 0.3, gamma: 0.0, beta: 0.0 }),
+        ("fixed τ=0.3", TemperatureSchedule { tau: 0.3, tau_min: 0.3, gamma: 0.0, beta: 0.0 }),
+    ];
+    let mut table = Table::new(["Temperature", "Avg", "Last", "Forgetting"].map(String::from).to_vec());
+    for (label, sched) in schedules {
+        eprintln!("[ablation_temperature] {label} ...");
+        let mut cfg = RefFiLConfig::new(prompt_cfg);
+        cfg.temperature = sched;
+        let mut strat = RefFiL::new(cfg);
+        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let s = scores(&res.domain_acc);
+        table.row(vec![label.into(), pct(s.avg), pct(s.last), pct(s.forgetting)]);
+    }
+    emit(
+        "ablation_temperature",
+        "Ablation — DPCL temperature decay vs. fixed temperature (RefFiL on OfficeCaltech10)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,60 @@
+//! Extension analysis: per-class confusion of the final global model and the
+//! backward-transfer metric, comparing Finetune and RefFiL on Digits-Five.
+//! Shows *which* classes the forgetting destroys and how much RefFiL's
+//! prompts repair.
+
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_eval::{backward_transfer, pct, ConfusionMatrix, Table};
+use refil_fed::run_fdil;
+use refil_nn::Tensor;
+
+fn main() {
+    let ds_choice = DatasetChoice::DigitsFive;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let cfg = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+
+    let mut table = Table::new(
+        ["Method", "BWT", "Domain-0 acc", "Worst confusion (true→pred)", "Count"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for m in [MethodChoice::Finetune, MethodChoice::RefFiL] {
+        eprintln!("[confusion] {} ...", m.paper_name());
+        let mut strategy = build_method(m, cfg);
+        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let bwt = backward_transfer(&res.domain_acc);
+
+        // Confusion on the *first* domain with the final model — where
+        // forgetting shows.
+        let mut cm = ConfusionMatrix::new(dataset.classes);
+        for chunk in dataset.domains[0].test.chunks(256) {
+            let dim = chunk[0].features.len();
+            let mut data = Vec::with_capacity(chunk.len() * dim);
+            for s in chunk {
+                data.extend_from_slice(&s.features);
+            }
+            let x = Tensor::from_vec(data, &[chunk.len(), dim]);
+            let preds = strategy.predict_domain(&res.final_global, &x, 0);
+            let truths: Vec<usize> = chunk.iter().map(|s| s.label).collect();
+            cm.record_batch(&truths, &preds);
+        }
+        let worst = cm.worst_confusion();
+        table.row(vec![
+            m.paper_name().into(),
+            format!("{bwt:+.2}"),
+            pct(cm.accuracy()),
+            worst.map_or("-".into(), |(t, p, _)| format!("{t}→{p}")),
+            worst.map_or("-".into(), |(_, _, c)| c.to_string()),
+        ]);
+    }
+    emit(
+        "confusion",
+        "Extension — backward transfer and final-model confusion on the first domain (Digits-Five)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,63 @@
+//! Extension experiment: where does RefFiL sit between the lower bound
+//! (Finetune), drift-regularized federated optimization (FedProx), and the
+//! privacy-violating upper bound (episodic rehearsal)?
+
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_continual::{FedProx, RehearsalOracle};
+use refil_eval::{pct, scores, Table};
+use refil_fed::{run_fdil, FdilStrategy};
+
+fn main() {
+    let ds_choice = DatasetChoice::DigitsFive;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let cfg = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+
+    let mut rows: Vec<(String, Box<dyn FdilStrategy>, String)> = vec![
+        (
+            "Finetune (lower bound)".into(),
+            build_method(MethodChoice::Finetune, cfg),
+            "no mitigation".into(),
+        ),
+        (
+            "FedProx (mu=0.1)".into(),
+            Box::new(FedProx::new(cfg, 0.1)),
+            "drift regularization only".into(),
+        ),
+        (
+            "RefFiL (rehearsal-free)".into(),
+            build_method(MethodChoice::RefFiL, cfg),
+            "prompt memory only (KB of floats)".into(),
+        ),
+        (
+            "Rehearsal oracle (8/class)".into(),
+            Box::new(RehearsalOracle::new(cfg, 8)),
+            "stores raw samples — violates the setting".into(),
+        ),
+    ];
+
+    let mut table = Table::new(
+        ["Strategy", "Avg", "Last", "Forgetting", "Memory model"].map(String::from).to_vec(),
+    );
+    for (label, strategy, memory) in &mut rows {
+        eprintln!("[bounds] {label} ...");
+        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let s = scores(&res.domain_acc);
+        table.row(vec![
+            label.clone(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+            memory.clone(),
+        ]);
+    }
+    emit(
+        "extension_bounds",
+        "Extension — RefFiL between the no-mitigation lower bound and the rehearsal upper bound (Digits-Five)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

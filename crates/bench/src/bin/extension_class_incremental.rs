@@ -1,0 +1,79 @@
+//! Extension experiment (the paper's future-work direction): streaming data
+//! where new tasks bring *both* a new domain and previously-unseen classes.
+//!
+//! The paper's Limitations section: "federated learning from streaming data
+//! presents the additional challenge of sequentially learning from both new
+//! domains and new classes." This bench builds such a stream — classes 6–9
+//! only exist from the third domain on — and compares Finetune, FedLwF and
+//! RefFiL on it.
+
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_data::{DatasetSpec, DomainSpec};
+use refil_eval::{pct, scores, Table};
+use refil_fed::run_fdil;
+
+fn stream_dataset() -> refil_data::FdilDataset {
+    // 10 classes; domains 0-1 carry only classes 0-5, domains 2-3 carry all.
+    let early: Vec<usize> = (0..10).map(|k| if k < 6 { 140 } else { 0 }).collect();
+    let late: Vec<usize> = (0..10).map(|k| if k < 6 { 80 } else { 120 }).collect();
+    DatasetSpec {
+        name: "DomainClassStream".into(),
+        classes: 10,
+        feature_dim: 32,
+        proto_scale: 2.0,
+        within_std: 0.45,
+        test_fraction: 0.2,
+        signature_dim: 6,
+        signature_scale: 0.3,
+        domains: vec![
+            DomainSpec::new("d0-old-classes", 0, 0.2, 0.05).with_class_counts(early.clone()),
+            DomainSpec::new("d1-old-classes", 0, 0.4, 0.3)
+                .with_collision(0.6)
+                .with_class_counts(early),
+            DomainSpec::new("d2-new-classes", 0, 0.7, 0.6)
+                .with_collision(1.2)
+                .with_class_counts(late.clone()),
+            DomainSpec::new("d3-new-classes", 0, 0.9, 0.9)
+                .with_collision(1.8)
+                .with_class_counts(late),
+        ],
+    }
+    .generate(42)
+}
+
+fn main() {
+    let dataset = stream_dataset();
+    let scale = Scale::from_env();
+    // Borrow the Digits-Five protocol (same class count, 10).
+    let run_cfg = DatasetChoice::DigitsFive.run_config(&scale, 42);
+    let cfg = method_config(DatasetChoice::DigitsFive, dataset.num_domains(), 42 ^ 7);
+
+    let mut table = Table::new(
+        ["Method", "Avg", "Last", "Forgetting", "Final old-class domain acc", "Final new-class domain acc"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for m in [MethodChoice::Finetune, MethodChoice::FedLwf, MethodChoice::RefFiL] {
+        eprintln!("[class_incremental] {} ...", m.paper_name());
+        let mut strategy = build_method(m, cfg);
+        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let s = scores(&res.domain_acc);
+        let fin = res.final_domain_accuracies();
+        table.row(vec![
+            m.paper_name().into(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+            pct((fin[0] + fin[1]) / 2.0),
+            pct((fin[2] + fin[3]) / 2.0),
+        ]);
+    }
+    emit(
+        "extension_class_incremental",
+        "Extension — domain + class incremental stream (new classes appear at task 3)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

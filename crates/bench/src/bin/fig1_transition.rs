@@ -1,0 +1,55 @@
+//! Regenerates the paper's Figure 1 (a vs. b): the client-group composition
+//! timeline under a cliff-style transition (every client switches at the
+//! task boundary) versus RefFiL's gradual transition (80 % of clients move
+//! at random rounds, new clients join over time).
+
+use refil_bench::report::emit;
+use refil_eval::Table;
+use refil_fed::{build_schedule, IncrementConfig};
+
+fn timeline(cfg: &IncrementConfig, label: &str) -> Table {
+    let schedules = build_schedule(cfg, 3, 42);
+    let mut table = Table::new(
+        ["Setting", "Task", "Round", "U_o (old)", "U_b (between)", "U_n (new)", "Total"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for s in &schedules {
+        for round in [0, cfg.rounds_per_task / 2, cfg.rounds_per_task - 1] {
+            let (o, b, n) = s.group_sizes(round);
+            table.row(vec![
+                label.into(),
+                (s.task + 1).to_string(),
+                (round + 1).to_string(),
+                o.to_string(),
+                b.to_string(),
+                n.to_string(),
+                (o + b + n).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+fn main() {
+    let gradual = IncrementConfig {
+        initial_clients: 20,
+        select_per_round: 10,
+        increment_per_task: 2,
+        transition_fraction: 0.8,
+        rounds_per_task: 10,
+    };
+    // Fig. 1a: the common FCL setting — everyone transitions immediately.
+    let cliff = IncrementConfig { transition_fraction: 1.0, increment_per_task: 0, ..gradual };
+
+    let mut md = String::new();
+    md.push_str(&timeline(&cliff, "cliff (Fig. 1a)").to_markdown());
+    md.push('\n');
+    md.push_str(&timeline(&gradual, "gradual (Fig. 1b)").to_markdown());
+    emit(
+        "fig1_transition",
+        "Figure 1 — Client-group timeline: cliff vs. gradual task transition",
+        &md,
+        None,
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's Figure 4: box-plot statistics of each domain's
+//! accuracy distribution across task steps, per method, on Digits-Five.
+
+use refil_bench::report::emit;
+use refil_bench::full_results;
+use refil_eval::{box_stats, pct, Table};
+
+fn main() {
+    let full = full_results(false);
+    let (name, methods) = &full.datasets[0]; // Digits-Five
+    let domains = &methods[0].result.domain_names;
+    let mut table = Table::new(
+        ["Method", "Domain", "Whisker-", "Q1", "Median", "Q3", "Whisker+", "Outliers"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for m in methods {
+        for (d, dname) in domains.iter().enumerate() {
+            // Accuracy on domain d at every step where it was evaluated.
+            let samples: Vec<f32> = m
+                .result
+                .domain_acc
+                .iter()
+                .enumerate()
+                .filter(|(t, _)| *t >= d)
+                .map(|(_, row)| row[d])
+                .collect();
+            if samples.is_empty() {
+                continue;
+            }
+            let s = box_stats(&samples);
+            table.row(vec![
+                m.name.clone(),
+                dname.clone(),
+                pct(s.whisker_lo),
+                pct(s.q1),
+                pct(s.median),
+                pct(s.q3),
+                pct(s.whisker_hi),
+                s.outliers.len().to_string(),
+            ]);
+        }
+    }
+    emit(
+        "fig4_boxplots",
+        &format!("Figure 4 — Per-domain accuracy distribution across task steps ({name})"),
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates the paper's Figure 5: t-SNE of the global model's `[CLS]`
+//! embeddings over all seen domains after each Digits-Five task step, for
+//! every method. Emits per-step point CSVs plus a class-separation score
+//! table (higher = clearer decision boundaries, the paper's visual claim).
+
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::report::{emit, save_raw};
+use refil_bench::{DatasetChoice, Scale};
+use refil_eval::{separation_score, tsne, Table, TsneConfig};
+use refil_fed::run_fdil;
+use refil_nn::Tensor;
+
+const SAMPLES_PER_DOMAIN: usize = 25;
+
+fn main() {
+    let ds_choice = DatasetChoice::DigitsFive;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, 42, false);
+    let run_cfg = ds_choice.run_config(&scale, 42);
+    let cfg = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
+
+    let methods = [
+        MethodChoice::Finetune,
+        MethodChoice::FedLwf,
+        MethodChoice::FedEwc,
+        MethodChoice::FedL2p,
+        MethodChoice::FedDualPrompt,
+        MethodChoice::RefFiL,
+    ];
+    let mut header = vec!["Method".to_string()];
+    for t in 1..=dataset.num_domains() {
+        header.push(format!("Task {t}"));
+    }
+    let mut table = Table::new(header);
+    for m in methods {
+        eprintln!("[fig5] {} ...", m.paper_name());
+        let mut strategy = build_method(m, cfg);
+        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let global = &res.final_global;
+        let mut row = vec![m.paper_name().to_string()];
+        for step in 0..dataset.num_domains() {
+            let mut points = Vec::new();
+            let mut class_labels = Vec::new();
+            let mut csv = String::from("x,y,class,domain\n");
+            let mut domains_of = Vec::new();
+            for d in 0..=step {
+                let dom = &dataset.domains[d];
+                let take: Vec<&refil_data::Sample> =
+                    dom.test.iter().take(SAMPLES_PER_DOMAIN).collect();
+                let dim = take[0].features.len();
+                let mut data = Vec::with_capacity(take.len() * dim);
+                for s in &take {
+                    data.extend_from_slice(&s.features);
+                }
+                let x = Tensor::from_vec(data, &[take.len(), dim]);
+                for (e, s) in strategy.cls_embeddings(global, &x).into_iter().zip(&take) {
+                    points.push(e);
+                    class_labels.push(s.label);
+                    domains_of.push(d);
+                }
+            }
+            let coords = tsne(&points, &TsneConfig { iterations: 150, ..TsneConfig::default() });
+            for ((c, &l), &d) in coords.iter().zip(&class_labels).zip(&domains_of) {
+                csv.push_str(&format!("{},{},{},{}\n", c[0], c[1], l, d));
+            }
+            save_raw(
+                &format!("fig5_{}_task{}.csv", m.paper_name().replace('\u{2020}', "_pool"), step + 1),
+                &csv,
+            );
+            row.push(format!("{:.2}", separation_score(&coords, &class_labels)));
+        }
+        table.row(row);
+    }
+    emit(
+        "fig5_tsne",
+        "Figure 5 — t-SNE class-separation score per task step on Digits-Five (higher = clearer boundaries)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,131 @@
+//! User-facing CLI: run one method on one dataset and print/save the result.
+//!
+//! ```text
+//! cargo run --release -p refil-bench --bin run -- \
+//!     --dataset digits --method reffil --seed 42 [--new-order] [--json out.json]
+//! ```
+//!
+//! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale.
+
+use refil_bench::methods::method_by_name;
+use refil_bench::{dataset_by_name, run_experiment, DatasetChoice, ExperimentSpec, MethodChoice, Scale};
+
+struct Args {
+    dataset: DatasetChoice,
+    method: MethodChoice,
+    seed: u64,
+    new_order: bool,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut dataset = None;
+    let mut method = None;
+    let mut seed = 42u64;
+    let mut new_order = false;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dataset" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                dataset = dataset_by_name(&v);
+                if dataset.is_none() {
+                    eprintln!("unknown dataset {v:?}");
+                    usage();
+                }
+            }
+            "--method" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                method = method_by_name(&v);
+                if method.is_none() {
+                    eprintln!("unknown method {v:?}");
+                    usage();
+                }
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--new-order" => new_order = true,
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    Args {
+        dataset: dataset.unwrap_or_else(|| usage()),
+        method: method.unwrap_or_else(|| usage()),
+        seed,
+        new_order,
+        json,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = ExperimentSpec {
+        dataset: args.dataset,
+        scale: Scale::from_env(),
+        new_order: args.new_order,
+        seed: args.seed,
+    };
+    eprintln!(
+        "running {} on {}{} (seed {}) ...",
+        args.method.paper_name(),
+        args.dataset.name(),
+        if args.new_order { ", new order" } else { "" },
+        args.seed
+    );
+    let start = std::time::Instant::now();
+    let r = run_experiment(&spec, args.method);
+    println!("method:      {}", r.name);
+    println!("dataset:     {}", r.result.dataset);
+    println!("Avg:         {:.2}%", r.scores.avg);
+    println!("Last:        {:.2}%", r.scores.last);
+    println!("forgetting:  {:.2}%", r.scores.forgetting);
+    println!("steps:       {:?}", r.result.step_accuracies());
+    println!(
+        "traffic:     {:.1} MiB over {} rounds",
+        r.result.traffic.total_bytes() as f64 / (1024.0 * 1024.0),
+        r.result.traffic.rounds
+    );
+    println!("wall time:   {:.1?}", start.elapsed());
+    if let Some(path) = args.json {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            name: &'a str,
+            scores: refil_eval::Scores,
+            domain_names: &'a [String],
+            domain_acc: &'a [Vec<f32>],
+        }
+        let out = Out {
+            name: &r.name,
+            scores: r.scores,
+            domain_names: &r.result.domain_names,
+            domain_acc: &r.result.domain_acc,
+        };
+        match serde_json::to_string_pretty(&out) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("could not write {path}: {e}");
+                } else {
+                    eprintln!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("serialization failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 1: Avg/Last summary across the four
+//! datasets (canonical domain order), with Δ columns relative to RefFiL.
+
+use refil_bench::report::emit;
+use refil_bench::{full_results, summary_table};
+
+fn main() {
+    let full = full_results(false);
+    let table = summary_table(&full);
+    emit(
+        "table1",
+        "Table 1 — Summarised results on four datasets (canonical domain order)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 2: the Table 1 summary under the shuffled
+//! "new domain order" of Table 4.
+
+use refil_bench::report::emit;
+use refil_bench::{full_results, summary_table};
+
+fn main() {
+    let full = full_results(true);
+    let table = summary_table(&full);
+    emit(
+        "table2",
+        "Table 2 — Summarised results in the new domain order",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Table 3: per-step accuracy (the column labelled
+//! with a domain is the accuracy over all seen domains after that domain's
+//! task), canonical order, all four datasets.
+
+use refil_bench::report::emit;
+use refil_bench::{full_results, per_step_tables};
+
+fn main() {
+    let full = full_results(false);
+    for (name, table) in per_step_tables(&full) {
+        let slug = name.to_ascii_lowercase().replace(['-', ' '], "_");
+        emit(
+            &format!("table3_{slug}"),
+            &format!("Table 3 — Task 1..T step accuracies on {name} (canonical order)"),
+            &table.to_markdown(),
+            Some(&table.to_csv()),
+        );
+    }
+}

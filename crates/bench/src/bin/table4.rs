@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table 4: per-step accuracies under the shuffled
+//! "new domain order".
+
+use refil_bench::report::emit;
+use refil_bench::{full_results, per_step_tables};
+
+fn main() {
+    let full = full_results(true);
+    for (name, table) in per_step_tables(&full) {
+        let slug = name.to_ascii_lowercase().replace(['-', ' '], "_");
+        emit(
+            &format!("table4_{slug}"),
+            &format!("Table 4 — Task 1..T step accuracies on {name} (new domain order)"),
+            &table.to_markdown(),
+            Some(&table.to_csv()),
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Extension experiment: seed variance of the headline comparison.
+//!
+//! Runs Finetune, FedDualPrompt† and RefFiL on Digits-Five under several
+//! seeds (data generation + protocol + init all reseeded) and reports
+//! mean ± std of Avg/Last. Seeds run in parallel with crossbeam scoped
+//! threads, bounded by the available cores.
+
+use crossbeam::thread;
+
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::report::emit;
+use refil_bench::{DatasetChoice, Scale};
+use refil_eval::{scores, Scores, Table};
+use refil_fed::run_fdil;
+
+const SEEDS: [u64; 3] = [42, 1337, 2024];
+
+fn run_one(method: MethodChoice, seed: u64) -> Scores {
+    let ds_choice = DatasetChoice::DigitsFive;
+    let scale = Scale::from_env();
+    let dataset = ds_choice.generate(&scale, seed, false);
+    let cfg = method_config(ds_choice, dataset.num_domains(), seed ^ 7);
+    let mut strategy = build_method(method, cfg);
+    let run_cfg = ds_choice.run_config(&scale, seed);
+    let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+    scores(&res.domain_acc)
+}
+
+fn mean_std(xs: &[f32]) -> (f32, f32) {
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let methods = [MethodChoice::Finetune, MethodChoice::FedDualPromptPool, MethodChoice::RefFiL];
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("[variance] {} seeds x {} methods on {} worker thread(s)", SEEDS.len(), methods.len(), workers);
+
+    let jobs: Vec<(MethodChoice, u64)> = methods
+        .iter()
+        .flat_map(|&m| SEEDS.iter().map(move |&s| (m, s)))
+        .collect();
+
+    // Parallel map over (method, seed) pairs with a bounded worker pool.
+    let results: Vec<(MethodChoice, u64, Scores)> = thread::scope(|scope| {
+        let chunks: Vec<_> = jobs.chunks(jobs.len().div_ceil(workers)).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&(m, s)| {
+                            eprintln!("[variance] {} seed {s} ...", m.paper_name());
+                            (m, s, run_one(m, s))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope");
+
+    let mut table = Table::new(
+        ["Method", "Avg mean±std", "Last mean±std", "Forgetting mean±std"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for m in methods {
+        let avg: Vec<f32> =
+            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.avg).collect();
+        let last: Vec<f32> =
+            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.last).collect();
+        let fgt: Vec<f32> =
+            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.forgetting).collect();
+        let (am, asd) = mean_std(&avg);
+        let (lm, lsd) = mean_std(&last);
+        let (fm, fsd) = mean_std(&fgt);
+        table.row(vec![
+            m.paper_name().into(),
+            format!("{am:.2} ± {asd:.2}"),
+            format!("{lm:.2} ± {lsd:.2}"),
+            format!("{fm:.2} ± {fsd:.2}"),
+        ]);
+    }
+    emit(
+        "variance",
+        "Extension — seed variance of the headline comparison (Digits-Five, 3 seeds)",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}

@@ -1,0 +1,24 @@
+//! # refil-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper (see the `DESIGN.md` per-experiment index). Each table/figure has a
+//! binary (`table1` … `fig6_tsne`) that prints the same rows/series the paper
+//! reports, on the synthetic dataset analogues.
+//!
+//! The harness scales the paper's protocol (R=30 rounds, E=20 local epochs,
+//! full-size datasets) down to CPU-tractable settings via [`Scale`];
+//! the reproduction target is the *shape* of the results (method ordering,
+//! forgetting gaps), not absolute GPU-scale numbers.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod methods;
+pub mod report;
+pub mod runner;
+
+pub use datasets::{dataset_by_name, DatasetChoice, Scale};
+pub use experiments::{full_results, per_step_tables, summary_table, CachedMethod, FullResults};
+pub use methods::{build_method, method_names, MethodChoice};
+pub use runner::{run_all_methods, run_experiment, ExperimentSpec, MethodResult};

@@ -1,0 +1,100 @@
+//! Experiment orchestration: run one or all methods on one dataset.
+
+use refil_eval::{scores, Scores};
+use refil_fed::{run_fdil, RunResult};
+
+use crate::datasets::{DatasetChoice, Scale};
+use crate::methods::{build_method, method_config, MethodChoice};
+
+/// One experiment: a dataset at a scale, in canonical or new domain order.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Which dataset.
+    pub dataset: DatasetChoice,
+    /// Protocol scaling.
+    pub scale: Scale,
+    /// Use the Table 4 shuffled domain order.
+    pub new_order: bool,
+    /// Master seed (data generation, protocol, model init).
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Canonical-order experiment at the environment-selected scale.
+    pub fn new(dataset: DatasetChoice) -> Self {
+        Self { dataset, scale: Scale::from_env(), new_order: false, seed: 42 }
+    }
+
+    /// Switches to the Table 4 domain order.
+    pub fn with_new_order(mut self, new_order: bool) -> Self {
+        self.new_order = new_order;
+        self
+    }
+}
+
+/// One method's outcome on an experiment.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Paper row label.
+    pub name: String,
+    /// Raw run output (per-domain accuracy matrix, traffic, timeline).
+    pub result: RunResult,
+    /// Avg / Last / forgetting summary.
+    pub scores: Scores,
+}
+
+/// Runs one method on an experiment.
+pub fn run_experiment(spec: &ExperimentSpec, method: MethodChoice) -> MethodResult {
+    let dataset = spec.dataset.generate(&spec.scale, spec.seed, spec.new_order);
+    let cfg = method_config(spec.dataset, dataset.num_domains(), spec.seed ^ 7);
+    let mut strategy = build_method(method, cfg);
+    let run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
+    let result = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+    let s = scores(&result.domain_acc);
+    MethodResult { name: method.paper_name().to_string(), result, scores: s }
+}
+
+/// Runs all eight methods on an experiment, in the paper's row order.
+///
+/// Progress is written to stderr (each run takes seconds to minutes at
+/// bench scale on one core).
+pub fn run_all_methods(spec: &ExperimentSpec) -> Vec<MethodResult> {
+    MethodChoice::all()
+        .into_iter()
+        .map(|m| {
+            eprintln!(
+                "[refil-bench] {} / {}{} ...",
+                m.paper_name(),
+                spec.dataset.name(),
+                if spec.new_order { " (new order)" } else { "" }
+            );
+            let start = std::time::Instant::now();
+            let r = run_experiment(spec, m);
+            eprintln!(
+                "[refil-bench]   Avg {:.2}%  Last {:.2}%  ({:.1?})",
+                r.scores.avg,
+                r.scores.last,
+                start.elapsed()
+            );
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_experiment_runs_finetune() {
+        let spec = ExperimentSpec {
+            dataset: DatasetChoice::OfficeCaltech10,
+            scale: Scale::smoke(),
+            new_order: false,
+            seed: 1,
+        };
+        let r = run_experiment(&spec, MethodChoice::Finetune);
+        assert_eq!(r.result.domain_acc.len(), 4);
+        assert!(r.scores.avg > 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! FINCH: parameter-free clustering by first-neighbour relations
+//! (Sarfraz, Sharma & Stiefelhagen, CVPR 2019).
+//!
+//! RefFiL's server clusters uploaded prompt groups with FINCH (paper Eq. 4):
+//! two prompts `m`, `j` are linked when `j = c_m` (j is m's first neighbour),
+//! `m = c_j`, or `c_m = c_j` (they share a first neighbour). Connected
+//! components of that adjacency form the first partition; the procedure then
+//! recurses on cluster means to build a hierarchy, needing no cluster-count
+//! parameter — which is what makes it suitable for the dynamic federated
+//! setting.
+
+use crate::similarity::{cosine_similarity, first_neighbor};
+
+/// One level of the FINCH hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Cluster label per input point.
+    pub labels: Vec<usize>,
+    /// Number of clusters at this level.
+    pub num_clusters: usize,
+}
+
+/// Full FINCH output: successively coarser partitions (level 0 = finest).
+#[derive(Debug, Clone)]
+pub struct FinchResult {
+    /// Partition hierarchy; `partitions[0]` is the first-neighbour partition.
+    pub partitions: Vec<Partition>,
+}
+
+impl FinchResult {
+    /// The finest partition (the one RefFiL's server uses, Eq. 5).
+    pub fn finest(&self) -> &Partition {
+        &self.partitions[0]
+    }
+
+    /// The coarsest computed partition.
+    pub fn coarsest(&self) -> &Partition {
+        self.partitions.last().expect("FINCH always yields at least one partition")
+    }
+
+    /// The partition whose cluster count is closest to `k` (FINCH's standard
+    /// "required number of clusters" mode without any refinement step).
+    pub fn closest_to(&self, k: usize) -> &Partition {
+        self.partitions
+            .iter()
+            .min_by_key(|p| p.num_clusters.abs_diff(k))
+            .expect("non-empty hierarchy")
+    }
+}
+
+/// Runs FINCH on `points` (each a feature vector) under cosine similarity.
+///
+/// Returns a one-level trivial partition for fewer than two points.
+///
+/// # Panics
+///
+/// Panics if point dimensionalities differ.
+pub fn finch(points: &[Vec<f32>]) -> FinchResult {
+    let n = points.len();
+    if n == 0 {
+        return FinchResult { partitions: vec![Partition { labels: vec![], num_clusters: 0 }] };
+    }
+    if n == 1 {
+        return FinchResult {
+            partitions: vec![Partition { labels: vec![0], num_clusters: 1 }],
+        };
+    }
+    let dim = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), dim, "inconsistent point dimensionality");
+    }
+
+    let mut partitions = Vec::new();
+    // `current` holds the representative vectors at this level; `mapping[i]`
+    // maps original point i to its index among `current`.
+    let mut current: Vec<Vec<f32>> = points.to_vec();
+    let mut mapping: Vec<usize> = (0..n).collect();
+
+    loop {
+        let level = cluster_once(&current);
+        let labels: Vec<usize> = mapping.iter().map(|&m| level.labels[m]).collect();
+        let num_clusters = level.num_clusters;
+        partitions.push(Partition { labels: labels.clone(), num_clusters });
+        if num_clusters <= 1 || num_clusters == current.len() {
+            break;
+        }
+        current = cluster_means(&current, &level.labels, num_clusters);
+        mapping = labels
+            .iter()
+            .map(|&l| l)
+            .collect();
+        if current.len() < 2 {
+            break;
+        }
+    }
+    FinchResult { partitions }
+}
+
+/// One round of first-neighbour clustering: adjacency per Eq. 4, then
+/// connected components.
+fn cluster_once(points: &[Vec<f32>]) -> Partition {
+    let n = points.len();
+    if n == 1 {
+        return Partition { labels: vec![0], num_clusters: 1 };
+    }
+    let neighbors: Vec<usize> = (0..n).map(|i| first_neighbor(points, i)).collect();
+
+    // Union-find over the Eq. 4 links.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    };
+    for i in 0..n {
+        // j = c_i and i = c_j are both covered by linking i with c_i.
+        union(&mut parent, i, neighbors[i]);
+        // c_i = c_j: linking every i to c_i already places all points sharing
+        // a first neighbour in the same component (transitively via c_i).
+    }
+
+    // Compact component ids into 0..k in order of first appearance.
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut remap: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let lab = *remap[root].get_or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        labels[i] = lab;
+    }
+    Partition { labels, num_clusters: next }
+}
+
+/// Mean vector of each cluster.
+///
+/// # Panics
+///
+/// Panics if a label `>= num_clusters` appears.
+pub fn cluster_means(points: &[Vec<f32>], labels: &[usize], num_clusters: usize) -> Vec<Vec<f32>> {
+    assert_eq!(points.len(), labels.len(), "labels length mismatch");
+    let dim = points.first().map_or(0, Vec::len);
+    let mut sums = vec![vec![0.0f32; dim]; num_clusters];
+    let mut counts = vec![0usize; num_clusters];
+    for (p, &l) in points.iter().zip(labels) {
+        assert!(l < num_clusters, "label {l} out of range");
+        counts[l] += 1;
+        for (s, &x) in sums[l].iter_mut().zip(p) {
+            *s += x;
+        }
+    }
+    for (s, &c) in sums.iter_mut().zip(&counts) {
+        if c > 0 {
+            for x in s.iter_mut() {
+                *x /= c as f32;
+            }
+        }
+    }
+    sums
+}
+
+/// For each cluster, the index of the member closest (by cosine) to the
+/// cluster mean — the cluster's representative ("medoid-to-mean").
+pub fn representatives(points: &[Vec<f32>], labels: &[usize], num_clusters: usize) -> Vec<usize> {
+    let means = cluster_means(points, labels, num_clusters);
+    let mut best = vec![usize::MAX; num_clusters];
+    let mut best_sim = vec![f32::NEG_INFINITY; num_clusters];
+    for (i, (p, &l)) in points.iter().zip(labels).enumerate() {
+        let s = cosine_similarity(p, &means[l]);
+        if s > best_sim[l] {
+            best_sim[l] = s;
+            best[l] = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.05],
+            vec![0.95, 0.0],
+            vec![1.05, -0.02],
+            vec![-0.02, 1.0],
+            vec![0.0, 0.97],
+            vec![0.03, 1.04],
+        ]
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = finch(&two_blobs());
+        let p = r.finest();
+        assert_eq!(p.num_clusters, 2, "labels {:?}", p.labels);
+        assert_eq!(p.labels[0], p.labels[1]);
+        assert_eq!(p.labels[1], p.labels[2]);
+        assert_eq!(p.labels[3], p.labels[4]);
+        assert_eq!(p.labels[4], p.labels[5]);
+        assert_ne!(p.labels[0], p.labels[3]);
+    }
+
+    #[test]
+    fn hierarchy_coarsens() {
+        let r = finch(&two_blobs());
+        let counts: Vec<usize> = r.partitions.iter().map(|p| p.num_clusters).collect();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "hierarchy not monotone: {counts:?}");
+        }
+        assert_eq!(r.coarsest().num_clusters, 1);
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let r = finch(&[vec![1.0, 2.0]]);
+        assert_eq!(r.finest().num_clusters, 1);
+        assert_eq!(r.finest().labels, vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = finch(&[]);
+        assert_eq!(r.finest().num_clusters, 0);
+        assert!(r.finest().labels.is_empty());
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let pts = vec![vec![0.5, 0.5]; 5];
+        let r = finch(&pts);
+        assert_eq!(r.finest().num_clusters, 1);
+    }
+
+    #[test]
+    fn closest_to_picks_right_level() {
+        let r = finch(&two_blobs());
+        assert_eq!(r.closest_to(2).num_clusters, 2);
+        assert_eq!(r.closest_to(1).num_clusters, 1);
+    }
+
+    #[test]
+    fn representatives_belong_to_their_cluster() {
+        let pts = two_blobs();
+        let r = finch(&pts);
+        let p = r.finest();
+        let reps = representatives(&pts, &p.labels, p.num_clusters);
+        for (cluster, &rep) in reps.iter().enumerate() {
+            assert_eq!(p.labels[rep], cluster);
+        }
+    }
+
+    #[test]
+    fn cluster_means_average() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![10.0, 10.0]];
+        let means = cluster_means(&pts, &[0, 0, 1], 2);
+        assert_eq!(means[0], vec![1.0, 1.0]);
+        assert_eq!(means[1], vec![10.0, 10.0]);
+    }
+}

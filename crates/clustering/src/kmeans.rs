@@ -1,0 +1,148 @@
+//! Seeded k-means (Lloyd's algorithm) — the comparison clusterer for the
+//! "FINCH vs. k-means vs. plain averaging" ablation bench.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::similarity::squared_distance;
+
+/// k-means clustering result.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster label per point.
+    pub labels: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f32>>,
+    /// Iterations run until convergence or the cap.
+    pub iterations: usize,
+}
+
+/// Runs k-means with `k` clusters, deterministic given `seed`.
+///
+/// Empty clusters are reseeded from the farthest point. Returns all points in
+/// one cluster when `k == 1`, and a trivial result for empty input.
+///
+/// # Panics
+///
+/// Panics if `k == 0` while points are non-empty.
+pub fn kmeans(points: &[Vec<f32>], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
+    if points.is_empty() {
+        return KmeansResult { labels: vec![], centroids: vec![], iterations: 0 };
+    }
+    assert!(k > 0, "k must be positive");
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = points[0].len();
+
+    // k-means++-style seeding (greedy on squared distance).
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let (mut best_i, mut best_d) = (0usize, -1.0f32);
+        for (i, p) in points.iter().enumerate() {
+            let d = centroids
+                .iter()
+                .map(|c| squared_distance(p, c))
+                .fold(f32::INFINITY, f32::min);
+            if d > best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        centroids.push(points[best_i].clone());
+    }
+
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (mut best_l, mut best_d) = (0usize, f32::INFINITY);
+            for (l, c) in centroids.iter().enumerate() {
+                let d = squared_distance(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best_l = l;
+                }
+            }
+            if labels[i] != best_l {
+                labels[i] = best_l;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for l in 0..k {
+            if counts[l] == 0 {
+                // Reseed an empty cluster from the point farthest from its centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        squared_distance(a, &centroids[labels[0]])
+                            .total_cmp(&squared_distance(b, &centroids[labels[0]]))
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[l] = points[far].clone();
+            } else {
+                for (c, s) in centroids[l].iter_mut().zip(&sums[l]) {
+                    *c = s / counts[l] as f32;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    KmeansResult { labels, centroids, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 9.9],
+        ];
+        let r = kmeans(&pts, 2, 1, 50);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[2], r.labels[3]);
+        assert_ne!(r.labels[0], r.labels[2]);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&pts, 10, 0, 10);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts: Vec<Vec<f32>> = (0..20).map(|i| vec![(i % 5) as f32, (i / 5) as f32]).collect();
+        let a = kmeans(&pts, 3, 42, 100);
+        let b = kmeans(&pts, 3, 42, 100);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let r = kmeans(&[], 3, 0, 10);
+        assert!(r.labels.is_empty());
+        assert!(r.centroids.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Vector similarity primitives.
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns `0.0` when either vector has (near-)zero norm, so degenerate
+/// prompts never dominate a nearest-neighbour search.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// let s = refil_clustering::cosine_similarity(&[1.0, 0.0], &[0.5, 0.0]);
+/// assert!((s - 1.0).abs() < 1e-6);
+/// ```
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch: {} vs {}", a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = na.sqrt() * nb.sqrt();
+    if denom <= f32::EPSILON {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest neighbour of `points[i]` under cosine similarity,
+/// excluding `i` itself. Ties break toward the smaller index.
+///
+/// # Panics
+///
+/// Panics if `points.len() < 2`.
+pub fn first_neighbor(points: &[Vec<f32>], i: usize) -> usize {
+    assert!(points.len() >= 2, "first neighbour needs at least two points");
+    let mut best = usize::MAX;
+    let mut best_sim = f32::NEG_INFINITY;
+    for (j, p) in points.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let s = cosine_similarity(&points[i], p);
+        if s > best_sim {
+            best_sim = s;
+            best = j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn first_neighbor_excludes_self() {
+        let pts = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
+        assert_eq!(first_neighbor(&pts, 0), 1);
+        assert_eq!(first_neighbor(&pts, 1), 0);
+        assert_eq!(first_neighbor(&pts, 2), 1);
+    }
+
+    #[test]
+    fn squared_distance_matches_manual() {
+        assert_eq!(squared_distance(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+    }
+}

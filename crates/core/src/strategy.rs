@@ -1,0 +1,645 @@
+//! The RefFiL strategy: Algorithm 1 end to end.
+//!
+//! Client side (lines 14–29): tokenize, generate instance-level prompts with
+//! the CDAP generator, compute `L_CE` (local prompts), `L_GPL` (generalized
+//! global prompt), and `L_DPCL` (contrastive, temperature-decayed), train
+//! with SGD, then upload the class-wise Local Prompt Groups together with the
+//! updated model. Server side (lines 1–13): FedAvg the models, cluster the
+//! uploaded prompts domain-wise with FINCH, and broadcast the clustered
+//! global prompts for the next round.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use refil_continual::{MethodConfig, ModelCore};
+use refil_fed::{ClientGroup, ClientUpdate, FdilStrategy, TrainSetting};
+use refil_nn::models::PromptedBackbone;
+use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
+
+use crate::cdap::{CdapConfig, CdapGenerator};
+use crate::dpcl::dpcl_loss;
+use crate::prompts::{ClusterMode, GlobalPromptStore, LocalPromptGroup};
+use crate::temperature::TemperatureSchedule;
+
+/// Component toggles for the Table 5 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefFiLFlags {
+    /// Use the CDAP generator (otherwise a single learnable prompt).
+    pub use_cdap: bool,
+    /// Use the Global Prompt Learning loss (Eq. 9).
+    pub use_gpl: bool,
+    /// Use the Domain-specific Prompt Contrastive loss (Eq. 6).
+    pub use_dpcl: bool,
+}
+
+impl Default for RefFiLFlags {
+    /// The full method: all three components on.
+    fn default() -> Self {
+        Self { use_cdap: true, use_gpl: true, use_dpcl: true }
+    }
+}
+
+impl RefFiLFlags {
+    /// Whether the global prompt store is needed at all.
+    pub fn needs_store(&self) -> bool {
+        self.use_gpl || self.use_dpcl
+    }
+}
+
+/// RefFiL hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RefFiLConfig {
+    /// The shared method configuration (backbone, lr, prompt length, ...).
+    pub method: MethodConfig,
+    /// DPCL temperature decay (Eq. 7; paper defaults).
+    pub temperature: TemperatureSchedule,
+    /// Component toggles (all on for the full method).
+    pub flags: RefFiLFlags,
+    /// Hidden width of the CDAP token-axis MLP.
+    pub cdap_hidden: usize,
+    /// Width of the CDAP task key embedding.
+    pub key_dim: usize,
+    /// Per-class cap on server-side prompt representatives.
+    pub store_cap: usize,
+    /// Max samples per class used when computing the uploaded LPG.
+    pub lpg_max_samples: usize,
+    /// Server-side prompt condensation algorithm (FINCH in the paper;
+    /// k-means / plain averaging for the `ablation_clustering` bench).
+    pub cluster_mode: ClusterMode,
+    /// When set, clients upload their LPG once per ~50 local samples instead
+    /// of exactly once — the data-size-weighted sharing the paper's balanced
+    /// averaging (Eq. 2) deliberately avoids (`ablation_prompt_weighting`).
+    pub weighted_prompt_sharing: bool,
+    /// When set, evaluation ignores the task-ID hint and infers the task per
+    /// sample by maximum prediction confidence across all task keys —
+    /// removing the task-ID dependence the paper's Limitations section
+    /// acknowledges (at `max_tasks`-times inference cost).
+    pub task_free_inference: bool,
+}
+
+impl RefFiLConfig {
+    /// Full RefFiL with the paper's hyperparameters on top of `method`.
+    pub fn new(method: MethodConfig) -> Self {
+        Self {
+            method,
+            temperature: TemperatureSchedule::default(),
+            flags: RefFiLFlags::default(),
+            cdap_hidden: 16,
+            key_dim: 8,
+            store_cap: 16,
+            lpg_max_samples: 32,
+            cluster_mode: ClusterMode::Finch,
+            weighted_prompt_sharing: false,
+            task_free_inference: false,
+        }
+    }
+
+    /// Overrides the ablation flags.
+    pub fn with_flags(mut self, flags: RefFiLFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Overrides the server-side clustering algorithm.
+    pub fn with_cluster_mode(mut self, mode: ClusterMode) -> Self {
+        self.cluster_mode = mode;
+        self
+    }
+
+    /// Switches to data-size-weighted prompt sharing (ablation).
+    pub fn with_weighted_prompt_sharing(mut self, on: bool) -> Self {
+        self.weighted_prompt_sharing = on;
+        self
+    }
+
+    /// Switches evaluation to confidence-based task inference.
+    pub fn with_task_free_inference(mut self, on: bool) -> Self {
+        self.task_free_inference = on;
+        self
+    }
+}
+
+/// The RefFiL federated domain-incremental learning strategy.
+#[derive(Debug, Clone)]
+pub struct RefFiL {
+    core: ModelCore,
+    model: PromptedBackbone,
+    cdap: Option<CdapGenerator>,
+    fixed_prompt: Option<ParamId>,
+    store: GlobalPromptStore,
+    pending_uploads: Vec<LocalPromptGroup>,
+    cfg: RefFiLConfig,
+    current_task: usize,
+}
+
+impl RefFiL {
+    /// Builds RefFiL (or an ablated variant, per `cfg.flags`).
+    pub fn new(cfg: RefFiLConfig) -> Self {
+        let mut core = ModelCore::new(cfg.method);
+        let bb = cfg.method.backbone;
+        let mut rng = StdRng::seed_from_u64(cfg.method.init_seed ^ 0x5265_6646_694c); // "RefFiL"
+        let (cdap, fixed_prompt) = if cfg.flags.use_cdap {
+            let gen = CdapGenerator::new(
+                &mut core.params,
+                "cdap",
+                CdapConfig {
+                    token_dim: bb.token_dim,
+                    seq_len: bb.n_patches + 1,
+                    prompt_len: cfg.method.prompt_len,
+                    hidden: cfg.cdap_hidden,
+                    key_dim: cfg.key_dim,
+                    max_tasks: cfg.method.max_tasks,
+                },
+                &mut rng,
+            );
+            (Some(gen), None)
+        } else {
+            let p = core.params.insert(
+                "refil.fixed_prompt",
+                init::prompt_normal(&[cfg.method.prompt_len, bb.token_dim], &mut rng),
+                true,
+            );
+            (None, Some(p))
+        };
+        let model = core.model.clone();
+        let dim = cfg.method.prompt_len * bb.token_dim;
+        let store = GlobalPromptStore::new(bb.classes, dim)
+            .with_cap(cfg.store_cap)
+            .with_mode(cfg.cluster_mode);
+        Self { core, model, cdap, fixed_prompt, store, pending_uploads: Vec::new(), cfg, current_task: 0 }
+    }
+
+    /// The active ablation flags.
+    pub fn flags(&self) -> RefFiLFlags {
+        self.cfg.flags
+    }
+
+    /// Read-only view of the server-side global prompt store.
+    pub fn prompt_store(&self) -> &GlobalPromptStore {
+        &self.store
+    }
+
+    /// Generates the `[b, p, d]` local prompt variable for `tokens`.
+    fn local_prompts(
+        model: &PromptedBackbone,
+        cdap: &Option<CdapGenerator>,
+        fixed: Option<ParamId>,
+        g: &Graph,
+        params: &Params,
+        tokens: Var,
+        task_id: usize,
+    ) -> Var {
+        match cdap {
+            Some(gen) => gen.generate(g, params, tokens, task_id),
+            None => {
+                let b = g.shape(tokens)[0];
+                let pv = g.param(params, fixed.expect("fixed prompt registered"));
+                model.broadcast_prompts(g, pv, b)
+            }
+        }
+    }
+
+    /// Computes the client's Local Prompt Group (Eq. 2): per-class balanced
+    /// means of generated prompts over (a subsample of) the local data.
+    fn compute_lpg(&mut self, setting: &TrainSetting<'_>) -> LocalPromptGroup {
+        let classes = self.model.config().classes;
+        let dim_in = self.model.config().in_dim;
+        let p = self.cfg.method.prompt_len;
+        let d = self.model.config().token_dim;
+        let mut by_class: Vec<Vec<&refil_data::Sample>> = vec![Vec::new(); classes];
+        for s in setting.samples {
+            if by_class[s.label].len() < self.cfg.lpg_max_samples {
+                by_class[s.label].push(s);
+            }
+        }
+        let mut prompts = Vec::new();
+        for (k, samples) in by_class.iter().enumerate() {
+            if samples.is_empty() {
+                continue;
+            }
+            let mut data = Vec::with_capacity(samples.len() * dim_in);
+            for s in samples {
+                data.extend_from_slice(&s.features);
+            }
+            let x = Tensor::from_vec(data, &[samples.len(), dim_in]);
+            let g = Graph::new();
+            let (_, tokens) = self.model.tokenize(&g, &self.core.params, &x);
+            let pv = Self::local_prompts(
+                &self.model,
+                &self.cdap,
+                self.fixed_prompt,
+                &g,
+                &self.core.params,
+                tokens,
+                setting.task,
+            );
+            let vals = g.value(pv); // [n, p, d]
+            let mut mean = vec![0.0f32; p * d];
+            for row in vals.data().chunks(p * d) {
+                for (m, &x) in mean.iter_mut().zip(row) {
+                    *m += x;
+                }
+            }
+            let inv = 1.0 / samples.len() as f32;
+            for m in &mut mean {
+                *m *= inv;
+            }
+            prompts.push((k, mean));
+        }
+        LocalPromptGroup { client_id: setting.client_id, prompts }
+    }
+
+    /// Task-ID-free prediction: run the model under every task key and keep,
+    /// per sample, the prediction whose softmax confidence is highest.
+    ///
+    /// This removes the framework's dependence on knowing the test domain
+    /// (the paper's acknowledged limitation), trading `max_tasks` forward
+    /// passes per batch for task-agnostic deployment.
+    pub fn predict_task_free(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
+        self.core.load(global);
+        let b = features.shape()[0];
+        let mut best_conf = vec![f32::NEG_INFINITY; b];
+        let mut best_pred = vec![0usize; b];
+        let tasks = self.cfg.method.max_tasks.min(self.current_task + 1).max(1);
+        for task_id in 0..tasks {
+            let g = Graph::new();
+            let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
+            let prompts = Self::local_prompts(
+                &self.model,
+                &self.cdap,
+                self.fixed_prompt,
+                &g,
+                &self.core.params,
+                tokens,
+                task_id,
+            );
+            let out = self
+                .model
+                .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+            let probs = g.value(g.softmax_last(out.logits));
+            let k = self.model.config().classes;
+            for (i, row) in probs.data().chunks(k).enumerate() {
+                let (pred, &conf) = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("non-empty logits");
+                if conf > best_conf[i] {
+                    best_conf[i] = conf;
+                    best_pred[i] = pred;
+                }
+            }
+        }
+        best_pred
+    }
+
+    fn predict_with_task(&mut self, global: &[f32], features: &Tensor, task_id: usize) -> Vec<usize> {
+        self.core.load(global);
+        let g = Graph::new();
+        let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
+        let prompts = Self::local_prompts(
+            &self.model,
+            &self.cdap,
+            self.fixed_prompt,
+            &g,
+            &self.core.params,
+            tokens,
+            task_id,
+        );
+        let out =
+            self.model.forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+        g.value(out.logits).argmax_last()
+    }
+}
+
+impl FdilStrategy for RefFiL {
+    fn name(&self) -> String {
+        let f = self.cfg.flags;
+        if f == RefFiLFlags::default() {
+            "RefFiL".into()
+        } else {
+            format!(
+                "RefFiL[{}{}{}]",
+                if f.use_cdap { "C" } else { "-" },
+                if f.use_gpl { "G" } else { "-" },
+                if f.use_dpcl { "D" } else { "-" }
+            )
+        }
+    }
+
+    fn init_global(&mut self) -> Vec<f32> {
+        self.core.flat()
+    }
+
+    fn on_task_start(&mut self, task: usize, _global: &[f32]) {
+        self.current_task = task;
+    }
+
+    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
+        self.core.load(global);
+        let flags = self.cfg.flags;
+        let model = self.model.clone();
+        let cdap = self.cdap.clone();
+        let fixed = self.fixed_prompt;
+        let task = setting.task;
+        let p_len = self.cfg.method.prompt_len;
+        let d = model.config().token_dim;
+
+        // Server broadcast contents, fixed for this round.
+        let (cands, cand_classes) = if flags.use_dpcl {
+            self.store.candidates()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let generalized: Option<Tensor> = if flags.use_gpl {
+            self.store
+                .generalized_prompt()
+                .map(|v| Tensor::from_vec(v, &[p_len, d]))
+        } else {
+            None
+        };
+        let tau = self.cfg.temperature.at_task(task + 1);
+        let n_pos = if setting.group == ClientGroup::Between { 2 } else { 1 };
+
+        self.core.train_local(
+            setting,
+            |g, p, b| {
+                let bsz = b.len();
+                let (feat, tokens) = model.tokenize(g, p, &b.features);
+                let prompts =
+                    Self::local_prompts(&model, &cdap, fixed, g, p, tokens, task);
+                // L_CE: classification with locally generated prompts (Eq. 10).
+                let out_l = model.forward_from_tokens(g, p, feat, tokens, Some(prompts));
+                let mut loss = g.cross_entropy(out_l.logits, &b.labels);
+                // L_GPL: same input under the generalized global prompt (Eq. 9).
+                if let Some(gp) = &generalized {
+                    let gpv = g.constant(gp.clone());
+                    let gp_b = model.broadcast_prompts(g, gpv, bsz);
+                    let out_g = model.forward_from_tokens(g, p, feat, tokens, Some(gp_b));
+                    let gpl = g.cross_entropy(out_g.logits, &b.labels);
+                    loss = g.add(loss, gpl);
+                }
+                // L_DPCL: contrastive prompt separation (Eq. 6).
+                if !cands.is_empty() {
+                    let u = g.reshape(prompts, &[bsz, p_len * d]);
+                    if let Some(dl) =
+                        dpcl_loss(g, u, &cands, &cand_classes, &b.labels, n_pos, tau)
+                    {
+                        loss = g.add(loss, dl);
+                    }
+                }
+                loss
+            },
+            |_| {},
+        );
+
+        // Upload: updated model + class-wise LPGs (Algorithm 1 line 29).
+        let mut upload_bytes = 0u64;
+        let mut download_bytes = 0u64;
+        if flags.needs_store() {
+            let lpg = self.compute_lpg(setting);
+            upload_bytes = lpg.byte_len();
+            download_bytes = self.store.byte_len();
+            if self.cfg.weighted_prompt_sharing {
+                // Ablation: resource-rich clients push proportionally more
+                // copies, skewing the global prompt pool toward big clients.
+                let copies = (setting.samples.len() / 50).max(1);
+                for _ in 0..copies {
+                    self.pending_uploads.push(lpg.clone());
+                }
+            } else {
+                self.pending_uploads.push(lpg);
+            }
+        }
+        ClientUpdate {
+            flat: self.core.flat(),
+            weight: setting.samples.len() as f32,
+            upload_bytes,
+            download_bytes,
+        }
+    }
+
+    fn on_round_end(&mut self, _task: usize, _round: usize, _global: &[f32]) {
+        if !self.pending_uploads.is_empty() {
+            let uploads = std::mem::take(&mut self.pending_uploads);
+            self.store.ingest(&uploads);
+        }
+    }
+
+    fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
+        self.predict_with_task(global, features, self.current_task)
+    }
+
+    fn predict_domain(&mut self, global: &[f32], features: &Tensor, domain: usize) -> Vec<usize> {
+        if self.cfg.task_free_inference {
+            // Extension: ignore the hint, infer the task from confidence.
+            self.predict_task_free(global, features)
+        } else {
+            // The CDAP generator is conditioned on the local task ID (the
+            // paper's acknowledged dependence); evaluation on domain d uses
+            // key d.
+            self.predict_with_task(global, features, domain)
+        }
+    }
+
+    fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {
+        self.core.load(global);
+        let g = Graph::new();
+        let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
+        let prompts = Self::local_prompts(
+            &self.model,
+            &self.cdap,
+            self.fixed_prompt,
+            &g,
+            &self.core.params,
+            tokens,
+            self.current_task,
+        );
+        let out =
+            self.model.forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+        let cls = g.value(out.cls);
+        let d = cls.shape()[1];
+        cls.data().chunks(d).map(<[f32]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refil_data::{DatasetSpec, DomainSpec};
+    use refil_fed::{run_fdil, IncrementConfig, RunConfig};
+    use refil_nn::models::BackboneConfig;
+
+    fn tiny_cfg() -> RefFiLConfig {
+        RefFiLConfig::new(MethodConfig {
+            backbone: BackboneConfig {
+                in_dim: 8,
+                extractor_width: 16,
+                extractor_depth: 1,
+                n_patches: 2,
+                token_dim: 8,
+                heads: 2,
+                blocks: 1,
+                classes: 3,
+                extractor: refil_nn::models::ExtractorKind::ResidualMlp,
+            },
+            lr: 0.05,
+            prompt_len: 2,
+            max_tasks: 2,
+            ..MethodConfig::default()
+        })
+    }
+
+    fn tiny_dataset() -> refil_data::FdilDataset {
+        DatasetSpec {
+            name: "tiny".into(),
+            classes: 3,
+            feature_dim: 8,
+            proto_scale: 2.5,
+            within_std: 0.4,
+            test_fraction: 0.3,
+            signature_dim: 2,
+            signature_scale: 0.6,
+            domains: vec![
+                DomainSpec::new("d0", 150, 0.15, 0.05),
+                DomainSpec::new("d1", 150, 0.3, 0.4).with_collision(1.0),
+            ],
+        }
+        .generate(11)
+    }
+
+    fn tiny_run_config() -> RunConfig {
+        RunConfig {
+            increment: IncrementConfig {
+                initial_clients: 4,
+                select_per_round: 3,
+                increment_per_task: 1,
+                transition_fraction: 0.8,
+                rounds_per_task: 3,
+            },
+            local_epochs: 1,
+            batch_size: 16,
+            quantity_sigma: 0.5,
+            eval_batch: 128,
+            dropout_prob: 0.0,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn reffil_runs_full_protocol_and_learns() {
+        let ds = tiny_dataset();
+        let mut strat = RefFiL::new(tiny_cfg());
+        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        assert_eq!(res.domain_acc.len(), 2);
+        assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
+        // The global prompt store must have been populated.
+        assert!(!strat.prompt_store().is_empty());
+        // Prompt traffic must be accounted for.
+        assert!(res.traffic.up_bytes > res.traffic.down_bytes / 2);
+    }
+
+    #[test]
+    fn ablated_variants_run() {
+        let ds = tiny_dataset();
+        for flags in [
+            RefFiLFlags { use_cdap: true, use_gpl: false, use_dpcl: false },
+            RefFiLFlags { use_cdap: false, use_gpl: true, use_dpcl: false },
+            RefFiLFlags { use_cdap: false, use_gpl: true, use_dpcl: true },
+            RefFiLFlags { use_cdap: true, use_gpl: true, use_dpcl: false },
+        ] {
+            let mut strat = RefFiL::new(tiny_cfg().with_flags(flags));
+            let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+            assert_eq!(res.domain_acc.len(), 2, "flags {flags:?}");
+        }
+    }
+
+    #[test]
+    fn name_encodes_flags() {
+        assert_eq!(RefFiL::new(tiny_cfg()).name(), "RefFiL");
+        let ablated = RefFiL::new(tiny_cfg().with_flags(RefFiLFlags {
+            use_cdap: true,
+            use_gpl: false,
+            use_dpcl: false,
+        }));
+        assert_eq!(ablated.name(), "RefFiL[C--]");
+    }
+
+    #[test]
+    fn cdap_off_uses_fixed_prompt() {
+        let strat = RefFiL::new(tiny_cfg().with_flags(RefFiLFlags {
+            use_cdap: false,
+            use_gpl: true,
+            use_dpcl: true,
+        }));
+        assert!(strat.cdap.is_none());
+        assert!(strat.fixed_prompt.is_some());
+        assert!(strat.core.params.id("refil.fixed_prompt").is_some());
+    }
+
+    #[test]
+    fn lpg_covers_local_classes() {
+        let ds = tiny_dataset();
+        let mut strat = RefFiL::new(tiny_cfg());
+        let flat = strat.init_global();
+        strat.core.load(&flat);
+        let samples = &ds.domains[0].train[..30];
+        let setting = TrainSetting {
+            client_id: 5,
+            task: 0,
+            round: 0,
+            group: ClientGroup::New,
+            samples,
+            local_epochs: 1,
+            batch_size: 16,
+            seed: 1,
+        };
+        let lpg = strat.compute_lpg(&setting);
+        assert_eq!(lpg.client_id, 5);
+        let mut classes: Vec<usize> = lpg.prompts.iter().map(|(k, _)| *k).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), lpg.prompts.len(), "duplicate class in LPG");
+        let d = strat.cfg.method.prompt_len * strat.model.config().token_dim;
+        for (_, v) in &lpg.prompts {
+            assert_eq!(v.len(), d);
+        }
+    }
+
+    #[test]
+    fn task_free_inference_predicts_valid_classes() {
+        let ds = tiny_dataset();
+        let mut strat = RefFiL::new(tiny_cfg().with_task_free_inference(true));
+        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        assert_eq!(res.domain_acc.len(), 2);
+        let mut data = Vec::new();
+        for s in &ds.domains[0].test[..6] {
+            data.extend_from_slice(&s.features);
+        }
+        let x = Tensor::from_vec(data, &[6, 8]);
+        let preds = strat.predict_task_free(&res.final_global, &x);
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn domain_conditioned_prediction_differs() {
+        let ds = tiny_dataset();
+        let mut strat = RefFiL::new(tiny_cfg());
+        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let _ = res;
+        // After training, predictions conditioned on different task keys can
+        // differ (the task key modulates the generated prompts).
+        let flat = strat.core.flat();
+        let mut data = Vec::new();
+        for s in &ds.domains[1].test[..8] {
+            data.extend_from_slice(&s.features);
+        }
+        let x = Tensor::from_vec(data, &[8, 8]);
+        let p0 = strat.predict_domain(&flat, &x, 0);
+        let p1 = strat.predict_domain(&flat, &x, 1);
+        assert_eq!(p0.len(), 8);
+        assert_eq!(p1.len(), 8);
+    }
+}

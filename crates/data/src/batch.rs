@@ -1,0 +1,109 @@
+//! Minibatch construction.
+
+use rand::Rng;
+
+use refil_nn::Tensor;
+
+use crate::sample::Sample;
+use crate::synth::shuffle;
+
+/// A minibatch ready for the model: features `[batch, dim]` plus labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input features, `[batch, feature_dim]`.
+    pub features: Tensor,
+    /// Integer labels, one per row.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Packs samples into a single [`Batch`] (used for evaluation).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or feature widths differ.
+pub fn collate(samples: &[&Sample]) -> Batch {
+    assert!(!samples.is_empty(), "cannot collate an empty batch");
+    let dim = samples[0].features.len();
+    let mut data = Vec::with_capacity(samples.len() * dim);
+    let mut labels = Vec::with_capacity(samples.len());
+    for s in samples {
+        assert_eq!(s.features.len(), dim, "inconsistent feature widths");
+        data.extend_from_slice(&s.features);
+        labels.push(s.label);
+    }
+    Batch { features: Tensor::from_vec(data, &[samples.len(), dim]), labels }
+}
+
+/// Yields shuffled minibatches over `samples`.
+///
+/// The final partial batch is included. Returns an empty vector for empty
+/// input.
+pub fn minibatches<R: Rng>(samples: &[Sample], batch_size: usize, rng: &mut R) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch size must be positive");
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    shuffle(&mut order, rng);
+    order
+        .chunks(batch_size)
+        .map(|chunk| {
+            let refs: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+            collate(&refs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mk(n: usize) -> Vec<Sample> {
+        (0..n).map(|i| Sample { features: vec![i as f32, 0.0], label: i % 2 }).collect()
+    }
+
+    #[test]
+    fn collate_layout() {
+        let s = mk(3);
+        let refs: Vec<&Sample> = s.iter().collect();
+        let b = collate(&refs);
+        assert_eq!(b.features.shape(), &[3, 2]);
+        assert_eq!(b.labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let s = mk(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = minibatches(&s, 3, &mut rng);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+        let mut firsts: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| b.features.data().chunks(2).map(|r| r[0]).collect::<Vec<_>>())
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        assert_eq!(firsts, (0..10).map(|x| x as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(minibatches(&[], 4, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Loading real feature data from CSV files.
+//!
+//! The synthetic generators drive the reproduction, but a downstream user
+//! with actual per-domain feature dumps (e.g. embeddings extracted from the
+//! real Digits-Five images) can load them here and run the identical
+//! pipeline. Format: one sample per line, `label,f0,f1,...,fD-1`; lines
+//! starting with `#` and blank lines are ignored. An optional header line is
+//! skipped automatically when its first field is not an integer.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::sample::{DomainData, FdilDataset, Sample};
+use crate::synth::shuffle;
+
+/// Errors produced by the CSV loader.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number, message).
+    Parse(usize, String),
+    /// File-level structural problem.
+    Structure(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "csv i/o failed: {e}"),
+            Self::Parse(line, msg) => write!(f, "csv line {line}: {msg}"),
+            Self::Structure(msg) => write!(f, "csv structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses CSV text into samples.
+///
+/// # Errors
+///
+/// Returns [`LoadError::Parse`] for malformed lines and
+/// [`LoadError::Structure`] for inconsistent widths or an empty file.
+pub fn parse_csv_samples(text: &str) -> Result<Vec<Sample>, LoadError> {
+    let mut samples = Vec::new();
+    let mut width: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let first = fields.next().unwrap_or("").trim();
+        let label: usize = match first.parse() {
+            Ok(l) => l,
+            Err(_) if samples.is_empty() && i == 0 => continue, // header line
+            Err(_) => {
+                return Err(LoadError::Parse(i + 1, format!("bad label {first:?}")));
+            }
+        };
+        let features: Result<Vec<f32>, _> = fields
+            .map(|f| {
+                f.trim()
+                    .parse::<f32>()
+                    .map_err(|_| LoadError::Parse(i + 1, format!("bad feature {f:?}")))
+            })
+            .collect();
+        let features = features?;
+        if features.is_empty() {
+            return Err(LoadError::Parse(i + 1, "no features".into()));
+        }
+        match width {
+            None => width = Some(features.len()),
+            Some(w) if w != features.len() => {
+                return Err(LoadError::Structure(format!(
+                    "line {}: width {} != first width {w}",
+                    i + 1,
+                    features.len()
+                )));
+            }
+            _ => {}
+        }
+        samples.push(Sample { features, label });
+    }
+    if samples.is_empty() {
+        return Err(LoadError::Structure("no samples in file".into()));
+    }
+    Ok(samples)
+}
+
+/// Loads one domain from a CSV file, splitting into train/test.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures; `test_fraction` must be in `[0, 1)`.
+pub fn load_csv_domain(
+    path: &Path,
+    name: &str,
+    test_fraction: f32,
+    seed: u64,
+) -> Result<DomainData, LoadError> {
+    assert!((0.0..1.0).contains(&test_fraction), "test fraction in [0,1)");
+    let text = fs::read_to_string(path)?;
+    let mut samples = parse_csv_samples(&text)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffle(&mut samples, &mut rng);
+    let n_test = (((samples.len() as f32) * test_fraction).round() as usize)
+        .clamp(1, samples.len().saturating_sub(1).max(1));
+    let test = samples.split_off(samples.len() - n_test);
+    Ok(DomainData { name: name.to_string(), train: samples, test })
+}
+
+/// Assembles an [`FdilDataset`] from per-domain CSV files (in task order).
+///
+/// # Errors
+///
+/// Fails if any file fails to load, widths differ across domains, or a label
+/// exceeds `classes`.
+pub fn load_csv_dataset(
+    name: &str,
+    classes: usize,
+    domain_files: &[(String, std::path::PathBuf)],
+    test_fraction: f32,
+    seed: u64,
+) -> Result<FdilDataset, LoadError> {
+    if domain_files.is_empty() {
+        return Err(LoadError::Structure("no domain files".into()));
+    }
+    let mut domains = Vec::with_capacity(domain_files.len());
+    let mut dim: Option<usize> = None;
+    for (i, (dname, path)) in domain_files.iter().enumerate() {
+        let dom = load_csv_domain(path, dname, test_fraction, seed ^ (i as u64 + 1))?;
+        let w = dom.train.first().or(dom.test.first()).map(|s| s.features.len()).unwrap_or(0);
+        match dim {
+            None => dim = Some(w),
+            Some(d) if d != w => {
+                return Err(LoadError::Structure(format!(
+                    "domain {dname}: width {w} != {d}"
+                )));
+            }
+            _ => {}
+        }
+        for s in dom.train.iter().chain(&dom.test) {
+            if s.label >= classes {
+                return Err(LoadError::Structure(format!(
+                    "domain {dname}: label {} >= classes {classes}",
+                    s.label
+                )));
+            }
+        }
+        domains.push(dom);
+    }
+    Ok(FdilDataset {
+        name: name.to_string(),
+        classes,
+        feature_dim: dim.unwrap_or(0),
+        domains,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_csv(name: &str, contents: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("refil-csv-{name}-{}.csv", std::process::id()));
+        fs::write(&path, contents).expect("write temp csv");
+        path
+    }
+
+    #[test]
+    fn parses_basic_csv() {
+        let s = parse_csv_samples("0,1.0,2.0\n1,3.0,4.0\n").expect("parse");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].label, 0);
+        assert_eq!(s[1].features, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let s = parse_csv_samples("label,f0\n# comment\n\n2,1.5\n").expect("parse");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].label, 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse_csv_samples("0,1.0,2.0\n1,3.0\n").expect_err("ragged");
+        assert!(matches!(err, LoadError::Structure(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(matches!(
+            parse_csv_samples("0,abc\n"),
+            Err(LoadError::Parse(1, _))
+        ));
+        assert!(matches!(
+            parse_csv_samples("0,1.0\nx,2.0\n"),
+            Err(LoadError::Parse(2, _))
+        ));
+        assert!(parse_csv_samples("").is_err());
+    }
+
+    #[test]
+    fn load_domain_splits_train_test() {
+        let path = tmp_csv("dom", &(0..20).map(|i| format!("{},{}.0,1.0\n", i % 2, i)).collect::<String>());
+        let dom = load_csv_domain(&path, "d0", 0.25, 1).expect("load");
+        assert_eq!(dom.len(), 20);
+        assert_eq!(dom.test.len(), 5);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_dataset_checks_labels_and_widths() {
+        let a = tmp_csv("a", "0,1.0,2.0\n1,3.0,4.0\n0,0.0,0.0\n1,1.0,1.0\n");
+        let b = tmp_csv("b", "1,5.0,6.0\n0,7.0,8.0\n1,2.0,2.0\n0,3.0,3.0\n");
+        let ds = load_csv_dataset(
+            "real",
+            2,
+            &[("dom-a".into(), a.clone()), ("dom-b".into(), b.clone())],
+            0.25,
+            9,
+        )
+        .expect("load");
+        assert_eq!(ds.num_domains(), 2);
+        assert_eq!(ds.feature_dim, 2);
+
+        // A label out of range must fail.
+        let bad = tmp_csv("bad", "7,1.0,2.0\n0,0.0,1.0\n");
+        let err = load_csv_dataset("x", 2, &[("d".into(), bad.clone())], 0.25, 0)
+            .expect_err("label out of range");
+        assert!(matches!(err, LoadError::Structure(_)));
+        for p in [a, b, bad] {
+            let _ = fs::remove_file(p);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Non-iid client partitioning with quantity shift.
+//!
+//! The paper's Appendix A: "These local datasets are not independent and
+//! identically distributed (non-iid), showcasing a type of *quantity shift*
+//! in our setting." Clients share the label distribution but hold very
+//! different data volumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use refil_nn::gaussian;
+
+use crate::sample::Sample;
+use crate::synth::shuffle;
+
+/// How client data volumes are skewed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantityShift {
+    /// Equal share per client (iid volume).
+    Uniform,
+    /// Log-normal client weights with the given sigma; larger sigma = more
+    /// skew between resource-rich and resource-poor participants.
+    Lognormal(f32),
+}
+
+/// Splits `samples` across `n_clients` with the requested quantity shift,
+/// returning per-client sample vectors.
+///
+/// Every client receives at least one sample when `samples.len() >= n_clients`.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`.
+pub fn partition_quantity_shift(
+    mut samples: Vec<Sample>,
+    n_clients: usize,
+    shift: QuantityShift,
+    seed: u64,
+) -> Vec<Vec<Sample>> {
+    assert!(n_clients > 0, "need at least one client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffle(&mut samples, &mut rng);
+
+    let weights: Vec<f32> = match shift {
+        QuantityShift::Uniform => vec![1.0; n_clients],
+        QuantityShift::Lognormal(sigma) => {
+            (0..n_clients).map(|_| (gaussian(&mut rng) * sigma).exp()).collect()
+        }
+    };
+    let wsum: f32 = weights.iter().sum();
+    let total = samples.len();
+
+    // Integer allotments with guaranteed minimum of 1 (when possible).
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total as f32).floor() as usize)
+        .collect();
+    if total >= n_clients {
+        for c in counts.iter_mut() {
+            if *c == 0 {
+                *c = 1;
+            }
+        }
+    }
+    // Fix the sum: trim from the largest or pad the smallest.
+    loop {
+        let s: usize = counts.iter().sum();
+        if s == total {
+            break;
+        }
+        if s > total {
+            let i = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .expect("non-empty counts");
+            counts[i] -= 1;
+        } else {
+            let i = rng.gen_range(0..n_clients);
+            counts[i] += 1;
+        }
+    }
+
+    let mut out = Vec::with_capacity(n_clients);
+    let mut iter = samples.into_iter();
+    for &c in &counts {
+        out.push(iter.by_ref().take(c).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_samples(n: usize) -> Vec<Sample> {
+        (0..n).map(|i| Sample { features: vec![i as f32], label: i % 3 }).collect()
+    }
+
+    #[test]
+    fn partition_conserves_samples() {
+        let parts = partition_quantity_shift(mk_samples(100), 7, QuantityShift::Lognormal(0.8), 1);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn uniform_is_roughly_even() {
+        let parts = partition_quantity_shift(mk_samples(100), 4, QuantityShift::Uniform, 2);
+        for p in &parts {
+            assert!((20..=30).contains(&p.len()), "uniform split uneven: {}", p.len());
+        }
+    }
+
+    #[test]
+    fn lognormal_is_skewed() {
+        let parts = partition_quantity_shift(mk_samples(1000), 10, QuantityShift::Lognormal(1.0), 3);
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        assert!(max as f32 / min.max(1) as f32 > 2.0, "no skew: max {max} min {min}");
+    }
+
+    #[test]
+    fn every_client_gets_data_when_possible() {
+        let parts = partition_quantity_shift(mk_samples(50), 10, QuantityShift::Lognormal(2.0), 4);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = partition_quantity_shift(mk_samples(60), 5, QuantityShift::Lognormal(0.5), 9);
+        let b = partition_quantity_shift(mk_samples(60), 5, QuantityShift::Lognormal(0.5), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,315 @@
+//! Synthetic analogues of the paper's four evaluation datasets.
+//!
+//! Each preset mirrors the real dataset's *structure* — class count, domain
+//! count and names, per-domain sample counts (FedDomainNet additionally uses
+//! the per-class-per-domain counts of the paper's Table 6) — while the inputs
+//! themselves are synthetic domain-shifted feature vectors (see
+//! [`crate::synth`]). Per-domain noise levels are chosen so the easy/hard
+//! ordering matches the paper's per-domain accuracies (e.g. MNIST trivial,
+//! SYN/SVHN hard; DomainNet domains uniformly hard).
+//!
+//! `scale` shrinks sample counts for CPU-tractable federated runs; `1.0`
+//! reproduces the paper's counts.
+
+use crate::synth::{DatasetSpec, DomainSpec};
+
+/// Configuration shared by every preset.
+#[derive(Debug, Clone, Copy)]
+pub struct PresetConfig {
+    /// Multiplier on the paper's sample counts (use `1.0` for full size).
+    pub scale: f32,
+    /// Feature dimensionality of the synthetic inputs.
+    pub feature_dim: usize,
+}
+
+impl Default for PresetConfig {
+    fn default() -> Self {
+        Self { scale: 1.0, feature_dim: 32 }
+    }
+}
+
+impl PresetConfig {
+    /// A configuration scaled for quick CPU experiments.
+    pub fn small() -> Self {
+        Self { scale: 0.02, feature_dim: 32 }
+    }
+
+    fn n(&self, paper_count: usize) -> usize {
+        ((paper_count as f32 * self.scale).round() as usize).max(20)
+    }
+}
+
+/// Digits-Five: 10 classes, 5 domains, 215 695 images in the paper.
+///
+/// Canonical task order (Table 3): MNIST, MNIST-M, USPS, SVHN, SYN.
+pub fn digits_five(cfg: PresetConfig) -> DatasetSpec {
+    DatasetSpec {
+        name: "Digits-Five".into(),
+        classes: 10,
+        feature_dim: cfg.feature_dim,
+        proto_scale: 2.0,
+        within_std: 0.45,
+        test_fraction: 0.2,
+        signature_dim: 6,
+        signature_scale: 0.3,
+        domains: vec![
+            DomainSpec::new("MNIST", cfg.n(55_000), 0.15, 0.05),
+            DomainSpec::new("MNIST-M", cfg.n(55_000), 0.40, 0.30).with_collision(0.6),
+            DomainSpec::new("USPS", cfg.n(7_438), 0.70, 0.60).with_collision(1.2),
+            DomainSpec::new("SVHN", cfg.n(73_257), 0.95, 0.90).with_collision(1.8),
+            DomainSpec::new("SYN", cfg.n(25_000), 1.15, 1.20)
+                .with_collision(2.4)
+                .with_label_noise(0.05),
+        ],
+    }
+}
+
+/// Task order used in the paper's "new domain order" runs (Table 4),
+/// as indices into the canonical Digits-Five order.
+pub const DIGITS_FIVE_NEW_ORDER: [usize; 5] = [3, 0, 4, 2, 1]; // SVHN, MNIST, SYN, USPS, MNIST-M
+
+/// OfficeCaltech10: 10 classes, 4 domains, 2 533 images in the paper.
+///
+/// Canonical task order: Amazon, Caltech, Webcam, DSLR.
+pub fn office_caltech10(cfg: PresetConfig) -> DatasetSpec {
+    // This dataset is tiny, so counts are used as-is unless scaled up/down.
+    let n = |c: usize| ((c as f32 * cfg.scale.max(0.25)).round() as usize).max(40);
+    DatasetSpec {
+        name: "OfficeCaltech10".into(),
+        classes: 10,
+        feature_dim: cfg.feature_dim,
+        proto_scale: 1.6,
+        within_std: 0.8,
+        test_fraction: 0.25,
+        signature_dim: 6,
+        signature_scale: 0.3,
+        domains: vec![
+            DomainSpec::new("Amazon", n(958), 0.9, 0.10).with_label_noise(0.05),
+            DomainSpec::new("Caltech", n(1_123), 1.1, 0.50)
+                .with_collision(0.7)
+                .with_label_noise(0.08),
+            DomainSpec::new("Webcam", n(295), 1.3, 0.85)
+                .with_collision(1.4)
+                .with_label_noise(0.10),
+            DomainSpec::new("DSLR", n(157), 1.5, 1.20)
+                .with_collision(2.1)
+                .with_label_noise(0.12),
+        ],
+    }
+}
+
+/// New order for OfficeCaltech10 (Table 4): Caltech, Amazon, DSLR, Webcam.
+pub const OFFICE_CALTECH10_NEW_ORDER: [usize; 4] = [1, 0, 3, 2];
+
+/// PACS: 7 classes, 4 domains, 9 991 images in the paper.
+///
+/// Canonical task order: Photo, Cartoon, Sketch, Art Painting.
+pub fn pacs(cfg: PresetConfig) -> DatasetSpec {
+    let n = |c: usize| ((c as f32 * cfg.scale.max(0.1)).round() as usize).max(40);
+    DatasetSpec {
+        name: "PACS".into(),
+        classes: 7,
+        feature_dim: cfg.feature_dim,
+        proto_scale: 1.8,
+        within_std: 0.7,
+        test_fraction: 0.25,
+        signature_dim: 6,
+        signature_scale: 0.3,
+        domains: vec![
+            DomainSpec::new("Photo", n(1_670), 0.7, 0.10).with_label_noise(0.04),
+            DomainSpec::new("Cartoon", n(2_344), 1.0, 0.50)
+                .with_collision(0.8)
+                .with_label_noise(0.06),
+            DomainSpec::new("Sketch", n(3_929), 1.2, 0.85)
+                .with_collision(1.6)
+                .with_label_noise(0.08),
+            DomainSpec::new("ArtPainting", n(2_048), 1.35, 1.20)
+                .with_collision(2.4)
+                .with_label_noise(0.10),
+        ],
+    }
+}
+
+/// New order for PACS (Table 4): Cartoon, Photo, Sketch, Art Painting.
+pub const PACS_NEW_ORDER: [usize; 4] = [1, 0, 2, 3];
+
+/// Canonical FedDomainNet domain short names in task order.
+pub const FED_DOMAIN_NET_DOMAINS: [&str; 6] =
+    ["Clipart", "Infograph", "Painting", "Quickdraw", "Real", "Sketch"];
+
+/// New order for FedDomainNet (Table 4):
+/// Infograph, Sketch, Quickdraw, Real, Painting, Clipart.
+pub const FED_DOMAIN_NET_NEW_ORDER: [usize; 6] = [1, 5, 3, 4, 2, 0];
+
+/// The 48 FedDomainNet class names (paper Table 6).
+pub const FED_DOMAIN_NET_CLASSES: [&str; 48] = [
+    "teapot", "streetlight", "tiger", "whale", "stethoscope", "sword", "shoe", "bracelet",
+    "headphones", "toaster", "golf club", "windmill", "cup", "map", "goatee", "eye", "train",
+    "tractor", "bread", "ice cream", "sun", "tornado", "sea turtle", "fish", "guitar",
+    "trombone", "strawberry", "watermelon", "snorkel", "yoga", "tree", "flower", "bird",
+    "penguin", "mushroom", "broccoli", "zigzag", "triangle", "spoon", "hourglass", "sailboat",
+    "submarine", "helicopter", "hot air balloon", "bee", "butterfly", "feather", "snowman",
+];
+
+/// Per-class per-domain sample counts from the paper's Table 6
+/// (rows = classes in [`FED_DOMAIN_NET_CLASSES`] order; columns = domains in
+/// [`FED_DOMAIN_NET_DOMAINS`] order: clp, inf, pnt, qdr, rel, skt).
+pub const FED_DOMAIN_NET_COUNTS: [[usize; 6]; 48] = [
+    [222, 209, 391, 500, 631, 327],
+    [326, 113, 537, 500, 463, 268],
+    [315, 285, 422, 500, 607, 386],
+    [343, 432, 357, 500, 671, 272],
+    [343, 107, 346, 500, 496, 237],
+    [139, 124, 470, 500, 591, 384],
+    [127, 291, 260, 500, 587, 645],
+    [293, 123, 150, 500, 715, 300],
+    [285, 224, 181, 500, 551, 188],
+    [196, 337, 107, 500, 536, 267],
+    [207, 169, 650, 500, 552, 695],
+    [245, 372, 397, 500, 635, 245],
+    [128, 52, 582, 500, 406, 396],
+    [42, 206, 423, 500, 507, 193],
+    [255, 236, 129, 500, 562, 219],
+    [108, 168, 292, 500, 695, 489],
+    [109, 373, 406, 500, 681, 240],
+    [154, 316, 183, 500, 636, 263],
+    [197, 232, 315, 500, 794, 276],
+    [160, 187, 313, 500, 657, 184],
+    [248, 352, 572, 500, 161, 258],
+    [169, 329, 373, 500, 497, 211],
+    [236, 190, 410, 500, 621, 254],
+    [130, 195, 429, 500, 479, 373],
+    [103, 204, 203, 500, 632, 183],
+    [227, 195, 175, 500, 484, 191],
+    [357, 308, 530, 500, 454, 198],
+    [193, 401, 410, 500, 671, 128],
+    [278, 81, 179, 500, 689, 397],
+    [165, 447, 161, 500, 371, 251],
+    [126, 511, 571, 500, 536, 555],
+    [253, 140, 485, 500, 360, 336],
+    [336, 208, 222, 500, 803, 306],
+    [121, 201, 447, 500, 700, 209],
+    [136, 298, 254, 500, 788, 252],
+    [105, 229, 100, 500, 679, 181],
+    [323, 412, 110, 500, 515, 144],
+    [183, 364, 298, 500, 376, 303],
+    [228, 127, 158, 500, 534, 406],
+    [100, 100, 206, 500, 289, 134],
+    [162, 119, 322, 500, 422, 361],
+    [344, 183, 550, 500, 607, 207],
+    [145, 216, 257, 500, 804, 200],
+    [198, 48, 453, 500, 732, 170],
+    [202, 233, 313, 500, 452, 144],
+    [160, 162, 387, 500, 658, 249],
+    [268, 432, 344, 500, 505, 336],
+    [174, 123, 901, 500, 114, 712],
+];
+
+/// FedDomainNet: 48 classes, 6 domains, ~100 361 images in the paper,
+/// with quantity skew across classes and domains per Table 6.
+pub fn fed_domain_net(cfg: PresetConfig) -> DatasetSpec {
+    let domain_names = FED_DOMAIN_NET_DOMAINS;
+    // Per-domain difficulty: all DomainNet domains are hard (paper Avg ~28 %),
+    // Quickdraw/Infograph hardest.
+    let noise = [1.2f32, 1.5, 1.3, 1.6, 1.1, 1.35];
+    let shift = [0.10f32, 0.35, 0.60, 0.85, 1.10, 1.30];
+    let collision = [0.0f32, 0.6, 1.2, 1.8, 2.4, 3.0];
+    let label_noise = [0.10f32, 0.14, 0.12, 0.16, 0.08, 0.12];
+    let domains = (0..6)
+        .map(|di| {
+            let counts: Vec<usize> = FED_DOMAIN_NET_COUNTS
+                .iter()
+                .map(|row| ((row[di] as f32 * cfg.scale).round() as usize).max(2))
+                .collect();
+            DomainSpec::new(domain_names[di], 0, noise[di], shift[di])
+                .with_collision(collision[di])
+                .with_label_noise(label_noise[di])
+                .with_class_counts(counts)
+        })
+        .collect();
+    DatasetSpec {
+        name: "FedDomainNet".into(),
+        classes: 48,
+        feature_dim: cfg.feature_dim.max(48),
+        proto_scale: 1.5,
+        within_std: 0.8,
+        test_fraction: 0.25,
+        signature_dim: 8,
+        signature_scale: 0.3,
+        domains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_five_structure() {
+        let spec = digits_five(PresetConfig::small());
+        assert_eq!(spec.classes, 10);
+        assert_eq!(spec.domains.len(), 5);
+        assert_eq!(spec.domains[0].name, "MNIST");
+        assert_eq!(spec.domains[4].name, "SYN");
+        // Difficulty ordering: MNIST easiest.
+        assert!(spec.domains[0].noise < spec.domains[4].noise);
+    }
+
+    #[test]
+    fn full_scale_counts_match_paper() {
+        let spec = digits_five(PresetConfig::default());
+        assert_eq!(spec.domains[0].samples, 55_000);
+        assert_eq!(spec.domains[3].samples, 73_257);
+        let oc = office_caltech10(PresetConfig::default());
+        assert_eq!(oc.domains.iter().map(|d| d.samples).sum::<usize>(), 2_533);
+        let p = pacs(PresetConfig::default());
+        assert_eq!(p.domains.iter().map(|d| d.samples).sum::<usize>(), 9_991);
+    }
+
+    #[test]
+    fn fed_domain_net_table6_totals() {
+        // Uncleaned Table 6 column totals. The paper prints 16 729 for the
+        // Painting column, but its own per-class entries sum to 16 731 (a
+        // 2-sample inconsistency in the source table); we keep the per-class
+        // values as printed.
+        let totals: Vec<usize> = (0..6)
+            .map(|di| FED_DOMAIN_NET_COUNTS.iter().map(|r| r[di]).sum())
+            .collect();
+        assert_eq!(totals, vec![9_864, 11_364, 16_731, 24_000, 26_906, 14_123]);
+        assert_eq!(totals.iter().sum::<usize>(), 102_988);
+    }
+
+    #[test]
+    fn fed_domain_net_generates_48_classes() {
+        let spec = fed_domain_net(PresetConfig { scale: 0.02, feature_dim: 48 });
+        assert_eq!(spec.classes, 48);
+        assert_eq!(spec.domains.len(), 6);
+        let ds = spec.generate(1);
+        assert_eq!(ds.num_domains(), 6);
+        let mut seen = vec![false; 48];
+        for s in ds.domains[0].train.iter().chain(&ds.domains[0].test) {
+            seen[s.label] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn new_orders_are_permutations() {
+        let check = |o: &[usize]| {
+            let mut s: Vec<usize> = o.to_vec();
+            s.sort_unstable();
+            assert_eq!(s, (0..o.len()).collect::<Vec<_>>());
+        };
+        check(&DIGITS_FIVE_NEW_ORDER);
+        check(&OFFICE_CALTECH10_NEW_ORDER);
+        check(&PACS_NEW_ORDER);
+        check(&FED_DOMAIN_NET_NEW_ORDER);
+    }
+
+    #[test]
+    fn small_config_is_tractable() {
+        let spec = digits_five(PresetConfig::small());
+        let total: usize = spec.domains.iter().map(|d| d.samples).sum();
+        assert!(total < 6_000, "small preset too large: {total}");
+    }
+}

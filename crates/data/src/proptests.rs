@@ -1,0 +1,117 @@
+//! Property-based tests of dataset generation and partitioning.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::partition::{partition_quantity_shift, QuantityShift};
+use crate::sample::Sample;
+use crate::synth::{DatasetSpec, DomainSpec};
+
+fn mk_samples(n: usize) -> Vec<Sample> {
+    (0..n).map(|i| Sample { features: vec![i as f32], label: i % 4 }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_conserves_every_sample(
+        n in 1usize..200,
+        clients in 1usize..12,
+        sigma in 0.0f32..2.0,
+        seed in 0u64..500,
+    ) {
+        let samples = mk_samples(n);
+        let parts = partition_quantity_shift(
+            samples.clone(),
+            clients,
+            QuantityShift::Lognormal(sigma),
+            seed,
+        );
+        prop_assert_eq!(parts.len(), clients);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        // Multiset equality on the (unique) feature values.
+        let mut got: Vec<f32> = parts.iter().flatten().map(|s| s.features[0]).collect();
+        got.sort_by(f32::total_cmp);
+        let want: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn partition_minimum_one_when_enough_samples(
+        clients in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        let samples = mk_samples(clients * 3);
+        let parts = partition_quantity_shift(
+            samples,
+            clients,
+            QuantityShift::Lognormal(1.5),
+            seed,
+        );
+        prop_assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn generated_dataset_has_declared_shape(
+        classes in 2usize..6,
+        per_domain in 40usize..120,
+        feature_dim in 4usize..16,
+        shift in 0.0f32..1.0,
+        collision in 0.0f32..3.0,
+        seed in 0u64..100,
+    ) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            classes,
+            feature_dim,
+            proto_scale: 2.0,
+            within_std: 0.4,
+            test_fraction: 0.25,
+            signature_dim: feature_dim / 4,
+            signature_scale: 0.3,
+            domains: vec![
+                DomainSpec::new("a", per_domain, 0.2, 0.0),
+                DomainSpec::new("b", per_domain, 0.4, shift).with_collision(collision),
+            ],
+        };
+        let ds = spec.generate(seed);
+        prop_assert_eq!(ds.classes, classes);
+        prop_assert_eq!(ds.num_domains(), 2);
+        for dom in &ds.domains {
+            prop_assert_eq!(dom.len(), per_domain);
+            prop_assert!(!dom.test.is_empty(), "no test split");
+            for s in dom.train.iter().chain(&dom.test) {
+                prop_assert_eq!(s.features.len(), feature_dim);
+                prop_assert!(s.label < classes);
+                prop_assert!(s.features.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_content(seed in 0u64..100) {
+        let spec = DatasetSpec {
+            name: "ord".into(),
+            classes: 3,
+            feature_dim: 6,
+            proto_scale: 2.0,
+            within_std: 0.3,
+            test_fraction: 0.2,
+            signature_dim: 2,
+            signature_scale: 0.3,
+            domains: vec![
+                DomainSpec::new("x", 30, 0.2, 0.1),
+                DomainSpec::new("y", 30, 0.2, 0.3),
+                DomainSpec::new("z", 30, 0.2, 0.5),
+            ],
+        };
+        let ds = spec.generate(seed);
+        let re = ds.reordered(&[2, 0, 1]);
+        prop_assert_eq!(re.total_samples(), ds.total_samples());
+        prop_assert_eq!(&re.domains[0].train, &ds.domains[2].train);
+        prop_assert_eq!(&re.domains[1].test, &ds.domains[0].test);
+    }
+}

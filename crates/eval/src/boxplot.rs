@@ -1,0 +1,99 @@
+//! Box-plot statistics (Figure 4's per-domain accuracy distributions).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus outliers (1.5 IQR whisker convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Lower whisker (smallest non-outlier).
+    pub whisker_lo: f32,
+    /// First quartile.
+    pub q1: f32,
+    /// Median.
+    pub median: f32,
+    /// Third quartile.
+    pub q3: f32,
+    /// Upper whisker (largest non-outlier).
+    pub whisker_hi: f32,
+    /// Points beyond the whiskers.
+    pub outliers: Vec<f32>,
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile(sorted: &[f32], q: f32) -> f32 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Computes box-plot statistics for `values`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn box_stats(values: &[f32]) -> BoxStats {
+    assert!(!values.is_empty(), "box stats of empty data");
+    let mut sorted: Vec<f32> = values.to_vec();
+    assert!(sorted.iter().all(|v| !v.is_nan()), "NaN in box stats input");
+    sorted.sort_by(f32::total_cmp);
+    let q1 = quantile(&sorted, 0.25);
+    let median = quantile(&sorted, 0.5);
+    let q3 = quantile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    let whisker_lo = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(sorted[0]);
+    let whisker_hi = sorted
+        .iter()
+        .rev()
+        .copied()
+        .find(|&v| v <= hi_fence)
+        .unwrap_or(*sorted.last().expect("non-empty"));
+    let outliers = sorted.iter().copied().filter(|&v| v < lo_fence || v > hi_fence).collect();
+    BoxStats { whisker_lo, q1, median, q3, whisker_hi, outliers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_distribution() {
+        let s = box_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.whisker_lo, 1.0);
+        assert_eq!(s.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn detects_outlier() {
+        let s = box_stats(&[10.0, 11.0, 12.0, 11.5, 10.5, 50.0]);
+        assert_eq!(s.outliers, vec![50.0]);
+        assert!(s.whisker_hi <= 12.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = box_stats(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.whisker_hi, 7.0);
+    }
+
+    #[test]
+    fn quartiles_bracket_median() {
+        let vals: Vec<f32> = (0..100).map(|i| (i as f32).sin() * 10.0).collect();
+        let s = box_stats(&vals);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+        assert!(s.whisker_lo <= s.q1 && s.q3 <= s.whisker_hi);
+    }
+}

@@ -1,0 +1,32 @@
+//! # refil-eval
+//!
+//! Evaluation utilities for the RefFiL reproduction: the paper's Avg/Last
+//! accuracy metrics (plus a forgetting measure), box-plot statistics for the
+//! Figure 4 distributions, an exact t-SNE implementation for the Figure 5/6
+//! decision-boundary visualizations, and markdown/CSV table rendering for the
+//! benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use refil_eval::scores;
+//!
+//! let domain_acc = vec![vec![90.0], vec![70.0, 80.0]];
+//! let s = scores(&domain_acc);
+//! assert!((s.avg - 82.5).abs() < 1e-5);
+//! assert!((s.last - 75.0).abs() < 1e-5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod boxplot;
+mod metrics;
+mod tables;
+mod transfer;
+mod tsne;
+
+pub use boxplot::{box_stats, BoxStats};
+pub use metrics::{delta, scores, step_accuracies, Scores};
+pub use tables::{pct, signed, Table};
+pub use transfer::{backward_transfer, ConfusionMatrix};
+pub use tsne::{separation_score, tsne, TsneConfig};

@@ -1,0 +1,117 @@
+//! Evaluation metrics (§4.1 of the paper).
+//!
+//! * **Avg** — iCaRL's average incremental accuracy: the mean of the step
+//!   accuracies `A_t` (accuracy over all domains seen so far, after task `t`);
+//! * **Last** — the step accuracy after the final task;
+//! * **Forgetting** — mean over domains of the drop from each domain's best
+//!   step accuracy to its final accuracy (standard continual-learning
+//!   forgetting measure, used for the analysis benches).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-method summary scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scores {
+    /// Average incremental accuracy (%).
+    pub avg: f32,
+    /// Final-step accuracy (%).
+    pub last: f32,
+    /// Forgetting measure (%), `>= 0`.
+    pub forgetting: f32,
+}
+
+/// Computes step accuracies from a lower-triangular domain-accuracy matrix
+/// (`acc[t][d]` for `d <= t`).
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or a row is empty.
+pub fn step_accuracies(domain_acc: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!domain_acc.is_empty(), "empty accuracy matrix");
+    domain_acc
+        .iter()
+        .map(|row| {
+            assert!(!row.is_empty(), "empty accuracy row");
+            row.iter().sum::<f32>() / row.len() as f32
+        })
+        .collect()
+}
+
+/// Computes the full score triple from a domain-accuracy matrix.
+pub fn scores(domain_acc: &[Vec<f32>]) -> Scores {
+    let steps = step_accuracies(domain_acc);
+    let avg = steps.iter().sum::<f32>() / steps.len() as f32;
+    let last = *steps.last().expect("non-empty steps");
+
+    // Forgetting: for each domain d (except the last), the best accuracy it
+    // ever had minus its accuracy at the end.
+    let t_final = domain_acc.len() - 1;
+    let final_row = &domain_acc[t_final];
+    let mut forgetting = 0.0f32;
+    let mut counted = 0usize;
+    for d in 0..t_final {
+        let best = domain_acc[d..=t_final]
+            .iter()
+            .map(|row| row[d])
+            .fold(f32::NEG_INFINITY, f32::max);
+        forgetting += (best - final_row[d]).max(0.0);
+        counted += 1;
+    }
+    let forgetting = if counted > 0 { forgetting / counted as f32 } else { 0.0 };
+    Scores { avg, last, forgetting }
+}
+
+/// The paper's `Δ` column: how much `reference` (RefFiL) beats `other`.
+pub fn delta(reference: f32, other: f32) -> f32 {
+    reference - other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Vec<Vec<f32>> {
+        vec![vec![90.0], vec![70.0, 80.0], vec![50.0, 60.0, 85.0]]
+    }
+
+    #[test]
+    fn step_accuracy_means() {
+        let s = step_accuracies(&matrix());
+        assert_eq!(s, vec![90.0, 75.0, 65.0]);
+    }
+
+    #[test]
+    fn scores_avg_last() {
+        let sc = scores(&matrix());
+        assert!((sc.avg - (90.0 + 75.0 + 65.0) / 3.0).abs() < 1e-5);
+        assert!((sc.last - 65.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forgetting_measures_best_minus_final() {
+        let sc = scores(&matrix());
+        // Domain 0: best 90, final 50 -> 40. Domain 1: best 80, final 60 -> 20.
+        assert!((sc.forgetting - 30.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn no_forgetting_single_task() {
+        let sc = scores(&[vec![77.0]]);
+        assert_eq!(sc.forgetting, 0.0);
+        assert_eq!(sc.avg, 77.0);
+        assert_eq!(sc.last, 77.0);
+    }
+
+    #[test]
+    fn improvement_counts_as_zero_forgetting() {
+        let sc = scores(&[vec![50.0], vec![90.0, 60.0]]);
+        // Domain 0 improved from 50 to 90: forgetting clamps at 0.
+        assert_eq!(sc.forgetting, 0.0);
+    }
+
+    #[test]
+    fn delta_is_signed_difference() {
+        assert!((delta(86.94, 77.39) - 9.55).abs() < 1e-4);
+        assert!(delta(50.0, 60.0) < 0.0);
+    }
+}

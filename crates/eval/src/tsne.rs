@@ -1,0 +1,232 @@
+//! Exact (O(n^2)) t-SNE for the Figure 5/6 decision-boundary visualizations.
+//!
+//! van der Maaten & Hinton (2008): Gaussian input affinities with per-point
+//! perplexity calibration, Student-t output affinities, gradient descent with
+//! momentum and early exaggeration. Exact pairwise computation is fine at the
+//! few-hundred-point scale of the paper's figures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use refil_nn::gaussian;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbour count).
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f32,
+    /// Seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 20.0, iterations: 300, learning_rate: 100.0, exaggeration: 4.0, seed: 0 }
+    }
+}
+
+/// Embeds `points` into 2-D. Returns one `[x, y]` pair per input point.
+///
+/// # Panics
+///
+/// Panics if points have inconsistent dimensionality.
+pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f32; 2]> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    let dim = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), dim, "inconsistent point dims");
+    }
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f32 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Per-point sigma via binary search on perplexity.
+    let target_entropy = cfg.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f32, 0.0f32, f32::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            let mut sum_dp = 0.0f32;
+            for (j, &dj) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * dj).exp();
+                sum += pij;
+                sum_dp += beta * dj * pij;
+            }
+            let entropy = if sum > 0.0 { sum.ln() + sum_dp / sum } else { 0.0 };
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for (j, &dj) in row.iter().enumerate() {
+            if j != i {
+                let v = (-beta * dj).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize.
+    let mut psym = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            psym[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on 2-D embedding.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<[f32; 2]> = (0..n).map(|_| [gaussian(&mut rng) * 1e-2, gaussian(&mut rng) * 1e-2]).collect();
+    let mut vel = vec![[0.0f32; 2]; n];
+    let exag_iters = cfg.iterations / 4;
+    for it in 0..cfg.iterations {
+        let exag = if it < exag_iters { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut num = vec![0.0f32; n * n];
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        let momentum = if it < exag_iters { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f32; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = (num[i * n + j] / qsum).max(1e-12);
+                let mult = (exag * psym[i * n + j] - q) * num[i * n + j];
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - cfg.learning_rate * grad[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += vel[i][0];
+            y[i][1] += vel[i][1];
+        }
+    }
+    y
+}
+
+/// Mean intra-cluster vs. inter-cluster distance ratio of an embedding — a
+/// scalar check that t-SNE separated labelled groups (used in tests and the
+/// Figure 5 bench's summary line).
+pub fn separation_score(embedding: &[[f32; 2]], labels: &[usize]) -> f32 {
+    assert_eq!(embedding.len(), labels.len());
+    let mut intra = 0.0f32;
+    let mut intra_n = 0usize;
+    let mut inter = 0.0f32;
+    let mut inter_n = 0usize;
+    for i in 0..embedding.len() {
+        for j in (i + 1)..embedding.len() {
+            let dx = embedding[i][0] - embedding[j][0];
+            let dy = embedding[i][1] - embedding[j][1];
+            let d = (dx * dx + dy * dy).sqrt();
+            if labels[i] == labels[j] {
+                intra += d;
+                intra_n += 1;
+            } else {
+                inter += d;
+                inter_n += 1;
+            }
+        }
+    }
+    if intra_n == 0 || inter_n == 0 || intra == 0.0 {
+        return f32::INFINITY;
+    }
+    (inter / inter_n as f32) / (intra / intra_n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(tsne(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(tsne(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn separates_two_gaussian_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..2 {
+            for _ in 0..30 {
+                let center = if k == 0 { 5.0 } else { -5.0 };
+                points.push(vec![
+                    center + gaussian(&mut rng) * 0.5,
+                    center + gaussian(&mut rng) * 0.5,
+                    gaussian(&mut rng) * 0.5,
+                ]);
+                labels.push(k);
+            }
+        }
+        let cfg = TsneConfig { iterations: 200, perplexity: 10.0, ..TsneConfig::default() };
+        let emb = tsne(&points, &cfg);
+        let score = separation_score(&emb, &labels);
+        assert!(score > 2.0, "blobs not separated: score {score}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Vec<f32>> =
+            (0..20).map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        assert_eq!(tsne(&points, &cfg), tsne(&points, &cfg));
+    }
+}

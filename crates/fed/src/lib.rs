@@ -1,0 +1,34 @@
+//! # refil-fed
+//!
+//! Federated-learning substrate for the RefFiL reproduction: FedAvg
+//! aggregation, the paper's client-increment protocol (`U_o`/`U_b`/`U_n`
+//! groups with 80 % gradual transition and growing client counts), the
+//! quantity-shift data assignment, communication accounting, and a generic
+//! FDIL round driver that any [`FdilStrategy`] plugs into.
+//!
+//! # Examples
+//!
+//! ```
+//! use refil_fed::{build_schedule, IncrementConfig};
+//!
+//! let cfg = IncrementConfig::default(); // 20 clients, +2 per task, 80 % transition
+//! let schedule = build_schedule(&cfg, 5, 42);
+//! assert_eq!(schedule[4].clients.len(), 28);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod increment;
+mod runner;
+pub mod secure;
+mod traffic;
+
+pub use aggregate::{balanced_mean, fedavg, WeightedUpdate};
+pub use increment::{
+    build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
+};
+pub use runner::{
+    evaluate_domain, run_fdil, ClientUpdate, FdilStrategy, RunConfig, RunResult, TrainSetting,
+};
+pub use traffic::TrafficStats;

@@ -1,0 +1,545 @@
+//! The FDIL round driver: executes Algorithm 1's outer loop for any strategy.
+//!
+//! The driver owns everything protocol-side — task sequencing, client
+//! increments and group membership, quantity-shift data partitioning, client
+//! selection, FedAvg, traffic accounting, and per-task evaluation — while the
+//! [`FdilStrategy`] implementations (Finetune, FedLwF, FedEWC, FedL2P,
+//! FedDualPrompt, RefFiL) own the model and the local/server learning rules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use refil_data::{partition_quantity_shift, FdilDataset, QuantityShift, Sample};
+use refil_nn::Tensor;
+
+use crate::aggregate::{fedavg, WeightedUpdate};
+use crate::increment::{build_schedule, select_clients, ClientGroup, IncrementConfig};
+use crate::traffic::TrafficStats;
+
+/// Everything a strategy needs to run one local training session.
+#[derive(Debug)]
+pub struct TrainSetting<'a> {
+    /// Global client id.
+    pub client_id: usize,
+    /// Current task (0-based).
+    pub task: usize,
+    /// Current round within the task.
+    pub round: usize,
+    /// The client's group this round.
+    pub group: ClientGroup,
+    /// Effective local training data (old, new, or concatenated per group).
+    pub samples: &'a [Sample],
+    /// Local epochs to run.
+    pub local_epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Deterministic seed for this (task, round, client) session.
+    pub seed: u64,
+}
+
+/// A client's answer to one round: updated parameters plus payload size.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Updated flat parameters.
+    pub flat: Vec<f32>,
+    /// FedAvg weight (normally the local sample count).
+    pub weight: f32,
+    /// Extra client->server payload bytes (e.g. uploaded prompts).
+    pub upload_bytes: u64,
+    /// Extra server->client payload bytes (e.g. broadcast global prompts).
+    pub download_bytes: u64,
+}
+
+/// A federated domain-incremental learning strategy.
+///
+/// Implementations own the model architecture and any persistent client or
+/// server state; the driver only sees flat parameter vectors.
+pub trait FdilStrategy {
+    /// Human-readable method name (e.g. `"RefFiL"`, `"FedEWC"`).
+    fn name(&self) -> String;
+
+    /// Produces the initial global parameter vector.
+    fn init_global(&mut self) -> Vec<f32>;
+
+    /// Called once when task `task` begins, before any round.
+    fn on_task_start(&mut self, _task: usize, _global: &[f32]) {}
+
+    /// Runs local training for one selected client and returns its update.
+    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate;
+
+    /// Called after FedAvg each round with the new global parameters.
+    fn on_round_end(&mut self, _task: usize, _round: usize, _global: &[f32]) {}
+
+    /// Called when a task finishes, with each active client's current local
+    /// data (used e.g. to estimate the EWC Fisher information).
+    fn on_task_end(&mut self, _task: usize, _global: &[f32], _client_data: &[(usize, Vec<Sample>)]) {
+    }
+
+    /// Predicts class labels for a `[batch, dim]` feature tensor under the
+    /// given global parameters.
+    fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize>;
+
+    /// Returns the model's final `[CLS]` representation for each row of
+    /// `features` — the embedding the paper's t-SNE figures visualize.
+    /// Defaults to the raw input features (identity embedding).
+    fn cls_embeddings(&mut self, _global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {
+        let d = features.shape()[1];
+        features.data().chunks(d).map(<[f32]>::to_vec).collect()
+    }
+
+    /// Domain-aware prediction: like [`FdilStrategy::predict`], but told which
+    /// task/domain the batch comes from. Defaults to ignoring the hint.
+    ///
+    /// RefFiL overrides this: its prompt generator is conditioned on the
+    /// local task ID (a dependence the paper's Limitations section makes
+    /// explicit), so evaluation on domain `d` uses task-`d` key embeddings.
+    fn predict_domain(&mut self, global: &[f32], features: &Tensor, _domain: usize) -> Vec<usize> {
+        self.predict(global, features)
+    }
+}
+
+/// Run-level configuration (protocol side).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Client increment protocol parameters.
+    pub increment: IncrementConfig,
+    /// Local epochs per selected client per round (paper: 20).
+    pub local_epochs: usize,
+    /// Local minibatch size.
+    pub batch_size: usize,
+    /// Log-normal sigma of the quantity-shift partition.
+    pub quantity_sigma: f32,
+    /// Evaluation minibatch size.
+    pub eval_batch: usize,
+    /// Probability that a selected client drops out of a round before
+    /// reporting (straggler/failure simulation; the paper's setting has
+    /// resource-constrained devices). `0.0` disables dropout.
+    pub dropout_prob: f32,
+    /// Master seed for the run.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            increment: IncrementConfig::default(),
+            local_epochs: 2,
+            batch_size: 32,
+            quantity_sigma: 0.6,
+            eval_batch: 256,
+            dropout_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a full FDIL run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Domain names in task order.
+    pub domain_names: Vec<String>,
+    /// `acc[t][d]` = accuracy (%) on domain `d`'s test set after task `t`,
+    /// for `d <= t`.
+    pub domain_acc: Vec<Vec<f32>>,
+    /// Communication accounting.
+    pub traffic: TrafficStats,
+    /// Group sizes `(M_o, M_b, M_n)` sampled at the start, middle, and end
+    /// round of each task (for the Fig. 1 transition timeline).
+    pub group_timeline: Vec<[(usize, usize, usize); 3]>,
+    /// The final global parameter vector (for post-hoc analysis such as the
+    /// t-SNE embeddings of Figures 5/6).
+    pub final_global: Vec<f32>,
+}
+
+impl RunResult {
+    /// Step accuracy `A_t`: mean over all domains seen up to task `t`
+    /// (the per-column values in the paper's Tables 3/4).
+    pub fn step_accuracies(&self) -> Vec<f32> {
+        self.domain_acc
+            .iter()
+            .map(|row| row.iter().sum::<f32>() / row.len() as f32)
+            .collect()
+    }
+
+    /// `Avg` metric: mean of step accuracies across all learning steps
+    /// (iCaRL's average incremental accuracy).
+    pub fn avg_accuracy(&self) -> f32 {
+        let steps = self.step_accuracies();
+        steps.iter().sum::<f32>() / steps.len() as f32
+    }
+
+    /// `Last` metric: step accuracy after the final task.
+    pub fn last_accuracy(&self) -> f32 {
+        *self.step_accuracies().last().expect("at least one task")
+    }
+
+    /// Accuracy on each domain after the final task (for forgetting analysis).
+    pub fn final_domain_accuracies(&self) -> &[f32] {
+        self.domain_acc.last().expect("at least one task")
+    }
+}
+
+fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
+    // SplitMix64-style mixing for decorrelated per-session seeds.
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + task as u64))
+        .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul(1 + round as u64))
+        .wrapping_add(0x94d0_49bb_1331_11ebu64.wrapping_mul(1 + client as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-client data holdings maintained by the driver.
+#[derive(Debug, Default, Clone)]
+struct Holdings {
+    /// Data carried from previous tasks.
+    old: Vec<Sample>,
+    /// New-domain data received this task (empty for `U_o` clients).
+    new: Vec<Sample>,
+    /// Cached `old ++ new` for `U_b` rounds.
+    both: Vec<Sample>,
+}
+
+/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on `dataset`.
+///
+/// # Panics
+///
+/// Panics if the dataset has no domains or a domain has no test data.
+pub fn run_fdil(
+    dataset: &FdilDataset,
+    strategy: &mut dyn FdilStrategy,
+    cfg: &RunConfig,
+) -> RunResult {
+    assert!(dataset.num_domains() > 0, "dataset has no domains");
+    let num_tasks = dataset.num_domains();
+    let schedules = build_schedule(&cfg.increment, num_tasks, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+
+    let mut global = strategy.init_global();
+    let model_bytes = (global.len() * 4) as u64;
+    let mut holdings: Vec<Holdings> = Vec::new();
+    let mut traffic = TrafficStats::default();
+    let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
+    let mut group_timeline = Vec::with_capacity(num_tasks);
+
+    for (task, schedule) in schedules.iter().enumerate() {
+        strategy.on_task_start(task, &global);
+        holdings.resize_with(schedule.clients.len(), Holdings::default);
+
+        // Distribute the new domain's training data among recipients.
+        let recipients = schedule.new_data_recipients();
+        if !recipients.is_empty() {
+            let parts = partition_quantity_shift(
+                dataset.domains[task].train.clone(),
+                recipients.len(),
+                QuantityShift::Lognormal(cfg.quantity_sigma),
+                session_seed(cfg.seed, task, usize::MAX, 0),
+            );
+            for (cid, part) in recipients.iter().zip(parts) {
+                holdings[*cid].new = part;
+                holdings[*cid].both = holdings[*cid]
+                    .old
+                    .iter()
+                    .cloned()
+                    .chain(holdings[*cid].new.iter().cloned())
+                    .collect();
+            }
+        }
+
+        let rounds = cfg.increment.rounds_per_task;
+        group_timeline.push([
+            schedule.group_sizes(0),
+            schedule.group_sizes(rounds / 2),
+            schedule.group_sizes(rounds.saturating_sub(1)),
+        ]);
+
+        for round in 0..rounds {
+            let selected = select_clients(schedule, cfg.increment.select_per_round, &mut rng);
+            let mut updates = Vec::new();
+            for &cid in &selected {
+                if cfg.dropout_prob > 0.0 && rng.gen::<f32>() < cfg.dropout_prob {
+                    continue; // straggler: selected but never reports
+                }
+                let plan = &schedule.clients[cid];
+                let group = plan.group_at(round);
+                let samples: &[Sample] = match group {
+                    ClientGroup::Old => &holdings[cid].old,
+                    ClientGroup::New => &holdings[cid].new,
+                    ClientGroup::Between => &holdings[cid].both,
+                };
+                if samples.is_empty() {
+                    continue;
+                }
+                let setting = TrainSetting {
+                    client_id: cid,
+                    task,
+                    round,
+                    group,
+                    samples,
+                    local_epochs: cfg.local_epochs,
+                    batch_size: cfg.batch_size,
+                    seed: session_seed(cfg.seed, task, round, cid),
+                };
+                let update = strategy.train_client(&setting, &global);
+                traffic.record_client(model_bytes, update.upload_bytes, update.download_bytes);
+                updates.push(WeightedUpdate { flat: update.flat, weight: update.weight });
+            }
+            if !updates.is_empty() {
+                global = fedavg(&updates);
+            }
+            traffic.record_round();
+            strategy.on_round_end(task, round, &global);
+        }
+
+        // Task-end hook: expose each client's effective data (for Fisher etc.).
+        let client_data: Vec<(usize, Vec<Sample>)> = schedule
+            .clients
+            .iter()
+            .map(|plan| {
+                let h = &holdings[plan.id];
+                let data = match plan.group_at(rounds.saturating_sub(1)) {
+                    ClientGroup::Old => h.old.clone(),
+                    ClientGroup::New => h.new.clone(),
+                    ClientGroup::Between => h.both.clone(),
+                };
+                (plan.id, data)
+            })
+            .collect();
+        strategy.on_task_end(task, &global, &client_data);
+
+        // Clients that saw the new domain carry it forward as their data.
+        for plan in &schedule.clients {
+            if plan.receives_new_data() {
+                let h = &mut holdings[plan.id];
+                h.old = std::mem::take(&mut h.new);
+                h.both.clear();
+            }
+        }
+
+        // Evaluate on every domain seen so far.
+        let mut row = Vec::with_capacity(task + 1);
+        for d in 0..=task {
+            row.push(evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch));
+        }
+        domain_acc.push(row);
+    }
+
+    RunResult {
+        method: strategy.name(),
+        dataset: dataset.name.clone(),
+        domain_names: dataset.domains.iter().map(|d| d.name.clone()).collect(),
+        domain_acc,
+        traffic,
+        group_timeline,
+        final_global: global,
+    }
+}
+
+/// Accuracy (%) of the strategy's global model on one domain's test split.
+pub fn evaluate_domain(
+    strategy: &mut dyn FdilStrategy,
+    global: &[f32],
+    dataset: &FdilDataset,
+    domain: usize,
+    eval_batch: usize,
+) -> f32 {
+    let test = &dataset.domains[domain].test;
+    assert!(!test.is_empty(), "domain {domain} has no test data");
+    let dim = test[0].features.len();
+    let mut correct = 0usize;
+    for chunk in test.chunks(eval_batch.max(1)) {
+        let mut data = Vec::with_capacity(chunk.len() * dim);
+        for s in chunk {
+            data.extend_from_slice(&s.features);
+        }
+        let features = Tensor::from_vec(data, &[chunk.len(), dim]);
+        let preds = strategy.predict_domain(global, &features, domain);
+        correct += preds.iter().zip(chunk).filter(|(p, s)| **p == s.label).count();
+    }
+    100.0 * correct as f32 / test.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refil_data::{DatasetSpec, DomainSpec};
+
+    /// A trivial strategy: nearest-class-mean in input space, "trained" by
+    /// moving stored class means toward local data. Parameters = flat class
+    /// means, so FedAvg is meaningful.
+    struct CentroidStrategy {
+        classes: usize,
+        dim: usize,
+    }
+
+    impl FdilStrategy for CentroidStrategy {
+        fn name(&self) -> String {
+            "Centroid".into()
+        }
+
+        fn init_global(&mut self) -> Vec<f32> {
+            vec![0.0; self.classes * self.dim]
+        }
+
+        fn train_client(&mut self, s: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
+            let mut flat = global.to_vec();
+            let mut counts = vec![0usize; self.classes];
+            let mut sums = vec![0.0f32; self.classes * self.dim];
+            for sample in s.samples {
+                counts[sample.label] += 1;
+                for (i, &f) in sample.features.iter().enumerate() {
+                    sums[sample.label * self.dim + i] += f;
+                }
+            }
+            for k in 0..self.classes {
+                if counts[k] > 0 {
+                    for i in 0..self.dim {
+                        flat[k * self.dim + i] = sums[k * self.dim + i] / counts[k] as f32;
+                    }
+                }
+            }
+            ClientUpdate {
+                flat,
+                weight: s.samples.len() as f32,
+                upload_bytes: 0,
+                download_bytes: 0,
+            }
+        }
+
+        fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
+            let n = features.shape()[0];
+            (0..n)
+                .map(|i| {
+                    let x = &features.data()[i * self.dim..(i + 1) * self.dim];
+                    (0..self.classes)
+                        .min_by(|&a, &b| {
+                            let da: f32 = x
+                                .iter()
+                                .zip(&global[a * self.dim..(a + 1) * self.dim])
+                                .map(|(u, v)| (u - v) * (u - v))
+                                .sum();
+                            let db: f32 = x
+                                .iter()
+                                .zip(&global[b * self.dim..(b + 1) * self.dim])
+                                .map(|(u, v)| (u - v) * (u - v))
+                                .sum();
+                            da.total_cmp(&db)
+                        })
+                        .unwrap_or(0)
+                })
+                .collect()
+        }
+    }
+
+    fn tiny_dataset() -> FdilDataset {
+        DatasetSpec {
+            name: "tiny".into(),
+            classes: 3,
+            feature_dim: 6,
+            proto_scale: 3.0,
+            within_std: 0.3,
+            test_fraction: 0.3,
+            signature_dim: 2,
+            signature_scale: 0.6,
+            domains: vec![
+                DomainSpec::new("d0", 120, 0.1, 0.0),
+                DomainSpec::new("d1", 120, 0.1, 0.2),
+            ],
+        }
+        .generate(11)
+    }
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            increment: IncrementConfig {
+                initial_clients: 4,
+                select_per_round: 3,
+                increment_per_task: 1,
+                transition_fraction: 0.8,
+                rounds_per_task: 3,
+            },
+            local_epochs: 1,
+            batch_size: 16,
+            quantity_sigma: 0.5,
+            eval_batch: 64,
+            dropout_prob: 0.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn runner_executes_full_protocol() {
+        let ds = tiny_dataset();
+        let mut strat = CentroidStrategy { classes: 3, dim: 6 };
+        let res = run_fdil(&ds, &mut strat, &tiny_config());
+        assert_eq!(res.domain_acc.len(), 2);
+        assert_eq!(res.domain_acc[0].len(), 1);
+        assert_eq!(res.domain_acc[1].len(), 2);
+        assert_eq!(res.traffic.rounds, 6);
+        assert!(res.traffic.client_updates > 0);
+        // Centroids on an easy first domain should beat chance (33 %).
+        assert!(res.domain_acc[0][0] > 50.0, "acc {:?}", res.domain_acc);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let ds = tiny_dataset();
+        let mut s1 = CentroidStrategy { classes: 3, dim: 6 };
+        let mut s2 = CentroidStrategy { classes: 3, dim: 6 };
+        let r1 = run_fdil(&ds, &mut s1, &tiny_config());
+        let r2 = run_fdil(&ds, &mut s2, &tiny_config());
+        assert_eq!(r1.domain_acc, r2.domain_acc);
+    }
+
+    #[test]
+    fn dropout_reduces_client_updates() {
+        let ds = tiny_dataset();
+        let mut s1 = CentroidStrategy { classes: 3, dim: 6 };
+        let r_full = run_fdil(&ds, &mut s1, &tiny_config());
+        let mut s2 = CentroidStrategy { classes: 3, dim: 6 };
+        let mut cfg = tiny_config();
+        cfg.dropout_prob = 0.6;
+        let r_drop = run_fdil(&ds, &mut s2, &cfg);
+        assert!(
+            r_drop.traffic.client_updates < r_full.traffic.client_updates,
+            "dropout had no effect: {} vs {}",
+            r_drop.traffic.client_updates,
+            r_full.traffic.client_updates
+        );
+        // The protocol must survive rounds where every client drops.
+        assert_eq!(r_drop.domain_acc.len(), ds.num_domains());
+    }
+
+    #[test]
+    fn metrics_derive_from_domain_matrix() {
+        let res = RunResult {
+            method: "m".into(),
+            dataset: "d".into(),
+            domain_names: vec!["a".into(), "b".into()],
+            domain_acc: vec![vec![90.0], vec![60.0, 80.0]],
+            traffic: TrafficStats::default(),
+            group_timeline: vec![],
+            final_global: vec![],
+        };
+        let steps = res.step_accuracies();
+        assert_eq!(steps, vec![90.0, 70.0]);
+        assert!((res.avg_accuracy() - 80.0).abs() < 1e-5);
+        assert!((res.last_accuracy() - 70.0).abs() < 1e-5);
+        assert_eq!(res.final_domain_accuracies(), &[60.0, 80.0]);
+    }
+
+    #[test]
+    fn session_seeds_decorrelate() {
+        let a = session_seed(1, 0, 0, 0);
+        let b = session_seed(1, 0, 0, 1);
+        let c = session_seed(1, 0, 1, 0);
+        let d = session_seed(2, 0, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

@@ -1,0 +1,53 @@
+//! Communication accounting for the simulated federation.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes moved between server and clients over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Server -> client bytes (model broadcasts + global prompts).
+    pub down_bytes: u64,
+    /// Client -> server bytes (model updates + prompt uploads).
+    pub up_bytes: u64,
+    /// Total communication rounds executed.
+    pub rounds: u64,
+    /// Total client updates received.
+    pub client_updates: u64,
+}
+
+impl TrafficStats {
+    /// Records one client's participation in a round.
+    pub fn record_client(&mut self, model_bytes: u64, extra_up: u64, extra_down: u64) {
+        self.down_bytes += model_bytes + extra_down;
+        self.up_bytes += model_bytes + extra_up;
+        self.client_updates += 1;
+    }
+
+    /// Records the completion of one round.
+    pub fn record_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_adds_up() {
+        let mut t = TrafficStats::default();
+        t.record_client(100, 10, 5);
+        t.record_client(100, 0, 0);
+        t.record_round();
+        assert_eq!(t.down_bytes, 205);
+        assert_eq!(t.up_bytes, 210);
+        assert_eq!(t.total_bytes(), 415);
+        assert_eq!(t.rounds, 1);
+        assert_eq!(t.client_updates, 2);
+    }
+}

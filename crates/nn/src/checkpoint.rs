@@ -1,0 +1,169 @@
+//! Model checkpointing: save/load a [`Params`] store to JSON.
+//!
+//! Federated deployments need durable model state between sessions (a server
+//! restart must not lose the global model). The format stores every entry's
+//! name, shape, values and trainability, and `load` verifies structural
+//! compatibility so a checkpoint can only be restored into an
+//! identically-built model.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::params::Params;
+
+/// Errors returned by checkpoint operations.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file was not valid checkpoint JSON.
+    Parse(serde_json::Error),
+    /// The checkpoint's structure does not match the target model.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            Self::Parse(e) => write!(f, "checkpoint parse failed: {e}"),
+            Self::Mismatch(m) => write!(f, "checkpoint structure mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse(e) => Some(e),
+            Self::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Parse(e)
+    }
+}
+
+/// Writes `params` to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] if the file cannot be written.
+pub fn save(params: &Params, path: &Path) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(params)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from `path` into `params`.
+///
+/// Only the *values* are copied; `params` keeps its own gradient buffers and
+/// index. The checkpoint must have the same entries (names, shapes, order).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] if the structures differ, and the
+/// I/O/parse variants for file problems.
+pub fn load(params: &mut Params, path: &Path) -> Result<(), CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    let mut loaded: Params = serde_json::from_str(&json)?;
+    loaded.rebuild_index();
+    if loaded.len() != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "entry count {} != {}",
+            loaded.len(),
+            params.len()
+        )));
+    }
+    for ((_, a), (_, b)) in params.iter().zip(loaded.iter()) {
+        if a.name != b.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "entry {:?} vs {:?}",
+                a.name, b.name
+            )));
+        }
+        if a.value.shape() != b.value.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "{}: shape {:?} vs {:?}",
+                a.name,
+                a.value.shape(),
+                b.value.shape()
+            )));
+        }
+    }
+    params.copy_values_from(&loaded);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("refil-ckpt-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut p = Params::new();
+        p.insert("w", Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        p.insert("b", Tensor::from_vec(vec![3.0], &[1]), false);
+        let path = tmp("roundtrip");
+        save(&p, &path).expect("save");
+
+        let mut q = Params::new();
+        q.insert("w", Tensor::zeros(&[2]), true);
+        q.insert("b", Tensor::zeros(&[1]), false);
+        load(&mut q, &path).expect("load");
+        assert_eq!(q.value(q.id("w").unwrap()).data(), &[1.0, 2.0]);
+        assert_eq!(q.value(q.id("b").unwrap()).data(), &[3.0]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut p = Params::new();
+        p.insert("w", Tensor::zeros(&[2]), true);
+        let path = tmp("mismatch");
+        save(&p, &path).expect("save");
+
+        let mut q = Params::new();
+        q.insert("w", Tensor::zeros(&[3]), true);
+        let err = load(&mut q, &path).expect_err("must fail");
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_missing_entries() {
+        let mut p = Params::new();
+        p.insert("w", Tensor::zeros(&[2]), true);
+        let path = tmp("missing");
+        save(&p, &path).expect("save");
+
+        let mut q = Params::new();
+        q.insert("w", Tensor::zeros(&[2]), true);
+        q.insert("extra", Tensor::zeros(&[1]), true);
+        assert!(load(&mut q, &path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::Mismatch("x".into());
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

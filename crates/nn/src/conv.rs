@@ -1,0 +1,280 @@
+//! 1-D convolution and pooling ops.
+//!
+//! The paper's backbone is a CNN feature extractor; this reproduction's
+//! inputs are 1-D feature vectors, so the faithful CNN analogue is a 1-D
+//! convolutional stack (see [`crate::layers::ConvExtractor`]). Ops live here
+//! as [`Graph`] extensions with hand-derived backward passes, verified
+//! against finite differences in the tests.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// 1-D convolution: `x [b, c_in, l] * w [c_out, c_in, k] + bias [c_out]`
+    /// with stride 1 and symmetric zero padding `pad`, giving
+    /// `[b, c_out, l + 2*pad - k + 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches or if the output length would be zero.
+    pub fn conv1d(&self, x: Var, w: Var, bias: Var, pad: usize) -> Var {
+        let (xs, ws, bs) = (self.shape(x), self.shape(w), self.shape(bias));
+        assert_eq!(xs.len(), 3, "conv1d input must be [b, c_in, l]");
+        assert_eq!(ws.len(), 3, "conv1d weight must be [c_out, c_in, k]");
+        let (b, c_in, l) = (xs[0], xs[1], xs[2]);
+        let (c_out, c_in2, k) = (ws[0], ws[1], ws[2]);
+        assert_eq!(c_in, c_in2, "channel mismatch");
+        assert_eq!(bs, vec![c_out], "bias must be [c_out]");
+        assert!(l + 2 * pad >= k, "kernel larger than padded input");
+        let l_out = l + 2 * pad - k + 1;
+
+        let value = {
+            let xv = self.value(x);
+            let wv = self.value(w);
+            let bv = self.value(bias);
+            let mut out = vec![0.0f32; b * c_out * l_out];
+            for bi in 0..b {
+                for co in 0..c_out {
+                    for lo in 0..l_out {
+                        let mut acc = bv.data()[co];
+                        for ci in 0..c_in {
+                            for kk in 0..k {
+                                let xi = lo + kk;
+                                if xi < pad || xi - pad >= l {
+                                    continue;
+                                }
+                                acc += xv.data()[(bi * c_in + ci) * l + (xi - pad)]
+                                    * wv.data()[(co * c_in + ci) * k + kk];
+                            }
+                        }
+                        out[(bi * c_out + co) * l_out + lo] = acc;
+                    }
+                }
+            }
+            Tensor::from_vec(out, &[b, c_out, l_out])
+        };
+
+        self.push_conv_node(value, x, w, bias, pad, (b, c_in, l, c_out, k, l_out))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_conv_node(
+        &self,
+        value: Tensor,
+        x: Var,
+        w: Var,
+        bias: Var,
+        pad: usize,
+        dims: (usize, usize, usize, usize, usize, usize),
+    ) -> Var {
+        let (b, c_in, l, c_out, k, l_out) = dims;
+        self.push_node(
+            value,
+            vec![x, w, bias],
+            Box::new(move |g, p, _| {
+                let (xv, wv) = (p[0], p[1]);
+                let mut dx = vec![0.0f32; b * c_in * l];
+                let mut dw = vec![0.0f32; c_out * c_in * k];
+                let mut db = vec![0.0f32; c_out];
+                for bi in 0..b {
+                    for co in 0..c_out {
+                        for lo in 0..l_out {
+                            let gi = g.data()[(bi * c_out + co) * l_out + lo];
+                            if gi == 0.0 {
+                                continue;
+                            }
+                            db[co] += gi;
+                            for ci in 0..c_in {
+                                for kk in 0..k {
+                                    let xi = lo + kk;
+                                    if xi < pad || xi - pad >= l {
+                                        continue;
+                                    }
+                                    let x_idx = (bi * c_in + ci) * l + (xi - pad);
+                                    let w_idx = (co * c_in + ci) * k + kk;
+                                    dx[x_idx] += gi * wv.data()[w_idx];
+                                    dw[w_idx] += gi * xv.data()[x_idx];
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, &[b, c_in, l]),
+                    Tensor::from_vec(dw, &[c_out, c_in, k]),
+                    Tensor::from_vec(db, &[c_out]),
+                ]
+            }),
+        )
+    }
+
+    /// Average pooling over the length axis: `x [b, c, l] -> [b, c, l/window]`
+    /// (trailing remainder dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or larger than the input length.
+    pub fn avg_pool1d(&self, x: Var, window: usize) -> Var {
+        let xs = self.shape(x);
+        assert_eq!(xs.len(), 3, "avg_pool1d input must be [b, c, l]");
+        let (b, c, l) = (xs[0], xs[1], xs[2]);
+        assert!(window > 0 && window <= l, "bad pooling window {window} for length {l}");
+        let l_out = l / window;
+        let value = {
+            let xv = self.value(x);
+            let inv = 1.0 / window as f32;
+            let mut out = vec![0.0f32; b * c * l_out];
+            for bc in 0..b * c {
+                for j in 0..l_out {
+                    let mut acc = 0.0;
+                    for t in 0..window {
+                        acc += xv.data()[bc * l + j * window + t];
+                    }
+                    out[bc * l_out + j] = acc * inv;
+                }
+            }
+            Tensor::from_vec(out, &[b, c, l_out])
+        };
+        self.push_node(
+            value,
+            vec![x],
+            Box::new(move |g, _, _| {
+                let inv = 1.0 / window as f32;
+                let mut dx = vec![0.0f32; b * c * l];
+                for bc in 0..b * c {
+                    for j in 0..l_out {
+                        let gi = g.data()[bc * l_out + j] * inv;
+                        for t in 0..window {
+                            dx[bc * l + j * window + t] = gi;
+                        }
+                    }
+                }
+                vec![Tensor::from_vec(dx, &[b, c, l])]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grad_check(
+        params: &mut Params,
+        ids: &[crate::params::ParamId],
+        f: &dyn Fn(&Graph, &Params) -> Var,
+        tol: f32,
+    ) {
+        params.zero_grad();
+        let g = Graph::new();
+        let loss = f(&g, params);
+        g.backward(loss, params);
+        let analytic: Vec<Tensor> = ids.iter().map(|&id| params.grad(id).clone()).collect();
+        let eps = 1e-2f32;
+        for (pi, &id) in ids.iter().enumerate() {
+            for j in 0..params.value(id).numel() {
+                let orig = params.value(id).data()[j];
+                params.value_mut(id).data_mut()[j] = orig + eps;
+                let lp = {
+                    let gp = Graph::new();
+                    gp.value(f(&gp, params)).data()[0]
+                };
+                params.value_mut(id).data_mut()[j] = orig - eps;
+                let lm = {
+                    let gm = Graph::new();
+                    gm.value(f(&gm, params)).data()[0]
+                };
+                params.value_mut(id).data_mut()[j] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let got = analytic[pi].data()[j];
+                assert!(
+                    (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                    "param {pi} elem {j}: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_matches_hand_computation() {
+        let g = Graph::new();
+        // x: one batch, one channel, [1, 2, 3]; w: identity-ish kernel [1].
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]));
+        let w = g.constant(Tensor::from_vec(vec![1.0, 0.0], &[1, 1, 2]));
+        let b = g.constant(Tensor::zeros(&[1]));
+        let y = g.value(g.conv1d(x, w, b, 0));
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn conv1d_same_padding_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = Graph::new();
+        let x = g.constant(Tensor::randn(&[2, 3, 8], 1.0, &mut rng));
+        let w = g.constant(Tensor::randn(&[4, 3, 3], 0.5, &mut rng));
+        let b = g.constant(Tensor::zeros(&[4]));
+        let y = g.conv1d(x, w, b, 1);
+        assert_eq!(g.shape(y), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn conv1d_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 2, 5], 0.5, &mut rng), true);
+        let w = params.insert("w", Tensor::randn(&[3, 2, 3], 0.5, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[3], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, w, b],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let wv = g.param(p, p.id("w").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let y = g.conv1d(xv, wv, bv, 1);
+                let t = g.tanh(y);
+                g.sum_all(t)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn avg_pool_reduces_and_averages() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 4]));
+        let y = g.value(g.avg_pool1d(x, 2));
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 2, 6], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let y = g.avg_pool1d(xv, 2);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn pool_drops_remainder() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]));
+        let y = g.avg_pool1d(x, 2);
+        assert_eq!(g.shape(y), vec![1, 1, 2]);
+    }
+}

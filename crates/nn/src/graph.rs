@@ -1,0 +1,1580 @@
+//! Reverse-mode automatic differentiation on a per-forward-pass tape.
+//!
+//! A [`Graph`] is a tape of [`Node`]s created by operator methods. Calling
+//! [`Graph::backward`] walks the tape in reverse, accumulating gradients into
+//! the [`Params`] store for every leaf created with [`Graph::param`].
+//!
+//! The op set is exactly what the RefFiL models need: dense linear algebra,
+//! token-sequence reshaping, layer norm, softmax/cross-entropy and the
+//! multi-positive InfoNCE used by the DPCL loss.
+//!
+//! # Examples
+//!
+//! ```
+//! use refil_nn::{Graph, Params, Tensor};
+//!
+//! let mut params = Params::new();
+//! let w = params.insert("w", Tensor::from_vec(vec![2.0], &[1]), true);
+//! let g = Graph::new();
+//! let wv = g.param(&params, w);
+//! let y = g.mul(wv, wv); // y = w^2, dy/dw = 2w = 4
+//! g.backward(y, &mut params);
+//! assert_eq!(params.grad(w).data(), &[4.0]);
+//! ```
+
+use std::cell::RefCell;
+
+use crate::params::{ParamId, Params};
+use crate::tensor::{matmul_into, Tensor};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var {
+    id: usize,
+}
+
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+    param: Option<ParamId>,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Build one per forward pass; ops append nodes and [`Graph::backward`]
+/// replays them in reverse.
+#[derive(Default)]
+pub struct Graph {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.borrow().len())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        param: Option<ParamId>,
+    ) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node { value, parents, backward, param });
+        Var { id }
+    }
+
+    /// Crate-internal: appends a differentiable node (used by op extension
+    /// modules such as `conv`).
+    pub(crate) fn push_node(&self, value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        self.push(
+            value,
+            parents.into_iter().map(|v| v.id).collect(),
+            Some(backward),
+            None,
+        )
+    }
+
+    /// Creates a leaf tied to a parameter; gradients flow into `params` on
+    /// [`Graph::backward`].
+    pub fn param(&self, params: &Params, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), vec![], None, Some(id))
+    }
+
+    /// Creates a constant leaf (no gradient).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, vec![], None, None)
+    }
+
+    /// A copy of the value held by `v`.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// The shape of `v`.
+    pub fn shape(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.id].value.shape().to_vec()
+    }
+
+    /// Runs reverse-mode autodiff from the scalar `root`, accumulating
+    /// parameter gradients into `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a single-element tensor.
+    pub fn backward(&self, root: Var, params: &mut Params) {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[root.id].value.numel(),
+            1,
+            "backward root must be scalar, got shape {:?}",
+            nodes[root.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = Vec::with_capacity(root.id + 1);
+        grads.resize_with(root.id + 1, || None);
+        grads[root.id] = Some(Tensor::ones(nodes[root.id].value.shape()));
+        for i in (0..=root.id).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            let node = &nodes[i];
+            if let Some(pid) = node.param {
+                params.grad_mut(pid).axpy(1.0, &g);
+            }
+            if let Some(bw) = &node.backward {
+                let pvals: Vec<&Tensor> = node.parents.iter().map(|&p| &nodes[p].value).collect();
+                let pgrads = bw(&g, &pvals, &node.value);
+                debug_assert_eq!(pgrads.len(), node.parents.len());
+                for (&p, pg) in node.parents.iter().zip(pgrads) {
+                    match &mut grads[p] {
+                        Some(acc) => acc.axpy(1.0, &pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ---------------------------------------------------------------------
+
+    /// Elementwise `a + b` (same shapes).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x + y)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+            None,
+        )
+    }
+
+    /// Elementwise `a - b` (same shapes).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x - y)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.map(|x| -x)])),
+            None,
+        )
+    }
+
+    /// Elementwise `a * b` (same shapes).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x * y)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, p, _| vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)])),
+            None,
+        )
+    }
+
+    /// Elementwise `a / b` (same shapes).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x / y)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, p, _| {
+                let da = g.zip(p[1], |gi, bi| gi / bi);
+                let mut db = g.zip(p[0], |gi, ai| gi * ai);
+                db = db.zip(p[1], |x, bi| -x / (bi * bi));
+                vec![da, db]
+            })),
+            None,
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| -x);
+        self.push(v, vec![a.id], Some(Box::new(|g, _, _| vec![g.map(|x| -x)])), None)
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x * c);
+        self.push(v, vec![a.id], Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])), None)
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x + c);
+        self.push(v, vec![a.id], Some(Box::new(|g, _, _| vec![g.clone()])), None)
+    }
+
+    // ---------------------------------------------------------------------
+    // Activations and pointwise nonlinearities
+    // ---------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x.max(0.0));
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })])),
+            None,
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation).
+    pub fn gelu(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(gelu_fwd);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))])),
+            None,
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::tanh);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))])),
+            None,
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))])),
+            None,
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::exp);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi)])),
+            None,
+        )
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::ln);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| gi / xi)])),
+            None,
+        )
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::sqrt);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi / (2.0 * yi))])),
+            None,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------------
+
+    /// 2-D matrix product `a [m,k] x b [k,n]`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.matmul(&nodes[b.id].value)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, p, _| {
+                let da = g.matmul(&p[1].transpose_last());
+                let db = p[0].transpose_last().matmul(g);
+                vec![da, db]
+            })),
+            None,
+        )
+    }
+
+    /// Batched 3-D matrix product `a [b,m,k] x b [b,k,n]`.
+    pub fn bmm(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.bmm(&nodes[b.id].value)
+        };
+        self.push(
+            v,
+            vec![a.id, b.id],
+            Some(Box::new(|g, p, _| {
+                let da = g.bmm(&p[1].transpose_last());
+                let db = p[0].transpose_last().bmm(g);
+                vec![da, db]
+            })),
+            None,
+        )
+    }
+
+    /// Applies the same matrix to every token: `x [b,t,d] x w [d,e] -> [b,t,e]`.
+    pub fn matmul_tokens(&self, x: Var, w: Var) -> Var {
+        let (b, t, d) = {
+            let s = self.shape(x);
+            assert_eq!(s.len(), 3, "matmul_tokens expects 3-D input, got {s:?}");
+            (s[0], s[1], s[2])
+        };
+        let e = self.shape(w)[1];
+        let flat = self.reshape(x, &[b * t, d]);
+        let out = self.matmul(flat, w);
+        self.reshape(out, &[b, t, e])
+    }
+
+    /// Transposes the last two axes.
+    pub fn transpose_last(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.transpose_last();
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, _| vec![g.transpose_last()])),
+            None,
+        )
+    }
+
+    /// Reshapes (element order unchanged).
+    pub fn reshape(&self, a: Var, shape: &[usize]) -> Var {
+        let v = self.nodes.borrow()[a.id].value.reshape(shape);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, p, _| vec![g.reshape(p[0].shape())])),
+            None,
+        )
+    }
+
+    /// Swaps axes 1 and 2 of a 4-D tensor (`[a,b,c,d] -> [a,c,b,d]`);
+    /// used to split/merge attention heads. Self-inverse.
+    pub fn permute_0213(&self, a: Var) -> Var {
+        let v = permute_0213_tensor(&self.nodes.borrow()[a.id].value);
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, _| vec![permute_0213_tensor(g)])),
+            None,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Broadcasting helpers
+    // ---------------------------------------------------------------------
+
+    /// Adds a `[d]` bias to every trailing row of `x [..., d]`.
+    pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            let bv = &nodes[bias.id].value;
+            let d = *xv.shape().last().expect("add_bias on 0-d tensor");
+            assert_eq!(bv.shape(), [d], "bias shape mismatch");
+            let mut out = xv.clone();
+            for row in out.data_mut().chunks_mut(d) {
+                for (o, &b) in row.iter_mut().zip(bv.data()) {
+                    *o += b;
+                }
+            }
+            out
+        };
+        self.push(
+            v,
+            vec![x.id, bias.id],
+            Some(Box::new(|g, p, _| {
+                let d = *p[1].shape().last().expect("bias shape");
+                let mut db = vec![0.0f32; d];
+                for row in g.data().chunks(d) {
+                    for (acc, &gi) in db.iter_mut().zip(row) {
+                        *acc += gi;
+                    }
+                }
+                vec![g.clone(), Tensor::from_vec(db, &[d])]
+            })),
+            None,
+        )
+    }
+
+    /// FiLM-style scaling: `x [b,r,c] * a [b,c]`, broadcasting `a` over rows.
+    pub fn mul_rows_broadcast(&self, x: Var, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            rows_broadcast(&nodes[x.id].value, &nodes[a.id].value, |xi, ai| xi * ai)
+        };
+        self.push(
+            v,
+            vec![x.id, a.id],
+            Some(Box::new(|g, p, _| {
+                let dx = rows_broadcast(g, p[1], |gi, ai| gi * ai);
+                let da = rows_broadcast_reduce(g, p[0], |gi, xi| gi * xi);
+                vec![dx, da]
+            })),
+            None,
+        )
+    }
+
+    /// FiLM-style shifting: `x [b,r,c] + a [b,c]`, broadcasting `a` over rows.
+    pub fn add_rows_broadcast(&self, x: Var, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            rows_broadcast(&nodes[x.id].value, &nodes[a.id].value, |xi, ai| xi + ai)
+        };
+        self.push(
+            v,
+            vec![x.id, a.id],
+            Some(Box::new(|g, p, _| {
+                let da = rows_broadcast_reduce(g, p[0], |gi, _| gi);
+                vec![g.clone(), da]
+            })),
+            None,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Shape surgery
+    // ---------------------------------------------------------------------
+
+    /// Concatenates same-rank tensors along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, ranks differ, or non-`axis` dims differ.
+    pub fn concat(&self, items: &[Var], axis: usize) -> Var {
+        assert!(!items.is_empty(), "concat of zero vars");
+        let (value, sizes) = {
+            let nodes = self.nodes.borrow();
+            let first = nodes[items[0].id].value.shape().to_vec();
+            let rank = first.len();
+            assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+            let mut axis_total = 0usize;
+            let mut sizes = Vec::with_capacity(items.len());
+            for &it in items {
+                let s = nodes[it.id].value.shape();
+                assert_eq!(s.len(), rank, "concat rank mismatch");
+                for (d, (&a, &b)) in s.iter().zip(&first).enumerate() {
+                    if d != axis {
+                        assert_eq!(a, b, "concat non-axis dim mismatch at dim {d}");
+                    }
+                }
+                sizes.push(s[axis]);
+                axis_total += s[axis];
+            }
+            let outer: usize = first[..axis].iter().product();
+            let inner: usize = first[axis + 1..].iter().product();
+            let mut shape = first.clone();
+            shape[axis] = axis_total;
+            let mut data = vec![0.0f32; outer * axis_total * inner];
+            let mut offset = 0usize;
+            for (&it, &sz) in items.iter().zip(&sizes) {
+                let src = nodes[it.id].value.data();
+                for o in 0..outer {
+                    let dst_start = (o * axis_total + offset) * inner;
+                    let src_start = o * sz * inner;
+                    data[dst_start..dst_start + sz * inner]
+                        .copy_from_slice(&src[src_start..src_start + sz * inner]);
+                }
+                offset += sz;
+            }
+            (Tensor::from_vec(data, &shape), sizes)
+        };
+        let axis_c = axis;
+        self.push(
+            value,
+            items.iter().map(|v| v.id).collect(),
+            Some(Box::new(move |g, p, _| {
+                let gshape = g.shape();
+                let outer: usize = gshape[..axis_c].iter().product();
+                let inner: usize = gshape[axis_c + 1..].iter().product();
+                let axis_total = gshape[axis_c];
+                let mut grads = Vec::with_capacity(sizes.len());
+                let mut offset = 0usize;
+                for (i, &sz) in sizes.iter().enumerate() {
+                    let mut data = vec![0.0f32; outer * sz * inner];
+                    for o in 0..outer {
+                        let src_start = (o * axis_total + offset) * inner;
+                        let dst_start = o * sz * inner;
+                        data[dst_start..dst_start + sz * inner]
+                            .copy_from_slice(&g.data()[src_start..src_start + sz * inner]);
+                    }
+                    grads.push(Tensor::from_vec(data, p[i].shape()));
+                    offset += sz;
+                }
+                grads
+            })),
+            None,
+        )
+    }
+
+    /// Slices `len` elements starting at `start` along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, x: Var, axis: usize, start: usize, len: usize) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            let shape = xv.shape();
+            assert!(axis < shape.len(), "slice axis out of range");
+            assert!(start + len <= shape[axis], "slice range out of bounds");
+            let outer: usize = shape[..axis].iter().product();
+            let inner: usize = shape[axis + 1..].iter().product();
+            let ax = shape[axis];
+            let mut out_shape = shape.to_vec();
+            out_shape[axis] = len;
+            let mut data = vec![0.0f32; outer * len * inner];
+            for o in 0..outer {
+                let src_start = (o * ax + start) * inner;
+                let dst_start = o * len * inner;
+                data[dst_start..dst_start + len * inner]
+                    .copy_from_slice(&xv.data()[src_start..src_start + len * inner]);
+            }
+            Tensor::from_vec(data, &out_shape)
+        };
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g, p, _| {
+                let shape = p[0].shape();
+                let outer: usize = shape[..axis].iter().product();
+                let inner: usize = shape[axis + 1..].iter().product();
+                let ax = shape[axis];
+                let mut data = vec![0.0f32; p[0].numel()];
+                for o in 0..outer {
+                    let dst_start = (o * ax + start) * inner;
+                    let src_start = o * len * inner;
+                    data[dst_start..dst_start + len * inner]
+                        .copy_from_slice(&g.data()[src_start..src_start + len * inner]);
+                }
+                vec![Tensor::from_vec(data, shape)]
+            })),
+            None,
+        )
+    }
+
+    /// Gathers rows of a `[v, d]` matrix by index (embedding lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not 2-D or any index is out of bounds.
+    pub fn embedding(&self, weight: Var, indices: &[usize]) -> Var {
+        let idx: Vec<usize> = indices.to_vec();
+        let value = {
+            let nodes = self.nodes.borrow();
+            let w = &nodes[weight.id].value;
+            assert_eq!(w.ndim(), 2, "embedding weight must be 2-D");
+            let (v, d) = (w.shape()[0], w.shape()[1]);
+            let mut data = Vec::with_capacity(idx.len() * d);
+            for &i in &idx {
+                assert!(i < v, "embedding index {i} out of bounds for vocab {v}");
+                data.extend_from_slice(&w.data()[i * d..(i + 1) * d]);
+            }
+            Tensor::from_vec(data, &[idx.len(), d])
+        };
+        self.push(
+            value,
+            vec![weight.id],
+            Some(Box::new(move |g, p, _| {
+                let d = p[0].shape()[1];
+                let mut dw = Tensor::zeros(p[0].shape());
+                for (row, &i) in idx.iter().enumerate() {
+                    let grow = &g.data()[row * d..(row + 1) * d];
+                    let dwrow = &mut dw.data_mut()[i * d..(i + 1) * d];
+                    for (a, &b) in dwrow.iter_mut().zip(grow) {
+                        *a += b;
+                    }
+                }
+                vec![dw]
+            })),
+            None,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions and normalizations
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements, as a `[1]` tensor.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes.borrow()[a.id].value.sum());
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, p, _| vec![Tensor::full(p[0].shape(), g.data()[0])])),
+            None,
+        )
+    }
+
+    /// Mean of all elements, as a `[1]` tensor.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let n = self.nodes.borrow()[a.id].value.numel() as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Mean over the token axis: `x [b,t,d] -> [b,d]`.
+    pub fn mean_tokens(&self, x: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            assert_eq!(xv.ndim(), 3, "mean_tokens expects 3-D input");
+            let (b, t, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+            let mut data = vec![0.0f32; b * d];
+            for bi in 0..b {
+                for ti in 0..t {
+                    let row = &xv.data()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+                    let acc = &mut data[bi * d..(bi + 1) * d];
+                    for (a, &r) in acc.iter_mut().zip(row) {
+                        *a += r;
+                    }
+                }
+            }
+            let inv = 1.0 / t as f32;
+            for a in &mut data {
+                *a *= inv;
+            }
+            Tensor::from_vec(data, &[b, d])
+        };
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(|g, p, _| {
+                let (b, t, d) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                let inv = 1.0 / t as f32;
+                let mut data = vec![0.0f32; b * t * d];
+                for bi in 0..b {
+                    let grow = &g.data()[bi * d..(bi + 1) * d];
+                    for ti in 0..t {
+                        let dst = &mut data[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+                        for (a, &r) in dst.iter_mut().zip(grow) {
+                            *a = r * inv;
+                        }
+                    }
+                }
+                vec![Tensor::from_vec(data, p[0].shape())]
+            })),
+            None,
+        )
+    }
+
+    /// Numerically-stable softmax over the last axis.
+    pub fn softmax_last(&self, a: Var) -> Var {
+        let value = softmax_last_tensor(&self.nodes.borrow()[a.id].value);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(|g, _, y| {
+                let d = *y.shape().last().expect("softmax 0-d");
+                let mut out = vec![0.0f32; y.numel()];
+                for ((orow, grow), yrow) in
+                    out.chunks_mut(d).zip(g.data().chunks(d)).zip(y.data().chunks(d))
+                {
+                    let dot: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
+                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                        *o = (gi - dot) * yi;
+                    }
+                }
+                vec![Tensor::from_vec(out, y.shape())]
+            })),
+            None,
+        )
+    }
+
+    /// Numerically-stable log-softmax over the last axis.
+    pub fn log_softmax_last(&self, a: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[a.id].value;
+            let d = *xv.shape().last().expect("log_softmax 0-d");
+            let mut out = vec![0.0f32; xv.numel()];
+            for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
+                let m = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + xrow.iter().map(|x| (x - m).exp()).sum::<f32>().ln();
+                for (o, &x) in orow.iter_mut().zip(xrow) {
+                    *o = x - lse;
+                }
+            }
+            Tensor::from_vec(out, xv.shape())
+        };
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(|g, _, y| {
+                let d = *y.shape().last().expect("log_softmax 0-d");
+                let mut out = vec![0.0f32; y.numel()];
+                for ((orow, grow), yrow) in
+                    out.chunks_mut(d).zip(g.data().chunks(d)).zip(y.data().chunks(d))
+                {
+                    let gsum: f32 = grow.iter().sum();
+                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                        *o = gi - yi.exp() * gsum;
+                    }
+                }
+                vec![Tensor::from_vec(out, y.shape())]
+            })),
+            None,
+        )
+    }
+
+    /// Layer normalization over the last axis with learned gain and bias.
+    ///
+    /// `x [..., d]`, `gain [d]`, `bias [d]`.
+    pub fn layer_norm(&self, x: Var, gain: Var, bias: Var, eps: f32) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            let gv = &nodes[gain.id].value;
+            let bv = &nodes[bias.id].value;
+            let d = *xv.shape().last().expect("layer_norm 0-d");
+            assert_eq!(gv.shape(), [d], "layer_norm gain shape");
+            assert_eq!(bv.shape(), [d], "layer_norm bias shape");
+            let mut out = vec![0.0f32; xv.numel()];
+            for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
+                let mu = xrow.iter().sum::<f32>() / d as f32;
+                let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (j, (o, &x)) in orow.iter_mut().zip(xrow).enumerate() {
+                    *o = gv.data()[j] * (x - mu) * inv + bv.data()[j];
+                }
+            }
+            Tensor::from_vec(out, xv.shape())
+        };
+        self.push(
+            value,
+            vec![x.id, gain.id, bias.id],
+            Some(Box::new(move |g, p, _| {
+                let xv = p[0];
+                let gv = p[1];
+                let d = *xv.shape().last().expect("layer_norm 0-d");
+                let df = d as f32;
+                let mut dx = vec![0.0f32; xv.numel()];
+                let mut dgain = vec![0.0f32; d];
+                let mut dbias = vec![0.0f32; d];
+                for (rowi, (xrow, grow)) in
+                    xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
+                {
+                    let mu = xrow.iter().sum::<f32>() / df;
+                    let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / df;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    // xhat_j = (x_j - mu) * inv; dy_j flows through gain.
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    let mut xhat = vec![0.0f32; d];
+                    let mut dxhat = vec![0.0f32; d];
+                    for j in 0..d {
+                        xhat[j] = (xrow[j] - mu) * inv;
+                        dxhat[j] = grow[j] * gv.data()[j];
+                        sum_dxhat += dxhat[j];
+                        sum_dxhat_xhat += dxhat[j] * xhat[j];
+                        dgain[j] += grow[j] * xhat[j];
+                        dbias[j] += grow[j];
+                    }
+                    let dst = &mut dx[rowi * d..(rowi + 1) * d];
+                    for j in 0..d {
+                        dst[j] = inv / df
+                            * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, xv.shape()),
+                    Tensor::from_vec(dgain, &[d]),
+                    Tensor::from_vec(dbias, &[d]),
+                ]
+            })),
+            None,
+        )
+    }
+
+    /// L2-normalizes each row of a 2-D tensor.
+    pub fn row_l2_normalize(&self, x: Var) -> Var {
+        const EPS: f32 = 1e-8;
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            assert_eq!(xv.ndim(), 2, "row_l2_normalize expects 2-D input");
+            let d = xv.shape()[1];
+            let mut out = vec![0.0f32; xv.numel()];
+            for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
+                let n = xrow.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+                for (o, &x) in orow.iter_mut().zip(xrow) {
+                    *o = x / n;
+                }
+            }
+            Tensor::from_vec(out, xv.shape())
+        };
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(|g, p, y| {
+                let d = p[0].shape()[1];
+                let mut out = vec![0.0f32; p[0].numel()];
+                for ((orow, grow), (xrow, yrow)) in out
+                    .chunks_mut(d)
+                    .zip(g.data().chunks(d))
+                    .zip(p[0].data().chunks(d).zip(y.data().chunks(d)))
+                {
+                    let n = xrow.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+                    let gy: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
+                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                        *o = (gi - yi * gy) / n;
+                    }
+                }
+                vec![Tensor::from_vec(out, p[0].shape())]
+            })),
+            None,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Losses
+    // ---------------------------------------------------------------------
+
+    /// Mean cross-entropy between `logits [b,k]` and integer `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != b` or any target is out of range.
+    pub fn cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        let tg: Vec<usize> = targets.to_vec();
+        let value = {
+            let nodes = self.nodes.borrow();
+            let lv = &nodes[logits.id].value;
+            assert_eq!(lv.ndim(), 2, "cross_entropy expects 2-D logits");
+            let (b, k) = (lv.shape()[0], lv.shape()[1]);
+            assert_eq!(tg.len(), b, "targets length mismatch");
+            let mut loss = 0.0f32;
+            for (row, &t) in lv.data().chunks(k).zip(&tg) {
+                assert!(t < k, "target {t} out of range for {k} classes");
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|x| (x - m).exp()).sum::<f32>().ln();
+                loss += lse - row[t];
+            }
+            Tensor::scalar(loss / b as f32)
+        };
+        self.push(
+            value,
+            vec![logits.id],
+            Some(Box::new(move |g, p, _| {
+                let (b, k) = (p[0].shape()[0], p[0].shape()[1]);
+                let gs = g.data()[0] / b as f32;
+                let mut dl = softmax_last_tensor(p[0]);
+                for (row, &t) in dl.data_mut().chunks_mut(k).zip(&tg) {
+                    row[t] -= 1.0;
+                    for x in row.iter_mut() {
+                        *x *= gs;
+                    }
+                }
+                vec![dl]
+            })),
+            None,
+        )
+    }
+
+    /// Multi-positive InfoNCE over similarity `logits [b,m]`.
+    ///
+    /// For each row `i`, `positives[i]` lists the positive columns;
+    /// the loss is the mean of `-log(sum_pos exp / sum_all exp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positives.len() != b`, any row's positive set is empty,
+    /// or an index is out of range.
+    pub fn multi_positive_nce(&self, logits: Var, positives: &[Vec<usize>]) -> Var {
+        let pos: Vec<Vec<usize>> = positives.to_vec();
+        let value = {
+            let nodes = self.nodes.borrow();
+            let lv = &nodes[logits.id].value;
+            assert_eq!(lv.ndim(), 2, "multi_positive_nce expects 2-D logits");
+            let (b, m) = (lv.shape()[0], lv.shape()[1]);
+            assert_eq!(pos.len(), b, "positives length mismatch");
+            let mut loss = 0.0f32;
+            for (row, ps) in lv.data().chunks(m).zip(&pos) {
+                assert!(!ps.is_empty(), "each row needs at least one positive");
+                let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let denom: f32 = row.iter().map(|x| (x - mx).exp()).sum();
+                let numer: f32 = ps
+                    .iter()
+                    .map(|&j| {
+                        assert!(j < m, "positive index {j} out of range");
+                        (row[j] - mx).exp()
+                    })
+                    .sum();
+                loss -= (numer / denom).ln();
+            }
+            Tensor::scalar(loss / b as f32)
+        };
+        self.push(
+            value,
+            vec![logits.id],
+            Some(Box::new(move |g, p, _| {
+                let (b, m) = (p[0].shape()[0], p[0].shape()[1]);
+                let gs = g.data()[0] / b as f32;
+                let mut out = vec![0.0f32; b * m];
+                for ((orow, row), ps) in
+                    out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos)
+                {
+                    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let exps: Vec<f32> = row.iter().map(|x| (x - mx).exp()).collect();
+                    let denom: f32 = exps.iter().sum();
+                    let numer: f32 = ps.iter().map(|&j| exps[j]).sum();
+                    for j in 0..m {
+                        let soft = exps[j] / denom;
+                        let pos_soft =
+                            if ps.contains(&j) { exps[j] / numer } else { 0.0 };
+                        orow[j] = gs * (soft - pos_soft);
+                    }
+                }
+                vec![Tensor::from_vec(out, p[0].shape())]
+            })),
+            None,
+        )
+    }
+
+    /// Inverted dropout: zeroes each element with probability `p` and scales
+    /// survivors by `1/(1-p)`, so activations keep their expectation. The
+    /// mask is sampled eagerly from `rng` and reused in the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn dropout<R: rand::Rng>(&self, x: Var, p: f32, rng: &mut R) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        if p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = {
+            let nodes = self.nodes.borrow();
+            (0..nodes[x.id].value.numel())
+                .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
+                .collect()
+        };
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            let data: Vec<f32> =
+                xv.data().iter().zip(&mask).map(|(&a, &m)| a * m).collect();
+            Tensor::from_vec(data, xv.shape())
+        };
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g, _, _| {
+                let data: Vec<f32> =
+                    g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
+                vec![Tensor::from_vec(data, g.shape())]
+            })),
+            None,
+        )
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse_against(&self, x: Var, target: &Tensor) -> Var {
+        let t = self.constant(target.clone());
+        let d = self.sub(x, t);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+}
+
+/// The tanh-approximated GELU used by the MLP layers.
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+fn softmax_last_tensor(x: &Tensor) -> Tensor {
+    let d = *x.shape().last().expect("softmax on 0-d tensor");
+    let mut out = vec![0.0f32; x.numel()];
+    for (orow, xrow) in out.chunks_mut(d).zip(x.data().chunks(d)) {
+        let m = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &xv) in orow.iter_mut().zip(xrow) {
+            *o = (xv - m).exp();
+            sum += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// `[a,b,c,d] -> [a,c,b,d]`.
+fn permute_0213_tensor(x: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 4, "permute_0213 expects 4-D input, got {:?}", x.shape());
+    let (a, b, c, d) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut out = vec![0.0f32; x.numel()];
+    for ai in 0..a {
+        for bi in 0..b {
+            for ci in 0..c {
+                let src = ((ai * b + bi) * c + ci) * d;
+                let dst = ((ai * c + ci) * b + bi) * d;
+                out[dst..dst + d].copy_from_slice(&x.data()[src..src + d]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[a, c, b, d])
+}
+
+/// Applies `f(x[b,r,c], a[b,c])` broadcasting `a` over the row axis.
+fn rows_broadcast(x: &Tensor, a: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(x.ndim(), 3, "rows_broadcast expects 3-D x");
+    assert_eq!(a.ndim(), 2, "rows_broadcast expects 2-D a");
+    let (b, r, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(a.shape(), [b, c], "rows_broadcast shape mismatch");
+    let mut out = vec![0.0f32; x.numel()];
+    for bi in 0..b {
+        let arow = &a.data()[bi * c..(bi + 1) * c];
+        for ri in 0..r {
+            let base = (bi * r + ri) * c;
+            for ci in 0..c {
+                out[base + ci] = f(x.data()[base + ci], arow[ci]);
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Reduces `f(g[b,r,c], x[b,r,c])` over the row axis into a `[b,c]` tensor.
+fn rows_broadcast_reduce(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let (b, r, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut out = vec![0.0f32; b * c];
+    for bi in 0..b {
+        for ri in 0..r {
+            let base = (bi * r + ri) * c;
+            for ci in 0..c {
+                out[bi * c + ci] += f(g.data()[base + ci], x.data()[base + ci]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c])
+}
+
+// Keep matmul_into import alive for potential fused ops.
+#[allow(dead_code)]
+fn _reserve(a: &[f32], b: &[f32], out: &mut [f32]) {
+    matmul_into(a, b, out, 1, a.len(), b.len() / a.len().max(1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numeric-vs-analytic gradient check for a scalar function of params.
+    fn grad_check(
+        params: &mut Params,
+        ids: &[ParamId],
+        f: &dyn Fn(&Graph, &Params) -> Var,
+        tol: f32,
+    ) {
+        params.zero_grad();
+        let g = Graph::new();
+        let loss = f(&g, params);
+        g.backward(loss, params);
+        let analytic: Vec<Tensor> = ids.iter().map(|&id| params.grad(id).clone()).collect();
+
+        let eps = 1e-3f32;
+        for (pi, &id) in ids.iter().enumerate() {
+            for j in 0..params.value(id).numel() {
+                let orig = params.value(id).data()[j];
+                params.value_mut(id).data_mut()[j] = orig + eps;
+                let gp = Graph::new();
+                let lp = gp.value(f(&gp, params)).data()[0];
+                params.value_mut(id).data_mut()[j] = orig - eps;
+                let gm = Graph::new();
+                let lm = gm.value(f(&gm, params)).data()[0];
+                params.value_mut(id).data_mut()[j] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let got = analytic[pi].data()[j];
+                assert!(
+                    (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                    "param {pi} elem {j}: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_mul_scalar_chain() {
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::from_vec(vec![3.0], &[1]), true);
+        let b = params.insert("b", Tensor::from_vec(vec![4.0], &[1]), true);
+        let g = Graph::new();
+        let av = g.param(&params, a);
+        let bv = g.param(&params, b);
+        let prod = g.mul(av, bv);
+        let y = g.add(prod, av); // y = ab + a
+        assert_eq!(g.value(y).data(), &[15.0]);
+        g.backward(y, &mut params);
+        assert_eq!(params.grad(a).data(), &[5.0]); // b + 1
+        assert_eq!(params.grad(b).data(), &[3.0]); // a
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::randn(&[2, 3], 1.0, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[3, 2], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[a, b],
+            &|g, p| {
+                let av = g.param(p, p.id("a").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let c = g.matmul(av, bv);
+                let sq = g.mul(c, c);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::randn(&[2, 2, 3], 0.5, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[2, 3, 2], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[a, b],
+            &|g, p| {
+                let av = g.param(p, p.id("a").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let c = g.bmm(av, bv);
+                let t = g.tanh(c);
+                g.sum_all(t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn activations_gradcheck() {
+        let mut params = Params::new();
+        let x = params.insert(
+            "x",
+            // Avoid 0.0 exactly: ReLU is non-differentiable there.
+            Tensor::from_vec(vec![-1.5, -0.3, 0.2, 1.7, 0.4, 2.5], &[6]),
+            true,
+        );
+        for act in ["relu", "gelu", "tanh", "sigmoid", "exp"] {
+            grad_check(
+                &mut params,
+                &[x],
+                &|g, p| {
+                    let xv = g.param(p, p.id("x").unwrap());
+                    let y = match act {
+                        "relu" => g.relu(xv),
+                        "gelu" => g.gelu(xv),
+                        "tanh" => g.tanh(xv),
+                        "sigmoid" => g.sigmoid(xv),
+                        _ => g.exp(xv),
+                    };
+                    g.sum_all(y)
+                },
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let s = g.value(g.softmax_last(x));
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 4], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let s = g.softmax_last(xv);
+                let sq = g.mul(s, s);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn log_softmax_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[3, 4], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let s = g.log_softmax_last(xv);
+                let w = g.mul(s, s);
+                g.mean_all(w)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]));
+        let gain = g.constant(Tensor::ones(&[4]));
+        let bias = g.constant(Tensor::zeros(&[4]));
+        let y = g.value(g.layer_norm(x, gain, bias, 1e-5));
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 5], 1.0, &mut rng), true);
+        let gain = params.insert("gain", Tensor::rand_uniform(&[5], 0.5, 1.5, &mut rng), true);
+        let bias = params.insert("bias", Tensor::randn(&[5], 0.2, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, gain, bias],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let gv = g.param(p, p.id("gain").unwrap());
+                let bv = g.param(p, p.id("bias").unwrap());
+                let y = g.layer_norm(xv, gv, bv, 1e-5);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let g = Graph::new();
+        let logits = g.constant(Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3]));
+        let loss = g.value(g.cross_entropy(logits, &[0, 1])).data()[0];
+        let l0 = -(2.0f32.exp() / (2.0f32.exp() + 2.0)).ln();
+        let l1 = -(3.0f32.exp() / (3.0f32.exp() + 2.0)).ln();
+        assert!((loss - (l0 + l1) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[3, 4], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                g.cross_entropy(xv, &[1, 3, 0])
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn multi_positive_nce_reduces_to_ce() {
+        // With exactly one positive per row, NCE equals cross-entropy.
+        let g = Graph::new();
+        let data = Tensor::from_vec(vec![0.5, -0.2, 0.9, 1.0, 0.0, -1.0], &[2, 3]);
+        let l1 = g.constant(data.clone());
+        let l2 = g.constant(data);
+        let nce = g.value(g.multi_positive_nce(l1, &[vec![2], vec![0]])).data()[0];
+        let ce = g.value(g.cross_entropy(l2, &[2, 0])).data()[0];
+        assert!((nce - ce).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multi_positive_nce_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 5], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                g.multi_positive_nce(xv, &[vec![0, 2], vec![4]])
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.constant(Tensor::from_vec(vec![5.0, 6.0], &[2, 1]));
+        let c = g.concat(&[a, b], 1);
+        assert_eq!(g.shape(c), vec![2, 3]);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        let s = g.slice(c, 1, 2, 1);
+        assert_eq!(g.value(s).data(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::randn(&[2, 2], 1.0, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[2, 3], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[a, b],
+            &|g, p| {
+                let av = g.param(p, p.id("a").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let c = g.concat(&[av, bv], 1);
+                let sl = g.slice(c, 1, 1, 3);
+                let sq = g.mul(sl, sl);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn embedding_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut params = Params::new();
+        let w = params.insert("w", Tensor::randn(&[4, 3], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[w],
+            &|g, p| {
+                let wv = g.param(p, p.id("w").unwrap());
+                let e = g.embedding(wv, &[1, 3, 1]);
+                let sq = g.mul(e, e);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn broadcast_ops_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 3, 4], 0.5, &mut rng), true);
+        let a = params.insert("a", Tensor::randn(&[2, 4], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, a],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let av = g.param(p, p.id("a").unwrap());
+                let m = g.mul_rows_broadcast(xv, av);
+                let s = g.add_rows_broadcast(m, av);
+                let t = g.tanh(s);
+                g.sum_all(t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn add_bias_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 3], 0.5, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[3], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, b],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let y = g.add_bias(xv, bv);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn row_l2_normalize_unit_norm_and_gradcheck() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]));
+        let y = g.value(g.row_l2_normalize(x));
+        for row in y.data().chunks(2) {
+            let n: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut params = Params::new();
+        let xp = params.insert("x", Tensor::randn(&[2, 3], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[xp],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let y = g.row_l2_normalize(xv);
+                let c = g.constant(Tensor::from_vec(vec![1.0, 0.5, -0.5, 0.2, 0.3, 0.9], &[2, 3]));
+                let m = g.mul(y, c);
+                g.sum_all(m)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn permute_0213_self_inverse() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
+        let g = Graph::new();
+        let v = g.constant(t.clone());
+        let p = g.permute_0213(v);
+        assert_eq!(g.shape(p), vec![2, 4, 3, 5]);
+        let pp = g.permute_0213(p);
+        assert_eq!(g.value(pp), t);
+    }
+
+    #[test]
+    fn mean_tokens_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 3, 4], 1.0, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let m = g.mean_tokens(xv);
+                let sq = g.mul(m, m);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_and_masks_gradient() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::ones(&[1000]), true);
+        let g = Graph::new();
+        let xv = g.param(&params, x);
+        let y = g.dropout(xv, 0.3, &mut rng);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.1, "dropout mean {mean}");
+        let s = g.sum_all(y);
+        g.backward(s, &mut params);
+        // Gradient is the same mask: zeros where dropped, 1/keep elsewhere.
+        let grads = params.grad(x);
+        let zeros = grads.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((200..400).contains(&zeros), "dropped {zeros}/1000");
+        for &v in grads.data() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.dropout(x, 0.0, &mut rng);
+        assert_eq!(g.value(y).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_shared_subexpression() {
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::from_vec(vec![2.0], &[1]), true);
+        let g = Graph::new();
+        let av = g.param(&params, a);
+        let s = g.add(av, av); // 2a -> da = 2
+        let y = g.mul(s, av); // 2a^2 -> dy/da = 4a = 8
+        g.backward(y, &mut params);
+        assert_eq!(params.grad(a).data(), &[8.0]);
+    }
+
+    #[test]
+    fn backward_twice_accumulates_param_grads() {
+        let mut params = Params::new();
+        let a = params.insert("a", Tensor::from_vec(vec![3.0], &[1]), true);
+        for _ in 0..2 {
+            let g = Graph::new();
+            let av = g.param(&params, a);
+            let y = g.mul(av, av);
+            g.backward(y, &mut params);
+        }
+        assert_eq!(params.grad(a).data(), &[12.0]); // 2 * (2a)
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the autograd engine: algebraic identities that
+//! must hold for arbitrary inputs (linearity of gradients, softmax
+//! invariances, transpose involution, reduction consistency).
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::graph::Graph;
+use crate::params::Params;
+use crate::tensor::Tensor;
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_gradient_is_one(data in arb_vec(6)) {
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::from_vec(data, &[6]), true);
+        let g = Graph::new();
+        let xv = g.param(&params, x);
+        let y = g.add(xv, xv);
+        let s = g.sum_all(y);
+        g.backward(s, &mut params);
+        for &gr in params.grad(x).data() {
+            prop_assert!((gr - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn scale_gradient_is_linear(data in arb_vec(4), c in -2.0f32..2.0) {
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::from_vec(data, &[4]), true);
+        let g = Graph::new();
+        let xv = g.param(&params, x);
+        let y = g.scale(xv, c);
+        let s = g.sum_all(y);
+        g.backward(s, &mut params);
+        for &gr in params.grad(x).data() {
+            prop_assert!((gr - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(data in arb_vec(5), shift in -5.0f32..5.0) {
+        let g = Graph::new();
+        let a = g.constant(Tensor::from_vec(data.clone(), &[1, 5]));
+        let b = g.constant(Tensor::from_vec(
+            data.iter().map(|x| x + shift).collect(),
+            &[1, 5],
+        ));
+        let sa = g.value(g.softmax_last(a));
+        let sb = g.value(g.softmax_last(b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "softmax not shift invariant");
+        }
+    }
+
+    #[test]
+    fn softmax_outputs_are_a_distribution(data in arb_vec(8)) {
+        let g = Graph::new();
+        let a = g.constant(Tensor::from_vec(data, &[2, 4]));
+        let s = g.value(g.softmax_last(a));
+        for row in s.data().chunks(4) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for &p in row {
+                prop_assert!((0.0..=1.0001).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax(data in arb_vec(6)) {
+        let g = Graph::new();
+        let a = g.constant(Tensor::from_vec(data.clone(), &[2, 3]));
+        let b = g.constant(Tensor::from_vec(data, &[2, 3]));
+        let ls = g.value(g.log_softmax_last(a));
+        let sm = g.value(g.softmax_last(b));
+        for (l, s) in ls.data().iter().zip(sm.data()) {
+            prop_assert!((l - s.ln()).abs() < 1e-3, "{l} vs ln {s}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in arb_vec(12)) {
+        let t = Tensor::from_vec(data, &[3, 4]);
+        prop_assert_eq!(t.transpose_last().transpose_last(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in arb_vec(4), b in arb_vec(4), c in arb_vec(4)) {
+        // (A + B) C == AC + BC
+        let ta = Tensor::from_vec(a, &[2, 2]);
+        let tb = Tensor::from_vec(b, &[2, 2]);
+        let tc = Tensor::from_vec(c, &[2, 2]);
+        let lhs = ta.zip(&tb, |x, y| x + y).matmul(&tc);
+        let rhs_a = ta.matmul(&tc);
+        let rhs_b = tb.matmul(&tc);
+        for ((l, x), y) in lhs.data().iter().zip(rhs_a.data()).zip(rhs_b.data()) {
+            prop_assert!((l - (x + y)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grads_sum_to_zero(
+        data in arb_vec(9),
+        t0 in 0usize..3,
+        t1 in 0usize..3,
+        t2 in 0usize..3,
+    ) {
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::from_vec(data, &[3, 3]), true);
+        let g = Graph::new();
+        let xv = g.param(&params, x);
+        let loss = g.cross_entropy(xv, &[t0, t1, t2]);
+        prop_assert!(g.value(loss).data()[0] >= 0.0);
+        g.backward(loss, &mut params);
+        // Per-row logit gradients sum to zero (softmax minus one-hot).
+        for row in params.grad(x).data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "row grad sum {sum}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardized(data in arb_vec(16)) {
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(data, &[2, 8]));
+        let gain = g.constant(Tensor::ones(&[8]));
+        let bias = g.constant(Tensor::zeros(&[8]));
+        let y = g.value(g.layer_norm(x, gain, bias, 1e-5));
+        for row in y.data().chunks(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn row_normalize_gives_unit_rows(data in arb_vec(8)) {
+        // Skip rows that are identically ~zero (normalization is clamped).
+        prop_assume!(data.iter().any(|x| x.abs() > 0.1));
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(data.clone(), &[1, 8]));
+        let y = g.value(g.row_l2_normalize(x));
+        let norm: f32 = y.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-3, "norm {norm}");
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_input(a in arb_vec(6), b in arb_vec(9)) {
+        let g = Graph::new();
+        let ta = Tensor::from_vec(a, &[3, 2]);
+        let tb = Tensor::from_vec(b, &[3, 3]);
+        let va = g.constant(ta.clone());
+        let vb = g.constant(tb.clone());
+        let c = g.concat(&[va, vb], 1);
+        let back_a = g.value(g.slice(c, 1, 0, 2));
+        let back_b = g.value(g.slice(c, 1, 2, 3));
+        prop_assert_eq!(back_a, ta);
+        prop_assert_eq!(back_b, tb);
+    }
+}

@@ -1,0 +1,112 @@
+//! Learning-rate schedules.
+//!
+//! The paper uses fixed per-dataset learning rates; schedules are provided
+//! for the extension experiments (longer paper-scale runs benefit from decay
+//! within a task).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over global steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant,
+    /// Multiply by `gamma` every `every` steps.
+    Step {
+        /// Decay interval in steps.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total` steps.
+    Cosine {
+        /// Total steps of the annealing window.
+        total: usize,
+        /// Final learning rate.
+        min_lr: f32,
+    },
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup {
+        /// Warmup length in steps.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based) given the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (`every == 0`, `total == 0`).
+    pub fn at(&self, base: f32, step: usize) -> f32 {
+        match *self {
+            Self::Constant => base,
+            Self::Step { every, gamma } => {
+                assert!(every > 0, "step schedule needs every > 0");
+                base * gamma.powi((step / every) as i32)
+            }
+            Self::Cosine { total, min_lr } => {
+                assert!(total > 0, "cosine schedule needs total > 0");
+                let t = (step.min(total)) as f32 / total as f32;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            Self::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    base
+                } else {
+                    base * (step + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.at(0.1, 0), 0.1);
+        assert_eq!(s.at(0.1, 10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.at(1.0, 9), 1.0);
+        assert_eq!(s.at(1.0, 10), 0.5);
+        assert_eq!(s.at(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { total: 100, min_lr: 0.01 };
+        assert!((s.at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.at(1.0, 100) - 0.01).abs() < 1e-6);
+        assert!((s.at(1.0, 200) - 0.01).abs() < 1e-6, "clamped past total");
+        // Midpoint is the mean of base and min.
+        assert!((s.at(1.0, 50) - 0.505).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { total: 50, min_lr: 0.0 };
+        let mut prev = f32::INFINITY;
+        for step in 0..=50 {
+            let lr = s.at(1.0, step);
+            assert!(lr <= prev + 1e-6);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert!((s.at(1.0, 0) - 0.25).abs() < 1e-6);
+        assert!((s.at(1.0, 1) - 0.5).abs() < 1e-6);
+        assert!((s.at(1.0, 3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.at(1.0, 100), 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! A domain-specific scenario: a city's federated traffic-camera network.
+//!
+//! Cameras collaboratively classify 6 vehicle types. The deployment rolls
+//! through environmental domains over time — clear daylight, night,
+//! heavy rain — and new cameras join each phase. No camera may store old
+//! footage (privacy!), so the model must stay accurate on daylight scenes
+//! while learning night and rain, rehearsal-free. This is exactly the FDIL
+//! setting the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example smart_city_cameras
+//! ```
+
+use refil::continual::MethodConfig;
+use refil::core::{RefFiL, RefFiLConfig};
+use refil::data::{DatasetSpec, DomainSpec};
+use refil::eval::scores;
+use refil::fed::{run_fdil, IncrementConfig, RunConfig};
+use refil::nn::models::BackboneConfig;
+
+fn main() {
+    // Custom dataset: 6 vehicle classes under 3 environmental domains.
+    // `shift` models how far the sensor distribution drifts; `collision`
+    // models how much a rainy-night bus resembles a daylight truck.
+    let dataset = DatasetSpec {
+        name: "SmartCityCameras".into(),
+        classes: 6,
+        feature_dim: 32,
+        proto_scale: 2.0,
+        within_std: 0.5,
+        test_fraction: 0.25,
+        signature_dim: 4,
+        signature_scale: 0.3,
+        domains: vec![
+            DomainSpec::new("daylight", 900, 0.3, 0.1),
+            DomainSpec::new("night", 700, 0.8, 0.6).with_collision(0.8),
+            DomainSpec::new("heavy-rain", 500, 1.1, 1.1)
+                .with_collision(1.6)
+                .with_label_noise(0.05),
+        ],
+    }
+    .generate(2024);
+
+    let method = MethodConfig {
+        backbone: BackboneConfig { classes: 6, ..BackboneConfig::default() },
+        max_tasks: 3,
+        stable_after_first_task: true,
+        ..MethodConfig::default()
+    };
+    let mut strategy = RefFiL::new(RefFiLConfig::new(method));
+
+    let run_cfg = RunConfig {
+        increment: IncrementConfig {
+            initial_clients: 10, // ten cameras at launch
+            select_per_round: 5,
+            increment_per_task: 3, // three new cameras per rollout phase
+            transition_fraction: 0.8,
+            rounds_per_task: 5,
+        },
+        local_epochs: 2,
+        batch_size: 32,
+        ..RunConfig::default()
+    };
+
+    println!("rolling out the camera network through 3 environmental phases ...");
+    let result = run_fdil(&dataset, &mut strategy, &run_cfg);
+    let s = scores(&result.domain_acc);
+
+    println!("\nper-phase evaluation (rows = after phase, cols = environment):");
+    for (t, row) in result.domain_acc.iter().enumerate() {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&result.domain_names)
+            .map(|(a, n)| format!("{n} {a:5.1}%"))
+            .collect();
+        println!("  after phase {}: {}", t + 1, cells.join("  "));
+    }
+    println!("\nAvg {:.2}%  Last {:.2}%  forgetting {:.2}%", s.avg, s.last, s.forgetting);
+
+    // Inspect what the server learned about the environments: the clustered
+    // prompt store should hold multiple representatives per class once
+    // several environments have been seen.
+    let store = strategy.prompt_store();
+    println!(
+        "server prompt memory: {} representatives ({} bytes broadcast per round) — no raw footage stored",
+        store.total_reps(),
+        store.byte_len()
+    );
+}
