@@ -90,7 +90,9 @@ fn bench_finch(c: &mut Criterion) {
             );
         }
     }
-    c.bench_function("clustering/finch_64x128", |bench| bench.iter(|| finch(&points)));
+    c.bench_function("clustering/finch_64x128", |bench| {
+        bench.iter(|| finch(&points))
+    });
     c.bench_function("clustering/kmeans_64x128_k4", |bench| {
         bench.iter(|| kmeans(&points, 4, 7, 50))
     });
@@ -110,8 +112,9 @@ fn bench_fedavg(c: &mut Criterion) {
 fn bench_dpcl(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     let u = Tensor::randn(&[32, 128], 1.0, &mut rng);
-    let candidates: Vec<Vec<f32>> =
-        (0..40).map(|_| Tensor::randn(&[128], 1.0, &mut rng).into_vec()).collect();
+    let candidates: Vec<Vec<f32>> = (0..40)
+        .map(|_| Tensor::randn(&[128], 1.0, &mut rng).into_vec())
+        .collect();
     let classes: Vec<usize> = (0..40).map(|i| i % 10).collect();
     let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
     c.bench_function("core/dpcl_loss_b32_m40", |bench| {

@@ -15,15 +15,27 @@ fn main() {
     let dataset = ds_choice.generate(&scale, 42, false);
     let run_cfg = ds_choice.run_config(&scale, 42);
     let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
-    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+    let prompt_cfg = refil_continual::MethodConfig {
+        stable_after_first_task: true,
+        ..base
+    };
 
     let modes = [
         ("FINCH (paper)", ClusterMode::Finch),
         ("k-means (k=4)", ClusterMode::Kmeans(4)),
         ("plain average", ClusterMode::Average),
     ];
-    let mut table =
-        Table::new(["Clustering", "Avg", "Last", "Forgetting", "Reps/class cap hit"].map(String::from).to_vec());
+    let mut table = Table::new(
+        [
+            "Clustering",
+            "Avg",
+            "Last",
+            "Forgetting",
+            "Reps/class cap hit",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
     for (label, mode) in modes {
         eprintln!("[ablation_clustering] {label} ...");
         let mut strat = RefFiL::new(RefFiLConfig::new(prompt_cfg).with_cluster_mode(mode));

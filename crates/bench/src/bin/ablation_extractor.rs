@@ -19,13 +19,19 @@ fn main() {
     let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
 
     let mut table = Table::new(
-        ["Extractor", "Params", "Avg", "Last", "Forgetting"].map(String::from).to_vec(),
+        ["Extractor", "Params", "Avg", "Last", "Forgetting"]
+            .map(String::from)
+            .to_vec(),
     );
-    for (label, kind) in
-        [("residual MLP (default)", ExtractorKind::ResidualMlp), ("1-D CNN", ExtractorKind::Conv)]
-    {
+    for (label, kind) in [
+        ("residual MLP (default)", ExtractorKind::ResidualMlp),
+        ("1-D CNN", ExtractorKind::Conv),
+    ] {
         eprintln!("[ablation_extractor] {label} ...");
-        let mut cfg = MethodConfig { stable_after_first_task: true, ..base };
+        let mut cfg = MethodConfig {
+            stable_after_first_task: true,
+            ..base
+        };
         cfg.backbone.extractor = kind;
         let mut strat = RefFiL::new(RefFiLConfig::new(cfg));
         let n_params = refil_fed::FdilStrategy::init_global(&mut strat).len();

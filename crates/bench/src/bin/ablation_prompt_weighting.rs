@@ -15,11 +15,25 @@ fn main() {
     let dataset = ds_choice.generate(&scale, 42, false);
     let run_cfg = ds_choice.run_config(&scale, 42);
     let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
-    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+    let prompt_cfg = refil_continual::MethodConfig {
+        stable_after_first_task: true,
+        ..base
+    };
 
-    let variants = [("balanced (paper, Eq. 2)", false), ("data-size weighted", true)];
+    let variants = [
+        ("balanced (paper, Eq. 2)", false),
+        ("data-size weighted", true),
+    ];
     let mut table = Table::new(
-        ["Prompt sharing", "Avg", "Last", "Forgetting", "Uploads stored"].map(String::from).to_vec(),
+        [
+            "Prompt sharing",
+            "Avg",
+            "Last",
+            "Forgetting",
+            "Uploads stored",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (label, weighted) in variants {
         eprintln!("[ablation_prompt_weighting] {label} ...");

@@ -16,7 +16,10 @@ fn main() {
     let dataset = ds_choice.generate(&scale, 42, false);
     let run_cfg = ds_choice.run_config(&scale, 42);
     let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
-    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+    let prompt_cfg = refil_continual::MethodConfig {
+        stable_after_first_task: true,
+        ..base
+    };
 
     // Train once with the standard setting; evaluation policies differ only
     // at inference, so the same final model serves all three rows.
@@ -56,7 +59,11 @@ fn main() {
                 let x = refil_nn::Tensor::from_vec(data, &[chunk.len(), dim]);
                 let preds =
                     FdilStrategy::predict_domain(&mut naive, &res.final_global, &x, last_task);
-                correct += preds.iter().zip(chunk).filter(|(p, s)| **p == s.label).count();
+                correct += preds
+                    .iter()
+                    .zip(chunk)
+                    .filter(|(p, s)| **p == s.label)
+                    .count();
                 total += chunk.len();
             }
             100.0 * correct as f32 / total as f32
@@ -65,12 +72,18 @@ fn main() {
 
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
     let mut table = Table::new(
-        ["Evaluation policy", "Final mean acc", "Notes"].map(String::from).to_vec(),
+        ["Evaluation policy", "Final mean acc", "Notes"]
+            .map(String::from)
+            .to_vec(),
     );
     table.row(vec![
         "oracle task ID (paper)".into(),
         pct(mean(res.final_domain_accuracies())),
-        format!("Avg {} / Last {}", pct(oracle_scores.avg), pct(oracle_scores.last)),
+        format!(
+            "Avg {} / Last {}",
+            pct(oracle_scores.avg),
+            pct(oracle_scores.last)
+        ),
     ]);
     table.row(vec![
         "confidence-inferred task (extension)".into(),

@@ -14,14 +14,40 @@ fn main() {
     let dataset = ds_choice.generate(&scale, 42, false);
     let run_cfg = ds_choice.run_config(&scale, 42);
     let base = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
-    let prompt_cfg = refil_continual::MethodConfig { stable_after_first_task: true, ..base };
+    let prompt_cfg = refil_continual::MethodConfig {
+        stable_after_first_task: true,
+        ..base
+    };
 
     let schedules = [
-        ("decay (paper: τ=0.9, γ=0.1, β=0.05)", TemperatureSchedule::default()),
-        ("fixed τ=0.9", TemperatureSchedule { tau: 0.9, tau_min: 0.3, gamma: 0.0, beta: 0.0 }),
-        ("fixed τ=0.3", TemperatureSchedule { tau: 0.3, tau_min: 0.3, gamma: 0.0, beta: 0.0 }),
+        (
+            "decay (paper: τ=0.9, γ=0.1, β=0.05)",
+            TemperatureSchedule::default(),
+        ),
+        (
+            "fixed τ=0.9",
+            TemperatureSchedule {
+                tau: 0.9,
+                tau_min: 0.3,
+                gamma: 0.0,
+                beta: 0.0,
+            },
+        ),
+        (
+            "fixed τ=0.3",
+            TemperatureSchedule {
+                tau: 0.3,
+                tau_min: 0.3,
+                gamma: 0.0,
+                beta: 0.0,
+            },
+        ),
     ];
-    let mut table = Table::new(["Temperature", "Avg", "Last", "Forgetting"].map(String::from).to_vec());
+    let mut table = Table::new(
+        ["Temperature", "Avg", "Last", "Forgetting"]
+            .map(String::from)
+            .to_vec(),
+    );
     for (label, sched) in schedules {
         eprintln!("[ablation_temperature] {label} ...");
         let mut cfg = RefFiLConfig::new(prompt_cfg);
@@ -29,7 +55,12 @@ fn main() {
         let mut strat = RefFiL::new(cfg);
         let res = run_fdil(&dataset, &mut strat, &run_cfg);
         let s = scores(&res.domain_acc);
-        table.row(vec![label.into(), pct(s.avg), pct(s.last), pct(s.forgetting)]);
+        table.row(vec![
+            label.into(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+        ]);
     }
     emit(
         "ablation_temperature",

@@ -18,9 +18,15 @@ fn main() {
     let cfg = method_config(ds_choice, dataset.num_domains(), 42 ^ 7);
 
     let mut table = Table::new(
-        ["Method", "BWT", "Domain-0 acc", "Worst confusion (true→pred)", "Count"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Method",
+            "BWT",
+            "Domain-0 acc",
+            "Worst confusion (true→pred)",
+            "Count",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for m in [MethodChoice::Finetune, MethodChoice::RefFiL] {
         eprintln!("[confusion] {} ...", m.paper_name());

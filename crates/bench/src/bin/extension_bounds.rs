@@ -40,7 +40,9 @@ fn main() {
     ];
 
     let mut table = Table::new(
-        ["Strategy", "Avg", "Last", "Forgetting", "Memory model"].map(String::from).to_vec(),
+        ["Strategy", "Avg", "Last", "Forgetting", "Memory model"]
+            .map(String::from)
+            .to_vec(),
     );
     for (label, strategy, memory) in &mut rows {
         eprintln!("[bounds] {label} ...");

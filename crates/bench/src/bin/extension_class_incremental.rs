@@ -51,11 +51,22 @@ fn main() {
     let cfg = method_config(DatasetChoice::DigitsFive, dataset.num_domains(), 42 ^ 7);
 
     let mut table = Table::new(
-        ["Method", "Avg", "Last", "Forgetting", "Final old-class domain acc", "Final new-class domain acc"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Method",
+            "Avg",
+            "Last",
+            "Forgetting",
+            "Final old-class domain acc",
+            "Final new-class domain acc",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
-    for m in [MethodChoice::Finetune, MethodChoice::FedLwf, MethodChoice::RefFiL] {
+    for m in [
+        MethodChoice::Finetune,
+        MethodChoice::FedLwf,
+        MethodChoice::RefFiL,
+    ] {
         eprintln!("[class_incremental] {} ...", m.paper_name());
         let mut strategy = build_method(m, cfg);
         let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);

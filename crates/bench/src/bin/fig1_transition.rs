@@ -10,9 +10,17 @@ use refil_fed::{build_schedule, IncrementConfig};
 fn timeline(cfg: &IncrementConfig, label: &str) -> Table {
     let schedules = build_schedule(cfg, 3, 42);
     let mut table = Table::new(
-        ["Setting", "Task", "Round", "U_o (old)", "U_b (between)", "U_n (new)", "Total"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Setting",
+            "Task",
+            "Round",
+            "U_o (old)",
+            "U_b (between)",
+            "U_n (new)",
+            "Total",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for s in &schedules {
         for round in [0, cfg.rounds_per_task / 2, cfg.rounds_per_task - 1] {
@@ -40,7 +48,11 @@ fn main() {
         rounds_per_task: 10,
     };
     // Fig. 1a: the common FCL setting — everyone transitions immediately.
-    let cliff = IncrementConfig { transition_fraction: 1.0, increment_per_task: 0, ..gradual };
+    let cliff = IncrementConfig {
+        transition_fraction: 1.0,
+        increment_per_task: 0,
+        ..gradual
+    };
 
     let mut md = String::new();
     md.push_str(&timeline(&cliff, "cliff (Fig. 1a)").to_markdown());

@@ -14,7 +14,10 @@ fn main() {
     header.extend(FED_DOMAIN_NET_DOMAINS.iter().map(|d| d.to_string()));
     header.push("Total".into());
     let mut t6 = Table::new(header);
-    for (class, row) in FED_DOMAIN_NET_CLASSES.iter().zip(FED_DOMAIN_NET_COUNTS.iter()) {
+    for (class, row) in FED_DOMAIN_NET_CLASSES
+        .iter()
+        .zip(FED_DOMAIN_NET_COUNTS.iter())
+    {
         let mut cells = vec![class.to_string()];
         cells.extend(row.iter().map(usize::to_string));
         cells.push(row.iter().sum::<usize>().to_string());
@@ -29,13 +32,24 @@ fn main() {
     }
     totals.push(grand.to_string());
     t6.row(totals);
-    emit("table6", "Table 6 — FedDomainNet per-class statistics", &t6.to_markdown(), Some(&t6.to_csv()));
+    emit(
+        "table6",
+        "Table 6 — FedDomainNet per-class statistics",
+        &t6.to_markdown(),
+        Some(&t6.to_csv()),
+    );
 
     // Figure 3: distribution summary of the *generated* dataset, checking it
     // reproduces the intended skew.
-    let ds = fed_domain_net(PresetConfig { scale: 0.15, feature_dim: 48 }).generate(42);
+    let ds = fed_domain_net(PresetConfig {
+        scale: 0.15,
+        feature_dim: 48,
+    })
+    .generate(42);
     let mut fig3 = Table::new(
-        ["Domain", "Samples", "Min class", "Max class", "Mean/class"].map(String::from).to_vec(),
+        ["Domain", "Samples", "Min class", "Max class", "Mean/class"]
+            .map(String::from)
+            .to_vec(),
     );
     for dom in &ds.domains {
         let mut per_class = vec![0usize; ds.classes];

@@ -1,8 +1,8 @@
 //! Regenerates the paper's Figure 4: box-plot statistics of each domain's
 //! accuracy distribution across task steps, per method, on Digits-Five.
 
-use refil_bench::report::emit;
 use refil_bench::full_results;
+use refil_bench::report::emit;
 use refil_eval::{box_stats, pct, Table};
 
 fn main() {
@@ -10,9 +10,11 @@ fn main() {
     let (name, methods) = &full.datasets[0]; // Digits-Five
     let domains = &methods[0].result.domain_names;
     let mut table = Table::new(
-        ["Method", "Domain", "Whisker-", "Q1", "Median", "Q3", "Whisker+", "Outliers"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Method", "Domain", "Whisker-", "Q1", "Median", "Q3", "Whisker+", "Outliers",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for m in methods {
         for (d, dname) in domains.iter().enumerate() {

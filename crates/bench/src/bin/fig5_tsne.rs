@@ -59,12 +59,22 @@ fn main() {
                     domains_of.push(d);
                 }
             }
-            let coords = tsne(&points, &TsneConfig { iterations: 150, ..TsneConfig::default() });
+            let coords = tsne(
+                &points,
+                &TsneConfig {
+                    iterations: 150,
+                    ..TsneConfig::default()
+                },
+            );
             for ((c, &l), &d) in coords.iter().zip(&class_labels).zip(&domains_of) {
                 csv.push_str(&format!("{},{},{},{}\n", c[0], c[1], l, d));
             }
             save_raw(
-                &format!("fig5_{}_task{}.csv", m.paper_name().replace('\u{2020}', "_pool"), step + 1),
+                &format!(
+                    "fig5_{}_task{}.csv",
+                    m.paper_name().replace('\u{2020}', "_pool"),
+                    step + 1
+                ),
                 &csv,
             );
             row.push(format!("{:.2}", separation_score(&coords, &class_labels)));

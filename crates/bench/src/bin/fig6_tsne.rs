@@ -36,8 +36,7 @@ fn main() {
         let global = &res.final_global;
         let mut row = vec![m.paper_name().to_string()];
         for dom in &dataset.domains {
-            let take: Vec<&refil_data::Sample> =
-                dom.test.iter().take(SAMPLES_PER_DOMAIN).collect();
+            let take: Vec<&refil_data::Sample> = dom.test.iter().take(SAMPLES_PER_DOMAIN).collect();
             let dim = take[0].features.len();
             let mut data = Vec::with_capacity(take.len() * dim);
             for s in &take {
@@ -46,7 +45,13 @@ fn main() {
             let x = Tensor::from_vec(data, &[take.len(), dim]);
             let emb = strategy.cls_embeddings(global, &x);
             let labels: Vec<usize> = take.iter().map(|s| s.label).collect();
-            let coords = tsne(&emb, &TsneConfig { iterations: 150, ..TsneConfig::default() });
+            let coords = tsne(
+                &emb,
+                &TsneConfig {
+                    iterations: 150,
+                    ..TsneConfig::default()
+                },
+            );
             let mut csv = String::from("x,y,class\n");
             for (c, &l) in coords.iter().zip(&labels) {
                 csv.push_str(&format!("{},{},{}\n", c[0], c[1], l));

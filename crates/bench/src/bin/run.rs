@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! cargo run --release -p refil-bench --bin run -- \
-//!     --dataset digits --method reffil --seed 42 [--new-order] [--json out.json]
+//!     --dataset digits --method reffil --seed 42 \
+//!     [--new-order] [--json out.json] [--trace trace.jsonl]
 //! ```
 //!
-//! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale.
+//! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale;
+//! `REFIL_LOG=error|warn|info|debug|off` controls stderr verbosity.
+//! `--trace FILE` streams every telemetry event (spans, counters,
+//! histograms) as one JSON object per line to `FILE`.
 
 use refil_bench::methods::method_by_name;
-use refil_bench::{dataset_by_name, run_experiment, DatasetChoice, ExperimentSpec, MethodChoice, Scale};
+use refil_bench::{
+    dataset_by_name, run_experiment_traced, DatasetChoice, ExperimentSpec, MethodChoice, Scale,
+};
+use refil_telemetry::Telemetry;
 
 struct Args {
     dataset: DatasetChoice,
@@ -16,11 +23,12 @@ struct Args {
     seed: u64,
     new_order: bool,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--json FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--json FILE] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -31,6 +39,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut new_order = false;
     let mut json = None;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -58,6 +67,7 @@ fn parse_args() -> Args {
             }
             "--new-order" => new_order = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -71,6 +81,7 @@ fn parse_args() -> Args {
         seed,
         new_order,
         json,
+        trace,
     }
 }
 
@@ -82,15 +93,26 @@ fn main() {
         new_order: args.new_order,
         seed: args.seed,
     };
-    eprintln!(
-        "running {} on {}{} (seed {}) ...",
+    // Status reporting goes through the level-filtered stderr sink; the run
+    // itself records into a JSONL trace when --trace is given.
+    let status = Telemetry::stderr();
+    status.info(format!(
+        "running {} on {}{} (seed {})",
         args.method.paper_name(),
         args.dataset.name(),
         if args.new_order { ", new order" } else { "" },
         args.seed
-    );
+    ));
+    let telemetry = match &args.trace {
+        Some(path) => Telemetry::jsonl(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => Telemetry::stderr(),
+    };
     let start = std::time::Instant::now();
-    let r = run_experiment(&spec, args.method);
+    let r = run_experiment_traced(&spec, args.method, &telemetry);
+    telemetry.flush();
     println!("method:      {}", r.name);
     println!("dataset:     {}", r.result.dataset);
     println!("Avg:         {:.2}%", r.scores.avg);
@@ -103,6 +125,15 @@ fn main() {
         r.result.traffic.rounds
     );
     println!("wall time:   {:.1?}", start.elapsed());
+    if let Some(path) = &args.trace {
+        let summary = &r.result.telemetry;
+        println!(
+            "trace:       {path} ({} client sessions, {} bytes up / {} bytes down)",
+            summary.counter("clients.trained"),
+            summary.counter("traffic.up_bytes"),
+            summary.counter("traffic.down_bytes"),
+        );
+    }
     if let Some(path) = args.json {
         #[derive(serde::Serialize)]
         struct Out<'a> {
@@ -120,12 +151,12 @@ fn main() {
         match serde_json::to_string_pretty(&out) {
             Ok(s) => {
                 if let Err(e) = std::fs::write(&path, s) {
-                    eprintln!("could not write {path}: {e}");
+                    status.warn(format!("could not write {path}: {e}"));
                 } else {
-                    eprintln!("wrote {path}");
+                    status.info(format!("wrote {path}"));
                 }
             }
-            Err(e) => eprintln!("serialization failed: {e}"),
+            Err(e) => status.warn(format!("serialization failed: {e}")),
         }
     }
 }

@@ -1,16 +1,22 @@
 //! Quick end-to-end smoke run: all 8 methods on a small Digits-Five.
 use refil_bench::{run_all_methods, DatasetChoice, ExperimentSpec, Scale};
+use refil_telemetry::Telemetry;
 
 fn main() {
+    let status = Telemetry::stderr();
     let spec = ExperimentSpec {
         dataset: DatasetChoice::DigitsFive,
         scale: Scale::smoke(),
         new_order: false,
         seed: 42,
     };
+    status.info("smoke run: all methods on Digits-Five at smoke scale");
     let results = run_all_methods(&spec);
     println!("\nMethod            Avg     Last    Forget");
     for r in &results {
-        println!("{:<17} {:>6.2}  {:>6.2}  {:>6.2}", r.name, r.scores.avg, r.scores.last, r.scores.forgetting);
+        println!(
+            "{:<17} {:>6.2}  {:>6.2}  {:>6.2}",
+            r.name, r.scores.avg, r.scores.last, r.scores.forgetting
+        );
     }
 }

@@ -7,6 +7,7 @@ use refil_continual::MethodConfig;
 use refil_data::{DatasetSpec, DomainSpec};
 use refil_eval::scores;
 use refil_fed::run_fdil;
+use refil_telemetry::Telemetry;
 
 struct Knobs {
     collision_spacing: f32,
@@ -32,20 +33,50 @@ fn digits_like(k: &Knobs) -> DatasetSpec {
         domains: (0..5)
             .map(|i| {
                 let frac = i as f32 / 4.0;
-                DomainSpec::new(names[i], sizes[i], noises[i] * k.noise_mul, frac * k.shift_max)
-                    .with_collision(i as f32 * k.collision_spacing)
+                DomainSpec::new(
+                    names[i],
+                    sizes[i],
+                    noises[i] * k.noise_mul,
+                    frac * k.shift_max,
+                )
+                .with_collision(i as f32 * k.collision_spacing)
             })
             .collect(),
     }
 }
 
 fn main() {
+    let status = Telemetry::stderr();
     let scale = Scale::bench();
     let knob_sets = [
-        Knobs { collision_spacing: 0.6, shift_max: 0.65, sig_scale: 0.3, stable_scale: 0.2, noise_mul: 1.0 },
-        Knobs { collision_spacing: 0.6, shift_max: 1.2, sig_scale: 0.3, stable_scale: 0.2, noise_mul: 1.0 },
-        Knobs { collision_spacing: 0.5, shift_max: 0.65, sig_scale: 0.6, stable_scale: 0.1, noise_mul: 1.0 },
-        Knobs { collision_spacing: 0.8, shift_max: 0.4, sig_scale: 0.6, stable_scale: 0.2, noise_mul: 1.0 },
+        Knobs {
+            collision_spacing: 0.6,
+            shift_max: 0.65,
+            sig_scale: 0.3,
+            stable_scale: 0.2,
+            noise_mul: 1.0,
+        },
+        Knobs {
+            collision_spacing: 0.6,
+            shift_max: 1.2,
+            sig_scale: 0.3,
+            stable_scale: 0.2,
+            noise_mul: 1.0,
+        },
+        Knobs {
+            collision_spacing: 0.5,
+            shift_max: 0.65,
+            sig_scale: 0.6,
+            stable_scale: 0.1,
+            noise_mul: 1.0,
+        },
+        Knobs {
+            collision_spacing: 0.8,
+            shift_max: 0.4,
+            sig_scale: 0.6,
+            stable_scale: 0.2,
+            noise_mul: 1.0,
+        },
     ];
     let methods = [
         MethodChoice::Finetune,
@@ -54,20 +85,35 @@ fn main() {
         MethodChoice::RefFiL,
     ];
     for (ki, k) in knob_sets.iter().enumerate() {
-        println!("\n=== knobs {ki}: coll {:.2} shift {:.2} sig {:.2} stable {:.2} ===",
-            k.collision_spacing, k.shift_max, k.sig_scale, k.stable_scale);
+        status.info(format!("sweeping knob set {ki}/{}", knob_sets.len()));
+        println!(
+            "\n=== knobs {ki}: coll {:.2} shift {:.2} sig {:.2} stable {:.2} ===",
+            k.collision_spacing, k.shift_max, k.sig_scale, k.stable_scale
+        );
         let ds = digits_like(k).generate(42);
         for m in methods {
             let base = method_config(DatasetChoice::DigitsFive, 5, 42 ^ 7);
-            let cfg = MethodConfig { stable_backbone_scale: k.stable_scale, ..base };
+            let cfg = MethodConfig {
+                stable_backbone_scale: k.stable_scale,
+                ..base
+            };
             let mut strat = build_method(m, cfg);
             let run_cfg = DatasetChoice::DigitsFive.run_config(&scale, 42);
             let res = run_fdil(&ds, strat.as_mut(), &run_cfg);
             let s = scores(&res.domain_acc);
-            let fin: Vec<String> =
-                res.final_domain_accuracies().iter().map(|a| format!("{a:5.1}")).collect();
-            println!("{:<17} Avg {:>6.2} Last {:>6.2} Fgt {:>6.2} | {}",
-                m.paper_name(), s.avg, s.last, s.forgetting, fin.join(" "));
+            let fin: Vec<String> = res
+                .final_domain_accuracies()
+                .iter()
+                .map(|a| format!("{a:5.1}"))
+                .collect();
+            println!(
+                "{:<17} Avg {:>6.2} Last {:>6.2} Fgt {:>6.2} | {}",
+                m.paper_name(),
+                s.avg,
+                s.last,
+                s.forgetting,
+                fin.join(" ")
+            );
         }
     }
 }

@@ -26,7 +26,9 @@ fn main() {
     ];
 
     let mut table = Table::new(
-        ["CDAP", "GPL", "DPCL", "Avg", "Δ", "Last", "Δ"].map(String::from).to_vec(),
+        ["CDAP", "GPL", "DPCL", "Avg", "Δ", "Last", "Δ"]
+            .map(String::from)
+            .to_vec(),
     );
     let mut baseline = None;
     for (cdap, gpl, dpcl) in rows {
@@ -34,7 +36,14 @@ fn main() {
             // No components = the Finetune baseline, as in the paper.
             build_method(MethodChoice::Finetune, cfg)
         } else {
-            build_reffil_variant(cfg, RefFiLFlags { use_cdap: cdap, use_gpl: gpl, use_dpcl: dpcl })
+            build_reffil_variant(
+                cfg,
+                RefFiLFlags {
+                    use_cdap: cdap,
+                    use_gpl: gpl,
+                    use_dpcl: dpcl,
+                },
+            )
         };
         eprintln!("[table5] CDAP={cdap} GPL={gpl} DPCL={dpcl} ...");
         let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
@@ -46,9 +55,17 @@ fn main() {
             mark(gpl),
             mark(dpcl),
             pct(s.avg),
-            if s == base { "-".into() } else { signed(s.avg - base.avg) },
+            if s == base {
+                "-".into()
+            } else {
+                signed(s.avg - base.avg)
+            },
             pct(s.last),
-            if s == base { "-".into() } else { signed(s.last - base.last) },
+            if s == base {
+                "-".into()
+            } else {
+                signed(s.last - base.last)
+            },
         ]);
     }
     emit(

@@ -1,14 +1,34 @@
 //! Internal tuning harness: all 8 methods, chosen dataset/scale.
-use refil_bench::{run_all_methods, dataset_by_name, DatasetChoice, ExperimentSpec, Scale};
+use refil_bench::{dataset_by_name, run_all_methods, DatasetChoice, ExperimentSpec, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let ds = args.get(1).and_then(|s| dataset_by_name(s)).unwrap_or(DatasetChoice::DigitsFive);
-    let spec = ExperimentSpec { dataset: ds, scale: Scale::from_env(), new_order: false, seed: 42 };
+    let ds = args
+        .get(1)
+        .and_then(|s| dataset_by_name(s))
+        .unwrap_or(DatasetChoice::DigitsFive);
+    let spec = ExperimentSpec {
+        dataset: ds,
+        scale: Scale::from_env(),
+        new_order: false,
+        seed: 42,
+    };
     let results = run_all_methods(&spec);
     println!("\nMethod            Avg     Last    Forget  | final per-domain");
     for r in &results {
-        let fin: Vec<String> = r.result.final_domain_accuracies().iter().map(|a| format!("{a:5.1}")).collect();
-        println!("{:<17} {:>6.2}  {:>6.2}  {:>6.2}  | {}", r.name, r.scores.avg, r.scores.last, r.scores.forgetting, fin.join(" "));
+        let fin: Vec<String> = r
+            .result
+            .final_domain_accuracies()
+            .iter()
+            .map(|a| format!("{a:5.1}"))
+            .collect();
+        println!(
+            "{:<17} {:>6.2}  {:>6.2}  {:>6.2}  | {}",
+            r.name,
+            r.scores.avg,
+            r.scores.last,
+            r.scores.forgetting,
+            fin.join(" ")
+        );
     }
 }

@@ -34,9 +34,20 @@ fn mean_std(xs: &[f32]) -> (f32, f32) {
 }
 
 fn main() {
-    let methods = [MethodChoice::Finetune, MethodChoice::FedDualPromptPool, MethodChoice::RefFiL];
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("[variance] {} seeds x {} methods on {} worker thread(s)", SEEDS.len(), methods.len(), workers);
+    let methods = [
+        MethodChoice::Finetune,
+        MethodChoice::FedDualPromptPool,
+        MethodChoice::RefFiL,
+    ];
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[variance] {} seeds x {} methods on {} worker thread(s)",
+        SEEDS.len(),
+        methods.len(),
+        workers
+    );
 
     let jobs: Vec<(MethodChoice, u64)> = methods
         .iter()
@@ -60,22 +71,39 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("thread scope");
 
     let mut table = Table::new(
-        ["Method", "Avg mean±std", "Last mean±std", "Forgetting mean±std"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Method",
+            "Avg mean±std",
+            "Last mean±std",
+            "Forgetting mean±std",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for m in methods {
-        let avg: Vec<f32> =
-            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.avg).collect();
-        let last: Vec<f32> =
-            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.last).collect();
-        let fgt: Vec<f32> =
-            results.iter().filter(|(mm, _, _)| *mm == m).map(|(_, _, s)| s.forgetting).collect();
+        let avg: Vec<f32> = results
+            .iter()
+            .filter(|(mm, _, _)| *mm == m)
+            .map(|(_, _, s)| s.avg)
+            .collect();
+        let last: Vec<f32> = results
+            .iter()
+            .filter(|(mm, _, _)| *mm == m)
+            .map(|(_, _, s)| s.last)
+            .collect();
+        let fgt: Vec<f32> = results
+            .iter()
+            .filter(|(mm, _, _)| *mm == m)
+            .map(|(_, _, s)| s.forgetting)
+            .collect();
         let (am, asd) = mean_std(&avg);
         let (lm, lsd) = mean_std(&last);
         let (fm, fsd) = mean_std(&fgt);

@@ -22,7 +22,12 @@ pub enum DatasetChoice {
 impl DatasetChoice {
     /// All four datasets in the paper's table order.
     pub fn all() -> [DatasetChoice; 4] {
-        [Self::DigitsFive, Self::OfficeCaltech10, Self::Pacs, Self::FedDomainNet]
+        [
+            Self::DigitsFive,
+            Self::OfficeCaltech10,
+            Self::Pacs,
+            Self::FedDomainNet,
+        ]
     }
 
     /// Dataset display name.
@@ -40,8 +45,15 @@ impl DatasetChoice {
     /// FedDomainNet spreads its samples over 48 classes x 6 domains, so it
     /// runs at 10x the base data scale to keep per-class counts learnable.
     pub fn spec(self, scale: &Scale) -> DatasetSpec {
-        let mult = if self == Self::FedDomainNet { 10.0 } else { 1.0 };
-        let cfg = PresetConfig { scale: scale.data_scale * mult, feature_dim: 32 };
+        let mult = if self == Self::FedDomainNet {
+            10.0
+        } else {
+            1.0
+        };
+        let cfg = PresetConfig {
+            scale: scale.data_scale * mult,
+            feature_dim: 32,
+        };
         match self {
             Self::DigitsFive => digits_five(cfg),
             Self::OfficeCaltech10 => office_caltech10(cfg),
@@ -138,17 +150,32 @@ pub struct Scale {
 impl Scale {
     /// The scale the table benches run at (minutes on one CPU core).
     pub fn bench() -> Self {
-        Self { data_scale: 0.015, client_scale: 0.4, rounds: 5, epochs: 2 }
+        Self {
+            data_scale: 0.015,
+            client_scale: 0.4,
+            rounds: 5,
+            epochs: 2,
+        }
     }
 
     /// A tiny scale for smoke tests (seconds).
     pub fn smoke() -> Self {
-        Self { data_scale: 0.008, client_scale: 0.3, rounds: 3, epochs: 1 }
+        Self {
+            data_scale: 0.008,
+            client_scale: 0.3,
+            rounds: 3,
+            epochs: 1,
+        }
     }
 
     /// The paper's full protocol (for reference / GPU-class machines).
     pub fn paper() -> Self {
-        Self { data_scale: 1.0, client_scale: 1.0, rounds: 30, epochs: 20 }
+        Self {
+            data_scale: 1.0,
+            client_scale: 1.0,
+            rounds: 30,
+            epochs: 20,
+        }
     }
 
     /// Reads `REFIL_SCALE` from the environment (`smoke`, `bench`, `paper`),
@@ -169,7 +196,10 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(dataset_by_name("pacs"), Some(DatasetChoice::Pacs));
-        assert_eq!(dataset_by_name("Digits-Five"), Some(DatasetChoice::DigitsFive));
+        assert_eq!(
+            dataset_by_name("Digits-Five"),
+            Some(DatasetChoice::DigitsFive)
+        );
         assert_eq!(dataset_by_name("nope"), None);
     }
 

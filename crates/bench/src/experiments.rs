@@ -28,7 +28,11 @@ pub struct CachedMethod {
 
 impl From<MethodResult> for CachedMethod {
     fn from(m: MethodResult) -> Self {
-        Self { name: m.name, result: m.result, scores: m.scores }
+        Self {
+            name: m.name,
+            result: m.result,
+            scores: m.scores,
+        }
     }
 }
 
@@ -163,6 +167,7 @@ mod tests {
                 traffic: TrafficStats::default(),
                 group_timeline: vec![],
                 final_global: vec![],
+                telemetry: refil_fed::TelemetrySummary::default(),
             },
         };
         FullResults {

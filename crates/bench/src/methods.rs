@@ -66,7 +66,11 @@ pub fn method_config(dataset: DatasetChoice, num_tasks: usize, seed: u64) -> Met
         DatasetChoice::FedDomainNet => 48,
         _ => 10,
     };
-    let in_dim = if dataset == DatasetChoice::FedDomainNet { 48 } else { 32 };
+    let in_dim = if dataset == DatasetChoice::FedDomainNet {
+        48
+    } else {
+        32
+    };
     MethodConfig {
         backbone: BackboneConfig {
             in_dim,
@@ -102,7 +106,10 @@ pub fn method_config(dataset: DatasetChoice, num_tasks: usize, seed: u64) -> Met
 /// L2P/DualPrompt's frozen pretrained backbone): shared weights slow down
 /// after the first task, adaptation flows through prompts.
 pub fn build_method(choice: MethodChoice, cfg: MethodConfig) -> Box<dyn FdilStrategy> {
-    let prompt_cfg = MethodConfig { stable_after_first_task: true, ..cfg };
+    let prompt_cfg = MethodConfig {
+        stable_after_first_task: true,
+        ..cfg
+    };
     match choice {
         MethodChoice::Finetune => Box::new(Finetune::new(cfg)),
         MethodChoice::FedLwf => Box::new(FedLwf::new(cfg)),
@@ -117,7 +124,10 @@ pub fn build_method(choice: MethodChoice, cfg: MethodConfig) -> Box<dyn FdilStra
 
 /// Builds an ablated RefFiL variant (Table 5 rows).
 pub fn build_reffil_variant(cfg: MethodConfig, flags: RefFiLFlags) -> Box<dyn FdilStrategy> {
-    let prompt_cfg = MethodConfig { stable_after_first_task: true, ..cfg };
+    let prompt_cfg = MethodConfig {
+        stable_after_first_task: true,
+        ..cfg
+    };
     Box::new(RefFiL::new(RefFiLConfig::new(prompt_cfg).with_flags(flags)))
 }
 

@@ -16,7 +16,10 @@ pub fn emit(name: &str, title: &str, markdown: &str, csv: Option<&str>) {
     println!("\n## {title}\n");
     println!("{markdown}");
     let dir = results_dir();
-    if let Err(e) = fs::write(dir.join(format!("{name}.md")), format!("# {title}\n\n{markdown}")) {
+    if let Err(e) = fs::write(
+        dir.join(format!("{name}.md")),
+        format!("# {title}\n\n{markdown}"),
+    ) {
         eprintln!("[refil-bench] could not write {name}.md: {e}");
     }
     if let Some(c) = csv {

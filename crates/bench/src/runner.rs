@@ -1,7 +1,8 @@
 //! Experiment orchestration: run one or all methods on one dataset.
 
 use refil_eval::{scores, Scores};
-use refil_fed::{run_fdil, RunResult};
+use refil_fed::{run_fdil_traced, RunResult};
+use refil_telemetry::Telemetry;
 
 use crate::datasets::{DatasetChoice, Scale};
 use crate::methods::{build_method, method_config, MethodChoice};
@@ -22,7 +23,12 @@ pub struct ExperimentSpec {
 impl ExperimentSpec {
     /// Canonical-order experiment at the environment-selected scale.
     pub fn new(dataset: DatasetChoice) -> Self {
-        Self { dataset, scale: Scale::from_env(), new_order: false, seed: 42 }
+        Self {
+            dataset,
+            scale: Scale::from_env(),
+            new_order: false,
+            seed: 42,
+        }
     }
 
     /// Switches to the Table 4 domain order.
@@ -43,39 +49,52 @@ pub struct MethodResult {
     pub scores: Scores,
 }
 
-/// Runs one method on an experiment.
+/// Runs one method on an experiment (telemetry disabled).
 pub fn run_experiment(spec: &ExperimentSpec, method: MethodChoice) -> MethodResult {
-    let dataset = spec.dataset.generate(&spec.scale, spec.seed, spec.new_order);
+    run_experiment_traced(spec, method, &Telemetry::disabled())
+}
+
+/// Runs one method on an experiment, recording the federated loop into
+/// `telemetry` (see [`refil_fed::run_fdil_traced`] for the span hierarchy).
+pub fn run_experiment_traced(
+    spec: &ExperimentSpec,
+    method: MethodChoice,
+    telemetry: &Telemetry,
+) -> MethodResult {
+    let dataset = spec
+        .dataset
+        .generate(&spec.scale, spec.seed, spec.new_order);
     let cfg = method_config(spec.dataset, dataset.num_domains(), spec.seed ^ 7);
     let mut strategy = build_method(method, cfg);
     let run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
-    let result = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+    let result = run_fdil_traced(&dataset, strategy.as_mut(), &run_cfg, telemetry);
     let s = scores(&result.domain_acc);
-    MethodResult { name: method.paper_name().to_string(), result, scores: s }
+    MethodResult {
+        name: method.paper_name().to_string(),
+        result,
+        scores: s,
+    }
 }
 
 /// Runs all eight methods on an experiment, in the paper's row order.
 ///
-/// Progress is written to stderr (each run takes seconds to minutes at
-/// bench scale on one core).
+/// Progress is reported through a level-filtered stderr telemetry sink
+/// (`REFIL_LOG` controls verbosity); each run takes seconds to minutes at
+/// bench scale on one core.
 pub fn run_all_methods(spec: &ExperimentSpec) -> Vec<MethodResult> {
     MethodChoice::all()
         .into_iter()
         .map(|m| {
-            eprintln!(
-                "[refil-bench] {} / {}{} ...",
-                m.paper_name(),
-                spec.dataset.name(),
-                if spec.new_order { " (new order)" } else { "" }
-            );
+            let telemetry = Telemetry::stderr();
             let start = std::time::Instant::now();
-            let r = run_experiment(spec, m);
-            eprintln!(
-                "[refil-bench]   Avg {:.2}%  Last {:.2}%  ({:.1?})",
+            let r = run_experiment_traced(spec, m, &telemetry);
+            telemetry.info(format!(
+                "{}: Avg {:.2}%  Last {:.2}%  ({:.1?})",
+                r.name,
                 r.scores.avg,
                 r.scores.last,
                 start.elapsed()
-            );
+            ));
             r
         })
         .collect()

@@ -35,7 +35,9 @@ impl FinchResult {
 
     /// The coarsest computed partition.
     pub fn coarsest(&self) -> &Partition {
-        self.partitions.last().expect("FINCH always yields at least one partition")
+        self.partitions
+            .last()
+            .expect("FINCH always yields at least one partition")
     }
 
     /// The partition whose cluster count is closest to `k` (FINCH's standard
@@ -56,13 +58,36 @@ impl FinchResult {
 ///
 /// Panics if point dimensionalities differ.
 pub fn finch(points: &[Vec<f32>]) -> FinchResult {
+    finch_traced(points, &refil_telemetry::Telemetry::disabled())
+}
+
+/// [`finch`] wrapped in a `finch_cluster` telemetry span, recording the
+/// input size and resulting hierarchy depth as histogram observations.
+pub fn finch_traced(points: &[Vec<f32>], telemetry: &refil_telemetry::Telemetry) -> FinchResult {
+    let _span = telemetry.span("finch_cluster");
+    let result = finch_inner(points);
+    telemetry.observe("finch.points", points.len() as f64);
+    telemetry.observe("finch.levels", result.partitions.len() as f64);
+    telemetry.observe("finch.finest_clusters", result.finest().num_clusters as f64);
+    result
+}
+
+fn finch_inner(points: &[Vec<f32>]) -> FinchResult {
     let n = points.len();
     if n == 0 {
-        return FinchResult { partitions: vec![Partition { labels: vec![], num_clusters: 0 }] };
+        return FinchResult {
+            partitions: vec![Partition {
+                labels: vec![],
+                num_clusters: 0,
+            }],
+        };
     }
     if n == 1 {
         return FinchResult {
-            partitions: vec![Partition { labels: vec![0], num_clusters: 1 }],
+            partitions: vec![Partition {
+                labels: vec![0],
+                num_clusters: 1,
+            }],
         };
     }
     let dim = points[0].len();
@@ -80,15 +105,15 @@ pub fn finch(points: &[Vec<f32>]) -> FinchResult {
         let level = cluster_once(&current);
         let labels: Vec<usize> = mapping.iter().map(|&m| level.labels[m]).collect();
         let num_clusters = level.num_clusters;
-        partitions.push(Partition { labels: labels.clone(), num_clusters });
+        partitions.push(Partition {
+            labels: labels.clone(),
+            num_clusters,
+        });
         if num_clusters <= 1 || num_clusters == current.len() {
             break;
         }
         current = cluster_means(&current, &level.labels, num_clusters);
-        mapping = labels
-            .iter()
-            .map(|&l| l)
-            .collect();
+        mapping = labels;
         if current.len() < 2 {
             break;
         }
@@ -101,28 +126,31 @@ pub fn finch(points: &[Vec<f32>]) -> FinchResult {
 fn cluster_once(points: &[Vec<f32>]) -> Partition {
     let n = points.len();
     if n == 1 {
-        return Partition { labels: vec![0], num_clusters: 1 };
+        return Partition {
+            labels: vec![0],
+            num_clusters: 1,
+        };
     }
     let neighbors: Vec<usize> = (0..n).map(|i| first_neighbor(points, i)).collect();
 
     // Union-find over the Eq. 4 links.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
         }
         x
     }
-    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+    let union = |parent: &mut [usize], a: usize, b: usize| {
         let (ra, rb) = (find(parent, a), find(parent, b));
         if ra != rb {
             parent[ra.max(rb)] = ra.min(rb);
         }
     };
-    for i in 0..n {
+    for (i, &nb) in neighbors.iter().enumerate() {
         // j = c_i and i = c_j are both covered by linking i with c_i.
-        union(&mut parent, i, neighbors[i]);
+        union(&mut parent, i, nb);
         // c_i = c_j: linking every i to c_i already places all points sharing
         // a first neighbour in the same component (transitively via c_i).
     }
@@ -131,16 +159,18 @@ fn cluster_once(points: &[Vec<f32>]) -> Partition {
     let mut labels = vec![usize::MAX; n];
     let mut next = 0usize;
     let mut remap: Vec<Option<usize>> = vec![None; n];
-    for i in 0..n {
+    for (i, label) in labels.iter_mut().enumerate() {
         let root = find(&mut parent, i);
-        let lab = *remap[root].get_or_insert_with(|| {
+        *label = *remap[root].get_or_insert_with(|| {
             let l = next;
             next += 1;
             l
         });
-        labels[i] = lab;
     }
-    Partition { labels, num_clusters: next }
+    Partition {
+        labels,
+        num_clusters: next,
+    }
 }
 
 /// Mean vector of each cluster.

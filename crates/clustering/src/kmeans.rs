@@ -27,7 +27,11 @@ pub struct KmeansResult {
 /// Panics if `k == 0` while points are non-empty.
 pub fn kmeans(points: &[Vec<f32>], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
     if points.is_empty() {
-        return KmeansResult { labels: vec![], centroids: vec![], iterations: 0 };
+        return KmeansResult {
+            labels: vec![],
+            centroids: vec![],
+            iterations: 0,
+        };
     }
     assert!(k > 0, "k must be positive");
     let k = k.min(points.len());
@@ -103,7 +107,11 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, seed: u64, max_iters: usize) -> Kme
             break;
         }
     }
-    KmeansResult { labels, centroids, iterations }
+    KmeansResult {
+        labels,
+        centroids,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +141,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let pts: Vec<Vec<f32>> = (0..20).map(|i| vec![(i % 5) as f32, (i / 5) as f32]).collect();
+        let pts: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![(i % 5) as f32, (i / 5) as f32])
+            .collect();
         let a = kmeans(&pts, 3, 42, 100);
         let b = kmeans(&pts, 3, 42, 100);
         assert_eq!(a.labels, b.labels);

@@ -26,7 +26,7 @@ mod finch;
 mod kmeans;
 mod similarity;
 
-pub use finch::{cluster_means, finch, representatives, FinchResult, Partition};
+pub use finch::{cluster_means, finch, finch_traced, representatives, FinchResult, Partition};
 pub use kmeans::{kmeans, KmeansResult};
 pub use similarity::{cosine_similarity, first_neighbor, squared_distance};
 
@@ -36,10 +36,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-        prop::collection::vec(
-            prop::collection::vec(-10.0f32..10.0, dim..=dim),
-            0..max_n,
-        )
+        prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dim..=dim), 0..max_n)
     }
 
     proptest! {

@@ -16,7 +16,13 @@
 /// assert!((s - 1.0).abs() < 1e-6);
 /// ```
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "cosine length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cosine length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     let mut dot = 0.0f32;
     let mut na = 0.0f32;
     let mut nb = 0.0f32;
@@ -50,7 +56,10 @@ pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if `points.len() < 2`.
 pub fn first_neighbor(points: &[Vec<f32>], i: usize) -> usize {
-    assert!(points.len() >= 2, "first neighbour needs at least two points");
+    assert!(
+        points.len() >= 2,
+        "first neighbour needs at least two points"
+    );
     let mut best = usize::MAX;
     let mut best_sim = f32::NEG_INFINITY;
     for (j, p) in points.iter().enumerate() {

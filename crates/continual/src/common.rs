@@ -9,6 +9,9 @@ use refil_fed::TrainSetting;
 use refil_nn::models::{BackboneConfig, PromptedBackbone};
 use refil_nn::{clip_grad_norm, Graph, Params, Sgd, Tensor, Var};
 
+/// Builds prompt tokens for a forward pass (e.g. pool lookup + concat).
+pub type PromptBuilder<'a> = &'a dyn Fn(&Graph, &Params) -> Var;
+
 /// Hyperparameters shared by every method in the evaluation.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MethodConfig {
@@ -161,7 +164,7 @@ impl ModelCore {
         &mut self,
         flat: &[f32],
         features: &Tensor,
-        prompts: Option<&dyn Fn(&Graph, &Params) -> Var>,
+        prompts: Option<PromptBuilder<'_>>,
     ) -> Vec<Vec<f32>> {
         self.load(flat);
         let g = Graph::new();
@@ -215,8 +218,7 @@ pub fn estimate_fisher(
         return fisher;
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let take: Vec<refil_data::Sample> =
-        samples.iter().take(max_samples.max(1)).cloned().collect();
+    let take: Vec<refil_data::Sample> = samples.iter().take(max_samples.max(1)).cloned().collect();
     let mut batches = 0usize;
     for batch in minibatches(&take, 32, &mut rng) {
         core.params.zero_grad();

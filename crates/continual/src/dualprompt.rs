@@ -61,7 +61,14 @@ impl FedDualPrompt {
                 init::prompt_normal(&[cfg.max_tasks, d], &mut rng),
                 true,
             );
-            (Some(ExpertParams { prompts, keys, max_tasks: cfg.max_tasks }), None)
+            (
+                Some(ExpertParams {
+                    prompts,
+                    keys,
+                    max_tasks: cfg.max_tasks,
+                }),
+                None,
+            )
         } else {
             let p = core.params.insert(
                 "dual.eprompt",
@@ -145,7 +152,10 @@ impl FedDualPrompt {
                         let keys_var = g.param(params, experts.keys);
                         let key_rows = vec![t; b];
                         let keys_sel = g.embedding(keys_var, &key_rows);
-                        (vec![t; b], Some((keys_sel, Tensor::from_vec(qdata, &[b, d]))))
+                        (
+                            vec![t; b],
+                            Some((keys_sel, Tensor::from_vec(qdata, &[b, d]))),
+                        )
                     }
                     None => {
                         let queries = self.queries(params, features);
@@ -231,7 +241,9 @@ impl FdilStrategy for FedDualPrompt {
         self.core.load(global);
         let g = Graph::new();
         let (prompts, _) = self.batch_prompts(&g, &self.core.params, features, None);
-        let out = self.model.forward(&g, &self.core.params, features, Some(prompts));
+        let out = self
+            .model
+            .forward(&g, &self.core.params, features, Some(prompts));
         g.value(out.logits).argmax_last()
     }
 
@@ -239,7 +251,9 @@ impl FdilStrategy for FedDualPrompt {
         self.core.load(global);
         let g = Graph::new();
         let (prompts, _) = self.batch_prompts(&g, &self.core.params, features, None);
-        let out = self.model.forward(&g, &self.core.params, features, Some(prompts));
+        let out = self
+            .model
+            .forward(&g, &self.core.params, features, Some(prompts));
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()

@@ -32,7 +32,13 @@ impl FedEwc {
     pub fn new(cfg: MethodConfig) -> Self {
         let core = ModelCore::new(cfg);
         let model = core.model.clone();
-        Self { core, model, fisher: None, anchor: None, fisher_samples: 64 }
+        Self {
+            core,
+            model,
+            fisher: None,
+            anchor: None,
+            fisher_samples: 64,
+        }
     }
 
     /// Overrides the per-client Fisher sample budget.

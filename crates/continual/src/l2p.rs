@@ -72,7 +72,13 @@ impl FedL2p {
             (None, Some(p))
         };
         let model = core.model.clone();
-        Self { core, model, pool: pool_params, single_prompt, key_loss_weight: 0.5 }
+        Self {
+            core,
+            model,
+            pool: pool_params,
+            single_prompt,
+            key_loss_weight: 0.5,
+        }
     }
 
     /// Whether the prompt pool is active (the † variant).
@@ -163,7 +169,11 @@ const L2P_SEED: u64 = 0x4c_32_50;
 
 impl FdilStrategy for FedL2p {
     fn name(&self) -> String {
-        if self.pool.is_some() { "FedL2P+pool".into() } else { "FedL2P".into() }
+        if self.pool.is_some() {
+            "FedL2P+pool".into()
+        } else {
+            "FedL2P".into()
+        }
     }
 
     fn init_global(&mut self) -> Vec<f32> {
@@ -212,7 +222,9 @@ impl FdilStrategy for FedL2p {
         self.core.load(global);
         let g = Graph::new();
         let (prompts, _) = self.batch_prompts(&g, &self.core.params, features);
-        let out = self.model.forward(&g, &self.core.params, features, Some(prompts));
+        let out = self
+            .model
+            .forward(&g, &self.core.params, features, Some(prompts));
         g.value(out.logits).argmax_last()
     }
 
@@ -220,7 +232,9 @@ impl FdilStrategy for FedL2p {
         self.core.load(global);
         let g = Graph::new();
         let (prompts, _) = self.batch_prompts(&g, &self.core.params, features);
-        let out = self.model.forward(&g, &self.core.params, features, Some(prompts));
+        let out = self
+            .model
+            .forward(&g, &self.core.params, features, Some(prompts));
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()

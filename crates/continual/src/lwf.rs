@@ -26,7 +26,11 @@ impl FedLwf {
     pub fn new(cfg: MethodConfig) -> Self {
         let core = ModelCore::new(cfg);
         let model = core.model.clone();
-        Self { core, model, teacher: None }
+        Self {
+            core,
+            model,
+            teacher: None,
+        }
     }
 
     #[cfg(test)]

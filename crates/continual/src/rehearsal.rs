@@ -35,7 +35,12 @@ impl RehearsalOracle {
     pub fn new(cfg: MethodConfig, per_class_cap: usize) -> Self {
         let core = ModelCore::new(cfg);
         let model = core.model.clone();
-        Self { core, model, memory: HashMap::new(), per_class_cap: per_class_cap.max(1) }
+        Self {
+            core,
+            model,
+            memory: HashMap::new(),
+            per_class_cap: per_class_cap.max(1),
+        }
     }
 
     /// Total samples held across all client memories (for the memory-cost
@@ -55,8 +60,10 @@ impl RehearsalOracle {
                 mem.push(s.clone());
             } else if rng.gen::<f32>() < 0.1 {
                 // Reservoir-style replacement keeps the memory fresh.
-                if let Some(slot) =
-                    mem.iter_mut().filter(|m| m.label == s.label).choose_one(&mut rng)
+                if let Some(slot) = mem
+                    .iter_mut()
+                    .filter(|m| m.label == s.label)
+                    .choose_one(&mut rng)
                 {
                     *slot = s.clone();
                 }
@@ -96,11 +103,17 @@ impl FdilStrategy for RehearsalOracle {
     fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
         self.core.load(global);
         // Replay buffer + current data form the effective training set.
-        let mut effective: Vec<Sample> =
-            self.memory.get(&setting.client_id).cloned().unwrap_or_default();
+        let mut effective: Vec<Sample> = self
+            .memory
+            .get(&setting.client_id)
+            .cloned()
+            .unwrap_or_default();
         effective.extend_from_slice(setting.samples);
         let model = self.model.clone();
-        let replayed = TrainSetting { samples: &effective, ..*setting };
+        let replayed = TrainSetting {
+            samples: &effective,
+            ..*setting
+        };
         self.core.train_local(
             &replayed,
             |g, p, b| {

@@ -38,7 +38,14 @@ pub struct CdapConfig {
 
 impl Default for CdapConfig {
     fn default() -> Self {
-        Self { token_dim: 32, seq_len: 5, prompt_len: 4, hidden: 16, key_dim: 8, max_tasks: 8 }
+        Self {
+            token_dim: 32,
+            seq_len: 5,
+            prompt_len: 4,
+            hidden: 16,
+            key_dim: 8,
+            max_tasks: 8,
+        }
     }
 }
 
@@ -65,12 +72,36 @@ impl CdapGenerator {
             cfg.prompt_len,
             rng,
         );
-        let ccda =
-            Linear::new(params, &format!("{name}.ccda"), cfg.prompt_len, cfg.prompt_len, true, rng);
-        let film = Film::new(params, &format!("{name}.film"), cfg.key_dim, cfg.prompt_len, rng);
-        let task_keys =
-            Embedding::new(params, &format!("{name}.task_keys"), cfg.max_tasks, cfg.key_dim, rng);
-        Self { ln, mlp, ccda, film, task_keys, cfg }
+        let ccda = Linear::new(
+            params,
+            &format!("{name}.ccda"),
+            cfg.prompt_len,
+            cfg.prompt_len,
+            true,
+            rng,
+        );
+        let film = Film::new(
+            params,
+            &format!("{name}.film"),
+            cfg.key_dim,
+            cfg.prompt_len,
+            rng,
+        );
+        let task_keys = Embedding::new(
+            params,
+            &format!("{name}.task_keys"),
+            cfg.max_tasks,
+            cfg.key_dim,
+            rng,
+        );
+        Self {
+            ln,
+            mlp,
+            ccda,
+            film,
+            task_keys,
+            cfg,
+        }
     }
 
     /// Generator configuration.
@@ -106,7 +137,7 @@ impl CdapGenerator {
         let tid = task_id.min(self.cfg.max_tasks - 1);
         let v = self.task_keys.forward(g, params, &vec![tid; b]); // [b, key]
         let modulated = self.film.forward(g, params, adapted, v); // [b, d, p]
-        // Transpose back: p prompt tokens of width d.
+                                                                  // Transpose back: p prompt tokens of width d.
         g.transpose_last(modulated)
     }
 }
@@ -192,12 +223,14 @@ mod tests {
         let sq = g.mul(prompts, prompts);
         let loss = g.sum_all(sq);
         g.backward(loss, &mut params);
-        for part in ["cdap.mlp.fc1.weight", "cdap.ccda.weight", "cdap.film.phi.weight", "cdap.task_keys.weight"] {
+        for part in [
+            "cdap.mlp.fc1.weight",
+            "cdap.ccda.weight",
+            "cdap.film.phi.weight",
+            "cdap.task_keys.weight",
+        ] {
             let id = params.id(part).expect(part);
-            assert!(
-                params.grad(id).norm() > 0.0,
-                "no gradient reached {part}"
-            );
+            assert!(params.grad(id).norm() > 0.0, "no gradient reached {part}");
         }
     }
 }

@@ -38,7 +38,11 @@ pub fn dpcl_loss(
     if candidates.is_empty() {
         return None;
     }
-    assert_eq!(candidates.len(), cand_classes.len(), "candidate class list mismatch");
+    assert_eq!(
+        candidates.len(),
+        cand_classes.len(),
+        "candidate class list mismatch"
+    );
     let ushape = g.shape(u);
     assert_eq!(ushape.len(), 2, "u must be [b, p*d]");
     let (b, d) = (ushape[0], ushape[1]);
@@ -117,7 +121,12 @@ mod tests {
         let misaligned = g.constant(Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0], &[1, 4]));
         let la = g.value(dpcl_loss(&g, aligned, &cands, &classes, &[0], 1, 0.5).unwrap());
         let lm = g.value(dpcl_loss(&g, misaligned, &cands, &classes, &[0], 1, 0.5).unwrap());
-        assert!(la.data()[0] < lm.data()[0], "{} !< {}", la.data()[0], lm.data()[0]);
+        assert!(
+            la.data()[0] < lm.data()[0],
+            "{} !< {}",
+            la.data()[0],
+            lm.data()[0]
+        );
     }
 
     #[test]
@@ -127,7 +136,11 @@ mod tests {
         // Label 7 has no candidates: loss must be exactly zero.
         let u = g.constant(Tensor::from_vec(vec![0.5, 0.5, 0.0, 0.0], &[1, 4]));
         let l = g.value(dpcl_loss(&g, u, &cands, &classes, &[7], 1, 0.5).unwrap());
-        assert!(l.data()[0].abs() < 1e-6, "neutral row not zero: {}", l.data()[0]);
+        assert!(
+            l.data()[0].abs() < 1e-6,
+            "neutral row not zero: {}",
+            l.data()[0]
+        );
     }
 
     #[test]
@@ -138,11 +151,9 @@ mod tests {
         // class-1 candidate is a negative — the loss must be smaller than the
         // 1-positive case for a prompt equally near both class-0 candidates.
         let u = Tensor::from_vec(vec![0.7, 0.7, 0.0, 0.0], &[1, 4]);
-        let l1 = g.value(
-            dpcl_loss(&g, g.constant(u.clone()), &cands, &classes, &[0], 1, 0.5).unwrap(),
-        );
-        let l2 =
-            g.value(dpcl_loss(&g, g.constant(u), &cands, &classes, &[0], 2, 0.5).unwrap());
+        let l1 =
+            g.value(dpcl_loss(&g, g.constant(u.clone()), &cands, &classes, &[0], 1, 0.5).unwrap());
+        let l2 = g.value(dpcl_loss(&g, g.constant(u), &cands, &classes, &[0], 2, 0.5).unwrap());
         assert!(l2.data()[0] < l1.data()[0]);
     }
 
@@ -177,8 +188,7 @@ mod tests {
         let u = Tensor::from_vec(vec![0.9, 0.1, 0.3, 0.0], &[1, 4]);
         let hot =
             g.value(dpcl_loss(&g, g.constant(u.clone()), &cands, &classes, &[0], 1, 0.9).unwrap());
-        let cold =
-            g.value(dpcl_loss(&g, g.constant(u), &cands, &classes, &[0], 1, 0.3).unwrap());
+        let cold = g.value(dpcl_loss(&g, g.constant(u), &cands, &classes, &[0], 1, 0.3).unwrap());
         // Sharper temperature should reduce the loss for a well-aligned
         // prompt (the positive dominates the partition function more).
         assert!(cold.data()[0] < hot.data()[0]);

@@ -11,7 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use refil_clustering::{cluster_means, finch, kmeans};
+use refil_clustering::{cluster_means, finch_traced, kmeans};
+use refil_telemetry::Telemetry;
 
 /// How the server condenses each class's LPG pool into representatives —
 /// FINCH is the paper's choice; k-means and plain averaging are the
@@ -39,7 +40,10 @@ pub struct LocalPromptGroup {
 impl LocalPromptGroup {
     /// Serialized payload size in bytes (for traffic accounting).
     pub fn byte_len(&self) -> u64 {
-        self.prompts.iter().map(|(_, v)| 8 + 4 * v.len() as u64).sum()
+        self.prompts
+            .iter()
+            .map(|(_, v)| 8 + 4 * v.len() as u64)
+            .sum()
     }
 }
 
@@ -126,6 +130,18 @@ impl GlobalPromptStore {
     ///
     /// Panics if any prompt has the wrong dimension or class index.
     pub fn ingest(&mut self, uploads: &[LocalPromptGroup]) {
+        self.ingest_traced(uploads, &Telemetry::disabled());
+    }
+
+    /// [`GlobalPromptStore::ingest`] wrapped in a `prompt_ingest` telemetry
+    /// span; FINCH re-clustering spans nest inside it, and the resulting
+    /// pool and representative sizes are recorded as histogram observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any prompt has the wrong dimension or class index.
+    pub fn ingest_traced(&mut self, uploads: &[LocalPromptGroup], telemetry: &Telemetry) {
+        let _span = telemetry.span("prompt_ingest");
         let mut touched = vec![false; self.classes];
         for up in uploads {
             for (k, v) in &up.prompts {
@@ -150,7 +166,7 @@ impl GlobalPromptStore {
             }
             let mut means = match self.mode {
                 ClusterMode::Finch => {
-                    let result = finch(pool);
+                    let result = finch_traced(pool, telemetry);
                     // The finest partition separates domains (prompts from
                     // different domains are unlikely to be first neighbours);
                     // when it exceeds the cap, fall back to the hierarchy
@@ -163,13 +179,16 @@ impl GlobalPromptStore {
                     cluster_means(pool, &partition.labels, partition.num_clusters)
                 }
                 ClusterMode::Kmeans(kk) => kmeans(pool, kk.max(1), 17, 50).centroids,
-                ClusterMode::Average => {
-                    cluster_means(pool, &vec![0; pool.len()], 1)
-                }
+                ClusterMode::Average => cluster_means(pool, &vec![0; pool.len()], 1),
             };
             means.truncate(self.per_class_cap);
             self.reps[k] = means;
         }
+        telemetry.observe(
+            "prompt.pool_size",
+            self.pool.iter().map(Vec::len).sum::<usize>() as f64,
+        );
+        telemetry.observe("prompt.reps", self.total_reps() as f64);
     }
 
     /// All representatives as a flat candidate list plus each one's class —
@@ -230,7 +249,10 @@ mod tests {
     use super::*;
 
     fn lpg(client: usize, class: usize, v: Vec<f32>) -> LocalPromptGroup {
-        LocalPromptGroup { client_id: client, prompts: vec![(class, v)] }
+        LocalPromptGroup {
+            client_id: client,
+            prompts: vec![(class, v)],
+        }
     }
 
     #[test]

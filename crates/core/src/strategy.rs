@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use refil_continual::{MethodConfig, ModelCore};
-use refil_fed::{ClientGroup, ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientGroup, ClientUpdate, FdilStrategy, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -36,7 +36,11 @@ pub struct RefFiLFlags {
 impl Default for RefFiLFlags {
     /// The full method: all three components on.
     fn default() -> Self {
-        Self { use_cdap: true, use_gpl: true, use_dpcl: true }
+        Self {
+            use_cdap: true,
+            use_gpl: true,
+            use_dpcl: true,
+        }
     }
 }
 
@@ -131,6 +135,7 @@ pub struct RefFiL {
     pending_uploads: Vec<LocalPromptGroup>,
     cfg: RefFiLConfig,
     current_task: usize,
+    telemetry: Telemetry,
 }
 
 impl RefFiL {
@@ -167,7 +172,17 @@ impl RefFiL {
         let store = GlobalPromptStore::new(bb.classes, dim)
             .with_cap(cfg.store_cap)
             .with_mode(cfg.cluster_mode);
-        Self { core, model, cdap, fixed_prompt, store, pending_uploads: Vec::new(), cfg, current_task: 0 }
+        Self {
+            core,
+            model,
+            cdap,
+            fixed_prompt,
+            store,
+            pending_uploads: Vec::new(),
+            cfg,
+            current_task: 0,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// The active ablation flags.
@@ -247,7 +262,10 @@ impl RefFiL {
             }
             prompts.push((k, mean));
         }
-        LocalPromptGroup { client_id: setting.client_id, prompts }
+        LocalPromptGroup {
+            client_id: setting.client_id,
+            prompts,
+        }
     }
 
     /// Task-ID-free prediction: run the model under every task key and keep,
@@ -274,9 +292,9 @@ impl RefFiL {
                 tokens,
                 task_id,
             );
-            let out = self
-                .model
-                .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+            let out =
+                self.model
+                    .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
             let probs = g.value(g.softmax_last(out.logits));
             let k = self.model.config().classes;
             for (i, row) in probs.data().chunks(k).enumerate() {
@@ -294,7 +312,12 @@ impl RefFiL {
         best_pred
     }
 
-    fn predict_with_task(&mut self, global: &[f32], features: &Tensor, task_id: usize) -> Vec<usize> {
+    fn predict_with_task(
+        &mut self,
+        global: &[f32],
+        features: &Tensor,
+        task_id: usize,
+    ) -> Vec<usize> {
         self.core.load(global);
         let g = Graph::new();
         let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
@@ -308,7 +331,8 @@ impl RefFiL {
             task_id,
         );
         let out =
-            self.model.forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+            self.model
+                .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
         g.value(out.logits).argmax_last()
     }
 }
@@ -326,6 +350,10 @@ impl FdilStrategy for RefFiL {
                 if f.use_dpcl { "D" } else { "-" }
             )
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     fn init_global(&mut self) -> Vec<f32> {
@@ -360,15 +388,24 @@ impl FdilStrategy for RefFiL {
             None
         };
         let tau = self.cfg.temperature.at_task(task + 1);
-        let n_pos = if setting.group == ClientGroup::Between { 2 } else { 1 };
+        let n_pos = if setting.group == ClientGroup::Between {
+            2
+        } else {
+            1
+        };
+        if flags.use_dpcl {
+            self.telemetry.observe("dpcl.temperature", f64::from(tau));
+            self.telemetry
+                .observe("dpcl.candidates", cands.len() as f64);
+        }
 
+        let train_span = self.telemetry.span("local_train");
         self.core.train_local(
             setting,
             |g, p, b| {
                 let bsz = b.len();
                 let (feat, tokens) = model.tokenize(g, p, &b.features);
-                let prompts =
-                    Self::local_prompts(&model, &cdap, fixed, g, p, tokens, task);
+                let prompts = Self::local_prompts(&model, &cdap, fixed, g, p, tokens, task);
                 // L_CE: classification with locally generated prompts (Eq. 10).
                 let out_l = model.forward_from_tokens(g, p, feat, tokens, Some(prompts));
                 let mut loss = g.cross_entropy(out_l.logits, &b.labels);
@@ -383,8 +420,7 @@ impl FdilStrategy for RefFiL {
                 // L_DPCL: contrastive prompt separation (Eq. 6).
                 if !cands.is_empty() {
                     let u = g.reshape(prompts, &[bsz, p_len * d]);
-                    if let Some(dl) =
-                        dpcl_loss(g, u, &cands, &cand_classes, &b.labels, n_pos, tau)
+                    if let Some(dl) = dpcl_loss(g, u, &cands, &cand_classes, &b.labels, n_pos, tau)
                     {
                         loss = g.add(loss, dl);
                     }
@@ -393,14 +429,21 @@ impl FdilStrategy for RefFiL {
             },
             |_| {},
         );
+        drop(train_span);
 
         // Upload: updated model + class-wise LPGs (Algorithm 1 line 29).
         let mut upload_bytes = 0u64;
         let mut download_bytes = 0u64;
         if flags.needs_store() {
-            let lpg = self.compute_lpg(setting);
+            let lpg = {
+                let _span = self.telemetry.span("compute_lpg");
+                self.compute_lpg(setting)
+            };
             upload_bytes = lpg.byte_len();
             download_bytes = self.store.byte_len();
+            self.telemetry.counter("prompt.upload_bytes", upload_bytes);
+            self.telemetry
+                .counter("prompt.download_bytes", download_bytes);
             if self.cfg.weighted_prompt_sharing {
                 // Ablation: resource-rich clients push proportionally more
                 // copies, skewing the global prompt pool toward big clients.
@@ -423,7 +466,8 @@ impl FdilStrategy for RefFiL {
     fn on_round_end(&mut self, _task: usize, _round: usize, _global: &[f32]) {
         if !self.pending_uploads.is_empty() {
             let uploads = std::mem::take(&mut self.pending_uploads);
-            self.store.ingest(&uploads);
+            let telemetry = self.telemetry.clone();
+            self.store.ingest_traced(&uploads, &telemetry);
         }
     }
 
@@ -457,7 +501,8 @@ impl FdilStrategy for RefFiL {
             self.current_task,
         );
         let out =
-            self.model.forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
+            self.model
+                .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()
@@ -544,10 +589,26 @@ mod tests {
     fn ablated_variants_run() {
         let ds = tiny_dataset();
         for flags in [
-            RefFiLFlags { use_cdap: true, use_gpl: false, use_dpcl: false },
-            RefFiLFlags { use_cdap: false, use_gpl: true, use_dpcl: false },
-            RefFiLFlags { use_cdap: false, use_gpl: true, use_dpcl: true },
-            RefFiLFlags { use_cdap: true, use_gpl: true, use_dpcl: false },
+            RefFiLFlags {
+                use_cdap: true,
+                use_gpl: false,
+                use_dpcl: false,
+            },
+            RefFiLFlags {
+                use_cdap: false,
+                use_gpl: true,
+                use_dpcl: false,
+            },
+            RefFiLFlags {
+                use_cdap: false,
+                use_gpl: true,
+                use_dpcl: true,
+            },
+            RefFiLFlags {
+                use_cdap: true,
+                use_gpl: true,
+                use_dpcl: false,
+            },
         ] {
             let mut strat = RefFiL::new(tiny_cfg().with_flags(flags));
             let res = run_fdil(&ds, &mut strat, &tiny_run_config());

@@ -24,7 +24,12 @@ pub struct TemperatureSchedule {
 impl Default for TemperatureSchedule {
     /// The paper's hyperparameters (§4.1).
     fn default() -> Self {
-        Self { tau: 0.9, tau_min: 0.3, gamma: 0.1, beta: 0.05 }
+        Self {
+            tau: 0.9,
+            tau_min: 0.3,
+            gamma: 0.1,
+            beta: 0.05,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ mod tests {
 
     #[test]
     fn floor_is_respected() {
-        let s = TemperatureSchedule { tau: 0.9, tau_min: 0.3, gamma: 0.5, beta: 0.3 };
+        let s = TemperatureSchedule {
+            tau: 0.9,
+            tau_min: 0.3,
+            gamma: 0.5,
+            beta: 0.3,
+        };
         // t=3: 0.9 * (1 - 1.1) < 0 -> clamped to 0.3.
         assert_eq!(s.at_task(3), 0.3);
     }

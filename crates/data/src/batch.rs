@@ -43,7 +43,10 @@ pub fn collate(samples: &[&Sample]) -> Batch {
         data.extend_from_slice(&s.features);
         labels.push(s.label);
     }
-    Batch { features: Tensor::from_vec(data, &[samples.len(), dim]), labels }
+    Batch {
+        features: Tensor::from_vec(data, &[samples.len(), dim]),
+        labels,
+    }
 }
 
 /// Yields shuffled minibatches over `samples`.
@@ -73,7 +76,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn mk(n: usize) -> Vec<Sample> {
-        (0..n).map(|i| Sample { features: vec![i as f32, 0.0], label: i % 2 }).collect()
+        (0..n)
+            .map(|i| Sample {
+                features: vec![i as f32, 0.0],
+                label: i % 2,
+            })
+            .collect()
     }
 
     #[test]
@@ -95,7 +103,13 @@ mod tests {
         assert_eq!(total, 10);
         let mut firsts: Vec<f32> = batches
             .iter()
-            .flat_map(|b| b.features.data().chunks(2).map(|r| r[0]).collect::<Vec<_>>())
+            .flat_map(|b| {
+                b.features
+                    .data()
+                    .chunks(2)
+                    .map(|r| r[0])
+                    .collect::<Vec<_>>()
+            })
             .collect();
         firsts.sort_by(f32::total_cmp);
         assert_eq!(firsts, (0..10).map(|x| x as f32).collect::<Vec<_>>());

@@ -33,10 +33,9 @@ pub mod synth;
 pub use batch::{collate, minibatches, Batch};
 pub use partition::{partition_quantity_shift, QuantityShift};
 pub use presets::{
-    digits_five, fed_domain_net, office_caltech10, pacs, PresetConfig,
-    DIGITS_FIVE_NEW_ORDER, FED_DOMAIN_NET_CLASSES, FED_DOMAIN_NET_COUNTS,
-    FED_DOMAIN_NET_DOMAINS, FED_DOMAIN_NET_NEW_ORDER, OFFICE_CALTECH10_NEW_ORDER,
-    PACS_NEW_ORDER,
+    digits_five, fed_domain_net, office_caltech10, pacs, PresetConfig, DIGITS_FIVE_NEW_ORDER,
+    FED_DOMAIN_NET_CLASSES, FED_DOMAIN_NET_COUNTS, FED_DOMAIN_NET_DOMAINS,
+    FED_DOMAIN_NET_NEW_ORDER, OFFICE_CALTECH10_NEW_ORDER, PACS_NEW_ORDER,
 };
 pub use sample::{DomainData, FdilDataset, Sample};
 pub use synth::{DatasetSpec, DomainSpec};

@@ -111,7 +111,10 @@ pub fn load_csv_domain(
     test_fraction: f32,
     seed: u64,
 ) -> Result<DomainData, LoadError> {
-    assert!((0.0..1.0).contains(&test_fraction), "test fraction in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction in [0,1)"
+    );
     let text = fs::read_to_string(path)?;
     let mut samples = parse_csv_samples(&text)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -119,7 +122,11 @@ pub fn load_csv_domain(
     let n_test = (((samples.len() as f32) * test_fraction).round() as usize)
         .clamp(1, samples.len().saturating_sub(1).max(1));
     let test = samples.split_off(samples.len() - n_test);
-    Ok(DomainData { name: name.to_string(), train: samples, test })
+    Ok(DomainData {
+        name: name.to_string(),
+        train: samples,
+        test,
+    })
 }
 
 /// Assembles an [`FdilDataset`] from per-domain CSV files (in task order).
@@ -142,7 +149,12 @@ pub fn load_csv_dataset(
     let mut dim: Option<usize> = None;
     for (i, (dname, path)) in domain_files.iter().enumerate() {
         let dom = load_csv_domain(path, dname, test_fraction, seed ^ (i as u64 + 1))?;
-        let w = dom.train.first().or(dom.test.first()).map(|s| s.features.len()).unwrap_or(0);
+        let w = dom
+            .train
+            .first()
+            .or(dom.test.first())
+            .map(|s| s.features.len())
+            .unwrap_or(0);
         match dim {
             None => dim = Some(w),
             Some(d) if d != w => {
@@ -217,7 +229,12 @@ mod tests {
 
     #[test]
     fn load_domain_splits_train_test() {
-        let path = tmp_csv("dom", &(0..20).map(|i| format!("{},{}.0,1.0\n", i % 2, i)).collect::<String>());
+        let path = tmp_csv(
+            "dom",
+            &(0..20)
+                .map(|i| format!("{},{}.0,1.0\n", i % 2, i))
+                .collect::<String>(),
+        );
         let dom = load_csv_domain(&path, "d0", 0.25, 1).expect("load");
         assert_eq!(dom.len(), 20);
         assert_eq!(dom.test.len(), 5);

@@ -43,9 +43,9 @@ pub fn partition_quantity_shift(
 
     let weights: Vec<f32> = match shift {
         QuantityShift::Uniform => vec![1.0; n_clients],
-        QuantityShift::Lognormal(sigma) => {
-            (0..n_clients).map(|_| (gaussian(&mut rng) * sigma).exp()).collect()
-        }
+        QuantityShift::Lognormal(sigma) => (0..n_clients)
+            .map(|_| (gaussian(&mut rng) * sigma).exp())
+            .collect(),
     };
     let wsum: f32 = weights.iter().sum();
     let total = samples.len();
@@ -95,7 +95,12 @@ mod tests {
     use super::*;
 
     fn mk_samples(n: usize) -> Vec<Sample> {
-        (0..n).map(|i| Sample { features: vec![i as f32], label: i % 3 }).collect()
+        (0..n)
+            .map(|i| Sample {
+                features: vec![i as f32],
+                label: i % 3,
+            })
+            .collect()
     }
 
     #[test]
@@ -109,16 +114,24 @@ mod tests {
     fn uniform_is_roughly_even() {
         let parts = partition_quantity_shift(mk_samples(100), 4, QuantityShift::Uniform, 2);
         for p in &parts {
-            assert!((20..=30).contains(&p.len()), "uniform split uneven: {}", p.len());
+            assert!(
+                (20..=30).contains(&p.len()),
+                "uniform split uneven: {}",
+                p.len()
+            );
         }
     }
 
     #[test]
     fn lognormal_is_skewed() {
-        let parts = partition_quantity_shift(mk_samples(1000), 10, QuantityShift::Lognormal(1.0), 3);
+        let parts =
+            partition_quantity_shift(mk_samples(1000), 10, QuantityShift::Lognormal(1.0), 3);
         let max = parts.iter().map(Vec::len).max().unwrap();
         let min = parts.iter().map(Vec::len).min().unwrap();
-        assert!(max as f32 / min.max(1) as f32 > 2.0, "no skew: max {max} min {min}");
+        assert!(
+            max as f32 / min.max(1) as f32 > 2.0,
+            "no skew: max {max} min {min}"
+        );
     }
 
     #[test]

@@ -24,14 +24,20 @@ pub struct PresetConfig {
 
 impl Default for PresetConfig {
     fn default() -> Self {
-        Self { scale: 1.0, feature_dim: 32 }
+        Self {
+            scale: 1.0,
+            feature_dim: 32,
+        }
     }
 }
 
 impl PresetConfig {
     /// A configuration scaled for quick CPU experiments.
     pub fn small() -> Self {
-        Self { scale: 0.02, feature_dim: 32 }
+        Self {
+            scale: 0.02,
+            feature_dim: 32,
+        }
     }
 
     fn n(&self, paper_count: usize) -> usize {
@@ -134,8 +140,14 @@ pub fn pacs(cfg: PresetConfig) -> DatasetSpec {
 pub const PACS_NEW_ORDER: [usize; 4] = [1, 0, 2, 3];
 
 /// Canonical FedDomainNet domain short names in task order.
-pub const FED_DOMAIN_NET_DOMAINS: [&str; 6] =
-    ["Clipart", "Infograph", "Painting", "Quickdraw", "Real", "Sketch"];
+pub const FED_DOMAIN_NET_DOMAINS: [&str; 6] = [
+    "Clipart",
+    "Infograph",
+    "Painting",
+    "Quickdraw",
+    "Real",
+    "Sketch",
+];
 
 /// New order for FedDomainNet (Table 4):
 /// Infograph, Sketch, Quickdraw, Real, Painting, Clipart.
@@ -143,12 +155,54 @@ pub const FED_DOMAIN_NET_NEW_ORDER: [usize; 6] = [1, 5, 3, 4, 2, 0];
 
 /// The 48 FedDomainNet class names (paper Table 6).
 pub const FED_DOMAIN_NET_CLASSES: [&str; 48] = [
-    "teapot", "streetlight", "tiger", "whale", "stethoscope", "sword", "shoe", "bracelet",
-    "headphones", "toaster", "golf club", "windmill", "cup", "map", "goatee", "eye", "train",
-    "tractor", "bread", "ice cream", "sun", "tornado", "sea turtle", "fish", "guitar",
-    "trombone", "strawberry", "watermelon", "snorkel", "yoga", "tree", "flower", "bird",
-    "penguin", "mushroom", "broccoli", "zigzag", "triangle", "spoon", "hourglass", "sailboat",
-    "submarine", "helicopter", "hot air balloon", "bee", "butterfly", "feather", "snowman",
+    "teapot",
+    "streetlight",
+    "tiger",
+    "whale",
+    "stethoscope",
+    "sword",
+    "shoe",
+    "bracelet",
+    "headphones",
+    "toaster",
+    "golf club",
+    "windmill",
+    "cup",
+    "map",
+    "goatee",
+    "eye",
+    "train",
+    "tractor",
+    "bread",
+    "ice cream",
+    "sun",
+    "tornado",
+    "sea turtle",
+    "fish",
+    "guitar",
+    "trombone",
+    "strawberry",
+    "watermelon",
+    "snorkel",
+    "yoga",
+    "tree",
+    "flower",
+    "bird",
+    "penguin",
+    "mushroom",
+    "broccoli",
+    "zigzag",
+    "triangle",
+    "spoon",
+    "hourglass",
+    "sailboat",
+    "submarine",
+    "helicopter",
+    "hot air balloon",
+    "bee",
+    "butterfly",
+    "feather",
+    "snowman",
 ];
 
 /// Per-class per-domain sample counts from the paper's Table 6
@@ -281,7 +335,10 @@ mod tests {
 
     #[test]
     fn fed_domain_net_generates_48_classes() {
-        let spec = fed_domain_net(PresetConfig { scale: 0.02, feature_dim: 48 });
+        let spec = fed_domain_net(PresetConfig {
+            scale: 0.02,
+            feature_dim: 48,
+        });
         assert_eq!(spec.classes, 48);
         assert_eq!(spec.domains.len(), 6);
         let ds = spec.generate(1);

@@ -9,7 +9,12 @@ use crate::sample::Sample;
 use crate::synth::{DatasetSpec, DomainSpec};
 
 fn mk_samples(n: usize) -> Vec<Sample> {
-    (0..n).map(|i| Sample { features: vec![i as f32], label: i % 4 }).collect()
+    (0..n)
+        .map(|i| Sample {
+            features: vec![i as f32],
+            label: i % 4,
+        })
+        .collect()
 }
 
 proptest! {

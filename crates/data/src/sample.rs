@@ -70,7 +70,10 @@ impl FdilDataset {
         assert_eq!(order.len(), self.domains.len(), "order length mismatch");
         let mut seen = vec![false; order.len()];
         for &i in order {
-            assert!(i < order.len() && !seen[i], "order must be a permutation, got {order:?}");
+            assert!(
+                i < order.len() && !seen[i],
+                "order must be a permutation, got {order:?}"
+            );
             seen[i] = true;
         }
         Self {
@@ -97,9 +100,21 @@ mod tests {
             classes: 2,
             feature_dim: 1,
             domains: vec![
-                DomainData { name: "a".into(), train: vec![], test: vec![] },
-                DomainData { name: "b".into(), train: vec![], test: vec![] },
-                DomainData { name: "c".into(), train: vec![], test: vec![] },
+                DomainData {
+                    name: "a".into(),
+                    train: vec![],
+                    test: vec![],
+                },
+                DomainData {
+                    name: "b".into(),
+                    train: vec![],
+                    test: vec![],
+                },
+                DomainData {
+                    name: "c".into(),
+                    train: vec![],
+                    test: vec![],
+                },
             ],
         }
     }

@@ -118,8 +118,14 @@ impl DatasetSpec {
     /// Generates the dataset deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> FdilDataset {
         assert!(self.classes >= 2, "need at least two classes");
-        assert!((0.0..1.0).contains(&self.test_fraction), "test fraction in [0,1)");
-        assert!(self.signature_dim < self.feature_dim, "signature must leave geometry dims");
+        assert!(
+            (0.0..1.0).contains(&self.test_fraction),
+            "test fraction in [0,1)"
+        );
+        assert!(
+            self.signature_dim < self.feature_dim,
+            "signature must leave geometry dims"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Shared class prototype arrangement = the domain-invariant structure
@@ -127,7 +133,11 @@ impl DatasetSpec {
         // dimensions are reserved for the per-domain signature).
         let geo_dim = self.feature_dim - self.signature_dim;
         let protos: Vec<Vec<f32>> = (0..self.classes)
-            .map(|_| (0..geo_dim).map(|_| gaussian(&mut rng) * self.proto_scale).collect())
+            .map(|_| {
+                (0..geo_dim)
+                    .map(|_| gaussian(&mut rng) * self.proto_scale)
+                    .collect()
+            })
             .collect();
 
         let domains = self
@@ -202,7 +212,9 @@ impl DatasetSpec {
             None => {
                 let base = spec.samples / self.classes;
                 let extra = spec.samples % self.classes;
-                (0..self.classes).map(|k| base + usize::from(k < extra)).collect()
+                (0..self.classes)
+                    .map(|k| base + usize::from(k < extra))
+                    .collect()
             }
         };
 
@@ -228,7 +240,9 @@ impl DatasetSpec {
                 // more reliably than one that must infer the domain from
                 // input alone — the asymmetry prompt methods exploit.
                 x.extend(
-                    signature.iter().map(|&s| s + gaussian(rng) * 1.5 * self.within_std),
+                    signature
+                        .iter()
+                        .map(|&s| s + gaussian(rng) * 1.5 * self.within_std),
                 );
                 let label = if spec.label_noise > 0.0 && rng.gen::<f32>() < spec.label_noise {
                     rng.gen_range(0..self.classes)
@@ -244,7 +258,11 @@ impl DatasetSpec {
         let n_test = n_test.clamp(usize::from(!all.is_empty()), all.len());
         let test = all.split_off(all.len() - n_test);
         let _ = domain_index;
-        DomainData { name: spec.name.clone(), train: all, test }
+        DomainData {
+            name: spec.name.clone(),
+            train: all,
+            test,
+        }
     }
 }
 
@@ -309,7 +327,11 @@ mod tests {
             for s in dom.train.iter().chain(&dom.test) {
                 seen[s.label] = true;
             }
-            assert!(seen.iter().all(|&x| x), "domain {} missing a class", dom.name);
+            assert!(
+                seen.iter().all(|&x| x),
+                "domain {} missing a class",
+                dom.name
+            );
         }
     }
 
@@ -318,8 +340,7 @@ mod tests {
         // The same class should sit in different places in shifted domains.
         let d = spec().generate(5);
         let mean_of = |dom: &DomainData, k: usize| -> Vec<f32> {
-            let samples: Vec<&Sample> =
-                dom.train.iter().filter(|s| s.label == k).collect();
+            let samples: Vec<&Sample> = dom.train.iter().filter(|s| s.label == k).collect();
             let mut m = vec![0.0f32; 8];
             for s in &samples {
                 for (mi, &f) in m.iter_mut().zip(&s.features) {

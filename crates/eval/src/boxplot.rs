@@ -48,15 +48,30 @@ pub fn box_stats(values: &[f32]) -> BoxStats {
     let iqr = q3 - q1;
     let lo_fence = q1 - 1.5 * iqr;
     let hi_fence = q3 + 1.5 * iqr;
-    let whisker_lo = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(sorted[0]);
+    let whisker_lo = sorted
+        .iter()
+        .copied()
+        .find(|&v| v >= lo_fence)
+        .unwrap_or(sorted[0]);
     let whisker_hi = sorted
         .iter()
         .rev()
         .copied()
         .find(|&v| v <= hi_fence)
         .unwrap_or(*sorted.last().expect("non-empty"));
-    let outliers = sorted.iter().copied().filter(|&v| v < lo_fence || v > hi_fence).collect();
-    BoxStats { whisker_lo, q1, median, q3, whisker_hi, outliers }
+    let outliers = sorted
+        .iter()
+        .copied()
+        .filter(|&v| v < lo_fence || v > hi_fence)
+        .collect();
+    BoxStats {
+        whisker_lo,
+        q1,
+        median,
+        q3,
+        whisker_hi,
+        outliers,
+    }
 }
 
 #[cfg(test)]

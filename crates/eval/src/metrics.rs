@@ -57,8 +57,16 @@ pub fn scores(domain_acc: &[Vec<f32>]) -> Scores {
         forgetting += (best - final_row[d]).max(0.0);
         counted += 1;
     }
-    let forgetting = if counted > 0 { forgetting / counted as f32 } else { 0.0 };
-    Scores { avg, last, forgetting }
+    let forgetting = if counted > 0 {
+        forgetting / counted as f32
+    } else {
+        0.0
+    };
+    Scores {
+        avg,
+        last,
+        forgetting,
+    }
 }
 
 /// The paper's `Δ` column: how much `reference` (RefFiL) beats `other`.

@@ -45,7 +45,10 @@ impl ConfusionMatrix {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
-        Self { classes, counts: vec![0; classes * classes] }
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -60,7 +63,10 @@ impl ConfusionMatrix {
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
         assert!(truth < self.classes, "true class {truth} out of range");
-        assert!(predicted < self.classes, "predicted class {predicted} out of range");
+        assert!(
+            predicted < self.classes,
+            "predicted class {predicted} out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -120,7 +126,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let c = self.count(t, p);
-                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                     best = Some((t, p, c));
                 }
             }

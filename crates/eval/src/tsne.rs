@@ -27,7 +27,13 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 20.0, iterations: 300, learning_rate: 100.0, exaggeration: 4.0, seed: 0 }
+        Self {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
     }
 }
 
@@ -80,13 +86,21 @@ pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f32; 2]> {
                 sum += pij;
                 sum_dp += beta * dj * pij;
             }
-            let entropy = if sum > 0.0 { sum.ln() + sum_dp / sum } else { 0.0 };
+            let entropy = if sum > 0.0 {
+                sum.ln() + sum_dp / sum
+            } else {
+                0.0
+            };
             if (entropy - target_entropy).abs() < 1e-4 {
                 break;
             }
             if entropy > target_entropy {
                 beta_lo = beta;
-                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = (beta + beta_lo) / 2.0;
@@ -116,11 +130,17 @@ pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f32; 2]> {
 
     // Gradient descent on 2-D embedding.
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut y: Vec<[f32; 2]> = (0..n).map(|_| [gaussian(&mut rng) * 1e-2, gaussian(&mut rng) * 1e-2]).collect();
+    let mut y: Vec<[f32; 2]> = (0..n)
+        .map(|_| [gaussian(&mut rng) * 1e-2, gaussian(&mut rng) * 1e-2])
+        .collect();
     let mut vel = vec![[0.0f32; 2]; n];
     let exag_iters = cfg.iterations / 4;
     for it in 0..cfg.iterations {
-        let exag = if it < exag_iters { cfg.exaggeration } else { 1.0 };
+        let exag = if it < exag_iters {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities.
         let mut num = vec![0.0f32; n * n];
         let mut qsum = 0.0f32;
@@ -196,7 +216,10 @@ mod tests {
     #[test]
     fn trivial_inputs() {
         assert!(tsne(&[], &TsneConfig::default()).is_empty());
-        assert_eq!(tsne(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![[0.0, 0.0]]);
+        assert_eq!(
+            tsne(&[vec![1.0, 2.0]], &TsneConfig::default()),
+            vec![[0.0, 0.0]]
+        );
     }
 
     #[test]
@@ -215,7 +238,11 @@ mod tests {
                 labels.push(k);
             }
         }
-        let cfg = TsneConfig { iterations: 200, perplexity: 10.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 200,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
         let emb = tsne(&points, &cfg);
         let score = separation_score(&emb, &labels);
         assert!(score > 2.0, "blobs not separated: score {score}");
@@ -224,9 +251,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let mut rng = StdRng::seed_from_u64(5);
-        let points: Vec<Vec<f32>> =
-            (0..20).map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let points: Vec<Vec<f32>> = (0..20)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         assert_eq!(tsne(&points, &cfg), tsne(&points, &cfg));
     }
 }

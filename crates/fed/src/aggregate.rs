@@ -46,7 +46,10 @@ pub fn fedavg(updates: &[WeightedUpdate]) -> Vec<f32> {
 ///
 /// Panics if `vectors` is empty or lengths differ.
 pub fn balanced_mean(vectors: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!vectors.is_empty(), "balanced_mean needs at least one vector");
+    assert!(
+        !vectors.is_empty(),
+        "balanced_mean needs at least one vector"
+    );
     let len = vectors[0].len();
     let mut out = vec![0.0f32; len];
     for v in vectors {
@@ -69,23 +72,38 @@ mod tests {
     #[test]
     fn fedavg_weighted_mean() {
         let updates = vec![
-            WeightedUpdate { flat: vec![0.0, 0.0], weight: 1.0 },
-            WeightedUpdate { flat: vec![3.0, 6.0], weight: 2.0 },
+            WeightedUpdate {
+                flat: vec![0.0, 0.0],
+                weight: 1.0,
+            },
+            WeightedUpdate {
+                flat: vec![3.0, 6.0],
+                weight: 2.0,
+            },
         ];
         assert_eq!(fedavg(&updates), vec![2.0, 4.0]);
     }
 
     #[test]
     fn fedavg_single_update_is_identity() {
-        let u = vec![WeightedUpdate { flat: vec![1.5, -2.0], weight: 7.0 }];
+        let u = vec![WeightedUpdate {
+            flat: vec![1.5, -2.0],
+            weight: 7.0,
+        }];
         assert_eq!(fedavg(&u), vec![1.5, -2.0]);
     }
 
     #[test]
     fn fedavg_is_convex_combination() {
         let updates = vec![
-            WeightedUpdate { flat: vec![1.0], weight: 3.0 },
-            WeightedUpdate { flat: vec![5.0], weight: 1.0 },
+            WeightedUpdate {
+                flat: vec![1.0],
+                weight: 3.0,
+            },
+            WeightedUpdate {
+                flat: vec![5.0],
+                weight: 1.0,
+            },
         ];
         let out = fedavg(&updates);
         assert!(out[0] > 1.0 && out[0] < 5.0);
@@ -95,7 +113,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn fedavg_rejects_zero_weight() {
-        fedavg(&[WeightedUpdate { flat: vec![1.0], weight: 0.0 }]);
+        fedavg(&[WeightedUpdate {
+            flat: vec![1.0],
+            weight: 0.0,
+        }]);
     }
 
     #[test]

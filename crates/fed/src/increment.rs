@@ -121,7 +121,11 @@ impl TaskSchedule {
 
     /// Ids of clients that receive new-domain data this task.
     pub fn new_data_recipients(&self) -> Vec<usize> {
-        self.clients.iter().filter(|c| c.receives_new_data()).map(|c| c.id).collect()
+        self.clients
+            .iter()
+            .filter(|c| c.receives_new_data())
+            .map(|c| c.id)
+            .collect()
     }
 }
 
@@ -138,7 +142,10 @@ pub fn build_schedule(cfg: &IncrementConfig, num_tasks: usize, seed: u64) -> Vec
         (0.0..=1.0).contains(&cfg.transition_fraction),
         "transition fraction must be in [0,1]"
     );
-    assert!(cfg.select_per_round > 0, "must select at least one client per round");
+    assert!(
+        cfg.select_per_round > 0,
+        "must select at least one client per round"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut schedules = Vec::with_capacity(num_tasks);
     // joined_task per client id.
@@ -153,8 +160,7 @@ pub fn build_schedule(cfg: &IncrementConfig, num_tasks: usize, seed: u64) -> Vec
         let mut clients: Vec<ClientPlan> = Vec::with_capacity(joined.len());
         // Existing clients (joined before this task) transition with prob 0.8,
         // exactly `round(frac * existing)` of them.
-        let existing: Vec<usize> =
-            (0..joined.len()).filter(|&id| joined[id] < task).collect();
+        let existing: Vec<usize> = (0..joined.len()).filter(|&id| joined[id] < task).collect();
         let mut to_transition: Vec<usize> = existing.clone();
         // Deterministic partial shuffle, then take the first `k`.
         for i in (1..to_transition.len()).rev() {
@@ -164,8 +170,8 @@ pub fn build_schedule(cfg: &IncrementConfig, num_tasks: usize, seed: u64) -> Vec
         let k = ((existing.len() as f32) * cfg.transition_fraction).round() as usize;
         to_transition.truncate(k);
 
-        for id in 0..joined.len() {
-            let is_new = joined[id] == task;
+        for (id, &joined_task) in joined.iter().enumerate() {
+            let is_new = joined_task == task;
             let transition_round = if !is_new && to_transition.contains(&id) {
                 // Transition somewhere in the first half of the task so the
                 // new domain actually gets trained on.
@@ -173,7 +179,12 @@ pub fn build_schedule(cfg: &IncrementConfig, num_tasks: usize, seed: u64) -> Vec
             } else {
                 None
             };
-            clients.push(ClientPlan { id, joined_task: joined[id], transition_round, is_new });
+            clients.push(ClientPlan {
+                id,
+                joined_task,
+                transition_round,
+                is_new,
+            });
         }
         schedules.push(TaskSchedule { task, clients });
     }
@@ -236,8 +247,11 @@ mod tests {
     #[test]
     fn eighty_percent_transition() {
         let s = build_schedule(&cfg(), 2, 4);
-        let transitioned =
-            s[1].clients.iter().filter(|c| c.transition_round.is_some()).count();
+        let transitioned = s[1]
+            .clients
+            .iter()
+            .filter(|c| c.transition_round.is_some())
+            .count();
         // 10 existing clients * 0.8 = 8.
         assert_eq!(transitioned, 8);
         let new = s[1].clients.iter().filter(|c| c.is_new).count();
@@ -253,7 +267,14 @@ mod tests {
             .find(|c| c.transition_round.is_some())
             .expect("someone transitions");
         let tr = c.transition_round.unwrap();
-        assert_eq!(c.group_at(tr.saturating_sub(1).min(tr)), if tr == 0 { ClientGroup::Between } else { ClientGroup::Old });
+        assert_eq!(
+            c.group_at(tr.saturating_sub(1).min(tr)),
+            if tr == 0 {
+                ClientGroup::Between
+            } else {
+                ClientGroup::Old
+            }
+        );
         assert_eq!(c.group_at(tr), ClientGroup::Between);
         assert_eq!(c.group_at(cfg().rounds_per_task - 1), ClientGroup::Between);
     }

@@ -29,6 +29,11 @@ pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
 pub use runner::{
-    evaluate_domain, run_fdil, ClientUpdate, FdilStrategy, RunConfig, RunResult, TrainSetting,
+    evaluate_domain, run_fdil, run_fdil_traced, ClientUpdate, FdilStrategy, RunConfig, RunResult,
+    TrainSetting,
 };
-pub use traffic::TrafficStats;
+pub use traffic::{TaskTraffic, TrafficStats};
+
+// Re-exported so strategy implementors can name the telemetry types that
+// appear in the `FdilStrategy` trait without a separate dependency.
+pub use refil_telemetry::{Telemetry, TelemetrySummary};

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use refil_data::{partition_quantity_shift, FdilDataset, QuantityShift, Sample};
 use refil_nn::Tensor;
+use refil_telemetry::{Telemetry, TelemetrySummary};
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 use crate::increment::{build_schedule, select_clients, ClientGroup, IncrementConfig};
@@ -59,6 +60,11 @@ pub trait FdilStrategy {
     /// Human-readable method name (e.g. `"RefFiL"`, `"FedEWC"`).
     fn name(&self) -> String;
 
+    /// Hands the strategy a telemetry handle before the run starts, so its
+    /// hot paths can open spans and record observations. Handles are cheap
+    /// clones sharing one collector; the default implementation ignores it.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
+
     /// Produces the initial global parameter vector.
     fn init_global(&mut self) -> Vec<f32>;
 
@@ -73,7 +79,12 @@ pub trait FdilStrategy {
 
     /// Called when a task finishes, with each active client's current local
     /// data (used e.g. to estimate the EWC Fisher information).
-    fn on_task_end(&mut self, _task: usize, _global: &[f32], _client_data: &[(usize, Vec<Sample>)]) {
+    fn on_task_end(
+        &mut self,
+        _task: usize,
+        _global: &[f32],
+        _client_data: &[(usize, Vec<Sample>)],
+    ) {
     }
 
     /// Predicts class labels for a `[batch, dim]` feature tensor under the
@@ -154,6 +165,9 @@ pub struct RunResult {
     /// The final global parameter vector (for post-hoc analysis such as the
     /// t-SNE embeddings of Figures 5/6).
     pub final_global: Vec<f32>,
+    /// Aggregated telemetry (span timings, counters, histograms); empty when
+    /// the run used a disabled [`Telemetry`] handle.
+    pub telemetry: TelemetrySummary,
 }
 
 impl RunResult {
@@ -186,10 +200,11 @@ impl RunResult {
 
 fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
     // SplitMix64-style mixing for decorrelated per-session seeds.
+    // `round` may be a `usize::MAX` sentinel, so the +1 must wrap too.
     let mut z = master
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + task as u64))
-        .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul(1 + round as u64))
-        .wrapping_add(0x94d0_49bb_1331_11ebu64.wrapping_mul(1 + client as u64));
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul((task as u64).wrapping_add(1)))
+        .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul((round as u64).wrapping_add(1)))
+        .wrapping_add(0x94d0_49bb_1331_11ebu64.wrapping_mul((client as u64).wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -208,6 +223,8 @@ struct Holdings {
 
 /// Executes the full FDIL protocol of Algorithm 1 for `strategy` on `dataset`.
 ///
+/// Equivalent to [`run_fdil_traced`] with a disabled [`Telemetry`] handle.
+///
 /// # Panics
 ///
 /// Panics if the dataset has no domains or a domain has no test data.
@@ -216,10 +233,43 @@ pub fn run_fdil(
     strategy: &mut dyn FdilStrategy,
     cfg: &RunConfig,
 ) -> RunResult {
+    run_fdil_traced(dataset, strategy, cfg, &Telemetry::disabled())
+}
+
+/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on
+/// `dataset`, recording spans, counters, and histograms into `telemetry`.
+///
+/// The span hierarchy is `run > task:<t> > round:<r> > client:<c>`, with
+/// sibling `fedavg` and `evaluate_domain` spans. The
+/// `traffic.up_bytes` / `traffic.down_bytes` counters are incremented at the
+/// same sites as [`TrafficStats::record_client`], so their final totals in
+/// the trace equal the run's [`TrafficStats`] exactly. Telemetry never
+/// touches the run's RNG streams: results are identical whichever sink (or
+/// none) is installed.
+///
+/// # Panics
+///
+/// Panics if the dataset has no domains or a domain has no test data.
+pub fn run_fdil_traced(
+    dataset: &FdilDataset,
+    strategy: &mut dyn FdilStrategy,
+    cfg: &RunConfig,
+    telemetry: &Telemetry,
+) -> RunResult {
     assert!(dataset.num_domains() > 0, "dataset has no domains");
     let num_tasks = dataset.num_domains();
     let schedules = build_schedule(&cfg.increment, num_tasks, cfg.seed);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+
+    strategy.attach_telemetry(telemetry);
+    let _run_span = telemetry.span("run");
+    telemetry.info(format!(
+        "run start: method={} dataset={} tasks={} seed={}",
+        strategy.name(),
+        dataset.name,
+        num_tasks,
+        cfg.seed
+    ));
 
     let mut global = strategy.init_global();
     let model_bytes = (global.len() * 4) as u64;
@@ -229,6 +279,8 @@ pub fn run_fdil(
     let mut group_timeline = Vec::with_capacity(num_tasks);
 
     for (task, schedule) in schedules.iter().enumerate() {
+        let _task_span = telemetry.span(&format!("task:{task}"));
+        traffic.start_task(task);
         strategy.on_task_start(task, &global);
         holdings.resize_with(schedule.clients.len(), Holdings::default);
 
@@ -260,10 +312,12 @@ pub fn run_fdil(
         ]);
 
         for round in 0..rounds {
+            let _round_span = telemetry.span(&format!("round:{round}"));
             let selected = select_clients(schedule, cfg.increment.select_per_round, &mut rng);
             let mut updates = Vec::new();
             for &cid in &selected {
                 if cfg.dropout_prob > 0.0 && rng.gen::<f32>() < cfg.dropout_prob {
+                    telemetry.counter("clients.dropped", 1);
                     continue; // straggler: selected but never reports
                 }
                 let plan = &schedule.clients[cid];
@@ -286,14 +340,31 @@ pub fn run_fdil(
                     batch_size: cfg.batch_size,
                     seed: session_seed(cfg.seed, task, round, cid),
                 };
+                let _client_span = telemetry.span(&format!("client:{cid}"));
+                let session_start = std::time::Instant::now();
                 let update = strategy.train_client(&setting, &global);
+                let elapsed = session_start.elapsed().as_secs_f64();
+                telemetry.observe("client.duration_s", elapsed);
+                if elapsed > 0.0 {
+                    let processed = (samples.len() * cfg.local_epochs.max(1)) as f64;
+                    telemetry.observe("client.samples_per_sec", processed / elapsed);
+                }
                 traffic.record_client(model_bytes, update.upload_bytes, update.download_bytes);
-                updates.push(WeightedUpdate { flat: update.flat, weight: update.weight });
+                // Mirror record_client exactly so trace totals match traffic.
+                telemetry.counter("traffic.up_bytes", model_bytes + update.upload_bytes);
+                telemetry.counter("traffic.down_bytes", model_bytes + update.download_bytes);
+                telemetry.counter("clients.trained", 1);
+                updates.push(WeightedUpdate {
+                    flat: update.flat,
+                    weight: update.weight,
+                });
             }
             if !updates.is_empty() {
+                let _fedavg_span = telemetry.span("fedavg");
                 global = fedavg(&updates);
             }
             traffic.record_round();
+            telemetry.counter("rounds", 1);
             strategy.on_round_end(task, round, &global);
         }
 
@@ -325,10 +396,24 @@ pub fn run_fdil(
         // Evaluate on every domain seen so far.
         let mut row = Vec::with_capacity(task + 1);
         for d in 0..=task {
-            row.push(evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch));
+            let _eval_span = telemetry.span("evaluate_domain");
+            let acc = evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch);
+            telemetry.observe("eval.domain_acc", f64::from(acc));
+            row.push(acc);
         }
+        let step_acc = row.iter().sum::<f32>() / row.len() as f32;
+        telemetry.info(format!("task {task} done: step accuracy {step_acc:.2}%"));
         domain_acc.push(row);
     }
+
+    telemetry.info(format!(
+        "run done: {} rounds, {} client updates, {} bytes total",
+        traffic.rounds,
+        traffic.client_updates,
+        traffic.total_bytes()
+    ));
+    drop(_run_span);
+    telemetry.flush();
 
     RunResult {
         method: strategy.name(),
@@ -338,6 +423,7 @@ pub fn run_fdil(
         traffic,
         group_timeline,
         final_global: global,
+        telemetry: telemetry.summary(),
     }
 }
 
@@ -360,7 +446,11 @@ pub fn evaluate_domain(
         }
         let features = Tensor::from_vec(data, &[chunk.len(), dim]);
         let preds = strategy.predict_domain(global, &features, domain);
-        correct += preds.iter().zip(chunk).filter(|(p, s)| **p == s.label).count();
+        correct += preds
+            .iter()
+            .zip(chunk)
+            .filter(|(p, s)| **p == s.label)
+            .count();
     }
     100.0 * correct as f32 / test.len() as f32
 }
@@ -526,6 +616,7 @@ mod tests {
             traffic: TrafficStats::default(),
             group_timeline: vec![],
             final_global: vec![],
+            telemetry: TelemetrySummary::default(),
         };
         let steps = res.step_accuracies();
         assert_eq!(steps, vec![90.0, 70.0]);

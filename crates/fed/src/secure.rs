@@ -73,7 +73,11 @@ pub fn mask_update(
             *m += sign * v;
         }
     }
-    MaskedUpdate { client_id, masked, weight }
+    MaskedUpdate {
+        client_id,
+        masked,
+        weight,
+    }
 }
 
 /// Aggregates masked updates: the pairwise masks cancel in the sum, leaving
@@ -84,7 +88,10 @@ pub fn mask_update(
 /// Panics if `updates` is empty, lengths differ, or total weight is not
 /// positive.
 pub fn masked_fedavg(updates: &[MaskedUpdate]) -> Vec<f32> {
-    assert!(!updates.is_empty(), "masked_fedavg needs at least one update");
+    assert!(
+        !updates.is_empty(),
+        "masked_fedavg needs at least one update"
+    );
     let len = updates[0].masked.len();
     let total_weight: f32 = updates.iter().map(|u| u.weight).sum();
     assert!(total_weight > 0.0, "total weight must be positive");
@@ -130,9 +137,18 @@ mod tests {
 
     fn updates() -> Vec<WeightedUpdate> {
         vec![
-            WeightedUpdate { flat: vec![1.0, 2.0, 3.0], weight: 1.0 },
-            WeightedUpdate { flat: vec![3.0, 0.0, -1.0], weight: 2.0 },
-            WeightedUpdate { flat: vec![-2.0, 4.0, 0.5], weight: 1.0 },
+            WeightedUpdate {
+                flat: vec![1.0, 2.0, 3.0],
+                weight: 1.0,
+            },
+            WeightedUpdate {
+                flat: vec![3.0, 0.0, -1.0],
+                weight: 2.0,
+            },
+            WeightedUpdate {
+                flat: vec![-2.0, 4.0, 0.5],
+                weight: 1.0,
+            },
         ]
     }
 
@@ -180,7 +196,10 @@ mod tests {
 
     #[test]
     fn single_client_round_is_identity() {
-        let ups = vec![WeightedUpdate { flat: vec![2.0, -1.0], weight: 3.0 }];
+        let ups = vec![WeightedUpdate {
+            flat: vec![2.0, -1.0],
+            weight: 3.0,
+        }];
         let (secure, err) = secure_round(&ups, 0, 10.0);
         assert!(err < 1e-5);
         assert!((secure[0] - 2.0).abs() < 1e-5);

@@ -77,13 +77,13 @@ impl Graph {
                 let mut dw = vec![0.0f32; c_out * c_in * k];
                 let mut db = vec![0.0f32; c_out];
                 for bi in 0..b {
-                    for co in 0..c_out {
+                    for (co, db_co) in db.iter_mut().enumerate() {
                         for lo in 0..l_out {
                             let gi = g.data()[(bi * c_out + co) * l_out + lo];
                             if gi == 0.0 {
                                 continue;
                             }
-                            db[co] += gi;
+                            *db_co += gi;
                             for ci in 0..c_in {
                                 for kk in 0..k {
                                     let xi = lo + kk;
@@ -118,7 +118,10 @@ impl Graph {
         let xs = self.shape(x);
         assert_eq!(xs.len(), 3, "avg_pool1d input must be [b, c, l]");
         let (b, c, l) = (xs[0], xs[1], xs[2]);
-        assert!(window > 0 && window <= l, "bad pooling window {window} for length {l}");
+        assert!(
+            window > 0 && window <= l,
+            "bad pooling window {window} for length {l}"
+        );
         let l_out = l / window;
         let value = {
             let xv = self.value(x);

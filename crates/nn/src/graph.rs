@@ -82,7 +82,12 @@ impl Graph {
     ) -> Var {
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
-        nodes.push(Node { value, parents, backward, param });
+        nodes.push(Node {
+            value,
+            parents,
+            backward,
+            param,
+        });
         Var { id }
     }
 
@@ -196,7 +201,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, p, _| vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)])),
+            Some(Box::new(|g, p, _| {
+                vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)]
+            })),
             None,
         )
     }
@@ -223,19 +230,34 @@ impl Graph {
     /// Elementwise negation.
     pub fn neg(&self, a: Var) -> Var {
         let v = self.nodes.borrow()[a.id].value.map(|x| -x);
-        self.push(v, vec![a.id], Some(Box::new(|g, _, _| vec![g.map(|x| -x)])), None)
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, _| vec![g.map(|x| -x)])),
+            None,
+        )
     }
 
     /// Multiplies by a compile-time constant.
     pub fn scale(&self, a: Var, c: f32) -> Var {
         let v = self.nodes.borrow()[a.id].value.map(|x| x * c);
-        self.push(v, vec![a.id], Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])), None)
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])),
+            None,
+        )
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, a: Var, c: f32) -> Var {
         let v = self.nodes.borrow()[a.id].value.map(|x| x + c);
-        self.push(v, vec![a.id], Some(Box::new(|g, _, _| vec![g.clone()])), None)
+        self.push(
+            v,
+            vec![a.id],
+            Some(Box::new(|g, _, _| vec![g.clone()])),
+            None,
+        )
     }
 
     // ---------------------------------------------------------------------
@@ -248,7 +270,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })])),
+            Some(Box::new(|g, p, _| {
+                vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
+            })),
             None,
         )
     }
@@ -259,7 +283,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))])),
+            Some(Box::new(|g, p, _| {
+                vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))]
+            })),
             None,
         )
     }
@@ -270,18 +296,24 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))])),
+            Some(Box::new(|g, _, y| {
+                vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))]
+            })),
             None,
         )
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes.borrow()[a.id]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))])),
+            Some(Box::new(|g, _, y| {
+                vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))]
+            })),
             None,
         )
     }
@@ -493,7 +525,10 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let first = nodes[items[0].id].value.shape().to_vec();
             let rank = first.len();
-            assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+            assert!(
+                axis < rank,
+                "concat axis {axis} out of range for rank {rank}"
+            );
             let mut axis_total = 0usize;
             let mut sizes = Vec::with_capacity(items.len());
             for &it in items {
@@ -648,7 +683,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| vec![Tensor::full(p[0].shape(), g.data()[0])])),
+            Some(Box::new(|g, p, _| {
+                vec![Tensor::full(p[0].shape(), g.data()[0])]
+            })),
             None,
         )
     }
@@ -714,8 +751,10 @@ impl Graph {
             Some(Box::new(|g, _, y| {
                 let d = *y.shape().last().expect("softmax 0-d");
                 let mut out = vec![0.0f32; y.numel()];
-                for ((orow, grow), yrow) in
-                    out.chunks_mut(d).zip(g.data().chunks(d)).zip(y.data().chunks(d))
+                for ((orow, grow), yrow) in out
+                    .chunks_mut(d)
+                    .zip(g.data().chunks(d))
+                    .zip(y.data().chunks(d))
                 {
                     let dot: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
                     for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
@@ -750,8 +789,10 @@ impl Graph {
             Some(Box::new(|g, _, y| {
                 let d = *y.shape().last().expect("log_softmax 0-d");
                 let mut out = vec![0.0f32; y.numel()];
-                for ((orow, grow), yrow) in
-                    out.chunks_mut(d).zip(g.data().chunks(d)).zip(y.data().chunks(d))
+                for ((orow, grow), yrow) in out
+                    .chunks_mut(d)
+                    .zip(g.data().chunks(d))
+                    .zip(y.data().chunks(d))
                 {
                     let gsum: f32 = grow.iter().sum();
                     for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
@@ -798,8 +839,7 @@ impl Graph {
                 let mut dx = vec![0.0f32; xv.numel()];
                 let mut dgain = vec![0.0f32; d];
                 let mut dbias = vec![0.0f32; d];
-                for (rowi, (xrow, grow)) in
-                    xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
+                for (rowi, (xrow, grow)) in xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
                 {
                     let mu = xrow.iter().sum::<f32>() / df;
                     let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / df;
@@ -819,8 +859,7 @@ impl Graph {
                     }
                     let dst = &mut dx[rowi * d..(rowi + 1) * d];
                     for j in 0..d {
-                        dst[j] = inv / df
-                            * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
+                        dst[j] = inv / df * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
                     }
                 }
                 vec![
@@ -958,17 +997,18 @@ impl Graph {
                 let (b, m) = (p[0].shape()[0], p[0].shape()[1]);
                 let gs = g.data()[0] / b as f32;
                 let mut out = vec![0.0f32; b * m];
-                for ((orow, row), ps) in
-                    out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos)
-                {
+                for ((orow, row), ps) in out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos) {
                     let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                     let exps: Vec<f32> = row.iter().map(|x| (x - mx).exp()).collect();
                     let denom: f32 = exps.iter().sum();
                     let numer: f32 = ps.iter().map(|&j| exps[j]).sum();
                     for j in 0..m {
                         let soft = exps[j] / denom;
-                        let pos_soft =
-                            if ps.contains(&j) { exps[j] / numer } else { 0.0 };
+                        let pos_soft = if ps.contains(&j) {
+                            exps[j] / numer
+                        } else {
+                            0.0
+                        };
                         orow[j] = gs * (soft - pos_soft);
                     }
                 }
@@ -994,22 +1034,26 @@ impl Graph {
         let mask: Vec<f32> = {
             let nodes = self.nodes.borrow();
             (0..nodes[x.id].value.numel())
-                .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
+                .map(|_| {
+                    if rng.gen::<f32>() < p {
+                        0.0
+                    } else {
+                        1.0 / keep
+                    }
+                })
                 .collect()
         };
         let value = {
             let nodes = self.nodes.borrow();
             let xv = &nodes[x.id].value;
-            let data: Vec<f32> =
-                xv.data().iter().zip(&mask).map(|(&a, &m)| a * m).collect();
+            let data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&a, &m)| a * m).collect();
             Tensor::from_vec(data, xv.shape())
         };
         self.push(
             value,
             vec![x.id],
             Some(Box::new(move |g, _, _| {
-                let data: Vec<f32> =
-                    g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
+                let data: Vec<f32> = g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
                 vec![Tensor::from_vec(data, g.shape())]
             })),
             None,
@@ -1058,7 +1102,12 @@ fn softmax_last_tensor(x: &Tensor) -> Tensor {
 
 /// `[a,b,c,d] -> [a,c,b,d]`.
 fn permute_0213_tensor(x: &Tensor) -> Tensor {
-    assert_eq!(x.ndim(), 4, "permute_0213 expects 4-D input, got {:?}", x.shape());
+    assert_eq!(
+        x.ndim(),
+        4,
+        "permute_0213 expects 4-D input, got {:?}",
+        x.shape()
+    );
     let (a, b, c, d) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let mut out = vec![0.0f32; x.numel()];
     for ai in 0..a {
@@ -1241,7 +1290,10 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let g = Graph::new();
-        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let x = g.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+            &[2, 3],
+        ));
         let s = g.value(g.softmax_last(x));
         for row in s.data().chunks(3) {
             let sum: f32 = row.iter().sum();
@@ -1293,7 +1345,12 @@ mod tests {
         let bias = g.constant(Tensor::zeros(&[4]));
         let y = g.value(g.layer_norm(x, gain, bias, 1e-5));
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -1323,7 +1380,10 @@ mod tests {
     #[test]
     fn cross_entropy_matches_manual() {
         let g = Graph::new();
-        let logits = g.constant(Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3]));
+        let logits = g.constant(Tensor::from_vec(
+            vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0],
+            &[2, 3],
+        ));
         let loss = g.value(g.cross_entropy(logits, &[0, 1])).data()[0];
         let l0 = -(2.0f32.exp() / (2.0f32.exp() + 2.0)).ln();
         let l1 = -(3.0f32.exp() / (3.0f32.exp() + 2.0)).ln();
@@ -1353,7 +1413,9 @@ mod tests {
         let data = Tensor::from_vec(vec![0.5, -0.2, 0.9, 1.0, 0.0, -1.0], &[2, 3]);
         let l1 = g.constant(data.clone());
         let l2 = g.constant(data);
-        let nce = g.value(g.multi_positive_nce(l1, &[vec![2], vec![0]])).data()[0];
+        let nce = g
+            .value(g.multi_positive_nce(l1, &[vec![2], vec![0]]))
+            .data()[0];
         let ce = g.value(g.cross_entropy(l2, &[2, 0])).data()[0];
         assert!((nce - ce).abs() < 1e-5);
     }
@@ -1485,7 +1547,10 @@ mod tests {
             &|g, p| {
                 let xv = g.param(p, p.id("x").unwrap());
                 let y = g.row_l2_normalize(xv);
-                let c = g.constant(Tensor::from_vec(vec![1.0, 0.5, -0.5, 0.2, 0.3, 0.9], &[2, 3]));
+                let c = g.constant(Tensor::from_vec(
+                    vec![1.0, 0.5, -0.5, 0.2, 0.3, 0.9],
+                    &[2, 3],
+                ));
                 let m = g.mul(y, c);
                 g.sum_all(m)
             },

@@ -34,12 +34,23 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut R,
     ) -> Self {
-        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        assert_eq!(
+            dim % heads,
+            0,
+            "dim {dim} must be divisible by heads {heads}"
+        );
         let wq = Linear::new(params, &format!("{name}.wq"), dim, dim, true, rng);
         let wk = Linear::new(params, &format!("{name}.wk"), dim, dim, true, rng);
         let wv = Linear::new(params, &format!("{name}.wv"), dim, dim, true, rng);
         let wo = Linear::new(params, &format!("{name}.wo"), dim, dim, true, rng);
-        Self { wq, wk, wv, wo, heads, dim }
+        Self {
+            wq,
+            wk,
+            wv,
+            wo,
+            heads,
+            dim,
+        }
     }
 
     /// Model width.
@@ -112,7 +123,12 @@ impl TransformerBlock {
         let ln_attn = LayerNorm::new(params, &format!("{name}.ln_attn"), dim);
         let mlp = Mlp::new(params, &format!("{name}.mlp"), dim, 4 * dim, dim, rng);
         let ln_out = LayerNorm::new(params, &format!("{name}.ln_out"), dim);
-        Self { attn, ln_attn, mlp, ln_out }
+        Self {
+            attn,
+            ln_attn,
+            mlp,
+            ln_out,
+        }
     }
 
     /// Applies the block to `x [b, t, dim]`.
@@ -194,6 +210,9 @@ mod tests {
             g.backward(loss, &mut params);
             opt.step(&mut params);
         }
-        assert!(last < 0.3, "attention block failed to fit toy task, loss {last}");
+        assert!(
+            last < 0.3,
+            "attention block failed to fit toy task, loss {last}"
+        );
     }
 }

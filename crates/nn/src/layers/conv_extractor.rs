@@ -43,7 +43,10 @@ impl ConvExtractor {
         out_dim: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(in_dim >= 4, "conv extractor needs in_dim >= 4, got {in_dim}");
+        assert!(
+            in_dim >= 4,
+            "conv extractor needs in_dim >= 4, got {in_dim}"
+        );
         let k1 = 5.min(in_dim);
         let std1 = (2.0 / k1 as f32).sqrt();
         let w1 = params.insert(
@@ -51,7 +54,11 @@ impl ConvExtractor {
             Tensor::randn(&[channels, 1, k1], std1, rng),
             true,
         );
-        let b1 = params.insert(&format!("{name}.conv1.bias"), Tensor::zeros(&[channels]), true);
+        let b1 = params.insert(
+            &format!("{name}.conv1.bias"),
+            Tensor::zeros(&[channels]),
+            true,
+        );
         let l1 = in_dim / 2; // after pad-same conv + pool(2)
         let k2 = 3.min(l1);
         let std2 = (2.0 / (channels * k2) as f32).sqrt();
@@ -60,12 +67,24 @@ impl ConvExtractor {
             Tensor::randn(&[2 * channels, channels, k2], std2, rng),
             true,
         );
-        let b2 =
-            params.insert(&format!("{name}.conv2.bias"), Tensor::zeros(&[2 * channels]), true);
+        let b2 = params.insert(
+            &format!("{name}.conv2.bias"),
+            Tensor::zeros(&[2 * channels]),
+            true,
+        );
         let l2 = l1 / 2;
         let flat = 2 * channels * l2;
         let head = Linear::new(params, &format!("{name}.head"), flat, out_dim, true, rng);
-        Self { w1, b1, w2, b2, head, in_dim, channels, out_dim }
+        Self {
+            w1,
+            b1,
+            w2,
+            b2,
+            head,
+            in_dim,
+            channels,
+            out_dim,
+        }
     }
 
     /// Output feature width.

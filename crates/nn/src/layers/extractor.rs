@@ -66,7 +66,13 @@ impl ResidualExtractor {
             .collect();
         let head_ln = LayerNorm::new(params, &format!("{name}.head_ln"), width);
         let proj = Linear::new(params, &format!("{name}.proj"), width, out_dim, true, rng);
-        Self { stem, blocks, head_ln, proj, out_dim }
+        Self {
+            stem,
+            blocks,
+            head_ln,
+            proj,
+            out_dim,
+        }
     }
 
     /// Output feature width.

@@ -33,7 +33,14 @@ impl Film {
         channels: usize,
         rng: &mut R,
     ) -> Self {
-        let phi = Linear::new(params, &format!("{name}.phi"), cond_dim, 2 * channels, true, rng);
+        let phi = Linear::new(
+            params,
+            &format!("{name}.phi"),
+            cond_dim,
+            2 * channels,
+            true,
+            rng,
+        );
         Self { phi, channels }
     }
 

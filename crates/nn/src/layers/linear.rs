@@ -64,11 +64,20 @@ impl Linear {
             trainable,
         );
         let bias = if bias {
-            Some(params.insert(&format!("{name}.bias"), Tensor::zeros(&[out_dim]), trainable))
+            Some(params.insert(
+                &format!("{name}.bias"),
+                Tensor::zeros(&[out_dim]),
+                trainable,
+            ))
         } else {
             None
         };
-        Self { weight, bias, in_dim, out_dim }
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -133,7 +142,10 @@ mod tests {
         let mut params = Params::new();
         let lin = Linear::new(&mut params, "l", 2, 2, true, &mut rng);
         let bid = params.id("l.bias").unwrap();
-        params.value_mut(bid).data_mut().copy_from_slice(&[1.0, -1.0]);
+        params
+            .value_mut(bid)
+            .data_mut()
+            .copy_from_slice(&[1.0, -1.0]);
         let g = Graph::new();
         let x = g.constant(Tensor::zeros(&[1, 2]));
         let y = g.value(lin.forward(&g, &params, x));

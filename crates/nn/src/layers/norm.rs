@@ -26,7 +26,12 @@ impl LayerNorm {
     pub fn with_trainable(params: &mut Params, name: &str, dim: usize, trainable: bool) -> Self {
         let gain = params.insert(&format!("{name}.gain"), Tensor::ones(&[dim]), trainable);
         let bias = params.insert(&format!("{name}.bias"), Tensor::zeros(&[dim]), trainable);
-        Self { gain, bias, dim, eps: 1e-5 }
+        Self {
+            gain,
+            bias,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Normalized width.
@@ -51,7 +56,10 @@ mod tests {
         let mut params = Params::new();
         let ln = LayerNorm::new(&mut params, "ln", 4);
         let g = Graph::new();
-        let x = g.constant(Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, 1.0, 1.0, 2.0, 2.0], &[2, 4]));
+        let x = g.constant(Tensor::from_vec(
+            vec![10.0, 20.0, 30.0, 40.0, 1.0, 1.0, 2.0, 2.0],
+            &[2, 4],
+        ));
         let y = g.value(ln.forward(&g, &params, x));
         for row in y.data().chunks(4) {
             let mean: f32 = row.iter().sum::<f32>() / 4.0;

@@ -51,7 +51,12 @@ impl PatchTokenizer {
             init::prompt_normal(&[1, 1, dim], rng),
             true,
         );
-        Self { embed, cls, n_patches, dim }
+        Self {
+            embed,
+            cls,
+            n_patches,
+            dim,
+        }
     }
 
     /// Number of patch tokens (excluding `[CLS]`).

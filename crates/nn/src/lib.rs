@@ -52,6 +52,6 @@ mod tensor;
 
 pub use graph::{Graph, Var};
 pub use optim::{clip_grad_norm, Adam, Sgd};
-pub use schedule::LrSchedule;
 pub use params::{ParamEntry, ParamId, Params};
+pub use schedule::LrSchedule;
 pub use tensor::{gaussian, Tensor};

@@ -22,7 +22,11 @@ pub fn distillation_loss(
 ) -> Var {
     let sshape = g.shape(student_logits);
     assert_eq!(sshape.len(), 2, "distillation expects 2-D logits");
-    assert_eq!(sshape.as_slice(), teacher_logits.shape(), "teacher/student shape mismatch");
+    assert_eq!(
+        sshape.as_slice(),
+        teacher_logits.shape(),
+        "teacher/student shape mismatch"
+    );
     let b = sshape[0] as f32;
 
     // Teacher soft targets computed eagerly (no grad).
@@ -76,7 +80,11 @@ mod tests {
     fn distillation_zero_when_matching_teacher() {
         // When student == teacher, the KD gradient w.r.t. the student is zero.
         let mut params = Params::new();
-        let x = params.insert("x", Tensor::from_vec(vec![1.0, -1.0, 0.5, 0.2], &[2, 2]), true);
+        let x = params.insert(
+            "x",
+            Tensor::from_vec(vec![1.0, -1.0, 0.5, 0.2], &[2, 2]),
+            true,
+        );
         let g = Graph::new();
         let sv = g.param(&params, x);
         let teacher = params.value(x).clone();
@@ -102,7 +110,10 @@ mod tests {
             opt.step(&mut params);
         }
         let v = params.value(x);
-        assert!(v.data()[0] > v.data()[1], "student did not follow teacher: {v:?}");
+        assert!(
+            v.data()[0] > v.data()[1],
+            "student did not follow teacher: {v:?}"
+        );
     }
 
     #[test]

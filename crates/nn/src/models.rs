@@ -108,12 +108,7 @@ pub struct PromptedBackbone {
 
 impl PromptedBackbone {
     /// Registers the backbone's parameters under `name` in `params`.
-    pub fn new<R: Rng>(
-        params: &mut Params,
-        name: &str,
-        cfg: BackboneConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng>(params: &mut Params, name: &str, cfg: BackboneConfig, rng: &mut R) -> Self {
         let extractor = match cfg.extractor {
             ExtractorKind::ResidualMlp => Extractor::Residual(ResidualExtractor::new(
                 params,
@@ -133,8 +128,13 @@ impl PromptedBackbone {
                 rng,
             )),
         };
-        let tokenizer =
-            PatchTokenizer::new(params, &format!("{name}.tokenizer"), cfg.n_patches, cfg.token_dim, rng);
+        let tokenizer = PatchTokenizer::new(
+            params,
+            &format!("{name}.tokenizer"),
+            cfg.n_patches,
+            cfg.token_dim,
+            rng,
+        );
         let blocks = (0..cfg.blocks)
             .map(|i| {
                 TransformerBlock::new(
@@ -146,9 +146,20 @@ impl PromptedBackbone {
                 )
             })
             .collect();
-        let classifier =
-            Classifier::new(params, &format!("{name}.classifier"), cfg.token_dim, cfg.classes, rng);
-        Self { extractor, tokenizer, blocks, classifier, cfg }
+        let classifier = Classifier::new(
+            params,
+            &format!("{name}.classifier"),
+            cfg.token_dim,
+            cfg.classes,
+            rng,
+        );
+        Self {
+            extractor,
+            tokenizer,
+            blocks,
+            classifier,
+            cfg,
+        }
     }
 
     /// The backbone configuration.
@@ -212,7 +223,12 @@ impl PromptedBackbone {
         let b = g.shape(cls3)[0];
         let cls = g.reshape(cls3, &[b, d]);
         let logits = self.classifier.forward(g, params, cls);
-        BackboneOutput { features, tokens, cls, logits }
+        BackboneOutput {
+            features,
+            tokens,
+            cls,
+            logits,
+        }
     }
 
     /// Broadcasts a shared `[p, d]` prompt tensor across a batch of size `b`,
@@ -335,7 +351,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut params = Params::new();
         let model = PromptedBackbone::new(&mut params, "m", tiny_cfg(), &mut rng);
-        let frozen_before = params.value(params.id("m.tokenizer.embed.weight").unwrap()).clone();
+        let frozen_before = params
+            .value(params.id("m.tokenizer.embed.weight").unwrap())
+            .clone();
         let mut opt = Sgd::new(0.1);
         let x = Tensor::randn(&[4, 8], 1.0, &mut rng);
         for _ in 0..3 {
@@ -346,7 +364,9 @@ mod tests {
             g.backward(loss, &mut params);
             opt.step(&mut params);
         }
-        let frozen_after = params.value(params.id("m.tokenizer.embed.weight").unwrap()).clone();
+        let frozen_after = params
+            .value(params.id("m.tokenizer.embed.weight").unwrap())
+            .clone();
         assert_eq!(frozen_before, frozen_after);
     }
 }

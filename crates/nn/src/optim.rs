@@ -35,7 +35,13 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new(), lr_scales: None }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+            lr_scales: None,
+        }
     }
 
     /// Sets per-parameter learning-rate multipliers, indexed like the
@@ -74,8 +80,10 @@ impl Sgd {
         if self.velocity.len() < params.len() {
             self.velocity.resize(params.len(), None);
         }
-        for (id, entry) in
-            params.iter().map(|(id, e)| (id, e.trainable)).collect::<Vec<_>>()
+        for (id, entry) in params
+            .iter()
+            .map(|(id, e)| (id, e.trainable))
+            .collect::<Vec<_>>()
         {
             if !entry {
                 continue;
@@ -121,7 +129,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one Adam update to every trainable parameter.
@@ -133,7 +149,11 @@ impl Adam {
         }
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let ids: Vec<_> = params.iter().filter(|(_, e)| e.trainable).map(|(id, _)| id).collect();
+        let ids: Vec<_> = params
+            .iter()
+            .filter(|(_, e)| e.trainable)
+            .map(|(id, _)| id)
+            .collect();
         for id in ids {
             let idx = id.index();
             let g = params.grad(id).clone();

@@ -58,7 +58,12 @@ pub struct Params {
 
 impl fmt::Debug for Params {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Params({} entries, {} scalars)", self.entries.len(), self.num_scalars())
+        write!(
+            f,
+            "Params({} entries, {} scalars)",
+            self.entries.len(),
+            self.num_scalars()
+        )
     }
 }
 
@@ -80,7 +85,12 @@ impl Params {
         );
         let id = ParamId(self.entries.len());
         let grad = Tensor::zeros(value.shape());
-        self.entries.push(ParamEntry { name: name.to_string(), value, grad, trainable });
+        self.entries.push(ParamEntry {
+            name: name.to_string(),
+            value,
+            grad,
+            trainable,
+        });
         self.by_name.insert(name.to_string(), id.0);
         id
     }
@@ -102,7 +112,11 @@ impl Params {
 
     /// Total scalar count across trainable parameters only.
     pub fn num_trainable_scalars(&self) -> usize {
-        self.entries.iter().filter(|e| e.trainable).map(|e| e.value.numel()).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.trainable)
+            .map(|e| e.value.numel())
+            .sum()
     }
 
     /// Looks up a parameter id by name.
@@ -137,7 +151,10 @@ impl Params {
 
     /// Iterates over `(ParamId, &ParamEntry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &ParamEntry)> {
-        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ParamId(i), e))
     }
 
     /// Zeroes every gradient.
@@ -163,7 +180,11 @@ impl Params {
     ///
     /// Panics if the length does not match the store's scalar count.
     pub fn load_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_scalars(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_scalars(),
+            "flat parameter length mismatch"
+        );
         let mut off = 0;
         for e in &mut self.entries {
             let n = e.value.numel();
@@ -178,7 +199,11 @@ impl Params {
     ///
     /// Panics if the structures (names/shapes, in order) differ.
     pub fn copy_values_from(&mut self, other: &Params) {
-        assert_eq!(self.entries.len(), other.entries.len(), "param count mismatch");
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "param count mismatch"
+        );
         for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
             assert_eq!(dst.name, src.name, "param name mismatch");
             assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch");
@@ -188,8 +213,12 @@ impl Params {
 
     /// Rebuilds the name index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.by_name =
-            self.entries.iter().enumerate().map(|(i, e)| (e.name.clone(), i)).collect();
+        self.by_name = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), i))
+            .collect();
     }
 
     /// Gradient L2 norm over trainable parameters (for clipping / diagnostics).

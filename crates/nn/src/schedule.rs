@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn step_decays_at_boundaries() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.at(1.0, 9), 1.0);
         assert_eq!(s.at(1.0, 10), 0.5);
         assert_eq!(s.at(1.0, 25), 0.25);
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { total: 100, min_lr: 0.01 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.01,
+        };
         assert!((s.at(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((s.at(1.0, 100) - 0.01).abs() < 1e-6);
         assert!((s.at(1.0, 200) - 0.01).abs() < 1e-6, "clamped past total");
@@ -92,7 +98,10 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing() {
-        let s = LrSchedule::Cosine { total: 50, min_lr: 0.0 };
+        let s = LrSchedule::Cosine {
+            total: 50,
+            min_lr: 0.0,
+        };
         let mut prev = f32::INFINITY;
         for step in 0..=50 {
             let lr = s.at(1.0, step);

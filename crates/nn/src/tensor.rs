@@ -54,13 +54,19 @@ impl Tensor {
             shape,
             numel
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// Creates a one-filled tensor.
@@ -71,26 +77,38 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
     }
 
     /// Creates a scalar (shape `[1]`) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self {
+            shape: vec![1],
+            data: vec![value],
+        }
     }
 
     /// Samples a tensor with entries drawn i.i.d. from `N(0, std^2)`.
     pub fn randn<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| gaussian(rng) * std).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Samples a tensor with entries drawn i.i.d. from `U(lo, hi)`.
     pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor shape.
@@ -155,13 +173,25 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape numel mismatch: {:?} -> {:?}", self.shape, shape);
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape numel mismatch: {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Elementwise binary combination of two same-shape tensors.
@@ -171,8 +201,16 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place `self += alpha * other` (same shapes).
@@ -249,14 +287,31 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the inner dimensions mismatch.
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dim mismatch: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dim mismatch: {:?} x {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         matmul_into(&self.data, &other.data, &mut out, m, k, n);
-        Self { shape: vec![m, n], data: out }
+        Self {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Batched matrix multiplication on 3-D tensors:
@@ -267,7 +322,12 @@ impl Tensor {
     /// Panics on rank or dimension mismatch.
     pub fn bmm(&self, other: &Self) -> Self {
         assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-D, got {:?}", other.shape);
+        assert_eq!(
+            other.ndim(),
+            3,
+            "bmm rhs must be 3-D, got {:?}",
+            other.shape
+        );
         let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "bmm batch mismatch");
@@ -283,7 +343,10 @@ impl Tensor {
                 n,
             );
         }
-        Self { shape: vec![b, m, n], data: out }
+        Self {
+            shape: vec![b, m, n],
+            data: out,
+        }
     }
 
     /// Transposes the last two axes (works for 2-D and 3-D tensors).
@@ -320,7 +383,10 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor");
         let cols = self.shape[1];
         assert!(i < self.shape[0], "row index out of bounds");
-        Self { shape: vec![cols], data: self.data[i * cols..(i + 1) * cols].to_vec() }
+        Self {
+            shape: vec![cols],
+            data: self.data[i * cols..(i + 1) * cols].to_vec(),
+        }
     }
 
     /// Stacks equal-shape tensors along a new leading axis.
@@ -421,10 +487,7 @@ mod tests {
     fn matmul_identity_is_noop() {
         let mut rng = StdRng::seed_from_u64(7);
         let a = Tensor::randn(&[3, 3], 1.0, &mut rng);
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         let c = a.matmul(&eye);
         for (x, y) in c.data().iter().zip(a.data()) {
             assert!((x - y).abs() < 1e-6);

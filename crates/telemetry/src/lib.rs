@@ -1,0 +1,363 @@
+//! Structured telemetry for the RefFiL training loop.
+//!
+//! A [`Telemetry`] handle is a cheaply clonable collector of hierarchical
+//! timed [`Span`]s, monotonic counters, and value histograms. Every event is
+//! aggregated in memory (surfaced as a [`TelemetrySummary`]) and streamed to
+//! one pluggable [`Sink`]:
+//!
+//! - [`NoopSink`] — discard the stream (the default; disabled handles
+//!   short-circuit before events are even constructed),
+//! - [`StderrSink`] — human-readable lines, level-filtered via `REFIL_LOG`,
+//! - [`JsonlSink`] — one JSON event per line, for offline analysis.
+//!
+//! ```
+//! use refil_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::collecting(); // aggregate only, no stream
+//! {
+//!     let _run = telemetry.span("run");
+//!     let _task = telemetry.span("task:0");
+//!     telemetry.counter("traffic.up_bytes", 64);
+//!     telemetry.observe("client.duration_s", 0.25);
+//! }
+//! let summary = telemetry.summary();
+//! assert_eq!(summary.counter("traffic.up_bytes"), 64);
+//! assert_eq!(summary.spans["task:0"].count, 1);
+//! ```
+//!
+//! Telemetry never touches the training RNG streams, so enabling any sink
+//! leaves run results bit-identical to a disabled run.
+
+mod event;
+mod sink;
+mod summary;
+
+pub use event::{Level, TraceEvent};
+pub use sink::{JsonlSink, NoopSink, Sink, StderrSink};
+pub use summary::{HistogramSummary, SpanSummary, TelemetrySummary};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    spans: BTreeMap<String, SpanSummary>,
+    /// Names of currently open spans, innermost last.
+    stack: Vec<String>,
+}
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    state: Mutex<State>,
+}
+
+/// Collector handle threaded through the training loop.
+///
+/// Clones share the same collector, so a handle can be stored both by the
+/// federated runner and by a strategy without coordination. The default
+/// handle is disabled: every method is a single-branch no-op.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: records nothing, streams nothing.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled handle streaming to `sink` (and always aggregating).
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// An enabled handle that aggregates a [`TelemetrySummary`] but streams
+    /// nowhere.
+    pub fn collecting() -> Self {
+        Self::with_sink(Box::new(NoopSink))
+    }
+
+    /// An enabled handle streaming human-readable lines to stderr, with the
+    /// level threshold taken from `REFIL_LOG`.
+    pub fn stderr() -> Self {
+        Self::with_sink(Box::new(StderrSink::from_env()))
+    }
+
+    /// An enabled handle streaming JSONL trace events to a file at `path`.
+    pub fn jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::with_sink(Box::new(JsonlSink::create(path)?)))
+    }
+
+    /// Whether events are recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span nested under the currently open spans. Close is
+    /// automatic when the returned guard drops.
+    #[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                telemetry: Telemetry::disabled(),
+                name: String::new(),
+                depth: 0,
+                start: None,
+            };
+        };
+        let path = {
+            let mut state = inner.state.lock().expect("telemetry state poisoned");
+            state.stack.push(name.to_string());
+            state.stack.join("/")
+        };
+        let depth = path.split('/').count();
+        inner.sink.event(&TraceEvent::SpanStart { path });
+        Span {
+            telemetry: self.clone(),
+            name: name.to_string(),
+            depth,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Advances a monotonic counter by `delta`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let total = {
+            let mut state = inner.state.lock().expect("telemetry state poisoned");
+            let slot = state.counters.entry(name.to_string()).or_insert(0);
+            *slot += delta;
+            *slot
+        };
+        inner.sink.event(&TraceEvent::Counter {
+            name: name.to_string(),
+            delta,
+            total,
+        });
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        {
+            let mut state = inner.state.lock().expect("telemetry state poisoned");
+            state
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(value);
+        }
+        inner.sink.event(&TraceEvent::Observe {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Emits a log message at `level`.
+    pub fn log(&self, level: Level, message: impl AsRef<str>) {
+        let Some(inner) = &self.inner else { return };
+        inner.sink.event(&TraceEvent::Log {
+            level,
+            message: message.as_ref().to_string(),
+        });
+    }
+
+    /// Emits an [`Level::Info`] log message.
+    pub fn info(&self, message: impl AsRef<str>) {
+        self.log(Level::Info, message);
+    }
+
+    /// Emits a [`Level::Warn`] log message.
+    pub fn warn(&self, message: impl AsRef<str>) {
+        self.log(Level::Warn, message);
+    }
+
+    /// Emits a [`Level::Debug`] log message.
+    pub fn debug(&self, message: impl AsRef<str>) {
+        self.log(Level::Debug, message);
+    }
+
+    /// Snapshot of everything aggregated so far.
+    pub fn summary(&self) -> TelemetrySummary {
+        let Some(inner) = &self.inner else {
+            return TelemetrySummary::default();
+        };
+        let state = inner.state.lock().expect("telemetry state poisoned");
+        TelemetrySummary {
+            counters: state.counters.clone(),
+            histograms: state.histograms.clone(),
+            spans: state.spans.clone(),
+        }
+    }
+
+    /// Flushes the sink's buffered output, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    fn close_span(&self, name: &str, depth: usize, start: Instant) {
+        let Some(inner) = &self.inner else { return };
+        let duration_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = {
+            let mut state = inner.state.lock().expect("telemetry state poisoned");
+            // Tolerate out-of-order guard drops: truncate to this span's depth.
+            state.stack.truncate(depth);
+            let path = state.stack.join("/");
+            if state.stack.pop().is_none() {
+                return; // unbalanced close; nothing sensible to report
+            }
+            let span = state.spans.entry(name.to_string()).or_default();
+            span.count += 1;
+            span.total_ns += duration_ns;
+            path
+        };
+        inner.sink.event(&TraceEvent::SpanEnd { path, duration_ns });
+    }
+}
+
+/// RAII guard for an open span; closes (and times) the span on drop.
+pub struct Span {
+    telemetry: Telemetry,
+    name: String,
+    depth: usize,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.telemetry.close_span(&self.name, self.depth, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let _span = t.span("run");
+        t.counter("c", 5);
+        t.observe("h", 1.0);
+        t.info("ignored");
+        assert!(t.summary().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let t = Telemetry::collecting();
+        t.counter("bytes", 10);
+        t.counter("bytes", 32);
+        t.counter("other", 1);
+        let s = t.summary();
+        assert_eq!(s.counter("bytes"), 42);
+        assert_eq!(s.counter("other"), 1);
+    }
+
+    #[test]
+    fn span_nesting_builds_slash_paths() {
+        struct Capture(Mutex<Vec<TraceEvent>>);
+        impl Sink for Capture {
+            fn event(&self, event: &TraceEvent) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+        let sink = Arc::new(Capture(Mutex::new(Vec::new())));
+        struct Fwd(Arc<Capture>);
+        impl Sink for Fwd {
+            fn event(&self, event: &TraceEvent) {
+                self.0.event(event);
+            }
+        }
+        let t = Telemetry::with_sink(Box::new(Fwd(sink.clone())));
+        {
+            let _run = t.span("run");
+            {
+                let _task = t.span("task:0");
+                let _round = t.span("round:1");
+            }
+            let _task2 = t.span("task:1");
+        }
+        let events = sink.0.lock().unwrap().clone();
+        let paths: Vec<String> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::SpanStart { path } => format!("+{path}"),
+                TraceEvent::SpanEnd { path, .. } => format!("-{path}"),
+                _ => unreachable!("only span events emitted"),
+            })
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                "+run",
+                "+run/task:0",
+                "+run/task:0/round:1",
+                "-run/task:0/round:1",
+                "-run/task:0",
+                "+run/task:1",
+                "-run/task:1",
+                "-run",
+            ]
+        );
+    }
+
+    #[test]
+    fn span_durations_are_monotone_with_nesting() {
+        let t = Telemetry::collecting();
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let s = t.summary();
+        assert_eq!(s.spans["outer"].count, 1);
+        assert_eq!(s.spans["inner"].count, 1);
+        // The outer span was open for at least as long as the inner one.
+        assert!(s.spans["outer"].total_ns >= s.spans["inner"].total_ns);
+        assert!(s.spans["inner"].total_ns > 0);
+    }
+
+    #[test]
+    fn summary_snapshot_is_independent_of_later_events() {
+        let t = Telemetry::collecting();
+        t.counter("c", 1);
+        let snap = t.summary();
+        t.counter("c", 1);
+        assert_eq!(snap.counter("c"), 1);
+        assert_eq!(t.summary().counter("c"), 2);
+    }
+
+    #[test]
+    fn clones_share_one_collector() {
+        let a = Telemetry::collecting();
+        let b = a.clone();
+        a.counter("shared", 1);
+        b.counter("shared", 2);
+        assert_eq!(a.summary().counter("shared"), 3);
+    }
+}

@@ -13,14 +13,24 @@ use refil::fed::{run_fdil, FdilStrategy, IncrementConfig, RunConfig};
 use refil::nn::models::BackboneConfig;
 
 fn main() {
-    let dataset = office_caltech10(PresetConfig { scale: 0.25, feature_dim: 32 }).generate(7);
+    let dataset = office_caltech10(PresetConfig {
+        scale: 0.25,
+        feature_dim: 32,
+    })
+    .generate(7);
     let method = MethodConfig {
-        backbone: BackboneConfig { classes: dataset.classes, ..BackboneConfig::default() },
+        backbone: BackboneConfig {
+            classes: dataset.classes,
+            ..BackboneConfig::default()
+        },
         lr: 0.06, // the paper's OfficeCaltech10 learning rate
         max_tasks: dataset.num_domains(),
         ..MethodConfig::default()
     };
-    let prompt_method = MethodConfig { stable_after_first_task: true, ..method };
+    let prompt_method = MethodConfig {
+        stable_after_first_task: true,
+        ..method
+    };
     let run_cfg = RunConfig {
         increment: IncrementConfig {
             initial_clients: 6,
@@ -42,13 +52,21 @@ fn main() {
         Box::new(RefFiL::new(RefFiLConfig::new(prompt_method))),
     ];
 
-    let mut table =
-        Table::new(["Method", "Avg", "Last", "Forgetting"].map(String::from).to_vec());
+    let mut table = Table::new(
+        ["Method", "Avg", "Last", "Forgetting"]
+            .map(String::from)
+            .to_vec(),
+    );
     for strategy in &mut strategies {
         eprintln!("running {} ...", strategy.name());
         let result = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
         let s = scores(&result.domain_acc);
-        table.row(vec![strategy.name(), pct(s.avg), pct(s.last), pct(s.forgetting)]);
+        table.row(vec![
+            strategy.name(),
+            pct(s.avg),
+            pct(s.last),
+            pct(s.forgetting),
+        ]);
     }
     println!("\n{}", table.to_markdown());
 }

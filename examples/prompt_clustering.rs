@@ -34,24 +34,31 @@ fn main() {
                 let v: Vec<f32> = dir
                     .iter()
                     .enumerate()
-                    .map(|(i, &d)| d + 0.3 * k as f32 * ((i % 3) as f32) + gaussian(&mut rng) * 0.05)
+                    .map(|(i, &d)| {
+                        d + 0.3 * k as f32 * ((i % 3) as f32) + gaussian(&mut rng) * 0.05
+                    })
                     .collect();
                 (k, v)
             })
             .collect();
-        uploads.push(LocalPromptGroup { client_id: client, prompts });
+        uploads.push(LocalPromptGroup {
+            client_id: client,
+            prompts,
+        });
     }
 
     // Raw FINCH view: cluster class 0's prompts directly.
-    let class0: Vec<Vec<f32>> =
-        uploads.iter().map(|u| u.prompts[0].1.clone()).collect();
+    let class0: Vec<Vec<f32>> = uploads.iter().map(|u| u.prompts[0].1.clone()).collect();
     let partition = finch(&class0);
     println!(
         "FINCH on class 0 prompts: {} clusters from {} uploads",
         partition.finest().num_clusters,
         class0.len()
     );
-    println!("labels: {:?} (clients 0..12, domains repeat 0,1,2)", partition.finest().labels);
+    println!(
+        "labels: {:?} (clients 0..12, domains repeat 0,1,2)",
+        partition.finest().labels
+    );
 
     // The full server store.
     let mut store = GlobalPromptStore::new(classes, dim);

@@ -28,7 +28,10 @@ fn main() {
     //    prompt-method training regime (adaptation flows through prompts over
     //    a stable representation).
     let method = MethodConfig {
-        backbone: BackboneConfig { classes: dataset.classes, ..BackboneConfig::default() },
+        backbone: BackboneConfig {
+            classes: dataset.classes,
+            ..BackboneConfig::default()
+        },
         max_tasks: dataset.num_domains(),
         stable_after_first_task: true,
         ..MethodConfig::default()
@@ -49,7 +52,10 @@ fn main() {
         batch_size: 32,
         ..RunConfig::default()
     };
-    println!("training RefFiL over {} incremental tasks ...", dataset.num_domains());
+    println!(
+        "training RefFiL over {} incremental tasks ...",
+        dataset.num_domains()
+    );
     let result = run_fdil(&dataset, &mut strategy, &run_cfg);
 
     // 4. Report the paper's metrics.

@@ -42,7 +42,10 @@ fn main() {
     .generate(2024);
 
     let method = MethodConfig {
-        backbone: BackboneConfig { classes: 6, ..BackboneConfig::default() },
+        backbone: BackboneConfig {
+            classes: 6,
+            ..BackboneConfig::default()
+        },
         max_tasks: 3,
         stable_after_first_task: true,
         ..MethodConfig::default()
@@ -75,7 +78,10 @@ fn main() {
             .collect();
         println!("  after phase {}: {}", t + 1, cells.join("  "));
     }
-    println!("\nAvg {:.2}%  Last {:.2}%  forgetting {:.2}%", s.avg, s.last, s.forgetting);
+    println!(
+        "\nAvg {:.2}%  Last {:.2}%  forgetting {:.2}%",
+        s.avg, s.last, s.forgetting
+    );
 
     // Inspect what the server learned about the environments: the clustered
     // prompt store should hold multiple representatives per class once

@@ -43,7 +43,11 @@ fn domain_accuracy(
             "task-free" => strat.predict_task_free(global, &x),
             _ => strat.predict_domain(global, &x, dataset.num_domains() - 1),
         };
-        correct += preds.iter().zip(chunk).filter(|(p, s)| **p == s.label).count();
+        correct += preds
+            .iter()
+            .zip(chunk)
+            .filter(|(p, s)| **p == s.label)
+            .count();
     }
     100.0 * correct as f32 / test.len() as f32
 }
@@ -51,7 +55,10 @@ fn domain_accuracy(
 fn main() {
     let dataset = digits_five(PresetConfig::small()).generate(42);
     let method = MethodConfig {
-        backbone: BackboneConfig { classes: dataset.classes, ..BackboneConfig::default() },
+        backbone: BackboneConfig {
+            classes: dataset.classes,
+            ..BackboneConfig::default()
+        },
         max_tasks: dataset.num_domains(),
         stable_after_first_task: true,
         ..MethodConfig::default()
@@ -72,7 +79,10 @@ fn main() {
     let res = run_fdil(&dataset, &mut strat, &run_cfg);
 
     println!("\nfinal-model accuracy per domain under each inference policy:\n");
-    println!("{:<10} {:>8} {:>10} {:>8}", "domain", "oracle", "task-free", "latest");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8}",
+        "domain", "oracle", "task-free", "latest"
+    );
     for d in 0..dataset.num_domains() {
         let oracle = domain_accuracy(&mut strat, &res.final_global, &dataset, d, "oracle");
         let free = domain_accuracy(&mut strat, &res.final_global, &dataset, d, "task-free");

@@ -1,0 +1,43 @@
+//! RefFiL facade crate: re-exports every workspace subcrate under one root,
+//! so downstream code and the examples can write `refil::fed::run_fdil`
+//! instead of depending on each `refil-*` crate individually.
+
+/// Neural-network primitives: tensors, layers, backbone models.
+pub mod nn {
+    pub use refil_nn::*;
+}
+
+/// Synthetic domain-incremental datasets and partitioning presets.
+pub mod data {
+    pub use refil_data::*;
+}
+
+/// Federated runner: FDIL protocol loop, traffic accounting, aggregation.
+pub mod fed {
+    pub use refil_fed::*;
+}
+
+/// FINCH first-neighbor clustering and similarity utilities.
+pub mod clustering {
+    pub use refil_clustering::*;
+}
+
+/// Continual-learning baselines (finetune, EWC, LwF, DualPrompt).
+pub mod continual {
+    pub use refil_continual::*;
+}
+
+/// The RefFiL method: prompt pools, CDAP generator, DPCL loss.
+pub mod core {
+    pub use refil_core::*;
+}
+
+/// Evaluation metrics and report tables.
+pub mod eval {
+    pub use refil_eval::*;
+}
+
+/// Telemetry: spans, counters, and trace sinks for the training loop.
+pub mod telemetry {
+    pub use refil_telemetry::*;
+}

@@ -1,0 +1,93 @@
+//! Offline vendored shim mapping the `crossbeam::thread::scope` API onto
+//! `std::thread::scope` (stable since Rust 1.63), so the workspace needs no
+//! external crate for scoped parallelism.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention.
+
+    use std::any::Any;
+
+    /// Panic payload of a crashed worker.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to spawned closures (crossbeam convention: every
+    /// closure receives a `&Scope` even if unused). `Copy`, so each worker
+    /// closure owns its own handle and nothing dangles.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the scope
+        /// (crossbeam-style), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local data can be
+    /// spawned; all workers are joined before this returns.
+    ///
+    /// Mirrors `crossbeam::thread::scope`'s signature. The `Err` case (a
+    /// worker panicked and was never joined) is surfaced as a panic by
+    /// `std::thread::scope` instead, so this always returns `Ok` — callers'
+    /// `.expect(...)` / `.unwrap()` compose the same way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawns_compile() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

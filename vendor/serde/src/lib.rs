@@ -1,0 +1,565 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships a
+//! minimal serde replacement built around an owned value tree ([`Value`])
+//! instead of upstream's visitor-based zero-copy model:
+//!
+//! * [`Serialize`] converts `&self` into a [`Value`],
+//! * [`Deserialize`] reconstructs `Self` from a [`&Value`](Value),
+//! * `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//!   hand-rolled `serde_derive` proc-macro crate and supports the shapes
+//!   used in this repo: named-field structs (with `#[serde(skip)]`), tuple
+//!   structs, and enums with unit / newtype / struct variants using the
+//!   externally-tagged representation.
+//!
+//! The companion vendored `serde_json` crate prints and parses [`Value`]
+//! as JSON. Round-tripping within the workspace is exact; compatibility
+//! with upstream serde wire formats is a non-goal.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Owned, self-describing data-model value (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (used when negative).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error with a free-form message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Builds a type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self {
+            message: format!("expected {what}, found {}", got.kind()),
+        }
+    }
+
+    /// Builds a missing-field error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self {
+            message: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the serde data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn ser(&self) -> Value;
+}
+
+/// Reconstruction from the serde data model.
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from a [`Value`].
+    fn de(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected(stringify!($t), v))?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!(
+                    "{u} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                if *self < 0 { Value::Int(*self as i64) } else { Value::UInt(*self as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected(stringify!($t), v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    "{i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn ser(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("f32", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("f64", v))
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn ser(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::expected("null", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        self.as_slice().ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::de)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Value {
+        self.as_slice().ser()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::de(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(t) => t.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        T::de(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.ser()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq().ok_or_else(|| Error::expected("tuple", v))?;
+                let expect = [$($idx),+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expect}, found sequence of {}", items.len()
+                    )));
+                }
+                Ok(($($name::de(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Map keys must print to / parse from strings.
+pub trait MapKey: Sized {
+    /// Key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Key parsed back from a JSON object key.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! numeric_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!(
+                    "invalid {} map key {s:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+numeric_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + Ord,
+    V: Serialize,
+{
+    fn ser(&self) -> Value {
+        // Deterministic key order so equal maps serialize identically.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.ser()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::de(val)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn ser(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.ser())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::de(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (called by serde_derive-generated code)
+// ---------------------------------------------------------------------------
+
+/// Extracts and deserializes field `name` of struct `ty` from map `v`.
+pub fn struct_field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => T::de(field),
+        None => Err(Error::missing_field(ty, name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::de(&42u32.ser()).unwrap(), 42);
+        assert_eq!(i64::de(&(-7i64).ser()).unwrap(), -7);
+        assert_eq!(f32::de(&1.5f32.ser()).unwrap(), 1.5);
+        assert_eq!(bool::de(&true.ser()).unwrap(), true);
+        assert_eq!(String::de(&"hi".to_string().ser()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        assert_eq!(Vec::<f32>::de(&v.ser()).unwrap(), v);
+        let t = (1usize, "x".to_string(), 2.0f64);
+        assert_eq!(<(usize, String, f64)>::de(&t.ser()).unwrap(), t);
+        let a = [(1usize, 2usize, 3usize); 3];
+        assert_eq!(<[(usize, usize, usize); 3]>::de(&a.ser()).unwrap(), a);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::de(&o.ser()).unwrap(), None);
+    }
+
+    #[test]
+    fn maps_roundtrip_with_sorted_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.ser();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::UInt(2)),
+            ])
+        );
+        let back: std::collections::HashMap<String, u64> = Deserialize::de(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(u32::de(&Value::Str("nope".into())).is_err());
+        assert!(Vec::<f32>::de(&Value::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,563 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate parses the derive input token stream directly (no `syn`/`quote`)
+//! and emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits. Supported shapes — the full set used in this workspace:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]`,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple/newtype, and struct variants, in serde's
+//!   externally-tagged representation,
+//! * lifetime-generic types (`struct Out<'a> { ... }`).
+//!
+//! Unsupported serde attributes are rejected with a compile error rather
+//! than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, returning whether any of them
+    /// was `#[serde(skip)]`. Any other `#[serde(...)]` content is an error:
+    /// the vendored derive must not silently change semantics.
+    fn eat_attributes(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(head)) = inner.first() {
+                        if head.to_string() == "serde" {
+                            let args = match inner.get(1) {
+                                Some(TokenTree::Group(args))
+                                    if args.delimiter() == Delimiter::Parenthesis =>
+                                {
+                                    args.stream().to_string()
+                                }
+                                _ => String::new(),
+                            };
+                            if args.trim() == "skip" {
+                                skip = true;
+                            } else {
+                                return Err(format!(
+                                    "unsupported serde attribute `#[serde({args})]` \
+                                     (vendored derive supports only `skip`)"
+                                ));
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("malformed attribute, found {other:?}")),
+            }
+        }
+        Ok(skip)
+    }
+
+    /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `<...>` generics list if present, returning it verbatim.
+    fn eat_generics(&mut self) -> String {
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return String::new();
+        }
+        let mut depth = 0usize;
+        let mut out = String::new();
+        while let Some(t) = self.next() {
+            let s = t.to_string();
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            out.push_str(&s);
+            if !matches!(&t, TokenTree::Punct(p) if p.as_char() == '\'') {
+                out.push(' ');
+            }
+            if depth == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Skips a type (the tokens up to a top-level `,` or the end),
+    /// tracking angle-bracket depth.
+    fn skip_type(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    c.eat_attributes()?;
+    c.eat_visibility();
+
+    let kind_kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    let generics = c.eat_generics();
+
+    match kind_kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                generics,
+                kind: Kind::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                generics,
+                kind: Kind::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                generics,
+                kind: Kind::Unit,
+            }),
+            other => Err(format!("unsupported struct body, found {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                generics,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("expected struct or enum, found `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let skip = c.eat_attributes()?;
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident()?;
+        if !c.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.skip_type();
+        fields.push(Field { name, skip });
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        let _ = c.eat_attributes();
+        c.eat_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.eat_attributes()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, item: &Input) -> String {
+    format!(
+        "impl {g} ::serde::{t} for {n} {g}",
+        g = item.generics,
+        t = trait_name,
+        n = item.name
+    )
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push(({n:?}.to_string(), ::serde::Serialize::ser(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                 ::serde::Value::Map(m)"
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let path = format!("{}::{}", item.name, v.name);
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{path} => ::serde::Value::Str({:?}.to_string()),\n",
+                        v.name
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{path}(f0) => ::serde::Value::Map(vec![({:?}.to_string(), \
+                         ::serde::Serialize::ser(f0))]),\n",
+                        v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{path}({binds}) => ::serde::Value::Map(vec![({name:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{sers}]))]),\n",
+                            binds = binds.join(", "),
+                            name = v.name,
+                            sers = sers.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({n:?}.to_string(), ::serde::Serialize::ser({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{path} {{ {binds} }} => ::serde::Value::Map(vec![({name:?}.to_string(), \
+                             ::serde::Value::Map(vec![{pushes}]))]),\n",
+                            binds = binds.join(", "),
+                            name = v.name,
+                            pushes = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        header = impl_header("Serialize", item)
+    )
+}
+
+fn gen_named_constructor(path: &str, ty_label: &str, source: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::struct_field({source}, {ty:?}, {n:?})?,\n",
+                n = f.name,
+                ty = ty_label
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let ctor = gen_named_constructor(name, name, "v", fields);
+            format!(
+                "if v.as_map().is_none() {{\n\
+                     return Err(::serde::Error::expected(\"map\", v));\n\
+                 }}\n\
+                 Ok({ctor})"
+            )
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::de(v)?))"),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::de(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(format!(\
+                         \"expected {n} fields for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::Error::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants.iter().filter(|v| matches!(v.shape, Shape::Unit)) {
+                unit_arms.push_str(&format!(
+                    "{:?} => Ok({name}::{v_name}),\n",
+                    v.name,
+                    v_name = v.name
+                ));
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let path = format!("{name}::{}", v.name);
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{tag:?} => Ok({path}(::serde::Deserialize::de(inner)?)),\n",
+                        tag = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::de(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                                 let items = inner.as_seq().ok_or_else(|| \
+                                     ::serde::Error::expected(\"sequence\", inner))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::custom(format!(\
+                                         \"expected {n} fields for variant {tag}, found {{}}\", \
+                                         items.len())));\n\
+                                 }}\n\
+                                 Ok({path}({items}))\n\
+                             }}\n",
+                            tag = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let label = format!("{name}::{}", v.name);
+                        let ctor = gen_named_constructor(&path, &label, "inner", fields);
+                        tagged_arms.push_str(&format!("{tag:?} => Ok({ctor}),\n", tag = v.name));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::Error::custom(format!(\
+                             \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => Err(::serde::Error::custom(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::expected(\"enum representation\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}",
+        header = impl_header("Deserialize", item)
+    )
+}
