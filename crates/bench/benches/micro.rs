@@ -7,8 +7,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use refil_clustering::{finch, kmeans};
+use refil_continual::{Finetune, MethodConfig};
 use refil_core::{dpcl_loss, CdapConfig, CdapGenerator};
-use refil_fed::{fedavg, WeightedUpdate};
+use refil_data::{DatasetSpec, DomainSpec};
+use refil_fed::{fedavg, FdilRunner, IncrementConfig, RunConfig, WeightedUpdate};
 use refil_nn::layers::TransformerBlock;
 use refil_nn::models::{BackboneConfig, PromptedBackbone};
 use refil_nn::{Graph, Params, Tensor};
@@ -127,6 +129,75 @@ fn bench_dpcl(c: &mut Criterion) {
     });
 }
 
+fn bench_round_parallel(c: &mut Criterion) {
+    // Full protocol runs of one strategy, sequential vs on 4 workers; the
+    // parallel/sequential ratio is the round-loop speedup (results are
+    // byte-identical either way, so only wall time differs).
+    let dataset = DatasetSpec {
+        name: "bench".into(),
+        classes: 3,
+        feature_dim: 8,
+        proto_scale: 2.5,
+        within_std: 0.4,
+        test_fraction: 0.3,
+        signature_dim: 2,
+        signature_scale: 0.6,
+        domains: vec![
+            DomainSpec::new("d0", 400, 0.15, 0.05),
+            DomainSpec::new("d1", 400, 0.3, 0.4),
+        ],
+    }
+    .generate(11);
+    let method = MethodConfig {
+        backbone: BackboneConfig {
+            in_dim: 8,
+            extractor_width: 16,
+            extractor_depth: 1,
+            n_patches: 2,
+            token_dim: 8,
+            heads: 2,
+            blocks: 1,
+            classes: 3,
+            extractor: refil_nn::models::ExtractorKind::ResidualMlp,
+        },
+        lr: 0.05,
+        prompt_len: 2,
+        max_tasks: 2,
+        ..MethodConfig::default()
+    };
+    let run_cfg = RunConfig {
+        increment: IncrementConfig {
+            initial_clients: 8,
+            select_per_round: 8,
+            increment_per_task: 1,
+            transition_fraction: 0.8,
+            rounds_per_task: 2,
+        },
+        local_epochs: 1,
+        batch_size: 16,
+        quantity_sigma: 0.5,
+        eval_batch: 128,
+        dropout_prob: 0.0,
+        seed: 13,
+    };
+    c.bench_function("fed/round_parallel/threads_1", |bench| {
+        bench.iter(|| {
+            let mut strat = Finetune::new(method);
+            FdilRunner::new(run_cfg)
+                .threads(1)
+                .run(&dataset, &mut strat)
+        })
+    });
+    c.bench_function("fed/round_parallel/threads_4", |bench| {
+        bench.iter(|| {
+            let mut strat = Finetune::new(method);
+            FdilRunner::new(run_cfg)
+                .threads(4)
+                .run(&dataset, &mut strat)
+        })
+    });
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default()
@@ -134,6 +205,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_matmul, bench_attention_forward, bench_backbone_step,
-        bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl
+        bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl,
+        bench_round_parallel
 }
 criterion_main!(micro);

@@ -7,7 +7,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_core::{ClusterMode, RefFiL, RefFiLConfig};
 use refil_eval::{pct, scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 fn main() {
     let ds_choice = DatasetChoice::OfficeCaltech10;
@@ -39,7 +39,7 @@ fn main() {
     for (label, mode) in modes {
         eprintln!("[ablation_clustering] {label} ...");
         let mut strat = RefFiL::new(RefFiLConfig::new(prompt_cfg).with_cluster_mode(mode));
-        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
         let s = scores(&res.domain_acc);
         let reps = strat.prompt_store().total_reps();
         table.row(vec![

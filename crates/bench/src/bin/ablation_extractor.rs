@@ -8,7 +8,7 @@ use refil_bench::{DatasetChoice, Scale};
 use refil_continual::MethodConfig;
 use refil_core::{RefFiL, RefFiLConfig};
 use refil_eval::{pct, scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 use refil_nn::models::ExtractorKind;
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
         cfg.backbone.extractor = kind;
         let mut strat = RefFiL::new(RefFiLConfig::new(cfg));
         let n_params = refil_fed::FdilStrategy::init_global(&mut strat).len();
-        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
         let s = scores(&res.domain_acc);
         table.row(vec![
             label.into(),

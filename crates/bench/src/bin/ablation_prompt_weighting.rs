@@ -7,7 +7,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_core::{RefFiL, RefFiLConfig};
 use refil_eval::{pct, scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 fn main() {
     let ds_choice = DatasetChoice::OfficeCaltech10;
@@ -39,7 +39,7 @@ fn main() {
         eprintln!("[ablation_prompt_weighting] {label} ...");
         let mut strat =
             RefFiL::new(RefFiLConfig::new(prompt_cfg).with_weighted_prompt_sharing(weighted));
-        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
         let s = scores(&res.domain_acc);
         table.row(vec![
             label.into(),

@@ -8,7 +8,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_core::{RefFiL, RefFiLConfig};
 use refil_eval::{pct, scores, Table};
-use refil_fed::{evaluate_domain, run_fdil, FdilStrategy};
+use refil_fed::{evaluate_domain, FdilRunner, FdilStrategy};
 
 fn main() {
     let ds_choice = DatasetChoice::DigitsFive;
@@ -25,7 +25,7 @@ fn main() {
     // at inference, so the same final model serves all three rows.
     eprintln!("[ablation_taskid] training RefFiL ...");
     let mut oracle = RefFiL::new(RefFiLConfig::new(prompt_cfg));
-    let res = run_fdil(&dataset, &mut oracle, &run_cfg);
+    let res = FdilRunner::new(run_cfg).run(&dataset, &mut oracle);
     let oracle_scores = scores(&res.domain_acc);
 
     let eval_all = |strat: &mut RefFiL, global: &[f32]| -> Vec<f32> {

@@ -6,7 +6,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_core::{RefFiL, RefFiLConfig, TemperatureSchedule};
 use refil_eval::{pct, scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 fn main() {
     let ds_choice = DatasetChoice::OfficeCaltech10;
@@ -53,7 +53,7 @@ fn main() {
         let mut cfg = RefFiLConfig::new(prompt_cfg);
         cfg.temperature = sched;
         let mut strat = RefFiL::new(cfg);
-        let res = run_fdil(&dataset, &mut strat, &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
         let s = scores(&res.domain_acc);
         table.row(vec![
             label.into(),

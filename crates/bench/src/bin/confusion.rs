@@ -7,7 +7,7 @@ use refil_bench::methods::{build_method, method_config, MethodChoice};
 use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_eval::{backward_transfer, pct, ConfusionMatrix, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 use refil_nn::Tensor;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
     for m in [MethodChoice::Finetune, MethodChoice::RefFiL] {
         eprintln!("[confusion] {} ...", m.paper_name());
         let mut strategy = build_method(m, cfg);
-        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let bwt = backward_transfer(&res.domain_acc);
 
         // Confusion on the *first* domain with the final model — where

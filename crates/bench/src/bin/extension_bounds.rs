@@ -7,7 +7,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_continual::{FedProx, RehearsalOracle};
 use refil_eval::{pct, scores, Table};
-use refil_fed::{run_fdil, FdilStrategy};
+use refil_fed::{FdilRunner, FdilStrategy};
 
 fn main() {
     let ds_choice = DatasetChoice::DigitsFive;
@@ -46,7 +46,7 @@ fn main() {
     );
     for (label, strategy, memory) in &mut rows {
         eprintln!("[bounds] {label} ...");
-        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let s = scores(&res.domain_acc);
         table.row(vec![
             label.clone(),

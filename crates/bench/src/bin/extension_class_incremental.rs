@@ -12,7 +12,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_data::{DatasetSpec, DomainSpec};
 use refil_eval::{pct, scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 fn stream_dataset() -> refil_data::FdilDataset {
     // 10 classes; domains 0-1 carry only classes 0-5, domains 2-3 carry all.
@@ -69,7 +69,7 @@ fn main() {
     ] {
         eprintln!("[class_incremental] {} ...", m.paper_name());
         let mut strategy = build_method(m, cfg);
-        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let s = scores(&res.domain_acc);
         let fin = res.final_domain_accuracies();
         table.row(vec![

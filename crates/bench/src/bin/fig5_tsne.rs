@@ -7,7 +7,7 @@ use refil_bench::methods::{build_method, method_config, MethodChoice};
 use refil_bench::report::{emit, save_raw};
 use refil_bench::{DatasetChoice, Scale};
 use refil_eval::{separation_score, tsne, Table, TsneConfig};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 use refil_nn::Tensor;
 
 const SAMPLES_PER_DOMAIN: usize = 25;
@@ -35,7 +35,7 @@ fn main() {
     for m in methods {
         eprintln!("[fig5] {} ...", m.paper_name());
         let mut strategy = build_method(m, cfg);
-        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let global = &res.final_global;
         let mut row = vec![m.paper_name().to_string()];
         for step in 0..dataset.num_domains() {

@@ -3,17 +3,21 @@
 //! ```text
 //! cargo run --release -p refil-bench --bin run -- \
 //!     --dataset digits --method reffil --seed 42 \
-//!     [--new-order] [--json out.json] [--trace trace.jsonl]
+//!     [--new-order] [--threads N] [--json out.json] [--trace trace.jsonl]
 //! ```
 //!
 //! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale;
 //! `REFIL_LOG=error|warn|info|debug|off` controls stderr verbosity.
-//! `--trace FILE` streams every telemetry event (spans, counters,
-//! histograms) as one JSON object per line to `FILE`.
+//! `--threads N` runs client sessions on N worker threads (0 = all cores;
+//! default from `REFIL_THREADS`, else sequential) — results are
+//! byte-identical at any thread count. `--trace FILE` streams every
+//! telemetry event (spans, counters, histograms) as one JSON object per
+//! line to `FILE`.
 
 use refil_bench::methods::method_by_name;
 use refil_bench::{
-    dataset_by_name, run_experiment_traced, DatasetChoice, ExperimentSpec, MethodChoice, Scale,
+    dataset_by_name, run_experiment_with_threads, DatasetChoice, ExperimentSpec, MethodChoice,
+    Scale,
 };
 use refil_telemetry::Telemetry;
 
@@ -22,13 +26,14 @@ struct Args {
     method: MethodChoice,
     seed: u64,
     new_order: bool,
+    threads: Option<usize>,
     json: Option<String>,
     trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--json FILE] [--trace FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--threads N] [--json FILE] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
     let mut method = None;
     let mut seed = 42u64;
     let mut new_order = false;
+    let mut threads = None;
     let mut json = None;
     let mut trace = None;
     let mut args = std::env::args().skip(1);
@@ -66,6 +72,13 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--new-order" => new_order = true,
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -80,6 +93,7 @@ fn parse_args() -> Args {
         method: method.unwrap_or_else(|| usage()),
         seed,
         new_order,
+        threads,
         json,
         trace,
     }
@@ -111,7 +125,7 @@ fn main() {
         None => Telemetry::stderr(),
     };
     let start = std::time::Instant::now();
-    let r = run_experiment_traced(&spec, args.method, &telemetry);
+    let r = run_experiment_with_threads(&spec, args.method, &telemetry, args.threads);
     telemetry.flush();
     println!("method:      {}", r.name);
     println!("dataset:     {}", r.result.dataset);

@@ -6,7 +6,7 @@ use refil_bench::{DatasetChoice, Scale};
 use refil_continual::MethodConfig;
 use refil_data::{DatasetSpec, DomainSpec};
 use refil_eval::scores;
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 use refil_telemetry::Telemetry;
 
 struct Knobs {
@@ -99,7 +99,7 @@ fn main() {
             };
             let mut strat = build_method(m, cfg);
             let run_cfg = DatasetChoice::DigitsFive.run_config(&scale, 42);
-            let res = run_fdil(&ds, strat.as_mut(), &run_cfg);
+            let res = FdilRunner::new(run_cfg).run(&ds, strat.as_mut());
             let s = scores(&res.domain_acc);
             let fin: Vec<String> = res
                 .final_domain_accuracies()

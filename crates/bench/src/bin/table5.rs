@@ -6,7 +6,7 @@ use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_core::RefFiLFlags;
 use refil_eval::{pct, scores, signed, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 fn main() {
     let ds_choice = DatasetChoice::OfficeCaltech10;
@@ -46,7 +46,7 @@ fn main() {
             )
         };
         eprintln!("[table5] CDAP={cdap} GPL={gpl} DPCL={dpcl} ...");
-        let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let s = scores(&res.domain_acc);
         let base = *baseline.get_or_insert(s);
         let mark = |b: bool| if b { "✓" } else { " " }.to_string();

@@ -11,7 +11,7 @@ use refil_bench::methods::{build_method, method_config, MethodChoice};
 use refil_bench::report::emit;
 use refil_bench::{DatasetChoice, Scale};
 use refil_eval::{scores, Scores, Table};
-use refil_fed::run_fdil;
+use refil_fed::FdilRunner;
 
 const SEEDS: [u64; 3] = [42, 1337, 2024];
 
@@ -22,7 +22,7 @@ fn run_one(method: MethodChoice, seed: u64) -> Scores {
     let cfg = method_config(ds_choice, dataset.num_domains(), seed ^ 7);
     let mut strategy = build_method(method, cfg);
     let run_cfg = ds_choice.run_config(&scale, seed);
-    let res = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+    let res = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
     scores(&res.domain_acc)
 }
 

@@ -22,5 +22,6 @@ pub use datasets::{dataset_by_name, DatasetChoice, Scale};
 pub use experiments::{full_results, per_step_tables, summary_table, CachedMethod, FullResults};
 pub use methods::{build_method, method_names, MethodChoice};
 pub use runner::{
-    run_all_methods, run_experiment, run_experiment_traced, ExperimentSpec, MethodResult,
+    run_all_methods, run_experiment, run_experiment_traced, run_experiment_with_threads,
+    ExperimentSpec, MethodResult,
 };

@@ -1,7 +1,7 @@
 //! Experiment orchestration: run one or all methods on one dataset.
 
 use refil_eval::{scores, Scores};
-use refil_fed::{run_fdil_traced, RunResult};
+use refil_fed::{FdilRunner, RunResult};
 use refil_telemetry::Telemetry;
 
 use crate::datasets::{DatasetChoice, Scale};
@@ -55,11 +55,27 @@ pub fn run_experiment(spec: &ExperimentSpec, method: MethodChoice) -> MethodResu
 }
 
 /// Runs one method on an experiment, recording the federated loop into
-/// `telemetry` (see [`refil_fed::run_fdil_traced`] for the span hierarchy).
+/// `telemetry` (see [`refil_fed::FdilRunner`] for the span hierarchy).
+///
+/// The worker-thread count follows `REFIL_THREADS` (the [`FdilRunner`]
+/// default); results are byte-identical at any thread count.
 pub fn run_experiment_traced(
     spec: &ExperimentSpec,
     method: MethodChoice,
     telemetry: &Telemetry,
+) -> MethodResult {
+    run_experiment_with_threads(spec, method, telemetry, None)
+}
+
+/// Like [`run_experiment_traced`], with an explicit worker-thread count.
+///
+/// `threads = None` keeps the `REFIL_THREADS` default; `Some(0)` uses all
+/// available cores; any other value is the exact worker count.
+pub fn run_experiment_with_threads(
+    spec: &ExperimentSpec,
+    method: MethodChoice,
+    telemetry: &Telemetry,
+    threads: Option<usize>,
 ) -> MethodResult {
     let dataset = spec
         .dataset
@@ -67,7 +83,11 @@ pub fn run_experiment_traced(
     let cfg = method_config(spec.dataset, dataset.num_domains(), spec.seed ^ 7);
     let mut strategy = build_method(method, cfg);
     let run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
-    let result = run_fdil_traced(&dataset, strategy.as_mut(), &run_cfg, telemetry);
+    let mut runner = FdilRunner::new(run_cfg).telemetry(telemetry);
+    if let Some(n) = threads {
+        runner = runner.threads(n);
+    }
+    let result = runner.run(&dataset, strategy.as_mut());
     let s = scores(&result.domain_acc);
     MethodResult {
         name: method.paper_name().to_string(),

@@ -107,6 +107,15 @@ impl ModelCore {
         self.params.to_flat()
     }
 
+    /// A per-session working copy with `flat` loaded: the starting point for
+    /// one client's local training. Sessions clone rather than mutate the
+    /// shared core so they can run concurrently within a round.
+    pub fn session(&self, flat: &[f32]) -> ModelCore {
+        let mut core = self.clone();
+        core.load(flat);
+        core
+    }
+
     /// Runs the standard local-SGD loop. `batch_loss` builds the total loss
     /// for one minibatch; `post_backward` (if any) injects manual gradient
     /// terms (e.g. the EWC penalty) after autodiff but before the step.

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -183,33 +183,22 @@ impl FedDualPrompt {
     }
 }
 
-impl FdilStrategy for FedDualPrompt {
-    fn name(&self) -> String {
-        if self.experts.is_some() {
-            "FedDualPrompt+pool".into()
-        } else {
-            "FedDualPrompt".into()
-        }
-    }
+struct FedDualPromptCtx<'a> {
+    strat: &'a FedDualPrompt,
+    global: &'a [f32],
+}
 
-    fn init_global(&mut self) -> Vec<f32> {
-        self.core.flat()
-    }
-
-    fn on_task_start(&mut self, task: usize, _global: &[f32]) {
-        self.current_task = task;
-    }
-
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        let this = self.clone();
+impl RoundContext for FedDualPromptCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let strat = self.strat;
+        let mut core = strat.core.session(self.global);
         let task = setting.task;
-        let key_w = self.key_loss_weight;
-        self.core.train_local(
+        let key_w = strat.key_loss_weight;
+        core.train_local(
             setting,
             |g, p, b| {
-                let (prompts, key_info) = this.batch_prompts(g, p, &b.features, Some(task));
-                let out = this.model.forward(g, p, &b.features, Some(prompts));
+                let (prompts, key_info) = strat.batch_prompts(g, p, &b.features, Some(task));
+                let out = strat.model.forward(g, p, &b.features, Some(prompts));
                 let ce = g.cross_entropy(out.logits, &b.labels);
                 match key_info {
                     Some((keys_sel, query_t)) => {
@@ -230,11 +219,42 @@ impl FdilStrategy for FedDualPrompt {
             |_| {},
         );
         ClientUpdate {
-            flat: self.core.flat(),
+            flat: core.flat(),
             weight: setting.samples.len() as f32,
             upload_bytes: 0,
             download_bytes: 0,
         }
+        .into()
+    }
+}
+
+impl FdilStrategy for FedDualPrompt {
+    fn name(&self) -> String {
+        if self.experts.is_some() {
+            "FedDualPrompt+pool".into()
+        } else {
+            "FedDualPrompt".into()
+        }
+    }
+
+    fn init_global(&mut self) -> Vec<f32> {
+        self.core.flat()
+    }
+
+    fn on_task_start(&mut self, task: usize, _global: &[f32]) {
+        self.current_task = task;
+    }
+
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FedDualPromptCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -264,14 +284,14 @@ impl FdilStrategy for FedDualPrompt {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn dualprompt_without_pool_runs() {
         let ds = tiny_dataset();
         let mut strat = FedDualPrompt::new(tiny_cfg(), false);
         assert!(!strat.pool_enabled());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
     }
 
@@ -280,7 +300,7 @@ mod tests {
         let ds = tiny_dataset();
         let mut strat = FedDualPrompt::new(tiny_cfg(), true);
         assert!(strat.pool_enabled());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 40.0, "{:?}", res.domain_acc);
     }
 

@@ -8,7 +8,7 @@
 //! weights to the previous task's solution.
 
 use refil_data::Sample;
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -48,6 +48,40 @@ impl FedEwc {
     }
 }
 
+struct FedEwcCtx<'a> {
+    strat: &'a FedEwc,
+    global: &'a [f32],
+}
+
+impl RoundContext for FedEwcCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let mut core = self.strat.core.session(self.global);
+        let model = &self.strat.model;
+        let fisher = self.strat.fisher.as_deref();
+        let anchor = self.strat.anchor.as_deref();
+        let lambda = self.strat.core.cfg.ewc_lambda;
+        core.train_local(
+            setting,
+            |g, p, b| {
+                let out = model.forward(g, p, &b.features, None);
+                g.cross_entropy(out.logits, &b.labels)
+            },
+            |params| {
+                if let (Some(f), Some(a)) = (fisher, anchor) {
+                    add_quadratic_penalty_grads(params, a, f, lambda);
+                }
+            },
+        );
+        ClientUpdate {
+            flat: core.flat(),
+            weight: setting.samples.len() as f32,
+            upload_bytes: 0,
+            download_bytes: 0,
+        }
+        .into()
+    }
+}
+
 impl FdilStrategy for FedEwc {
     fn name(&self) -> String {
         "FedEWC".into()
@@ -57,30 +91,16 @@ impl FdilStrategy for FedEwc {
         self.core.flat()
     }
 
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        let model = self.model.clone();
-        let fisher = self.fisher.clone();
-        let anchor = self.anchor.clone();
-        let lambda = self.core.cfg.ewc_lambda;
-        self.core.train_local(
-            setting,
-            |g, p, b| {
-                let out = model.forward(g, p, &b.features, None);
-                g.cross_entropy(out.logits, &b.labels)
-            },
-            |params| {
-                if let (Some(f), Some(a)) = (&fisher, &anchor) {
-                    add_quadratic_penalty_grads(params, a, f, lambda);
-                }
-            },
-        );
-        ClientUpdate {
-            flat: self.core.flat(),
-            weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
-        }
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FedEwcCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn on_task_end(&mut self, _task: usize, global: &[f32], client_data: &[(usize, Vec<Sample>)]) {
@@ -133,13 +153,13 @@ impl FdilStrategy for FedEwc {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn ewc_runs_and_learns() {
         let ds = tiny_dataset();
         let mut strat = FedEwc::new(tiny_cfg()).with_fisher_samples(16);
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
         assert!(strat.fisher.is_some(), "fisher never estimated");
         assert!(strat.anchor.is_some());
@@ -152,7 +172,7 @@ mod tests {
         cfg.ewc_lambda = 1e6;
         let ds = tiny_dataset();
         let mut strat = FedEwc::new(cfg).with_fisher_samples(16);
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         // Sanity: the run completes and fisher is in place.
         assert_eq!(res.domain_acc.len(), ds.num_domains());
     }

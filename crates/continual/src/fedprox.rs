@@ -7,7 +7,7 @@
 //! client's update toward the broadcast model. Provided as an additional
 //! library strategy and an upper/lower-bounds comparison point.
 
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -36,22 +36,19 @@ impl FedProx {
     }
 }
 
-impl FdilStrategy for FedProx {
-    fn name(&self) -> String {
-        "FedProx".into()
-    }
+struct FedProxCtx<'a> {
+    strat: &'a FedProx,
+    global: &'a [f32],
+}
 
-    fn init_global(&mut self) -> Vec<f32> {
-        self.core.flat()
-    }
-
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        let model = self.model.clone();
-        let anchor = global.to_vec();
-        let ones = vec![1.0f32; global.len()];
-        let mu = self.mu;
-        self.core.train_local(
+impl RoundContext for FedProxCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let mut core = self.strat.core.session(self.global);
+        let model = &self.strat.model;
+        let anchor = self.global;
+        let ones = vec![1.0f32; self.global.len()];
+        let mu = self.strat.mu;
+        core.train_local(
             setting,
             |g, p, b| {
                 let out = model.forward(g, p, &b.features, None);
@@ -61,16 +58,39 @@ impl FdilStrategy for FedProx {
                 // d/dtheta [mu/2 * ||theta - theta_g||^2] = mu (theta - theta_g):
                 // the EWC penalty machinery with unit Fisher.
                 if mu > 0.0 {
-                    add_quadratic_penalty_grads(params, &anchor, &ones, mu);
+                    add_quadratic_penalty_grads(params, anchor, &ones, mu);
                 }
             },
         );
         ClientUpdate {
-            flat: self.core.flat(),
+            flat: core.flat(),
             weight: setting.samples.len() as f32,
             upload_bytes: 0,
             download_bytes: 0,
         }
+        .into()
+    }
+}
+
+impl FdilStrategy for FedProx {
+    fn name(&self) -> String {
+        "FedProx".into()
+    }
+
+    fn init_global(&mut self) -> Vec<f32> {
+        self.core.flat()
+    }
+
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FedProxCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -86,13 +106,13 @@ impl FdilStrategy for FedProx {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn fedprox_runs_and_learns() {
         let ds = tiny_dataset();
         let mut strat = FedProx::new(tiny_cfg(), 0.1);
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
     }
 
@@ -111,7 +131,7 @@ mod tests {
             batch_size: 16,
             seed: 1,
         };
-        let update = strat.train_client(&setting, &global);
+        let update = strat.train_once(&setting, &global);
         let drift: f32 = update
             .flat
             .iter()
@@ -139,8 +159,8 @@ mod tests {
             batch_size: 16,
             seed: 1,
         };
-        let u1 = prox.train_client(&setting, &g1);
-        let u2 = plain.train_client(&setting, &g2);
+        let u1 = prox.train_once(&setting, &g1);
+        let u2 = plain.train_once(&setting, &g2);
         for (a, b) in u1.flat.iter().zip(&u2.flat) {
             assert!((a - b).abs() < 1e-5, "mu=0 must match finetune");
         }

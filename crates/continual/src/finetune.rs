@@ -1,7 +1,7 @@
 //! Finetune: the lower-bound baseline that simply keeps training the global
 //! model on whatever data arrives, with no forgetting mitigation.
 
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -23,6 +23,33 @@ impl Finetune {
     }
 }
 
+struct FinetuneCtx<'a> {
+    strat: &'a Finetune,
+    global: &'a [f32],
+}
+
+impl RoundContext for FinetuneCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let mut core = self.strat.core.session(self.global);
+        let model = &self.strat.model;
+        core.train_local(
+            setting,
+            |g, p, b| {
+                let out = model.forward(g, p, &b.features, None);
+                g.cross_entropy(out.logits, &b.labels)
+            },
+            |_| {},
+        );
+        ClientUpdate {
+            flat: core.flat(),
+            weight: setting.samples.len() as f32,
+            upload_bytes: 0,
+            download_bytes: 0,
+        }
+        .into()
+    }
+}
+
 impl FdilStrategy for Finetune {
     fn name(&self) -> String {
         "Finetune".into()
@@ -32,23 +59,16 @@ impl FdilStrategy for Finetune {
         self.core.flat()
     }
 
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        let model = &self.model;
-        self.core.train_local(
-            setting,
-            |g, p, b| {
-                let out = model.forward(g, p, &b.features, None);
-                g.cross_entropy(out.logits, &b.labels)
-            },
-            |_| {},
-        );
-        ClientUpdate {
-            flat: self.core.flat(),
-            weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
-        }
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FinetuneCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -64,13 +84,13 @@ impl FdilStrategy for Finetune {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn finetune_learns_first_domain() {
         let ds = tiny_dataset();
         let mut strat = Finetune::new(tiny_cfg());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(
             res.domain_acc[0][0] > 50.0,
             "finetune failed to learn domain 0: {:?}",
@@ -98,7 +118,7 @@ mod tests {
                 batch_size: 16,
                 seed: 1,
             };
-            strat.train_client(&setting, global).flat
+            strat.train_once(&setting, global).flat
         };
         global = phase(&mut strat, &global, &ds.domains[0].train);
         let eval = |strat: &mut Finetune, global: &[f32]| {

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -167,28 +167,21 @@ impl FedL2p {
 /// Seed salt for prompt-parameter initialization ("L2P" in ASCII).
 const L2P_SEED: u64 = 0x4c_32_50;
 
-impl FdilStrategy for FedL2p {
-    fn name(&self) -> String {
-        if self.pool.is_some() {
-            "FedL2P+pool".into()
-        } else {
-            "FedL2P".into()
-        }
-    }
+struct FedL2pCtx<'a> {
+    strat: &'a FedL2p,
+    global: &'a [f32],
+}
 
-    fn init_global(&mut self) -> Vec<f32> {
-        self.core.flat()
-    }
-
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        let this = self.clone();
-        let key_w = self.key_loss_weight;
-        self.core.train_local(
+impl RoundContext for FedL2pCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let strat = self.strat;
+        let mut core = strat.core.session(self.global);
+        let key_w = strat.key_loss_weight;
+        core.train_local(
             setting,
             |g, p, b| {
-                let (prompts, key_info) = this.batch_prompts(g, p, &b.features);
-                let out = this.model.forward(g, p, &b.features, Some(prompts));
+                let (prompts, key_info) = strat.batch_prompts(g, p, &b.features);
+                let out = strat.model.forward(g, p, &b.features, Some(prompts));
                 let ce = g.cross_entropy(out.logits, &b.labels);
                 match key_info {
                     Some((keys_sel, query_t)) => {
@@ -211,11 +204,38 @@ impl FdilStrategy for FedL2p {
             |_| {},
         );
         ClientUpdate {
-            flat: self.core.flat(),
+            flat: core.flat(),
             weight: setting.samples.len() as f32,
             upload_bytes: 0,
             download_bytes: 0,
         }
+        .into()
+    }
+}
+
+impl FdilStrategy for FedL2p {
+    fn name(&self) -> String {
+        if self.pool.is_some() {
+            "FedL2P+pool".into()
+        } else {
+            "FedL2P".into()
+        }
+    }
+
+    fn init_global(&mut self) -> Vec<f32> {
+        self.core.flat()
+    }
+
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FedL2pCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -245,14 +265,14 @@ impl FdilStrategy for FedL2p {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn l2p_without_pool_runs() {
         let ds = tiny_dataset();
         let mut strat = FedL2p::new(tiny_cfg(), false);
         assert!(!strat.pool_enabled());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
     }
 
@@ -261,7 +281,7 @@ mod tests {
         let ds = tiny_dataset();
         let mut strat = FedL2p::new(tiny_cfg(), true);
         assert!(strat.pool_enabled());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert!(res.domain_acc[0][0] > 40.0, "{:?}", res.domain_acc);
     }
 

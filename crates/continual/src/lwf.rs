@@ -5,7 +5,7 @@
 //! (temperature-softened) predictions on current data close to the
 //! teacher's, regularizing against forgetting without storing old data.
 
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
 use refil_nn::losses::distillation_loss;
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{Graph, Params, Tensor};
@@ -42,6 +42,49 @@ impl FedLwf {
     }
 }
 
+struct FedLwfCtx<'a> {
+    strat: &'a FedLwf,
+    global: &'a [f32],
+}
+
+impl RoundContext for FedLwfCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let mut core = self.strat.core.session(self.global);
+        // Teacher logits depend on the minibatch, so the teacher parameters
+        // ride along into the loss closure (shared read-only borrow).
+        let model = &self.strat.model;
+        let teacher = self.strat.teacher.as_ref();
+        let temperature = self.strat.core.cfg.kd_temperature;
+        let kd_weight = self.strat.core.cfg.kd_weight;
+        core.train_local(
+            setting,
+            |g, p, b| {
+                let out = model.forward(g, p, &b.features, None);
+                let ce = g.cross_entropy(out.logits, &b.labels);
+                match teacher {
+                    Some(tp) => {
+                        let tg = Graph::new();
+                        let tout = model.forward(&tg, tp, &b.features, None);
+                        let tlogits = tg.value(tout.logits);
+                        let kd = distillation_loss(g, out.logits, &tlogits, temperature);
+                        let kd_scaled = g.scale(kd, kd_weight);
+                        g.add(ce, kd_scaled)
+                    }
+                    None => ce,
+                }
+            },
+            |_| {},
+        );
+        ClientUpdate {
+            flat: core.flat(),
+            weight: setting.samples.len() as f32,
+            upload_bytes: 0,
+            download_bytes: 0,
+        }
+        .into()
+    }
+}
+
 impl FdilStrategy for FedLwf {
     fn name(&self) -> String {
         "FedLwF".into()
@@ -60,39 +103,16 @@ impl FdilStrategy for FedLwf {
         }
     }
 
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        // Pre-compute nothing: teacher logits depend on the minibatch. Clone
-        // the pieces the closure needs to avoid borrowing self.
-        let model = self.model.clone();
-        let teacher = self.teacher.clone();
-        let temperature = self.core.cfg.kd_temperature;
-        let kd_weight = self.core.cfg.kd_weight;
-        self.core.train_local(
-            setting,
-            |g, p, b| {
-                let out = model.forward(g, p, &b.features, None);
-                let ce = g.cross_entropy(out.logits, &b.labels);
-                match &teacher {
-                    Some(tp) => {
-                        let tg = Graph::new();
-                        let tout = model.forward(&tg, tp, &b.features, None);
-                        let tlogits = tg.value(tout.logits);
-                        let kd = distillation_loss(g, out.logits, &tlogits, temperature);
-                        let kd_scaled = g.scale(kd, kd_weight);
-                        g.add(ce, kd_scaled)
-                    }
-                    None => ce,
-                }
-            },
-            |_| {},
-        );
-        ClientUpdate {
-            flat: self.core.flat(),
-            weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
-        }
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(FedLwfCtx {
+            strat: self,
+            global,
+        })
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -108,13 +128,13 @@ impl FdilStrategy for FedLwf {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn lwf_runs_full_protocol() {
         let ds = tiny_dataset();
         let mut strat = FedLwf::new(tiny_cfg());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert_eq!(res.domain_acc.len(), ds.num_domains());
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
     }

@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use refil_data::Sample;
-use refil_fed::{ClientUpdate, FdilStrategy, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, MergePayload, RoundContext, SessionOutput, Telemetry, TrainSetting,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -91,6 +93,56 @@ impl<'a, T: 'a, I: Iterator<Item = &'a mut T>> ChooseOne<'a, T> for I {
     }
 }
 
+/// Samples a session asks its owning client to commit to episodic memory.
+struct RememberPayload {
+    samples: Vec<Sample>,
+    seed: u64,
+}
+
+struct RehearsalCtx<'a> {
+    strat: &'a RehearsalOracle,
+    global: &'a [f32],
+}
+
+impl RoundContext for RehearsalCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+        let mut core = self.strat.core.session(self.global);
+        // Replay buffer + current data form the effective training set.
+        let mut effective: Vec<Sample> = self
+            .strat
+            .memory
+            .get(&setting.client_id)
+            .cloned()
+            .unwrap_or_default();
+        effective.extend_from_slice(setting.samples);
+        let model = &self.strat.model;
+        let replayed = TrainSetting {
+            samples: &effective,
+            ..*setting
+        };
+        core.train_local(
+            &replayed,
+            |g, p, b| {
+                let out = model.forward(g, p, &b.features, None);
+                g.cross_entropy(out.logits, &b.labels)
+            },
+            |_| {},
+        );
+        SessionOutput {
+            update: ClientUpdate {
+                flat: core.flat(),
+                weight: effective.len() as f32,
+                upload_bytes: 0,
+                download_bytes: 0,
+            },
+            merge: Some(Box::new(RememberPayload {
+                samples: setting.samples.to_vec(),
+                seed: setting.seed ^ 0xeb,
+            })),
+        }
+    }
+}
+
 impl FdilStrategy for RehearsalOracle {
     fn name(&self) -> String {
         "Rehearsal (oracle)".into()
@@ -100,36 +152,31 @@ impl FdilStrategy for RehearsalOracle {
         self.core.flat()
     }
 
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
-        // Replay buffer + current data form the effective training set.
-        let mut effective: Vec<Sample> = self
-            .memory
-            .get(&setting.client_id)
-            .cloned()
-            .unwrap_or_default();
-        effective.extend_from_slice(setting.samples);
-        let model = self.model.clone();
-        let replayed = TrainSetting {
-            samples: &effective,
-            ..*setting
-        };
-        self.core.train_local(
-            &replayed,
-            |g, p, b| {
-                let out = model.forward(g, p, &b.features, None);
-                g.cross_entropy(out.logits, &b.labels)
-            },
-            |_| {},
-        );
+    fn round_ctx<'a>(
+        &'a self,
+        _task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
+        Box::new(RehearsalCtx {
+            strat: self,
+            global,
+        })
+    }
+
+    fn merge_client(
+        &mut self,
+        _task: usize,
+        _round: usize,
+        client_id: usize,
+        payload: MergePayload,
+    ) {
         // Memorize the new data for future tasks (this is the privacy
-        // violation rehearsal-free methods avoid).
-        self.remember(setting.client_id, setting.samples, setting.seed ^ 0xeb);
-        ClientUpdate {
-            flat: self.core.flat(),
-            weight: effective.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
+        // violation rehearsal-free methods avoid). Applied post-round in
+        // client-id order; memories are per-client, so the end state matches
+        // the sequential driver's.
+        if let Ok(p) = payload.downcast::<RememberPayload>() {
+            self.remember(client_id, &p.samples, p.seed);
         }
     }
 
@@ -146,13 +193,13 @@ impl FdilStrategy for RehearsalOracle {
 mod tests {
     use super::*;
     use crate::testutil::{tiny_cfg, tiny_dataset, tiny_run_config};
-    use refil_fed::run_fdil;
+    use refil_fed::FdilRunner;
 
     #[test]
     fn oracle_runs_and_accumulates_memory() {
         let ds = tiny_dataset();
         let mut strat = RehearsalOracle::new(tiny_cfg(), 8);
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert_eq!(res.domain_acc.len(), ds.num_domains());
         assert!(strat.memory_samples() > 0, "memory never filled");
     }
@@ -176,9 +223,9 @@ mod tests {
         let ds = tiny_dataset();
         let cfg = tiny_run_config();
         let mut oracle = RehearsalOracle::new(tiny_cfg(), 16);
-        let ro = run_fdil(&ds, &mut oracle, &cfg);
+        let ro = FdilRunner::new(cfg).run(&ds, &mut oracle);
         let mut plain = crate::Finetune::new(tiny_cfg());
-        let rp = run_fdil(&ds, &mut plain, &cfg);
+        let rp = FdilRunner::new(cfg).run(&ds, &mut plain);
         let o0 = ro.final_domain_accuracies()[0];
         let p0 = rp.final_domain_accuracies()[0];
         assert!(

@@ -20,11 +20,11 @@
 //! use refil_core::{RefFiL, RefFiLConfig};
 //! use refil_continual::MethodConfig;
 //! use refil_data::{digits_five, PresetConfig};
-//! use refil_fed::{run_fdil, RunConfig};
+//! use refil_fed::{FdilRunner, RunConfig};
 //!
 //! let dataset = digits_five(PresetConfig::small()).generate(42);
 //! let mut strategy = RefFiL::new(RefFiLConfig::new(MethodConfig::default()));
-//! let result = run_fdil(&dataset, &mut strategy, &RunConfig::default());
+//! let result = FdilRunner::new(RunConfig::default()).run(&dataset, &mut strategy);
 //! println!("Avg {:.2}% Last {:.2}%", result.avg_accuracy(), result.last_accuracy());
 //! ```
 

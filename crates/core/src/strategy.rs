@@ -13,7 +13,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use refil_continual::{MethodConfig, ModelCore};
-use refil_fed::{ClientGroup, ClientUpdate, FdilStrategy, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientGroup, ClientUpdate, FdilStrategy, MergePayload, RoundContext, SessionOutput, Telemetry,
+    TrainSetting,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -216,8 +219,9 @@ impl RefFiL {
     }
 
     /// Computes the client's Local Prompt Group (Eq. 2): per-class balanced
-    /// means of generated prompts over (a subsample of) the local data.
-    fn compute_lpg(&mut self, setting: &TrainSetting<'_>) -> LocalPromptGroup {
+    /// means of generated prompts over (a subsample of) the local data,
+    /// under the given (locally trained) parameters.
+    fn compute_lpg(&self, params: &Params, setting: &TrainSetting<'_>) -> LocalPromptGroup {
         let classes = self.model.config().classes;
         let dim_in = self.model.config().in_dim;
         let p = self.cfg.method.prompt_len;
@@ -239,13 +243,13 @@ impl RefFiL {
             }
             let x = Tensor::from_vec(data, &[samples.len(), dim_in]);
             let g = Graph::new();
-            let (_, tokens) = self.model.tokenize(&g, &self.core.params, &x);
+            let (_, tokens) = self.model.tokenize(&g, params, &x);
             let pv = Self::local_prompts(
                 &self.model,
                 &self.cdap,
                 self.fixed_prompt,
                 &g,
-                &self.core.params,
+                params,
                 tokens,
                 setting.task,
             );
@@ -337,6 +341,112 @@ impl RefFiL {
     }
 }
 
+/// Read-only per-round session context: the server broadcast (candidate
+/// prompts, generalized prompt, store size) snapshotted at round start so
+/// every client session — possibly on different worker threads — trains
+/// against identical inputs.
+struct RefFiLRoundCtx<'a> {
+    strat: &'a RefFiL,
+    global: &'a [f32],
+    task: usize,
+    cands: Vec<Vec<f32>>,
+    cand_classes: Vec<usize>,
+    generalized: Option<Tensor>,
+    store_bytes: u64,
+}
+
+impl RoundContext for RefFiLRoundCtx<'_> {
+    fn train_client(&self, setting: &TrainSetting<'_>, telemetry: &Telemetry) -> SessionOutput {
+        let strat = self.strat;
+        let mut core = strat.core.session(self.global);
+        let flags = strat.cfg.flags;
+        let model = &strat.model;
+        let cdap = &strat.cdap;
+        let fixed = strat.fixed_prompt;
+        let task = self.task;
+        let p_len = strat.cfg.method.prompt_len;
+        let d = model.config().token_dim;
+        let cands = &self.cands;
+        let cand_classes = &self.cand_classes;
+        let generalized = &self.generalized;
+        let tau = strat.cfg.temperature.at_task(task + 1);
+        let n_pos = if setting.group == ClientGroup::Between {
+            2
+        } else {
+            1
+        };
+        if flags.use_dpcl {
+            telemetry.observe("dpcl.temperature", f64::from(tau));
+            telemetry.observe("dpcl.candidates", cands.len() as f64);
+        }
+
+        let train_span = telemetry.span("local_train");
+        core.train_local(
+            setting,
+            |g, p, b| {
+                let bsz = b.len();
+                let (feat, tokens) = model.tokenize(g, p, &b.features);
+                let prompts = RefFiL::local_prompts(model, cdap, fixed, g, p, tokens, task);
+                // L_CE: classification with locally generated prompts (Eq. 10).
+                let out_l = model.forward_from_tokens(g, p, feat, tokens, Some(prompts));
+                let mut loss = g.cross_entropy(out_l.logits, &b.labels);
+                // L_GPL: same input under the generalized global prompt (Eq. 9).
+                if let Some(gp) = generalized {
+                    let gpv = g.constant(gp.clone());
+                    let gp_b = model.broadcast_prompts(g, gpv, bsz);
+                    let out_g = model.forward_from_tokens(g, p, feat, tokens, Some(gp_b));
+                    let gpl = g.cross_entropy(out_g.logits, &b.labels);
+                    loss = g.add(loss, gpl);
+                }
+                // L_DPCL: contrastive prompt separation (Eq. 6).
+                if !cands.is_empty() {
+                    let u = g.reshape(prompts, &[bsz, p_len * d]);
+                    if let Some(dl) = dpcl_loss(g, u, cands, cand_classes, &b.labels, n_pos, tau) {
+                        loss = g.add(loss, dl);
+                    }
+                }
+                loss
+            },
+            |_| {},
+        );
+        drop(train_span);
+
+        // Upload: updated model + class-wise LPGs (Algorithm 1 line 29). The
+        // LPG itself travels as a merge payload applied in client-id order.
+        let mut upload_bytes = 0u64;
+        let mut download_bytes = 0u64;
+        let mut merge: Option<MergePayload> = None;
+        if flags.needs_store() {
+            let lpg = {
+                let _span = telemetry.span("compute_lpg");
+                strat.compute_lpg(&core.params, setting)
+            };
+            upload_bytes = lpg.byte_len();
+            download_bytes = self.store_bytes;
+            telemetry.counter("prompt.upload_bytes", upload_bytes);
+            telemetry.counter("prompt.download_bytes", download_bytes);
+            let uploads: Vec<LocalPromptGroup> = if strat.cfg.weighted_prompt_sharing {
+                // Ablation: resource-rich clients push proportionally more
+                // copies, skewing the global prompt pool toward big clients.
+                let copies = (setting.samples.len() / 50).max(1);
+                vec![lpg; copies]
+            } else {
+                vec![lpg]
+            };
+            merge = Some(Box::new(uploads));
+        }
+        SessionOutput {
+            update: ClientUpdate {
+                flat: core.flat(),
+                weight: setting.samples.len() as f32,
+                upload_bytes,
+                download_bytes,
+            },
+            merge,
+        }
+    }
+}
+
 impl FdilStrategy for RefFiL {
     fn name(&self) -> String {
         let f = self.cfg.flags;
@@ -364,17 +474,18 @@ impl FdilStrategy for RefFiL {
         self.current_task = task;
     }
 
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-        self.core.load(global);
+    fn round_ctx<'a>(
+        &'a self,
+        task: usize,
+        _round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a> {
         let flags = self.cfg.flags;
-        let model = self.model.clone();
-        let cdap = self.cdap.clone();
-        let fixed = self.fixed_prompt;
-        let task = setting.task;
         let p_len = self.cfg.method.prompt_len;
-        let d = model.config().token_dim;
-
-        // Server broadcast contents, fixed for this round.
+        let d = self.model.config().token_dim;
+        // Server broadcast contents, snapshotted once: the store only mutates
+        // in `merge_client`/`on_round_end`, so every session this round sees
+        // the same candidates and generalized prompt.
         let (cands, cand_classes) = if flags.use_dpcl {
             self.store.candidates()
         } else {
@@ -387,79 +498,26 @@ impl FdilStrategy for RefFiL {
         } else {
             None
         };
-        let tau = self.cfg.temperature.at_task(task + 1);
-        let n_pos = if setting.group == ClientGroup::Between {
-            2
-        } else {
-            1
-        };
-        if flags.use_dpcl {
-            self.telemetry.observe("dpcl.temperature", f64::from(tau));
-            self.telemetry
-                .observe("dpcl.candidates", cands.len() as f64);
-        }
+        Box::new(RefFiLRoundCtx {
+            strat: self,
+            global,
+            task,
+            cands,
+            cand_classes,
+            generalized,
+            store_bytes: self.store.byte_len(),
+        })
+    }
 
-        let train_span = self.telemetry.span("local_train");
-        self.core.train_local(
-            setting,
-            |g, p, b| {
-                let bsz = b.len();
-                let (feat, tokens) = model.tokenize(g, p, &b.features);
-                let prompts = Self::local_prompts(&model, &cdap, fixed, g, p, tokens, task);
-                // L_CE: classification with locally generated prompts (Eq. 10).
-                let out_l = model.forward_from_tokens(g, p, feat, tokens, Some(prompts));
-                let mut loss = g.cross_entropy(out_l.logits, &b.labels);
-                // L_GPL: same input under the generalized global prompt (Eq. 9).
-                if let Some(gp) = &generalized {
-                    let gpv = g.constant(gp.clone());
-                    let gp_b = model.broadcast_prompts(g, gpv, bsz);
-                    let out_g = model.forward_from_tokens(g, p, feat, tokens, Some(gp_b));
-                    let gpl = g.cross_entropy(out_g.logits, &b.labels);
-                    loss = g.add(loss, gpl);
-                }
-                // L_DPCL: contrastive prompt separation (Eq. 6).
-                if !cands.is_empty() {
-                    let u = g.reshape(prompts, &[bsz, p_len * d]);
-                    if let Some(dl) = dpcl_loss(g, u, &cands, &cand_classes, &b.labels, n_pos, tau)
-                    {
-                        loss = g.add(loss, dl);
-                    }
-                }
-                loss
-            },
-            |_| {},
-        );
-        drop(train_span);
-
-        // Upload: updated model + class-wise LPGs (Algorithm 1 line 29).
-        let mut upload_bytes = 0u64;
-        let mut download_bytes = 0u64;
-        if flags.needs_store() {
-            let lpg = {
-                let _span = self.telemetry.span("compute_lpg");
-                self.compute_lpg(setting)
-            };
-            upload_bytes = lpg.byte_len();
-            download_bytes = self.store.byte_len();
-            self.telemetry.counter("prompt.upload_bytes", upload_bytes);
-            self.telemetry
-                .counter("prompt.download_bytes", download_bytes);
-            if self.cfg.weighted_prompt_sharing {
-                // Ablation: resource-rich clients push proportionally more
-                // copies, skewing the global prompt pool toward big clients.
-                let copies = (setting.samples.len() / 50).max(1);
-                for _ in 0..copies {
-                    self.pending_uploads.push(lpg.clone());
-                }
-            } else {
-                self.pending_uploads.push(lpg);
-            }
-        }
-        ClientUpdate {
-            flat: self.core.flat(),
-            weight: setting.samples.len() as f32,
-            upload_bytes,
-            download_bytes,
+    fn merge_client(
+        &mut self,
+        _task: usize,
+        _round: usize,
+        _client_id: usize,
+        payload: MergePayload,
+    ) {
+        if let Ok(uploads) = payload.downcast::<Vec<LocalPromptGroup>>() {
+            self.pending_uploads.extend(*uploads);
         }
     }
 
@@ -513,7 +571,7 @@ impl FdilStrategy for RefFiL {
 mod tests {
     use super::*;
     use refil_data::{DatasetSpec, DomainSpec};
-    use refil_fed::{run_fdil, IncrementConfig, RunConfig};
+    use refil_fed::{FdilRunner, IncrementConfig, RunConfig};
     use refil_nn::models::BackboneConfig;
 
     fn tiny_cfg() -> RefFiLConfig {
@@ -576,7 +634,7 @@ mod tests {
     fn reffil_runs_full_protocol_and_learns() {
         let ds = tiny_dataset();
         let mut strat = RefFiL::new(tiny_cfg());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert_eq!(res.domain_acc.len(), 2);
         assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
         // The global prompt store must have been populated.
@@ -611,7 +669,7 @@ mod tests {
             },
         ] {
             let mut strat = RefFiL::new(tiny_cfg().with_flags(flags));
-            let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+            let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
             assert_eq!(res.domain_acc.len(), 2, "flags {flags:?}");
         }
     }
@@ -656,7 +714,7 @@ mod tests {
             batch_size: 16,
             seed: 1,
         };
-        let lpg = strat.compute_lpg(&setting);
+        let lpg = strat.compute_lpg(&strat.core.params, &setting);
         assert_eq!(lpg.client_id, 5);
         let mut classes: Vec<usize> = lpg.prompts.iter().map(|(k, _)| *k).collect();
         classes.sort_unstable();
@@ -672,7 +730,7 @@ mod tests {
     fn task_free_inference_predicts_valid_classes() {
         let ds = tiny_dataset();
         let mut strat = RefFiL::new(tiny_cfg().with_task_free_inference(true));
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         assert_eq!(res.domain_acc.len(), 2);
         let mut data = Vec::new();
         for s in &ds.domains[0].test[..6] {
@@ -688,7 +746,7 @@ mod tests {
     fn domain_conditioned_prediction_differs() {
         let ds = tiny_dataset();
         let mut strat = RefFiL::new(tiny_cfg());
-        let res = run_fdil(&ds, &mut strat, &tiny_run_config());
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
         let _ = res;
         // After training, predictions conditioned on different task keys can
         // differ (the task key modulates the generated prompts).

@@ -1,0 +1,289 @@
+//! Run-level configuration: [`RunConfig`], its validating builder, and the
+//! typed errors the builder rejects with.
+//!
+//! Historically an invalid configuration (a zero batch size, a dropout
+//! probability of 1.7) surfaced as a panic deep inside the round loop —
+//! `minibatches` dividing by zero or a schedule with no rounds. The builder
+//! front-loads those checks into [`RunConfigBuilder::build`], which returns a
+//! [`ConfigError`] naming the offending field instead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::increment::IncrementConfig;
+
+/// Run-level configuration (protocol side).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Client increment protocol parameters.
+    pub increment: IncrementConfig,
+    /// Local epochs per selected client per round (paper: 20).
+    pub local_epochs: usize,
+    /// Local minibatch size.
+    pub batch_size: usize,
+    /// Log-normal sigma of the quantity-shift partition.
+    pub quantity_sigma: f32,
+    /// Evaluation minibatch size.
+    pub eval_batch: usize,
+    /// Probability that a selected client drops out of a round before
+    /// reporting (straggler/failure simulation; the paper's setting has
+    /// resource-constrained devices). `0.0` disables dropout.
+    pub dropout_prob: f32,
+    /// Master seed for the run.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            increment: IncrementConfig::default(),
+            local_epochs: 2,
+            batch_size: 32,
+            quantity_sigma: 0.6,
+            eval_batch: 256,
+            dropout_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A validating builder starting from [`RunConfig::default`].
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder::new()
+    }
+
+    /// Checks every invariant the round loop relies on, returning the first
+    /// violation as a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if !(0.0..=1.0).contains(&self.dropout_prob) || self.dropout_prob.is_nan() {
+            return Err(ConfigError::DropoutOutOfRange(self.dropout_prob));
+        }
+        if self.increment.rounds_per_task == 0 {
+            return Err(ConfigError::ZeroRoundsPerTask);
+        }
+        if self.increment.select_per_round == 0 {
+            return Err(ConfigError::ZeroSelectPerRound);
+        }
+        if !(0.0..=1.0).contains(&self.increment.transition_fraction)
+            || self.increment.transition_fraction.is_nan()
+        {
+            return Err(ConfigError::TransitionFractionOutOfRange(
+                self.increment.transition_fraction,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A [`RunConfig`] invariant violation, caught at build time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `batch_size == 0` would make `minibatches` loop forever / divide by
+    /// zero.
+    ZeroBatchSize,
+    /// `dropout_prob` must be a probability in `[0, 1]`.
+    DropoutOutOfRange(f32),
+    /// `increment.rounds_per_task == 0` yields tasks in which no training
+    /// (and no group transition) ever happens.
+    ZeroRoundsPerTask,
+    /// `increment.select_per_round == 0` selects nobody, ever.
+    ZeroSelectPerRound,
+    /// `increment.transition_fraction` must be a fraction in `[0, 1]`.
+    TransitionFractionOutOfRange(f32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroBatchSize => write!(f, "batch_size must be at least 1"),
+            Self::DropoutOutOfRange(p) => {
+                write!(f, "dropout_prob must be in [0, 1], got {p}")
+            }
+            Self::ZeroRoundsPerTask => write!(f, "increment.rounds_per_task must be at least 1"),
+            Self::ZeroSelectPerRound => {
+                write!(f, "increment.select_per_round must be at least 1")
+            }
+            Self::TransitionFractionOutOfRange(t) => {
+                write!(
+                    f,
+                    "increment.transition_fraction must be in [0, 1], got {t}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`RunConfig`].
+///
+/// ```
+/// use refil_fed::RunConfig;
+///
+/// let cfg = RunConfig::builder()
+///     .batch_size(16)
+///     .local_epochs(1)
+///     .dropout_prob(0.1)
+///     .seed(7)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.batch_size, 16);
+///
+/// assert!(RunConfig::builder().batch_size(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Starts from [`RunConfig::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the client-increment protocol parameters.
+    pub fn increment(mut self, increment: IncrementConfig) -> Self {
+        self.cfg.increment = increment;
+        self
+    }
+
+    /// Sets the local epochs per selected client per round.
+    pub fn local_epochs(mut self, local_epochs: usize) -> Self {
+        self.cfg.local_epochs = local_epochs;
+        self
+    }
+
+    /// Sets the local minibatch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the log-normal sigma of the quantity-shift partition.
+    pub fn quantity_sigma(mut self, quantity_sigma: f32) -> Self {
+        self.cfg.quantity_sigma = quantity_sigma;
+        self
+    }
+
+    /// Sets the evaluation minibatch size.
+    pub fn eval_batch(mut self, eval_batch: usize) -> Self {
+        self.cfg.eval_batch = eval_batch;
+        self
+    }
+
+    /// Sets the per-round client dropout probability.
+    pub fn dropout_prob(mut self, dropout_prob: f32) -> Self {
+        self.cfg.dropout_prob = dropout_prob;
+        self
+    }
+
+    /// Sets the master seed for the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<RunConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(RunConfig::default().validate(), Ok(()));
+        assert!(RunConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let inc = IncrementConfig {
+            initial_clients: 6,
+            select_per_round: 2,
+            increment_per_task: 1,
+            transition_fraction: 0.5,
+            rounds_per_task: 4,
+        };
+        let cfg = RunConfig::builder()
+            .increment(inc)
+            .local_epochs(3)
+            .batch_size(8)
+            .quantity_sigma(0.4)
+            .eval_batch(32)
+            .dropout_prob(0.25)
+            .seed(99)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.increment.initial_clients, 6);
+        assert_eq!(cfg.local_epochs, 3);
+        assert_eq!(cfg.batch_size, 8);
+        assert!((cfg.quantity_sigma - 0.4).abs() < f32::EPSILON);
+        assert_eq!(cfg.eval_batch, 32);
+        assert!((cfg.dropout_prob - 0.25).abs() < f32::EPSILON);
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn builder_rejects_zero_batch_size() {
+        assert_eq!(
+            RunConfig::builder().batch_size(0).build(),
+            Err(ConfigError::ZeroBatchSize)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_dropout() {
+        assert_eq!(
+            RunConfig::builder().dropout_prob(1.5).build(),
+            Err(ConfigError::DropoutOutOfRange(1.5))
+        );
+        assert_eq!(
+            RunConfig::builder().dropout_prob(-0.1).build(),
+            Err(ConfigError::DropoutOutOfRange(-0.1))
+        );
+        assert!(RunConfig::builder().dropout_prob(f32::NAN).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_increment() {
+        let inc = IncrementConfig {
+            rounds_per_task: 0,
+            ..IncrementConfig::default()
+        };
+        assert_eq!(
+            RunConfig::builder().increment(inc).build(),
+            Err(ConfigError::ZeroRoundsPerTask)
+        );
+        let inc = IncrementConfig {
+            select_per_round: 0,
+            ..IncrementConfig::default()
+        };
+        assert_eq!(
+            RunConfig::builder().increment(inc).build(),
+            Err(ConfigError::ZeroSelectPerRound)
+        );
+        let inc = IncrementConfig {
+            transition_fraction: 1.2,
+            ..IncrementConfig::default()
+        };
+        assert_eq!(
+            RunConfig::builder().increment(inc).build(),
+            Err(ConfigError::TransitionFractionOutOfRange(1.2))
+        );
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        let msg = ConfigError::DropoutOutOfRange(2.0).to_string();
+        assert!(msg.contains("dropout_prob") && msg.contains('2'), "{msg}");
+    }
+}

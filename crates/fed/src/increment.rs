@@ -27,7 +27,7 @@ pub enum ClientGroup {
 }
 
 /// Static configuration of the increment protocol.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IncrementConfig {
     /// Clients present at task 1 (paper: 20, or 10 for OfficeCaltech10).
     pub initial_clients: usize,

@@ -19,19 +19,23 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod config;
 mod increment;
 mod runner;
 pub mod secure;
 mod traffic;
 
 pub use aggregate::{balanced_mean, fedavg, WeightedUpdate};
+pub use config::{ConfigError, RunConfig, RunConfigBuilder};
 pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
 pub use runner::{
-    evaluate_domain, run_fdil, run_fdil_traced, ClientUpdate, FdilStrategy, RunConfig, RunResult,
-    TrainSetting,
+    evaluate_domain, ClientUpdate, FdilRunner, FdilStrategy, MergePayload, RoundContext, RunResult,
+    SessionOutput, TrainSetting,
 };
+#[allow(deprecated)]
+pub use runner::{run_fdil, run_fdil_traced};
 pub use traffic::{TaskTraffic, TrafficStats};
 
 // Re-exported so strategy implementors can name the telemetry types that

@@ -5,6 +5,21 @@
 //! selection, FedAvg, traffic accounting, and per-task evaluation — while the
 //! [`FdilStrategy`] implementations (Finetune, FedLwF, FedEWC, FedL2P,
 //! FedDualPrompt, RefFiL) own the model and the local/server learning rules.
+//!
+//! # Concurrency model
+//!
+//! Client sessions within a round are independent by construction: each round
+//! the strategy exposes a shared read-only [`RoundContext`] and every selected
+//! client trains as a pure function of that context plus its own
+//! [`TrainSetting`]. The driver pre-draws all per-round randomness (selection,
+//! dropout, session seeds) *before* dispatching any session, runs sessions on
+//! a scoped thread pool, and consumes the outputs in ascending client-id
+//! order — so the result is byte-for-byte identical at any thread count.
+//! Cross-client state (prompt ingest, rehearsal memory) mutates only through
+//! [`FdilStrategy::merge_client`], applied in client-id order after FedAvg.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +30,8 @@ use refil_nn::Tensor;
 use refil_telemetry::{Telemetry, TelemetrySummary};
 
 use crate::aggregate::{fedavg, WeightedUpdate};
-use crate::increment::{build_schedule, select_clients, ClientGroup, IncrementConfig};
+use crate::config::RunConfig;
+use crate::increment::{build_schedule, select_clients, ClientGroup};
 use crate::traffic::TrafficStats;
 
 /// Everything a strategy needs to run one local training session.
@@ -52,10 +68,56 @@ pub struct ClientUpdate {
     pub download_bytes: u64,
 }
 
+/// Opaque cross-client state produced by a session and applied by the
+/// strategy's [`FdilStrategy::merge_client`] hook (e.g. local prompt groups
+/// for RefFiL's server-side ingest, or samples for a rehearsal buffer).
+///
+/// `Send` because payloads travel from worker threads back to the driver.
+pub type MergePayload = Box<dyn std::any::Any + Send>;
+
+/// What one client session hands back to the driver.
+#[derive(Debug)]
+pub struct SessionOutput {
+    /// The FedAvg contribution plus traffic accounting.
+    pub update: ClientUpdate,
+    /// Optional cross-client state, delivered to
+    /// [`FdilStrategy::merge_client`] in client-id order after FedAvg.
+    pub merge: Option<MergePayload>,
+}
+
+impl From<ClientUpdate> for SessionOutput {
+    fn from(update: ClientUpdate) -> Self {
+        Self {
+            update,
+            merge: None,
+        }
+    }
+}
+
+/// Shared read-only view of a strategy for one round.
+///
+/// Created once per round by [`FdilStrategy::round_ctx`] and shared by
+/// reference across worker threads (hence the `Sync` bound); every client
+/// session must be a pure function of the context and its [`TrainSetting`] —
+/// no interior mutation — so sessions can run in any order on any number of
+/// threads and still produce identical results.
+pub trait RoundContext: Sync {
+    /// Runs one client's local training session.
+    ///
+    /// `telemetry` is a per-worker scoped handle already parented under the
+    /// surrounding `round:<r>` span; spans opened here land in the right
+    /// place in the trace even when sessions run concurrently.
+    fn train_client(&self, setting: &TrainSetting<'_>, telemetry: &Telemetry) -> SessionOutput;
+}
+
 /// A federated domain-incremental learning strategy.
 ///
 /// Implementations own the model architecture and any persistent client or
-/// server state; the driver only sees flat parameter vectors.
+/// server state; the driver only sees flat parameter vectors. During a round
+/// the strategy is borrowed immutably through [`FdilStrategy::round_ctx`];
+/// all mutation happens in the explicitly ordered hooks
+/// ([`FdilStrategy::merge_client`], [`FdilStrategy::on_round_end`],
+/// [`FdilStrategy::on_task_end`]).
 pub trait FdilStrategy {
     /// Human-readable method name (e.g. `"RefFiL"`, `"FedEWC"`).
     fn name(&self) -> String;
@@ -71,10 +133,49 @@ pub trait FdilStrategy {
     /// Called once when task `task` begins, before any round.
     fn on_task_start(&mut self, _task: usize, _global: &[f32]) {}
 
-    /// Runs local training for one selected client and returns its update.
-    fn train_client(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate;
+    /// Returns the shared read-only context for round `round` of task `task`
+    /// under the given global parameters. Sessions for every selected client
+    /// run against this one context, possibly concurrently.
+    fn round_ctx<'a>(
+        &'a self,
+        task: usize,
+        round: usize,
+        global: &'a [f32],
+    ) -> Box<dyn RoundContext + 'a>;
 
-    /// Called after FedAvg each round with the new global parameters.
+    /// Applies one client's cross-client state (its
+    /// [`SessionOutput::merge`] payload). The driver calls this after FedAvg,
+    /// in ascending client-id order, before
+    /// [`FdilStrategy::on_round_end`] — so ingestion is deterministic
+    /// regardless of which worker thread finished first.
+    fn merge_client(
+        &mut self,
+        _task: usize,
+        _round: usize,
+        _client_id: usize,
+        _payload: MergePayload,
+    ) {
+    }
+
+    /// Convenience for tests and ad-hoc callers: runs one session through
+    /// [`FdilStrategy::round_ctx`] and immediately applies its merge payload,
+    /// returning the update. Equivalent to what the driver does for a single
+    /// client.
+    fn train_once(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate
+    where
+        Self: Sized,
+    {
+        let out = self
+            .round_ctx(setting.task, setting.round, global)
+            .train_client(setting, &Telemetry::disabled());
+        if let Some(payload) = out.merge {
+            self.merge_client(setting.task, setting.round, setting.client_id, payload);
+        }
+        out.update
+    }
+
+    /// Called after FedAvg (and after all [`FdilStrategy::merge_client`]
+    /// calls) each round with the new global parameters.
     fn on_round_end(&mut self, _task: usize, _round: usize, _global: &[f32]) {}
 
     /// Called when a task finishes, with each active client's current local
@@ -107,41 +208,6 @@ pub trait FdilStrategy {
     /// explicit), so evaluation on domain `d` uses task-`d` key embeddings.
     fn predict_domain(&mut self, global: &[f32], features: &Tensor, _domain: usize) -> Vec<usize> {
         self.predict(global, features)
-    }
-}
-
-/// Run-level configuration (protocol side).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct RunConfig {
-    /// Client increment protocol parameters.
-    pub increment: IncrementConfig,
-    /// Local epochs per selected client per round (paper: 20).
-    pub local_epochs: usize,
-    /// Local minibatch size.
-    pub batch_size: usize,
-    /// Log-normal sigma of the quantity-shift partition.
-    pub quantity_sigma: f32,
-    /// Evaluation minibatch size.
-    pub eval_batch: usize,
-    /// Probability that a selected client drops out of a round before
-    /// reporting (straggler/failure simulation; the paper's setting has
-    /// resource-constrained devices). `0.0` disables dropout.
-    pub dropout_prob: f32,
-    /// Master seed for the run.
-    pub seed: u64,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        Self {
-            increment: IncrementConfig::default(),
-            local_epochs: 2,
-            batch_size: 32,
-            quantity_sigma: 0.6,
-            eval_batch: 256,
-            dropout_prob: 0.0,
-            seed: 0,
-        }
     }
 }
 
@@ -221,210 +287,430 @@ struct Holdings {
     both: Vec<Sample>,
 }
 
-/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on `dataset`.
+impl Holdings {
+    /// Rebuilds the cached `old ++ new` concatenation in place, reusing the
+    /// existing buffer's capacity instead of re-cloning through an iterator
+    /// chain and reallocating every task.
+    fn rebuild_both(&mut self) {
+        self.both.clear();
+        self.both.reserve(self.old.len() + self.new.len());
+        self.both.extend_from_slice(&self.old);
+        self.both.extend_from_slice(&self.new);
+    }
+}
+
+/// One client session planned for dispatch: all inputs are resolved before
+/// any worker starts, so execution order cannot affect the result.
+struct PlannedSession<'a> {
+    cid: usize,
+    task: usize,
+    round: usize,
+    group: ClientGroup,
+    samples: &'a [Sample],
+    seed: u64,
+}
+
+/// Runs one planned session on a telemetry handle scoped under the round
+/// span, recording the per-client span and throughput observations.
+fn run_session(
+    ctx: &dyn RoundContext,
+    session: &PlannedSession<'_>,
+    cfg: &RunConfig,
+    telemetry: &Telemetry,
+    round_path: &str,
+) -> SessionOutput {
+    let t = telemetry.scoped(round_path);
+    let _client_span = t.span(&format!("client:{}", session.cid));
+    let setting = TrainSetting {
+        client_id: session.cid,
+        task: session.task,
+        round: session.round,
+        group: session.group,
+        samples: session.samples,
+        local_epochs: cfg.local_epochs,
+        batch_size: cfg.batch_size,
+        seed: session.seed,
+    };
+    let session_start = std::time::Instant::now();
+    let out = ctx.train_client(&setting, &t);
+    let elapsed = session_start.elapsed().as_secs_f64();
+    t.observe("client.duration_s", elapsed);
+    if elapsed > 0.0 {
+        let processed = (session.samples.len() * cfg.local_epochs.max(1)) as f64;
+        t.observe("client.samples_per_sec", processed / elapsed);
+    }
+    out
+}
+
+/// Resolves a user-facing thread-count request: `0` means "all available
+/// parallelism", anything else is taken literally.
+fn resolve_threads(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// Default thread count: the `REFIL_THREADS` environment variable when set
+/// and parseable (`0` = all cores), otherwise 1 (sequential).
+fn threads_from_env() -> usize {
+    match std::env::var("REFIL_THREADS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map(resolve_threads)
+            .unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+/// Builder-style entry point for executing the full FDIL protocol of
+/// Algorithm 1 — the single API behind the deprecated
+/// [`run_fdil`] / [`run_fdil_traced`] pair.
 ///
-/// Equivalent to [`run_fdil_traced`] with a disabled [`Telemetry`] handle.
+/// ```no_run
+/// # use refil_fed::{FdilRunner, FdilStrategy, RunConfig, Telemetry};
+/// # fn demo(dataset: &refil_data::FdilDataset, strategy: &mut dyn FdilStrategy) {
+/// let telemetry = Telemetry::disabled();
+/// let result = FdilRunner::new(RunConfig::default())
+///     .telemetry(&telemetry)
+///     .threads(4)
+///     .run(dataset, strategy);
+/// # let _ = result;
+/// # }
+/// ```
+///
+/// Client sessions within a round execute on `threads` scoped workers; the
+/// result is byte-for-byte identical at any thread count (see the module
+/// docs for why).
+#[derive(Debug, Clone)]
+pub struct FdilRunner {
+    cfg: RunConfig,
+    telemetry: Telemetry,
+    threads: usize,
+}
+
+impl FdilRunner {
+    /// A runner for `cfg` with telemetry disabled and the thread count taken
+    /// from the `REFIL_THREADS` environment variable (default 1).
+    pub fn new(cfg: RunConfig) -> Self {
+        Self {
+            cfg,
+            telemetry: Telemetry::disabled(),
+            threads: threads_from_env(),
+        }
+    }
+
+    /// Records spans, counters, and histograms into `telemetry` during the
+    /// run. Handles are cheap clones sharing one collector.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Sets the number of worker threads for client sessions. `0` means all
+    /// available parallelism; `1` runs sessions inline on the driver thread.
+    /// Results are identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = resolve_threads(threads);
+        self
+    }
+
+    /// The run configuration this runner was built with.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// The resolved worker-thread count this runner will use.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes the full FDIL protocol for `strategy` on `dataset`.
+    ///
+    /// The span hierarchy is `run > task:<t> > round:<r> > client:<c>`, with
+    /// sibling `fedavg` and `evaluate_domain` spans; client spans are emitted
+    /// from worker threads but reparented under their round. The
+    /// `traffic.up_bytes` / `traffic.down_bytes` counters mirror
+    /// [`TrafficStats::record_client`] exactly, so their final totals in the
+    /// trace equal the run's [`TrafficStats`]. Neither telemetry nor the
+    /// thread count touches the run's RNG streams: results are identical
+    /// whichever sink (or none) is installed and however many workers run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`RunConfig::validate`] (construct configs via
+    /// [`RunConfig::builder`] to catch this early as a typed
+    /// [`crate::ConfigError`]), if the dataset has no domains, or if a
+    /// domain has no test data.
+    pub fn run(&self, dataset: &FdilDataset, strategy: &mut dyn FdilStrategy) -> RunResult {
+        let cfg = &self.cfg;
+        let telemetry = &self.telemetry;
+        if let Err(err) = cfg.validate() {
+            panic!("invalid RunConfig: {err}");
+        }
+        assert!(dataset.num_domains() > 0, "dataset has no domains");
+        let num_tasks = dataset.num_domains();
+        let schedules = build_schedule(&cfg.increment, num_tasks, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+
+        strategy.attach_telemetry(telemetry);
+        let _run_span = telemetry.span("run");
+        telemetry.info(format!(
+            "run start: method={} dataset={} tasks={} seed={} threads={}",
+            strategy.name(),
+            dataset.name,
+            num_tasks,
+            cfg.seed,
+            self.threads
+        ));
+
+        let mut global = strategy.init_global();
+        let model_bytes = (global.len() * 4) as u64;
+        let mut holdings: Vec<Holdings> = Vec::new();
+        let mut traffic = TrafficStats::default();
+        let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
+        let mut group_timeline = Vec::with_capacity(num_tasks);
+
+        for (task, schedule) in schedules.iter().enumerate() {
+            let _task_span = telemetry.span(&format!("task:{task}"));
+            traffic.start_task(task);
+            strategy.on_task_start(task, &global);
+            holdings.resize_with(schedule.clients.len(), Holdings::default);
+
+            // Distribute the new domain's training data among recipients.
+            let recipients = schedule.new_data_recipients();
+            if !recipients.is_empty() {
+                let parts = partition_quantity_shift(
+                    dataset.domains[task].train.clone(),
+                    recipients.len(),
+                    QuantityShift::Lognormal(cfg.quantity_sigma),
+                    session_seed(cfg.seed, task, usize::MAX, 0),
+                );
+                for (cid, part) in recipients.iter().zip(parts) {
+                    holdings[*cid].new = part;
+                    holdings[*cid].rebuild_both();
+                }
+            }
+
+            let rounds = cfg.increment.rounds_per_task;
+            group_timeline.push([
+                schedule.group_sizes(0),
+                schedule.group_sizes(rounds / 2),
+                schedule.group_sizes(rounds.saturating_sub(1)),
+            ]);
+
+            for round in 0..rounds {
+                let _round_span = telemetry.span(&format!("round:{round}"));
+
+                // Pre-draw all per-round randomness before any session runs,
+                // in the exact order the sequential driver consumed it:
+                // selection first, then one dropout draw per selected client
+                // (only when dropout is enabled, and before the empty-sample
+                // check). The RNG stream is thus independent of thread count.
+                let selected = select_clients(schedule, cfg.increment.select_per_round, &mut rng);
+                let mut sessions: Vec<PlannedSession<'_>> = Vec::with_capacity(selected.len());
+                for &cid in &selected {
+                    if cfg.dropout_prob > 0.0 && rng.gen::<f32>() < cfg.dropout_prob {
+                        telemetry.counter("clients.dropped", 1);
+                        continue; // straggler: selected but never reports
+                    }
+                    let plan = &schedule.clients[cid];
+                    let group = plan.group_at(round);
+                    let samples: &[Sample] = match group {
+                        ClientGroup::Old => &holdings[cid].old,
+                        ClientGroup::New => &holdings[cid].new,
+                        ClientGroup::Between => &holdings[cid].both,
+                    };
+                    if samples.is_empty() {
+                        continue;
+                    }
+                    sessions.push(PlannedSession {
+                        cid,
+                        task,
+                        round,
+                        group,
+                        samples,
+                        seed: session_seed(cfg.seed, task, round, cid),
+                    });
+                }
+
+                // Dispatch sessions against the shared read-only context;
+                // outputs are indexed by session slot so completion order is
+                // irrelevant. `select_clients` returns ids ascending, so slot
+                // order == client-id order.
+                let round_path = telemetry.current_path();
+                let outputs: Vec<Option<SessionOutput>> = {
+                    let ctx = strategy.round_ctx(task, round, &global);
+                    let workers = self.threads.min(sessions.len());
+                    if workers <= 1 {
+                        sessions
+                            .iter()
+                            .map(|s| Some(run_session(&*ctx, s, cfg, telemetry, &round_path)))
+                            .collect()
+                    } else {
+                        let next = AtomicUsize::new(0);
+                        let slots: Mutex<Vec<Option<SessionOutput>>> =
+                            Mutex::new(sessions.iter().map(|_| None).collect());
+                        crossbeam::thread::scope(|scope| {
+                            for _ in 0..workers {
+                                scope.spawn(|_| loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(session) = sessions.get(i) else {
+                                        break;
+                                    };
+                                    let out =
+                                        run_session(&*ctx, session, cfg, telemetry, &round_path);
+                                    slots.lock().expect("session slots poisoned")[i] = Some(out);
+                                });
+                            }
+                        })
+                        .expect("client session worker panicked");
+                        slots.into_inner().expect("session slots poisoned")
+                    }
+                };
+
+                // Consume outputs in session (= client-id) order so FedAvg
+                // inputs, traffic accounting, and merges are deterministic.
+                let mut updates = Vec::with_capacity(sessions.len());
+                let mut merges: Vec<(usize, MergePayload)> = Vec::new();
+                for (session, output) in sessions.iter().zip(outputs) {
+                    let out = output.expect("planned session never ran");
+                    traffic.record_client(
+                        model_bytes,
+                        out.update.upload_bytes,
+                        out.update.download_bytes,
+                    );
+                    // Mirror record_client exactly so trace totals match traffic.
+                    telemetry.counter("traffic.up_bytes", model_bytes + out.update.upload_bytes);
+                    telemetry.counter(
+                        "traffic.down_bytes",
+                        model_bytes + out.update.download_bytes,
+                    );
+                    telemetry.counter("clients.trained", 1);
+                    updates.push(WeightedUpdate {
+                        flat: out.update.flat,
+                        weight: out.update.weight,
+                    });
+                    if let Some(payload) = out.merge {
+                        merges.push((session.cid, payload));
+                    }
+                }
+                if !updates.is_empty() {
+                    let _fedavg_span = telemetry.span("fedavg");
+                    global = fedavg(&updates);
+                }
+                traffic.record_round();
+                telemetry.counter("rounds", 1);
+                for (cid, payload) in merges {
+                    strategy.merge_client(task, round, cid, payload);
+                }
+                strategy.on_round_end(task, round, &global);
+            }
+
+            // Task-end hook: expose each client's effective data (for Fisher etc.).
+            let client_data: Vec<(usize, Vec<Sample>)> = schedule
+                .clients
+                .iter()
+                .map(|plan| {
+                    let h = &holdings[plan.id];
+                    let data = match plan.group_at(rounds.saturating_sub(1)) {
+                        ClientGroup::Old => h.old.clone(),
+                        ClientGroup::New => h.new.clone(),
+                        ClientGroup::Between => h.both.clone(),
+                    };
+                    (plan.id, data)
+                })
+                .collect();
+            strategy.on_task_end(task, &global, &client_data);
+
+            // Clients that saw the new domain carry it forward as their data.
+            for plan in &schedule.clients {
+                if plan.receives_new_data() {
+                    let h = &mut holdings[plan.id];
+                    h.old = std::mem::take(&mut h.new);
+                    h.both.clear();
+                }
+            }
+
+            // Evaluate on every domain seen so far.
+            let mut row = Vec::with_capacity(task + 1);
+            for d in 0..=task {
+                let _eval_span = telemetry.span("evaluate_domain");
+                let acc = evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch);
+                telemetry.observe("eval.domain_acc", f64::from(acc));
+                row.push(acc);
+            }
+            let step_acc = row.iter().sum::<f32>() / row.len() as f32;
+            telemetry.info(format!("task {task} done: step accuracy {step_acc:.2}%"));
+            domain_acc.push(row);
+        }
+
+        telemetry.info(format!(
+            "run done: {} rounds, {} client updates, {} bytes total",
+            traffic.rounds,
+            traffic.client_updates,
+            traffic.total_bytes()
+        ));
+        drop(_run_span);
+        telemetry.flush();
+
+        RunResult {
+            method: strategy.name(),
+            dataset: dataset.name.clone(),
+            domain_names: dataset.domains.iter().map(|d| d.name.clone()).collect(),
+            domain_acc,
+            traffic,
+            group_timeline,
+            final_global: global,
+            telemetry: telemetry.summary(),
+        }
+    }
+}
+
+/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on `dataset`.
 ///
 /// # Panics
 ///
-/// Panics if the dataset has no domains or a domain has no test data.
+/// Panics if the config is invalid, the dataset has no domains, or a domain
+/// has no test data.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FdilRunner::new(cfg).run(dataset, strategy)`"
+)]
 pub fn run_fdil(
     dataset: &FdilDataset,
     strategy: &mut dyn FdilStrategy,
     cfg: &RunConfig,
 ) -> RunResult {
-    run_fdil_traced(dataset, strategy, cfg, &Telemetry::disabled())
+    FdilRunner::new(*cfg).run(dataset, strategy)
 }
 
 /// Executes the full FDIL protocol of Algorithm 1 for `strategy` on
 /// `dataset`, recording spans, counters, and histograms into `telemetry`.
 ///
-/// The span hierarchy is `run > task:<t> > round:<r> > client:<c>`, with
-/// sibling `fedavg` and `evaluate_domain` spans. The
-/// `traffic.up_bytes` / `traffic.down_bytes` counters are incremented at the
-/// same sites as [`TrafficStats::record_client`], so their final totals in
-/// the trace equal the run's [`TrafficStats`] exactly. Telemetry never
-/// touches the run's RNG streams: results are identical whichever sink (or
-/// none) is installed.
-///
 /// # Panics
 ///
-/// Panics if the dataset has no domains or a domain has no test data.
+/// Panics if the config is invalid, the dataset has no domains, or a domain
+/// has no test data.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FdilRunner::new(cfg).telemetry(&t).run(dataset, strategy)`"
+)]
 pub fn run_fdil_traced(
     dataset: &FdilDataset,
     strategy: &mut dyn FdilStrategy,
     cfg: &RunConfig,
     telemetry: &Telemetry,
 ) -> RunResult {
-    assert!(dataset.num_domains() > 0, "dataset has no domains");
-    let num_tasks = dataset.num_domains();
-    let schedules = build_schedule(&cfg.increment, num_tasks, cfg.seed);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
-
-    strategy.attach_telemetry(telemetry);
-    let _run_span = telemetry.span("run");
-    telemetry.info(format!(
-        "run start: method={} dataset={} tasks={} seed={}",
-        strategy.name(),
-        dataset.name,
-        num_tasks,
-        cfg.seed
-    ));
-
-    let mut global = strategy.init_global();
-    let model_bytes = (global.len() * 4) as u64;
-    let mut holdings: Vec<Holdings> = Vec::new();
-    let mut traffic = TrafficStats::default();
-    let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
-    let mut group_timeline = Vec::with_capacity(num_tasks);
-
-    for (task, schedule) in schedules.iter().enumerate() {
-        let _task_span = telemetry.span(&format!("task:{task}"));
-        traffic.start_task(task);
-        strategy.on_task_start(task, &global);
-        holdings.resize_with(schedule.clients.len(), Holdings::default);
-
-        // Distribute the new domain's training data among recipients.
-        let recipients = schedule.new_data_recipients();
-        if !recipients.is_empty() {
-            let parts = partition_quantity_shift(
-                dataset.domains[task].train.clone(),
-                recipients.len(),
-                QuantityShift::Lognormal(cfg.quantity_sigma),
-                session_seed(cfg.seed, task, usize::MAX, 0),
-            );
-            for (cid, part) in recipients.iter().zip(parts) {
-                holdings[*cid].new = part;
-                holdings[*cid].both = holdings[*cid]
-                    .old
-                    .iter()
-                    .cloned()
-                    .chain(holdings[*cid].new.iter().cloned())
-                    .collect();
-            }
-        }
-
-        let rounds = cfg.increment.rounds_per_task;
-        group_timeline.push([
-            schedule.group_sizes(0),
-            schedule.group_sizes(rounds / 2),
-            schedule.group_sizes(rounds.saturating_sub(1)),
-        ]);
-
-        for round in 0..rounds {
-            let _round_span = telemetry.span(&format!("round:{round}"));
-            let selected = select_clients(schedule, cfg.increment.select_per_round, &mut rng);
-            let mut updates = Vec::new();
-            for &cid in &selected {
-                if cfg.dropout_prob > 0.0 && rng.gen::<f32>() < cfg.dropout_prob {
-                    telemetry.counter("clients.dropped", 1);
-                    continue; // straggler: selected but never reports
-                }
-                let plan = &schedule.clients[cid];
-                let group = plan.group_at(round);
-                let samples: &[Sample] = match group {
-                    ClientGroup::Old => &holdings[cid].old,
-                    ClientGroup::New => &holdings[cid].new,
-                    ClientGroup::Between => &holdings[cid].both,
-                };
-                if samples.is_empty() {
-                    continue;
-                }
-                let setting = TrainSetting {
-                    client_id: cid,
-                    task,
-                    round,
-                    group,
-                    samples,
-                    local_epochs: cfg.local_epochs,
-                    batch_size: cfg.batch_size,
-                    seed: session_seed(cfg.seed, task, round, cid),
-                };
-                let _client_span = telemetry.span(&format!("client:{cid}"));
-                let session_start = std::time::Instant::now();
-                let update = strategy.train_client(&setting, &global);
-                let elapsed = session_start.elapsed().as_secs_f64();
-                telemetry.observe("client.duration_s", elapsed);
-                if elapsed > 0.0 {
-                    let processed = (samples.len() * cfg.local_epochs.max(1)) as f64;
-                    telemetry.observe("client.samples_per_sec", processed / elapsed);
-                }
-                traffic.record_client(model_bytes, update.upload_bytes, update.download_bytes);
-                // Mirror record_client exactly so trace totals match traffic.
-                telemetry.counter("traffic.up_bytes", model_bytes + update.upload_bytes);
-                telemetry.counter("traffic.down_bytes", model_bytes + update.download_bytes);
-                telemetry.counter("clients.trained", 1);
-                updates.push(WeightedUpdate {
-                    flat: update.flat,
-                    weight: update.weight,
-                });
-            }
-            if !updates.is_empty() {
-                let _fedavg_span = telemetry.span("fedavg");
-                global = fedavg(&updates);
-            }
-            traffic.record_round();
-            telemetry.counter("rounds", 1);
-            strategy.on_round_end(task, round, &global);
-        }
-
-        // Task-end hook: expose each client's effective data (for Fisher etc.).
-        let client_data: Vec<(usize, Vec<Sample>)> = schedule
-            .clients
-            .iter()
-            .map(|plan| {
-                let h = &holdings[plan.id];
-                let data = match plan.group_at(rounds.saturating_sub(1)) {
-                    ClientGroup::Old => h.old.clone(),
-                    ClientGroup::New => h.new.clone(),
-                    ClientGroup::Between => h.both.clone(),
-                };
-                (plan.id, data)
-            })
-            .collect();
-        strategy.on_task_end(task, &global, &client_data);
-
-        // Clients that saw the new domain carry it forward as their data.
-        for plan in &schedule.clients {
-            if plan.receives_new_data() {
-                let h = &mut holdings[plan.id];
-                h.old = std::mem::take(&mut h.new);
-                h.both.clear();
-            }
-        }
-
-        // Evaluate on every domain seen so far.
-        let mut row = Vec::with_capacity(task + 1);
-        for d in 0..=task {
-            let _eval_span = telemetry.span("evaluate_domain");
-            let acc = evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch);
-            telemetry.observe("eval.domain_acc", f64::from(acc));
-            row.push(acc);
-        }
-        let step_acc = row.iter().sum::<f32>() / row.len() as f32;
-        telemetry.info(format!("task {task} done: step accuracy {step_acc:.2}%"));
-        domain_acc.push(row);
-    }
-
-    telemetry.info(format!(
-        "run done: {} rounds, {} client updates, {} bytes total",
-        traffic.rounds,
-        traffic.client_updates,
-        traffic.total_bytes()
-    ));
-    drop(_run_span);
-    telemetry.flush();
-
-    RunResult {
-        method: strategy.name(),
-        dataset: dataset.name.clone(),
-        domain_names: dataset.domains.iter().map(|d| d.name.clone()).collect(),
-        domain_acc,
-        traffic,
-        group_timeline,
-        final_global: global,
-        telemetry: telemetry.summary(),
-    }
+    FdilRunner::new(*cfg)
+        .telemetry(telemetry)
+        .run(dataset, strategy)
 }
 
 /// Accuracy (%) of the strategy's global model on one domain's test split.
@@ -458,27 +744,39 @@ pub fn evaluate_domain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::increment::IncrementConfig;
     use refil_data::{DatasetSpec, DomainSpec};
 
     /// A trivial strategy: nearest-class-mean in input space, "trained" by
     /// moving stored class means toward local data. Parameters = flat class
-    /// means, so FedAvg is meaningful.
+    /// means, so FedAvg is meaningful. Each session also emits a merge
+    /// payload (its sample count) so the driver's ordered-merge path is
+    /// exercised.
     struct CentroidStrategy {
         classes: usize,
         dim: usize,
+        merged: Vec<(usize, usize, usize)>, // (round, client, samples)
     }
 
-    impl FdilStrategy for CentroidStrategy {
-        fn name(&self) -> String {
-            "Centroid".into()
+    impl CentroidStrategy {
+        fn new(classes: usize, dim: usize) -> Self {
+            Self {
+                classes,
+                dim,
+                merged: Vec::new(),
+            }
         }
+    }
 
-        fn init_global(&mut self) -> Vec<f32> {
-            vec![0.0; self.classes * self.dim]
-        }
+    struct CentroidCtx<'a> {
+        classes: usize,
+        dim: usize,
+        global: &'a [f32],
+    }
 
-        fn train_client(&mut self, s: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate {
-            let mut flat = global.to_vec();
+    impl RoundContext for CentroidCtx<'_> {
+        fn train_client(&self, s: &TrainSetting<'_>, _telemetry: &Telemetry) -> SessionOutput {
+            let mut flat = self.global.to_vec();
             let mut counts = vec![0usize; self.classes];
             let mut sums = vec![0.0f32; self.classes * self.dim];
             for sample in s.samples {
@@ -494,12 +792,49 @@ mod tests {
                     }
                 }
             }
-            ClientUpdate {
-                flat,
-                weight: s.samples.len() as f32,
-                upload_bytes: 0,
-                download_bytes: 0,
+            SessionOutput {
+                update: ClientUpdate {
+                    flat,
+                    weight: s.samples.len() as f32,
+                    upload_bytes: 0,
+                    download_bytes: 0,
+                },
+                merge: Some(Box::new(s.samples.len())),
             }
+        }
+    }
+
+    impl FdilStrategy for CentroidStrategy {
+        fn name(&self) -> String {
+            "Centroid".into()
+        }
+
+        fn init_global(&mut self) -> Vec<f32> {
+            vec![0.0; self.classes * self.dim]
+        }
+
+        fn round_ctx<'a>(
+            &'a self,
+            _task: usize,
+            _round: usize,
+            global: &'a [f32],
+        ) -> Box<dyn RoundContext + 'a> {
+            Box::new(CentroidCtx {
+                classes: self.classes,
+                dim: self.dim,
+                global,
+            })
+        }
+
+        fn merge_client(
+            &mut self,
+            _task: usize,
+            round: usize,
+            client_id: usize,
+            payload: MergePayload,
+        ) {
+            let samples = *payload.downcast::<usize>().expect("usize payload");
+            self.merged.push((round, client_id, samples));
         }
 
         fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
@@ -566,8 +901,8 @@ mod tests {
     #[test]
     fn runner_executes_full_protocol() {
         let ds = tiny_dataset();
-        let mut strat = CentroidStrategy { classes: 3, dim: 6 };
-        let res = run_fdil(&ds, &mut strat, &tiny_config());
+        let mut strat = CentroidStrategy::new(3, 6);
+        let res = FdilRunner::new(tiny_config()).run(&ds, &mut strat);
         assert_eq!(res.domain_acc.len(), 2);
         assert_eq!(res.domain_acc[0].len(), 1);
         assert_eq!(res.domain_acc[1].len(), 2);
@@ -575,27 +910,94 @@ mod tests {
         assert!(res.traffic.client_updates > 0);
         // Centroids on an easy first domain should beat chance (33 %).
         assert!(res.domain_acc[0][0] > 50.0, "acc {:?}", res.domain_acc);
+        // Every trained client produced exactly one ordered merge.
+        assert_eq!(strat.merged.len() as u64, res.traffic.client_updates);
     }
 
     #[test]
     fn run_is_deterministic() {
         let ds = tiny_dataset();
-        let mut s1 = CentroidStrategy { classes: 3, dim: 6 };
-        let mut s2 = CentroidStrategy { classes: 3, dim: 6 };
-        let r1 = run_fdil(&ds, &mut s1, &tiny_config());
-        let r2 = run_fdil(&ds, &mut s2, &tiny_config());
+        let mut s1 = CentroidStrategy::new(3, 6);
+        let mut s2 = CentroidStrategy::new(3, 6);
+        let r1 = FdilRunner::new(tiny_config()).run(&ds, &mut s1);
+        let r2 = FdilRunner::new(tiny_config()).run(&ds, &mut s2);
         assert_eq!(r1.domain_acc, r2.domain_acc);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bytes() {
+        let ds = tiny_dataset();
+        for threads in [2usize, 4, 8] {
+            let mut s1 = CentroidStrategy::new(3, 6);
+            let mut s2 = CentroidStrategy::new(3, 6);
+            let seq = FdilRunner::new(tiny_config()).threads(1).run(&ds, &mut s1);
+            let par = FdilRunner::new(tiny_config())
+                .threads(threads)
+                .run(&ds, &mut s2);
+            assert_eq!(seq.final_global, par.final_global, "threads={threads}");
+            assert_eq!(seq.domain_acc, par.domain_acc, "threads={threads}");
+            assert_eq!(seq.traffic, par.traffic, "threads={threads}");
+            // Merge hooks fire in the same (round, client) order too.
+            assert_eq!(s1.merged, s2.merged, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_under_dropout() {
+        let ds = tiny_dataset();
+        let mut cfg = tiny_config();
+        cfg.dropout_prob = 0.4;
+        let mut s1 = CentroidStrategy::new(3, 6);
+        let mut s2 = CentroidStrategy::new(3, 6);
+        let seq = FdilRunner::new(cfg).threads(1).run(&ds, &mut s1);
+        let par = FdilRunner::new(cfg).threads(4).run(&ds, &mut s2);
+        assert_eq!(seq.final_global, par.final_global);
+        assert_eq!(seq.traffic, par.traffic);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let ds = tiny_dataset();
+        let cfg = tiny_config();
+        let mut s1 = CentroidStrategy::new(3, 6);
+        let mut s2 = CentroidStrategy::new(3, 6);
+        let a = run_fdil(&ds, &mut s1, &cfg);
+        let b = FdilRunner::new(cfg).run(&ds, &mut s2);
+        assert_eq!(a.final_global, b.final_global);
+        assert_eq!(a.domain_acc, b.domain_acc);
+    }
+
+    #[test]
+    fn train_once_applies_merge() {
+        let ds = tiny_dataset();
+        let mut strat = CentroidStrategy::new(3, 6);
+        let global = strat.init_global();
+        let samples = &ds.domains[0].train[..10];
+        let setting = TrainSetting {
+            client_id: 7,
+            task: 0,
+            round: 0,
+            group: ClientGroup::New,
+            samples,
+            local_epochs: 1,
+            batch_size: 16,
+            seed: 42,
+        };
+        let update = strat.train_once(&setting, &global);
+        assert_eq!(update.flat.len(), global.len());
+        assert_eq!(strat.merged, vec![(0, 7, 10)]);
     }
 
     #[test]
     fn dropout_reduces_client_updates() {
         let ds = tiny_dataset();
-        let mut s1 = CentroidStrategy { classes: 3, dim: 6 };
-        let r_full = run_fdil(&ds, &mut s1, &tiny_config());
-        let mut s2 = CentroidStrategy { classes: 3, dim: 6 };
+        let mut s1 = CentroidStrategy::new(3, 6);
+        let r_full = FdilRunner::new(tiny_config()).run(&ds, &mut s1);
+        let mut s2 = CentroidStrategy::new(3, 6);
         let mut cfg = tiny_config();
         cfg.dropout_prob = 0.6;
-        let r_drop = run_fdil(&ds, &mut s2, &cfg);
+        let r_drop = FdilRunner::new(cfg).run(&ds, &mut s2);
         assert!(
             r_drop.traffic.client_updates < r_full.traffic.client_updates,
             "dropout had no effect: {} vs {}",
@@ -604,6 +1006,16 @@ mod tests {
         );
         // The protocol must survive rounds where every client drops.
         assert_eq!(r_drop.domain_acc.len(), ds.num_domains());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RunConfig")]
+    fn run_rejects_invalid_config() {
+        let ds = tiny_dataset();
+        let mut cfg = tiny_config();
+        cfg.batch_size = 0;
+        let mut strat = CentroidStrategy::new(3, 6);
+        let _ = FdilRunner::new(cfg).run(&ds, &mut strat);
     }
 
     #[test]
@@ -632,5 +1044,22 @@ mod tests {
         let c = session_seed(1, 0, 1, 0);
         let d = session_seed(2, 0, 0, 0);
         assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn holdings_rebuild_both_concatenates_in_order() {
+        let ds = tiny_dataset();
+        let mut h = Holdings {
+            old: ds.domains[0].train[..3].to_vec(),
+            new: ds.domains[1].train[..2].to_vec(),
+            both: Vec::new(),
+        };
+        h.rebuild_both();
+        assert_eq!(h.both.len(), 5);
+        assert_eq!(h.both[0].label, h.old[0].label);
+        assert_eq!(h.both[3].label, h.new[0].label);
+        let cap = h.both.capacity();
+        h.rebuild_both();
+        assert_eq!(h.both.capacity(), cap, "rebuild must reuse the buffer");
     }
 }

@@ -45,8 +45,6 @@ struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, HistogramSummary>,
     spans: BTreeMap<String, SpanSummary>,
-    /// Names of currently open spans, innermost last.
-    stack: Vec<String>,
 }
 
 struct Inner {
@@ -54,14 +52,24 @@ struct Inner {
     state: Mutex<State>,
 }
 
+/// Names of currently open spans, innermost last. Kept apart from the shared
+/// aggregation state so concurrent workers can each own an independent stack
+/// (see [`Telemetry::scoped`]) while still feeding one collector.
+type SpanStack = Arc<Mutex<Vec<String>>>;
+
 /// Collector handle threaded through the training loop.
 ///
-/// Clones share the same collector, so a handle can be stored both by the
-/// federated runner and by a strategy without coordination. The default
-/// handle is disabled: every method is a single-branch no-op.
+/// Clones share the same collector *and* the same span stack, so a handle can
+/// be stored both by the federated runner and by a strategy without
+/// coordination. [`Telemetry::scoped`] instead forks an independent span
+/// stack (rooted at an explicit parent path) over the same collector — the
+/// form a worker thread needs so its spans neither race nor interleave with
+/// other workers'. The default handle is disabled: every method is a
+/// single-branch no-op.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    stack: SpanStack,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -85,6 +93,7 @@ impl Telemetry {
                 sink,
                 state: Mutex::new(State::default()),
             })),
+            stack: SpanStack::default(),
         }
     }
 
@@ -110,6 +119,38 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// Forks a handle over the same collector whose spans open under
+    /// `parent_path` (a `/`-joined span path such as `run/task:0/round:3`)
+    /// on an *independent* span stack.
+    ///
+    /// Plain clones share one stack, which is right for a single thread of
+    /// control but races when workers open spans concurrently. A scoped
+    /// handle gives each worker its own stack, reparented under the round
+    /// that dispatched it, so per-worker span trees stay well-formed while
+    /// counters, histograms, and span aggregates still land in the shared
+    /// summary.
+    pub fn scoped(&self, parent_path: &str) -> Telemetry {
+        let base: Vec<String> = parent_path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        Telemetry {
+            inner: self.inner.clone(),
+            stack: Arc::new(Mutex::new(base)),
+        }
+    }
+
+    /// The `/`-joined path of the currently open spans on this handle's
+    /// stack (empty when no span is open). Feed this to [`Telemetry::scoped`]
+    /// to reparent worker handles under the caller's current span.
+    pub fn current_path(&self) -> String {
+        self.stack
+            .lock()
+            .expect("telemetry stack poisoned")
+            .join("/")
+    }
+
     /// Opens a timed span nested under the currently open spans. Close is
     /// automatic when the returned guard drops.
     #[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
@@ -123,9 +164,9 @@ impl Telemetry {
             };
         };
         let path = {
-            let mut state = inner.state.lock().expect("telemetry state poisoned");
-            state.stack.push(name.to_string());
-            state.stack.join("/")
+            let mut stack = self.stack.lock().expect("telemetry stack poisoned");
+            stack.push(name.to_string());
+            stack.join("/")
         };
         let depth = path.split('/').count();
         inner.sink.event(&TraceEvent::SpanStart { path });
@@ -218,18 +259,21 @@ impl Telemetry {
         let Some(inner) = &self.inner else { return };
         let duration_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let path = {
-            let mut state = inner.state.lock().expect("telemetry state poisoned");
+            let mut stack = self.stack.lock().expect("telemetry stack poisoned");
             // Tolerate out-of-order guard drops: truncate to this span's depth.
-            state.stack.truncate(depth);
-            let path = state.stack.join("/");
-            if state.stack.pop().is_none() {
+            stack.truncate(depth);
+            let path = stack.join("/");
+            if stack.pop().is_none() {
                 return; // unbalanced close; nothing sensible to report
             }
+            path
+        };
+        {
+            let mut state = inner.state.lock().expect("telemetry state poisoned");
             let span = state.spans.entry(name.to_string()).or_default();
             span.count += 1;
             span.total_ns += duration_ns;
-            path
-        };
+        }
         inner.sink.event(&TraceEvent::SpanEnd { path, duration_ns });
     }
 }
@@ -359,5 +403,72 @@ mod tests {
         a.counter("shared", 1);
         b.counter("shared", 2);
         assert_eq!(a.summary().counter("shared"), 3);
+    }
+
+    #[test]
+    fn current_path_tracks_open_spans() {
+        let t = Telemetry::collecting();
+        assert_eq!(t.current_path(), "");
+        let _run = t.span("run");
+        let _round = t.span("round:2");
+        assert_eq!(t.current_path(), "run/round:2");
+    }
+
+    #[test]
+    fn scoped_handle_reparents_spans_under_parent_path() {
+        struct Capture(Mutex<Vec<TraceEvent>>);
+        impl Sink for Capture {
+            fn event(&self, event: &TraceEvent) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+        let sink = Arc::new(Capture(Mutex::new(Vec::new())));
+        struct Fwd(Arc<Capture>);
+        impl Sink for Fwd {
+            fn event(&self, event: &TraceEvent) {
+                self.0.event(event);
+            }
+        }
+        let t = Telemetry::with_sink(Box::new(Fwd(sink.clone())));
+        {
+            let _run = t.span("run");
+            let _round = t.span("round:0");
+            let worker = t.scoped(&t.current_path());
+            let _client = worker.span("client:3");
+        }
+        let events = sink.0.lock().unwrap().clone();
+        let client_paths: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpanStart { path } if path.contains("client") => Some(path.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(client_paths, vec!["run/round:0/client:3"]);
+        // The worker's span close must not have disturbed the parent stack.
+        assert_eq!(t.summary().spans["client:3"].count, 1);
+    }
+
+    #[test]
+    fn scoped_handles_aggregate_concurrently_without_interleaving() {
+        let t = Telemetry::collecting();
+        let _run = t.span("run");
+        let parent = t.current_path();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let worker = t.scoped(&parent);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        let _span = worker.span(&format!("client:{w}"));
+                        worker.counter("sessions", 1);
+                    }
+                });
+            }
+        });
+        let summary = t.summary();
+        assert_eq!(summary.counter("sessions"), 32);
+        for w in 0..4 {
+            assert_eq!(summary.spans[&format!("client:{w}")].count, 8);
+        }
     }
 }

@@ -9,7 +9,7 @@ use refil::continual::{FedDualPrompt, FedEwc, FedLwf, Finetune, MethodConfig};
 use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{office_caltech10, PresetConfig};
 use refil::eval::{pct, scores, Table};
-use refil::fed::{run_fdil, FdilStrategy, IncrementConfig, RunConfig};
+use refil::fed::{FdilRunner, FdilStrategy, IncrementConfig, RunConfig};
 use refil::nn::models::BackboneConfig;
 
 fn main() {
@@ -59,7 +59,7 @@ fn main() {
     );
     for strategy in &mut strategies {
         eprintln!("running {} ...", strategy.name());
-        let result = run_fdil(&dataset, strategy.as_mut(), &run_cfg);
+        let result = FdilRunner::new(run_cfg).run(&dataset, strategy.as_mut());
         let s = scores(&result.domain_acc);
         table.row(vec![
             strategy.name(),

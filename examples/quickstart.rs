@@ -9,7 +9,7 @@ use refil::continual::MethodConfig;
 use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{digits_five, PresetConfig};
 use refil::eval::scores;
-use refil::fed::{run_fdil, IncrementConfig, RunConfig};
+use refil::fed::{FdilRunner, IncrementConfig, RunConfig};
 use refil::nn::models::BackboneConfig;
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
         "training RefFiL over {} incremental tasks ...",
         dataset.num_domains()
     );
-    let result = run_fdil(&dataset, &mut strategy, &run_cfg);
+    let result = FdilRunner::new(run_cfg).run(&dataset, &mut strategy);
 
     // 4. Report the paper's metrics.
     let s = scores(&result.domain_acc);

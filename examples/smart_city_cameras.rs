@@ -15,7 +15,7 @@ use refil::continual::MethodConfig;
 use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{DatasetSpec, DomainSpec};
 use refil::eval::scores;
-use refil::fed::{run_fdil, IncrementConfig, RunConfig};
+use refil::fed::{FdilRunner, IncrementConfig, RunConfig};
 use refil::nn::models::BackboneConfig;
 
 fn main() {
@@ -66,7 +66,7 @@ fn main() {
     };
 
     println!("rolling out the camera network through 3 environmental phases ...");
-    let result = run_fdil(&dataset, &mut strategy, &run_cfg);
+    let result = FdilRunner::new(run_cfg).run(&dataset, &mut strategy);
     let s = scores(&result.domain_acc);
 
     println!("\nper-phase evaluation (rows = after phase, cols = environment):");

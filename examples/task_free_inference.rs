@@ -18,7 +18,7 @@
 use refil::continual::MethodConfig;
 use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{digits_five, PresetConfig};
-use refil::fed::{run_fdil, FdilStrategy, IncrementConfig, RunConfig};
+use refil::fed::{FdilRunner, FdilStrategy, IncrementConfig, RunConfig};
 use refil::nn::models::BackboneConfig;
 use refil::nn::Tensor;
 
@@ -76,7 +76,7 @@ fn main() {
     };
     println!("training RefFiL on {} ...", dataset.name);
     let mut strat = RefFiL::new(RefFiLConfig::new(method));
-    let res = run_fdil(&dataset, &mut strat, &run_cfg);
+    let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
 
     println!("\nfinal-model accuracy per domain under each inference policy:\n");
     println!(

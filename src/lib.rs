@@ -1,5 +1,5 @@
 //! RefFiL facade crate: re-exports every workspace subcrate under one root,
-//! so downstream code and the examples can write `refil::fed::run_fdil`
+//! so downstream code and the examples can write `refil::fed::FdilRunner`
 //! instead of depending on each `refil-*` crate individually.
 
 /// Neural-network primitives: tensors, layers, backbone models.
