@@ -22,6 +22,102 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("tensor/matmul_128x128", |bench| bench.iter(|| a.matmul(&b)));
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    use refil_nn::gemm::{gemm, gemm_ref_branchy};
+    let mut rng = StdRng::seed_from_u64(7);
+    // (label, m, k, n): a square stress shape plus the two shapes the
+    // quickstart config actually runs — token projections ([b*t, d] x [d, d])
+    // and the classifier head ([b, d] x [d, classes]).
+    let shapes = [
+        ("128x128x128", 128usize, 128usize, 128usize),
+        ("tokens_160x32x32", 160, 32, 32),
+        ("classifier_32x32x10", 32, 32, 10),
+    ];
+    for (label, m, k, n) in shapes {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        c.bench_function(&format!("nn/gemm/tiled_{label}"), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                gemm(a.data(), b.data(), &mut out, m, k, n);
+                out[0]
+            })
+        });
+        c.bench_function(&format!("nn/gemm/naive_{label}"), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                gemm_ref_branchy(a.data(), b.data(), &mut out, m, k, n);
+                out[0]
+            })
+        });
+    }
+}
+
+fn bench_gemm_zero_branch(c: &mut Criterion) {
+    // Before/after of dropping `if av == 0.0 { continue; }` from the naive
+    // inner loop, isolated from tiling: same ikj loop, only the branch
+    // differs. Dense random inputs — the branch never fires, it just costs.
+    use refil_nn::gemm::{gemm_ref, gemm_ref_branchy};
+    let mut rng = StdRng::seed_from_u64(8);
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let mut out = vec![0.0f32; m * n];
+    c.bench_function("nn/gemm_zero_branch/with_branch_128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_ref_branchy(a.data(), b.data(), &mut out, m, k, n);
+            out[0]
+        })
+    });
+    c.bench_function("nn/gemm_zero_branch/without_branch_128", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_ref(a.data(), b.data(), &mut out, m, k, n);
+            out[0]
+        })
+    });
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (b, c_in, l, c_out, k, pad) = (32usize, 4usize, 32usize, 8usize, 5usize, 2usize);
+    let x = Tensor::randn(&[b, c_in, l], 1.0, &mut rng);
+    let w = Tensor::randn(&[c_out, c_in, k], 0.5, &mut rng);
+    let bias = Tensor::randn(&[c_out], 0.5, &mut rng);
+    c.bench_function("nn/conv1d_fwd/b32_c4x8_l32_k5", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let xv = g.constant(x.clone());
+            let wv = g.constant(w.clone());
+            let bv = g.constant(bias.clone());
+            g.value(g.conv1d(xv, wv, bv, pad))
+        })
+    });
+    let mut params = Params::new();
+    params.insert("x", x.clone(), true);
+    params.insert("w", w.clone(), true);
+    params.insert("b", bias.clone(), true);
+    c.bench_function("nn/conv1d_bwd/b32_c4x8_l32_k5", |bench| {
+        bench.iter_batched(
+            || params.clone(),
+            |mut p| {
+                let g = Graph::new();
+                let xv = g.param(&p, p.id("x").unwrap());
+                let wv = g.param(&p, p.id("w").unwrap());
+                let bv = g.param(&p, p.id("b").unwrap());
+                let y = g.conv1d(xv, wv, bv, pad);
+                let t = g.tanh(y);
+                let s = g.sum_all(t);
+                g.backward(s, &mut p);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_attention_forward(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut params = Params::new();
@@ -204,7 +300,8 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_attention_forward, bench_backbone_step,
+    targets = bench_matmul, bench_gemm, bench_gemm_zero_branch, bench_conv1d,
+        bench_attention_forward, bench_backbone_step,
         bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl,
         bench_round_parallel
 }

@@ -56,11 +56,12 @@ pub fn dpcl_loss(
         let norm = c.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
         cdata.extend(c.iter().map(|x| x / norm));
     }
-    let cand_t = g.constant(Tensor::from_vec(cdata, &[m, d]).transpose_last());
+    let cand = g.constant(Tensor::from_vec(cdata, &[m, d]));
 
-    // Similarity logits: normalize(u) @ normalize(C)^T / tau.
+    // Similarity logits: normalize(u) @ normalize(C)^T / tau; matmul_nt reads
+    // the candidate rows transposed in place, no [d, m] copy.
     let un = g.row_l2_normalize(u);
-    let sims = g.matmul(un, cand_t);
+    let sims = g.matmul_nt(un, cand);
     let logits = g.scale(sims, 1.0 / tau.max(1e-4));
 
     // Positive sets from *detached* prompt values (selection is not part of

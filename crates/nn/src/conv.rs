@@ -5,14 +5,108 @@
 //! convolutional stack (see [`crate::layers::ConvExtractor`]). Ops live here
 //! as [`Graph`] extensions with hand-derived backward passes, verified
 //! against finite differences in the tests.
+//!
+//! Both the forward and backward passes lower to im2col + GEMM: the input
+//! `[b, c_in, l]` is unrolled into a column matrix `[b, c_in·k, l_out]` so
+//! convolution becomes a per-batch `w [c_out, c_in·k] × cols` product on the
+//! tiled kernels in [`crate::gemm`]. The column buffer is recycled through a
+//! thread-local pool keyed by `(b, c_in, l, k, pad)` so steady-state training
+//! steps do not allocate it again. The im2col unroll index `p = ci·k + kk`
+//! walks `(ci, kk)` in exactly the order the old nested loop did, so the
+//! forward accumulation per output element is the same floating-point chain.
 
+use crate::gemm::{gemm, gemm_nt, gemm_tn, naive_forced};
 use crate::graph::{Graph, Var};
 use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Shape key for the im2col buffer pool: `(b, c_in, l, k, pad)`.
+type ColsKey = (usize, usize, usize, usize, usize);
+
+thread_local! {
+    /// Per-thread pool of im2col column buffers, keyed by conv shape. A
+    /// training step takes a buffer, fills it, and returns it before the op
+    /// completes, so the pool holds at most a couple of buffers per shape.
+    static COLS_POOL: RefCell<HashMap<ColsKey, Vec<Vec<f32>>>> = RefCell::new(HashMap::new());
+}
+
+fn take_cols(key: ColsKey, len: usize) -> Vec<f32> {
+    let pooled = COLS_POOL.with(|p| p.borrow_mut().entry(key).or_default().pop());
+    match pooled {
+        Some(mut v) => {
+            debug_assert_eq!(v.len(), len);
+            v.resize(len, 0.0);
+            v
+        }
+        None => vec![0.0f32; len],
+    }
+}
+
+fn recycle_cols(key: ColsKey, v: Vec<f32>) {
+    COLS_POOL.with(|p| p.borrow_mut().entry(key).or_default().push(v));
+}
+
+/// Unrolls `x [b, c_in, l]` into `cols [b, c_in·k, l_out]` with zero padding;
+/// every cell is written, so a recycled buffer needs no prior clearing.
+#[allow(clippy::too_many_arguments)]
+fn im2col(xv: &[f32], cols: &mut [f32], b: usize, c_in: usize, l: usize, k: usize, pad: usize) {
+    let l_out = l + 2 * pad - k + 1;
+    for bi in 0..b {
+        for ci in 0..c_in {
+            let xrow = &xv[(bi * c_in + ci) * l..(bi * c_in + ci + 1) * l];
+            for kk in 0..k {
+                let row = &mut cols[((bi * c_in + ci) * k + kk) * l_out..][..l_out];
+                for (lo, cell) in row.iter_mut().enumerate() {
+                    let xi = lo + kk;
+                    *cell = if xi < pad || xi - pad >= l {
+                        0.0
+                    } else {
+                        xrow[xi - pad]
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds `dcols [b, c_in·k, l_out]` back onto `dx [b, c_in, l]`
+/// (the adjoint of [`im2col`]); padded positions are dropped.
+#[allow(clippy::too_many_arguments)]
+fn col2im_add(
+    dcols: &[f32],
+    dx: &mut [f32],
+    b: usize,
+    c_in: usize,
+    l: usize,
+    k: usize,
+    pad: usize,
+) {
+    let l_out = l + 2 * pad - k + 1;
+    for bi in 0..b {
+        for ci in 0..c_in {
+            let dxrow = &mut dx[(bi * c_in + ci) * l..(bi * c_in + ci + 1) * l];
+            for kk in 0..k {
+                let row = &dcols[((bi * c_in + ci) * k + kk) * l_out..][..l_out];
+                for (lo, &cell) in row.iter().enumerate() {
+                    let xi = lo + kk;
+                    if xi >= pad && xi - pad < l {
+                        dxrow[xi - pad] += cell;
+                    }
+                }
+            }
+        }
+    }
+}
 
 impl Graph {
     /// 1-D convolution: `x [b, c_in, l] * w [c_out, c_in, k] + bias [c_out]`
     /// with stride 1 and symmetric zero padding `pad`, giving
     /// `[b, c_out, l + 2*pad - k + 1]`.
+    ///
+    /// Lowered to im2col + per-batch GEMM; the output is seeded with the bias
+    /// before the product so each element is the chain
+    /// `bias + Σ_p x·w` in ascending `p = ci·k + kk` order.
     ///
     /// # Panics
     ///
@@ -28,7 +122,8 @@ impl Graph {
         assert!(l + 2 * pad >= k, "kernel larger than padded input");
         let l_out = l + 2 * pad - k + 1;
 
-        let value = {
+        let value = if naive_forced() {
+            // Pre-PR path for the A/B escape hatch: the 5-deep nested loop.
             let xv = self.value(x);
             let wv = self.value(w);
             let bv = self.value(bias);
@@ -52,6 +147,31 @@ impl Graph {
                 }
             }
             Tensor::from_vec(out, &[b, c_out, l_out])
+        } else {
+            let xv = self.value(x);
+            let wv = self.value(w);
+            let bv = self.value(bias);
+            let key = (b, c_in, l, k, pad);
+            let ckl = c_in * k * l_out;
+            let mut cols = take_cols(key, b * ckl);
+            im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
+            let mut out = vec![0.0f32; b * c_out * l_out];
+            for bi in 0..b {
+                let out_bi = &mut out[bi * c_out * l_out..(bi + 1) * c_out * l_out];
+                for co in 0..c_out {
+                    out_bi[co * l_out..(co + 1) * l_out].fill(bv.data()[co]);
+                }
+                gemm(
+                    wv.data(),
+                    &cols[bi * ckl..(bi + 1) * ckl],
+                    out_bi,
+                    c_out,
+                    c_in * k,
+                    l_out,
+                );
+            }
+            recycle_cols(key, cols);
+            Tensor::from_vec(out, &[b, c_out, l_out])
         };
 
         self.push_conv_node(value, x, w, bias, pad, (b, c_in, l, c_out, k, l_out))
@@ -71,34 +191,80 @@ impl Graph {
         self.push_node(
             value,
             vec![x, w, bias],
-            Box::new(move |g, p, _| {
+            Box::new(move |g, p, _, scr| {
                 let (xv, wv) = (p[0], p[1]);
-                let mut dx = vec![0.0f32; b * c_in * l];
-                let mut dw = vec![0.0f32; c_out * c_in * k];
-                let mut db = vec![0.0f32; c_out];
-                for bi in 0..b {
-                    for (co, db_co) in db.iter_mut().enumerate() {
-                        for lo in 0..l_out {
-                            let gi = g.data()[(bi * c_out + co) * l_out + lo];
-                            if gi == 0.0 {
-                                continue;
-                            }
-                            *db_co += gi;
-                            for ci in 0..c_in {
-                                for kk in 0..k {
-                                    let xi = lo + kk;
-                                    if xi < pad || xi - pad >= l {
-                                        continue;
+                if naive_forced() {
+                    // Pre-PR path for the A/B escape hatch: gathered loops
+                    // with the gi == 0.0 skip branch.
+                    let mut dx = scr.take_zeroed(b * c_in * l);
+                    let mut dw = scr.take_zeroed(c_out * c_in * k);
+                    let mut db = scr.take_zeroed(c_out);
+                    for bi in 0..b {
+                        for (co, db_co) in db.iter_mut().enumerate() {
+                            for lo in 0..l_out {
+                                let gi = g.data()[(bi * c_out + co) * l_out + lo];
+                                if gi == 0.0 {
+                                    continue;
+                                }
+                                *db_co += gi;
+                                for ci in 0..c_in {
+                                    for kk in 0..k {
+                                        let xi = lo + kk;
+                                        if xi < pad || xi - pad >= l {
+                                            continue;
+                                        }
+                                        let x_idx = (bi * c_in + ci) * l + (xi - pad);
+                                        let w_idx = (co * c_in + ci) * k + kk;
+                                        dx[x_idx] += gi * wv.data()[w_idx];
+                                        dw[w_idx] += gi * xv.data()[x_idx];
                                     }
-                                    let x_idx = (bi * c_in + ci) * l + (xi - pad);
-                                    let w_idx = (co * c_in + ci) * k + kk;
-                                    dx[x_idx] += gi * wv.data()[w_idx];
-                                    dw[w_idx] += gi * xv.data()[x_idx];
                                 }
                             }
                         }
                     }
+                    return vec![
+                        Tensor::from_vec(dx, &[b, c_in, l]),
+                        Tensor::from_vec(dw, &[c_out, c_in, k]),
+                        Tensor::from_vec(db, &[c_out]),
+                    ];
                 }
+                let key = (b, c_in, l, k, pad);
+                let ckl = c_in * k * l_out;
+                // Rebuild the column matrix from the parent value instead of
+                // capturing the forward buffer, so the pool stays small.
+                let mut cols = take_cols(key, b * ckl);
+                im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
+                let mut dcols = take_cols(key, b * ckl);
+                let mut dw = scr.take_zeroed(c_out * c_in * k);
+                let mut db = scr.take_zeroed(c_out);
+                for bi in 0..b {
+                    for (co, db_co) in db.iter_mut().enumerate() {
+                        for lo in 0..l_out {
+                            *db_co += g.data()[(bi * c_out + co) * l_out + lo];
+                        }
+                    }
+                }
+                for bi in 0..b {
+                    let gs = &g.data()[bi * c_out * l_out..(bi + 1) * c_out * l_out];
+                    // dw += g_bi · cols_biᵀ: per weight the terms arrive in the
+                    // same (bi, lo) order as the old nested loop.
+                    gemm_nt(
+                        gs,
+                        &cols[bi * ckl..(bi + 1) * ckl],
+                        &mut dw,
+                        c_out,
+                        l_out,
+                        c_in * k,
+                    );
+                    // dcols_bi = wᵀ · g_bi, scattered back onto dx below.
+                    let dcols_bi = &mut dcols[bi * ckl..(bi + 1) * ckl];
+                    dcols_bi.fill(0.0);
+                    gemm_tn(wv.data(), gs, dcols_bi, c_in * k, c_out, l_out);
+                }
+                let mut dx = scr.take_zeroed(b * c_in * l);
+                col2im_add(&dcols, &mut dx, b, c_in, l, k, pad);
+                recycle_cols(key, cols);
+                recycle_cols(key, dcols);
                 vec![
                     Tensor::from_vec(dx, &[b, c_in, l]),
                     Tensor::from_vec(dw, &[c_out, c_in, k]),
@@ -141,9 +307,9 @@ impl Graph {
         self.push_node(
             value,
             vec![x],
-            Box::new(move |g, _, _| {
+            Box::new(move |g, _, _, scr| {
                 let inv = 1.0 / window as f32;
-                let mut dx = vec![0.0f32; b * c * l];
+                let mut dx = scr.take_zeroed(b * c * l);
                 for bc in 0..b * c {
                     for j in 0..l_out {
                         let gi = g.data()[bc * l_out + j] * inv;
@@ -239,6 +405,30 @@ mod tests {
                 let wv = g.param(p, p.id("w").unwrap());
                 let bv = g.param(p, p.id("b").unwrap());
                 let y = g.conv1d(xv, wv, bv, 1);
+                let t = g.tanh(y);
+                g.sum_all(t)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn conv1d_gradcheck_even_kernel_wide_pad() {
+        // Exercises the im2col backward on an even kernel with pad > 1, where
+        // more column entries land in the zero-padding region.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 3, 6], 0.5, &mut rng), true);
+        let w = params.insert("w", Tensor::randn(&[2, 3, 4], 0.5, &mut rng), true);
+        let b = params.insert("b", Tensor::randn(&[2], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, w, b],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let wv = g.param(p, p.id("w").unwrap());
+                let bv = g.param(p, p.id("b").unwrap());
+                let y = g.conv1d(xv, wv, bv, 2);
                 let t = g.tanh(y);
                 g.sum_all(t)
             },

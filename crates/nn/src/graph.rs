@@ -24,8 +24,9 @@
 
 use std::cell::RefCell;
 
+use crate::gemm::{gemm, gemm_nt, gemm_tn};
 use crate::params::{ParamId, Params};
-use crate::tensor::{matmul_into, Tensor};
+use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,53 @@ pub struct Var {
     id: usize,
 }
 
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+/// Per-graph scratch arena for backward-pass buffers.
+///
+/// Gradient tensors are consumed as the tape is walked in reverse, so their
+/// backing `Vec<f32>`s can be recycled for the gradients of earlier nodes
+/// instead of hitting the allocator once per node. Buffers cycle
+/// `take_* -> grad tensor -> consumed by the walk -> recycle`, so a steady
+/// state backward pass allocates only when a node needs a larger buffer
+/// than any freed so far.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// A zero-filled buffer of `len` elements, recycled when possible.
+    pub(crate) fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// A buffer holding a copy of `src`, recycled when possible.
+    pub(crate) fn take_copied(&mut self, src: &[f32]) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.extend_from_slice(src);
+                v
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub(crate) fn recycle(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.pool.push(v);
+        }
+    }
+}
+
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor, &mut Scratch) -> Vec<Tensor>>;
 
 struct Node {
     value: Tensor,
@@ -49,6 +96,7 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: RefCell<Vec<Node>>,
+    scratch: RefCell<Scratch>,
 }
 
 impl std::fmt::Debug for Graph {
@@ -131,6 +179,7 @@ impl Graph {
     /// Panics if `root` is not a single-element tensor.
     pub fn backward(&self, root: Var, params: &mut Params) {
         let nodes = self.nodes.borrow();
+        let mut scratch = self.scratch.borrow_mut();
         assert_eq!(
             nodes[root.id].value.numel(),
             1,
@@ -148,15 +197,21 @@ impl Graph {
             }
             if let Some(bw) = &node.backward {
                 let pvals: Vec<&Tensor> = node.parents.iter().map(|&p| &nodes[p].value).collect();
-                let pgrads = bw(&g, &pvals, &node.value);
+                let pgrads = bw(&g, &pvals, &node.value, &mut scratch);
                 debug_assert_eq!(pgrads.len(), node.parents.len());
                 for (&p, pg) in node.parents.iter().zip(pgrads) {
                     match &mut grads[p] {
-                        Some(acc) => acc.axpy(1.0, &pg),
+                        Some(acc) => {
+                            acc.axpy(1.0, &pg);
+                            scratch.recycle(pg.into_vec());
+                        }
                         slot @ None => *slot = Some(pg),
                     }
                 }
             }
+            // The node's own upstream gradient is fully consumed; recycle
+            // its buffer for earlier nodes on the tape.
+            scratch.recycle(g.into_vec());
         }
     }
 
@@ -173,7 +228,12 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+            Some(Box::new(|g, _, _, scr| {
+                vec![
+                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                ]
+            })),
             None,
         )
     }
@@ -187,7 +247,16 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.map(|x| -x)])),
+            Some(Box::new(|g, _, _, scr| {
+                let mut db = scr.take_copied(g.data());
+                for x in &mut db {
+                    *x = -*x;
+                }
+                vec![
+                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                    Tensor::from_vec(db, g.shape()),
+                ]
+            })),
             None,
         )
     }
@@ -201,7 +270,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, _scr| {
                 vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)]
             })),
             None,
@@ -217,7 +286,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, _scr| {
                 let da = g.zip(p[1], |gi, bi| gi / bi);
                 let mut db = g.zip(p[0], |gi, ai| gi * ai);
                 db = db.zip(p[1], |x, bi| -x / (bi * bi));
@@ -233,7 +302,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, _| vec![g.map(|x| -x)])),
+            Some(Box::new(|g, _, _, _scr| vec![g.map(|x| -x)])),
             None,
         )
     }
@@ -244,7 +313,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])),
+            Some(Box::new(move |g, _, _, _scr| vec![g.map(|x| x * c)])),
             None,
         )
     }
@@ -255,7 +324,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, _| vec![g.clone()])),
+            Some(Box::new(|g, _, _, scr| {
+                vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape())]
+            })),
             None,
         )
     }
@@ -270,7 +341,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, _scr| {
                 vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
             })),
             None,
@@ -283,7 +354,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, _scr| {
                 vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))]
             })),
             None,
@@ -296,7 +367,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| {
+            Some(Box::new(|g, _, y, _scr| {
                 vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))]
             })),
             None,
@@ -311,7 +382,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| {
+            Some(Box::new(|g, _, y, _scr| {
                 vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))]
             })),
             None,
@@ -324,7 +395,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi * yi)])),
+            Some(Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi * yi)])),
             None,
         )
     }
@@ -335,7 +406,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| vec![g.zip(p[0], |gi, xi| gi / xi)])),
+            Some(Box::new(
+                |g, p, _, _scr| vec![g.zip(p[0], |gi, xi| gi / xi)],
+            )),
             None,
         )
     }
@@ -346,7 +419,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, y| vec![g.zip(y, |gi, yi| gi / (2.0 * yi))])),
+            Some(Box::new(|g, _, y, _scr| {
+                vec![g.zip(y, |gi, yi| gi / (2.0 * yi))]
+            })),
             None,
         )
     }
@@ -364,10 +439,58 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, p, _| {
-                let da = g.matmul(&p[1].transpose_last());
-                let db = p[0].transpose_last().matmul(g);
-                vec![da, db]
+            Some(Box::new(|g, p, _, scr| {
+                // da = g · bᵀ and db = aᵀ · g through the layout-aware
+                // kernels: no transposed copies, same accumulation order.
+                let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
+                let n = p[1].shape()[1];
+                let mut da = scr.take_zeroed(m * k);
+                gemm_nt(g.data(), p[1].data(), &mut da, m, n, k);
+                let mut db = scr.take_zeroed(k * n);
+                gemm_tn(p[0].data(), g.data(), &mut db, k, m, n);
+                vec![
+                    Tensor::from_vec(da, p[0].shape()),
+                    Tensor::from_vec(db, p[1].shape()),
+                ]
+            })),
+            None,
+        )
+    }
+
+    /// 2-D product with the right operand read transposed in place:
+    /// `a [m,k] x bt [n,k] -> [m,n]` without materializing `btᵀ`.
+    ///
+    /// Byte-identical to `matmul(a, transpose_last(bt))` — per-element
+    /// accumulation order is unchanged — but skips the transpose copy and
+    /// its tape node. Used for similarity matrices (`x · cᵀ`).
+    pub fn matmul_nt(&self, a: Var, bt: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.id].value, &nodes[bt.id].value);
+            assert_eq!(av.ndim(), 2, "matmul_nt lhs must be 2-D");
+            assert_eq!(bv.ndim(), 2, "matmul_nt rhs must be 2-D");
+            let (m, k) = (av.shape()[0], av.shape()[1]);
+            let (n, k2) = (bv.shape()[0], bv.shape()[1]);
+            assert_eq!(k, k2, "matmul_nt inner dim mismatch");
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt(av.data(), bv.data(), &mut out, m, k, n);
+            Tensor::from_vec(out, &[m, n])
+        };
+        self.push(
+            v,
+            vec![a.id, bt.id],
+            Some(Box::new(|g, p, _, scr| {
+                let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
+                let n = p[1].shape()[0];
+                // da = g · bt (plain product); dbt = gᵀ · a.
+                let mut da = scr.take_zeroed(m * k);
+                gemm(g.data(), p[1].data(), &mut da, m, n, k);
+                let mut dbt = scr.take_zeroed(n * k);
+                gemm_tn(g.data(), p[0].data(), &mut dbt, n, m, k);
+                vec![
+                    Tensor::from_vec(da, p[0].shape()),
+                    Tensor::from_vec(dbt, p[1].shape()),
+                ]
             })),
             None,
         )
@@ -382,10 +505,74 @@ impl Graph {
         self.push(
             v,
             vec![a.id, b.id],
-            Some(Box::new(|g, p, _| {
-                let da = g.bmm(&p[1].transpose_last());
-                let db = p[0].transpose_last().bmm(g);
-                vec![da, db]
+            Some(Box::new(|g, p, _, scr| {
+                let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                let n = p[1].shape()[2];
+                let mut da = scr.take_zeroed(bb * m * k);
+                let mut db = scr.take_zeroed(bb * k * n);
+                for bi in 0..bb {
+                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                    let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
+                    let bvs = &p[1].data()[bi * k * n..(bi + 1) * k * n];
+                    gemm_nt(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
+                    gemm_tn(avs, gs, &mut db[bi * k * n..(bi + 1) * k * n], k, m, n);
+                }
+                vec![
+                    Tensor::from_vec(da, p[0].shape()),
+                    Tensor::from_vec(db, p[1].shape()),
+                ]
+            })),
+            None,
+        )
+    }
+
+    /// Batched product with the right operand read transposed in place:
+    /// `a [b,m,k] x bt [b,n,k] -> [b,m,n]` without materializing `btᵀ`.
+    ///
+    /// Byte-identical to `bmm(a, transpose_last(bt))`; used for attention
+    /// scores `q · kᵀ` so no transposed copy of `k` is ever built.
+    pub fn bmm_nt(&self, a: Var, bt: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.id].value, &nodes[bt.id].value);
+            assert_eq!(av.ndim(), 3, "bmm_nt lhs must be 3-D");
+            assert_eq!(bv.ndim(), 3, "bmm_nt rhs must be 3-D");
+            let (bb, m, k) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+            let (bb2, n, k2) = (bv.shape()[0], bv.shape()[1], bv.shape()[2]);
+            assert_eq!(bb, bb2, "bmm_nt batch mismatch");
+            assert_eq!(k, k2, "bmm_nt inner dim mismatch");
+            let mut out = vec![0.0f32; bb * m * n];
+            for bi in 0..bb {
+                gemm_nt(
+                    &av.data()[bi * m * k..(bi + 1) * m * k],
+                    &bv.data()[bi * n * k..(bi + 1) * n * k],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            Tensor::from_vec(out, &[bb, m, n])
+        };
+        self.push(
+            v,
+            vec![a.id, bt.id],
+            Some(Box::new(|g, p, _, scr| {
+                let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                let n = p[1].shape()[1];
+                let mut da = scr.take_zeroed(bb * m * k);
+                let mut dbt = scr.take_zeroed(bb * n * k);
+                for bi in 0..bb {
+                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                    let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
+                    let bvs = &p[1].data()[bi * n * k..(bi + 1) * n * k];
+                    gemm(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
+                    gemm_tn(gs, avs, &mut dbt[bi * n * k..(bi + 1) * n * k], n, m, k);
+                }
+                vec![
+                    Tensor::from_vec(da, p[0].shape()),
+                    Tensor::from_vec(dbt, p[1].shape()),
+                ]
             })),
             None,
         )
@@ -410,7 +597,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, _| vec![g.transpose_last()])),
+            Some(Box::new(|g, _, _, _scr| vec![g.transpose_last()])),
             None,
         )
     }
@@ -421,7 +608,9 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| vec![g.reshape(p[0].shape())])),
+            Some(Box::new(|g, p, _, scr| {
+                vec![Tensor::from_vec(scr.take_copied(g.data()), p[0].shape())]
+            })),
             None,
         )
     }
@@ -433,7 +622,7 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, _, _| vec![permute_0213_tensor(g)])),
+            Some(Box::new(|g, _, _, _scr| vec![permute_0213_tensor(g)])),
             None,
         )
     }
@@ -461,15 +650,18 @@ impl Graph {
         self.push(
             v,
             vec![x.id, bias.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, scr| {
                 let d = *p[1].shape().last().expect("bias shape");
-                let mut db = vec![0.0f32; d];
+                let mut db = scr.take_zeroed(d);
                 for row in g.data().chunks(d) {
                     for (acc, &gi) in db.iter_mut().zip(row) {
                         *acc += gi;
                     }
                 }
-                vec![g.clone(), Tensor::from_vec(db, &[d])]
+                vec![
+                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                    Tensor::from_vec(db, &[d]),
+                ]
             })),
             None,
         )
@@ -484,7 +676,7 @@ impl Graph {
         self.push(
             v,
             vec![x.id, a.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, _scr| {
                 let dx = rows_broadcast(g, p[1], |gi, ai| gi * ai);
                 let da = rows_broadcast_reduce(g, p[0], |gi, xi| gi * xi);
                 vec![dx, da]
@@ -502,9 +694,9 @@ impl Graph {
         self.push(
             v,
             vec![x.id, a.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, scr| {
                 let da = rows_broadcast_reduce(g, p[0], |gi, _| gi);
-                vec![g.clone(), da]
+                vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape()), da]
             })),
             None,
         )
@@ -564,7 +756,7 @@ impl Graph {
         self.push(
             value,
             items.iter().map(|v| v.id).collect(),
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, scr| {
                 let gshape = g.shape();
                 let outer: usize = gshape[..axis_c].iter().product();
                 let inner: usize = gshape[axis_c + 1..].iter().product();
@@ -572,7 +764,7 @@ impl Graph {
                 let mut grads = Vec::with_capacity(sizes.len());
                 let mut offset = 0usize;
                 for (i, &sz) in sizes.iter().enumerate() {
-                    let mut data = vec![0.0f32; outer * sz * inner];
+                    let mut data = scr.take_zeroed(outer * sz * inner);
                     for o in 0..outer {
                         let src_start = (o * axis_total + offset) * inner;
                         let dst_start = o * sz * inner;
@@ -617,12 +809,12 @@ impl Graph {
         self.push(
             value,
             vec![x.id],
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, scr| {
                 let shape = p[0].shape();
                 let outer: usize = shape[..axis].iter().product();
                 let inner: usize = shape[axis + 1..].iter().product();
                 let ax = shape[axis];
-                let mut data = vec![0.0f32; p[0].numel()];
+                let mut data = scr.take_zeroed(p[0].numel());
                 for o in 0..outer {
                     let dst_start = (o * ax + start) * inner;
                     let src_start = o * len * inner;
@@ -657,17 +849,17 @@ impl Graph {
         self.push(
             value,
             vec![weight.id],
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, scr| {
                 let d = p[0].shape()[1];
-                let mut dw = Tensor::zeros(p[0].shape());
+                let mut dw = scr.take_zeroed(p[0].numel());
                 for (row, &i) in idx.iter().enumerate() {
                     let grow = &g.data()[row * d..(row + 1) * d];
-                    let dwrow = &mut dw.data_mut()[i * d..(i + 1) * d];
+                    let dwrow = &mut dw[i * d..(i + 1) * d];
                     for (a, &b) in dwrow.iter_mut().zip(grow) {
                         *a += b;
                     }
                 }
-                vec![dw]
+                vec![Tensor::from_vec(dw, p[0].shape())]
             })),
             None,
         )
@@ -683,8 +875,10 @@ impl Graph {
         self.push(
             v,
             vec![a.id],
-            Some(Box::new(|g, p, _| {
-                vec![Tensor::full(p[0].shape(), g.data()[0])]
+            Some(Box::new(|g, p, _, scr| {
+                let mut d = scr.take_zeroed(p[0].numel());
+                d.fill(g.data()[0]);
+                vec![Tensor::from_vec(d, p[0].shape())]
             })),
             None,
         )
@@ -723,10 +917,10 @@ impl Graph {
         self.push(
             value,
             vec![x.id],
-            Some(Box::new(|g, p, _| {
+            Some(Box::new(|g, p, _, scr| {
                 let (b, t, d) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
                 let inv = 1.0 / t as f32;
-                let mut data = vec![0.0f32; b * t * d];
+                let mut data = scr.take_zeroed(b * t * d);
                 for bi in 0..b {
                     let grow = &g.data()[bi * d..(bi + 1) * d];
                     for ti in 0..t {
@@ -748,9 +942,9 @@ impl Graph {
         self.push(
             value,
             vec![a.id],
-            Some(Box::new(|g, _, y| {
+            Some(Box::new(|g, _, y, scr| {
                 let d = *y.shape().last().expect("softmax 0-d");
-                let mut out = vec![0.0f32; y.numel()];
+                let mut out = scr.take_zeroed(y.numel());
                 for ((orow, grow), yrow) in out
                     .chunks_mut(d)
                     .zip(g.data().chunks(d))
@@ -786,9 +980,9 @@ impl Graph {
         self.push(
             value,
             vec![a.id],
-            Some(Box::new(|g, _, y| {
+            Some(Box::new(|g, _, y, scr| {
                 let d = *y.shape().last().expect("log_softmax 0-d");
-                let mut out = vec![0.0f32; y.numel()];
+                let mut out = scr.take_zeroed(y.numel());
                 for ((orow, grow), yrow) in out
                     .chunks_mut(d)
                     .zip(g.data().chunks(d))
@@ -831,14 +1025,17 @@ impl Graph {
         self.push(
             value,
             vec![x.id, gain.id, bias.id],
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, scr| {
                 let xv = p[0];
                 let gv = p[1];
                 let d = *xv.shape().last().expect("layer_norm 0-d");
                 let df = d as f32;
-                let mut dx = vec![0.0f32; xv.numel()];
-                let mut dgain = vec![0.0f32; d];
-                let mut dbias = vec![0.0f32; d];
+                let mut dx = scr.take_zeroed(xv.numel());
+                let mut dgain = scr.take_zeroed(d);
+                let mut dbias = scr.take_zeroed(d);
+                // Per-row work buffers, reused across rows (fully overwritten).
+                let mut xhat = scr.take_zeroed(d);
+                let mut dxhat = scr.take_zeroed(d);
                 for (rowi, (xrow, grow)) in xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
                 {
                     let mu = xrow.iter().sum::<f32>() / df;
@@ -847,8 +1044,6 @@ impl Graph {
                     // xhat_j = (x_j - mu) * inv; dy_j flows through gain.
                     let mut sum_dxhat = 0.0f32;
                     let mut sum_dxhat_xhat = 0.0f32;
-                    let mut xhat = vec![0.0f32; d];
-                    let mut dxhat = vec![0.0f32; d];
                     for j in 0..d {
                         xhat[j] = (xrow[j] - mu) * inv;
                         dxhat[j] = grow[j] * gv.data()[j];
@@ -862,6 +1057,8 @@ impl Graph {
                         dst[j] = inv / df * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
                     }
                 }
+                scr.recycle(xhat);
+                scr.recycle(dxhat);
                 vec![
                     Tensor::from_vec(dx, xv.shape()),
                     Tensor::from_vec(dgain, &[d]),
@@ -892,9 +1089,9 @@ impl Graph {
         self.push(
             value,
             vec![x.id],
-            Some(Box::new(|g, p, y| {
+            Some(Box::new(|g, p, y, scr| {
                 let d = p[0].shape()[1];
-                let mut out = vec![0.0f32; p[0].numel()];
+                let mut out = scr.take_zeroed(p[0].numel());
                 for ((orow, grow), (xrow, yrow)) in out
                     .chunks_mut(d)
                     .zip(g.data().chunks(d))
@@ -941,7 +1138,7 @@ impl Graph {
         self.push(
             value,
             vec![logits.id],
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, _scr| {
                 let (b, k) = (p[0].shape()[0], p[0].shape()[1]);
                 let gs = g.data()[0] / b as f32;
                 let mut dl = softmax_last_tensor(p[0]);
@@ -993,13 +1190,17 @@ impl Graph {
         self.push(
             value,
             vec![logits.id],
-            Some(Box::new(move |g, p, _| {
+            Some(Box::new(move |g, p, _, scr| {
                 let (b, m) = (p[0].shape()[0], p[0].shape()[1]);
                 let gs = g.data()[0] / b as f32;
-                let mut out = vec![0.0f32; b * m];
+                let mut out = scr.take_zeroed(b * m);
+                // Per-row exp buffer, reused across rows (fully overwritten).
+                let mut exps = scr.take_zeroed(m);
                 for ((orow, row), ps) in out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos) {
                     let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let exps: Vec<f32> = row.iter().map(|x| (x - mx).exp()).collect();
+                    for (e, &x) in exps.iter_mut().zip(row) {
+                        *e = (x - mx).exp();
+                    }
                     let denom: f32 = exps.iter().sum();
                     let numer: f32 = ps.iter().map(|&j| exps[j]).sum();
                     for j in 0..m {
@@ -1012,6 +1213,7 @@ impl Graph {
                         orow[j] = gs * (soft - pos_soft);
                     }
                 }
+                scr.recycle(exps);
                 vec![Tensor::from_vec(out, p[0].shape())]
             })),
             None,
@@ -1052,7 +1254,7 @@ impl Graph {
         self.push(
             value,
             vec![x.id],
-            Some(Box::new(move |g, _, _| {
+            Some(Box::new(move |g, _, _, _scr| {
                 let data: Vec<f32> = g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
                 vec![Tensor::from_vec(data, g.shape())]
             })),
@@ -1154,12 +1356,6 @@ fn rows_broadcast_reduce(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) ->
         }
     }
     Tensor::from_vec(out, &[b, c])
-}
-
-// Keep matmul_into import alive for potential fused ops.
-#[allow(dead_code)]
-fn _reserve(a: &[f32], b: &[f32], out: &mut [f32]) {
-    matmul_into(a, b, out, 1, a.len(), b.len() / a.len().max(1));
 }
 
 #[cfg(test)]

@@ -86,8 +86,7 @@ impl MultiHeadAttention {
         let k = self.split_heads(g, k, b, t);
         let v = self.split_heads(g, v, b, t);
 
-        let kt = g.transpose_last(k);
-        let scores = g.bmm(q, kt); // [b*h, t, t]
+        let scores = g.bmm_nt(q, k); // [b*h, t, t], reads k transposed in place
         let scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
         let attn = g.softmax_last(scores);
         let ctx = g.bmm(attn, v); // [b*h, t, dh]

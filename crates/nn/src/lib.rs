@@ -38,6 +38,7 @@
 
 pub mod checkpoint;
 mod conv;
+pub mod gemm;
 mod graph;
 pub mod init;
 pub mod layers;

@@ -1,17 +1,108 @@
 //! Property-based tests of the autograd engine: algebraic identities that
 //! must hold for arbitrary inputs (linearity of gradients, softmax
-//! invariances, transpose involution, reduction consistency).
+//! invariances, transpose involution, reduction consistency), plus bit-exact
+//! equivalence of the tiled GEMM kernels and the im2col conv lowering
+//! against naive reference loops.
 
 #![cfg(test)]
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::gemm::{gemm, gemm_nt, gemm_ref, gemm_tn};
 use crate::graph::Graph;
 use crate::params::Params;
 use crate::tensor::Tensor;
 
 fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-3.0f32..3.0, len..=len)
+}
+
+fn seeded(seed: u64, len: usize) -> Vec<f32> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The pre-kernel-layer conv1d forward, kept as the oracle: 5-deep nested
+/// loop, bias-seeded accumulator, padded taps skipped.
+#[allow(clippy::too_many_arguments)]
+fn naive_conv1d(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    b: usize,
+    c_in: usize,
+    l: usize,
+    c_out: usize,
+    k: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let l_out = l + 2 * pad - k + 1;
+    let mut out = vec![0.0f32; b * c_out * l_out];
+    for bi in 0..b {
+        for co in 0..c_out {
+            for lo in 0..l_out {
+                let mut acc = bias[co];
+                for ci in 0..c_in {
+                    for kk in 0..k {
+                        let xi = lo + kk;
+                        if xi < pad || xi - pad >= l {
+                            continue;
+                        }
+                        acc += x[(bi * c_in + ci) * l + (xi - pad)] * w[(co * c_in + ci) * k + kk];
+                    }
+                }
+                out[(bi * c_out + co) * l_out + lo] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-kernel-layer conv1d backward, as nested loops over an arbitrary
+/// upstream gradient `gv`.
+#[allow(clippy::too_many_arguments)]
+fn naive_conv1d_backward(
+    gv: &[f32],
+    x: &[f32],
+    w: &[f32],
+    b: usize,
+    c_in: usize,
+    l: usize,
+    c_out: usize,
+    k: usize,
+    pad: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let l_out = l + 2 * pad - k + 1;
+    let mut dx = vec![0.0f32; b * c_in * l];
+    let mut dw = vec![0.0f32; c_out * c_in * k];
+    let mut db = vec![0.0f32; c_out];
+    for bi in 0..b {
+        for (co, db_co) in db.iter_mut().enumerate() {
+            for lo in 0..l_out {
+                let gi = gv[(bi * c_out + co) * l_out + lo];
+                *db_co += gi;
+                for ci in 0..c_in {
+                    for kk in 0..k {
+                        let xi = lo + kk;
+                        if xi < pad || xi - pad >= l {
+                            continue;
+                        }
+                        let x_idx = (bi * c_in + ci) * l + (xi - pad);
+                        let w_idx = (co * c_in + ci) * k + kk;
+                        dx[x_idx] += gi * w[w_idx];
+                        dw[w_idx] += gi * x[x_idx];
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, db)
 }
 
 proptest! {
@@ -163,5 +254,145 @@ proptest! {
         let back_b = g.value(g.slice(c, 1, 2, 3));
         prop_assert_eq!(back_a, ta);
         prop_assert_eq!(back_b, tb);
+    }
+}
+
+// Kernel-layer equivalence: the tiled GEMM variants and the im2col conv
+// lowering must be *bit-exact* against the naive reference loops, at every
+// shape — including k=1, n=1, and sizes that are not tile multiples. The
+// ranges below straddle the MR / NR tile boundaries (8 and 16), so every
+// full-tile and padded-edge code path is exercised.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiled_gemm_bit_exact_vs_reference(
+        m in 1usize..=13,
+        k in 1usize..=11,
+        n in 1usize..=19,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 1, k * n);
+        // Seed the output with random values: the kernels accumulate on top
+        // of existing contents, so that path must be exact too.
+        let init = seeded(seed ^ 2, m * n);
+        let mut got = init.clone();
+        let mut want = init;
+        gemm(&a, &b, &mut got, m, k, n);
+        gemm_ref(&a, &b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn gemm_nt_bit_exact_vs_materialized_transpose(
+        m in 1usize..=13,
+        k in 1usize..=11,
+        n in 1usize..=19,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = seeded(seed, m * k);
+        let bt = seeded(seed ^ 1, n * k); // [n, k], read as Bᵀ
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let init = seeded(seed ^ 2, m * n);
+        let mut got = init.clone();
+        let mut want = init;
+        gemm_nt(&a, &bt, &mut got, m, k, n);
+        gemm_ref(&a, &b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn gemm_tn_bit_exact_vs_materialized_transpose(
+        m in 1usize..=13,
+        k in 1usize..=11,
+        n in 1usize..=19,
+        seed in 0u64..u64::MAX,
+    ) {
+        let at = seeded(seed, k * m); // [k, m], read as Aᵀ
+        let b = seeded(seed ^ 1, k * n);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let init = seeded(seed ^ 2, m * n);
+        let mut got = init.clone();
+        let mut want = init;
+        gemm_tn(&at, &b, &mut got, m, k, n);
+        gemm_ref(&a, &b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn im2col_conv1d_bit_exact_vs_naive_loop(
+        b in 1usize..=3,
+        c_in in 1usize..=3,
+        c_out in 1usize..=3,
+        l in 1usize..=8,
+        k in 1usize..=4,
+        pad in 0usize..=2,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(l + 2 * pad >= k);
+        let x = seeded(seed, b * c_in * l);
+        let w = seeded(seed ^ 1, c_out * c_in * k);
+        let bias = seeded(seed ^ 2, c_out);
+        let g = Graph::new();
+        let xv = g.constant(Tensor::from_vec(x.clone(), &[b, c_in, l]));
+        let wv = g.constant(Tensor::from_vec(w.clone(), &[c_out, c_in, k]));
+        let bv = g.constant(Tensor::from_vec(bias.clone(), &[c_out]));
+        let y = g.value(g.conv1d(xv, wv, bv, pad));
+        let want = naive_conv1d(&x, &w, &bias, b, c_in, l, c_out, k, pad);
+        prop_assert_eq!(bits(y.data()), bits(&want));
+    }
+
+    #[test]
+    fn conv1d_backward_matches_naive_loops(
+        b in 1usize..=2,
+        c_in in 1usize..=3,
+        c_out in 1usize..=3,
+        l in 2usize..=6,
+        k in 1usize..=3,
+        pad in 0usize..=1,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(l + 2 * pad >= k);
+        let l_out = l + 2 * pad - k + 1;
+        let x = seeded(seed, b * c_in * l);
+        let w = seeded(seed ^ 1, c_out * c_in * k);
+        let bias = seeded(seed ^ 2, c_out);
+        // Arbitrary upstream gradient, injected by weighting the conv output
+        // with a constant mask before summing.
+        let mask = seeded(seed ^ 3, b * c_out * l_out);
+
+        let mut params = Params::new();
+        let xid = params.insert("x", Tensor::from_vec(x.clone(), &[b, c_in, l]), true);
+        let wid = params.insert("w", Tensor::from_vec(w.clone(), &[c_out, c_in, k]), true);
+        let bid = params.insert("b", Tensor::from_vec(bias, &[c_out]), true);
+        let g = Graph::new();
+        let xv = g.param(&params, xid);
+        let wv = g.param(&params, wid);
+        let bv = g.param(&params, bid);
+        let y = g.conv1d(xv, wv, bv, pad);
+        let mv = g.constant(Tensor::from_vec(mask.clone(), &[b, c_out, l_out]));
+        let s = g.sum_all(g.mul(y, mv));
+        g.backward(s, &mut params);
+
+        let (dx, dw, db) = naive_conv1d_backward(&mask, &x, &w, b, c_in, l, c_out, k, pad);
+        // dw and db keep the naive loop's exact accumulation order.
+        prop_assert_eq!(bits(params.grad(wid).data()), bits(&dw));
+        prop_assert_eq!(bits(params.grad(bid).data()), bits(&db));
+        // dx is regrouped by the col2im scatter (sum order differs), so it is
+        // compared within floating-point tolerance.
+        for (got, want) in params.grad(xid).data().iter().zip(&dx) {
+            prop_assert!((got - want).abs() <= 1e-4 * (1.0 + want.abs()), "{got} vs {want}");
+        }
     }
 }

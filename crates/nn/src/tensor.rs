@@ -307,7 +307,7 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = vec![0.0f32; m * n];
-        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        crate::gemm::dispatch(&self.data, &other.data, &mut out, m, k, n);
         Self {
             shape: vec![m, n],
             data: out,
@@ -334,7 +334,7 @@ impl Tensor {
         assert_eq!(k, k2, "bmm inner dim mismatch");
         let mut out = vec![0.0f32; b * m * n];
         for i in 0..b {
-            matmul_into(
+            crate::gemm::dispatch(
                 &self.data[i * m * k..(i + 1) * m * k],
                 &other.data[i * k * n..(i + 1) * k * n],
                 &mut out[i * m * n..(i + 1) * m * n],
@@ -419,26 +419,6 @@ impl Tensor {
             0.0
         } else {
             dot / (na * nb)
-        }
-    }
-}
-
-/// `out += a [m,k] x b [k,n]` written as a cache-friendly ikj loop.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
         }
     }
 }
