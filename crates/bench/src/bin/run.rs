@@ -147,6 +147,14 @@ fn main() {
             summary.counter("traffic.up_bytes"),
             summary.counter("traffic.down_bytes"),
         );
+        // Per-message-kind breakdown of the encoded-frame traffic.
+        for (name, bytes) in summary.counters_with_prefix("wire.") {
+            let kind = name
+                .strip_prefix("wire.")
+                .and_then(|n| n.strip_suffix("_bytes"))
+                .unwrap_or(name);
+            println!("  {kind:<24} {bytes} bytes");
+        }
     }
     if let Some(path) = args.json {
         #[derive(serde::Serialize)]

@@ -129,8 +129,27 @@ fn reffil_trace_records_prompt_and_clustering_activity() {
 
     let summary = &r.result.telemetry;
     assert!(
-        summary.counter("prompt.upload_bytes") > 0,
-        "no prompt uploads recorded"
+        summary.counter("wire.prompt_upload_bytes") > 0,
+        "no prompt upload frames recorded"
+    );
+    assert!(
+        summary.counter("wire.global_prompt_broadcast_bytes") > 0,
+        "no global prompt broadcast frames recorded"
+    );
+    assert!(
+        summary.counter("wire.model_broadcast_bytes") > 0
+            && summary.counter("wire.client_model_update_bytes") > 0,
+        "model frames unaccounted"
+    );
+    // The per-kind wire counters partition the traffic totals exactly.
+    let wire_total: u64 = summary
+        .counters_with_prefix("wire.")
+        .map(|(_, bytes)| bytes)
+        .sum();
+    assert_eq!(
+        wire_total,
+        r.result.traffic.total_bytes(),
+        "per-kind wire counters do not sum to total traffic"
     );
     assert!(
         summary.spans.keys().any(|k| k == "prompt_ingest"),

@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -221,8 +223,6 @@ impl RoundContext for FedDualPromptCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -250,6 +250,7 @@ impl FdilStrategy for FedDualPrompt {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FedDualPromptCtx {
             strat: self,

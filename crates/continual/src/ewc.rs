@@ -8,7 +8,9 @@
 //! weights to the previous task's solution.
 
 use refil_data::Sample;
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -75,8 +77,6 @@ impl RoundContext for FedEwcCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -96,6 +96,7 @@ impl FdilStrategy for FedEwc {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FedEwcCtx {
             strat: self,

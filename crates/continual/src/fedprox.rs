@@ -7,7 +7,9 @@
 //! client's update toward the broadcast model. Provided as an additional
 //! library strategy and an upper/lower-bounds comparison point.
 
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -65,8 +67,6 @@ impl RoundContext for FedProxCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -86,6 +86,7 @@ impl FdilStrategy for FedProx {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FedProxCtx {
             strat: self,

@@ -1,7 +1,9 @@
 //! Finetune: the lower-bound baseline that simply keeps training the global
 //! model on whatever data arrives, with no forgetting mitigation.
 
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
@@ -43,8 +45,6 @@ impl RoundContext for FinetuneCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -64,6 +64,7 @@ impl FdilStrategy for Finetune {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FinetuneCtx {
             strat: self,

@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
 
@@ -206,8 +208,6 @@ impl RoundContext for FedL2pCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -231,6 +231,7 @@ impl FdilStrategy for FedL2p {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FedL2pCtx {
             strat: self,

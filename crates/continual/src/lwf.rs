@@ -5,7 +5,9 @@
 //! (temperature-softened) predictions on current data close to the
 //! teacher's, regularizing against forgetting without storing old data.
 
-use refil_fed::{ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting};
+use refil_fed::{
+    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+};
 use refil_nn::losses::distillation_loss;
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{Graph, Params, Tensor};
@@ -78,8 +80,6 @@ impl RoundContext for FedLwfCtx<'_> {
         ClientUpdate {
             flat: core.flat(),
             weight: setting.samples.len() as f32,
-            upload_bytes: 0,
-            download_bytes: 0,
         }
         .into()
     }
@@ -108,6 +108,7 @@ impl FdilStrategy for FedLwf {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(FedLwfCtx {
             strat: self,

@@ -14,7 +14,8 @@ use rand::{Rng, SeedableRng};
 
 use refil_data::Sample;
 use refil_fed::{
-    ClientUpdate, FdilStrategy, MergePayload, RoundContext, SessionOutput, Telemetry, TrainSetting,
+    ClientUpdate, FdilStrategy, RehearsalMemory, RoundContext, SessionOutput, Telemetry,
+    TrainSetting, WireMessage, WireSample,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
@@ -93,12 +94,6 @@ impl<'a, T: 'a, I: Iterator<Item = &'a mut T>> ChooseOne<'a, T> for I {
     }
 }
 
-/// Samples a session asks its owning client to commit to episodic memory.
-struct RememberPayload {
-    samples: Vec<Sample>,
-    seed: u64,
-}
-
 struct RehearsalCtx<'a> {
     strat: &'a RehearsalOracle,
     global: &'a [f32],
@@ -132,12 +127,21 @@ impl RoundContext for RehearsalCtx<'_> {
             update: ClientUpdate {
                 flat: core.flat(),
                 weight: effective.len() as f32,
-                upload_bytes: 0,
-                download_bytes: 0,
             },
-            merge: Some(Box::new(RememberPayload {
-                samples: setting.samples.to_vec(),
+            // The samples a session commits to episodic memory travel as a
+            // RehearsalMemory frame — the privacy violation made explicit on
+            // the wire.
+            merge: Some(WireMessage::RehearsalMemory(RehearsalMemory {
+                client_id: setting.client_id as u64,
                 seed: setting.seed ^ 0xeb,
+                samples: setting
+                    .samples
+                    .iter()
+                    .map(|s| WireSample {
+                        label: s.label as u32,
+                        features: s.features.clone(),
+                    })
+                    .collect(),
             })),
         }
     }
@@ -157,6 +161,7 @@ impl FdilStrategy for RehearsalOracle {
         _task: usize,
         _round: usize,
         global: &'a [f32],
+        _broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
         Box::new(RehearsalCtx {
             strat: self,
@@ -169,14 +174,22 @@ impl FdilStrategy for RehearsalOracle {
         _task: usize,
         _round: usize,
         client_id: usize,
-        payload: MergePayload,
+        message: WireMessage,
     ) {
         // Memorize the new data for future tasks (this is the privacy
         // violation rehearsal-free methods avoid). Applied post-round in
         // client-id order; memories are per-client, so the end state matches
         // the sequential driver's.
-        if let Ok(p) = payload.downcast::<RememberPayload>() {
-            self.remember(client_id, &p.samples, p.seed);
+        if let WireMessage::RehearsalMemory(mem) = message {
+            let samples: Vec<Sample> = mem
+                .samples
+                .into_iter()
+                .map(|s| Sample {
+                    features: s.features,
+                    label: s.label as usize,
+                })
+                .collect();
+            self.remember(client_id, &samples, mem.seed);
         }
     }
 

@@ -45,6 +45,31 @@ impl LocalPromptGroup {
             .map(|(_, v)| 8 + 4 * v.len() as u64)
             .sum()
     }
+
+    /// The wire envelope this group travels in (ids narrowed to the codec's
+    /// fixed-width fields).
+    pub fn to_wire(&self) -> refil_fed::PromptGroup {
+        refil_fed::PromptGroup {
+            client_id: self.client_id as u64,
+            prompts: self
+                .prompts
+                .iter()
+                .map(|(k, v)| (*k as u32, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the group from its decoded wire envelope.
+    pub fn from_wire(g: refil_fed::PromptGroup) -> Self {
+        Self {
+            client_id: g.client_id as usize,
+            prompts: g
+                .prompts
+                .into_iter()
+                .map(|(k, v)| (k as usize, v))
+                .collect(),
+        }
+    }
 }
 
 /// Server-side global prompt state: a bounded per-class history of uploaded

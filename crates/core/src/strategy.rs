@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use refil_continual::{MethodConfig, ModelCore};
 use refil_fed::{
-    ClientGroup, ClientUpdate, FdilStrategy, MergePayload, RoundContext, SessionOutput, Telemetry,
-    TrainSetting,
+    ClientGroup, ClientUpdate, FdilStrategy, GlobalPromptBroadcast, PromptUpload, RoundContext,
+    SessionOutput, Telemetry, TrainSetting, WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
@@ -341,10 +341,10 @@ impl RefFiL {
     }
 }
 
-/// Read-only per-round session context: the server broadcast (candidate
-/// prompts, generalized prompt, store size) snapshotted at round start so
-/// every client session — possibly on different worker threads — trains
-/// against identical inputs.
+/// Read-only per-round session context: the candidate prompts and
+/// generalized prompt parsed from the decoded [`GlobalPromptBroadcast`]
+/// frame at round start, so every client session — possibly on different
+/// worker threads — trains against identical, wire-faithful inputs.
 struct RefFiLRoundCtx<'a> {
     strat: &'a RefFiL,
     global: &'a [f32],
@@ -352,7 +352,6 @@ struct RefFiLRoundCtx<'a> {
     cands: Vec<Vec<f32>>,
     cand_classes: Vec<usize>,
     generalized: Option<Tensor>,
-    store_bytes: u64,
 }
 
 impl RoundContext for RefFiLRoundCtx<'_> {
@@ -412,19 +411,15 @@ impl RoundContext for RefFiLRoundCtx<'_> {
         drop(train_span);
 
         // Upload: updated model + class-wise LPGs (Algorithm 1 line 29). The
-        // LPG itself travels as a merge payload applied in client-id order.
-        let mut upload_bytes = 0u64;
-        let mut download_bytes = 0u64;
-        let mut merge: Option<MergePayload> = None;
+        // LPG travels as a PromptUpload frame applied in client-id order;
+        // the runner accounts its encoded size under
+        // `wire.prompt_upload_bytes`.
+        let mut merge: Option<WireMessage> = None;
         if flags.needs_store() {
             let lpg = {
                 let _span = telemetry.span("compute_lpg");
                 strat.compute_lpg(&core.params, setting)
             };
-            upload_bytes = lpg.byte_len();
-            download_bytes = self.store_bytes;
-            telemetry.counter("prompt.upload_bytes", upload_bytes);
-            telemetry.counter("prompt.download_bytes", download_bytes);
             let uploads: Vec<LocalPromptGroup> = if strat.cfg.weighted_prompt_sharing {
                 // Ablation: resource-rich clients push proportionally more
                 // copies, skewing the global prompt pool toward big clients.
@@ -433,14 +428,15 @@ impl RoundContext for RefFiLRoundCtx<'_> {
             } else {
                 vec![lpg]
             };
-            merge = Some(Box::new(uploads));
+            merge = Some(WireMessage::PromptUpload(PromptUpload {
+                client_id: setting.client_id as u64,
+                groups: uploads.iter().map(LocalPromptGroup::to_wire).collect(),
+            }));
         }
         SessionOutput {
             update: ClientUpdate {
                 flat: core.flat(),
                 weight: setting.samples.len() as f32,
-                upload_bytes,
-                download_bytes,
             },
             merge,
         }
@@ -474,29 +470,62 @@ impl FdilStrategy for RefFiL {
         self.current_task = task;
     }
 
+    fn round_broadcast(&self, task: usize, round: usize) -> Option<WireMessage> {
+        if !self.cfg.flags.needs_store() {
+            return None;
+        }
+        // Server broadcast contents, snapshotted once per round: the store
+        // only mutates in `merge_client`/`on_round_end`, so every session
+        // this round decodes the same candidates and generalized prompt.
+        let (cands, cand_classes) = if self.cfg.flags.use_dpcl {
+            self.store.candidates()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let candidates = cand_classes
+            .into_iter()
+            .zip(cands)
+            .map(|(k, v)| (k as u32, v))
+            .collect();
+        let generalized = if self.cfg.flags.use_gpl {
+            self.store.generalized_prompt()
+        } else {
+            None
+        };
+        Some(WireMessage::GlobalPromptBroadcast(GlobalPromptBroadcast {
+            task: task as u32,
+            round: round as u32,
+            candidates,
+            generalized,
+        }))
+    }
+
     fn round_ctx<'a>(
         &'a self,
         task: usize,
         _round: usize,
         global: &'a [f32],
+        broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a> {
-        let flags = self.cfg.flags;
         let p_len = self.cfg.method.prompt_len;
         let d = self.model.config().token_dim;
-        // Server broadcast contents, snapshotted once: the store only mutates
-        // in `merge_client`/`on_round_end`, so every session this round sees
-        // the same candidates and generalized prompt.
-        let (cands, cand_classes) = if flags.use_dpcl {
-            self.store.candidates()
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        let generalized: Option<Tensor> = if flags.use_gpl {
-            self.store
-                .generalized_prompt()
-                .map(|v| Tensor::from_vec(v, &[p_len, d]))
-        } else {
-            None
+        // Sessions train on exactly what came over the wire: the decoded
+        // GlobalPromptBroadcast, never private server state.
+        let (cands, cand_classes, generalized) = match broadcast {
+            Some(WireMessage::GlobalPromptBroadcast(b)) => {
+                let mut cands = Vec::with_capacity(b.candidates.len());
+                let mut classes = Vec::with_capacity(b.candidates.len());
+                for (k, v) in &b.candidates {
+                    classes.push(*k as usize);
+                    cands.push(v.clone());
+                }
+                let generalized = b
+                    .generalized
+                    .as_ref()
+                    .map(|v| Tensor::from_vec(v.clone(), &[p_len, d]));
+                (cands, classes, generalized)
+            }
+            _ => (Vec::new(), Vec::new(), None),
         };
         Box::new(RefFiLRoundCtx {
             strat: self,
@@ -505,7 +534,6 @@ impl FdilStrategy for RefFiL {
             cands,
             cand_classes,
             generalized,
-            store_bytes: self.store.byte_len(),
         })
     }
 
@@ -514,10 +542,11 @@ impl FdilStrategy for RefFiL {
         _task: usize,
         _round: usize,
         _client_id: usize,
-        payload: MergePayload,
+        message: WireMessage,
     ) {
-        if let Ok(uploads) = payload.downcast::<Vec<LocalPromptGroup>>() {
-            self.pending_uploads.extend(*uploads);
+        if let WireMessage::PromptUpload(upload) = message {
+            self.pending_uploads
+                .extend(upload.groups.into_iter().map(LocalPromptGroup::from_wire));
         }
     }
 

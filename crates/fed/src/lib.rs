@@ -31,13 +31,16 @@ pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
 pub use runner::{
-    evaluate_domain, ClientUpdate, FdilRunner, FdilStrategy, MergePayload, RoundContext, RunResult,
+    evaluate_domain, ClientUpdate, FdilRunner, FdilStrategy, RoundContext, RunResult,
     SessionOutput, TrainSetting,
 };
-#[allow(deprecated)]
-pub use runner::{run_fdil, run_fdil_traced};
 pub use traffic::{TaskTraffic, TrafficStats};
 
-// Re-exported so strategy implementors can name the telemetry types that
-// appear in the `FdilStrategy` trait without a separate dependency.
+// Re-exported so strategy implementors can name the telemetry and wire types
+// that appear in the `FdilStrategy` trait without a separate dependency.
 pub use refil_telemetry::{Telemetry, TelemetrySummary};
+pub use refil_wire::{
+    ClientModelUpdate, GlobalPromptBroadcast, Loopback, MaskedModelUpdate, MessageKind,
+    ModelBroadcast, PromptGroup, PromptUpload, RehearsalMemory, Transport, WireError, WireMessage,
+    WireSample,
+};

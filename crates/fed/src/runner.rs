@@ -17,6 +17,22 @@
 //! order — so the result is byte-for-byte identical at any thread count.
 //! Cross-client state (prompt ingest, rehearsal memory) mutates only through
 //! [`FdilStrategy::merge_client`], applied in client-id order after FedAvg.
+//!
+//! # Wire layer
+//!
+//! Every client↔server exchange travels as a typed [`WireMessage`] encoded
+//! through the `refil-wire` codec and moved over a [`Transport`]: the global
+//! model goes down as a `ModelBroadcast` frame (plus any
+//! [`FdilStrategy::round_broadcast`] message, e.g. RefFiL's
+//! `GlobalPromptBroadcast`), and each client's trained parameters come back
+//! as a `ClientModelUpdate` frame alongside an optional strategy merge
+//! message (`PromptUpload`, `RehearsalMemory`, ...). [`TrafficStats`] counts
+//! the actual framed byte lengths. The driver performs all transport and
+//! codec work in client-id order on its own thread, so the wire layer does
+//! not perturb the concurrency model above; because the codec is bit-exact
+//! for `f32`, a loopback-transported run is byte-identical to the
+//! codec-bypassing direct path ([`FdilRunner::direct`]), which exists
+//! precisely to enforce that equivalence in tests.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -28,6 +44,9 @@ use serde::{Deserialize, Serialize};
 use refil_data::{partition_quantity_shift, FdilDataset, QuantityShift, Sample};
 use refil_nn::Tensor;
 use refil_telemetry::{Telemetry, TelemetrySummary};
+use refil_wire::{
+    ClientModelUpdate as WireClientModelUpdate, Loopback, ModelBroadcast, Transport, WireMessage,
+};
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 use crate::config::RunConfig;
@@ -55,34 +74,28 @@ pub struct TrainSetting<'a> {
     pub seed: u64,
 }
 
-/// A client's answer to one round: updated parameters plus payload size.
+/// A client's answer to one round: updated parameters plus FedAvg weight.
+/// Byte accounting is no longer the session's job — the driver measures the
+/// encoded `ClientModelUpdate` / merge frames it actually moves.
 #[derive(Debug, Clone)]
 pub struct ClientUpdate {
     /// Updated flat parameters.
     pub flat: Vec<f32>,
     /// FedAvg weight (normally the local sample count).
     pub weight: f32,
-    /// Extra client->server payload bytes (e.g. uploaded prompts).
-    pub upload_bytes: u64,
-    /// Extra server->client payload bytes (e.g. broadcast global prompts).
-    pub download_bytes: u64,
 }
-
-/// Opaque cross-client state produced by a session and applied by the
-/// strategy's [`FdilStrategy::merge_client`] hook (e.g. local prompt groups
-/// for RefFiL's server-side ingest, or samples for a rehearsal buffer).
-///
-/// `Send` because payloads travel from worker threads back to the driver.
-pub type MergePayload = Box<dyn std::any::Any + Send>;
 
 /// What one client session hands back to the driver.
 #[derive(Debug)]
 pub struct SessionOutput {
-    /// The FedAvg contribution plus traffic accounting.
+    /// The FedAvg contribution.
     pub update: ClientUpdate,
-    /// Optional cross-client state, delivered to
-    /// [`FdilStrategy::merge_client`] in client-id order after FedAvg.
-    pub merge: Option<MergePayload>,
+    /// Optional cross-client state as a typed wire message (e.g. a
+    /// `PromptUpload` for RefFiL's server-side ingest, or `RehearsalMemory`
+    /// for the rehearsal oracle), delivered to
+    /// [`FdilStrategy::merge_client`] in client-id order after FedAvg. The
+    /// driver encodes, transports, and decodes it like every other exchange.
+    pub merge: Option<WireMessage>,
 }
 
 impl From<ClientUpdate> for SessionOutput {
@@ -133,18 +146,29 @@ pub trait FdilStrategy {
     /// Called once when task `task` begins, before any round.
     fn on_task_start(&mut self, _task: usize, _global: &[f32]) {}
 
+    /// The strategy's extra server→client message for this round, if any
+    /// (e.g. RefFiL's `GlobalPromptBroadcast`). The driver encodes it,
+    /// transports it alongside the `ModelBroadcast`, and hands the decoded
+    /// message back into [`FdilStrategy::round_ctx`].
+    fn round_broadcast(&self, _task: usize, _round: usize) -> Option<WireMessage> {
+        None
+    }
+
     /// Returns the shared read-only context for round `round` of task `task`
-    /// under the given global parameters. Sessions for every selected client
-    /// run against this one context, possibly concurrently.
+    /// under the given global parameters and the decoded
+    /// [`FdilStrategy::round_broadcast`] message (if one was sent). Sessions
+    /// for every selected client run against this one context, possibly
+    /// concurrently.
     fn round_ctx<'a>(
         &'a self,
         task: usize,
         round: usize,
         global: &'a [f32],
+        broadcast: Option<&'a WireMessage>,
     ) -> Box<dyn RoundContext + 'a>;
 
-    /// Applies one client's cross-client state (its
-    /// [`SessionOutput::merge`] payload). The driver calls this after FedAvg,
+    /// Applies one client's cross-client state (its decoded
+    /// [`SessionOutput::merge`] message). The driver calls this after FedAvg,
     /// in ascending client-id order, before
     /// [`FdilStrategy::on_round_end`] — so ingestion is deterministic
     /// regardless of which worker thread finished first.
@@ -153,23 +177,25 @@ pub trait FdilStrategy {
         _task: usize,
         _round: usize,
         _client_id: usize,
-        _payload: MergePayload,
+        _message: WireMessage,
     ) {
     }
 
     /// Convenience for tests and ad-hoc callers: runs one session through
-    /// [`FdilStrategy::round_ctx`] and immediately applies its merge payload,
-    /// returning the update. Equivalent to what the driver does for a single
-    /// client.
+    /// [`FdilStrategy::round_ctx`] (fed its own
+    /// [`FdilStrategy::round_broadcast`]) and immediately applies its merge
+    /// message, returning the update. Equivalent to what the driver does for
+    /// a single client on the direct path.
     fn train_once(&mut self, setting: &TrainSetting<'_>, global: &[f32]) -> ClientUpdate
     where
         Self: Sized,
     {
+        let broadcast = self.round_broadcast(setting.task, setting.round);
         let out = self
-            .round_ctx(setting.task, setting.round, global)
+            .round_ctx(setting.task, setting.round, global, broadcast.as_ref())
             .train_client(setting, &Telemetry::disabled());
-        if let Some(payload) = out.merge {
-            self.merge_client(setting.task, setting.round, setting.client_id, payload);
+        if let Some(message) = out.merge {
+            self.merge_client(setting.task, setting.round, setting.client_id, message);
         }
         out.update
     }
@@ -368,8 +394,7 @@ fn threads_from_env() -> usize {
 }
 
 /// Builder-style entry point for executing the full FDIL protocol of
-/// Algorithm 1 — the single API behind the deprecated
-/// [`run_fdil`] / [`run_fdil_traced`] pair.
+/// Algorithm 1.
 ///
 /// ```no_run
 /// # use refil_fed::{FdilRunner, FdilStrategy, RunConfig, Telemetry};
@@ -385,12 +410,17 @@ fn threads_from_env() -> usize {
 ///
 /// Client sessions within a round execute on `threads` scoped workers; the
 /// result is byte-for-byte identical at any thread count (see the module
-/// docs for why).
+/// docs for why). By default every exchange is encoded through the
+/// `refil-wire` codec and moved over an in-memory [`Loopback`] transport
+/// pair; [`FdilRunner::direct`] bypasses the codec (identical results, same
+/// measured traffic via `WireMessage::encoded_len`), and
+/// [`FdilRunner::run_with_transports`] plugs in custom transports.
 #[derive(Debug, Clone)]
 pub struct FdilRunner {
     cfg: RunConfig,
     telemetry: Telemetry,
     threads: usize,
+    direct: bool,
 }
 
 impl FdilRunner {
@@ -401,6 +431,7 @@ impl FdilRunner {
             cfg,
             telemetry: Telemetry::disabled(),
             threads: threads_from_env(),
+            direct: false,
         }
     }
 
@@ -431,16 +462,33 @@ impl FdilRunner {
         self.threads
     }
 
+    /// Bypasses the wire codec: typed messages move in memory without being
+    /// encoded, while [`TrafficStats`] still reports the identical
+    /// encoded-frame sizes via `WireMessage::encoded_len`. Because the codec
+    /// is bit-exact, results are byte-identical either way — this path exists
+    /// to *prove* that (the wire-vs-direct equivalence tests) and to skip
+    /// codec overhead in tight experiment sweeps.
+    #[must_use]
+    pub fn direct(mut self, direct: bool) -> Self {
+        self.direct = direct;
+        self
+    }
+
     /// Executes the full FDIL protocol for `strategy` on `dataset`.
+    ///
+    /// Unless [`FdilRunner::direct`] was set, every exchange is encoded and
+    /// moved through a fresh in-memory [`Loopback`] pair (downlink + uplink).
     ///
     /// The span hierarchy is `run > task:<t> > round:<r> > client:<c>`, with
     /// sibling `fedavg` and `evaluate_domain` spans; client spans are emitted
     /// from worker threads but reparented under their round. The
     /// `traffic.up_bytes` / `traffic.down_bytes` counters mirror
     /// [`TrafficStats::record_client`] exactly, so their final totals in the
-    /// trace equal the run's [`TrafficStats`]. Neither telemetry nor the
-    /// thread count touches the run's RNG streams: results are identical
-    /// whichever sink (or none) is installed and however many workers run.
+    /// trace equal the run's [`TrafficStats`]; sibling `wire.<kind>_bytes`
+    /// counters break the same bytes down per message kind. Neither
+    /// telemetry, the thread count, nor the codec path touches the run's RNG
+    /// streams: results are identical whichever sink (or none) is installed,
+    /// however many workers run, and whether frames are encoded or not.
     ///
     /// # Panics
     ///
@@ -449,6 +497,40 @@ impl FdilRunner {
     /// [`crate::ConfigError`]), if the dataset has no domains, or if a
     /// domain has no test data.
     pub fn run(&self, dataset: &FdilDataset, strategy: &mut dyn FdilStrategy) -> RunResult {
+        if self.direct {
+            self.run_inner(dataset, strategy, None)
+        } else {
+            let downlink = Loopback::new();
+            let uplink = Loopback::new();
+            self.run_inner(dataset, strategy, Some((&downlink, &uplink)))
+        }
+    }
+
+    /// Like [`FdilRunner::run`], but moves every frame over caller-supplied
+    /// transports (`downlink` server→client, `uplink` client→server) instead
+    /// of a private loopback pair — the hook for delayed, lossy, faulty, or
+    /// compressed transports.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FdilRunner::run`], and additionally if a transport
+    /// errors, drops a frame, or delivers one that fails to decode.
+    pub fn run_with_transports(
+        &self,
+        dataset: &FdilDataset,
+        strategy: &mut dyn FdilStrategy,
+        downlink: &dyn Transport,
+        uplink: &dyn Transport,
+    ) -> RunResult {
+        self.run_inner(dataset, strategy, Some((downlink, uplink)))
+    }
+
+    fn run_inner(
+        &self,
+        dataset: &FdilDataset,
+        strategy: &mut dyn FdilStrategy,
+        wire: Option<(&dyn Transport, &dyn Transport)>,
+    ) -> RunResult {
         let cfg = &self.cfg;
         let telemetry = &self.telemetry;
         if let Err(err) = cfg.validate() {
@@ -471,7 +553,8 @@ impl FdilRunner {
         ));
 
         let mut global = strategy.init_global();
-        let model_bytes = (global.len() * 4) as u64;
+        let downlink = wire.map(|(down, _)| down);
+        let uplink = wire.map(|(_, up)| up);
         let mut holdings: Vec<Holdings> = Vec::new();
         let mut traffic = TrafficStats::default();
         let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
@@ -540,13 +623,39 @@ impl FdilRunner {
                     });
                 }
 
+                // Server → clients: the round's global model (plus any
+                // strategy broadcast) travels as encoded frames through the
+                // downlink, and sessions train on the *decoded* copy. The
+                // direct path moves the same typed messages unencoded while
+                // accounting the identical frame sizes.
+                let model_msg = WireMessage::ModelBroadcast(ModelBroadcast {
+                    task: task as u32,
+                    round: round as u32,
+                    model: global.clone(),
+                });
+                let (model_out, model_bytes) = roundtrip(downlink, model_msg);
+                let WireMessage::ModelBroadcast(model_out) = model_out else {
+                    panic!("downlink delivered a non-ModelBroadcast frame");
+                };
+                let round_model = model_out.model;
+                let extra_msg = strategy.round_broadcast(task, round);
+                let extra_kind = extra_msg.as_ref().map(WireMessage::kind);
+                let (broadcast, extra_bytes) = match extra_msg {
+                    Some(msg) => {
+                        let (decoded, bytes) = roundtrip(downlink, msg);
+                        (Some(decoded), bytes)
+                    }
+                    None => (None, 0),
+                };
+                let down_bytes = model_bytes + extra_bytes;
+
                 // Dispatch sessions against the shared read-only context;
                 // outputs are indexed by session slot so completion order is
                 // irrelevant. `select_clients` returns ids ascending, so slot
                 // order == client-id order.
                 let round_path = telemetry.current_path();
                 let outputs: Vec<Option<SessionOutput>> = {
-                    let ctx = strategy.round_ctx(task, round, &global);
+                    let ctx = strategy.round_ctx(task, round, &round_model, broadcast.as_ref());
                     let workers = self.threads.min(sessions.len());
                     if workers <= 1 {
                         sessions
@@ -575,31 +684,44 @@ impl FdilRunner {
                     }
                 };
 
-                // Consume outputs in session (= client-id) order so FedAvg
-                // inputs, traffic accounting, and merges are deterministic.
+                // Clients → server: each update (and optional merge message)
+                // is encoded, sent up the uplink, decoded, and consumed in
+                // session (= client-id) order, so FedAvg inputs, traffic
+                // accounting, and merges are deterministic.
                 let mut updates = Vec::with_capacity(sessions.len());
-                let mut merges: Vec<(usize, MergePayload)> = Vec::new();
+                let mut merges: Vec<(usize, WireMessage)> = Vec::new();
                 for (session, output) in sessions.iter().zip(outputs) {
                     let out = output.expect("planned session never ran");
-                    traffic.record_client(
-                        model_bytes,
-                        out.update.upload_bytes,
-                        out.update.download_bytes,
-                    );
+                    let update_msg = WireMessage::ClientModelUpdate(WireClientModelUpdate {
+                        client_id: session.cid as u64,
+                        weight: out.update.weight,
+                        model: out.update.flat,
+                    });
+                    let (update_out, update_bytes) = roundtrip(uplink, update_msg);
+                    let WireMessage::ClientModelUpdate(update_out) = update_out else {
+                        panic!("uplink delivered a non-ClientModelUpdate frame");
+                    };
+                    let mut up_bytes = update_bytes;
+                    telemetry.counter("wire.client_model_update_bytes", update_bytes);
+                    if let Some(merge_msg) = out.merge {
+                        let (decoded, bytes) = roundtrip(uplink, merge_msg);
+                        up_bytes += bytes;
+                        telemetry.counter(&format!("wire.{}_bytes", decoded.kind().name()), bytes);
+                        merges.push((session.cid, decoded));
+                    }
+                    traffic.record_client(up_bytes, down_bytes);
                     // Mirror record_client exactly so trace totals match traffic.
-                    telemetry.counter("traffic.up_bytes", model_bytes + out.update.upload_bytes);
-                    telemetry.counter(
-                        "traffic.down_bytes",
-                        model_bytes + out.update.download_bytes,
-                    );
+                    telemetry.counter("traffic.up_bytes", up_bytes);
+                    telemetry.counter("traffic.down_bytes", down_bytes);
+                    telemetry.counter("wire.model_broadcast_bytes", model_bytes);
+                    if let Some(kind) = extra_kind {
+                        telemetry.counter(&format!("wire.{}_bytes", kind.name()), extra_bytes);
+                    }
                     telemetry.counter("clients.trained", 1);
                     updates.push(WeightedUpdate {
-                        flat: out.update.flat,
-                        weight: out.update.weight,
+                        flat: update_out.model,
+                        weight: update_out.weight,
                     });
-                    if let Some(payload) = out.merge {
-                        merges.push((session.cid, payload));
-                    }
                 }
                 if !updates.is_empty() {
                     let _fedavg_span = telemetry.span("fedavg");
@@ -607,8 +729,8 @@ impl FdilRunner {
                 }
                 traffic.record_round();
                 telemetry.counter("rounds", 1);
-                for (cid, payload) in merges {
-                    strategy.merge_client(task, round, cid, payload);
+                for (cid, message) in merges {
+                    strategy.merge_client(task, round, cid, message);
                 }
                 strategy.on_round_end(task, round, &global);
             }
@@ -673,44 +795,33 @@ impl FdilRunner {
     }
 }
 
-/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on `dataset`.
+/// Moves one message the way the active path dictates: encoded through the
+/// transport (send → recv → decode) when one is given, or as the typed value
+/// itself on the direct path. Byte accounting is identical either way —
+/// `WireMessage::encoded_len` always equals the encoded frame's length.
 ///
 /// # Panics
 ///
-/// Panics if the config is invalid, the dataset has no domains, or a domain
-/// has no test data.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FdilRunner::new(cfg).run(dataset, strategy)`"
-)]
-pub fn run_fdil(
-    dataset: &FdilDataset,
-    strategy: &mut dyn FdilStrategy,
-    cfg: &RunConfig,
-) -> RunResult {
-    FdilRunner::new(*cfg).run(dataset, strategy)
-}
-
-/// Executes the full FDIL protocol of Algorithm 1 for `strategy` on
-/// `dataset`, recording spans, counters, and histograms into `telemetry`.
-///
-/// # Panics
-///
-/// Panics if the config is invalid, the dataset has no domains, or a domain
-/// has no test data.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FdilRunner::new(cfg).telemetry(&t).run(dataset, strategy)`"
-)]
-pub fn run_fdil_traced(
-    dataset: &FdilDataset,
-    strategy: &mut dyn FdilStrategy,
-    cfg: &RunConfig,
-    telemetry: &Telemetry,
-) -> RunResult {
-    FdilRunner::new(*cfg)
-        .telemetry(telemetry)
-        .run(dataset, strategy)
+/// Panics if the transport errors, delivers no frame, or delivers one that
+/// fails to decode — all fatal protocol violations for the driver.
+fn roundtrip(link: Option<&dyn Transport>, msg: WireMessage) -> (WireMessage, u64) {
+    match link {
+        Some(link) => {
+            let frame = msg.encode();
+            let bytes = frame.len() as u64;
+            link.send(frame).expect("transport send failed");
+            let received = link
+                .recv()
+                .expect("transport recv failed")
+                .expect("transport delivered no frame");
+            let decoded = WireMessage::decode(&received).expect("received frame failed to decode");
+            (decoded, bytes)
+        }
+        None => {
+            let bytes = msg.encoded_len() as u64;
+            (msg, bytes)
+        }
+    }
 }
 
 /// Accuracy (%) of the strategy's global model on one domain's test split.
@@ -747,11 +858,13 @@ mod tests {
     use crate::increment::IncrementConfig;
     use refil_data::{DatasetSpec, DomainSpec};
 
+    use refil_wire::{PromptGroup, PromptUpload};
+
     /// A trivial strategy: nearest-class-mean in input space, "trained" by
     /// moving stored class means toward local data. Parameters = flat class
     /// means, so FedAvg is meaningful. Each session also emits a merge
-    /// payload (its sample count) so the driver's ordered-merge path is
-    /// exercised.
+    /// message (a `PromptUpload` whose single prompt's length encodes the
+    /// sample count) so the driver's ordered-merge path is exercised.
     struct CentroidStrategy {
         classes: usize,
         dim: usize,
@@ -796,10 +909,14 @@ mod tests {
                 update: ClientUpdate {
                     flat,
                     weight: s.samples.len() as f32,
-                    upload_bytes: 0,
-                    download_bytes: 0,
                 },
-                merge: Some(Box::new(s.samples.len())),
+                merge: Some(WireMessage::PromptUpload(PromptUpload {
+                    client_id: s.client_id as u64,
+                    groups: vec![PromptGroup {
+                        client_id: s.client_id as u64,
+                        prompts: vec![(0, vec![0.0; s.samples.len()])],
+                    }],
+                })),
             }
         }
     }
@@ -818,6 +935,7 @@ mod tests {
             _task: usize,
             _round: usize,
             global: &'a [f32],
+            _broadcast: Option<&'a WireMessage>,
         ) -> Box<dyn RoundContext + 'a> {
             Box::new(CentroidCtx {
                 classes: self.classes,
@@ -831,9 +949,12 @@ mod tests {
             _task: usize,
             round: usize,
             client_id: usize,
-            payload: MergePayload,
+            message: WireMessage,
         ) {
-            let samples = *payload.downcast::<usize>().expect("usize payload");
+            let WireMessage::PromptUpload(upload) = message else {
+                panic!("expected a PromptUpload merge message");
+            };
+            let samples = upload.groups[0].prompts[0].1.len();
             self.merged.push((round, client_id, samples));
         }
 
@@ -956,16 +1077,52 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
+    fn wire_and_direct_paths_are_byte_identical() {
         let ds = tiny_dataset();
-        let cfg = tiny_config();
+        let mut s_wire = CentroidStrategy::new(3, 6);
+        let mut s_direct = CentroidStrategy::new(3, 6);
+        let wire = FdilRunner::new(tiny_config()).run(&ds, &mut s_wire);
+        let direct = FdilRunner::new(tiny_config())
+            .direct(true)
+            .run(&ds, &mut s_direct);
+        assert_eq!(wire.final_global, direct.final_global);
+        assert_eq!(wire.domain_acc, direct.domain_acc);
+        assert_eq!(wire.traffic, direct.traffic);
+        assert_eq!(s_wire.merged, s_direct.merged);
+    }
+
+    #[test]
+    fn explicit_loopback_transports_match_run() {
+        let ds = tiny_dataset();
         let mut s1 = CentroidStrategy::new(3, 6);
         let mut s2 = CentroidStrategy::new(3, 6);
-        let a = run_fdil(&ds, &mut s1, &cfg);
-        let b = FdilRunner::new(cfg).run(&ds, &mut s2);
+        let a = FdilRunner::new(tiny_config()).run(&ds, &mut s1);
+        let downlink = refil_wire::Loopback::new();
+        let uplink = refil_wire::Loopback::new();
+        let b =
+            FdilRunner::new(tiny_config()).run_with_transports(&ds, &mut s2, &downlink, &uplink);
         assert_eq!(a.final_global, b.final_global);
-        assert_eq!(a.domain_acc, b.domain_acc);
+        assert_eq!(a.traffic, b.traffic);
+        // Every frame sent was also consumed.
+        assert_eq!(downlink.pending(), 0);
+        assert_eq!(uplink.pending(), 0);
+    }
+
+    #[test]
+    fn traffic_counts_encoded_frame_bytes() {
+        let ds = tiny_dataset();
+        let mut strat = CentroidStrategy::new(3, 6);
+        let res = FdilRunner::new(tiny_config()).run(&ds, &mut strat);
+        // Every participating client moves at least one ModelBroadcast down
+        // and one ClientModelUpdate up, each a full header + 3*6 f32 model.
+        let model_frame = WireMessage::ModelBroadcast(ModelBroadcast {
+            task: 0,
+            round: 0,
+            model: vec![0.0; 18],
+        })
+        .encoded_len() as u64;
+        assert!(res.traffic.down_bytes >= res.traffic.client_updates * model_frame);
+        assert!(res.traffic.up_bytes > res.traffic.client_updates * model_frame);
     }
 
     #[test]

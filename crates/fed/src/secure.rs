@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use refil_nn::gaussian;
+use refil_wire::{Loopback, MaskedModelUpdate, Transport, WireMessage};
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 
@@ -28,6 +29,26 @@ pub struct MaskedUpdate {
     /// Aggregation weight (shared with the server; only the parameters are
     /// hidden).
     pub weight: f32,
+}
+
+impl MaskedUpdate {
+    /// The wire envelope this update travels in.
+    pub fn to_wire(&self) -> MaskedModelUpdate {
+        MaskedModelUpdate {
+            client_id: self.client_id as u64,
+            weight: self.weight,
+            masked: self.masked.clone(),
+        }
+    }
+
+    /// Reconstructs the update from its decoded wire envelope.
+    pub fn from_wire(msg: MaskedModelUpdate) -> Self {
+        Self {
+            client_id: msg.client_id as usize,
+            masked: msg.masked,
+            weight: msg.weight,
+        }
+    }
 }
 
 /// Derives the pairwise mask between clients `a < b` for `len` parameters.
@@ -109,18 +130,35 @@ pub fn masked_fedavg(updates: &[MaskedUpdate]) -> Vec<f32> {
 }
 
 /// End-to-end helper: masks every update against the full participant set,
-/// aggregates, and returns `(aggregate, max_abs_error_vs_plain_fedavg)`.
+/// ships each masked contribution as a `MaskedModelUpdate` frame over an
+/// in-memory uplink, aggregates the decoded frames, and returns
+/// `(aggregate, max_abs_error_vs_plain_fedavg)`.
+///
+/// # Panics
+///
+/// Panics if a frame fails to decode or decodes to a different message kind
+/// (cannot happen over a loopback; a real transport surfacing corruption
+/// would trip it).
 pub fn secure_round(
     updates: &[WeightedUpdate],
     round_seed: u64,
     mask_scale: f32,
 ) -> (Vec<f32>, f32) {
     let participants: Vec<usize> = (0..updates.len()).collect();
-    let masked: Vec<MaskedUpdate> = updates
-        .iter()
-        .enumerate()
-        .map(|(i, u)| mask_update(i, &u.flat, u.weight, &participants, round_seed, mask_scale))
-        .collect();
+    let uplink = Loopback::new();
+    for (i, u) in updates.iter().enumerate() {
+        let masked = mask_update(i, &u.flat, u.weight, &participants, round_seed, mask_scale);
+        uplink
+            .send(WireMessage::MaskedModelUpdate(masked.to_wire()).encode())
+            .expect("loopback send failed");
+    }
+    let mut masked = Vec::with_capacity(updates.len());
+    while let Some(frame) = uplink.recv().expect("loopback recv failed") {
+        match WireMessage::decode(&frame).expect("masked frame failed to decode") {
+            WireMessage::MaskedModelUpdate(m) => masked.push(MaskedUpdate::from_wire(m)),
+            other => panic!("uplink delivered a {:?} frame", other.kind()),
+        }
+    }
     let secure = masked_fedavg(&masked);
     let plain = fedavg(updates);
     let err = secure
@@ -192,6 +230,21 @@ mod tests {
     #[should_panic(expected = "not among participants")]
     fn masking_requires_membership() {
         mask_update(5, &[1.0], 1.0, &[0, 1], 0, 1.0);
+    }
+
+    #[test]
+    fn masked_update_survives_the_wire() {
+        let participants = vec![0, 1];
+        let m = mask_update(1, &[1.5, -2.25], 3.0, &participants, 9, 4.0);
+        let frame = WireMessage::MaskedModelUpdate(m.to_wire()).encode();
+        let WireMessage::MaskedModelUpdate(back) = WireMessage::decode(&frame).unwrap() else {
+            panic!("wrong kind");
+        };
+        let back = MaskedUpdate::from_wire(back);
+        assert_eq!(back.client_id, m.client_id);
+        assert_eq!(back.weight.to_bits(), m.weight.to_bits());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.masked), bits(&m.masked));
     }
 
     #[test]

@@ -47,14 +47,17 @@ impl TrafficStats {
         });
     }
 
-    /// Records one client's participation in a round.
-    pub fn record_client(&mut self, model_bytes: u64, extra_up: u64, extra_down: u64) {
-        self.down_bytes += model_bytes + extra_down;
-        self.up_bytes += model_bytes + extra_up;
+    /// Records one client's participation in a round. Both arguments are
+    /// measured encoded-frame sizes (header + payload): `up_bytes` covers the
+    /// client's `ClientModelUpdate` frame plus any merge frame, `down_bytes`
+    /// the `ModelBroadcast` frame plus any strategy broadcast frame.
+    pub fn record_client(&mut self, up_bytes: u64, down_bytes: u64) {
+        self.down_bytes += down_bytes;
+        self.up_bytes += up_bytes;
         self.client_updates += 1;
         if let Some(t) = self.per_task.last_mut() {
-            t.down_bytes += model_bytes + extra_down;
-            t.up_bytes += model_bytes + extra_up;
+            t.down_bytes += down_bytes;
+            t.up_bytes += up_bytes;
             t.client_updates += 1;
         }
     }
@@ -80,8 +83,8 @@ mod tests {
     #[test]
     fn accounting_adds_up() {
         let mut t = TrafficStats::default();
-        t.record_client(100, 10, 5);
-        t.record_client(100, 0, 0);
+        t.record_client(110, 105);
+        t.record_client(100, 100);
         t.record_round();
         assert_eq!(t.down_bytes, 205);
         assert_eq!(t.up_bytes, 210);
@@ -95,11 +98,11 @@ mod tests {
     fn per_task_slices_sum_to_run_totals() {
         let mut t = TrafficStats::default();
         t.start_task(0);
-        t.record_client(100, 10, 5);
+        t.record_client(110, 105);
         t.record_round();
         t.start_task(1);
-        t.record_client(100, 0, 0);
-        t.record_client(100, 7, 3);
+        t.record_client(100, 100);
+        t.record_client(107, 103);
         t.record_round();
         t.record_round();
 
@@ -122,9 +125,9 @@ mod tests {
     #[test]
     fn records_before_first_task_only_hit_totals() {
         let mut t = TrafficStats::default();
-        t.record_client(10, 0, 0);
+        t.record_client(10, 10);
         t.start_task(0);
-        t.record_client(10, 0, 0);
+        t.record_client(10, 10);
         assert_eq!(t.client_updates, 2);
         assert_eq!(t.per_task[0].client_updates, 1);
     }

@@ -81,6 +81,19 @@ impl TelemetrySummary {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// All counters whose name starts with `prefix`, in name order — e.g.
+    /// `counters_with_prefix("wire.")` yields the per-message-kind byte
+    /// counters the federated runner records.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, total)| (name.as_str(), *total))
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +115,28 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(HistogramSummary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn prefix_query_returns_exactly_the_matching_counters() {
+        let mut summary = TelemetrySummary::default();
+        summary
+            .counters
+            .insert("wire.model_broadcast_bytes".into(), 64);
+        summary
+            .counters
+            .insert("wire.prompt_upload_bytes".into(), 32);
+        summary.counters.insert("traffic.up_bytes".into(), 96);
+        summary.counters.insert("wirex".into(), 1);
+        let wire: Vec<(&str, u64)> = summary.counters_with_prefix("wire.").collect();
+        assert_eq!(
+            wire,
+            vec![
+                ("wire.model_broadcast_bytes", 64),
+                ("wire.prompt_upload_bytes", 32),
+            ]
+        );
+        assert_eq!(summary.counters_with_prefix("absent.").count(), 0);
     }
 
     #[test]

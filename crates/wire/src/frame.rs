@@ -1,0 +1,392 @@
+//! Frame header, checksum, and the bounds-checked little-endian
+//! reader/writer the payload codecs are built on.
+
+use std::fmt;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"RFWL";
+
+/// Current schema version; decoders accept exactly this value.
+pub const SCHEMA_VERSION: u16 = 1;
+
+/// Fixed header size preceding every payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Typed decode/transport failure. Decoding never panics: every malformed
+/// frame maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the bytes the frame declares.
+    Truncated {
+        /// Bytes the frame needs to decode.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic should be.
+        got: [u8; 4],
+    },
+    /// The frame was encoded under a different schema version.
+    VersionMismatch {
+        /// Version found in the header.
+        got: u16,
+        /// Version this decoder understands.
+        expected: u16,
+    },
+    /// The header names a message kind this decoder does not know.
+    UnknownKind(u16),
+    /// The header's payload length disagrees with the buffer length.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The CRC32 over the header prefix and payload does not match.
+    ChecksumMismatch {
+        /// Checksum computed over the received bytes.
+        computed: u32,
+        /// Checksum stored in the header.
+        stored: u32,
+    },
+    /// The payload failed structural validation (overruns, bad tags,
+    /// leftover bytes) even though the checksum passed.
+    Malformed(&'static str),
+    /// The transport can no longer move frames.
+    TransportClosed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            Self::BadMagic { got } => write!(f, "bad magic {got:02x?}, expected {MAGIC:02x?}"),
+            Self::VersionMismatch { got, expected } => {
+                write!(f, "schema version {got}, expected {expected}")
+            }
+            Self::UnknownKind(kind) => write!(f, "unknown message kind {kind}"),
+            Self::LengthMismatch { declared, actual } => {
+                write!(f, "payload length {declared} declared, {actual} present")
+            }
+            Self::ChecksumMismatch { computed, stored } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {computed:08x}, stored {stored:08x}"
+                )
+            }
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+            Self::TransportClosed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Wire identifier of each message type (the header's kind field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum MessageKind {
+    /// Server → client: global model parameters for the round.
+    ModelBroadcast = 1,
+    /// Client → server: locally trained parameters plus FedAvg weight.
+    ClientModelUpdate = 2,
+    /// Client → server: class-wise Local Prompt Groups (RefFiL).
+    PromptUpload = 3,
+    /// Server → client: clustered prompt representatives + generalized prompt.
+    GlobalPromptBroadcast = 4,
+    /// Client → server: secure-aggregation masked parameters.
+    MaskedModelUpdate = 5,
+    /// Client-owned episodic memory in transit (rehearsal oracle).
+    RehearsalMemory = 6,
+}
+
+impl MessageKind {
+    /// Every kind, in wire-id order (for exhaustive tests).
+    pub const ALL: [MessageKind; 6] = [
+        MessageKind::ModelBroadcast,
+        MessageKind::ClientModelUpdate,
+        MessageKind::PromptUpload,
+        MessageKind::GlobalPromptBroadcast,
+        MessageKind::MaskedModelUpdate,
+        MessageKind::RehearsalMemory,
+    ];
+
+    /// Parses the header's kind field.
+    pub fn from_wire(raw: u16) -> Result<Self, WireError> {
+        match raw {
+            1 => Ok(Self::ModelBroadcast),
+            2 => Ok(Self::ClientModelUpdate),
+            3 => Ok(Self::PromptUpload),
+            4 => Ok(Self::GlobalPromptBroadcast),
+            5 => Ok(Self::MaskedModelUpdate),
+            6 => Ok(Self::RehearsalMemory),
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+
+    /// Stable snake_case name, used as the telemetry counter suffix
+    /// (`wire.<name>_bytes`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ModelBroadcast => "model_broadcast",
+            Self::ClientModelUpdate => "client_model_update",
+            Self::PromptUpload => "prompt_upload",
+            Self::GlobalPromptBroadcast => "global_prompt_broadcast",
+            Self::MaskedModelUpdate => "masked_model_update",
+            Self::RehearsalMemory => "rehearsal_memory",
+        }
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// CRC32 of the concatenation `head ++ tail` without materializing it —
+/// the frame checksum covers the header prefix plus the payload.
+pub(crate) fn crc32_two(head: &[u8], tail: &[u8]) -> u32 {
+    crc32_update(crc32_update(0xffff_ffff, head), tail) ^ 0xffff_ffff
+}
+
+/// Seals `buf` (header with placeholder length/checksum plus payload) in
+/// place: patches the payload length and the CRC32 into the header.
+pub(crate) fn seal_frame(buf: &mut [u8]) {
+    debug_assert!(buf.len() >= HEADER_LEN);
+    let payload_len = u32::try_from(buf.len() - HEADER_LEN).expect("payload exceeds u32 framing");
+    buf[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = crc32_two(&buf[..12], &buf[HEADER_LEN..]);
+    buf[12..16].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Validates a frame's header and checksum, returning the kind and payload.
+pub(crate) fn open_frame(buf: &[u8]) -> Result<(MessageKind, &[u8]), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let magic: [u8; 4] = buf[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2-byte slice"));
+    if version != SCHEMA_VERSION {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            expected: SCHEMA_VERSION,
+        });
+    }
+    let kind = MessageKind::from_wire(u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes")))?;
+    let declared = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte slice")) as usize;
+    let actual = buf.len() - HEADER_LEN;
+    if declared != actual {
+        return Err(WireError::LengthMismatch { declared, actual });
+    }
+    let stored = u32::from_le_bytes(buf[12..16].try_into().expect("4-byte slice"));
+    let computed = crc32_two(&buf[..12], &buf[HEADER_LEN..]);
+    if computed != stored {
+        return Err(WireError::ChecksumMismatch { computed, stored });
+    }
+    Ok((kind, &buf[HEADER_LEN..]))
+}
+
+/// Append-only little-endian payload writer.
+pub(crate) struct Writer<'a>(pub &'a mut Vec<u8>);
+
+impl Writer<'_> {
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed `f32` vector: `u32` count followed by raw LE floats.
+    pub fn f32s(&mut self, v: &[f32]) {
+        self.u32(u32::try_from(v.len()).expect("vector exceeds u32 framing"));
+        for &x in v {
+            self.f32(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian payload reader. Every overrun is a typed
+/// [`WireError::Malformed`]; length prefixes are validated against the
+/// remaining bytes before any allocation.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    pub fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    /// Length-prefixed `f32` vector; the count is validated against the
+    /// remaining bytes before allocating.
+    pub fn f32s(&mut self, what: &'static str) -> Result<Vec<f32>, WireError> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n.checked_mul(4).ok_or(WireError::Malformed(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    /// A `u32` element count, validated against a minimum per-element byte
+    /// cost so a corrupt count cannot trigger a huge allocation.
+    pub fn count(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.buf.len() - self.pos {
+            return Err(WireError::Malformed(what));
+        }
+        Ok(n)
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing payload bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_two_concatenates() {
+        assert_eq!(crc32_two(b"1234", b"56789"), crc32(b"123456789"));
+        assert_eq!(crc32_two(b"", b"123456789"), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn kind_round_trips_through_wire_id() {
+        for kind in MessageKind::ALL {
+            assert_eq!(MessageKind::from_wire(kind as u16).unwrap(), kind);
+        }
+        assert_eq!(MessageKind::from_wire(0), Err(WireError::UnknownKind(0)));
+        assert_eq!(MessageKind::from_wire(99), Err(WireError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn open_frame_rejects_short_buffers() {
+        assert_eq!(
+            open_frame(&[0u8; 3]),
+            Err(WireError::Truncated { needed: 16, got: 3 })
+        );
+    }
+
+    #[test]
+    fn reader_rejects_overrun_and_leftovers() {
+        let mut r = Reader::new(&[1, 0, 0, 0]);
+        assert!(r.u64("needs eight").is_err());
+        let mut r = Reader::new(&[1, 0, 0, 0, 9]);
+        assert_eq!(r.u32("ok").unwrap(), 1);
+        assert_eq!(
+            r.finish(),
+            Err(WireError::Malformed("trailing payload bytes"))
+        );
+    }
+
+    #[test]
+    fn reader_vec_guard_blocks_absurd_counts() {
+        // Declares 2^31 floats with only 4 bytes of payload behind it.
+        let mut buf = Vec::new();
+        Writer(&mut buf).u32(0x8000_0000);
+        buf.extend_from_slice(&[0; 4]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.f32s("floats"), Err(WireError::Malformed(_))));
+    }
+}

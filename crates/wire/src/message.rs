@@ -1,0 +1,485 @@
+//! Typed message envelopes and their payload codecs.
+//!
+//! Each struct mirrors one protocol exchange; [`WireMessage`] is the
+//! decoded union. Payload layouts are little-endian and length-prefixed;
+//! see the crate docs for the frame header wrapping every payload.
+
+use crate::frame::{
+    open_frame, seal_frame, MessageKind, Reader, WireError, Writer, HEADER_LEN, MAGIC,
+    SCHEMA_VERSION,
+};
+
+/// Server → client: the global model parameters opening a round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBroadcast {
+    /// Task (0-based) the round belongs to.
+    pub task: u32,
+    /// Round within the task.
+    pub round: u32,
+    /// Flat global parameter vector.
+    pub model: Vec<f32>,
+}
+
+/// Client → server: locally trained parameters plus the FedAvg weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientModelUpdate {
+    /// Reporting client.
+    pub client_id: u64,
+    /// FedAvg weight (normally the local sample count).
+    pub weight: f32,
+    /// Flat updated parameter vector.
+    pub model: Vec<f32>,
+}
+
+/// One client's class-wise prompt means for a round (RefFiL Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptGroup {
+    /// Originating client.
+    pub client_id: u64,
+    /// `(class, flattened p*d prompt)` pairs for locally present classes.
+    pub prompts: Vec<(u32, Vec<f32>)>,
+}
+
+/// Client → server: Local Prompt Groups uploaded alongside the model
+/// (RefFiL Algorithm 1 line 29). Usually one group; the weighted-sharing
+/// ablation uploads several copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptUpload {
+    /// Uploading client.
+    pub client_id: u64,
+    /// The uploaded groups.
+    pub groups: Vec<PromptGroup>,
+}
+
+/// Server → client: the clustered global prompt state broadcast each round
+/// (post-FINCH representatives, RefFiL Eq. 4–5, plus the generalized prompt
+/// of Eq. 8 when available).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalPromptBroadcast {
+    /// Task the broadcast belongs to.
+    pub task: u32,
+    /// Round within the task.
+    pub round: u32,
+    /// `(class, flattened prompt)` DPCL candidate representatives.
+    pub candidates: Vec<(u32, Vec<f32>)>,
+    /// Generalized global prompt `P̄^g`, absent while the store is empty.
+    pub generalized: Option<Vec<f32>>,
+}
+
+/// Client → server: a secure-aggregation masked update (Bonawitz-style
+/// pairwise masking; masks cancel in the server-side sum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedModelUpdate {
+    /// Reporting client (defines mask pairing).
+    pub client_id: u64,
+    /// Aggregation weight (not hidden; only parameters are masked).
+    pub weight: f32,
+    /// Masked, weight-scaled parameters.
+    pub masked: Vec<f32>,
+}
+
+/// One raw sample in transit (rehearsal oracle only — the privacy
+/// violation rehearsal-free methods exist to avoid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSample {
+    /// Class label.
+    pub label: u32,
+    /// Input features.
+    pub features: Vec<f32>,
+}
+
+/// Episodic-memory samples a session commits to its client's buffer,
+/// routed through the server like every other exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RehearsalMemory {
+    /// Owning client.
+    pub client_id: u64,
+    /// Deterministic reservoir seed for the commit.
+    pub seed: u64,
+    /// Samples to remember.
+    pub samples: Vec<WireSample>,
+}
+
+/// A decoded wire message: the typed union of every protocol exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Server → client global model parameters.
+    ModelBroadcast(ModelBroadcast),
+    /// Client → server trained parameters + weight.
+    ClientModelUpdate(ClientModelUpdate),
+    /// Client → server Local Prompt Groups.
+    PromptUpload(PromptUpload),
+    /// Server → client clustered prompt state.
+    GlobalPromptBroadcast(GlobalPromptBroadcast),
+    /// Client → server masked parameters.
+    MaskedModelUpdate(MaskedModelUpdate),
+    /// Episodic memory in transit.
+    RehearsalMemory(RehearsalMemory),
+}
+
+fn f32s_len(v: &[f32]) -> usize {
+    4 + 4 * v.len()
+}
+
+impl WireMessage {
+    /// The message's wire kind.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Self::ModelBroadcast(_) => MessageKind::ModelBroadcast,
+            Self::ClientModelUpdate(_) => MessageKind::ClientModelUpdate,
+            Self::PromptUpload(_) => MessageKind::PromptUpload,
+            Self::GlobalPromptBroadcast(_) => MessageKind::GlobalPromptBroadcast,
+            Self::MaskedModelUpdate(_) => MessageKind::MaskedModelUpdate,
+            Self::RehearsalMemory(_) => MessageKind::RehearsalMemory,
+        }
+    }
+
+    /// Exact encoded frame size in bytes (header + payload), computed
+    /// without encoding. `encode().len() == encoded_len()` always; traffic
+    /// accounting relies on this when the codec is bypassed.
+    pub fn encoded_len(&self) -> usize {
+        let payload = match self {
+            Self::ModelBroadcast(m) => 8 + f32s_len(&m.model),
+            Self::ClientModelUpdate(m) => 12 + f32s_len(&m.model),
+            Self::PromptUpload(m) => {
+                12 + m
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        12 + g
+                            .prompts
+                            .iter()
+                            .map(|(_, v)| 4 + f32s_len(v))
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            }
+            Self::GlobalPromptBroadcast(m) => {
+                13 + m
+                    .candidates
+                    .iter()
+                    .map(|(_, v)| 4 + f32s_len(v))
+                    .sum::<usize>()
+                    + m.generalized.as_deref().map_or(0, f32s_len)
+            }
+            Self::MaskedModelUpdate(m) => 12 + f32s_len(&m.masked),
+            Self::RehearsalMemory(m) => {
+                20 + m
+                    .samples
+                    .iter()
+                    .map(|s| 4 + f32s_len(&s.features))
+                    .sum::<usize>()
+            }
+        };
+        HEADER_LEN + payload
+    }
+
+    /// Encodes the message into one sealed frame (header + payload + CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.kind() as u16).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]); // length + checksum, sealed below
+        let mut w = Writer(&mut buf);
+        match self {
+            Self::ModelBroadcast(m) => {
+                w.u32(m.task);
+                w.u32(m.round);
+                w.f32s(&m.model);
+            }
+            Self::ClientModelUpdate(m) => {
+                w.u64(m.client_id);
+                w.f32(m.weight);
+                w.f32s(&m.model);
+            }
+            Self::PromptUpload(m) => {
+                w.u64(m.client_id);
+                w.u32(u32::try_from(m.groups.len()).expect("group count"));
+                for g in &m.groups {
+                    w.u64(g.client_id);
+                    w.u32(u32::try_from(g.prompts.len()).expect("prompt count"));
+                    for (class, v) in &g.prompts {
+                        w.u32(*class);
+                        w.f32s(v);
+                    }
+                }
+            }
+            Self::GlobalPromptBroadcast(m) => {
+                w.u32(m.task);
+                w.u32(m.round);
+                w.u32(u32::try_from(m.candidates.len()).expect("candidate count"));
+                for (class, v) in &m.candidates {
+                    w.u32(*class);
+                    w.f32s(v);
+                }
+                match &m.generalized {
+                    Some(v) => {
+                        w.u8(1);
+                        w.f32s(v);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Self::MaskedModelUpdate(m) => {
+                w.u64(m.client_id);
+                w.f32(m.weight);
+                w.f32s(&m.masked);
+            }
+            Self::RehearsalMemory(m) => {
+                w.u64(m.client_id);
+                w.u64(m.seed);
+                w.u32(u32::try_from(m.samples.len()).expect("sample count"));
+                for s in &m.samples {
+                    w.u32(s.label);
+                    w.f32s(&s.features);
+                }
+            }
+        }
+        seal_frame(&mut buf);
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        buf
+    }
+
+    /// Decodes one frame, validating magic, version, kind, length, and
+    /// checksum before touching the payload. Never panics on foreign bytes.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let (kind, payload) = open_frame(frame)?;
+        let mut r = Reader::new(payload);
+        let msg = match kind {
+            MessageKind::ModelBroadcast => Self::ModelBroadcast(ModelBroadcast {
+                task: r.u32("task")?,
+                round: r.u32("round")?,
+                model: r.f32s("model")?,
+            }),
+            MessageKind::ClientModelUpdate => Self::ClientModelUpdate(ClientModelUpdate {
+                client_id: r.u64("client_id")?,
+                weight: r.f32("weight")?,
+                model: r.f32s("model")?,
+            }),
+            MessageKind::PromptUpload => {
+                let client_id = r.u64("client_id")?;
+                let n_groups = r.count(12, "group count")?;
+                let mut groups = Vec::with_capacity(n_groups);
+                for _ in 0..n_groups {
+                    let gid = r.u64("group client_id")?;
+                    let n_prompts = r.count(8, "prompt count")?;
+                    let mut prompts = Vec::with_capacity(n_prompts);
+                    for _ in 0..n_prompts {
+                        let class = r.u32("prompt class")?;
+                        prompts.push((class, r.f32s("prompt values")?));
+                    }
+                    groups.push(PromptGroup {
+                        client_id: gid,
+                        prompts,
+                    });
+                }
+                Self::PromptUpload(PromptUpload { client_id, groups })
+            }
+            MessageKind::GlobalPromptBroadcast => {
+                let task = r.u32("task")?;
+                let round = r.u32("round")?;
+                let n_cands = r.count(8, "candidate count")?;
+                let mut candidates = Vec::with_capacity(n_cands);
+                for _ in 0..n_cands {
+                    let class = r.u32("candidate class")?;
+                    candidates.push((class, r.f32s("candidate values")?));
+                }
+                let generalized = match r.u8("generalized tag")? {
+                    0 => None,
+                    1 => Some(r.f32s("generalized prompt")?),
+                    _ => return Err(WireError::Malformed("generalized tag")),
+                };
+                Self::GlobalPromptBroadcast(GlobalPromptBroadcast {
+                    task,
+                    round,
+                    candidates,
+                    generalized,
+                })
+            }
+            MessageKind::MaskedModelUpdate => Self::MaskedModelUpdate(MaskedModelUpdate {
+                client_id: r.u64("client_id")?,
+                weight: r.f32("weight")?,
+                masked: r.f32s("masked")?,
+            }),
+            MessageKind::RehearsalMemory => {
+                let client_id = r.u64("client_id")?;
+                let seed = r.u64("seed")?;
+                let n_samples = r.count(8, "sample count")?;
+                let mut samples = Vec::with_capacity(n_samples);
+                for _ in 0..n_samples {
+                    let label = r.u32("sample label")?;
+                    samples.push(WireSample {
+                        label,
+                        features: r.f32s("sample features")?,
+                    });
+                }
+                Self::RehearsalMemory(RehearsalMemory {
+                    client_id,
+                    seed,
+                    samples,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn exemplars() -> Vec<WireMessage> {
+        vec![
+            WireMessage::ModelBroadcast(ModelBroadcast {
+                task: 1,
+                round: 2,
+                model: vec![0.5, -1.25, f32::MIN_POSITIVE, 3.0e8],
+            }),
+            WireMessage::ClientModelUpdate(ClientModelUpdate {
+                client_id: 7,
+                weight: 42.0,
+                model: vec![1.0],
+            }),
+            WireMessage::PromptUpload(PromptUpload {
+                client_id: 3,
+                groups: vec![
+                    PromptGroup {
+                        client_id: 3,
+                        prompts: vec![(0, vec![0.1, 0.2]), (2, vec![-0.3, 0.4])],
+                    },
+                    PromptGroup {
+                        client_id: 3,
+                        prompts: Vec::new(),
+                    },
+                ],
+            }),
+            WireMessage::GlobalPromptBroadcast(GlobalPromptBroadcast {
+                task: 0,
+                round: 0,
+                candidates: Vec::new(),
+                generalized: None,
+            }),
+            WireMessage::GlobalPromptBroadcast(GlobalPromptBroadcast {
+                task: 4,
+                round: 9,
+                candidates: vec![(1, vec![1.5; 4])],
+                generalized: Some(vec![0.25; 4]),
+            }),
+            WireMessage::MaskedModelUpdate(MaskedModelUpdate {
+                client_id: u64::MAX,
+                weight: 0.5,
+                masked: vec![9.75, -2.0],
+            }),
+            WireMessage::RehearsalMemory(RehearsalMemory {
+                client_id: 11,
+                seed: 0xdead_beef,
+                samples: vec![
+                    WireSample {
+                        label: 2,
+                        features: vec![0.0, 1.0, 2.0],
+                    },
+                    WireSample {
+                        label: 0,
+                        features: Vec::new(),
+                    },
+                ],
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_exemplar_round_trips_bit_exactly() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            assert_eq!(frame.len(), msg.encoded_len(), "{:?}", msg.kind());
+            let back = WireMessage::decode(&frame).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(back.kind(), msg.kind());
+        }
+    }
+
+    #[test]
+    fn special_float_payloads_survive() {
+        let msg = WireMessage::ModelBroadcast(ModelBroadcast {
+            task: 0,
+            round: 0,
+            model: vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0],
+        });
+        let WireMessage::ModelBroadcast(back) = WireMessage::decode(&msg.encode()).unwrap() else {
+            panic!("wrong kind");
+        };
+        // Bit-exact comparison (NaN payloads included).
+        let WireMessage::ModelBroadcast(orig) = msg else {
+            unreachable!()
+        };
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.model), bits(&orig.model));
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let mut frame = exemplars()[0].encode();
+        frame[0] ^= 0xff;
+        assert!(matches!(
+            WireMessage::decode(&frame),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut frame = exemplars()[0].encode();
+        frame[4] = 0x7f;
+        assert!(matches!(
+            WireMessage::decode(&frame),
+            Err(WireError::VersionMismatch { got: 0x7f, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_extension_are_detected() {
+        let frame = exemplars()[0].encode();
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, frame.len() - 1] {
+            let err = WireMessage::decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::LengthMismatch { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+        let mut extended = frame.clone();
+        extended.push(0);
+        assert!(matches!(
+            WireMessage::decode(&extended),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let mut frame = exemplars()[0].encode();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(
+            WireMessage::decode(&frame),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_flips_between_identical_layouts_are_caught() {
+        // ClientModelUpdate and MaskedModelUpdate share a payload layout;
+        // only the header-covering checksum tells them apart.
+        let msg = WireMessage::ClientModelUpdate(ClientModelUpdate {
+            client_id: 1,
+            weight: 2.0,
+            model: vec![3.0],
+        });
+        let mut frame = msg.encode();
+        frame[6] = MessageKind::MaskedModelUpdate as u16 as u8;
+        assert!(matches!(
+            WireMessage::decode(&frame),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based guarantees of the codec: exhaustive round trips across
+//! random shapes for every message kind, exact `encoded_len` accounting,
+//! and single-byte corruption always surfacing as a typed [`WireError`] —
+//! never a panic, never a silently wrong decode.
+//!
+//! The vendored proptest harness offers numeric-range strategies and
+//! `prop::collection::vec` only, so messages are assembled in the test body
+//! from generated primitive pools: a kind selector picks the variant and
+//! raw `u32` bit patterns become `f32`s via `from_bits`, which keeps NaNs,
+//! infinities, and subnormals in play.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::frame::HEADER_LEN;
+use crate::message::{
+    ClientModelUpdate, GlobalPromptBroadcast, MaskedModelUpdate, ModelBroadcast, PromptGroup,
+    PromptUpload, RehearsalMemory, WireMessage, WireSample,
+};
+use crate::{WireError, MAGIC};
+
+/// Bit patterns → f32s; the codec must be bit-exact for every pattern.
+fn f32s(bits: &[u32]) -> Vec<f32> {
+    bits.iter().copied().map(f32::from_bits).collect()
+}
+
+/// Class-indexed prompt list from a pool of bit vectors: entry `i` gets a
+/// class id derived from `salt` and its pool vector as the prompt.
+fn class_prompts(salt: u32, pool: &[Vec<u32>]) -> Vec<(u32, Vec<f32>)> {
+    pool.iter()
+        .enumerate()
+        .map(|(i, bits)| (salt.wrapping_add(i as u32 * 3), f32s(bits)))
+        .collect()
+}
+
+/// Deterministically assembles one message of the selected kind from the
+/// generated primitive pools. Every kind is reachable; empty pools produce
+/// the degenerate shapes (empty models, empty prompt sets) on purpose.
+fn build_message(
+    kind: usize,
+    id: u64,
+    aux: u64,
+    wbits: u32,
+    model_bits: &[u32],
+    nested: &[Vec<u32>],
+    flag: usize,
+) -> WireMessage {
+    match kind {
+        0 => WireMessage::ModelBroadcast(ModelBroadcast {
+            task: id as u32,
+            round: aux as u32,
+            model: f32s(model_bits),
+        }),
+        1 => WireMessage::ClientModelUpdate(ClientModelUpdate {
+            client_id: id,
+            weight: f32::from_bits(wbits),
+            model: f32s(model_bits),
+        }),
+        2 => WireMessage::PromptUpload(PromptUpload {
+            client_id: id,
+            groups: nested
+                .iter()
+                .enumerate()
+                .map(|(i, bits)| PromptGroup {
+                    client_id: id.wrapping_add(i as u64),
+                    // Alternate empty and non-empty prompt sets so both
+                    // shapes round-trip inside one upload.
+                    prompts: if i % 2 == flag {
+                        Vec::new()
+                    } else {
+                        class_prompts(wbits, &[bits.clone()])
+                    },
+                })
+                .collect(),
+        }),
+        3 => WireMessage::GlobalPromptBroadcast(GlobalPromptBroadcast {
+            task: id as u32,
+            round: aux as u32,
+            candidates: class_prompts(wbits, nested),
+            generalized: if flag == 1 {
+                Some(f32s(model_bits))
+            } else {
+                None
+            },
+        }),
+        4 => WireMessage::MaskedModelUpdate(MaskedModelUpdate {
+            client_id: id,
+            weight: f32::from_bits(wbits),
+            masked: f32s(model_bits),
+        }),
+        _ => WireMessage::RehearsalMemory(RehearsalMemory {
+            client_id: id,
+            seed: aux,
+            samples: nested
+                .iter()
+                .enumerate()
+                .map(|(i, bits)| WireSample {
+                    label: wbits.wrapping_add(i as u32),
+                    features: f32s(bits),
+                })
+                .collect(),
+        }),
+    }
+}
+
+/// Bit-exact equality: `PartialEq` on f32 treats NaN != NaN, so compare
+/// through the encoded bytes instead.
+fn assert_same(a: &WireMessage, b: &WireMessage) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.kind(), b.kind());
+    prop_assert_eq!(a.encode(), b.encode());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn every_kind_round_trips_across_random_shapes(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        aux in 0u64..=u64::MAX,
+        wbits in 0u32..=u32::MAX,
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..24),
+        nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..16), 0..5),
+        flag in 0usize..2,
+    ) {
+        let msg = build_message(kind, id, aux, wbits, &model_bits, &nested, flag);
+        let frame = msg.encode();
+        prop_assert_eq!(frame.len(), msg.encoded_len(), "encoded_len disagrees with encode()");
+        let back = WireMessage::decode(&frame).expect("round trip decode");
+        assert_same(&back, &msg)?;
+    }
+
+    #[test]
+    fn one_element_model_round_trips(xbits in 0u32..=u32::MAX, kind in 0usize..3) {
+        // The degenerate shapes the codec contract calls out explicitly:
+        // empty prompt sets and 1-element models.
+        let x = f32::from_bits(xbits);
+        let msg = match kind {
+            0 => WireMessage::ModelBroadcast(ModelBroadcast { task: 0, round: 0, model: vec![x] }),
+            1 => WireMessage::ClientModelUpdate(ClientModelUpdate {
+                client_id: 0,
+                weight: 1.0,
+                model: vec![x],
+            }),
+            _ => WireMessage::PromptUpload(PromptUpload { client_id: 0, groups: Vec::new() }),
+        };
+        let back = WireMessage::decode(&msg.encode()).expect("decode");
+        assert_same(&back, &msg)?;
+    }
+
+    #[test]
+    fn corrupting_any_single_byte_yields_a_wire_error(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        aux in 0u64..=u64::MAX,
+        wbits in 0u32..=u32::MAX,
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..24),
+        nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..16), 0..5),
+        flag in 0usize..2,
+        pos_seed in 0usize..=usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        let msg = build_message(kind, id, aux, wbits, &model_bits, &nested, flag);
+        let clean = msg.encode();
+        let pos = pos_seed % clean.len();
+        let mut corrupt = clean.clone();
+        corrupt[pos] ^= flip;
+        match WireMessage::decode(&corrupt) {
+            Err(_) => {} // typed error: exactly what the contract demands
+            Ok(back) => {
+                // A successful decode of a corrupted frame would only be
+                // acceptable if it reproduced the original bytes — which a
+                // one-byte flip cannot, so this is a contract violation.
+                prop_assert_eq!(back.encode(), clean, "corrupt frame decoded silently");
+                prop_assert!(false, "corrupt frame decoded at byte {}", pos);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        // Any outcome is fine except a panic; random bytes essentially
+        // never form a valid CRC-sealed frame.
+        let _ = WireMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn truncating_a_frame_is_always_detected(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        aux in 0u64..=u64::MAX,
+        wbits in 0u32..=u32::MAX,
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..24),
+        nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..16), 0..5),
+        flag in 0usize..2,
+        cut_seed in 0usize..=usize::MAX,
+    ) {
+        let msg = build_message(kind, id, aux, wbits, &model_bits, &nested, flag);
+        let frame = msg.encode();
+        let keep = cut_seed % frame.len(); // strictly shorter than the frame
+        let err = WireMessage::decode(&frame[..keep]).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::Truncated { .. } | WireError::LengthMismatch { .. }),
+            "unexpected error for truncation to {}: {}", keep, err
+        );
+    }
+
+    #[test]
+    fn header_magic_and_length_match_constants(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        aux in 0u64..=u64::MAX,
+        wbits in 0u32..=u32::MAX,
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..24),
+        nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..16), 0..5),
+        flag in 0usize..2,
+    ) {
+        let msg = build_message(kind, id, aux, wbits, &model_bits, &nested, flag);
+        let frame = msg.encode();
+        prop_assert!(frame.len() >= HEADER_LEN);
+        prop_assert!(frame[..4] == MAGIC, "bad magic prefix");
+    }
+}

@@ -1,0 +1,85 @@
+//! The transport boundary: framed byte buffers in, framed byte buffers out.
+//!
+//! The federation driver never moves typed values between endpoints — it
+//! encodes a [`crate::WireMessage`] to a frame, `send`s the frame, `recv`s
+//! it on the other side, and decodes. [`Loopback`] is the in-memory
+//! reference implementation (a FIFO queue) used by the simulation; the
+//! trait is the hook for lossy, delayed, faulty, or compressed transports.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::frame::WireError;
+
+/// A unidirectional, ordered channel for framed byte buffers.
+///
+/// Implementations must preserve frame boundaries and FIFO order. `Sync`
+/// so one endpoint can be shared across worker threads.
+pub trait Transport: Send + Sync {
+    /// Queues one frame for delivery.
+    fn send(&self, frame: Vec<u8>) -> Result<(), WireError>;
+
+    /// Takes the next delivered frame, or `Ok(None)` when none is pending.
+    fn recv(&self) -> Result<Option<Vec<u8>>, WireError>;
+}
+
+/// In-memory loopback transport: frames come out exactly as they went in,
+/// in order, with no loss — the reference against which every other
+/// transport (and the codec itself) is equivalence-tested.
+#[derive(Debug, Default)]
+pub struct Loopback {
+    queue: Mutex<VecDeque<Vec<u8>>>,
+}
+
+impl Loopback {
+    /// An empty loopback channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("loopback queue poisoned").len()
+    }
+}
+
+impl Transport for Loopback {
+    fn send(&self, frame: Vec<u8>) -> Result<(), WireError> {
+        self.queue
+            .lock()
+            .expect("loopback queue poisoned")
+            .push_back(frame);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Option<Vec<u8>>, WireError> {
+        Ok(self
+            .queue
+            .lock()
+            .expect("loopback queue poisoned")
+            .pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_preserves_frames_and_order() {
+        let link = Loopback::new();
+        link.send(vec![1, 2, 3]).unwrap();
+        link.send(vec![4]).unwrap();
+        assert_eq!(link.pending(), 2);
+        assert_eq!(link.recv().unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(link.recv().unwrap(), Some(vec![4]));
+        assert_eq!(link.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn loopback_is_usable_behind_a_trait_object() {
+        let link: Box<dyn Transport> = Box::new(Loopback::new());
+        link.send(vec![7]).unwrap();
+        assert_eq!(link.recv().unwrap(), Some(vec![7]));
+    }
+}

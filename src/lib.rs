@@ -12,6 +12,12 @@ pub mod data {
     pub use refil_data::*;
 }
 
+/// Typed wire layer: versioned binary codec and transport abstraction for
+/// every client↔server exchange.
+pub mod wire {
+    pub use refil_wire::*;
+}
+
 /// Federated runner: FDIL protocol loop, traffic accounting, aggregation.
 pub mod fed {
     pub use refil_fed::*;

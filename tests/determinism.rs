@@ -119,6 +119,36 @@ fn finetune_parallel_matches_sequential_across_seeds() {
 }
 
 #[test]
+fn wire_path_matches_direct_path_across_seeds() {
+    // Routing every exchange through encoded frames over the loopback
+    // transport (the default) must be byte-identical to bypassing the codec
+    // (`.direct(true)`), for both the full RefFiL protocol (which adds
+    // GlobalPromptBroadcast / PromptUpload frames) and a plain baseline —
+    // while both paths account identical encoded-frame traffic.
+    let ds = dataset();
+    for seed in [13u64, 29] {
+        let cfg = run_cfg(seed, 0.0);
+
+        let mut s_wire = RefFiL::new(RefFiLConfig::new(method()));
+        let r_wire = FdilRunner::new(cfg).run(&ds, &mut s_wire);
+        let mut s_direct = RefFiL::new(RefFiLConfig::new(method()));
+        let r_direct = FdilRunner::new(cfg).direct(true).run(&ds, &mut s_direct);
+        assert_byte_identical(&r_wire, &r_direct);
+        assert_eq!(
+            s_wire.prompt_store().total_reps(),
+            s_direct.prompt_store().total_reps(),
+            "prompt store diverged between wire and direct paths at seed {seed}"
+        );
+
+        let mut f_wire = Finetune::new(method());
+        let f_r_wire = FdilRunner::new(cfg).run(&ds, &mut f_wire);
+        let mut f_direct = Finetune::new(method());
+        let f_r_direct = FdilRunner::new(cfg).direct(true).run(&ds, &mut f_direct);
+        assert_byte_identical(&f_r_wire, &f_r_direct);
+    }
+}
+
+#[test]
 fn parallel_matches_sequential_under_dropout() {
     // Dropout draws are part of the pre-drawn randomness; simulated client
     // failures must hit the same clients at any thread count.
