@@ -8,12 +8,12 @@ use rand::SeedableRng;
 
 use refil_clustering::{finch, kmeans};
 use refil_continual::{Finetune, MethodConfig};
-use refil_core::{dpcl_loss, CdapConfig, CdapGenerator};
+use refil_core::{dpcl_loss, CdapConfig, CdapGenerator, RefFiL, RefFiLConfig};
 use refil_data::{DatasetSpec, DomainSpec};
 use refil_fed::{fedavg, FdilRunner, IncrementConfig, RunConfig, WeightedUpdate};
 use refil_nn::layers::TransformerBlock;
 use refil_nn::models::{BackboneConfig, PromptedBackbone};
-use refil_nn::{Graph, Params, Tensor};
+use refil_nn::{force_taped, Graph, Params, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -294,6 +294,77 @@ fn bench_round_parallel(c: &mut Criterion) {
     });
 }
 
+fn bench_evaluate(c: &mut Criterion) {
+    // The per-domain eval sweep of a trained RefFiL model, taped vs
+    // tape-free and serial vs parallel. All four are byte-identical
+    // (enforced by tests/inference.rs); only wall time differs.
+    let dataset = DatasetSpec {
+        name: "bench_eval".into(),
+        classes: 3,
+        feature_dim: 8,
+        proto_scale: 2.5,
+        within_std: 0.4,
+        test_fraction: 0.5,
+        signature_dim: 2,
+        signature_scale: 0.6,
+        domains: vec![
+            DomainSpec::new("d0", 400, 0.15, 0.05),
+            DomainSpec::new("d1", 400, 0.3, 0.4),
+        ],
+    }
+    .generate(11);
+    let method = MethodConfig {
+        backbone: BackboneConfig {
+            in_dim: 8,
+            extractor_width: 16,
+            extractor_depth: 1,
+            n_patches: 2,
+            token_dim: 8,
+            heads: 2,
+            blocks: 1,
+            classes: 3,
+            extractor: refil_nn::models::ExtractorKind::ResidualMlp,
+        },
+        lr: 0.05,
+        prompt_len: 2,
+        max_tasks: 2,
+        ..MethodConfig::default()
+    };
+    let run_cfg = RunConfig {
+        increment: IncrementConfig {
+            initial_clients: 4,
+            select_per_round: 4,
+            increment_per_task: 1,
+            transition_fraction: 0.8,
+            rounds_per_task: 2,
+        },
+        local_epochs: 1,
+        batch_size: 16,
+        quantity_sigma: 0.5,
+        eval_batch: 16,
+        dropout_prob: 0.0,
+        seed: 13,
+    };
+    let mut strat = RefFiL::new(RefFiLConfig::new(method));
+    let res = FdilRunner::new(run_cfg).run(&dataset, &mut strat);
+    let global = res.final_global;
+    let last = dataset.num_domains() - 1;
+    let serial = FdilRunner::new(run_cfg).threads(1);
+    let parallel = FdilRunner::new(run_cfg).threads(4);
+
+    force_taped(true);
+    c.bench_function("fed/evaluate/taped_serial", |bench| {
+        bench.iter(|| serial.evaluate_task(&strat, &global, &dataset, last))
+    });
+    force_taped(false);
+    c.bench_function("fed/evaluate/tape_free_serial", |bench| {
+        bench.iter(|| serial.evaluate_task(&strat, &global, &dataset, last))
+    });
+    c.bench_function("fed/evaluate/tape_free_threads_4", |bench| {
+        bench.iter(|| parallel.evaluate_task(&strat, &global, &dataset, last))
+    });
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default()
@@ -303,6 +374,6 @@ criterion_group! {
     targets = bench_matmul, bench_gemm, bench_gemm_zero_branch, bench_conv1d,
         bench_attention_forward, bench_backbone_step,
         bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl,
-        bench_round_parallel
+        bench_round_parallel, bench_evaluate
 }
 criterion_main!(micro);

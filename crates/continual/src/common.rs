@@ -5,9 +5,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use refil_data::{minibatches, Batch};
-use refil_fed::TrainSetting;
+use refil_fed::{DomainEvaluator, EvalContext, TrainSetting};
 use refil_nn::models::{BackboneConfig, PromptedBackbone};
-use refil_nn::{clip_grad_norm, Graph, Params, Sgd, Tensor, Var};
+use refil_nn::{clip_grad_norm, Graph, InferenceSession, Params, Sgd, Tensor, Var};
 
 /// Builds prompt tokens for a forward pass (e.g. pool lookup + concat).
 pub type PromptBuilder<'a> = &'a dyn Fn(&Graph, &Params) -> Var;
@@ -162,6 +162,14 @@ impl ModelCore {
         }
     }
 
+    /// A read-only parameter snapshot with `flat` loaded — the weights an
+    /// evaluation context shares across worker threads.
+    pub fn eval_params(&self, flat: &[f32]) -> Params {
+        let mut params = self.params.clone();
+        params.load_flat(flat);
+        params
+    }
+
     /// Predicts labels under `flat` with no prompts.
     pub fn predict_plain(&mut self, flat: &[f32], features: &Tensor) -> Vec<usize> {
         self.load(flat);
@@ -182,6 +190,48 @@ impl ModelCore {
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()
+    }
+}
+
+/// Prompt-free evaluation context shared by the plain baselines (Finetune,
+/// FedProx, FedLwF, FedEWC, the rehearsal oracle): the backbone plus a
+/// parameter snapshot under the evaluated global vector. Each worker predicts
+/// through its own [`PlainEvalContext::evaluator`], whose reusable tape-free
+/// inference session recycles forward buffers across batches.
+pub struct PlainEvalContext {
+    model: PromptedBackbone,
+    params: Params,
+}
+
+impl PlainEvalContext {
+    /// Snapshots `core`'s backbone with `global` loaded.
+    pub fn new(core: &ModelCore, global: &[f32]) -> Self {
+        Self {
+            model: core.model.clone(),
+            params: core.eval_params(global),
+        }
+    }
+}
+
+impl EvalContext for PlainEvalContext {
+    fn evaluator(&self) -> Box<dyn DomainEvaluator + '_> {
+        Box::new(PlainEvaluator {
+            ctx: self,
+            session: InferenceSession::new(),
+        })
+    }
+}
+
+struct PlainEvaluator<'a> {
+    ctx: &'a PlainEvalContext,
+    session: InferenceSession,
+}
+
+impl DomainEvaluator for PlainEvaluator<'_> {
+    fn predict_domain(&mut self, features: &Tensor, _domain: usize) -> Vec<usize> {
+        self.ctx
+            .model
+            .predict_in(&mut self.session, &self.ctx.params, features)
     }
 }
 

@@ -11,10 +11,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, DomainEvaluator, EvalContext, FdilStrategy, RoundContext, SessionOutput,
+    Telemetry, TrainSetting, WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
-use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
+use refil_nn::{init, Graph, InferenceSession, ParamId, Params, Tensor, Var};
 
 use crate::common::{MethodConfig, ModelCore};
 
@@ -96,14 +97,19 @@ impl FedDualPrompt {
         self.experts.is_some()
     }
 
-    fn queries(&self, params: &Params, features: &Tensor) -> Vec<Vec<f32>> {
-        let g = Graph::new();
-        let (_, tokens) = self.model.tokenize(&g, params, features);
+    /// Pooled patch-token query per sample (detached, `[b, d]` rows). Built
+    /// on the caller's graph: the query subgraph feeds no loss, so backward
+    /// never visits it and the detachment is preserved, while tape-free
+    /// evaluation can recycle its buffers with the rest of the forward plan.
+    fn queries(&self, g: &Graph, params: &Params, features: &Tensor) -> Vec<Vec<f32>> {
+        let (_, tokens) = self.model.tokenize(g, params, features);
         let n = self.model.config().n_patches;
         let patches = g.slice(tokens, 1, 1, n);
-        let pooled = g.value(g.mean_tokens(patches));
+        let pooled = g.mean_tokens(patches);
         let d = self.model.config().token_dim;
-        pooled.data().chunks(d).map(<[f32]>::to_vec).collect()
+        g.with_value(pooled, |t| {
+            t.data().chunks(d).map(<[f32]>::to_vec).collect()
+        })
     }
 
     /// Expert index per sample at inference: best task key by cosine.
@@ -146,7 +152,7 @@ impl FedDualPrompt {
                     Some(t) => {
                         let t = t.min(experts.max_tasks - 1);
                         // Key loss: pull this task's key toward the queries.
-                        let queries = self.queries(params, features);
+                        let queries = self.queries(g, params, features);
                         let mut qdata = Vec::with_capacity(b * d);
                         for q in &queries {
                             qdata.extend_from_slice(q);
@@ -160,7 +166,7 @@ impl FedDualPrompt {
                         )
                     }
                     None => {
-                        let queries = self.queries(params, features);
+                        let queries = self.queries(g, params, features);
                         (self.select_experts(params, &queries), None)
                     }
                 };
@@ -259,13 +265,16 @@ impl FdilStrategy for FedDualPrompt {
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
-        self.core.load(global);
-        let g = Graph::new();
-        let (prompts, _) = self.batch_prompts(&g, &self.core.params, features, None);
-        let out = self
-            .model
-            .forward(&g, &self.core.params, features, Some(prompts));
-        g.value(out.logits).argmax_last()
+        let ctx = self.eval_ctx(global);
+        let mut evaluator = ctx.evaluator();
+        evaluator.predict_domain(features, 0)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(DualPromptEvalContext {
+            strat: self,
+            params: self.core.eval_params(global),
+        })
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {
@@ -278,6 +287,38 @@ impl FdilStrategy for FedDualPrompt {
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()
+    }
+}
+
+/// Shared read-only eval view: the strategy (for expert selection) plus a
+/// parameter snapshot under the evaluated global vector.
+struct DualPromptEvalContext<'a> {
+    strat: &'a FedDualPrompt,
+    params: Params,
+}
+
+impl EvalContext for DualPromptEvalContext<'_> {
+    fn evaluator(&self) -> Box<dyn DomainEvaluator + '_> {
+        Box::new(DualPromptEvaluator {
+            ctx: self,
+            session: InferenceSession::new(),
+        })
+    }
+}
+
+struct DualPromptEvaluator<'a> {
+    ctx: &'a DualPromptEvalContext<'a>,
+    session: InferenceSession,
+}
+
+impl DomainEvaluator for DualPromptEvaluator<'_> {
+    fn predict_domain(&mut self, features: &Tensor, _domain: usize) -> Vec<usize> {
+        let (strat, params) = (self.ctx.strat, &self.ctx.params);
+        self.session.forward(|g| {
+            let (prompts, _) = strat.batch_prompts(g, params, features, None);
+            let out = strat.model.forward(g, params, features, Some(prompts));
+            g.argmax_last(out.logits)
+        })
     }
 }
 
@@ -311,7 +352,7 @@ mod tests {
         let flat = strat.init_global();
         strat.core.load(&flat);
         let x = Tensor::ones(&[4, 8]);
-        let q = strat.queries(&strat.core.params, &x);
+        let q = strat.queries(&Graph::new(), &strat.core.params, &x);
         let sel = strat.select_experts(&strat.core.params, &q);
         assert_eq!(sel.len(), 4);
         for &s in &sel {

@@ -9,12 +9,15 @@
 
 use refil_data::Sample;
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, EvalContext, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting,
+    WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
-use crate::common::{add_quadratic_penalty_grads, estimate_fisher, MethodConfig, ModelCore};
+use crate::common::{
+    add_quadratic_penalty_grads, estimate_fisher, MethodConfig, ModelCore, PlainEvalContext,
+};
 
 /// Federated Elastic Weight Consolidation.
 #[derive(Debug, Clone)]
@@ -143,6 +146,10 @@ impl FdilStrategy for FedEwc {
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
         self.core.predict_plain(global, features)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(PlainEvalContext::new(&self.core, global))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

@@ -8,12 +8,13 @@
 //! library strategy and an upper/lower-bounds comparison point.
 
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, EvalContext, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting,
+    WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
-use crate::common::{add_quadratic_penalty_grads, MethodConfig, ModelCore};
+use crate::common::{add_quadratic_penalty_grads, MethodConfig, ModelCore, PlainEvalContext};
 
 /// Federated finetuning with a proximal term.
 #[derive(Debug, Clone)]
@@ -96,6 +97,10 @@ impl FdilStrategy for FedProx {
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
         self.core.predict_plain(global, features)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(PlainEvalContext::new(&self.core, global))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

@@ -2,12 +2,13 @@
 //! model on whatever data arrives, with no forgetting mitigation.
 
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, EvalContext, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting,
+    WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
-use crate::common::{MethodConfig, ModelCore};
+use crate::common::{MethodConfig, ModelCore, PlainEvalContext};
 
 /// Straightforward federated finetuning (paper Table 1's "Finetune").
 #[derive(Debug, Clone)]
@@ -74,6 +75,10 @@ impl FdilStrategy for Finetune {
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
         self.core.predict_plain(global, features)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(PlainEvalContext::new(&self.core, global))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

@@ -11,10 +11,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, DomainEvaluator, EvalContext, FdilStrategy, RoundContext, SessionOutput,
+    Telemetry, TrainSetting, WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
-use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
+use refil_nn::{init, Graph, InferenceSession, ParamId, Params, Tensor, Var};
 
 use crate::common::{MethodConfig, ModelCore};
 
@@ -89,15 +90,19 @@ impl FedL2p {
     }
 
     /// Pooled patch-token query `q(x)` per sample (detached, `[b, d]` rows),
-    /// mirroring L2P's frozen query function.
-    fn queries(&self, params: &Params, features: &Tensor) -> Vec<Vec<f32>> {
-        let g = Graph::new();
-        let (_, tokens) = self.model.tokenize(&g, params, features);
+    /// mirroring L2P's frozen query function. Built on the caller's graph:
+    /// the query subgraph feeds no loss, so backward never visits it and the
+    /// detachment is preserved, while tape-free evaluation can recycle its
+    /// buffers along with the rest of the forward plan.
+    fn queries(&self, g: &Graph, params: &Params, features: &Tensor) -> Vec<Vec<f32>> {
+        let (_, tokens) = self.model.tokenize(g, params, features);
         let n = self.model.config().n_patches;
         let patches = g.slice(tokens, 1, 1, n);
-        let pooled = g.value(g.mean_tokens(patches)); // [b, d]
+        let pooled = g.mean_tokens(patches); // [b, d]
         let d = self.model.config().token_dim;
-        pooled.data().chunks(d).map(<[f32]>::to_vec).collect()
+        g.with_value(pooled, |t| {
+            t.data().chunks(d).map(<[f32]>::to_vec).collect()
+        })
     }
 
     /// Top-N pool indices per query row.
@@ -134,7 +139,7 @@ impl FedL2p {
         let d = self.model.config().token_dim;
         match (&self.pool, self.single_prompt) {
             (Some(pool), _) => {
-                let queries = self.queries(params, features);
+                let queries = self.queries(g, params, features);
                 let selected = self.select(params, &queries);
                 // Gather prompt rows per sample.
                 let mut rows = Vec::with_capacity(b * pool.top_n * plen);
@@ -240,13 +245,16 @@ impl FdilStrategy for FedL2p {
     }
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
-        self.core.load(global);
-        let g = Graph::new();
-        let (prompts, _) = self.batch_prompts(&g, &self.core.params, features);
-        let out = self
-            .model
-            .forward(&g, &self.core.params, features, Some(prompts));
-        g.value(out.logits).argmax_last()
+        let ctx = self.eval_ctx(global);
+        let mut evaluator = ctx.evaluator();
+        evaluator.predict_domain(features, 0)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(L2pEvalContext {
+            strat: self,
+            params: self.core.eval_params(global),
+        })
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {
@@ -259,6 +267,38 @@ impl FdilStrategy for FedL2p {
         let cls = g.value(out.cls);
         let d = cls.shape()[1];
         cls.data().chunks(d).map(<[f32]>::to_vec).collect()
+    }
+}
+
+/// Shared read-only eval view: the strategy (for prompt-pool metadata and
+/// selection) plus a parameter snapshot under the evaluated global vector.
+struct L2pEvalContext<'a> {
+    strat: &'a FedL2p,
+    params: Params,
+}
+
+impl EvalContext for L2pEvalContext<'_> {
+    fn evaluator(&self) -> Box<dyn DomainEvaluator + '_> {
+        Box::new(L2pEvaluator {
+            ctx: self,
+            session: InferenceSession::new(),
+        })
+    }
+}
+
+struct L2pEvaluator<'a> {
+    ctx: &'a L2pEvalContext<'a>,
+    session: InferenceSession,
+}
+
+impl DomainEvaluator for L2pEvaluator<'_> {
+    fn predict_domain(&mut self, features: &Tensor, _domain: usize) -> Vec<usize> {
+        let (strat, params) = (self.ctx.strat, &self.ctx.params);
+        self.session.forward(|g| {
+            let (prompts, _) = strat.batch_prompts(g, params, features);
+            let out = strat.model.forward(g, params, features, Some(prompts));
+            g.argmax_last(out.logits)
+        })
     }
 }
 
@@ -292,7 +332,7 @@ mod tests {
         let flat = strat.init_global();
         strat.core.load(&flat);
         let x = Tensor::ones(&[3, 8]);
-        let q = strat.queries(&strat.core.params, &x);
+        let q = strat.queries(&Graph::new(), &strat.core.params, &x);
         let sel = strat.select(&strat.core.params, &q);
         assert_eq!(sel.len(), 3);
         for s in &sel {

@@ -6,13 +6,14 @@
 //! teacher's, regularizing against forgetting without storing old data.
 
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientUpdate, EvalContext, FdilStrategy, RoundContext, SessionOutput, Telemetry, TrainSetting,
+    WireMessage,
 };
 use refil_nn::losses::distillation_loss;
 use refil_nn::models::PromptedBackbone;
 use refil_nn::{Graph, Params, Tensor};
 
-use crate::common::{MethodConfig, ModelCore};
+use crate::common::{MethodConfig, ModelCore, PlainEvalContext};
 
 /// Federated Learning-without-Forgetting.
 #[derive(Debug, Clone)]
@@ -118,6 +119,10 @@ impl FdilStrategy for FedLwf {
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
         self.core.predict_plain(global, features)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(PlainEvalContext::new(&self.core, global))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

@@ -14,13 +14,13 @@ use rand::{Rng, SeedableRng};
 
 use refil_data::Sample;
 use refil_fed::{
-    ClientUpdate, FdilStrategy, RehearsalMemory, RoundContext, SessionOutput, Telemetry,
-    TrainSetting, WireMessage, WireSample,
+    ClientUpdate, EvalContext, FdilStrategy, RehearsalMemory, RoundContext, SessionOutput,
+    Telemetry, TrainSetting, WireMessage, WireSample,
 };
 use refil_nn::models::PromptedBackbone;
 use refil_nn::Tensor;
 
-use crate::common::{MethodConfig, ModelCore};
+use crate::common::{MethodConfig, ModelCore, PlainEvalContext};
 
 /// Finetuning plus per-client episodic replay (the rehearsal upper bound).
 #[derive(Debug, Clone)]
@@ -195,6 +195,10 @@ impl FdilStrategy for RehearsalOracle {
 
     fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
         self.core.predict_plain(global, features)
+    }
+
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(PlainEvalContext::new(&self.core, global))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

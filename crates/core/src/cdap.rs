@@ -125,11 +125,11 @@ impl CdapGenerator {
         assert_eq!(seq, self.cfg.seq_len, "sequence length mismatch");
         assert_eq!(d, self.cfg.token_dim, "token width mismatch");
 
-        // LN(I) then transpose to [b, d, n+1].
+        // LN(I), then MLP over the token axis on the transposed view:
+        // [b, n+1, d] read as [b, d, n+1] -> [b, d, p]. The layout-aware
+        // kernel skips materializing the [b, d, n+1] transpose entirely.
         let normed = self.ln.forward(g, params, tokens);
-        let transposed = g.transpose_last(normed);
-        // MLP over the token axis: [b, d, n+1] -> [b, d, p].
-        let activ = self.mlp.forward_tokens(g, params, transposed);
+        let activ = self.mlp.forward_tokens_tn(g, params, normed);
         // Cross-Client Domain Adaptation layer (federated-averaged linear).
         let adapted = self.ccda.forward_tokens(g, params, activ);
         let adapted = g.gelu(adapted);

@@ -14,11 +14,11 @@ use serde::{Deserialize, Serialize};
 
 use refil_continual::{MethodConfig, ModelCore};
 use refil_fed::{
-    ClientGroup, ClientUpdate, FdilStrategy, GlobalPromptBroadcast, PromptUpload, RoundContext,
-    SessionOutput, Telemetry, TrainSetting, WireMessage,
+    ClientGroup, ClientUpdate, DomainEvaluator, EvalContext, FdilStrategy, GlobalPromptBroadcast,
+    PromptUpload, RoundContext, SessionOutput, Telemetry, TrainSetting, WireMessage,
 };
 use refil_nn::models::PromptedBackbone;
-use refil_nn::{init, Graph, ParamId, Params, Tensor, Var};
+use refil_nn::{init, Graph, InferenceSession, ParamId, Params, Tensor, Var};
 
 use crate::cdap::{CdapConfig, CdapGenerator};
 use crate::dpcl::dpcl_loss;
@@ -278,66 +278,118 @@ impl RefFiL {
     /// This removes the framework's dependence on knowing the test domain
     /// (the paper's acknowledged limitation), trading `max_tasks` forward
     /// passes per batch for task-agnostic deployment.
-    pub fn predict_task_free(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
-        self.core.load(global);
-        let b = features.shape()[0];
-        let mut best_conf = vec![f32::NEG_INFINITY; b];
-        let mut best_pred = vec![0usize; b];
-        let tasks = self.cfg.method.max_tasks.min(self.current_task + 1).max(1);
-        for task_id in 0..tasks {
-            let g = Graph::new();
-            let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
-            let prompts = Self::local_prompts(
-                &self.model,
-                &self.cdap,
-                self.fixed_prompt,
-                &g,
-                &self.core.params,
+    pub fn predict_task_free(&self, global: &[f32], features: &Tensor) -> Vec<usize> {
+        let ctx = self.eval_context(global, true);
+        let mut evaluator = ctx.evaluator();
+        evaluator.predict_domain(features, 0)
+    }
+
+    fn predict_with_task(&self, global: &[f32], features: &Tensor, task_id: usize) -> Vec<usize> {
+        let ctx = self.eval_context(global, false);
+        let mut evaluator = ctx.evaluator();
+        evaluator.predict_domain(features, task_id)
+    }
+
+    /// Builds the shared read-only evaluation view under `global`.
+    fn eval_context(&self, global: &[f32], task_free: bool) -> RefFiLEvalCtx<'_> {
+        RefFiLEvalCtx {
+            strat: self,
+            params: self.core.eval_params(global),
+            tasks: self.cfg.method.max_tasks.min(self.current_task + 1).max(1),
+            task_free,
+        }
+    }
+}
+
+/// Shared read-only eval view: the prompt machinery borrowed from the
+/// strategy plus a parameter snapshot under the evaluated global vector.
+struct RefFiLEvalCtx<'a> {
+    strat: &'a RefFiL,
+    params: Params,
+    /// Task keys to sweep when inferring the task per sample by confidence.
+    tasks: usize,
+    /// Ignore the domain hint and sweep all task keys (Limitations extension).
+    task_free: bool,
+}
+
+impl EvalContext for RefFiLEvalCtx<'_> {
+    fn evaluator(&self) -> Box<dyn DomainEvaluator + '_> {
+        Box::new(RefFiLEvaluator {
+            ctx: self,
+            session: InferenceSession::new(),
+        })
+    }
+}
+
+struct RefFiLEvaluator<'a> {
+    ctx: &'a RefFiLEvalCtx<'a>,
+    session: InferenceSession,
+}
+
+impl RefFiLEvaluator<'_> {
+    /// One prompted forward under task key `task_id`; `read` consumes the
+    /// logits while the graph (and its recyclable buffers) is still alive.
+    fn forward_with_task<R>(
+        &mut self,
+        features: &Tensor,
+        task_id: usize,
+        read: impl FnOnce(&Graph, Var) -> R,
+    ) -> R {
+        let ctx = self.ctx;
+        let (strat, params) = (ctx.strat, &ctx.params);
+        self.session.forward(|g| {
+            let (feat, tokens) = strat.model.tokenize(g, params, features);
+            let prompts = RefFiL::local_prompts(
+                &strat.model,
+                &strat.cdap,
+                strat.fixed_prompt,
+                g,
+                params,
                 tokens,
                 task_id,
             );
-            let out =
-                self.model
-                    .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
-            let probs = g.value(g.softmax_last(out.logits));
-            let k = self.model.config().classes;
-            for (i, row) in probs.data().chunks(k).enumerate() {
-                let (pred, &conf) = row
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .expect("non-empty logits");
-                if conf > best_conf[i] {
-                    best_conf[i] = conf;
-                    best_pred[i] = pred;
-                }
-            }
+            let out = strat
+                .model
+                .forward_from_tokens(g, params, feat, tokens, Some(prompts));
+            read(g, out.logits)
+        })
+    }
+}
+
+impl DomainEvaluator for RefFiLEvaluator<'_> {
+    fn predict_domain(&mut self, features: &Tensor, domain: usize) -> Vec<usize> {
+        if !self.ctx.task_free {
+            // The CDAP generator is conditioned on the local task ID (the
+            // paper's acknowledged dependence); evaluation on domain d uses
+            // key d.
+            return self.forward_with_task(features, domain, |g, logits| g.argmax_last(logits));
+        }
+        // Extension: ignore the hint, run the model under every task key and
+        // keep, per sample, the prediction whose softmax confidence is
+        // highest.
+        let b = features.shape()[0];
+        let k = self.ctx.strat.model.config().classes;
+        let mut best_conf = vec![f32::NEG_INFINITY; b];
+        let mut best_pred = vec![0usize; b];
+        for task_id in 0..self.ctx.tasks {
+            self.forward_with_task(features, task_id, |g, logits| {
+                let probs = g.softmax_last(logits);
+                g.with_value(probs, |t| {
+                    for (i, row) in t.data().chunks(k).enumerate() {
+                        let (pred, &conf) = row
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("non-empty logits");
+                        if conf > best_conf[i] {
+                            best_conf[i] = conf;
+                            best_pred[i] = pred;
+                        }
+                    }
+                });
+            });
         }
         best_pred
-    }
-
-    fn predict_with_task(
-        &mut self,
-        global: &[f32],
-        features: &Tensor,
-        task_id: usize,
-    ) -> Vec<usize> {
-        self.core.load(global);
-        let g = Graph::new();
-        let (feat, tokens) = self.model.tokenize(&g, &self.core.params, features);
-        let prompts = Self::local_prompts(
-            &self.model,
-            &self.cdap,
-            self.fixed_prompt,
-            &g,
-            &self.core.params,
-            tokens,
-            task_id,
-        );
-        let out =
-            self.model
-                .forward_from_tokens(&g, &self.core.params, feat, tokens, Some(prompts));
-        g.value(out.logits).argmax_last()
     }
 }
 
@@ -562,16 +614,8 @@ impl FdilStrategy for RefFiL {
         self.predict_with_task(global, features, self.current_task)
     }
 
-    fn predict_domain(&mut self, global: &[f32], features: &Tensor, domain: usize) -> Vec<usize> {
-        if self.cfg.task_free_inference {
-            // Extension: ignore the hint, infer the task from confidence.
-            self.predict_task_free(global, features)
-        } else {
-            // The CDAP generator is conditioned on the local task ID (the
-            // paper's acknowledged dependence); evaluation on domain d uses
-            // key d.
-            self.predict_with_task(global, features, domain)
-        }
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+        Box::new(self.eval_context(global, self.cfg.task_free_inference))
     }
 
     fn cls_embeddings(&mut self, global: &[f32], features: &Tensor) -> Vec<Vec<f32>> {

@@ -31,8 +31,8 @@ pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
 pub use runner::{
-    evaluate_domain, ClientUpdate, FdilRunner, FdilStrategy, RoundContext, RunResult,
-    SessionOutput, TrainSetting,
+    evaluate_domain, ClientUpdate, DomainEvaluator, EvalContext, FdilRunner, FdilStrategy,
+    RoundContext, RunResult, SessionOutput, TrainSetting,
 };
 pub use traffic::{TaskTraffic, TrafficStats};
 

@@ -123,6 +123,32 @@ pub trait RoundContext: Sync {
     fn train_client(&self, setting: &TrainSetting<'_>, telemetry: &Telemetry) -> SessionOutput;
 }
 
+/// Shared read-only view of a strategy for evaluation.
+///
+/// Created once per evaluation sweep by [`FdilStrategy::eval_ctx`] under a
+/// fixed global parameter vector and shared by reference across worker
+/// threads (hence the `Sync` bound). Each worker obtains its own mutable
+/// [`DomainEvaluator`] through [`EvalContext::evaluator`], so per-worker
+/// prediction state (a reusable tape-free inference session, scratch
+/// buffers) never crosses threads.
+pub trait EvalContext: Sync {
+    /// A fresh per-worker evaluator borrowing this context's weights.
+    fn evaluator(&self) -> Box<dyn DomainEvaluator + '_>;
+}
+
+/// One worker's mutable prediction handle during evaluation.
+///
+/// Implementations typically own a [`refil_nn::InferenceSession`] whose
+/// forward plan (node and scratch buffers) is recycled across batches.
+/// Predictions must be a pure function of the context's weights and the
+/// inputs — no interior mutation that leaks across calls — so batches can be
+/// evaluated in any order on any number of workers with identical results.
+pub trait DomainEvaluator {
+    /// Predicts class labels for a `[batch, dim]` feature tensor drawn from
+    /// the given domain.
+    fn predict_domain(&mut self, features: &Tensor, domain: usize) -> Vec<usize>;
+}
+
 /// A federated domain-incremental learning strategy.
 ///
 /// Implementations own the model architecture and any persistent client or
@@ -226,14 +252,23 @@ pub trait FdilStrategy {
         features.data().chunks(d).map(<[f32]>::to_vec).collect()
     }
 
+    /// Returns the shared read-only evaluation context for the given global
+    /// parameters. The driver creates one context per evaluation sweep and
+    /// fans `(domain, batch)` work items across its worker pool, each worker
+    /// predicting through its own [`EvalContext::evaluator`] — so inference
+    /// here must not depend on `&mut self` state. See [`evaluate_domain`] and
+    /// [`FdilRunner::evaluate_task`].
+    fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a>;
+
     /// Domain-aware prediction: like [`FdilStrategy::predict`], but told which
-    /// task/domain the batch comes from. Defaults to ignoring the hint.
-    ///
-    /// RefFiL overrides this: its prompt generator is conditioned on the
-    /// local task ID (a dependence the paper's Limitations section makes
-    /// explicit), so evaluation on domain `d` uses task-`d` key embeddings.
-    fn predict_domain(&mut self, global: &[f32], features: &Tensor, _domain: usize) -> Vec<usize> {
-        self.predict(global, features)
+    /// task/domain the batch comes from. Routes through a one-shot
+    /// [`FdilStrategy::eval_ctx`]; strategies whose prompts are conditioned on
+    /// the local task ID (RefFiL — a dependence the paper's Limitations
+    /// section makes explicit) consume the hint there.
+    fn predict_domain(&mut self, global: &[f32], features: &Tensor, domain: usize) -> Vec<usize> {
+        let ctx = self.eval_ctx(global);
+        let mut evaluator = ctx.evaluator();
+        evaluator.predict_domain(features, domain)
     }
 }
 
@@ -760,13 +795,11 @@ impl FdilRunner {
                 }
             }
 
-            // Evaluate on every domain seen so far.
-            let mut row = Vec::with_capacity(task + 1);
-            for d in 0..=task {
-                let _eval_span = telemetry.span("evaluate_domain");
-                let acc = evaluate_domain(strategy, &global, dataset, d, cfg.eval_batch);
+            // Evaluate on every domain seen so far, fanning (domain, batch)
+            // work items across the same worker pool the training rounds use.
+            let row = self.evaluate_task(strategy, &global, dataset, task);
+            for &acc in &row {
                 telemetry.observe("eval.domain_acc", f64::from(acc));
-                row.push(acc);
             }
             let step_acc = row.iter().sum::<f32>() / row.len() as f32;
             telemetry.info(format!("task {task} done: step accuracy {step_acc:.2}%"));
@@ -793,6 +826,137 @@ impl FdilRunner {
             telemetry: telemetry.summary(),
         }
     }
+
+    /// Evaluates the global model on every domain seen up to `task`
+    /// (inclusive), returning one accuracy (%) per domain.
+    ///
+    /// All `(domain, batch)` work items are planned up front and fanned
+    /// across the runner's worker pool; each worker holds its own
+    /// [`DomainEvaluator`] (and thus its own reusable tape-free inference
+    /// session) over the one shared [`EvalContext`]. Per-item correct counts
+    /// land in slots indexed by plan order and integer summation is
+    /// order-independent, so the result is byte-identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a domain in `0..=task` has no test data, or if a worker
+    /// panics.
+    pub fn evaluate_task(
+        &self,
+        strategy: &dyn FdilStrategy,
+        global: &[f32],
+        dataset: &FdilDataset,
+        task: usize,
+    ) -> Vec<f32> {
+        let telemetry = &self.telemetry;
+        let batch = self.cfg.eval_batch.max(1);
+        let mut items: Vec<EvalItem<'_>> = Vec::new();
+        for domain in 0..=task {
+            let test = &dataset.domains[domain].test;
+            assert!(!test.is_empty(), "domain {domain} has no test data");
+            for chunk in test.chunks(batch) {
+                items.push(EvalItem { domain, chunk });
+            }
+        }
+        let eval_path = telemetry.current_path();
+        let ctx = strategy.eval_ctx(global);
+        let workers = self.threads.min(items.len());
+        let counts: Vec<usize> = if workers <= 1 {
+            let mut evaluator = ctx.evaluator();
+            let mut staging = Vec::new();
+            items
+                .iter()
+                .map(|item| eval_item(&mut *evaluator, item, &mut staging, telemetry, &eval_path))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; items.len()]);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| {
+                        let mut evaluator = ctx.evaluator();
+                        let mut staging = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else {
+                                break;
+                            };
+                            let correct = eval_item(
+                                &mut *evaluator,
+                                item,
+                                &mut staging,
+                                telemetry,
+                                &eval_path,
+                            );
+                            slots.lock().expect("eval slots poisoned")[i] = Some(correct);
+                        }
+                    });
+                }
+            })
+            .expect("evaluation worker panicked");
+            slots
+                .into_inner()
+                .expect("eval slots poisoned")
+                .into_iter()
+                .map(|c| c.expect("planned eval item never ran"))
+                .collect()
+        };
+        (0..=task)
+            .map(|domain| {
+                let correct: usize = items
+                    .iter()
+                    .zip(&counts)
+                    .filter(|(item, _)| item.domain == domain)
+                    .map(|(_, &c)| c)
+                    .sum();
+                100.0 * correct as f32 / dataset.domains[domain].test.len() as f32
+            })
+            .collect()
+    }
+}
+
+/// One planned unit of evaluation work: a single test batch of one domain.
+struct EvalItem<'a> {
+    domain: usize,
+    chunk: &'a [Sample],
+}
+
+/// Evaluates one planned batch, returning its correct-prediction count.
+///
+/// `staging` is the worker's reusable feature buffer: it is moved into the
+/// batch tensor and reclaimed afterwards, so steady-state evaluation does no
+/// per-batch feature allocation. Each item gets an `evaluate_domain` span
+/// parented under `eval_path` plus `eval.samples` / `eval.batches` /
+/// `eval.forward_ns` counters, emitted correctly even from worker threads.
+fn eval_item(
+    evaluator: &mut dyn DomainEvaluator,
+    item: &EvalItem<'_>,
+    staging: &mut Vec<f32>,
+    telemetry: &Telemetry,
+    eval_path: &str,
+) -> usize {
+    let t = telemetry.scoped(eval_path);
+    let _span = t.span("evaluate_domain");
+    let dim = item.chunk[0].features.len();
+    let mut data = std::mem::take(staging);
+    data.clear();
+    data.reserve(item.chunk.len() * dim);
+    for s in item.chunk {
+        data.extend_from_slice(&s.features);
+    }
+    let features = Tensor::from_vec(data, &[item.chunk.len(), dim]);
+    let start = std::time::Instant::now();
+    let preds = evaluator.predict_domain(&features, item.domain);
+    t.counter("eval.forward_ns", start.elapsed().as_nanos() as u64);
+    t.counter("eval.samples", item.chunk.len() as u64);
+    t.counter("eval.batches", 1);
+    *staging = features.into_vec();
+    preds
+        .iter()
+        .zip(item.chunk)
+        .filter(|(p, s)| **p == s.label)
+        .count()
 }
 
 /// Moves one message the way the active path dictates: encoded through the
@@ -825,8 +989,17 @@ fn roundtrip(link: Option<&dyn Transport>, msg: WireMessage) -> (WireMessage, u6
 }
 
 /// Accuracy (%) of the strategy's global model on one domain's test split.
+///
+/// Batches run serially through a single [`DomainEvaluator`] whose feature
+/// staging buffer and inference session are reused across the whole split;
+/// the parallel sweep inside [`FdilRunner::evaluate_task`] produces
+/// bit-identical numbers.
+///
+/// # Panics
+///
+/// Panics if the domain has no test data.
 pub fn evaluate_domain(
-    strategy: &mut dyn FdilStrategy,
+    strategy: &dyn FdilStrategy,
     global: &[f32],
     dataset: &FdilDataset,
     domain: usize,
@@ -834,20 +1007,14 @@ pub fn evaluate_domain(
 ) -> f32 {
     let test = &dataset.domains[domain].test;
     assert!(!test.is_empty(), "domain {domain} has no test data");
-    let dim = test[0].features.len();
+    let ctx = strategy.eval_ctx(global);
+    let mut evaluator = ctx.evaluator();
+    let mut staging = Vec::new();
+    let telemetry = Telemetry::disabled();
     let mut correct = 0usize;
     for chunk in test.chunks(eval_batch.max(1)) {
-        let mut data = Vec::with_capacity(chunk.len() * dim);
-        for s in chunk {
-            data.extend_from_slice(&s.features);
-        }
-        let features = Tensor::from_vec(data, &[chunk.len(), dim]);
-        let preds = strategy.predict_domain(global, &features, domain);
-        correct += preds
-            .iter()
-            .zip(chunk)
-            .filter(|(p, s)| **p == s.label)
-            .count();
+        let item = EvalItem { domain, chunk };
+        correct += eval_item(&mut *evaluator, &item, &mut staging, &telemetry, "");
     }
     100.0 * correct as f32 / test.len() as f32
 }
@@ -959,6 +1126,40 @@ mod tests {
         }
 
         fn predict(&mut self, global: &[f32], features: &Tensor) -> Vec<usize> {
+            CentroidEval {
+                classes: self.classes,
+                dim: self.dim,
+                global,
+            }
+            .predict_domain(features, 0)
+        }
+
+        fn eval_ctx<'a>(&'a self, global: &'a [f32]) -> Box<dyn EvalContext + 'a> {
+            Box::new(CentroidEval {
+                classes: self.classes,
+                dim: self.dim,
+                global,
+            })
+        }
+    }
+
+    /// Nearest-class-mean prediction is stateless, so one struct serves as
+    /// both the shared context and the per-worker evaluator.
+    #[derive(Clone, Copy)]
+    struct CentroidEval<'a> {
+        classes: usize,
+        dim: usize,
+        global: &'a [f32],
+    }
+
+    impl EvalContext for CentroidEval<'_> {
+        fn evaluator(&self) -> Box<dyn DomainEvaluator + '_> {
+            Box::new(*self)
+        }
+    }
+
+    impl DomainEvaluator for CentroidEval<'_> {
+        fn predict_domain(&mut self, features: &Tensor, _domain: usize) -> Vec<usize> {
             let n = features.shape()[0];
             (0..n)
                 .map(|i| {
@@ -967,12 +1168,12 @@ mod tests {
                         .min_by(|&a, &b| {
                             let da: f32 = x
                                 .iter()
-                                .zip(&global[a * self.dim..(a + 1) * self.dim])
+                                .zip(&self.global[a * self.dim..(a + 1) * self.dim])
                                 .map(|(u, v)| (u - v) * (u - v))
                                 .sum();
                             let db: f32 = x
                                 .iter()
-                                .zip(&global[b * self.dim..(b + 1) * self.dim])
+                                .zip(&self.global[b * self.dim..(b + 1) * self.dim])
                                 .map(|(u, v)| (u - v) * (u - v))
                                 .sum();
                             da.total_cmp(&db)

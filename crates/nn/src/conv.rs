@@ -122,57 +122,58 @@ impl Graph {
         assert!(l + 2 * pad >= k, "kernel larger than padded input");
         let l_out = l + 2 * pad - k + 1;
 
-        let value = if naive_forced() {
-            // Pre-PR path for the A/B escape hatch: the 5-deep nested loop.
-            let xv = self.value(x);
-            let wv = self.value(w);
-            let bv = self.value(bias);
-            let mut out = vec![0.0f32; b * c_out * l_out];
-            for bi in 0..b {
-                for co in 0..c_out {
-                    for lo in 0..l_out {
-                        let mut acc = bv.data()[co];
-                        for ci in 0..c_in {
-                            for kk in 0..k {
-                                let xi = lo + kk;
-                                if xi < pad || xi - pad >= l {
-                                    continue;
+        let value = self.with_value(x, |xv| {
+            self.with_value(w, |wv| {
+                self.with_value(bias, |bv| {
+                    if naive_forced() {
+                        // Pre-PR path for the A/B escape hatch: the 5-deep
+                        // nested loop.
+                        let mut out = self.out_zeroed(b * c_out * l_out);
+                        for bi in 0..b {
+                            for co in 0..c_out {
+                                for lo in 0..l_out {
+                                    let mut acc = bv.data()[co];
+                                    for ci in 0..c_in {
+                                        for kk in 0..k {
+                                            let xi = lo + kk;
+                                            if xi < pad || xi - pad >= l {
+                                                continue;
+                                            }
+                                            acc += xv.data()[(bi * c_in + ci) * l + (xi - pad)]
+                                                * wv.data()[(co * c_in + ci) * k + kk];
+                                        }
+                                    }
+                                    out[(bi * c_out + co) * l_out + lo] = acc;
                                 }
-                                acc += xv.data()[(bi * c_in + ci) * l + (xi - pad)]
-                                    * wv.data()[(co * c_in + ci) * k + kk];
                             }
                         }
-                        out[(bi * c_out + co) * l_out + lo] = acc;
+                        Tensor::from_vec(out, &[b, c_out, l_out])
+                    } else {
+                        let key = (b, c_in, l, k, pad);
+                        let ckl = c_in * k * l_out;
+                        let mut cols = take_cols(key, b * ckl);
+                        im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
+                        let mut out = self.out_zeroed(b * c_out * l_out);
+                        for bi in 0..b {
+                            let out_bi = &mut out[bi * c_out * l_out..(bi + 1) * c_out * l_out];
+                            for co in 0..c_out {
+                                out_bi[co * l_out..(co + 1) * l_out].fill(bv.data()[co]);
+                            }
+                            gemm(
+                                wv.data(),
+                                &cols[bi * ckl..(bi + 1) * ckl],
+                                out_bi,
+                                c_out,
+                                c_in * k,
+                                l_out,
+                            );
+                        }
+                        recycle_cols(key, cols);
+                        Tensor::from_vec(out, &[b, c_out, l_out])
                     }
-                }
-            }
-            Tensor::from_vec(out, &[b, c_out, l_out])
-        } else {
-            let xv = self.value(x);
-            let wv = self.value(w);
-            let bv = self.value(bias);
-            let key = (b, c_in, l, k, pad);
-            let ckl = c_in * k * l_out;
-            let mut cols = take_cols(key, b * ckl);
-            im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
-            let mut out = vec![0.0f32; b * c_out * l_out];
-            for bi in 0..b {
-                let out_bi = &mut out[bi * c_out * l_out..(bi + 1) * c_out * l_out];
-                for co in 0..c_out {
-                    out_bi[co * l_out..(co + 1) * l_out].fill(bv.data()[co]);
-                }
-                gemm(
-                    wv.data(),
-                    &cols[bi * ckl..(bi + 1) * ckl],
-                    out_bi,
-                    c_out,
-                    c_in * k,
-                    l_out,
-                );
-            }
-            recycle_cols(key, cols);
-            Tensor::from_vec(out, &[b, c_out, l_out])
-        };
+                })
+            })
+        });
 
         self.push_conv_node(value, x, w, bias, pad, (b, c_in, l, c_out, k, l_out))
     }
@@ -191,85 +192,87 @@ impl Graph {
         self.push_node(
             value,
             vec![x, w, bias],
-            Box::new(move |g, p, _, scr| {
-                let (xv, wv) = (p[0], p[1]);
-                if naive_forced() {
-                    // Pre-PR path for the A/B escape hatch: gathered loops
-                    // with the gi == 0.0 skip branch.
-                    let mut dx = scr.take_zeroed(b * c_in * l);
+            self.bw(|| {
+                Box::new(move |g, p, _, scr| {
+                    let (xv, wv) = (p[0], p[1]);
+                    if naive_forced() {
+                        // Pre-PR path for the A/B escape hatch: gathered loops
+                        // with the gi == 0.0 skip branch.
+                        let mut dx = scr.take_zeroed(b * c_in * l);
+                        let mut dw = scr.take_zeroed(c_out * c_in * k);
+                        let mut db = scr.take_zeroed(c_out);
+                        for bi in 0..b {
+                            for (co, db_co) in db.iter_mut().enumerate() {
+                                for lo in 0..l_out {
+                                    let gi = g.data()[(bi * c_out + co) * l_out + lo];
+                                    if gi == 0.0 {
+                                        continue;
+                                    }
+                                    *db_co += gi;
+                                    for ci in 0..c_in {
+                                        for kk in 0..k {
+                                            let xi = lo + kk;
+                                            if xi < pad || xi - pad >= l {
+                                                continue;
+                                            }
+                                            let x_idx = (bi * c_in + ci) * l + (xi - pad);
+                                            let w_idx = (co * c_in + ci) * k + kk;
+                                            dx[x_idx] += gi * wv.data()[w_idx];
+                                            dw[w_idx] += gi * xv.data()[x_idx];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        return vec![
+                            Tensor::from_vec(dx, &[b, c_in, l]),
+                            Tensor::from_vec(dw, &[c_out, c_in, k]),
+                            Tensor::from_vec(db, &[c_out]),
+                        ];
+                    }
+                    let key = (b, c_in, l, k, pad);
+                    let ckl = c_in * k * l_out;
+                    // Rebuild the column matrix from the parent value instead of
+                    // capturing the forward buffer, so the pool stays small.
+                    let mut cols = take_cols(key, b * ckl);
+                    im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
+                    let mut dcols = take_cols(key, b * ckl);
                     let mut dw = scr.take_zeroed(c_out * c_in * k);
                     let mut db = scr.take_zeroed(c_out);
                     for bi in 0..b {
                         for (co, db_co) in db.iter_mut().enumerate() {
                             for lo in 0..l_out {
-                                let gi = g.data()[(bi * c_out + co) * l_out + lo];
-                                if gi == 0.0 {
-                                    continue;
-                                }
-                                *db_co += gi;
-                                for ci in 0..c_in {
-                                    for kk in 0..k {
-                                        let xi = lo + kk;
-                                        if xi < pad || xi - pad >= l {
-                                            continue;
-                                        }
-                                        let x_idx = (bi * c_in + ci) * l + (xi - pad);
-                                        let w_idx = (co * c_in + ci) * k + kk;
-                                        dx[x_idx] += gi * wv.data()[w_idx];
-                                        dw[w_idx] += gi * xv.data()[x_idx];
-                                    }
-                                }
+                                *db_co += g.data()[(bi * c_out + co) * l_out + lo];
                             }
                         }
                     }
-                    return vec![
+                    for bi in 0..b {
+                        let gs = &g.data()[bi * c_out * l_out..(bi + 1) * c_out * l_out];
+                        // dw += g_bi · cols_biᵀ: per weight the terms arrive in the
+                        // same (bi, lo) order as the old nested loop.
+                        gemm_nt(
+                            gs,
+                            &cols[bi * ckl..(bi + 1) * ckl],
+                            &mut dw,
+                            c_out,
+                            l_out,
+                            c_in * k,
+                        );
+                        // dcols_bi = wᵀ · g_bi, scattered back onto dx below.
+                        let dcols_bi = &mut dcols[bi * ckl..(bi + 1) * ckl];
+                        dcols_bi.fill(0.0);
+                        gemm_tn(wv.data(), gs, dcols_bi, c_in * k, c_out, l_out);
+                    }
+                    let mut dx = scr.take_zeroed(b * c_in * l);
+                    col2im_add(&dcols, &mut dx, b, c_in, l, k, pad);
+                    recycle_cols(key, cols);
+                    recycle_cols(key, dcols);
+                    vec![
                         Tensor::from_vec(dx, &[b, c_in, l]),
                         Tensor::from_vec(dw, &[c_out, c_in, k]),
                         Tensor::from_vec(db, &[c_out]),
-                    ];
-                }
-                let key = (b, c_in, l, k, pad);
-                let ckl = c_in * k * l_out;
-                // Rebuild the column matrix from the parent value instead of
-                // capturing the forward buffer, so the pool stays small.
-                let mut cols = take_cols(key, b * ckl);
-                im2col(xv.data(), &mut cols, b, c_in, l, k, pad);
-                let mut dcols = take_cols(key, b * ckl);
-                let mut dw = scr.take_zeroed(c_out * c_in * k);
-                let mut db = scr.take_zeroed(c_out);
-                for bi in 0..b {
-                    for (co, db_co) in db.iter_mut().enumerate() {
-                        for lo in 0..l_out {
-                            *db_co += g.data()[(bi * c_out + co) * l_out + lo];
-                        }
-                    }
-                }
-                for bi in 0..b {
-                    let gs = &g.data()[bi * c_out * l_out..(bi + 1) * c_out * l_out];
-                    // dw += g_bi · cols_biᵀ: per weight the terms arrive in the
-                    // same (bi, lo) order as the old nested loop.
-                    gemm_nt(
-                        gs,
-                        &cols[bi * ckl..(bi + 1) * ckl],
-                        &mut dw,
-                        c_out,
-                        l_out,
-                        c_in * k,
-                    );
-                    // dcols_bi = wᵀ · g_bi, scattered back onto dx below.
-                    let dcols_bi = &mut dcols[bi * ckl..(bi + 1) * ckl];
-                    dcols_bi.fill(0.0);
-                    gemm_tn(wv.data(), gs, dcols_bi, c_in * k, c_out, l_out);
-                }
-                let mut dx = scr.take_zeroed(b * c_in * l);
-                col2im_add(&dcols, &mut dx, b, c_in, l, k, pad);
-                recycle_cols(key, cols);
-                recycle_cols(key, dcols);
-                vec![
-                    Tensor::from_vec(dx, &[b, c_in, l]),
-                    Tensor::from_vec(dw, &[c_out, c_in, k]),
-                    Tensor::from_vec(db, &[c_out]),
-                ]
+                    ]
+                })
             }),
         )
     }
@@ -289,10 +292,9 @@ impl Graph {
             "bad pooling window {window} for length {l}"
         );
         let l_out = l / window;
-        let value = {
-            let xv = self.value(x);
+        let value = self.with_value(x, |xv| {
             let inv = 1.0 / window as f32;
-            let mut out = vec![0.0f32; b * c * l_out];
+            let mut out = self.out_zeroed(b * c * l_out);
             for bc in 0..b * c {
                 for j in 0..l_out {
                     let mut acc = 0.0;
@@ -303,22 +305,24 @@ impl Graph {
                 }
             }
             Tensor::from_vec(out, &[b, c, l_out])
-        };
+        });
         self.push_node(
             value,
             vec![x],
-            Box::new(move |g, _, _, scr| {
-                let inv = 1.0 / window as f32;
-                let mut dx = scr.take_zeroed(b * c * l);
-                for bc in 0..b * c {
-                    for j in 0..l_out {
-                        let gi = g.data()[bc * l_out + j] * inv;
-                        for t in 0..window {
-                            dx[bc * l + j * window + t] = gi;
+            self.bw(|| {
+                Box::new(move |g, _, _, scr| {
+                    let inv = 1.0 / window as f32;
+                    let mut dx = scr.take_zeroed(b * c * l);
+                    for bc in 0..b * c {
+                        for j in 0..l_out {
+                            let gi = g.data()[bc * l_out + j] * inv;
+                            for t in 0..window {
+                                dx[bc * l + j * window + t] = gi;
+                            }
                         }
                     }
-                }
-                vec![Tensor::from_vec(dx, &[b, c, l])]
+                    vec![Tensor::from_vec(dx, &[b, c, l])]
+                })
             }),
         )
     }

@@ -24,7 +24,7 @@
 
 use std::cell::RefCell;
 
-use crate::gemm::{gemm, gemm_nt, gemm_tn};
+use crate::gemm::{dispatch, gemm, gemm_nt, gemm_tn};
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
 
@@ -72,6 +72,19 @@ impl Scratch {
         }
     }
 
+    /// An empty buffer with room for `cap` elements (for extend-style
+    /// fills), recycled when possible.
+    pub(crate) fn take_cleared(&mut self, cap: usize) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
     /// Returns a buffer to the pool for reuse.
     pub(crate) fn recycle(&mut self, v: Vec<f32>) {
         if v.capacity() > 0 {
@@ -93,10 +106,21 @@ struct Node {
 ///
 /// Build one per forward pass; ops append nodes and [`Graph::backward`]
 /// replays them in reverse.
+///
+/// A graph created with [`Graph::inference`] is a *forward-only plan*: ops
+/// compute identical values but record no parent edges and never construct
+/// backward closures, and every node's value buffer comes out of a pool
+/// refilled by [`Graph::reset`] — so replaying same-shaped batches through
+/// one inference graph allocates nothing in steady state.
 #[derive(Default)]
 pub struct Graph {
     nodes: RefCell<Vec<Node>>,
     scratch: RefCell<Scratch>,
+    /// Forward-only mode: no backward closures, pooled value buffers.
+    inference: bool,
+    /// Pool backing node *values* on inference graphs (distinct from
+    /// `scratch`, which backs backward-pass gradient buffers).
+    fwd: RefCell<Scratch>,
 }
 
 impl std::fmt::Debug for Graph {
@@ -111,6 +135,39 @@ impl Graph {
         Self::default()
     }
 
+    /// Creates a forward-only graph: ops record values but no parent edges
+    /// or backward closures, [`Graph::backward`] panics, and
+    /// [`Graph::reset`] recycles every node's buffer into a pool reused by
+    /// the next forward pass. This is the core of the tape-free inference
+    /// engine (see [`crate::infer::InferenceSession`]).
+    pub fn inference() -> Self {
+        Self {
+            inference: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this graph is a forward-only (inference) plan.
+    pub fn is_inference(&self) -> bool {
+        self.inference
+    }
+
+    /// Clears the tape so the graph can replay another forward pass. On an
+    /// inference graph every node's value buffer is recycled into the
+    /// forward pool first, so a replay of the same batch shape allocates
+    /// nothing; on a training graph the nodes are simply dropped.
+    pub fn reset(&self) {
+        let mut nodes = self.nodes.borrow_mut();
+        if self.inference {
+            let mut fwd = self.fwd.borrow_mut();
+            for node in nodes.drain(..) {
+                fwd.recycle(node.value.into_vec());
+            }
+        } else {
+            nodes.clear();
+        }
+    }
+
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
         self.nodes.borrow().len()
@@ -119,6 +176,98 @@ impl Graph {
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.borrow().is_empty()
+    }
+
+    /// Wraps a backward-closure constructor, skipping it entirely (no box,
+    /// no capture) on inference graphs.
+    pub(crate) fn bw(&self, f: impl FnOnce() -> BackwardFn) -> Option<BackwardFn> {
+        if self.inference {
+            None
+        } else {
+            Some(f())
+        }
+    }
+
+    /// Parent edges for a new node; empty (non-allocating) on inference
+    /// graphs, where no backward walk will ever read them.
+    fn deps(&self, ids: &[usize]) -> Vec<usize> {
+        if self.inference {
+            Vec::new()
+        } else {
+            ids.to_vec()
+        }
+    }
+
+    /// A zero-filled forward buffer of `len` elements: pooled on inference
+    /// graphs, freshly allocated otherwise.
+    pub(crate) fn out_zeroed(&self, len: usize) -> Vec<f32> {
+        if self.inference {
+            self.fwd.borrow_mut().take_zeroed(len)
+        } else {
+            vec![0.0; len]
+        }
+    }
+
+    /// A forward buffer pre-filled with a copy of `src`.
+    pub(crate) fn out_copied(&self, src: &[f32]) -> Vec<f32> {
+        if self.inference {
+            self.fwd.borrow_mut().take_copied(src)
+        } else {
+            src.to_vec()
+        }
+    }
+
+    /// An empty forward buffer with room for `cap` elements (for
+    /// extend-style fills).
+    fn out_cleared(&self, cap: usize) -> Vec<f32> {
+        if self.inference {
+            self.fwd.borrow_mut().take_cleared(cap)
+        } else {
+            Vec::with_capacity(cap)
+        }
+    }
+
+    /// Pooled elementwise map of `a`'s value (same arithmetic and traversal
+    /// order as [`Tensor::map`], so results are bit-identical).
+    fn unary_value(&self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let nodes = self.nodes.borrow();
+        let av = &nodes[a.id].value;
+        let mut out = self.out_cleared(av.numel());
+        out.extend(av.data().iter().map(|&x| f(x)));
+        Tensor::from_vec(out, av.shape())
+    }
+
+    /// Pooled elementwise combination of two same-shape values (bit-identical
+    /// to [`Tensor::zip`]).
+    fn zip_value(&self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let nodes = self.nodes.borrow();
+        let (av, bv) = (&nodes[a.id].value, &nodes[b.id].value);
+        assert_eq!(av.shape(), bv.shape(), "zip shape mismatch");
+        let mut out = self.out_cleared(av.numel());
+        out.extend(av.data().iter().zip(bv.data()).map(|(&x, &y)| f(x, y)));
+        Tensor::from_vec(out, av.shape())
+    }
+
+    /// Pooled row-broadcast combination (bit-identical to the free
+    /// `rows_broadcast` helper used by the backward closures).
+    fn rows_broadcast_value(&self, x: Var, a: Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let nodes = self.nodes.borrow();
+        let (xv, av) = (&nodes[x.id].value, &nodes[a.id].value);
+        assert_eq!(xv.ndim(), 3, "rows_broadcast expects 3-D x");
+        assert_eq!(av.ndim(), 2, "rows_broadcast expects 2-D a");
+        let (b, r, c) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        assert_eq!(av.shape(), [b, c], "rows_broadcast shape mismatch");
+        let mut out = self.out_zeroed(xv.numel());
+        for bi in 0..b {
+            let arow = &av.data()[bi * c..(bi + 1) * c];
+            for ri in 0..r {
+                let base = (bi * r + ri) * c;
+                for ci in 0..c {
+                    out[base + ci] = f(xv.data()[base + ci], arow[ci]);
+                }
+            }
+        }
+        Tensor::from_vec(out, xv.shape())
     }
 
     fn push(
@@ -139,21 +288,33 @@ impl Graph {
         Var { id }
     }
 
-    /// Crate-internal: appends a differentiable node (used by op extension
+    /// Crate-internal: appends a node whose backward closure (if any) the
+    /// caller has already gated through [`Graph::bw`] (used by op extension
     /// modules such as `conv`).
-    pub(crate) fn push_node(&self, value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
-        self.push(
-            value,
-            parents.into_iter().map(|v| v.id).collect(),
-            Some(backward),
-            None,
-        )
+    pub(crate) fn push_node(
+        &self,
+        value: Tensor,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
+        let parents = if self.inference {
+            Vec::new()
+        } else {
+            parents.into_iter().map(|v| v.id).collect()
+        };
+        self.push(value, parents, backward, None)
     }
 
     /// Creates a leaf tied to a parameter; gradients flow into `params` on
     /// [`Graph::backward`].
     pub fn param(&self, params: &Params, id: ParamId) -> Var {
-        self.push(params.value(id).clone(), vec![], None, Some(id))
+        let t = params.value(id);
+        let v = if self.inference {
+            Tensor::from_vec(self.out_copied(t.data()), t.shape())
+        } else {
+            t.clone()
+        };
+        self.push(v, vec![], None, Some(id))
     }
 
     /// Creates a constant leaf (no gradient).
@@ -161,9 +322,27 @@ impl Graph {
         self.push(value, vec![], None, None)
     }
 
+    /// Creates a constant leaf holding a copy of `value`. Equivalent to
+    /// `constant(value.clone())` but the copy comes out of the forward pool
+    /// on inference graphs — use this for per-batch inputs on hot paths.
+    pub fn input(&self, value: &Tensor) -> Var {
+        let v = Tensor::from_vec(self.out_copied(value.data()), value.shape());
+        self.push(v, vec![], None, None)
+    }
+
     /// A copy of the value held by `v`.
     pub fn value(&self, v: Var) -> Tensor {
         self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Runs `f` against the value of `v` without cloning it.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[v.id].value)
+    }
+
+    /// Argmax over the last axis of `v`'s value (no clone of the value).
+    pub fn argmax_last(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.id].value.argmax_last()
     }
 
     /// The shape of `v`.
@@ -178,6 +357,10 @@ impl Graph {
     ///
     /// Panics if `root` is not a single-element tensor.
     pub fn backward(&self, root: Var, params: &mut Params) {
+        assert!(
+            !self.inference,
+            "backward called on a forward-only inference graph"
+        );
         let nodes = self.nodes.borrow();
         let mut scratch = self.scratch.borrow_mut();
         assert_eq!(
@@ -221,112 +404,110 @@ impl Graph {
 
     /// Elementwise `a + b` (same shapes).
     pub fn add(&self, a: Var, b: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x + y)
-        };
+        let v = self.zip_value(a, b, |x, y| x + y);
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, _, _, scr| {
-                vec![
-                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
-                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
-                ]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, _, _, scr| {
+                    vec![
+                        Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                        Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
 
     /// Elementwise `a - b` (same shapes).
     pub fn sub(&self, a: Var, b: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x - y)
-        };
+        let v = self.zip_value(a, b, |x, y| x - y);
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, _, _, scr| {
-                let mut db = scr.take_copied(g.data());
-                for x in &mut db {
-                    *x = -*x;
-                }
-                vec![
-                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
-                    Tensor::from_vec(db, g.shape()),
-                ]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, _, _, scr| {
+                    let mut db = scr.take_copied(g.data());
+                    for x in &mut db {
+                        *x = -*x;
+                    }
+                    vec![
+                        Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                        Tensor::from_vec(db, g.shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
 
     /// Elementwise `a * b` (same shapes).
     pub fn mul(&self, a: Var, b: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x * y)
-        };
+        let v = self.zip_value(a, b, |x, y| x * y);
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, p, _, _scr| {
-                vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, _scr| {
+                    vec![g.zip(p[1], |gi, bi| gi * bi), g.zip(p[0], |gi, ai| gi * ai)]
+                })
+            }),
             None,
         )
     }
 
     /// Elementwise `a / b` (same shapes).
     pub fn div(&self, a: Var, b: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x / y)
-        };
+        let v = self.zip_value(a, b, |x, y| x / y);
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, p, _, _scr| {
-                let da = g.zip(p[1], |gi, bi| gi / bi);
-                let mut db = g.zip(p[0], |gi, ai| gi * ai);
-                db = db.zip(p[1], |x, bi| -x / (bi * bi));
-                vec![da, db]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, _scr| {
+                    let da = g.zip(p[1], |gi, bi| gi / bi);
+                    let mut db = g.zip(p[0], |gi, ai| gi * ai);
+                    db = db.zip(p[1], |x, bi| -x / (bi * bi));
+                    vec![da, db]
+                })
+            }),
             None,
         )
     }
 
     /// Elementwise negation.
     pub fn neg(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| -x);
+        let v = self.unary_value(a, |x| -x);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, _, _scr| vec![g.map(|x| -x)])),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, _, _scr| vec![g.map(|x| -x)])),
             None,
         )
     }
 
     /// Multiplies by a compile-time constant.
     pub fn scale(&self, a: Var, c: f32) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| x * c);
+        let v = self.unary_value(a, |x| x * c);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(move |g, _, _, _scr| vec![g.map(|x| x * c)])),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(move |g, _, _, _scr| vec![g.map(|x| x * c)])),
             None,
         )
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, a: Var, c: f32) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| x + c);
+        let v = self.unary_value(a, |x| x + c);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, _, scr| {
-                vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape())]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(|g, _, _, scr| {
+                    vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape())]
+                })
+            }),
             None,
         )
     }
@@ -337,91 +518,81 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| x.max(0.0));
+        let v = self.unary_value(a, |x| x.max(0.0));
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, p, _, _scr| {
-                vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(
+                    |g, p, _, _scr| vec![g.zip(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })],
+                )
+            }),
             None,
         )
     }
 
     /// Gaussian error linear unit (tanh approximation).
     pub fn gelu(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(gelu_fwd);
+        let v = self.unary_value(a, gelu_fwd);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, p, _, _scr| {
-                vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, p, _, _scr| vec![g.zip(p[0], |gi, xi| gi * gelu_bwd(xi))])),
             None,
         )
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(f32::tanh);
+        let v = self.unary_value(a, f32::tanh);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, y, _scr| {
-                vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi * (1.0 - yi * yi))])),
             None,
         )
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id]
-            .value
-            .map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.unary_value(a, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, y, _scr| {
-                vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi * yi * (1.0 - yi))])),
             None,
         )
     }
 
     /// Elementwise exponential.
     pub fn exp(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(f32::exp);
+        let v = self.unary_value(a, f32::exp);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi * yi)])),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi * yi)])),
             None,
         )
     }
 
     /// Elementwise natural log.
     pub fn ln(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(f32::ln);
+        let v = self.unary_value(a, f32::ln);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(
-                |g, p, _, _scr| vec![g.zip(p[0], |gi, xi| gi / xi)],
-            )),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, p, _, _scr| vec![g.zip(p[0], |gi, xi| gi / xi)])),
             None,
         )
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(f32::sqrt);
+        let v = self.unary_value(a, f32::sqrt);
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, y, _scr| {
-                vec![g.zip(y, |gi, yi| gi / (2.0 * yi))]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, y, _scr| vec![g.zip(y, |gi, yi| gi / (2.0 * yi))])),
             None,
         )
     }
@@ -434,25 +605,41 @@ impl Graph {
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.id].value.matmul(&nodes[b.id].value)
+            let (av, bv) = (&nodes[a.id].value, &nodes[b.id].value);
+            assert_eq!(av.ndim(), 2, "matmul lhs must be 2-D, got {:?}", av.shape());
+            assert_eq!(bv.ndim(), 2, "matmul rhs must be 2-D, got {:?}", bv.shape());
+            let (m, k) = (av.shape()[0], av.shape()[1]);
+            let (k2, n) = (bv.shape()[0], bv.shape()[1]);
+            assert_eq!(
+                k,
+                k2,
+                "matmul inner dim mismatch: {:?} x {:?}",
+                av.shape(),
+                bv.shape()
+            );
+            let mut out = self.out_zeroed(m * n);
+            dispatch(av.data(), bv.data(), &mut out, m, k, n);
+            Tensor::from_vec(out, &[m, n])
         };
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, p, _, scr| {
-                // da = g · bᵀ and db = aᵀ · g through the layout-aware
-                // kernels: no transposed copies, same accumulation order.
-                let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
-                let n = p[1].shape()[1];
-                let mut da = scr.take_zeroed(m * k);
-                gemm_nt(g.data(), p[1].data(), &mut da, m, n, k);
-                let mut db = scr.take_zeroed(k * n);
-                gemm_tn(p[0].data(), g.data(), &mut db, k, m, n);
-                vec![
-                    Tensor::from_vec(da, p[0].shape()),
-                    Tensor::from_vec(db, p[1].shape()),
-                ]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    // da = g · bᵀ and db = aᵀ · g through the layout-aware
+                    // kernels: no transposed copies, same accumulation order.
+                    let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
+                    let n = p[1].shape()[1];
+                    let mut da = scr.take_zeroed(m * k);
+                    gemm_nt(g.data(), p[1].data(), &mut da, m, n, k);
+                    let mut db = scr.take_zeroed(k * n);
+                    gemm_tn(p[0].data(), g.data(), &mut db, k, m, n);
+                    vec![
+                        Tensor::from_vec(da, p[0].shape()),
+                        Tensor::from_vec(db, p[1].shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
@@ -472,26 +659,28 @@ impl Graph {
             let (m, k) = (av.shape()[0], av.shape()[1]);
             let (n, k2) = (bv.shape()[0], bv.shape()[1]);
             assert_eq!(k, k2, "matmul_nt inner dim mismatch");
-            let mut out = vec![0.0f32; m * n];
+            let mut out = self.out_zeroed(m * n);
             gemm_nt(av.data(), bv.data(), &mut out, m, k, n);
             Tensor::from_vec(out, &[m, n])
         };
         self.push(
             v,
-            vec![a.id, bt.id],
-            Some(Box::new(|g, p, _, scr| {
-                let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
-                let n = p[1].shape()[0];
-                // da = g · bt (plain product); dbt = gᵀ · a.
-                let mut da = scr.take_zeroed(m * k);
-                gemm(g.data(), p[1].data(), &mut da, m, n, k);
-                let mut dbt = scr.take_zeroed(n * k);
-                gemm_tn(g.data(), p[0].data(), &mut dbt, n, m, k);
-                vec![
-                    Tensor::from_vec(da, p[0].shape()),
-                    Tensor::from_vec(dbt, p[1].shape()),
-                ]
-            })),
+            self.deps(&[a.id, bt.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let (m, k) = (p[0].shape()[0], p[0].shape()[1]);
+                    let n = p[1].shape()[0];
+                    // da = g · bt (plain product); dbt = gᵀ · a.
+                    let mut da = scr.take_zeroed(m * k);
+                    gemm(g.data(), p[1].data(), &mut da, m, n, k);
+                    let mut dbt = scr.take_zeroed(n * k);
+                    gemm_tn(g.data(), p[0].data(), &mut dbt, n, m, k);
+                    vec![
+                        Tensor::from_vec(da, p[0].shape()),
+                        Tensor::from_vec(dbt, p[1].shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
@@ -500,28 +689,48 @@ impl Graph {
     pub fn bmm(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.id].value.bmm(&nodes[b.id].value)
+            let (av, bv) = (&nodes[a.id].value, &nodes[b.id].value);
+            assert_eq!(av.ndim(), 3, "bmm lhs must be 3-D, got {:?}", av.shape());
+            assert_eq!(bv.ndim(), 3, "bmm rhs must be 3-D, got {:?}", bv.shape());
+            let (bb, m, k) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+            let (bb2, k2, n) = (bv.shape()[0], bv.shape()[1], bv.shape()[2]);
+            assert_eq!(bb, bb2, "bmm batch mismatch");
+            assert_eq!(k, k2, "bmm inner dim mismatch");
+            let mut out = self.out_zeroed(bb * m * n);
+            for bi in 0..bb {
+                dispatch(
+                    &av.data()[bi * m * k..(bi + 1) * m * k],
+                    &bv.data()[bi * k * n..(bi + 1) * k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            Tensor::from_vec(out, &[bb, m, n])
         };
         self.push(
             v,
-            vec![a.id, b.id],
-            Some(Box::new(|g, p, _, scr| {
-                let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
-                let n = p[1].shape()[2];
-                let mut da = scr.take_zeroed(bb * m * k);
-                let mut db = scr.take_zeroed(bb * k * n);
-                for bi in 0..bb {
-                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
-                    let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
-                    let bvs = &p[1].data()[bi * k * n..(bi + 1) * k * n];
-                    gemm_nt(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
-                    gemm_tn(avs, gs, &mut db[bi * k * n..(bi + 1) * k * n], k, m, n);
-                }
-                vec![
-                    Tensor::from_vec(da, p[0].shape()),
-                    Tensor::from_vec(db, p[1].shape()),
-                ]
-            })),
+            self.deps(&[a.id, b.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                    let n = p[1].shape()[2];
+                    let mut da = scr.take_zeroed(bb * m * k);
+                    let mut db = scr.take_zeroed(bb * k * n);
+                    for bi in 0..bb {
+                        let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                        let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
+                        let bvs = &p[1].data()[bi * k * n..(bi + 1) * k * n];
+                        gemm_nt(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
+                        gemm_tn(avs, gs, &mut db[bi * k * n..(bi + 1) * k * n], k, m, n);
+                    }
+                    vec![
+                        Tensor::from_vec(da, p[0].shape()),
+                        Tensor::from_vec(db, p[1].shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
@@ -541,7 +750,7 @@ impl Graph {
             let (bb2, n, k2) = (bv.shape()[0], bv.shape()[1], bv.shape()[2]);
             assert_eq!(bb, bb2, "bmm_nt batch mismatch");
             assert_eq!(k, k2, "bmm_nt inner dim mismatch");
-            let mut out = vec![0.0f32; bb * m * n];
+            let mut out = self.out_zeroed(bb * m * n);
             for bi in 0..bb {
                 gemm_nt(
                     &av.data()[bi * m * k..(bi + 1) * m * k],
@@ -556,24 +765,26 @@ impl Graph {
         };
         self.push(
             v,
-            vec![a.id, bt.id],
-            Some(Box::new(|g, p, _, scr| {
-                let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
-                let n = p[1].shape()[1];
-                let mut da = scr.take_zeroed(bb * m * k);
-                let mut dbt = scr.take_zeroed(bb * n * k);
-                for bi in 0..bb {
-                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
-                    let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
-                    let bvs = &p[1].data()[bi * n * k..(bi + 1) * n * k];
-                    gemm(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
-                    gemm_tn(gs, avs, &mut dbt[bi * n * k..(bi + 1) * n * k], n, m, k);
-                }
-                vec![
-                    Tensor::from_vec(da, p[0].shape()),
-                    Tensor::from_vec(dbt, p[1].shape()),
-                ]
-            })),
+            self.deps(&[a.id, bt.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let (bb, m, k) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                    let n = p[1].shape()[1];
+                    let mut da = scr.take_zeroed(bb * m * k);
+                    let mut dbt = scr.take_zeroed(bb * n * k);
+                    for bi in 0..bb {
+                        let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                        let avs = &p[0].data()[bi * m * k..(bi + 1) * m * k];
+                        let bvs = &p[1].data()[bi * n * k..(bi + 1) * n * k];
+                        gemm(gs, bvs, &mut da[bi * m * k..(bi + 1) * m * k], m, n, k);
+                        gemm_tn(gs, avs, &mut dbt[bi * n * k..(bi + 1) * n * k], n, m, k);
+                    }
+                    vec![
+                        Tensor::from_vec(da, p[0].shape()),
+                        Tensor::from_vec(dbt, p[1].shape()),
+                    ]
+                })
+            }),
             None,
         )
     }
@@ -591,26 +802,136 @@ impl Graph {
         self.reshape(out, &[b, t, e])
     }
 
-    /// Transposes the last two axes.
-    pub fn transpose_last(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.transpose_last();
+    /// Applies the same matrix to every *last-axis-transposed* token slice:
+    /// `x [b,s,d] x w [s,h] -> [b,d,h]`, computing `x_bᵀ · w` per batch via
+    /// `gemm_tn` without materializing the `[b,d,s]` transpose.
+    ///
+    /// Byte-identical to `matmul_tokens(transpose_last(x), w)` in both the
+    /// forward and backward passes: every output (and gradient) element is
+    /// accumulated over the same ascending-k chain the explicit-transpose
+    /// composite runs, just read through a strided layout.
+    pub fn matmul_tn_tokens(&self, x: Var, w: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let (xv, wv) = (&nodes[x.id].value, &nodes[w.id].value);
+            assert_eq!(
+                xv.ndim(),
+                3,
+                "matmul_tn_tokens expects 3-D input, got {:?}",
+                xv.shape()
+            );
+            assert_eq!(wv.ndim(), 2, "matmul_tn_tokens weight must be 2-D");
+            let (b, s, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+            let (s2, h) = (wv.shape()[0], wv.shape()[1]);
+            assert_eq!(
+                s,
+                s2,
+                "matmul_tn_tokens inner dim mismatch: {:?} x {:?}",
+                xv.shape(),
+                wv.shape()
+            );
+            let mut out = self.out_zeroed(b * d * h);
+            for bi in 0..b {
+                gemm_tn(
+                    &xv.data()[bi * s * d..(bi + 1) * s * d],
+                    wv.data(),
+                    &mut out[bi * d * h..(bi + 1) * d * h],
+                    d,
+                    s,
+                    h,
+                );
+            }
+            Tensor::from_vec(out, &[b, d, h])
+        };
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, _, _scr| vec![g.transpose_last()])),
+            self.deps(&[x.id, w.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let (b, s, d) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                    let h = p[1].shape()[1];
+                    let mut dx = scr.take_zeroed(b * s * d);
+                    let mut dw = scr.take_zeroed(s * h);
+                    for bi in 0..b {
+                        let gs = &g.data()[bi * d * h..(bi + 1) * d * h];
+                        let xs = &p[0].data()[bi * s * d..(bi + 1) * s * d];
+                        // dx_b = w · g_bᵀ  (layout-aware, no transposed copy);
+                        // dw  += x_b · g_b, accumulated batch-by-batch in the
+                        // same (batch, row) order as the flattened composite.
+                        gemm_nt(
+                            p[1].data(),
+                            gs,
+                            &mut dx[bi * s * d..(bi + 1) * s * d],
+                            s,
+                            h,
+                            d,
+                        );
+                        gemm(xs, gs, &mut dw[..], s, d, h);
+                    }
+                    vec![
+                        Tensor::from_vec(dx, p[0].shape()),
+                        Tensor::from_vec(dw, p[1].shape()),
+                    ]
+                })
+            }),
+            None,
+        )
+    }
+
+    /// Transposes the last two axes.
+    pub fn transpose_last(&self, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            assert!(av.ndim() >= 2, "transpose requires >= 2 dims");
+            let nd = av.ndim();
+            let (r, c) = (av.shape()[nd - 2], av.shape()[nd - 1]);
+            let batch: usize = av.shape()[..nd - 2].iter().product();
+            let mut data = self.out_zeroed(av.numel());
+            for bi in 0..batch {
+                let src = &av.data()[bi * r * c..(bi + 1) * r * c];
+                let dst = &mut data[bi * r * c..(bi + 1) * r * c];
+                for i in 0..r {
+                    for j in 0..c {
+                        dst[j * r + i] = src[i * c + j];
+                    }
+                }
+            }
+            let mut shape = av.shape().to_vec();
+            shape.swap(nd - 2, nd - 1);
+            Tensor::from_vec(data, &shape)
+        };
+        self.push(
+            v,
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, _, _scr| vec![g.transpose_last()])),
             None,
         )
     }
 
     /// Reshapes (element order unchanged).
     pub fn reshape(&self, a: Var, shape: &[usize]) -> Var {
-        let v = self.nodes.borrow()[a.id].value.reshape(shape);
+        let v = {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            let numel: usize = shape.iter().product();
+            assert_eq!(
+                numel,
+                av.numel(),
+                "reshape numel mismatch: {:?} -> {:?}",
+                av.shape(),
+                shape
+            );
+            Tensor::from_vec(self.out_copied(av.data()), shape)
+        };
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, p, _, scr| {
-                vec![Tensor::from_vec(scr.take_copied(g.data()), p[0].shape())]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    vec![Tensor::from_vec(scr.take_copied(g.data()), p[0].shape())]
+                })
+            }),
             None,
         )
     }
@@ -618,11 +939,18 @@ impl Graph {
     /// Swaps axes 1 and 2 of a 4-D tensor (`[a,b,c,d] -> [a,c,b,d]`);
     /// used to split/merge attention heads. Self-inverse.
     pub fn permute_0213(&self, a: Var) -> Var {
-        let v = permute_0213_tensor(&self.nodes.borrow()[a.id].value);
+        let v = {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            let mut out = self.out_zeroed(av.numel());
+            permute_0213_into(av, &mut out);
+            let s = av.shape();
+            Tensor::from_vec(out, &[s[0], s[2], s[1], s[3]])
+        };
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, _, _, _scr| vec![permute_0213_tensor(g)])),
+            self.deps(&[a.id]),
+            self.bw(|| Box::new(|g, _, _, _scr| vec![permute_0213_tensor(g)])),
             None,
         )
     }
@@ -639,65 +967,65 @@ impl Graph {
             let bv = &nodes[bias.id].value;
             let d = *xv.shape().last().expect("add_bias on 0-d tensor");
             assert_eq!(bv.shape(), [d], "bias shape mismatch");
-            let mut out = xv.clone();
-            for row in out.data_mut().chunks_mut(d) {
+            let mut out = self.out_copied(xv.data());
+            for row in out.chunks_mut(d) {
                 for (o, &b) in row.iter_mut().zip(bv.data()) {
                     *o += b;
                 }
             }
-            out
+            Tensor::from_vec(out, xv.shape())
         };
         self.push(
             v,
-            vec![x.id, bias.id],
-            Some(Box::new(|g, p, _, scr| {
-                let d = *p[1].shape().last().expect("bias shape");
-                let mut db = scr.take_zeroed(d);
-                for row in g.data().chunks(d) {
-                    for (acc, &gi) in db.iter_mut().zip(row) {
-                        *acc += gi;
+            self.deps(&[x.id, bias.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let d = *p[1].shape().last().expect("bias shape");
+                    let mut db = scr.take_zeroed(d);
+                    for row in g.data().chunks(d) {
+                        for (acc, &gi) in db.iter_mut().zip(row) {
+                            *acc += gi;
+                        }
                     }
-                }
-                vec![
-                    Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
-                    Tensor::from_vec(db, &[d]),
-                ]
-            })),
+                    vec![
+                        Tensor::from_vec(scr.take_copied(g.data()), g.shape()),
+                        Tensor::from_vec(db, &[d]),
+                    ]
+                })
+            }),
             None,
         )
     }
 
     /// FiLM-style scaling: `x [b,r,c] * a [b,c]`, broadcasting `a` over rows.
     pub fn mul_rows_broadcast(&self, x: Var, a: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            rows_broadcast(&nodes[x.id].value, &nodes[a.id].value, |xi, ai| xi * ai)
-        };
+        let v = self.rows_broadcast_value(x, a, |xi, ai| xi * ai);
         self.push(
             v,
-            vec![x.id, a.id],
-            Some(Box::new(|g, p, _, _scr| {
-                let dx = rows_broadcast(g, p[1], |gi, ai| gi * ai);
-                let da = rows_broadcast_reduce(g, p[0], |gi, xi| gi * xi);
-                vec![dx, da]
-            })),
+            self.deps(&[x.id, a.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, _scr| {
+                    let dx = rows_broadcast(g, p[1], |gi, ai| gi * ai);
+                    let da = rows_broadcast_reduce(g, p[0], |gi, xi| gi * xi);
+                    vec![dx, da]
+                })
+            }),
             None,
         )
     }
 
     /// FiLM-style shifting: `x [b,r,c] + a [b,c]`, broadcasting `a` over rows.
     pub fn add_rows_broadcast(&self, x: Var, a: Var) -> Var {
-        let v = {
-            let nodes = self.nodes.borrow();
-            rows_broadcast(&nodes[x.id].value, &nodes[a.id].value, |xi, ai| xi + ai)
-        };
+        let v = self.rows_broadcast_value(x, a, |xi, ai| xi + ai);
         self.push(
             v,
-            vec![x.id, a.id],
-            Some(Box::new(|g, p, _, scr| {
-                let da = rows_broadcast_reduce(g, p[0], |gi, _| gi);
-                vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape()), da]
-            })),
+            self.deps(&[x.id, a.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let da = rows_broadcast_reduce(g, p[0], |gi, _| gi);
+                    vec![Tensor::from_vec(scr.take_copied(g.data()), g.shape()), da]
+                })
+            }),
             None,
         )
     }
@@ -738,7 +1066,7 @@ impl Graph {
             let inner: usize = first[axis + 1..].iter().product();
             let mut shape = first.clone();
             shape[axis] = axis_total;
-            let mut data = vec![0.0f32; outer * axis_total * inner];
+            let mut data = self.out_zeroed(outer * axis_total * inner);
             let mut offset = 0usize;
             for (&it, &sz) in items.iter().zip(&sizes) {
                 let src = nodes[it.id].value.data();
@@ -753,29 +1081,32 @@ impl Graph {
             (Tensor::from_vec(data, &shape), sizes)
         };
         let axis_c = axis;
+        let parent_ids: Vec<usize> = items.iter().map(|v| v.id).collect();
         self.push(
             value,
-            items.iter().map(|v| v.id).collect(),
-            Some(Box::new(move |g, p, _, scr| {
-                let gshape = g.shape();
-                let outer: usize = gshape[..axis_c].iter().product();
-                let inner: usize = gshape[axis_c + 1..].iter().product();
-                let axis_total = gshape[axis_c];
-                let mut grads = Vec::with_capacity(sizes.len());
-                let mut offset = 0usize;
-                for (i, &sz) in sizes.iter().enumerate() {
-                    let mut data = scr.take_zeroed(outer * sz * inner);
-                    for o in 0..outer {
-                        let src_start = (o * axis_total + offset) * inner;
-                        let dst_start = o * sz * inner;
-                        data[dst_start..dst_start + sz * inner]
-                            .copy_from_slice(&g.data()[src_start..src_start + sz * inner]);
+            self.deps(&parent_ids),
+            self.bw(move || {
+                Box::new(move |g, p, _, scr| {
+                    let gshape = g.shape();
+                    let outer: usize = gshape[..axis_c].iter().product();
+                    let inner: usize = gshape[axis_c + 1..].iter().product();
+                    let axis_total = gshape[axis_c];
+                    let mut grads = Vec::with_capacity(sizes.len());
+                    let mut offset = 0usize;
+                    for (i, &sz) in sizes.iter().enumerate() {
+                        let mut data = scr.take_zeroed(outer * sz * inner);
+                        for o in 0..outer {
+                            let src_start = (o * axis_total + offset) * inner;
+                            let dst_start = o * sz * inner;
+                            data[dst_start..dst_start + sz * inner]
+                                .copy_from_slice(&g.data()[src_start..src_start + sz * inner]);
+                        }
+                        grads.push(Tensor::from_vec(data, p[i].shape()));
+                        offset += sz;
                     }
-                    grads.push(Tensor::from_vec(data, p[i].shape()));
-                    offset += sz;
-                }
-                grads
-            })),
+                    grads
+                })
+            }),
             None,
         )
     }
@@ -797,7 +1128,7 @@ impl Graph {
             let ax = shape[axis];
             let mut out_shape = shape.to_vec();
             out_shape[axis] = len;
-            let mut data = vec![0.0f32; outer * len * inner];
+            let mut data = self.out_zeroed(outer * len * inner);
             for o in 0..outer {
                 let src_start = (o * ax + start) * inner;
                 let dst_start = o * len * inner;
@@ -808,21 +1139,23 @@ impl Graph {
         };
         self.push(
             value,
-            vec![x.id],
-            Some(Box::new(move |g, p, _, scr| {
-                let shape = p[0].shape();
-                let outer: usize = shape[..axis].iter().product();
-                let inner: usize = shape[axis + 1..].iter().product();
-                let ax = shape[axis];
-                let mut data = scr.take_zeroed(p[0].numel());
-                for o in 0..outer {
-                    let dst_start = (o * ax + start) * inner;
-                    let src_start = o * len * inner;
-                    data[dst_start..dst_start + len * inner]
-                        .copy_from_slice(&g.data()[src_start..src_start + len * inner]);
-                }
-                vec![Tensor::from_vec(data, shape)]
-            })),
+            self.deps(&[x.id]),
+            self.bw(|| {
+                Box::new(move |g, p, _, scr| {
+                    let shape = p[0].shape();
+                    let outer: usize = shape[..axis].iter().product();
+                    let inner: usize = shape[axis + 1..].iter().product();
+                    let ax = shape[axis];
+                    let mut data = scr.take_zeroed(p[0].numel());
+                    for o in 0..outer {
+                        let dst_start = (o * ax + start) * inner;
+                        let src_start = o * len * inner;
+                        data[dst_start..dst_start + len * inner]
+                            .copy_from_slice(&g.data()[src_start..src_start + len * inner]);
+                    }
+                    vec![Tensor::from_vec(data, shape)]
+                })
+            }),
             None,
         )
     }
@@ -839,7 +1172,7 @@ impl Graph {
             let w = &nodes[weight.id].value;
             assert_eq!(w.ndim(), 2, "embedding weight must be 2-D");
             let (v, d) = (w.shape()[0], w.shape()[1]);
-            let mut data = Vec::with_capacity(idx.len() * d);
+            let mut data = self.out_cleared(idx.len() * d);
             for &i in &idx {
                 assert!(i < v, "embedding index {i} out of bounds for vocab {v}");
                 data.extend_from_slice(&w.data()[i * d..(i + 1) * d]);
@@ -848,19 +1181,21 @@ impl Graph {
         };
         self.push(
             value,
-            vec![weight.id],
-            Some(Box::new(move |g, p, _, scr| {
-                let d = p[0].shape()[1];
-                let mut dw = scr.take_zeroed(p[0].numel());
-                for (row, &i) in idx.iter().enumerate() {
-                    let grow = &g.data()[row * d..(row + 1) * d];
-                    let dwrow = &mut dw[i * d..(i + 1) * d];
-                    for (a, &b) in dwrow.iter_mut().zip(grow) {
-                        *a += b;
+            self.deps(&[weight.id]),
+            self.bw(|| {
+                Box::new(move |g, p, _, scr| {
+                    let d = p[0].shape()[1];
+                    let mut dw = scr.take_zeroed(p[0].numel());
+                    for (row, &i) in idx.iter().enumerate() {
+                        let grow = &g.data()[row * d..(row + 1) * d];
+                        let dwrow = &mut dw[i * d..(i + 1) * d];
+                        for (a, &b) in dwrow.iter_mut().zip(grow) {
+                            *a += b;
+                        }
                     }
-                }
-                vec![Tensor::from_vec(dw, p[0].shape())]
-            })),
+                    vec![Tensor::from_vec(dw, p[0].shape())]
+                })
+            }),
             None,
         )
     }
@@ -871,15 +1206,22 @@ impl Graph {
 
     /// Sum of all elements, as a `[1]` tensor.
     pub fn sum_all(&self, a: Var) -> Var {
-        let v = Tensor::scalar(self.nodes.borrow()[a.id].value.sum());
+        let v = {
+            let sum = self.nodes.borrow()[a.id].value.sum();
+            let mut d = self.out_cleared(1);
+            d.push(sum);
+            Tensor::from_vec(d, &[1])
+        };
         self.push(
             v,
-            vec![a.id],
-            Some(Box::new(|g, p, _, scr| {
-                let mut d = scr.take_zeroed(p[0].numel());
-                d.fill(g.data()[0]);
-                vec![Tensor::from_vec(d, p[0].shape())]
-            })),
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let mut d = scr.take_zeroed(p[0].numel());
+                    d.fill(g.data()[0]);
+                    vec![Tensor::from_vec(d, p[0].shape())]
+                })
+            }),
             None,
         )
     }
@@ -898,7 +1240,7 @@ impl Graph {
             let xv = &nodes[x.id].value;
             assert_eq!(xv.ndim(), 3, "mean_tokens expects 3-D input");
             let (b, t, d) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
-            let mut data = vec![0.0f32; b * d];
+            let mut data = self.out_zeroed(b * d);
             for bi in 0..b {
                 for ti in 0..t {
                     let row = &xv.data()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
@@ -916,47 +1258,57 @@ impl Graph {
         };
         self.push(
             value,
-            vec![x.id],
-            Some(Box::new(|g, p, _, scr| {
-                let (b, t, d) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
-                let inv = 1.0 / t as f32;
-                let mut data = scr.take_zeroed(b * t * d);
-                for bi in 0..b {
-                    let grow = &g.data()[bi * d..(bi + 1) * d];
-                    for ti in 0..t {
-                        let dst = &mut data[(bi * t + ti) * d..(bi * t + ti + 1) * d];
-                        for (a, &r) in dst.iter_mut().zip(grow) {
-                            *a = r * inv;
+            self.deps(&[x.id]),
+            self.bw(|| {
+                Box::new(|g, p, _, scr| {
+                    let (b, t, d) = (p[0].shape()[0], p[0].shape()[1], p[0].shape()[2]);
+                    let inv = 1.0 / t as f32;
+                    let mut data = scr.take_zeroed(b * t * d);
+                    for bi in 0..b {
+                        let grow = &g.data()[bi * d..(bi + 1) * d];
+                        for ti in 0..t {
+                            let dst = &mut data[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+                            for (a, &r) in dst.iter_mut().zip(grow) {
+                                *a = r * inv;
+                            }
                         }
                     }
-                }
-                vec![Tensor::from_vec(data, p[0].shape())]
-            })),
+                    vec![Tensor::from_vec(data, p[0].shape())]
+                })
+            }),
             None,
         )
     }
 
     /// Numerically-stable softmax over the last axis.
     pub fn softmax_last(&self, a: Var) -> Var {
-        let value = softmax_last_tensor(&self.nodes.borrow()[a.id].value);
+        let value = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[a.id].value;
+            let mut out = self.out_zeroed(xv.numel());
+            softmax_last_into(xv, &mut out);
+            Tensor::from_vec(out, xv.shape())
+        };
         self.push(
             value,
-            vec![a.id],
-            Some(Box::new(|g, _, y, scr| {
-                let d = *y.shape().last().expect("softmax 0-d");
-                let mut out = scr.take_zeroed(y.numel());
-                for ((orow, grow), yrow) in out
-                    .chunks_mut(d)
-                    .zip(g.data().chunks(d))
-                    .zip(y.data().chunks(d))
-                {
-                    let dot: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
-                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
-                        *o = (gi - dot) * yi;
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(|g, _, y, scr| {
+                    let d = *y.shape().last().expect("softmax 0-d");
+                    let mut out = scr.take_zeroed(y.numel());
+                    for ((orow, grow), yrow) in out
+                        .chunks_mut(d)
+                        .zip(g.data().chunks(d))
+                        .zip(y.data().chunks(d))
+                    {
+                        let dot: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
+                        for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                            *o = (gi - dot) * yi;
+                        }
                     }
-                }
-                vec![Tensor::from_vec(out, y.shape())]
-            })),
+                    vec![Tensor::from_vec(out, y.shape())]
+                })
+            }),
             None,
         )
     }
@@ -967,7 +1319,7 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let xv = &nodes[a.id].value;
             let d = *xv.shape().last().expect("log_softmax 0-d");
-            let mut out = vec![0.0f32; xv.numel()];
+            let mut out = self.out_zeroed(xv.numel());
             for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
                 let m = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let lse = m + xrow.iter().map(|x| (x - m).exp()).sum::<f32>().ln();
@@ -979,22 +1331,24 @@ impl Graph {
         };
         self.push(
             value,
-            vec![a.id],
-            Some(Box::new(|g, _, y, scr| {
-                let d = *y.shape().last().expect("log_softmax 0-d");
-                let mut out = scr.take_zeroed(y.numel());
-                for ((orow, grow), yrow) in out
-                    .chunks_mut(d)
-                    .zip(g.data().chunks(d))
-                    .zip(y.data().chunks(d))
-                {
-                    let gsum: f32 = grow.iter().sum();
-                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
-                        *o = gi - yi.exp() * gsum;
+            self.deps(&[a.id]),
+            self.bw(|| {
+                Box::new(|g, _, y, scr| {
+                    let d = *y.shape().last().expect("log_softmax 0-d");
+                    let mut out = scr.take_zeroed(y.numel());
+                    for ((orow, grow), yrow) in out
+                        .chunks_mut(d)
+                        .zip(g.data().chunks(d))
+                        .zip(y.data().chunks(d))
+                    {
+                        let gsum: f32 = grow.iter().sum();
+                        for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                            *o = gi - yi.exp() * gsum;
+                        }
                     }
-                }
-                vec![Tensor::from_vec(out, y.shape())]
-            })),
+                    vec![Tensor::from_vec(out, y.shape())]
+                })
+            }),
             None,
         )
     }
@@ -1011,7 +1365,7 @@ impl Graph {
             let d = *xv.shape().last().expect("layer_norm 0-d");
             assert_eq!(gv.shape(), [d], "layer_norm gain shape");
             assert_eq!(bv.shape(), [d], "layer_norm bias shape");
-            let mut out = vec![0.0f32; xv.numel()];
+            let mut out = self.out_zeroed(xv.numel());
             for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
                 let mu = xrow.iter().sum::<f32>() / d as f32;
                 let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / d as f32;
@@ -1024,47 +1378,51 @@ impl Graph {
         };
         self.push(
             value,
-            vec![x.id, gain.id, bias.id],
-            Some(Box::new(move |g, p, _, scr| {
-                let xv = p[0];
-                let gv = p[1];
-                let d = *xv.shape().last().expect("layer_norm 0-d");
-                let df = d as f32;
-                let mut dx = scr.take_zeroed(xv.numel());
-                let mut dgain = scr.take_zeroed(d);
-                let mut dbias = scr.take_zeroed(d);
-                // Per-row work buffers, reused across rows (fully overwritten).
-                let mut xhat = scr.take_zeroed(d);
-                let mut dxhat = scr.take_zeroed(d);
-                for (rowi, (xrow, grow)) in xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
-                {
-                    let mu = xrow.iter().sum::<f32>() / df;
-                    let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / df;
-                    let inv = 1.0 / (var + eps).sqrt();
-                    // xhat_j = (x_j - mu) * inv; dy_j flows through gain.
-                    let mut sum_dxhat = 0.0f32;
-                    let mut sum_dxhat_xhat = 0.0f32;
-                    for j in 0..d {
-                        xhat[j] = (xrow[j] - mu) * inv;
-                        dxhat[j] = grow[j] * gv.data()[j];
-                        sum_dxhat += dxhat[j];
-                        sum_dxhat_xhat += dxhat[j] * xhat[j];
-                        dgain[j] += grow[j] * xhat[j];
-                        dbias[j] += grow[j];
+            self.deps(&[x.id, gain.id, bias.id]),
+            self.bw(|| {
+                Box::new(move |g, p, _, scr| {
+                    let xv = p[0];
+                    let gv = p[1];
+                    let d = *xv.shape().last().expect("layer_norm 0-d");
+                    let df = d as f32;
+                    let mut dx = scr.take_zeroed(xv.numel());
+                    let mut dgain = scr.take_zeroed(d);
+                    let mut dbias = scr.take_zeroed(d);
+                    // Per-row work buffers, reused across rows (fully overwritten).
+                    let mut xhat = scr.take_zeroed(d);
+                    let mut dxhat = scr.take_zeroed(d);
+                    for (rowi, (xrow, grow)) in
+                        xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
+                    {
+                        let mu = xrow.iter().sum::<f32>() / df;
+                        let var = xrow.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / df;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        // xhat_j = (x_j - mu) * inv; dy_j flows through gain.
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..d {
+                            xhat[j] = (xrow[j] - mu) * inv;
+                            dxhat[j] = grow[j] * gv.data()[j];
+                            sum_dxhat += dxhat[j];
+                            sum_dxhat_xhat += dxhat[j] * xhat[j];
+                            dgain[j] += grow[j] * xhat[j];
+                            dbias[j] += grow[j];
+                        }
+                        let dst = &mut dx[rowi * d..(rowi + 1) * d];
+                        for j in 0..d {
+                            dst[j] =
+                                inv / df * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
+                        }
                     }
-                    let dst = &mut dx[rowi * d..(rowi + 1) * d];
-                    for j in 0..d {
-                        dst[j] = inv / df * (df * dxhat[j] - sum_dxhat - xhat[j] * sum_dxhat_xhat);
-                    }
-                }
-                scr.recycle(xhat);
-                scr.recycle(dxhat);
-                vec![
-                    Tensor::from_vec(dx, xv.shape()),
-                    Tensor::from_vec(dgain, &[d]),
-                    Tensor::from_vec(dbias, &[d]),
-                ]
-            })),
+                    scr.recycle(xhat);
+                    scr.recycle(dxhat);
+                    vec![
+                        Tensor::from_vec(dx, xv.shape()),
+                        Tensor::from_vec(dgain, &[d]),
+                        Tensor::from_vec(dbias, &[d]),
+                    ]
+                })
+            }),
             None,
         )
     }
@@ -1077,7 +1435,7 @@ impl Graph {
             let xv = &nodes[x.id].value;
             assert_eq!(xv.ndim(), 2, "row_l2_normalize expects 2-D input");
             let d = xv.shape()[1];
-            let mut out = vec![0.0f32; xv.numel()];
+            let mut out = self.out_zeroed(xv.numel());
             for (orow, xrow) in out.chunks_mut(d).zip(xv.data().chunks(d)) {
                 let n = xrow.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
                 for (o, &x) in orow.iter_mut().zip(xrow) {
@@ -1088,23 +1446,25 @@ impl Graph {
         };
         self.push(
             value,
-            vec![x.id],
-            Some(Box::new(|g, p, y, scr| {
-                let d = p[0].shape()[1];
-                let mut out = scr.take_zeroed(p[0].numel());
-                for ((orow, grow), (xrow, yrow)) in out
-                    .chunks_mut(d)
-                    .zip(g.data().chunks(d))
-                    .zip(p[0].data().chunks(d).zip(y.data().chunks(d)))
-                {
-                    let n = xrow.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
-                    let gy: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
-                    for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
-                        *o = (gi - yi * gy) / n;
+            self.deps(&[x.id]),
+            self.bw(|| {
+                Box::new(|g, p, y, scr| {
+                    let d = p[0].shape()[1];
+                    let mut out = scr.take_zeroed(p[0].numel());
+                    for ((orow, grow), (xrow, yrow)) in out
+                        .chunks_mut(d)
+                        .zip(g.data().chunks(d))
+                        .zip(p[0].data().chunks(d).zip(y.data().chunks(d)))
+                    {
+                        let n = xrow.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+                        let gy: f32 = grow.iter().zip(yrow).map(|(gi, yi)| gi * yi).sum();
+                        for ((o, &gi), &yi) in orow.iter_mut().zip(grow).zip(yrow) {
+                            *o = (gi - yi * gy) / n;
+                        }
                     }
-                }
-                vec![Tensor::from_vec(out, p[0].shape())]
-            })),
+                    vec![Tensor::from_vec(out, p[0].shape())]
+                })
+            }),
             None,
         )
     }
@@ -1133,23 +1493,27 @@ impl Graph {
                 let lse = m + row.iter().map(|x| (x - m).exp()).sum::<f32>().ln();
                 loss += lse - row[t];
             }
-            Tensor::scalar(loss / b as f32)
+            let mut d = self.out_cleared(1);
+            d.push(loss / b as f32);
+            Tensor::from_vec(d, &[1])
         };
         self.push(
             value,
-            vec![logits.id],
-            Some(Box::new(move |g, p, _, _scr| {
-                let (b, k) = (p[0].shape()[0], p[0].shape()[1]);
-                let gs = g.data()[0] / b as f32;
-                let mut dl = softmax_last_tensor(p[0]);
-                for (row, &t) in dl.data_mut().chunks_mut(k).zip(&tg) {
-                    row[t] -= 1.0;
-                    for x in row.iter_mut() {
-                        *x *= gs;
+            self.deps(&[logits.id]),
+            self.bw(|| {
+                Box::new(move |g, p, _, _scr| {
+                    let (b, k) = (p[0].shape()[0], p[0].shape()[1]);
+                    let gs = g.data()[0] / b as f32;
+                    let mut dl = softmax_last_tensor(p[0]);
+                    for (row, &t) in dl.data_mut().chunks_mut(k).zip(&tg) {
+                        row[t] -= 1.0;
+                        for x in row.iter_mut() {
+                            *x *= gs;
+                        }
                     }
-                }
-                vec![dl]
-            })),
+                    vec![dl]
+                })
+            }),
             None,
         )
     }
@@ -1185,37 +1549,42 @@ impl Graph {
                     .sum();
                 loss -= (numer / denom).ln();
             }
-            Tensor::scalar(loss / b as f32)
+            let mut d = self.out_cleared(1);
+            d.push(loss / b as f32);
+            Tensor::from_vec(d, &[1])
         };
         self.push(
             value,
-            vec![logits.id],
-            Some(Box::new(move |g, p, _, scr| {
-                let (b, m) = (p[0].shape()[0], p[0].shape()[1]);
-                let gs = g.data()[0] / b as f32;
-                let mut out = scr.take_zeroed(b * m);
-                // Per-row exp buffer, reused across rows (fully overwritten).
-                let mut exps = scr.take_zeroed(m);
-                for ((orow, row), ps) in out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos) {
-                    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    for (e, &x) in exps.iter_mut().zip(row) {
-                        *e = (x - mx).exp();
+            self.deps(&[logits.id]),
+            self.bw(|| {
+                Box::new(move |g, p, _, scr| {
+                    let (b, m) = (p[0].shape()[0], p[0].shape()[1]);
+                    let gs = g.data()[0] / b as f32;
+                    let mut out = scr.take_zeroed(b * m);
+                    // Per-row exp buffer, reused across rows (fully overwritten).
+                    let mut exps = scr.take_zeroed(m);
+                    for ((orow, row), ps) in out.chunks_mut(m).zip(p[0].data().chunks(m)).zip(&pos)
+                    {
+                        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        for (e, &x) in exps.iter_mut().zip(row) {
+                            *e = (x - mx).exp();
+                        }
+                        let denom: f32 = exps.iter().sum();
+                        let numer: f32 = ps.iter().map(|&j| exps[j]).sum();
+                        for j in 0..m {
+                            let soft = exps[j] / denom;
+                            let pos_soft = if ps.contains(&j) {
+                                exps[j] / numer
+                            } else {
+                                0.0
+                            };
+                            orow[j] = gs * (soft - pos_soft);
+                        }
                     }
-                    let denom: f32 = exps.iter().sum();
-                    let numer: f32 = ps.iter().map(|&j| exps[j]).sum();
-                    for j in 0..m {
-                        let soft = exps[j] / denom;
-                        let pos_soft = if ps.contains(&j) {
-                            exps[j] / numer
-                        } else {
-                            0.0
-                        };
-                        orow[j] = gs * (soft - pos_soft);
-                    }
-                }
-                scr.recycle(exps);
-                vec![Tensor::from_vec(out, p[0].shape())]
-            })),
+                    scr.recycle(exps);
+                    vec![Tensor::from_vec(out, p[0].shape())]
+                })
+            }),
             None,
         )
     }
@@ -1248,16 +1617,20 @@ impl Graph {
         let value = {
             let nodes = self.nodes.borrow();
             let xv = &nodes[x.id].value;
-            let data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&a, &m)| a * m).collect();
+            let mut data = self.out_cleared(xv.numel());
+            data.extend(xv.data().iter().zip(&mask).map(|(&a, &m)| a * m));
             Tensor::from_vec(data, xv.shape())
         };
         self.push(
             value,
-            vec![x.id],
-            Some(Box::new(move |g, _, _, _scr| {
-                let data: Vec<f32> = g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
-                vec![Tensor::from_vec(data, g.shape())]
-            })),
+            self.deps(&[x.id]),
+            self.bw(|| {
+                Box::new(move |g, _, _, _scr| {
+                    let data: Vec<f32> =
+                        g.data().iter().zip(&mask).map(|(&gi, &m)| gi * m).collect();
+                    vec![Tensor::from_vec(data, g.shape())]
+                })
+            }),
             None,
         )
     }
@@ -1286,8 +1659,15 @@ fn gelu_bwd(x: f32) -> f32 {
 }
 
 fn softmax_last_tensor(x: &Tensor) -> Tensor {
-    let d = *x.shape().last().expect("softmax on 0-d tensor");
     let mut out = vec![0.0f32; x.numel()];
+    softmax_last_into(x, &mut out);
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Writes the last-axis softmax of `x` into `out` (caller-provided buffer,
+/// same arithmetic as [`softmax_last_tensor`]).
+fn softmax_last_into(x: &Tensor, out: &mut [f32]) {
+    let d = *x.shape().last().expect("softmax on 0-d tensor");
     for (orow, xrow) in out.chunks_mut(d).zip(x.data().chunks(d)) {
         let m = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
@@ -1299,11 +1679,19 @@ fn softmax_last_tensor(x: &Tensor) -> Tensor {
             *o /= sum;
         }
     }
-    Tensor::from_vec(out, x.shape())
 }
 
 /// `[a,b,c,d] -> [a,c,b,d]`.
 fn permute_0213_tensor(x: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    permute_0213_into(x, &mut out);
+    let s = x.shape();
+    Tensor::from_vec(out, &[s[0], s[2], s[1], s[3]])
+}
+
+/// Writes the 0213-permutation of `x` into `out` (same layout as
+/// [`permute_0213_tensor`], but against a caller-provided buffer).
+fn permute_0213_into(x: &Tensor, out: &mut [f32]) {
     assert_eq!(
         x.ndim(),
         4,
@@ -1311,7 +1699,6 @@ fn permute_0213_tensor(x: &Tensor) -> Tensor {
         x.shape()
     );
     let (a, b, c, d) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let mut out = vec![0.0f32; x.numel()];
     for ai in 0..a {
         for bi in 0..b {
             for ci in 0..c {
@@ -1321,7 +1708,6 @@ fn permute_0213_tensor(x: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[a, c, b, d])
 }
 
 /// Applies `f(x[b,r,c], a[b,c])` broadcasting `a` over the row axis.
@@ -1837,5 +2223,100 @@ mod tests {
             g.backward(y, &mut params);
         }
         assert_eq!(params.grad(a).data(), &[12.0]); // 2 * (2a)
+    }
+
+    #[test]
+    fn matmul_tn_tokens_matches_transpose_composite_bitwise() {
+        // Forward values AND parameter gradients must be byte-identical to
+        // the explicit transpose_last + matmul_tokens composite.
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn(&[3, 5, 4], 1.0, &mut rng);
+        let wt = Tensor::randn(&[5, 6], 0.5, &mut rng);
+
+        let run = |fused: bool, params: &mut Params| -> (Tensor, Tensor, Tensor) {
+            let xid = params.id("x").unwrap();
+            let wid = params.id("w").unwrap();
+            params.zero_grad();
+            let g = Graph::new();
+            let xv = g.param(params, xid);
+            let wv = g.param(params, wid);
+            let y = if fused {
+                g.matmul_tn_tokens(xv, wv)
+            } else {
+                let t = g.transpose_last(xv);
+                g.matmul_tokens(t, wv)
+            };
+            let out = g.value(y);
+            let loss = g.sum_all(g.mul(y, y));
+            g.backward(loss, params);
+            (out, params.grad(xid).clone(), params.grad(wid).clone())
+        };
+
+        let mut params = Params::new();
+        params.insert("x", x, true);
+        params.insert("w", wt, true);
+        let (y_ref, dx_ref, dw_ref) = run(false, &mut params);
+        let (y_got, dx_got, dw_got) = run(true, &mut params);
+        assert_eq!(y_got.shape(), &[3, 4, 6]);
+        assert_eq!(y_got.data(), y_ref.data());
+        assert_eq!(dx_got.data(), dx_ref.data());
+        assert_eq!(dw_got.data(), dw_ref.data());
+    }
+
+    #[test]
+    fn matmul_tn_tokens_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut params = Params::new();
+        let x = params.insert("x", Tensor::randn(&[2, 4, 3], 0.5, &mut rng), true);
+        let w = params.insert("w", Tensor::randn(&[4, 5], 0.5, &mut rng), true);
+        grad_check(
+            &mut params,
+            &[x, w],
+            &|g, p| {
+                let xv = g.param(p, p.id("x").unwrap());
+                let wv = g.param(p, p.id("w").unwrap());
+                let y = g.matmul_tn_tokens(xv, wv);
+                let t = g.tanh(y);
+                g.sum_all(t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn inference_graph_values_match_training_graph() {
+        // One composite forward touching most op families, replayed twice on
+        // a single inference graph and compared bitwise against the tape.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut params = Params::new();
+        let w = params.insert("w", Tensor::randn(&[4, 4], 0.7, &mut rng), true);
+        let gain = params.insert("gain", Tensor::ones(&[4]), true);
+        let _bias = params.insert("bias", Tensor::zeros(&[4]), true);
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng);
+
+        let build = |g: &Graph, params: &Params, x: &Tensor| -> Tensor {
+            let wv = g.param(params, params.id("w").unwrap());
+            let gv = g.param(params, params.id("gain").unwrap());
+            let bv = g.param(params, params.id("bias").unwrap());
+            let xv = g.input(x);
+            let h = g.matmul(xv, wv);
+            let h = g.layer_norm(h, gv, bv, 1e-5);
+            let h = g.gelu(h);
+            let h = g.softmax_last(h);
+            g.value(h)
+        };
+
+        let reference = {
+            let g = Graph::new();
+            build(&g, &params, &x)
+        };
+        let g = Graph::inference();
+        for _ in 0..3 {
+            let got = build(&g, &params, &x);
+            assert_eq!(got.data(), reference.data());
+            assert_eq!(g.len() > 0, true);
+            g.reset();
+            assert!(g.is_empty());
+        }
     }
 }

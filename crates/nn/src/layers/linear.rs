@@ -116,6 +116,20 @@ impl Linear {
         }
         y
     }
+
+    /// Applies the layer to the last-axis-transposed view of `x [b, s, in]`
+    /// read as `[b, in, s]` tokens — byte-identical to
+    /// `forward_tokens(g, params, g.transpose_last(x))` but without ever
+    /// materializing the transposed copy (see [`Graph::matmul_tn_tokens`]).
+    pub fn forward_tokens_tn(&self, g: &Graph, params: &Params, x: Var) -> Var {
+        let w = g.param(params, self.weight);
+        let mut y = g.matmul_tn_tokens(x, w);
+        if let Some(b) = self.bias {
+            let bv = g.param(params, b);
+            y = g.add_bias(y, bv);
+        }
+        y
+    }
 }
 
 #[cfg(test)]

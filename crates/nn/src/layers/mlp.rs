@@ -49,6 +49,16 @@ impl Mlp {
         let h = g.gelu(h);
         self.fc2.forward_tokens(g, params, h)
     }
+
+    /// Applies the MLP tokenwise to the last-axis-transposed view of
+    /// `x [b, s, in]` — byte-identical to
+    /// `forward_tokens(g, params, g.transpose_last(x))` without materializing
+    /// the transposed tensor (see [`Linear::forward_tokens_tn`]).
+    pub fn forward_tokens_tn(&self, g: &Graph, params: &Params, x: Var) -> Var {
+        let h = self.fc1.forward_tokens_tn(g, params, x);
+        let h = g.gelu(h);
+        self.fc2.forward_tokens(g, params, h)
+    }
 }
 
 #[cfg(test)]

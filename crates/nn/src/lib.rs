@@ -40,6 +40,7 @@ pub mod checkpoint;
 mod conv;
 pub mod gemm;
 mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod losses;
@@ -52,6 +53,7 @@ mod schedule;
 mod tensor;
 
 pub use graph::{Graph, Var};
+pub use infer::{force_taped, taped_forced, InferenceSession};
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use params::{ParamEntry, ParamId, Params};
 pub use schedule::LrSchedule;

@@ -12,6 +12,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{Graph, Var};
+use crate::infer::InferenceSession;
 use crate::layers::{
     Classifier, ConvExtractor, PatchTokenizer, ResidualExtractor, TransformerBlock,
 };
@@ -171,7 +172,7 @@ impl PromptedBackbone {
     ///
     /// Exposed separately so RefFiL's CDAP generator can consume `I`.
     pub fn tokenize(&self, g: &Graph, params: &Params, x: &Tensor) -> (Var, Var) {
-        let xv = g.constant(x.clone());
+        let xv = g.input(x);
         let features = self.extractor.forward(g, params, xv);
         let tokens = self.tokenizer.forward(g, params, features);
         (features, tokens)
@@ -246,10 +247,27 @@ impl PromptedBackbone {
     }
 
     /// Predicted labels for a batch (no prompts), used by simple baselines.
+    ///
+    /// Convenience wrapper that spins up a one-shot [`InferenceSession`];
+    /// hot loops should hold a session and call
+    /// [`PromptedBackbone::predict_in`] instead so forward buffers are
+    /// recycled across batches.
     pub fn predict(&self, params: &Params, x: &Tensor) -> Vec<usize> {
-        let g = Graph::new();
-        let out = self.forward(&g, params, x, None);
-        g.value(out.logits).argmax_last()
+        self.predict_in(&mut InferenceSession::new(), params, x)
+    }
+
+    /// Predicted labels for a batch (no prompts) through a reusable
+    /// [`InferenceSession`].
+    pub fn predict_in(
+        &self,
+        session: &mut InferenceSession,
+        params: &Params,
+        x: &Tensor,
+    ) -> Vec<usize> {
+        session.forward(|g| {
+            let out = self.forward(g, params, x, None);
+            g.argmax_last(out.logits)
+        })
     }
 }
 

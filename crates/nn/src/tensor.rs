@@ -10,6 +10,65 @@ use std::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Maximum tensor rank. The models top out at 4-D (`[b, heads, t, t]`
+/// attention scores), so shapes live inline in the tensor header instead of
+/// costing a heap allocation per tensor — on the inference hot path that
+/// allocation was the last one left per node.
+const MAX_NDIM: usize = 4;
+
+/// An inline, fixed-capacity shape: the dims of a tensor without the heap.
+///
+/// Dereferences to `&[usize]`, so indexing, iteration, and slice methods all
+/// work as they did when the shape was a `Vec<usize>`. Unused trailing dims
+/// are kept zeroed so derived equality over the full array is equivalent to
+/// slice equality.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    dims: [usize; MAX_NDIM],
+    len: u8,
+}
+
+impl Shape {
+    fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_NDIM,
+            "tensor rank {} exceeds the supported maximum {MAX_NDIM}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_NDIM];
+        inline[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: inline,
+            len: dims.len() as u8,
+        }
+    }
+
+    fn push(&mut self, dim: usize) {
+        assert!((self.len as usize) < MAX_NDIM, "tensor rank overflow");
+        self.dims[self.len as usize] = dim;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for Shape {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        &self.dims[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for Shape {
+    fn deref_mut(&mut self) -> &mut [usize] {
+        &mut self.dims[..self.len as usize]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// A dense, row-major, `f32` tensor.
 ///
 /// # Examples
@@ -21,10 +80,44 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.shape(), &[2, 2]);
 /// assert_eq!(t.at(&[1, 0]), 3.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
+}
+
+// Hand-written serde impls preserving the data-model shape of the old
+// derived ones (when `shape` was a `Vec<usize>`): a 2-field map whose
+// `shape` entry is a sequence.
+impl Serialize for Tensor {
+    fn ser(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("shape".to_string(), self.shape.to_vec().ser()),
+            ("data".to_string(), self.data.ser()),
+        ])
+    }
+}
+
+impl Deserialize for Tensor {
+    fn de(v: &serde::Value) -> Result<Self, serde::Error> {
+        let shape: Vec<usize> = Deserialize::de(
+            v.get("shape")
+                .ok_or_else(|| serde::Error::missing_field("Tensor", "shape"))?,
+        )?;
+        let data: Vec<f32> = Deserialize::de(
+            v.get("data")
+                .ok_or_else(|| serde::Error::missing_field("Tensor", "data"))?,
+        )?;
+        let numel: usize = shape.iter().product();
+        if data.len() != numel {
+            return Err(serde::Error::custom(format!(
+                "tensor data length {} does not match shape {:?}",
+                data.len(),
+                shape
+            )));
+        }
+        Ok(Tensor::from_vec(data, &shape))
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -55,7 +148,7 @@ impl Tensor {
             numel
         );
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data,
         }
     }
@@ -64,7 +157,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data: vec![0.0; numel],
         }
     }
@@ -78,7 +171,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data: vec![value; numel],
         }
     }
@@ -86,7 +179,7 @@ impl Tensor {
     /// Creates a scalar (shape `[1]`) tensor.
     pub fn scalar(value: f32) -> Self {
         Self {
-            shape: vec![1],
+            shape: Shape::new(&[1]),
             data: vec![value],
         }
     }
@@ -96,7 +189,7 @@ impl Tensor {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| gaussian(rng) * std).collect();
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data,
         }
     }
@@ -106,7 +199,7 @@ impl Tensor {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data,
         }
     }
@@ -159,7 +252,7 @@ impl Tensor {
     fn flat_index(&self, idx: &[usize]) -> usize {
         assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0usize;
-        for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
+        for (d, (&i, &s)) in idx.iter().zip(self.shape.iter()).enumerate() {
             assert!(i < s, "index {i} out of bounds for dim {d} (size {s})");
             flat = flat * s + i;
         }
@@ -181,7 +274,7 @@ impl Tensor {
             shape
         );
         Self {
-            shape: shape.to_vec(),
+            shape: Shape::new(shape),
             data: self.data.clone(),
         }
     }
@@ -189,7 +282,7 @@ impl Tensor {
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Self {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -208,7 +301,7 @@ impl Tensor {
             .map(|(&a, &b)| f(a, b))
             .collect();
         Self {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -309,7 +402,7 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         crate::gemm::dispatch(&self.data, &other.data, &mut out, m, k, n);
         Self {
-            shape: vec![m, n],
+            shape: Shape::new(&[m, n]),
             data: out,
         }
     }
@@ -344,7 +437,7 @@ impl Tensor {
             );
         }
         Self {
-            shape: vec![b, m, n],
+            shape: Shape::new(&[b, m, n]),
             data: out,
         }
     }
@@ -369,7 +462,7 @@ impl Tensor {
                 }
             }
         }
-        let mut shape = self.shape.clone();
+        let mut shape = self.shape;
         shape.swap(nd - 2, nd - 1);
         Self { shape, data }
     }
@@ -384,7 +477,7 @@ impl Tensor {
         let cols = self.shape[1];
         assert!(i < self.shape[0], "row index out of bounds");
         Self {
-            shape: vec![cols],
+            shape: Shape::new(&[cols]),
             data: self.data[i * cols..(i + 1) * cols].to_vec(),
         }
     }
@@ -396,14 +489,16 @@ impl Tensor {
     /// Panics if `items` is empty or shapes differ.
     pub fn stack(items: &[Tensor]) -> Self {
         assert!(!items.is_empty(), "stack of zero tensors");
-        let inner = items[0].shape.clone();
+        let inner = items[0].shape;
         let mut data = Vec::with_capacity(items.len() * items[0].numel());
         for t in items {
             assert_eq!(t.shape, inner, "stack shape mismatch");
             data.extend_from_slice(&t.data);
         }
-        let mut shape = vec![items.len()];
-        shape.extend_from_slice(&inner);
+        let mut shape = Shape::new(&[items.len()]);
+        for &d in inner.iter() {
+            shape.push(d);
+        }
         Self { shape, data }
     }
 
