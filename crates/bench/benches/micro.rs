@@ -225,6 +225,42 @@ fn bench_dpcl(c: &mut Criterion) {
     });
 }
 
+fn bench_span_overhead(c: &mut Criterion) {
+    // Telemetry hot-path cost. The disabled rows must be ~free (a None
+    // check, no clock read, no allocation): telemetry defaults to disabled
+    // in every runner, so its cost is paid by every un-instrumented run.
+    // The collecting rows price what `--trace`-style runs add per span.
+    use refil_telemetry::Telemetry;
+    let disabled = Telemetry::disabled();
+    c.bench_function("telemetry/span_overhead/disabled", |bench| {
+        bench.iter(|| disabled.span("client:7"))
+    });
+    c.bench_function("telemetry/counter_overhead/disabled", |bench| {
+        bench.iter(|| disabled.counter("wire.model_broadcast_bytes", 128))
+    });
+    let collecting = Telemetry::collecting();
+    c.bench_function("telemetry/span_overhead/collecting", |bench| {
+        bench.iter(|| collecting.span("client:7"))
+    });
+    c.bench_function("telemetry/counter_overhead/collecting", |bench| {
+        bench.iter(|| collecting.counter("wire.model_broadcast_bytes", 128))
+    });
+    // A lane record is the per-item cost inside worker pools. Fresh lane per
+    // batch so the preallocated event buffer never reallocates mid-measure.
+    let timeline = collecting.timeline();
+    c.bench_function("telemetry/lane_record/collecting", |bench| {
+        bench.iter_batched(
+            || timeline.lane(0),
+            |mut lane| {
+                let t0 = lane.tick();
+                lane.record("eval", Some(3), t0);
+                lane
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_round_parallel(c: &mut Criterion) {
     // Full protocol runs of one strategy, sequential vs on 4 workers; the
     // parallel/sequential ratio is the round-loop speedup (results are
@@ -374,6 +410,6 @@ criterion_group! {
     targets = bench_matmul, bench_gemm, bench_gemm_zero_branch, bench_conv1d,
         bench_attention_forward, bench_backbone_step,
         bench_cdap_generate, bench_finch, bench_fedavg, bench_dpcl,
-        bench_round_parallel, bench_evaluate
+        bench_span_overhead, bench_round_parallel, bench_evaluate
 }
 criterion_main!(micro);

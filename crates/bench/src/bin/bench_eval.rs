@@ -27,10 +27,11 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use refil_bench::BenchMeta;
 use refil_continual::MethodConfig;
 use refil_core::{RefFiL, RefFiLConfig};
 use refil_data::{DatasetSpec, DomainSpec, FdilDataset, Sample};
-use refil_fed::{FdilRunner, FdilStrategy, IncrementConfig, RunConfig};
+use refil_fed::{FdilRunner, FdilStrategy, IncrementConfig, PoolStats, RunConfig, Telemetry};
 use refil_nn::models::{BackboneConfig, ExtractorKind};
 use refil_nn::{force_taped, Tensor};
 
@@ -47,14 +48,25 @@ struct Speedup {
     speedup: f64,
 }
 
+/// One eval-sweep dispatch's per-worker accounting at a given thread count.
+/// Busy/idle splits are run-to-run noisy, so no `name` field: `bench_gate`
+/// only extracts metrics from named objects, keeping these ungated.
+#[derive(serde::Serialize)]
+struct Utilization {
+    threads: usize,
+    pool: PoolStats,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     generated_by: String,
+    meta: BenchMeta,
     reps: usize,
     eval_samples: usize,
     eval_batches: usize,
     records: Vec<EvalRecord>,
     speedups: Vec<Speedup>,
+    utilization: Vec<Utilization>,
 }
 
 fn median_block<F: FnMut()>(reps: usize, f: &mut F) -> u64 {
@@ -200,7 +212,30 @@ fn eval_shared_plan(
     preds
 }
 
+fn out_path_from_args() -> String {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").to_string();
+    let mut out = default;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("bench_eval: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_eval: unknown argument {other}\nusage: bench_eval [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
 fn main() {
+    let out_path = out_path_from_args();
     let ds = dataset();
     let cfg = run_cfg();
     let mut strat = RefFiL::new(RefFiLConfig::new(method()));
@@ -312,13 +347,50 @@ fn main() {
         speedup: serial_sweep as f64 / par as f64,
     });
 
+    // Where the eval sweep's wall time actually goes: per-worker busy/idle
+    // accounting from the timeline layer, at 1/2/4 threads. This is the
+    // diagnostic behind the parallel_vs_serial number above — a near-idle
+    // worker column explains a <1x "speedup" directly.
+    let mut utilization = Vec::new();
+    println!("\nrunner eval sweep utilization (timeline accounting):");
+    for threads in [1usize, 2, 4] {
+        let telemetry = Telemetry::collecting();
+        let runner = FdilRunner::new(cfg).threads(threads).telemetry(&telemetry);
+        black_box(runner.evaluate_task(&strat, &global, &ds, last_task)); // warm
+        let (_, pool, _) = runner.evaluate_task_profiled(&strat, &global, &ds, last_task);
+        let pool = pool.expect("collecting telemetry yields pool stats");
+        println!(
+            "threads={threads}: wall {:>9} ns, mean utilization {:>5.1}%",
+            pool.wall_ns,
+            pool.mean_utilization() * 100.0
+        );
+        println!(
+            "  {:>6} {:>12} {:>12} {:>6} {:>6} {:>6}",
+            "track", "busy_ns", "idle_ns", "busy%", "items", "steals"
+        );
+        for w in &pool.workers {
+            println!(
+                "  {:>6} {:>12} {:>12} {:>5.1}% {:>6} {:>6}",
+                w.track,
+                w.busy_ns,
+                w.idle_ns,
+                w.utilization() * 100.0,
+                w.items,
+                w.steals
+            );
+        }
+        utilization.push(Utilization { threads, pool });
+    }
+
     let report = Report {
         generated_by: "cargo run --release --bin bench_eval".into(),
+        meta: BenchMeta::capture(),
         reps,
         eval_samples,
         eval_batches,
         records,
         speedups,
+        utilization,
     };
     for r in &report.records {
         println!("{:<48} {:>12} ns", r.name, r.median_ns);
@@ -326,8 +398,7 @@ fn main() {
     for s in &report.speedups {
         println!("{:<48} {:>6.2}x  (vs {})", s.name, s.speedup, s.baseline);
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, json + "\n").expect("write BENCH_eval.json");
-    println!("wrote {path}");
+    std::fs::write(&out_path, json + "\n").expect("write eval report");
+    println!("wrote {out_path}");
 }

@@ -47,6 +47,7 @@ struct EndToEnd {
 #[derive(serde::Serialize)]
 struct Report {
     generated_by: String,
+    meta: refil_bench::BenchMeta,
     reps: usize,
     kernels: Vec<KernelRecord>,
     speedups: Vec<Speedup>,
@@ -232,6 +233,34 @@ fn naive_conv1d_fwd(
     }
 }
 
+fn out_path_from_args(args: &[String]) -> String {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string();
+    let mut out = default;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("bench_kernels: --out needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "bench_kernels: unknown argument {other}\nusage: bench_kernels [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 5 && args[1] == "--round" {
@@ -240,6 +269,7 @@ fn main() {
         child_round(threads, reps, args[4] == "conv");
         return;
     }
+    let out_path = out_path_from_args(&args);
 
     let reps = 200usize;
     let mut rng = StdRng::seed_from_u64(42);
@@ -446,6 +476,7 @@ fn main() {
 
     let report = Report {
         generated_by: "cargo run --release --bin bench_kernels".into(),
+        meta: refil_bench::BenchMeta::capture(),
         reps,
         kernels,
         speedups,
@@ -460,8 +491,7 @@ fn main() {
             e.name, e.speedup, e.naive_median_ns, e.tiled_median_ns
         );
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, json + "\n").expect("write BENCH_kernels.json");
-    println!("wrote {path}");
+    std::fs::write(&out_path, json + "\n").expect("write kernels report");
+    println!("wrote {out_path}");
 }

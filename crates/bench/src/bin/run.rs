@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p refil-bench --bin run -- \
 //!     --dataset digits --method reffil --seed 42 \
-//!     [--new-order] [--threads N] [--json out.json] [--trace trace.jsonl]
+//!     [--new-order] [--threads N] [--json out.json] [--trace trace.jsonl] \
+//!     [--trace-chrome trace.json] [--metrics metrics.prom]
 //! ```
 //!
 //! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale;
@@ -12,14 +13,17 @@
 //! default from `REFIL_THREADS`, else sequential) — results are
 //! byte-identical at any thread count. `--trace FILE` streams every
 //! telemetry event (spans, counters, histograms) as one JSON object per
-//! line to `FILE`.
+//! line to `FILE`. `--trace-chrome FILE` writes a Chrome trace-event JSON
+//! (open in Perfetto / `chrome://tracing`; one track per worker slot).
+//! `--metrics FILE` writes a Prometheus-style text exposition snapshot on
+//! exit. The three exporters compose — each flag adds a sink.
 
 use refil_bench::methods::method_by_name;
 use refil_bench::{
     dataset_by_name, run_experiment_with_threads, DatasetChoice, ExperimentSpec, MethodChoice,
     Scale,
 };
-use refil_telemetry::Telemetry;
+use refil_telemetry::{ChromeTraceSink, JsonlSink, PrometheusSink, Sink, TeeSink, Telemetry};
 
 struct Args {
     dataset: DatasetChoice,
@@ -29,11 +33,13 @@ struct Args {
     threads: Option<usize>,
     json: Option<String>,
     trace: Option<String>,
+    trace_chrome: Option<String>,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--threads N] [--json FILE] [--trace FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -46,6 +52,8 @@ fn parse_args() -> Args {
     let mut threads = None;
     let mut json = None;
     let mut trace = None;
+    let mut trace_chrome = None;
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,6 +89,8 @@ fn parse_args() -> Args {
             }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-chrome" => trace_chrome = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -96,6 +106,40 @@ fn parse_args() -> Args {
         threads,
         json,
         trace,
+        trace_chrome,
+        metrics,
+    }
+}
+
+/// Builds the recording telemetry from the exporter flags: zero flags means
+/// stderr logging only; one means that sink alone; several tee into all.
+fn build_telemetry(args: &Args) -> Telemetry {
+    fn open<S: Sink + 'static>(
+        path: &str,
+        create: impl FnOnce(&str) -> std::io::Result<S>,
+    ) -> Box<dyn Sink> {
+        match create(path) {
+            Ok(sink) => Box::new(sink),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if let Some(path) = &args.trace {
+        sinks.push(open(path, |p| JsonlSink::create(p)));
+    }
+    if let Some(path) = &args.trace_chrome {
+        sinks.push(open(path, |p| ChromeTraceSink::create(p)));
+    }
+    if let Some(path) = &args.metrics {
+        sinks.push(open(path, |p| PrometheusSink::create(p)));
+    }
+    match sinks.len() {
+        0 => Telemetry::stderr(),
+        1 => Telemetry::with_sink(sinks.pop().expect("one sink")),
+        _ => Telemetry::with_sink(Box::new(TeeSink::new(sinks))),
     }
 }
 
@@ -117,13 +161,7 @@ fn main() {
         if args.new_order { ", new order" } else { "" },
         args.seed
     ));
-    let telemetry = match &args.trace {
-        Some(path) => Telemetry::jsonl(path).unwrap_or_else(|e| {
-            eprintln!("cannot create trace file {path}: {e}");
-            std::process::exit(1);
-        }),
-        None => Telemetry::stderr(),
-    };
+    let telemetry = build_telemetry(&args);
     let start = std::time::Instant::now();
     let r = run_experiment_with_threads(&spec, args.method, &telemetry, args.threads);
     telemetry.flush();
@@ -155,6 +193,12 @@ fn main() {
                 .unwrap_or(name);
             println!("  {kind:<24} {bytes} bytes");
         }
+    }
+    if let Some(path) = &args.trace_chrome {
+        println!("chrome trace: {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = &args.metrics {
+        println!("metrics:     {path}");
     }
     if let Some(path) = args.json {
         #[derive(serde::Serialize)]

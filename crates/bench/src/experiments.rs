@@ -168,6 +168,7 @@ mod tests {
                 group_timeline: vec![],
                 final_global: vec![],
                 telemetry: refil_fed::TelemetrySummary::default(),
+                rounds: vec![],
             },
         };
         FullResults {

@@ -14,12 +14,16 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod gate;
+pub mod meta;
 pub mod methods;
 pub mod report;
 pub mod runner;
 
 pub use datasets::{dataset_by_name, DatasetChoice, Scale};
 pub use experiments::{full_results, per_step_tables, summary_table, CachedMethod, FullResults};
+pub use gate::{check_report, compare, extract_metrics, Comparison, GateError, MetricDelta};
+pub use meta::BenchMeta;
 pub use methods::{build_method, method_names, MethodChoice};
 pub use runner::{
     run_all_methods, run_experiment, run_experiment_traced, run_experiment_with_threads,

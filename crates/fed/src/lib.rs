@@ -38,7 +38,10 @@ pub use traffic::{TaskTraffic, TrafficStats};
 
 // Re-exported so strategy implementors can name the telemetry and wire types
 // that appear in the `FdilStrategy` trait without a separate dependency.
-pub use refil_telemetry::{Telemetry, TelemetrySummary};
+pub use refil_telemetry::{
+    ArenaStats, PhaseNanos, PoolStats, RoundReport, SessionStat, Telemetry, TelemetrySummary,
+    WorkerStats,
+};
 pub use refil_wire::{
     ClientModelUpdate, GlobalPromptBroadcast, Loopback, MaskedModelUpdate, MessageKind,
     ModelBroadcast, PromptGroup, PromptUpload, RehearsalMemory, Transport, WireError, WireMessage,

@@ -43,7 +43,9 @@ use serde::{Deserialize, Serialize};
 
 use refil_data::{partition_quantity_shift, FdilDataset, QuantityShift, Sample};
 use refil_nn::Tensor;
-use refil_telemetry::{Telemetry, TelemetrySummary};
+use refil_telemetry::{
+    ArenaStats, PoolStats, RoundReport, SessionStat, Telemetry, TelemetrySummary,
+};
 use refil_wire::{
     ClientModelUpdate as WireClientModelUpdate, Loopback, ModelBroadcast, Transport, WireMessage,
 };
@@ -295,6 +297,12 @@ pub struct RunResult {
     /// Aggregated telemetry (span timings, counters, histograms); empty when
     /// the run used a disabled [`Telemetry`] handle.
     pub telemetry: TelemetrySummary,
+    /// One [`RoundReport`] per executed round, in execution order: per-phase
+    /// wall time, per-client session time, per-kind wire bytes, scratch-arena
+    /// accounting, and (with telemetry enabled) per-worker pool stats. The
+    /// round that closes a task additionally carries the eval phase and
+    /// per-domain accuracies.
+    pub rounds: Vec<RoundReport>,
 }
 
 impl RunResult {
@@ -323,6 +331,26 @@ impl RunResult {
     pub fn final_domain_accuracies(&self) -> &[f32] {
         self.domain_acc.last().expect("at least one task")
     }
+}
+
+/// Session outputs paired with their timing stats, indexed by session slot
+/// (`None` until the slot's worker completes it).
+type SessionSlots = Vec<Option<(SessionOutput, SessionStat)>>;
+
+/// Converts the nn crate's thread-local scratch accounting into the
+/// telemetry report type.
+fn arena_stats(s: refil_nn::ScratchStats) -> ArenaStats {
+    ArenaStats {
+        reserved_bytes: s.reserved_bytes,
+        reserved_count: s.reserved_count,
+        reused_bytes: s.reused_bytes,
+        reused_count: s.reused_count,
+        peak_pool_bytes: s.peak_pool_bytes,
+    }
+}
+
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
@@ -371,16 +399,17 @@ struct PlannedSession<'a> {
     seed: u64,
 }
 
-/// Runs one planned session on a telemetry handle scoped under the round
-/// span, recording the per-client span and throughput observations.
+/// Runs one planned session, recording the per-client span and throughput
+/// observations, and returns the output plus the session's wall nanoseconds.
+///
+/// `t` is a handle already scoped under the round span — created once per
+/// worker, not per session, so the hot path pays no parent-path rebuild.
 fn run_session(
     ctx: &dyn RoundContext,
     session: &PlannedSession<'_>,
     cfg: &RunConfig,
-    telemetry: &Telemetry,
-    round_path: &str,
-) -> SessionOutput {
-    let t = telemetry.scoped(round_path);
+    t: &Telemetry,
+) -> (SessionOutput, u64) {
     let _client_span = t.span(&format!("client:{}", session.cid));
     let setting = TrainSetting {
         client_id: session.cid,
@@ -393,14 +422,15 @@ fn run_session(
         seed: session.seed,
     };
     let session_start = std::time::Instant::now();
-    let out = ctx.train_client(&setting, &t);
-    let elapsed = session_start.elapsed().as_secs_f64();
-    t.observe("client.duration_s", elapsed);
-    if elapsed > 0.0 {
+    let out = ctx.train_client(&setting, t);
+    let elapsed = session_start.elapsed();
+    let secs = elapsed.as_secs_f64();
+    t.observe("client.duration_s", secs);
+    if secs > 0.0 {
         let processed = (session.samples.len() * cfg.local_epochs.max(1)) as f64;
-        t.observe("client.samples_per_sec", processed / elapsed);
+        t.observe("client.samples_per_sec", processed / secs);
     }
-    out
+    (out, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX))
 }
 
 /// Resolves a user-facing thread-count request: `0` means "all available
@@ -594,6 +624,7 @@ impl FdilRunner {
         let mut traffic = TrafficStats::default();
         let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
         let mut group_timeline = Vec::with_capacity(num_tasks);
+        let mut rounds_reports: Vec<RoundReport> = Vec::new();
 
         for (task, schedule) in schedules.iter().enumerate() {
             let _task_span = telemetry.span(&format!("task:{task}"));
@@ -625,6 +656,13 @@ impl FdilRunner {
 
             for round in 0..rounds {
                 let _round_span = telemetry.span(&format!("round:{round}"));
+                let round_start = std::time::Instant::now();
+                let round_t0 = telemetry.now_ns();
+                let mut report = RoundReport {
+                    task: task as u64,
+                    round: round as u64,
+                    ..RoundReport::default()
+                };
 
                 // Pre-draw all per-round randomness before any session runs,
                 // in the exact order the sequential driver consumed it:
@@ -636,6 +674,7 @@ impl FdilRunner {
                 for &cid in &selected {
                     if cfg.dropout_prob > 0.0 && rng.gen::<f32>() < cfg.dropout_prob {
                         telemetry.counter("clients.dropped", 1);
+                        report.clients_dropped += 1;
                         continue; // straggler: selected but never reports
                     }
                     let plan = &schedule.clients[cid];
@@ -663,6 +702,8 @@ impl FdilRunner {
                 // downlink, and sessions train on the *decoded* copy. The
                 // direct path moves the same typed messages unencoded while
                 // accounting the identical frame sizes.
+                let broadcast_start = std::time::Instant::now();
+                let broadcast_t0 = telemetry.now_ns();
                 let model_msg = WireMessage::ModelBroadcast(ModelBroadcast {
                     task: task as u32,
                     round: round as u32,
@@ -683,50 +724,124 @@ impl FdilRunner {
                     None => (None, 0),
                 };
                 let down_bytes = model_bytes + extra_bytes;
+                report.phases.broadcast = elapsed_ns(broadcast_start);
+                telemetry.timeline_span(0, "broadcast", broadcast_t0, report.phases.broadcast);
 
                 // Dispatch sessions against the shared read-only context;
                 // outputs are indexed by session slot so completion order is
                 // irrelevant. `select_clients` returns ids ascending, so slot
                 // order == client-id order.
+                //
+                // Profiling rides along without touching scheduling: each
+                // worker owns a preallocated timeline lane (ticks only, no
+                // allocation per item) and harvests its thread's scratch
+                // stats; lanes merge into per-worker busy/idle/steal
+                // accounting after the join, off the hot path.
                 let round_path = telemetry.current_path();
-                let outputs: Vec<Option<SessionOutput>> = {
+                let timeline = telemetry.timeline();
+                let train_start = std::time::Instant::now();
+                let train_t0 = telemetry.now_ns();
+                let (outputs, train_pool, train_scratch): (
+                    SessionSlots,
+                    Option<PoolStats>,
+                    ArenaStats,
+                ) = {
                     let ctx = strategy.round_ctx(task, round, &round_model, broadcast.as_ref());
                     let workers = self.threads.min(sessions.len());
                     if workers <= 1 {
-                        sessions
+                        let t = telemetry.scoped(&round_path);
+                        let mut lane = timeline.lane(0);
+                        let _ = refil_nn::take_scratch_stats();
+                        let outputs = sessions
                             .iter()
-                            .map(|s| Some(run_session(&*ctx, s, cfg, telemetry, &round_path)))
-                            .collect()
+                            .map(|s| {
+                                let start = lane.tick();
+                                let (out, duration_ns) = run_session(&*ctx, s, cfg, &t);
+                                lane.record("client", Some(s.cid as u64), start);
+                                let stat = SessionStat {
+                                    client_id: s.cid as u64,
+                                    track: 1,
+                                    duration_ns,
+                                };
+                                Some((out, stat))
+                            })
+                            .collect();
+                        let scratch = arena_stats(refil_nn::take_scratch_stats());
+                        let wall = timeline.tick().saturating_sub(train_t0);
+                        (outputs, timeline.merge(vec![lane], wall), scratch)
                     } else {
                         let next = AtomicUsize::new(0);
-                        let slots: Mutex<Vec<Option<SessionOutput>>> =
+                        let slots: Mutex<SessionSlots> =
                             Mutex::new(sessions.iter().map(|_| None).collect());
-                        crossbeam::thread::scope(|scope| {
-                            for _ in 0..workers {
-                                scope.spawn(|_| loop {
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    let Some(session) = sessions.get(i) else {
-                                        break;
-                                    };
-                                    let out =
-                                        run_session(&*ctx, session, cfg, telemetry, &round_path);
-                                    slots.lock().expect("session slots poisoned")[i] = Some(out);
-                                });
-                            }
+                        let per_worker = crossbeam::thread::scope(|scope| {
+                            let handles: Vec<_> = (0..workers)
+                                .map(|slot| {
+                                    let ctx = &*ctx;
+                                    let sessions = &sessions;
+                                    let next = &next;
+                                    let slots = &slots;
+                                    let t = telemetry.scoped(&round_path);
+                                    let mut lane = timeline.lane(slot);
+                                    let track = slot as u32 + 1;
+                                    scope.spawn(move |_| {
+                                        loop {
+                                            let i = next.fetch_add(1, Ordering::Relaxed);
+                                            let Some(session) = sessions.get(i) else {
+                                                break;
+                                            };
+                                            let start = lane.tick();
+                                            let (out, duration_ns) =
+                                                run_session(ctx, session, cfg, &t);
+                                            lane.record("client", Some(session.cid as u64), start);
+                                            let stat = SessionStat {
+                                                client_id: session.cid as u64,
+                                                track,
+                                                duration_ns,
+                                            };
+                                            slots.lock().expect("session slots poisoned")[i] =
+                                                Some((out, stat));
+                                        }
+                                        (lane, refil_nn::take_scratch_stats())
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("client session worker panicked"))
+                                .collect::<Vec<_>>()
                         })
                         .expect("client session worker panicked");
-                        slots.into_inner().expect("session slots poisoned")
+                        let mut scratch = ArenaStats::default();
+                        let mut lanes = Vec::with_capacity(per_worker.len());
+                        for (lane, worker_scratch) in per_worker {
+                            scratch.merge(&arena_stats(worker_scratch));
+                            lanes.push(lane);
+                        }
+                        let wall = timeline.tick().saturating_sub(train_t0);
+                        let pool = timeline.merge(lanes, wall);
+                        (
+                            slots.into_inner().expect("session slots poisoned"),
+                            pool,
+                            scratch,
+                        )
                     }
                 };
+                report.phases.train = elapsed_ns(train_start);
+                telemetry.timeline_span(0, "train", train_t0, report.phases.train);
+                report.train_pool = train_pool;
+                report.scratch.merge(&train_scratch);
 
                 // Clients → server: each update (and optional merge message)
                 // is encoded, sent up the uplink, decoded, and consumed in
                 // session (= client-id) order, so FedAvg inputs, traffic
                 // accounting, and merges are deterministic.
+                let aggregate_start = std::time::Instant::now();
+                let aggregate_t0 = telemetry.now_ns();
                 let mut updates = Vec::with_capacity(sessions.len());
                 let mut merges: Vec<(usize, WireMessage)> = Vec::new();
                 for (session, output) in sessions.iter().zip(outputs) {
-                    let out = output.expect("planned session never ran");
+                    let (out, stat) = output.expect("planned session never ran");
+                    report.sessions.push(stat);
                     let update_msg = WireMessage::ClientModelUpdate(WireClientModelUpdate {
                         client_id: session.cid as u64,
                         weight: out.update.weight,
@@ -738,10 +853,13 @@ impl FdilRunner {
                     };
                     let mut up_bytes = update_bytes;
                     telemetry.counter("wire.client_model_update_bytes", update_bytes);
+                    bump_wire(&mut report.wire_bytes, "client_model_update", update_bytes);
                     if let Some(merge_msg) = out.merge {
                         let (decoded, bytes) = roundtrip(uplink, merge_msg);
                         up_bytes += bytes;
-                        telemetry.counter(&format!("wire.{}_bytes", decoded.kind().name()), bytes);
+                        let kind = decoded.kind().name();
+                        telemetry.counter(&format!("wire.{kind}_bytes"), bytes);
+                        bump_wire(&mut report.wire_bytes, kind, bytes);
                         merges.push((session.cid, decoded));
                     }
                     traffic.record_client(up_bytes, down_bytes);
@@ -749,10 +867,13 @@ impl FdilRunner {
                     telemetry.counter("traffic.up_bytes", up_bytes);
                     telemetry.counter("traffic.down_bytes", down_bytes);
                     telemetry.counter("wire.model_broadcast_bytes", model_bytes);
+                    bump_wire(&mut report.wire_bytes, "model_broadcast", model_bytes);
                     if let Some(kind) = extra_kind {
                         telemetry.counter(&format!("wire.{}_bytes", kind.name()), extra_bytes);
+                        bump_wire(&mut report.wire_bytes, kind.name(), extra_bytes);
                     }
                     telemetry.counter("clients.trained", 1);
+                    report.clients_trained += 1;
                     updates.push(WeightedUpdate {
                         flat: update_out.model,
                         weight: update_out.weight,
@@ -764,10 +885,19 @@ impl FdilRunner {
                 }
                 traffic.record_round();
                 telemetry.counter("rounds", 1);
+                report.phases.aggregate = elapsed_ns(aggregate_start);
+                telemetry.timeline_span(0, "aggregate", aggregate_t0, report.phases.aggregate);
+                let merge_start = std::time::Instant::now();
+                let merge_t0 = telemetry.now_ns();
                 for (cid, message) in merges {
                     strategy.merge_client(task, round, cid, message);
                 }
                 strategy.on_round_end(task, round, &global);
+                report.phases.merge = elapsed_ns(merge_start);
+                telemetry.timeline_span(0, "merge", merge_t0, report.phases.merge);
+                report.wall_ns = elapsed_ns(round_start);
+                telemetry.timeline_span(0, "round", round_t0, report.wall_ns);
+                rounds_reports.push(report);
             }
 
             // Task-end hook: expose each client's effective data (for Fisher etc.).
@@ -797,7 +927,21 @@ impl FdilRunner {
 
             // Evaluate on every domain seen so far, fanning (domain, batch)
             // work items across the same worker pool the training rounds use.
-            let row = self.evaluate_task(strategy, &global, dataset, task);
+            // The sweep's profile (pool stats, arena stats, wall time) is
+            // attributed to the round that closed the task.
+            let eval_start = std::time::Instant::now();
+            let eval_t0 = telemetry.now_ns();
+            let (row, eval_pool, eval_scratch) =
+                self.evaluate_task_profiled(strategy, &global, dataset, task);
+            let eval_ns = elapsed_ns(eval_start);
+            telemetry.timeline_span(0, "eval", eval_t0, eval_ns);
+            if let Some(last) = rounds_reports.last_mut() {
+                last.phases.eval = eval_ns;
+                last.wall_ns += eval_ns;
+                last.eval_pool = eval_pool;
+                last.eval_domain_acc = Some(row.clone());
+                last.scratch.merge(&eval_scratch);
+            }
             for &acc in &row {
                 telemetry.observe("eval.domain_acc", f64::from(acc));
             }
@@ -824,6 +968,7 @@ impl FdilRunner {
             group_timeline,
             final_global: global,
             telemetry: telemetry.summary(),
+            rounds: rounds_reports,
         }
     }
 
@@ -849,6 +994,22 @@ impl FdilRunner {
         dataset: &FdilDataset,
         task: usize,
     ) -> Vec<f32> {
+        self.evaluate_task_profiled(strategy, global, dataset, task)
+            .0
+    }
+
+    /// Like [`FdilRunner::evaluate_task`], but also returns the sweep's
+    /// per-worker [`PoolStats`] (None when telemetry is disabled — lanes
+    /// record nothing) and the scratch-arena accounting harvested from the
+    /// eval workers. This is the utilization report behind the parallel-eval
+    /// diagnosis: busy/idle/steal per worker over the sweep's wall time.
+    pub fn evaluate_task_profiled(
+        &self,
+        strategy: &dyn FdilStrategy,
+        global: &[f32],
+        dataset: &FdilDataset,
+        task: usize,
+    ) -> (Vec<f32>, Option<PoolStats>, ArenaStats) {
         let telemetry = &self.telemetry;
         let batch = self.cfg.eval_batch.max(1);
         let mut items: Vec<EvalItem<'_>> = Vec::new();
@@ -860,49 +1021,81 @@ impl FdilRunner {
             }
         }
         let eval_path = telemetry.current_path();
+        let timeline = telemetry.timeline();
+        let sweep_t0 = timeline.tick();
         let ctx = strategy.eval_ctx(global);
         let workers = self.threads.min(items.len());
-        let counts: Vec<usize> = if workers <= 1 {
+        let (counts, pool, scratch): (Vec<usize>, Option<PoolStats>, ArenaStats) = if workers <= 1 {
+            let t = telemetry.scoped(&eval_path);
+            let mut lane = timeline.lane(0);
+            let _ = refil_nn::take_scratch_stats();
             let mut evaluator = ctx.evaluator();
             let mut staging = Vec::new();
-            items
+            let counts = items
                 .iter()
-                .map(|item| eval_item(&mut *evaluator, item, &mut staging, telemetry, &eval_path))
-                .collect()
+                .enumerate()
+                .map(|(i, item)| {
+                    let start = lane.tick();
+                    let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
+                    lane.record("eval", Some(i as u64), start);
+                    correct
+                })
+                .collect();
+            let scratch = arena_stats(refil_nn::take_scratch_stats());
+            let wall = timeline.tick().saturating_sub(sweep_t0);
+            (counts, timeline.merge(vec![lane], wall), scratch)
         } else {
             let next = AtomicUsize::new(0);
             let slots: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; items.len()]);
-            crossbeam::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|_| {
-                        let mut evaluator = ctx.evaluator();
-                        let mut staging = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else {
-                                break;
-                            };
-                            let correct = eval_item(
-                                &mut *evaluator,
-                                item,
-                                &mut staging,
-                                telemetry,
-                                &eval_path,
-                            );
-                            slots.lock().expect("eval slots poisoned")[i] = Some(correct);
-                        }
-                    });
-                }
+            let per_worker = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|slot| {
+                        let ctx = &*ctx;
+                        let items = &items;
+                        let next = &next;
+                        let slots = &slots;
+                        let t = telemetry.scoped(&eval_path);
+                        let mut lane = timeline.lane(slot);
+                        scope.spawn(move |_| {
+                            let mut evaluator = ctx.evaluator();
+                            let mut staging = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = items.get(i) else {
+                                    break;
+                                };
+                                let start = lane.tick();
+                                let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
+                                lane.record("eval", Some(i as u64), start);
+                                slots.lock().expect("eval slots poisoned")[i] = Some(correct);
+                            }
+                            (lane, refil_nn::take_scratch_stats())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect::<Vec<_>>()
             })
             .expect("evaluation worker panicked");
-            slots
+            let mut scratch = ArenaStats::default();
+            let mut lanes = Vec::with_capacity(per_worker.len());
+            for (lane, worker_scratch) in per_worker {
+                scratch.merge(&arena_stats(worker_scratch));
+                lanes.push(lane);
+            }
+            let wall = timeline.tick().saturating_sub(sweep_t0);
+            let pool = timeline.merge(lanes, wall);
+            let counts = slots
                 .into_inner()
                 .expect("eval slots poisoned")
                 .into_iter()
                 .map(|c| c.expect("planned eval item never ran"))
-                .collect()
+                .collect();
+            (counts, pool, scratch)
         };
-        (0..=task)
+        let row = (0..=task)
             .map(|domain| {
                 let correct: usize = items
                     .iter()
@@ -912,7 +1105,19 @@ impl FdilRunner {
                     .sum();
                 100.0 * correct as f32 / dataset.domains[domain].test.len() as f32
             })
-            .collect()
+            .collect();
+        (row, pool, scratch)
+    }
+}
+
+/// Adds `bytes` to the per-round wire-bytes map under `kind`, allocating the
+/// key only on first occurrence per round.
+fn bump_wire(map: &mut std::collections::BTreeMap<String, u64>, kind: &str, bytes: u64) {
+    match map.get_mut(kind) {
+        Some(slot) => *slot += bytes,
+        None => {
+            map.insert(kind.to_string(), bytes);
+        }
     }
 }
 
@@ -926,17 +1131,16 @@ struct EvalItem<'a> {
 ///
 /// `staging` is the worker's reusable feature buffer: it is moved into the
 /// batch tensor and reclaimed afterwards, so steady-state evaluation does no
-/// per-batch feature allocation. Each item gets an `evaluate_domain` span
-/// parented under `eval_path` plus `eval.samples` / `eval.batches` /
-/// `eval.forward_ns` counters, emitted correctly even from worker threads.
+/// per-batch feature allocation. `t` is a handle already scoped under the
+/// eval sweep's span path — created once per worker, not per item — so each
+/// item's `evaluate_domain` span and `eval.samples` / `eval.batches` /
+/// `eval.forward_ns` counters land correctly even from worker threads.
 fn eval_item(
     evaluator: &mut dyn DomainEvaluator,
     item: &EvalItem<'_>,
     staging: &mut Vec<f32>,
-    telemetry: &Telemetry,
-    eval_path: &str,
+    t: &Telemetry,
 ) -> usize {
-    let t = telemetry.scoped(eval_path);
     let _span = t.span("evaluate_domain");
     let dim = item.chunk[0].features.len();
     let mut data = std::mem::take(staging);
@@ -1014,7 +1218,7 @@ pub fn evaluate_domain(
     let mut correct = 0usize;
     for chunk in test.chunks(eval_batch.max(1)) {
         let item = EvalItem { domain, chunk };
-        correct += eval_item(&mut *evaluator, &item, &mut staging, &telemetry, "");
+        correct += eval_item(&mut *evaluator, &item, &mut staging, &telemetry);
     }
     100.0 * correct as f32 / test.len() as f32
 }
@@ -1387,12 +1591,95 @@ mod tests {
             group_timeline: vec![],
             final_global: vec![],
             telemetry: TelemetrySummary::default(),
+            rounds: vec![],
         };
         let steps = res.step_accuracies();
         assert_eq!(steps, vec![90.0, 70.0]);
         assert!((res.avg_accuracy() - 80.0).abs() < 1e-5);
         assert!((res.last_accuracy() - 70.0).abs() < 1e-5);
         assert_eq!(res.final_domain_accuracies(), &[60.0, 80.0]);
+    }
+
+    #[test]
+    fn round_reports_cover_every_round_with_phases_and_wire_bytes() {
+        let ds = tiny_dataset();
+        let mut strat = CentroidStrategy::new(3, 6);
+        let telemetry = Telemetry::collecting();
+        let res = FdilRunner::new(tiny_config())
+            .telemetry(&telemetry)
+            .threads(2)
+            .run(&ds, &mut strat);
+        assert_eq!(res.rounds.len() as u64, res.traffic.rounds);
+        let mut trained = 0u64;
+        for report in &res.rounds {
+            trained += report.clients_trained;
+            assert_eq!(report.sessions.len() as u64, report.clients_trained);
+            assert!(report.wall_ns > 0);
+            assert!(report.phases.train > 0);
+            if report.clients_trained > 0 {
+                assert!(report.wire_bytes.contains_key("model_broadcast"));
+                assert!(report.wire_bytes.contains_key("client_model_update"));
+                assert!(report.wire_bytes.contains_key("prompt_upload"));
+                // Telemetry was enabled, so pool accounting must be present.
+                let pool = report.train_pool.as_ref().expect("train pool stats");
+                assert_eq!(pool.total_items(), report.clients_trained);
+                assert!(pool.wall_ns > 0);
+                // Sessions arrive in client-id order (slot order).
+                let ids: Vec<u64> = report.sessions.iter().map(|s| s.client_id).collect();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                assert_eq!(ids, sorted);
+            }
+        }
+        assert_eq!(trained, res.traffic.client_updates);
+        // Exactly the task-closing rounds carry eval results.
+        let evals: Vec<&RoundReport> = res
+            .rounds
+            .iter()
+            .filter(|r| r.eval_domain_acc.is_some())
+            .collect();
+        assert_eq!(evals.len(), ds.num_domains());
+        for (t, report) in evals.iter().enumerate() {
+            assert_eq!(report.eval_domain_acc.as_ref().unwrap().len(), t + 1);
+            assert!(report.phases.eval > 0);
+            assert!(report.eval_pool.is_some());
+        }
+        // Per-round wire bytes partition the run totals exactly.
+        let per_round: u64 = res.rounds.iter().map(RoundReport::total_wire_bytes).sum();
+        assert_eq!(per_round, res.traffic.total_bytes());
+    }
+
+    #[test]
+    fn round_report_semantic_fields_match_across_thread_counts() {
+        let ds = tiny_dataset();
+        let mut s1 = CentroidStrategy::new(3, 6);
+        let mut s4 = CentroidStrategy::new(3, 6);
+        let r1 = FdilRunner::new(tiny_config()).threads(1).run(&ds, &mut s1);
+        let r4 = FdilRunner::new(tiny_config()).threads(4).run(&ds, &mut s4);
+        assert_eq!(r1.rounds.len(), r4.rounds.len());
+        for (a, b) in r1.rounds.iter().zip(&r4.rounds) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.wire_bytes, b.wire_bytes);
+            assert_eq!(a.clients_trained, b.clients_trained);
+            assert_eq!(a.clients_dropped, b.clients_dropped);
+            assert_eq!(a.eval_domain_acc, b.eval_domain_acc);
+            let ids =
+                |r: &RoundReport| -> Vec<u64> { r.sessions.iter().map(|s| s.client_id).collect() };
+            assert_eq!(ids(a), ids(b));
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_still_reports_rounds_without_pools() {
+        let ds = tiny_dataset();
+        let mut strat = CentroidStrategy::new(3, 6);
+        let res = FdilRunner::new(tiny_config()).run(&ds, &mut strat);
+        assert!(!res.rounds.is_empty());
+        for report in &res.rounds {
+            assert!(report.train_pool.is_none());
+            assert!(report.eval_pool.is_none());
+        }
     }
 
     #[test]

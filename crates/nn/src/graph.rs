@@ -22,11 +22,99 @@
 //! assert_eq!(params.grad(w).data(), &[4.0]);
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use crate::gemm::{dispatch, gemm, gemm_nt, gemm_tn};
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
+
+/// Per-thread scratch-arena accounting: how many buffer-request bytes were
+/// served fresh from the allocator vs recycled from a pool, and the
+/// high-water mark of bytes parked across all pools on this thread.
+///
+/// Counters are cumulative per window: harvest-and-reset with
+/// [`take_scratch_stats`]. All byte figures count `f32` payload bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Bytes newly allocated because no pooled buffer was available.
+    pub reserved_bytes: u64,
+    /// Number of fresh allocations behind `reserved_bytes`.
+    pub reserved_count: u64,
+    /// Bytes served by recycling a pooled buffer.
+    pub reused_bytes: u64,
+    /// Number of pool hits behind `reused_bytes`.
+    pub reused_count: u64,
+    /// High-water mark of bytes parked in pools during the window.
+    pub peak_pool_bytes: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct StatCell {
+    stats: ScratchStats,
+    /// Bytes currently parked across all live pools on this thread;
+    /// survives [`take_scratch_stats`] so the next window's peak starts
+    /// from reality, not zero.
+    cur_pool_bytes: u64,
+}
+
+thread_local! {
+    static SCRATCH_STATS: Cell<StatCell> = const { Cell::new(StatCell {
+        stats: ScratchStats {
+            reserved_bytes: 0,
+            reserved_count: 0,
+            reused_bytes: 0,
+            reused_count: 0,
+            peak_pool_bytes: 0,
+        },
+        cur_pool_bytes: 0,
+    }) };
+}
+
+/// Snapshots and resets this thread's [`ScratchStats`] window. The returned
+/// peak is at least the bytes still parked in live pools, and the new
+/// window's peak starts from that figure.
+pub fn take_scratch_stats() -> ScratchStats {
+    SCRATCH_STATS.with(|cell| {
+        let mut c = cell.get();
+        c.stats.peak_pool_bytes = c.stats.peak_pool_bytes.max(c.cur_pool_bytes);
+        let snapshot = c.stats;
+        c.stats = ScratchStats {
+            peak_pool_bytes: c.cur_pool_bytes,
+            ..ScratchStats::default()
+        };
+        cell.set(c);
+        snapshot
+    })
+}
+
+fn note_take(reused: bool, len: usize) {
+    SCRATCH_STATS.with(|cell| {
+        let mut c = cell.get();
+        let bytes = (len * std::mem::size_of::<f32>()) as u64;
+        if reused {
+            c.stats.reused_bytes += bytes;
+            c.stats.reused_count += 1;
+        } else {
+            c.stats.reserved_bytes += bytes;
+            c.stats.reserved_count += 1;
+        }
+        cell.set(c);
+    });
+}
+
+fn note_pool_delta(parked_more: bool, cap: usize) {
+    SCRATCH_STATS.with(|cell| {
+        let mut c = cell.get();
+        let bytes = (cap * std::mem::size_of::<f32>()) as u64;
+        if parked_more {
+            c.cur_pool_bytes += bytes;
+            c.stats.peak_pool_bytes = c.stats.peak_pool_bytes.max(c.cur_pool_bytes);
+        } else {
+            c.cur_pool_bytes = c.cur_pool_bytes.saturating_sub(bytes);
+        }
+        cell.set(c);
+    });
+}
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +140,16 @@ impl Scratch {
     pub(crate) fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
         match self.pool.pop() {
             Some(mut v) => {
+                note_pool_delta(false, v.capacity());
+                note_take(true, len);
                 v.clear();
                 v.resize(len, 0.0);
                 v
             }
-            None => vec![0.0; len],
+            None => {
+                note_take(false, len);
+                vec![0.0; len]
+            }
         }
     }
 
@@ -64,11 +157,16 @@ impl Scratch {
     pub(crate) fn take_copied(&mut self, src: &[f32]) -> Vec<f32> {
         match self.pool.pop() {
             Some(mut v) => {
+                note_pool_delta(false, v.capacity());
+                note_take(true, src.len());
                 v.clear();
                 v.extend_from_slice(src);
                 v
             }
-            None => src.to_vec(),
+            None => {
+                note_take(false, src.len());
+                src.to_vec()
+            }
         }
     }
 
@@ -77,18 +175,34 @@ impl Scratch {
     pub(crate) fn take_cleared(&mut self, cap: usize) -> Vec<f32> {
         match self.pool.pop() {
             Some(mut v) => {
+                note_pool_delta(false, v.capacity());
+                note_take(true, cap);
                 v.clear();
                 v.reserve(cap);
                 v
             }
-            None => Vec::with_capacity(cap),
+            None => {
+                note_take(false, cap);
+                Vec::with_capacity(cap)
+            }
         }
     }
 
     /// Returns a buffer to the pool for reuse.
     pub(crate) fn recycle(&mut self, v: Vec<f32>) {
         if v.capacity() > 0 {
+            note_pool_delta(true, v.capacity());
             self.pool.push(v);
+        }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        // Keep the thread's parked-bytes figure exact when a graph (and its
+        // pools) goes away.
+        for v in &self.pool {
+            note_pool_delta(false, v.capacity());
         }
     }
 }
@@ -2318,5 +2432,59 @@ mod tests {
             g.reset();
             assert!(g.is_empty());
         }
+    }
+
+    #[test]
+    fn scratch_stats_count_reserve_reuse_and_peak() {
+        let _ = take_scratch_stats(); // open a clean window
+        let mut scratch = Scratch::default();
+        let a = scratch.take_zeroed(8); // miss: 32 bytes reserved
+        scratch.recycle(a); // 32 bytes parked
+        let b = scratch.take_zeroed(4); // hit: 16 bytes reused
+        scratch.recycle(b);
+        drop(scratch);
+        let stats = take_scratch_stats();
+        assert_eq!(stats.reserved_count, 1);
+        assert_eq!(stats.reserved_bytes, 32);
+        assert_eq!(stats.reused_count, 1);
+        assert_eq!(stats.reused_bytes, 16);
+        assert!(
+            stats.peak_pool_bytes >= 32,
+            "peak {}",
+            stats.peak_pool_bytes
+        );
+        // The window reset: a fresh snapshot shows no flows, and the peak
+        // reflects only still-parked bytes (none — the arena was dropped).
+        let fresh = take_scratch_stats();
+        assert_eq!(fresh.reserved_count, 0);
+        assert_eq!(fresh.reused_count, 0);
+    }
+
+    #[test]
+    fn inference_replay_reuses_buffers_per_scratch_stats() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = Params::new();
+        params.insert("w", Tensor::randn(&[4, 4], 0.1, &mut rng), true);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let g = Graph::inference();
+        let run = |g: &Graph| {
+            let wv = g.param(&params, params.id("w").unwrap());
+            let xv = g.input(&x);
+            let h = g.matmul(xv, wv);
+            let _ = g.value(h);
+            g.reset();
+        };
+        run(&g); // warm the value pool
+        let _ = take_scratch_stats();
+        run(&g);
+        let stats = take_scratch_stats();
+        assert!(
+            stats.reused_count > 0,
+            "steady-state replay must hit the pool: {stats:?}"
+        );
+        assert_eq!(
+            stats.reserved_count, 0,
+            "steady-state replay must not allocate: {stats:?}"
+        );
     }
 }

@@ -52,7 +52,7 @@ mod proptests;
 mod schedule;
 mod tensor;
 
-pub use graph::{Graph, Var};
+pub use graph::{take_scratch_stats, Graph, ScratchStats, Var};
 pub use infer::{force_taped, taped_forced, InferenceSession};
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use params::{ParamEntry, ParamId, Params};

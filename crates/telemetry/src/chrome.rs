@@ -1,0 +1,299 @@
+//! Chrome trace-event exporter: renders the event stream as a JSON file
+//! loadable in Perfetto or `chrome://tracing`.
+//!
+//! Rendering rules:
+//! - [`TraceEvent::TimelineSpan`] → one `"X"` (complete) event on the slice's
+//!   track (`tid`), so each worker appears as its own named thread row.
+//!   Slices carry exact start/end ticks from one monotonic epoch, so strict
+//!   nesting per track holds by construction.
+//! - [`TraceEvent::Counter`] → a `"C"` counter sample at arrival time.
+//! - [`TraceEvent::Log`] → an `"i"` instant event on track 0.
+//! - `SpanStart`/`SpanEnd`/`Observe` are ignored: span paths already
+//!   aggregate in the summary and would double-draw the timeline slices.
+//!
+//! Timestamps are microseconds as `f64` (the format's native unit); the
+//! ns→µs division is monotone, so interval ordering survives conversion.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::TraceEvent;
+use crate::sink::Sink;
+
+/// One rendered trace-event row, buffered until flush.
+enum Row {
+    Complete {
+        name: String,
+        tid: u32,
+        ts_us: f64,
+        dur_us: f64,
+    },
+    Counter {
+        name: String,
+        ts_us: f64,
+        total: u64,
+    },
+    Instant {
+        name: String,
+        ts_us: f64,
+    },
+}
+
+/// Buffering [`Sink`] that writes a complete Chrome trace JSON document
+/// (`{"traceEvents": [...]}`) to a file on every [`Sink::flush`].
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    epoch: Instant,
+    rows: Mutex<Vec<Row>>,
+}
+
+impl ChromeTraceSink {
+    /// Creates the sink; the file at `path` is written on flush.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Fail now (not at flush) if the location is unwritable.
+        File::create(&path)?;
+        Ok(Self {
+            path,
+            epoch: Instant::now(),
+            rows: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn arrival_us(&self) -> f64 {
+        self.epoch.elapsed().as_nanos() as f64 / 1_000.0
+    }
+
+    fn write(&self, rows: &[Row]) -> std::io::Result<()> {
+        let file = File::create(&self.path)?;
+        let mut w = BufWriter::new(file);
+        write!(w, "{{\"traceEvents\":[")?;
+        let mut first = true;
+        let mut tracks: Vec<u32> = rows
+            .iter()
+            .filter_map(|row| match row {
+                Row::Complete { tid, .. } => Some(*tid),
+                _ => None,
+            })
+            .collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for tid in tracks {
+            let label = if tid == 0 {
+                "driver".to_string()
+            } else {
+                format!("worker-{}", tid - 1)
+            };
+            sep(&mut w, &mut first)?;
+            write!(
+                w,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(&label)
+            )?;
+        }
+        for row in rows {
+            sep(&mut w, &mut first)?;
+            match row {
+                Row::Complete {
+                    name,
+                    tid,
+                    ts_us,
+                    dur_us,
+                } => write!(
+                    w,
+                    "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{ts_us},\"dur\":{dur_us}}}",
+                    json_str(name)
+                )?,
+                Row::Counter { name, ts_us, total } => write!(
+                    w,
+                    "{{\"name\":{},\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{ts_us},\
+                     \"args\":{{\"total\":{total}}}}}",
+                    json_str(name)
+                )?,
+                Row::Instant { name, ts_us } => write!(
+                    w,
+                    "{{\"name\":{},\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":{ts_us},\
+                     \"s\":\"t\"}}",
+                    json_str(name)
+                )?,
+            }
+        }
+        write!(w, "]}}")?;
+        w.flush()
+    }
+}
+
+fn sep(w: &mut impl Write, first: &mut bool) -> std::io::Result<()> {
+    if *first {
+        *first = false;
+        Ok(())
+    } else {
+        write!(w, ",")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).expect("string serialization is infallible")
+}
+
+impl Sink for ChromeTraceSink {
+    fn event(&self, event: &TraceEvent) {
+        let row = match event {
+            TraceEvent::TimelineSpan {
+                track,
+                name,
+                start_ns,
+                dur_ns,
+            } => Row::Complete {
+                name: name.clone(),
+                tid: *track,
+                ts_us: *start_ns as f64 / 1_000.0,
+                dur_us: *dur_ns as f64 / 1_000.0,
+            },
+            TraceEvent::Counter { name, total, .. } => Row::Counter {
+                name: name.clone(),
+                ts_us: self.arrival_us(),
+                total: *total,
+            },
+            TraceEvent::Log { message, .. } => Row::Instant {
+                name: message.clone(),
+                ts_us: self.arrival_us(),
+            },
+            TraceEvent::SpanStart { .. }
+            | TraceEvent::SpanEnd { .. }
+            | TraceEvent::Observe { .. } => return,
+        };
+        self.rows
+            .lock()
+            .expect("chrome trace buffer poisoned")
+            .push(row);
+    }
+
+    fn flush(&self) {
+        let rows = self.rows.lock().expect("chrome trace buffer poisoned");
+        let _ = self.write(&rows);
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("refil-telemetry-test")
+            .join(format!("{name}-{}.json", std::process::id()))
+    }
+
+    fn ph(e: &Value) -> &str {
+        e.get("ph").and_then(Value::as_str).unwrap_or("")
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_worker_tracks() {
+        let path = tmp("chrome");
+        let sink = ChromeTraceSink::create(&path).expect("create");
+        sink.event(&TraceEvent::TimelineSpan {
+            track: 0,
+            name: "round:0".into(),
+            start_ns: 0,
+            dur_ns: 10_000,
+        });
+        sink.event(&TraceEvent::TimelineSpan {
+            track: 1,
+            name: "client:3".into(),
+            start_ns: 1_000,
+            dur_ns: 4_000,
+        });
+        sink.event(&TraceEvent::Counter {
+            name: "traffic.up_bytes".into(),
+            delta: 8,
+            total: 8,
+        });
+        sink.event(&TraceEvent::Log {
+            level: crate::Level::Info,
+            message: "task 0 done".into(),
+        });
+        // Ignored kinds must not appear.
+        sink.event(&TraceEvent::SpanStart { path: "run".into() });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        let doc = serde_json::parse_value(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        let metas: Vec<&str> = events
+            .iter()
+            .filter(|e| ph(e) == "M")
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(metas, vec!["driver", "worker-0"]);
+        let slices: Vec<&Value> = events.iter().filter(|e| ph(e) == "X").collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(
+            slices[1].get("name").and_then(Value::as_str),
+            Some("client:3")
+        );
+        assert_eq!(slices[1].get("tid").and_then(Value::as_u64), Some(1));
+        assert_eq!(slices[1].get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(slices[1].get("dur").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(events.iter().filter(|e| ph(e) == "C").count(), 1);
+        assert_eq!(events.iter().filter(|e| ph(e) == "i").count(), 1);
+        assert!(events.iter().all(|e| ph(e) != "B" && ph(e) != "E"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_rewrites_the_whole_document() {
+        let path = tmp("chrome-reflush");
+        let sink = ChromeTraceSink::create(&path).expect("create");
+        sink.event(&TraceEvent::TimelineSpan {
+            track: 1,
+            name: "a".into(),
+            start_ns: 0,
+            dur_ns: 1,
+        });
+        sink.flush();
+        sink.event(&TraceEvent::TimelineSpan {
+            track: 1,
+            name: "b".into(),
+            start_ns: 2,
+            dur_ns: 1,
+        });
+        sink.flush();
+        let doc =
+            serde_json::parse_value(&std::fs::read_to_string(&path).expect("read")).expect("json");
+        let slices = doc
+            .get("traceEvents")
+            .and_then(Value::as_seq)
+            .unwrap()
+            .iter()
+            .filter(|e| ph(e) == "X")
+            .count();
+        assert_eq!(slices, 2, "second flush must contain both events");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -86,6 +86,21 @@ pub enum TraceEvent {
         /// Message text.
         message: String,
     },
+    /// One merged slice of a per-worker [`crate::Timeline`] lane: a named
+    /// interval on a numbered track, with ticks measured from the collector's
+    /// epoch. Emitted in batches when a pool's lanes are merged post-round —
+    /// never from a hot path — and rendered by [`crate::ChromeTraceSink`] as
+    /// one Perfetto track per worker.
+    TimelineSpan {
+        /// Track number: 0 is the driver thread, `1..=N` are worker slots.
+        track: u32,
+        /// Slice name, e.g. `client:3` or `eval:1`.
+        name: String,
+        /// Nanoseconds from the collector epoch to the slice start.
+        start_ns: u64,
+        /// Slice duration in nanoseconds.
+        dur_ns: u64,
+    },
 }
 
 #[cfg(test)]
@@ -130,6 +145,12 @@ mod tests {
             TraceEvent::Log {
                 level: Level::Info,
                 message: "hello".into(),
+            },
+            TraceEvent::TimelineSpan {
+                track: 2,
+                name: "client:5".into(),
+                start_ns: 1_000,
+                dur_ns: 2_500,
             },
         ];
         for event in events {

@@ -1,0 +1,217 @@
+//! Prometheus-style text exposition exporter.
+//!
+//! Folds the event stream into metric families and writes a snapshot in the
+//! text exposition format on every [`Sink::flush`]:
+//!
+//! - counters → `refil_<name>_total` (counter),
+//! - observations → `refil_<name>_{count,sum,min,max}` (gauges),
+//! - span closes and timeline slices → `refil_span_seconds_{count,sum}`
+//!   with a `{name="..."}` label.
+//!
+//! Names are sanitised to `[a-z0-9_]`; numeric id suffixes (`client:7`) are
+//! stripped to the kind (`client`) so label cardinality stays bounded.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::sink::Sink;
+use crate::summary::HistogramSummary;
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    /// Per span/slice kind: (count, total seconds).
+    spans: BTreeMap<String, (u64, f64)>,
+}
+
+/// Buffering [`Sink`] writing a Prometheus text exposition snapshot to a
+/// file on every [`Sink::flush`].
+pub struct PrometheusSink {
+    path: PathBuf,
+    families: Mutex<Families>,
+}
+
+impl PrometheusSink {
+    /// Creates the sink; the file at `path` is written on flush.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        File::create(&path)?;
+        Ok(Self {
+            path,
+            families: Mutex::new(Families::default()),
+        })
+    }
+
+    fn write(&self, fam: &Families) -> std::io::Result<()> {
+        let file = File::create(&self.path)?;
+        let mut w = BufWriter::new(file);
+        for (name, total) in &fam.counters {
+            let metric = format!("refil_{}_total", sanitize(name));
+            writeln!(w, "# TYPE {metric} counter")?;
+            writeln!(w, "{metric} {total}")?;
+        }
+        for (name, h) in &fam.histograms {
+            let base = format!("refil_{}", sanitize(name));
+            writeln!(w, "# TYPE {base}_count gauge")?;
+            writeln!(w, "{base}_count {}", h.count)?;
+            writeln!(w, "{base}_sum {}", h.sum)?;
+            if h.count > 0 {
+                writeln!(w, "{base}_min {}", h.min)?;
+                writeln!(w, "{base}_max {}", h.max)?;
+            }
+        }
+        if !fam.spans.is_empty() {
+            writeln!(w, "# TYPE refil_span_seconds_count gauge")?;
+            writeln!(w, "# TYPE refil_span_seconds_sum gauge")?;
+            for (name, (count, secs)) in &fam.spans {
+                let label = sanitize(name);
+                writeln!(w, "refil_span_seconds_count{{name=\"{label}\"}} {count}")?;
+                writeln!(w, "refil_span_seconds_sum{{name=\"{label}\"}} {secs}")?;
+            }
+        }
+        w.flush()
+    }
+}
+
+/// Lowercases and maps everything outside `[a-z0-9_]` to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// `run/task:0/client:7` → `client`; `fedavg` → `fedavg`. Takes the last
+/// path segment and strips a trailing `:<digits>` id so per-client and
+/// per-chunk slices fold into one labelled series.
+fn span_kind(path: &str) -> &str {
+    let leaf = path.rsplit('/').next().unwrap_or(path);
+    match leaf.rsplit_once(':') {
+        Some((kind, id)) if !id.is_empty() && id.bytes().all(|b| b.is_ascii_digit()) => kind,
+        _ => leaf,
+    }
+}
+
+impl Sink for PrometheusSink {
+    fn event(&self, event: &TraceEvent) {
+        let mut fam = self.families.lock().expect("prometheus buffer poisoned");
+        match event {
+            TraceEvent::Counter { name, delta, .. } => {
+                *fam.counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            TraceEvent::Observe { name, value } => {
+                fam.histograms
+                    .entry(name.clone())
+                    .or_default()
+                    .record(*value);
+            }
+            TraceEvent::SpanEnd { path, duration_ns } => {
+                let slot = fam
+                    .spans
+                    .entry(span_kind(path).to_string())
+                    .or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += *duration_ns as f64 / 1e9;
+            }
+            TraceEvent::TimelineSpan { name, dur_ns, .. } => {
+                let slot = fam
+                    .spans
+                    .entry(span_kind(name).to_string())
+                    .or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += *dur_ns as f64 / 1e9;
+            }
+            TraceEvent::SpanStart { .. } | TraceEvent::Log { .. } => {}
+        }
+    }
+
+    fn flush(&self) {
+        let fam = self.families.lock().expect("prometheus buffer poisoned");
+        let _ = self.write(&fam);
+    }
+}
+
+impl Drop for PrometheusSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Level;
+
+    #[test]
+    fn kind_extraction_strips_path_and_numeric_id() {
+        assert_eq!(span_kind("run/task:0/client:7"), "client");
+        assert_eq!(span_kind("fedavg"), "fedavg");
+        assert_eq!(span_kind("client:x"), "client:x");
+        assert_eq!(span_kind("round:12"), "round");
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(
+            sanitize("wire.model_broadcast_bytes"),
+            "wire_model_broadcast_bytes"
+        );
+        assert_eq!(sanitize("Client:7"), "client_7");
+    }
+
+    #[test]
+    fn exposition_snapshot_contains_all_families() {
+        let path = std::env::temp_dir()
+            .join("refil-telemetry-test")
+            .join(format!("prom-{}.txt", std::process::id()));
+        let sink = PrometheusSink::create(&path).expect("create");
+        sink.event(&TraceEvent::Counter {
+            name: "traffic.up_bytes".into(),
+            delta: 64,
+            total: 64,
+        });
+        sink.event(&TraceEvent::Counter {
+            name: "traffic.up_bytes".into(),
+            delta: 36,
+            total: 100,
+        });
+        sink.event(&TraceEvent::Observe {
+            name: "client.duration_s".into(),
+            value: 0.5,
+        });
+        sink.event(&TraceEvent::SpanEnd {
+            path: "run/round:1".into(),
+            duration_ns: 2_000_000_000,
+        });
+        sink.event(&TraceEvent::TimelineSpan {
+            track: 1,
+            name: "client:3".into(),
+            start_ns: 0,
+            dur_ns: 1_000_000_000,
+        });
+        sink.event(&TraceEvent::Log {
+            level: Level::Info,
+            message: "ignored".into(),
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("refil_traffic_up_bytes_total 100"));
+        assert!(text.contains("refil_client_duration_s_count 1"));
+        assert!(text.contains("refil_span_seconds_count{name=\"round\"} 1"));
+        assert!(text.contains("refil_span_seconds_sum{name=\"client\"} 1"));
+        assert!(!text.contains("ignored"));
+        std::fs::remove_file(&path).ok();
+    }
+}

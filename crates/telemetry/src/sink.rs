@@ -18,6 +18,14 @@ pub trait Sink: Send + Sync {
 
     /// Flushes buffered output, if any.
     fn flush(&self) {}
+
+    /// Whether this sink does anything with events. The collector caches
+    /// this once at construction and skips building [`TraceEvent`] values
+    /// (and the `String` clones they carry) entirely when it returns false —
+    /// the aggregate-only fast path of [`crate::Telemetry::collecting`].
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// Discards every event. The default sink; the collector additionally
@@ -28,6 +36,10 @@ pub struct NoopSink;
 
 impl Sink for NoopSink {
     fn event(&self, _event: &TraceEvent) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// Human-readable sink writing to stderr, filtered by maximum level.
@@ -89,6 +101,14 @@ impl Sink for StderrSink {
                 format!("[DEBUG] counter {name} +{delta} -> {total}")
             }
             TraceEvent::Observe { name, value } => format!("[DEBUG] observe {name} = {value}"),
+            TraceEvent::TimelineSpan {
+                track,
+                name,
+                dur_ns,
+                ..
+            } => {
+                format!("[DEBUG] lane {track} {name} ({})", fmt_duration_ns(*dur_ns))
+            }
         };
         eprintln!("{line}");
     }
@@ -145,6 +165,37 @@ impl Sink for JsonlSink {
     }
 }
 
+/// Fans one event stream out to several sinks, in order — e.g. a JSONL
+/// trace and a Chrome trace from the same run.
+pub struct TeeSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A sink forwarding every event (and flush) to each of `sinks`.
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn event(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+
+    fn wants_events(&self) -> bool {
+        self.sinks.iter().any(|sink| sink.wants_events())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +215,16 @@ mod tests {
         assert_eq!(fmt_duration_ns(1_500), "1.5 µs");
         assert_eq!(fmt_duration_ns(2_500_000), "2.5 ms");
         assert_eq!(fmt_duration_ns(3_210_000_000), "3.21 s");
+    }
+
+    #[test]
+    fn tee_wants_events_only_when_a_member_does() {
+        assert!(!TeeSink::new(vec![Box::new(NoopSink), Box::new(NoopSink)]).wants_events());
+        assert!(TeeSink::new(vec![
+            Box::new(NoopSink),
+            Box::new(StderrSink::with_level(Level::Error))
+        ])
+        .wants_events());
     }
 
     #[test]

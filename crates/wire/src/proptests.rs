@@ -69,7 +69,7 @@ fn build_message(
                     prompts: if i % 2 == flag {
                         Vec::new()
                     } else {
-                        class_prompts(wbits, &[bits.clone()])
+                        class_prompts(wbits, std::slice::from_ref(bits))
                     },
                 })
                 .collect(),
