@@ -156,6 +156,7 @@ fn run_cfg() -> RunConfig {
         eval_batch: 16,
         dropout_prob: 0.0,
         seed: 13,
+        net: Default::default(),
     }
 }
 

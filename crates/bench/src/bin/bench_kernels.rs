@@ -165,6 +165,7 @@ fn round_workload(threads: usize, conv: bool) {
         eval_batch: 128,
         dropout_prob: 0.0,
         seed: 13,
+        net: Default::default(),
     };
     let mut strat = Finetune::new(method);
     black_box(

@@ -1,0 +1,97 @@
+//! Federation client: connects to a running `serve` process, receives the
+//! run-spec in the join handshake, rebuilds the experiment locally, and
+//! trains the sessions the server assigns until the run ends.
+//!
+//! ```text
+//! cargo run --release -p refil-bench --bin client -- \
+//!     --connect tcp:127.0.0.1:7700 [--idle-ms N] [--train-delay-ms N] \
+//!     [--leave-after N] [--abort-after N]
+//! ```
+//!
+//! | flag | meaning |
+//! |------|---------|
+//! | `--connect <addr>`    | server address: `tcp:host:port`, `host:port`, or `unix:PATH` |
+//! | `--idle-ms N`         | give up if the server stays silent this long (default 120000) |
+//! | `--train-delay-ms N`  | sleep before sending each round's results (straggler testing) |
+//! | `--leave-after N`     | announce a voluntary leave after N trained sessions |
+//! | `--abort-after N`     | drop the connection on the Nth round start (crash testing) |
+//!
+//! No dataset/method/seed flags: everything is derived from the server's
+//! spec, so a client cannot be misconfigured into divergence.
+
+use refil_bench::netcli::client;
+use refil_fed::ClientOptions;
+use refil_telemetry::Telemetry;
+
+struct Args {
+    connect: String,
+    idle_ms: Option<u64>,
+    opts: ClientOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: client --connect <tcp:host:port|unix:PATH> [--idle-ms N] [--train-delay-ms N] [--leave-after N] [--abort-after N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut connect = None;
+    let mut idle_ms = None;
+    let mut opts = ClientOptions::default();
+    let mut args = std::env::args().skip(1);
+    fn num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--idle-ms" => idle_ms = Some(num(&mut args)),
+            "--train-delay-ms" => opts.train_delay_ms = num(&mut args),
+            "--leave-after" => opts.leave_after_sessions = Some(num(&mut args)),
+            "--abort-after" => opts.abort_after_round_starts = Some(num(&mut args)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    Args {
+        connect: connect.unwrap_or_else(|| usage()),
+        idle_ms,
+        opts,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let telemetry = Telemetry::stderr();
+    match client(&args.connect, &args.opts, args.idle_ms, &telemetry) {
+        Ok((spec, report)) => {
+            println!(
+                "run:      {} on {} (seed {})",
+                spec.method, spec.dataset, spec.seed
+            );
+            println!("peer:     {}", report.peer_id);
+            println!("rounds:   {}", report.rounds);
+            println!("sessions: {}", report.sessions);
+            println!(
+                "reason:   {}",
+                match report.reason {
+                    0 => "complete",
+                    1 => "leave",
+                    2 => "abort",
+                    _ => "unknown",
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("client: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,35 +1,60 @@
-//! User-facing CLI: run one method on one dataset and print/save the result.
+//! User-facing CLI: run one method on one dataset — in-process, as a
+//! federation server, or as a joining client — and print/save the result.
 //!
 //! ```text
 //! cargo run --release -p refil-bench --bin run -- \
-//!     --dataset digits --method reffil --seed 42 \
-//!     [--new-order] [--threads N] [--json out.json] [--trace trace.jsonl] \
-//!     [--trace-chrome trace.json] [--metrics metrics.prom]
+//!     --dataset digits --method reffil --seed 42          # in-process
+//! cargo run --release -p refil-bench --bin run -- \
+//!     --dataset digits --method reffil --listen tcp:127.0.0.1:7700 \
+//!     --min-peers 2                                       # server
+//! cargo run --release -p refil-bench --bin run -- \
+//!     --connect tcp:127.0.0.1:7700                        # client
 //! ```
 //!
-//! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale;
-//! `REFIL_LOG=error|warn|info|debug|off` controls stderr verbosity.
-//! `--threads N` runs client sessions on N worker threads (0 = all cores;
-//! default from `REFIL_THREADS`, else sequential) — results are
-//! byte-identical at any thread count. `--trace FILE` streams every
-//! telemetry event (spans, counters, histograms) as one JSON object per
-//! line to `FILE`. `--trace-chrome FILE` writes a Chrome trace-event JSON
-//! (open in Perfetto / `chrome://tracing`; one track per worker slot).
-//! `--metrics FILE` writes a Prometheus-style text exposition snapshot on
-//! exit. The three exporters compose — each flag adds a sink.
+//! One flag table covers all three modes:
+//!
+//! | flag | modes | meaning |
+//! |------|-------|---------|
+//! | `--dataset <name>`       | local, listen | `digits`, `office`, `pacs`, `domainnet` |
+//! | `--method <name>`        | local, listen | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil` |
+//! | `--seed N`               | local, listen | master seed (default 42) |
+//! | `--new-order`            | local, listen | Table 4 shuffled domain order |
+//! | `--listen <addr>`        | listen | serve rounds over `tcp:host:port`, `host:port`, or `unix:PATH` |
+//! | `--connect <addr>`       | connect | join a server; dataset/method/seed come from its run-spec |
+//! | `--min-peers N`          | listen | clients to wait for before round one (default 1) |
+//! | `--round-deadline-ms N`  | listen | per-round straggler deadline (default 30000) |
+//! | `--join-grace-ms N`      | listen | wait for re-joins when all peers leave (default 10000) |
+//! | `--threads N`            | all | worker threads (0 = all cores; default from `REFIL_THREADS`) |
+//! | `--json FILE`            | local, listen | write scores + accuracy matrix as JSON |
+//! | `--trace FILE`           | all | stream telemetry events as JSONL |
+//! | `--trace-chrome FILE`    | all | write a Chrome trace-event file (Perfetto) |
+//! | `--metrics FILE`         | all | write a Prometheus text snapshot on exit |
+//!
+//! `REFIL_SCALE=smoke|bench|paper` controls the protocol scale (a server
+//! stamps it into the spec it hands to clients); `REFIL_LOG` controls
+//! stderr verbosity. Results are byte-identical across thread counts and
+//! across the three modes: a `--listen` run with N clients reports the
+//! same accuracies and per-kind wire bytes as the same-seed in-process
+//! run. The dedicated `serve`/`client` binaries accept the same flags for
+//! their respective modes.
 
 use refil_bench::methods::method_by_name;
+use refil_bench::netcli::{self, scale_name_from_env, NetOverrides, NetSpec};
 use refil_bench::{
     dataset_by_name, run_experiment_with_threads, DatasetChoice, ExperimentSpec, MethodChoice,
-    Scale,
+    MethodResult, Scale,
 };
+use refil_fed::ClientOptions;
 use refil_telemetry::{ChromeTraceSink, JsonlSink, PrometheusSink, Sink, TeeSink, Telemetry};
 
 struct Args {
-    dataset: DatasetChoice,
-    method: MethodChoice,
+    dataset: Option<DatasetChoice>,
+    method: Option<MethodChoice>,
     seed: u64,
     new_order: bool,
+    listen: Option<String>,
+    connect: Option<String>,
+    overrides: NetOverrides,
     threads: Option<usize>,
     json: Option<String>,
     trace: Option<String>,
@@ -39,58 +64,62 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--listen ADDR [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N]] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]\n       run --connect ADDR [--threads N] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut dataset = None;
-    let mut method = None;
-    let mut seed = 42u64;
-    let mut new_order = false;
-    let mut threads = None;
-    let mut json = None;
-    let mut trace = None;
-    let mut trace_chrome = None;
-    let mut metrics = None;
+    let mut out = Args {
+        dataset: None,
+        method: None,
+        seed: 42,
+        new_order: false,
+        listen: None,
+        connect: None,
+        overrides: NetOverrides::default(),
+        threads: None,
+        json: None,
+        trace: None,
+        trace_chrome: None,
+        metrics: None,
+    };
     let mut args = std::env::args().skip(1);
+    fn num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--dataset" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                dataset = dataset_by_name(&v);
-                if dataset.is_none() {
+                out.dataset = dataset_by_name(&v);
+                if out.dataset.is_none() {
                     eprintln!("unknown dataset {v:?}");
                     usage();
                 }
             }
             "--method" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                method = method_by_name(&v);
-                if method.is_none() {
+                out.method = method_by_name(&v);
+                if out.method.is_none() {
                     eprintln!("unknown method {v:?}");
                     usage();
                 }
             }
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--new-order" => new_order = true,
-            "--threads" => {
-                threads = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
-            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
-            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
-            "--trace-chrome" => trace_chrome = Some(args.next().unwrap_or_else(|| usage())),
-            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
+            "--seed" => out.seed = num(&mut args),
+            "--new-order" => out.new_order = true,
+            "--listen" => out.listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--connect" => out.connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--min-peers" => out.overrides.min_peers = Some(num(&mut args)),
+            "--round-deadline-ms" => out.overrides.round_deadline_ms = Some(num(&mut args)),
+            "--join-grace-ms" => out.overrides.join_grace_ms = Some(num(&mut args)),
+            "--threads" => out.threads = Some(num(&mut args)),
+            "--json" => out.json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-chrome" => out.trace_chrome = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => out.metrics = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -98,17 +127,14 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args {
-        dataset: dataset.unwrap_or_else(|| usage()),
-        method: method.unwrap_or_else(|| usage()),
-        seed,
-        new_order,
-        threads,
-        json,
-        trace,
-        trace_chrome,
-        metrics,
+    if out.listen.is_some() && out.connect.is_some() {
+        eprintln!("--listen and --connect are mutually exclusive");
+        usage();
     }
+    if out.connect.is_none() && (out.dataset.is_none() || out.method.is_none()) {
+        usage();
+    }
+    out
 }
 
 /// Builds the recording telemetry from the exporter flags: zero flags means
@@ -143,28 +169,29 @@ fn build_telemetry(args: &Args) -> Telemetry {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let spec = ExperimentSpec {
-        dataset: args.dataset,
-        scale: Scale::from_env(),
-        new_order: args.new_order,
-        seed: args.seed,
-    };
-    // Status reporting goes through the level-filtered stderr sink; the run
-    // itself records into a JSONL trace when --trace is given.
-    let status = Telemetry::stderr();
-    status.info(format!(
-        "running {} on {}{} (seed {})",
-        args.method.paper_name(),
-        args.dataset.name(),
-        if args.new_order { ", new order" } else { "" },
-        args.seed
-    ));
-    let telemetry = build_telemetry(&args);
-    let start = std::time::Instant::now();
-    let r = run_experiment_with_threads(&spec, args.method, &telemetry, args.threads);
-    telemetry.flush();
+/// Joins a server as a training client; prints the replica's report.
+fn run_connect(addr: &str, args: &Args) -> ! {
+    let telemetry = build_telemetry(args);
+    match netcli::client(addr, &ClientOptions::default(), None, &telemetry) {
+        Ok((spec, report)) => {
+            telemetry.flush();
+            println!(
+                "run:      {} on {} (seed {})",
+                spec.method, spec.dataset, spec.seed
+            );
+            println!("peer:     {}", report.peer_id);
+            println!("rounds:   {}", report.rounds);
+            println!("sessions: {}", report.sessions);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("run --connect: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_result(args: &Args, r: &MethodResult, telemetry: &Telemetry, wall: std::time::Duration) {
     println!("method:      {}", r.name);
     println!("dataset:     {}", r.result.dataset);
     println!("Avg:         {:.2}%", r.scores.avg);
@@ -176,7 +203,11 @@ fn main() {
         r.result.traffic.total_bytes() as f64 / (1024.0 * 1024.0),
         r.result.traffic.rounds
     );
-    println!("wall time:   {:.1?}", start.elapsed());
+    println!("wall time:   {wall:.1?}");
+    if args.listen.is_some() {
+        let late: u64 = r.result.rounds.iter().map(|rr| rr.clients_late).sum();
+        println!("late:        {late} session(s) missed their round deadline");
+    }
     if let Some(path) = &args.trace {
         let summary = &r.result.telemetry;
         println!(
@@ -200,7 +231,7 @@ fn main() {
     if let Some(path) = &args.metrics {
         println!("metrics:     {path}");
     }
-    if let Some(path) = args.json {
+    if let Some(path) = &args.json {
         #[derive(serde::Serialize)]
         struct Out<'a> {
             name: &'a str,
@@ -216,13 +247,62 @@ fn main() {
         };
         match serde_json::to_string_pretty(&out) {
             Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s) {
-                    status.warn(format!("could not write {path}: {e}"));
+                if let Err(e) = std::fs::write(path, s) {
+                    telemetry.warn(format!("could not write {path}: {e}"));
                 } else {
-                    status.info(format!("wrote {path}"));
+                    telemetry.info(format!("wrote {path}"));
                 }
             }
-            Err(e) => status.warn(format!("serialization failed: {e}")),
+            Err(e) => telemetry.warn(format!("serialization failed: {e}")),
         }
     }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(addr) = args.connect.clone() {
+        run_connect(&addr, &args);
+    }
+    let (dataset, method) = (
+        args.dataset.expect("checked in parse_args"),
+        args.method.expect("checked in parse_args"),
+    );
+    // Status reporting goes through the level-filtered stderr sink; the run
+    // itself records into a JSONL trace when --trace is given.
+    let status = Telemetry::stderr();
+    status.info(format!(
+        "running {} on {}{} (seed {})",
+        method.paper_name(),
+        dataset.name(),
+        if args.new_order { ", new order" } else { "" },
+        args.seed
+    ));
+    let telemetry = build_telemetry(&args);
+    let start = std::time::Instant::now();
+    let r = if let Some(addr) = &args.listen {
+        let spec = NetSpec::new(
+            dataset,
+            method,
+            scale_name_from_env(),
+            args.seed,
+            args.new_order,
+        );
+        match netcli::serve(addr, &spec, &args.overrides, args.threads, &telemetry) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("run --listen: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let spec = ExperimentSpec {
+            dataset,
+            scale: Scale::from_env(),
+            new_order: args.new_order,
+            seed: args.seed,
+        };
+        run_experiment_with_threads(&spec, method, &telemetry, args.threads)
+    };
+    telemetry.flush();
+    print_result(&args, &r, &status, start.elapsed());
 }

@@ -1,0 +1,142 @@
+//! Federation server: binds an address, waits for client processes to
+//! join, and drives the full FDIL protocol over the socket.
+//!
+//! ```text
+//! cargo run --release -p refil-bench --bin serve -- \
+//!     --listen tcp:127.0.0.1:7700 --dataset digits --method reffil \
+//!     [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] \
+//!     [--join-grace-ms N] [--threads N]
+//! ```
+//!
+//! | flag | meaning |
+//! |------|---------|
+//! | `--listen <addr>`          | bind address: `tcp:host:port`, `host:port`, or `unix:PATH` |
+//! | `--dataset <name>`         | `digits`, `office`, `pacs`, `domainnet` |
+//! | `--method <name>`          | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil` |
+//! | `--seed N`                 | master seed (default 42) |
+//! | `--new-order`              | Table 4 shuffled domain order |
+//! | `--min-peers N`            | clients to wait for before round one (default 1) |
+//! | `--round-deadline-ms N`    | per-round straggler deadline (default 30000) |
+//! | `--join-grace-ms N`        | wait for re-joins when all peers leave (default 10000) |
+//! | `--threads N`              | eval worker threads (0 = all cores) |
+//!
+//! `REFIL_SCALE=smoke|bench|paper` selects the protocol scale; the server
+//! stamps it into the run-spec it hands to joining clients, so clients
+//! never need scale flags. Results are byte-identical to the same-seed
+//! in-process `run` invocation.
+
+use refil_bench::methods::method_by_name;
+use refil_bench::netcli::{scale_name_from_env, serve, NetOverrides, NetSpec};
+use refil_bench::{dataset_by_name, DatasetChoice, MethodChoice};
+use refil_telemetry::Telemetry;
+
+struct Args {
+    listen: String,
+    dataset: DatasetChoice,
+    method: MethodChoice,
+    seed: u64,
+    new_order: bool,
+    overrides: NetOverrides,
+    threads: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve --listen <tcp:host:port|unix:PATH> --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut listen = None;
+    let mut dataset = None;
+    let mut method = None;
+    let mut seed = 42u64;
+    let mut new_order = false;
+    let mut overrides = NetOverrides::default();
+    let mut threads = None;
+    let mut args = std::env::args().skip(1);
+    fn num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--dataset" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                dataset = dataset_by_name(&v);
+                if dataset.is_none() {
+                    eprintln!("unknown dataset {v:?}");
+                    usage();
+                }
+            }
+            "--method" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                method = method_by_name(&v);
+                if method.is_none() {
+                    eprintln!("unknown method {v:?}");
+                    usage();
+                }
+            }
+            "--seed" => seed = num(&mut args),
+            "--new-order" => new_order = true,
+            "--min-peers" => overrides.min_peers = Some(num(&mut args)),
+            "--round-deadline-ms" => overrides.round_deadline_ms = Some(num(&mut args)),
+            "--join-grace-ms" => overrides.join_grace_ms = Some(num(&mut args)),
+            "--threads" => threads = Some(num(&mut args)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    Args {
+        listen: listen.unwrap_or_else(|| usage()),
+        dataset: dataset.unwrap_or_else(|| usage()),
+        method: method.unwrap_or_else(|| usage()),
+        seed,
+        new_order,
+        overrides,
+        threads,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = NetSpec::new(
+        args.dataset,
+        args.method,
+        scale_name_from_env(),
+        args.seed,
+        args.new_order,
+    );
+    let telemetry = Telemetry::stderr();
+    let r = match serve(
+        &args.listen,
+        &spec,
+        &args.overrides,
+        args.threads,
+        &telemetry,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("method:      {}", r.name);
+    println!("dataset:     {}", r.result.dataset);
+    println!("Avg:         {:.2}%", r.scores.avg);
+    println!("Last:        {:.2}%", r.scores.last);
+    println!("forgetting:  {:.2}%", r.scores.forgetting);
+    println!(
+        "traffic:     {:.1} MiB over {} rounds",
+        r.result.traffic.total_bytes() as f64 / (1024.0 * 1024.0),
+        r.result.traffic.rounds
+    );
+    let late: u64 = r.result.rounds.iter().map(|rr| rr.clients_late).sum();
+    println!("late:        {late} session(s) missed their round deadline");
+}

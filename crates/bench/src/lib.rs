@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod gate;
 pub mod meta;
 pub mod methods;
+pub mod netcli;
 pub mod report;
 pub mod runner;
 
@@ -25,6 +26,7 @@ pub use experiments::{full_results, per_step_tables, summary_table, CachedMethod
 pub use gate::{check_report, compare, extract_metrics, Comparison, GateError, MetricDelta};
 pub use meta::BenchMeta;
 pub use methods::{build_method, method_names, MethodChoice};
+pub use netcli::{scale_by_name, scale_name_from_env, NetOverrides, NetSpec, ResolvedSpec};
 pub use runner::{
     run_all_methods, run_experiment, run_experiment_traced, run_experiment_with_threads,
     ExperimentSpec, MethodResult,

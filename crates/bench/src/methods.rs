@@ -43,6 +43,21 @@ impl MethodChoice {
         ]
     }
 
+    /// The canonical CLI spelling, accepted by [`method_by_name`]. Used in
+    /// network run-specs, where the label must survive a round-trip.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Self::Finetune => "finetune",
+            Self::FedLwf => "lwf",
+            Self::FedEwc => "ewc",
+            Self::FedL2p => "l2p",
+            Self::FedL2pPool => "l2p+pool",
+            Self::FedDualPrompt => "dualprompt",
+            Self::FedDualPromptPool => "dualprompt+pool",
+            Self::RefFiL => "reffil",
+        }
+    }
+
     /// The row label used in the paper's tables.
     pub fn paper_name(self) -> &'static str {
         match self {

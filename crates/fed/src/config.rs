@@ -30,6 +30,38 @@ pub struct RunConfig {
     pub dropout_prob: f32,
     /// Master seed for the run.
     pub seed: u64,
+    /// Networked-server options; inert on the in-process paths, so adding
+    /// (or changing) them cannot perturb a loopback or direct run.
+    #[serde(default)]
+    pub net: NetConfig,
+}
+
+/// Options for the networked federation server ([`crate::FdilRunner::serve`]).
+/// All durations are milliseconds so the struct stays `Copy` + serde-plain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Per-round collection deadline: results not in by then leave their
+    /// sessions late and the round completes with partial participation.
+    pub round_deadline_ms: u64,
+    /// Peers the server waits for before the first round starts.
+    pub min_peers: usize,
+    /// How long the server waits for `min_peers` at startup (and for a
+    /// first peer when a round opens with none connected).
+    pub join_grace_ms: u64,
+    /// Client-side patience between server frames before a client gives
+    /// up on an idle link.
+    pub client_idle_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            round_deadline_ms: 30_000,
+            min_peers: 1,
+            join_grace_ms: 10_000,
+            client_idle_ms: 120_000,
+        }
+    }
 }
 
 impl Default for RunConfig {
@@ -42,6 +74,7 @@ impl Default for RunConfig {
             eval_batch: 256,
             dropout_prob: 0.0,
             seed: 0,
+            net: NetConfig::default(),
         }
     }
 }
@@ -74,6 +107,15 @@ impl RunConfig {
                 self.increment.transition_fraction,
             ));
         }
+        if self.net.round_deadline_ms == 0 {
+            return Err(ConfigError::ZeroRoundDeadline);
+        }
+        if self.net.min_peers == 0 {
+            return Err(ConfigError::ZeroMinPeers);
+        }
+        if self.net.client_idle_ms == 0 {
+            return Err(ConfigError::ZeroClientIdle);
+        }
         Ok(())
     }
 }
@@ -93,6 +135,14 @@ pub enum ConfigError {
     ZeroSelectPerRound,
     /// `increment.transition_fraction` must be a fraction in `[0, 1]`.
     TransitionFractionOutOfRange(f32),
+    /// `net.round_deadline_ms == 0` would expire every round before any
+    /// client could report.
+    ZeroRoundDeadline,
+    /// `net.min_peers == 0` would let the server start with nobody to
+    /// assign sessions to.
+    ZeroMinPeers,
+    /// `net.client_idle_ms == 0` would make clients give up immediately.
+    ZeroClientIdle,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -112,6 +162,9 @@ impl std::fmt::Display for ConfigError {
                     "increment.transition_fraction must be in [0, 1], got {t}"
                 )
             }
+            Self::ZeroRoundDeadline => write!(f, "net.round_deadline_ms must be at least 1"),
+            Self::ZeroMinPeers => write!(f, "net.min_peers must be at least 1"),
+            Self::ZeroClientIdle => write!(f, "net.client_idle_ms must be at least 1"),
         }
     }
 }
@@ -184,6 +237,36 @@ impl RunConfigBuilder {
     /// Sets the master seed for the run.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets all networked-server options at once.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Sets the per-round collection deadline (milliseconds).
+    pub fn round_deadline_ms(mut self, ms: u64) -> Self {
+        self.cfg.net.round_deadline_ms = ms;
+        self
+    }
+
+    /// Sets how many peers the server waits for before starting.
+    pub fn min_peers(mut self, peers: usize) -> Self {
+        self.cfg.net.min_peers = peers;
+        self
+    }
+
+    /// Sets the startup / empty-round join grace period (milliseconds).
+    pub fn join_grace_ms(mut self, ms: u64) -> Self {
+        self.cfg.net.join_grace_ms = ms;
+        self
+    }
+
+    /// Sets the client-side idle patience (milliseconds).
+    pub fn client_idle_ms(mut self, ms: u64) -> Self {
+        self.cfg.net.client_idle_ms = ms;
         self
     }
 
@@ -285,5 +368,49 @@ mod tests {
     fn errors_display_the_offending_value() {
         let msg = ConfigError::DropoutOutOfRange(2.0).to_string();
         assert!(msg.contains("dropout_prob") && msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn builder_sets_and_validates_net_options() {
+        let cfg = RunConfig::builder()
+            .round_deadline_ms(500)
+            .min_peers(3)
+            .join_grace_ms(250)
+            .client_idle_ms(9000)
+            .build()
+            .expect("valid net options");
+        assert_eq!(cfg.net.round_deadline_ms, 500);
+        assert_eq!(cfg.net.min_peers, 3);
+        assert_eq!(cfg.net.join_grace_ms, 250);
+        assert_eq!(cfg.net.client_idle_ms, 9000);
+        assert_eq!(
+            RunConfig::builder().round_deadline_ms(0).build(),
+            Err(ConfigError::ZeroRoundDeadline)
+        );
+        assert_eq!(
+            RunConfig::builder().min_peers(0).build(),
+            Err(ConfigError::ZeroMinPeers)
+        );
+        assert_eq!(
+            RunConfig::builder().client_idle_ms(0).build(),
+            Err(ConfigError::ZeroClientIdle)
+        );
+    }
+
+    #[test]
+    fn old_serialized_configs_still_deserialize() {
+        // A config serialized before the net options existed must load
+        // with defaults (the field is #[serde(default)]).
+        let json = serde_json::to_string(&RunConfig::default()).expect("serialize");
+        let stripped = {
+            let v = serde_json::parse_value(&json).unwrap();
+            let serde_json::Value::Map(entries) = v else {
+                panic!("config did not serialize to a map");
+            };
+            let without: Vec<_> = entries.into_iter().filter(|(k, _)| k != "net").collect();
+            serde_json::to_string(&serde_json::Value::Map(without)).unwrap()
+        };
+        let cfg: RunConfig = serde_json::from_str(&stripped).expect("deserialize without net");
+        assert_eq!(cfg.net, NetConfig::default());
     }
 }

@@ -21,15 +21,17 @@
 mod aggregate;
 mod config;
 mod increment;
+mod net;
 mod runner;
 pub mod secure;
 mod traffic;
 
 pub use aggregate::{balanced_mean, fedavg, WeightedUpdate};
-pub use config::{ConfigError, RunConfig, RunConfigBuilder};
+pub use config::{ConfigError, NetConfig, RunConfig, RunConfigBuilder};
 pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
+pub use net::{client_handshake, run_client, ClientError, ClientOptions, ClientReport};
 pub use runner::{
     evaluate_domain, ClientUpdate, DomainEvaluator, EvalContext, FdilRunner, FdilStrategy,
     RoundContext, RunResult, SessionOutput, TrainSetting,
@@ -43,7 +45,8 @@ pub use refil_telemetry::{
     WorkerStats,
 };
 pub use refil_wire::{
-    ClientModelUpdate, GlobalPromptBroadcast, Loopback, MaskedModelUpdate, MessageKind,
-    ModelBroadcast, PromptGroup, PromptUpload, RehearsalMemory, Transport, WireError, WireMessage,
-    WireSample,
+    connect, ClientModelUpdate, ConnectError, Endpoint, GlobalPromptBroadcast, Link, Listener,
+    Loopback, MaskedModelUpdate, MessageKind, ModelBroadcast, NetLink, NetListener, PeerId,
+    PromptGroup, PromptUpload, RecvError, RehearsalMemory, WireError, WireMessage, WireSample,
+    SERVER_PEER,
 };

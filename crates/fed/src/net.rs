@@ -1,0 +1,783 @@
+//! Networked federation: the socket-backed server state machine behind
+//! [`FdilRunner::serve`](crate::FdilRunner::serve) and the client replica
+//! that peer processes run.
+//!
+//! # Three-layer split
+//!
+//! The round *protocol* (selection, FedAvg, ordered merges, evaluation)
+//! lives in the runner and never changes between the in-process and
+//! networked paths. This module adds the middle layer — a server-side
+//! [`ServeState`] that assigns planned sessions to connected peers and
+//! collects their results under a deadline, plus the client-side
+//! [`run_client`] replica loop — on top of the bottom layer, `refil-wire`'s
+//! peer-addressed [`Link`]/[`Listener`] transports.
+//!
+//! # State replication
+//!
+//! Everything a client needs besides the round randomness is a
+//! deterministic function of the run config and dataset: the schedule, the
+//! quantity-shift partition, and the holdings evolution are all seeded from
+//! `cfg.seed` alone. A client therefore rebuilds that state locally and
+//! replays the server's lifecycle frames — `TaskBegin` (task setup),
+//! `RoundStart` (train assigned sessions), `RoundSync` (ordered merges +
+//! round-end hook), `TaskEnd` (task teardown), `RunEnd` — while the server
+//! keeps exclusively what must be centralized: client selection and dropout
+//! RNG, FedAvg, and evaluation.
+//!
+//! Payload exchanges (`ModelBroadcast`, `ClientModelUpdate`, merge
+//! messages) ride *inside* control frames as nested encoded frames, so the
+//! per-logical-client traffic accounting of a networked run is
+//! byte-identical to the loopback run's. Physical per-peer socket traffic
+//! is reported separately through `net.*` telemetry counters.
+//!
+//! # Deadline semantics
+//!
+//! Each round the server waits at most `cfg.net.round_deadline_ms` for
+//! results, blocking (never spinning) in per-peer collector threads. A
+//! session whose result misses the deadline is counted as `clients_late`
+//! in the round's report and simply omitted from FedAvg — the round always
+//! completes. Results arriving later are discarded by their task/round tag.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use refil_data::FdilDataset;
+use refil_telemetry::{SessionStat, Telemetry};
+use refil_wire::{
+    ClientModelUpdate as WireClientModelUpdate, ConnectError, Hello, Link, Listener, PeerId,
+    RecvError, RoundStart, RoundSync, RunEnd, SessionAssignment, SessionResult, TaskBegin, TaskEnd,
+    Welcome, WireError, WireMessage,
+};
+
+use crate::config::{NetConfig, RunConfig};
+use crate::increment::{build_schedule, ClientGroup};
+use crate::runner::{
+    carry_forward, collect_client_data, distribute_task_data, FdilStrategy, Holdings, TrainSetting,
+};
+
+/// How long a joining peer gets to complete the `Hello`/`Welcome` handshake.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Accept-drain window at each round boundary: long enough to pick up a
+/// connection that is already pending, short enough not to tax the round.
+const JOIN_DRAIN: Duration = Duration::from_millis(5);
+
+/// Wire group code for a [`ClientGroup`] (`SessionAssignment::group`).
+pub(crate) fn group_code(group: ClientGroup) -> u8 {
+    match group {
+        ClientGroup::Old => 0,
+        ClientGroup::Between => 1,
+        ClientGroup::New => 2,
+    }
+}
+
+/// Inverse of [`group_code`]; `None` for an unknown code.
+fn group_from_code(code: u8) -> Option<ClientGroup> {
+    match code {
+        0 => Some(ClientGroup::Old),
+        1 => Some(ClientGroup::Between),
+        2 => Some(ClientGroup::New),
+        _ => None,
+    }
+}
+
+/// One remote session's collected result, already decoded into exactly what
+/// the aggregate loop consumes on the in-process path.
+pub(crate) struct RemoteSession {
+    /// Decoded nested `ClientModelUpdate`.
+    pub(crate) update: WireClientModelUpdate,
+    /// Encoded length of the nested update frame (logical uplink bytes).
+    pub(crate) update_bytes: u64,
+    /// Decoded nested merge message with its frame length, if any.
+    pub(crate) merge: Option<(WireMessage, u64)>,
+    /// Session stat (track 0 — the session ran on a remote peer, not a
+    /// local worker slot; the duration is the client's reported wall time).
+    pub(crate) stat: SessionStat,
+}
+
+/// Decodes a `SessionResult`'s nested frames into a [`RemoteSession`].
+fn remote_session(sr: SessionResult) -> Result<RemoteSession, WireError> {
+    let update_bytes = sr.update.len() as u64;
+    let WireMessage::ClientModelUpdate(update) = WireMessage::decode(&sr.update)? else {
+        return Err(WireError::Malformed(
+            "nested update is not a ClientModelUpdate",
+        ));
+    };
+    let merge = match sr.merge {
+        Some(frame) => {
+            let bytes = frame.len() as u64;
+            Some((WireMessage::decode(&frame)?, bytes))
+        }
+        None => None,
+    };
+    Ok(RemoteSession {
+        update,
+        update_bytes,
+        merge,
+        stat: SessionStat {
+            client_id: sr.client_id,
+            track: 0,
+            duration_ns: sr.wall_ns,
+        },
+    })
+}
+
+/// One connected peer process.
+struct Peer {
+    link: Box<dyn Link>,
+}
+
+/// What one peer's collector thread observed during a round.
+struct PeerOutcome {
+    /// Physical bytes received from the peer this round.
+    rx_bytes: u64,
+    /// Frames discarded (stale task/round tags, unexpected kinds).
+    stale: u64,
+    /// Whether the peer is still usable after the round.
+    alive: bool,
+}
+
+/// Server-side connection and round state for [`FdilRunner::serve`]
+/// (crate-private: the runner drives it at fixed protocol points).
+///
+/// [`FdilRunner::serve`]: crate::FdilRunner::serve
+pub(crate) struct ServeState<'a> {
+    listener: &'a dyn Listener,
+    spec: String,
+    net: NetConfig,
+    telemetry: Telemetry,
+    peers: Vec<Peer>,
+    /// Lifecycle frames (`TaskBegin`/`RoundSync`/`TaskEnd`) in emission
+    /// order; replayed to late joiners so their replicas catch up.
+    replay: Vec<Vec<u8>>,
+    /// Current round's tag, for matching incoming `SessionResult`s.
+    round_task: u32,
+    round_round: u32,
+    /// Planned-session client ids, ascending (slot order).
+    expected_cids: Vec<u64>,
+    /// Slots assigned to each peer, parallel to `peers`.
+    assigned: Vec<Vec<usize>>,
+}
+
+impl<'a> ServeState<'a> {
+    pub(crate) fn new(
+        listener: &'a dyn Listener,
+        spec: &str,
+        net: NetConfig,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self {
+            listener,
+            spec: spec.to_string(),
+            net,
+            telemetry,
+            peers: Vec::new(),
+            replay: Vec::new(),
+            round_task: 0,
+            round_round: 0,
+            expected_cids: Vec::new(),
+            assigned: Vec::new(),
+        }
+    }
+
+    /// Performs the server side of the handshake and registers the peer.
+    /// A peer that fails the handshake is silently dropped.
+    fn admit(&mut self, link: Box<dyn Link>) {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let hello = match link.recv_deadline(deadline) {
+            Ok(frame) => WireMessage::decode(&frame),
+            Err(_) => return,
+        };
+        let Ok(WireMessage::Hello(Hello { .. })) = hello else {
+            return;
+        };
+        let welcome = WireMessage::Welcome(Welcome {
+            peer_id: link.peer_id(),
+            spec: self.spec.clone(),
+        })
+        .encode();
+        if link.send(&welcome).is_err() {
+            return;
+        }
+        let mut tx = welcome.len() as u64;
+        for frame in &self.replay {
+            if link.send(frame).is_err() {
+                return;
+            }
+            tx += frame.len() as u64;
+        }
+        self.telemetry.counter("net.peers_joined", 1);
+        self.telemetry
+            .counter(&format!("net.peer.{}.tx_bytes", link.peer_id()), tx);
+        self.peers.push(Peer { link });
+    }
+
+    /// Blocks until at least `net.min_peers` peers have joined. Peers beyond
+    /// the minimum are admitted at round boundaries instead.
+    pub(crate) fn wait_for_peers(&mut self) {
+        while self.peers.len() < self.net.min_peers {
+            match self
+                .listener
+                .accept_deadline(Instant::now() + Duration::from_millis(250))
+            {
+                Ok(link) => self.admit(link),
+                Err(ConnectError::DeadlineExceeded) => {}
+                Err(_) => {} // transient accept failure: keep listening
+            }
+        }
+    }
+
+    /// Drains pending connections (joins are admitted only at round
+    /// boundaries). If every peer is gone, waits up to the join-grace window
+    /// for a newcomer before letting the round proceed all-late.
+    fn admit_joiners(&mut self) {
+        while let Ok(link) = self.listener.accept_deadline(Instant::now() + JOIN_DRAIN) {
+            self.admit(link);
+        }
+        if self.peers.is_empty() {
+            let grace = Instant::now() + Duration::from_millis(self.net.join_grace_ms);
+            while self.peers.is_empty() {
+                match self.listener.accept_deadline(grace) {
+                    Ok(link) => self.admit(link),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Sends `frame` to every live peer, pruning peers whose link failed,
+    /// and (optionally) appends it to the replay log for late joiners.
+    fn broadcast(&mut self, frame: &[u8], into_replay: bool) {
+        let telemetry = self.telemetry.clone();
+        let mut left = 0u64;
+        self.peers.retain(|peer| {
+            if peer.link.send(frame).is_ok() {
+                telemetry.counter(
+                    &format!("net.peer.{}.tx_bytes", peer.link.peer_id()),
+                    frame.len() as u64,
+                );
+                true
+            } else {
+                left += 1;
+                false
+            }
+        });
+        if left > 0 {
+            self.telemetry.counter("net.peers_left", left);
+        }
+        if into_replay {
+            self.replay.push(frame.to_vec());
+        }
+    }
+
+    /// Announces a task to all peers (and the replay log).
+    pub(crate) fn begin_task(&mut self, task: usize, global: &[f32]) {
+        let frame = WireMessage::TaskBegin(TaskBegin {
+            task: task as u32,
+            global: global.to_vec(),
+        })
+        .encode();
+        self.broadcast(&frame, true);
+    }
+
+    /// Opens a round: admits boundary joiners, splits the planned sessions
+    /// round-robin over the live peers (in join order), and sends each peer
+    /// its `RoundStart`. With no live peers the round is left unassigned and
+    /// [`ServeState::collect`] returns immediately with every slot late.
+    pub(crate) fn begin_round(
+        &mut self,
+        task: usize,
+        round: usize,
+        assignments: &[SessionAssignment],
+        model_frame: Vec<u8>,
+        extra_frame: Option<Vec<u8>>,
+    ) {
+        self.admit_joiners();
+        self.round_task = task as u32;
+        self.round_round = round as u32;
+        self.expected_cids = assignments.iter().map(|a| a.client_id).collect();
+        self.assigned = vec![Vec::new(); self.peers.len()];
+        if !self.peers.is_empty() {
+            for slot in 0..assignments.len() {
+                self.assigned[slot % self.peers.len()].push(slot);
+            }
+        }
+        let mut dead = Vec::new();
+        for (pi, peer) in self.peers.iter().enumerate() {
+            let sessions: Vec<SessionAssignment> = self.assigned[pi]
+                .iter()
+                .map(|&slot| assignments[slot].clone())
+                .collect();
+            let frame = WireMessage::RoundStart(RoundStart {
+                task: self.round_task,
+                round: self.round_round,
+                model: model_frame.clone(),
+                extra: extra_frame.clone(),
+                sessions,
+            })
+            .encode();
+            if peer.link.send(&frame).is_ok() {
+                self.telemetry.counter(
+                    &format!("net.peer.{}.tx_bytes", peer.link.peer_id()),
+                    frame.len() as u64,
+                );
+            } else {
+                dead.push(pi);
+            }
+        }
+        // Prune peers whose RoundStart never went out; their slots stay
+        // unassigned and surface as late.
+        for &pi in dead.iter().rev() {
+            self.peers.remove(pi);
+            self.assigned.remove(pi);
+            self.telemetry.counter("net.peers_left", 1);
+        }
+    }
+
+    /// Collects the round's results: one blocking collector thread per peer,
+    /// each receiving until its peer's assigned results are all in, the peer
+    /// disconnects or leaves, or `deadline` passes. Returns the slot-ordered
+    /// results; `None` slots missed the deadline.
+    pub(crate) fn collect(&mut self, deadline: Instant) -> Vec<Option<RemoteSession>> {
+        let n = self.expected_cids.len();
+        let mut slots: Vec<Option<RemoteSession>> = (0..n).map(|_| None).collect();
+        if self.assigned.iter().all(Vec::is_empty) {
+            return slots;
+        }
+        let slots_mx = Mutex::new(&mut slots);
+        let (task, round) = (self.round_task, self.round_round);
+        let cids = &self.expected_cids;
+        let outcomes: Vec<PeerOutcome> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .peers
+                .iter()
+                .enumerate()
+                .map(|(pi, peer)| {
+                    let want = self.assigned[pi].len();
+                    let link = &*peer.link;
+                    let slots_mx = &slots_mx;
+                    scope.spawn(move |_| {
+                        let mut got = 0usize;
+                        let mut out = PeerOutcome {
+                            rx_bytes: 0,
+                            stale: 0,
+                            alive: true,
+                        };
+                        while got < want {
+                            let frame = match link.recv_deadline(deadline) {
+                                Ok(frame) => frame,
+                                Err(RecvError::DeadlineExceeded) => break,
+                                Err(_) => {
+                                    out.alive = false;
+                                    break;
+                                }
+                            };
+                            out.rx_bytes += frame.len() as u64;
+                            match WireMessage::decode(&frame) {
+                                Ok(WireMessage::SessionResult(sr)) => {
+                                    if sr.task != task || sr.round != round {
+                                        out.stale += 1;
+                                        continue;
+                                    }
+                                    let Ok(pos) = cids.binary_search(&sr.client_id) else {
+                                        out.stale += 1;
+                                        continue;
+                                    };
+                                    match remote_session(sr) {
+                                        Ok(r) => {
+                                            let mut guard =
+                                                slots_mx.lock().expect("collect slots poisoned");
+                                            if guard[pos].is_none() {
+                                                guard[pos] = Some(r);
+                                                got += 1;
+                                            }
+                                        }
+                                        // Corrupt nested frame: protocol
+                                        // violation, drop the peer.
+                                        Err(_) => {
+                                            out.alive = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                Ok(WireMessage::RunEnd(_)) => {
+                                    out.alive = false;
+                                    break;
+                                }
+                                Ok(_) => out.stale += 1,
+                                Err(_) => {
+                                    out.alive = false;
+                                    break;
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("collector thread panicked"))
+                .collect()
+        })
+        .expect("collector scope panicked");
+        let mut left = 0u64;
+        let mut keep = outcomes.iter().map(|o| o.alive);
+        for (peer, outcome) in self.peers.iter().zip(&outcomes) {
+            if outcome.rx_bytes > 0 {
+                self.telemetry.counter(
+                    &format!("net.peer.{}.rx_bytes", peer.link.peer_id()),
+                    outcome.rx_bytes,
+                );
+            }
+            if outcome.stale > 0 {
+                self.telemetry.counter("net.stale_frames", outcome.stale);
+            }
+            if !outcome.alive {
+                left += 1;
+            }
+        }
+        self.peers.retain(|_| keep.next().unwrap_or(true));
+        if left > 0 {
+            self.telemetry.counter("net.peers_left", left);
+        }
+        slots
+    }
+
+    /// Closes a round: syncs every peer (and the replay log) with the new
+    /// global model and the full ordered merge sequence.
+    pub(crate) fn finish_round(
+        &mut self,
+        task: usize,
+        round: usize,
+        global: &[f32],
+        merges: &[(usize, WireMessage)],
+    ) {
+        let frame = WireMessage::RoundSync(RoundSync {
+            task: task as u32,
+            round: round as u32,
+            global: global.to_vec(),
+            merges: merges
+                .iter()
+                .map(|(cid, msg)| (*cid as u64, msg.encode()))
+                .collect(),
+        })
+        .encode();
+        self.broadcast(&frame, true);
+    }
+
+    /// Announces a task boundary to all peers (and the replay log).
+    pub(crate) fn end_task(&mut self, task: usize, global: &[f32]) {
+        let frame = WireMessage::TaskEnd(TaskEnd {
+            task: task as u32,
+            global: global.to_vec(),
+        })
+        .encode();
+        self.broadcast(&frame, true);
+    }
+
+    /// Ends the run: tells every peer the run completed and closes links.
+    pub(crate) fn finish_run(&mut self) {
+        let frame = WireMessage::RunEnd(RunEnd {
+            reason: RunEnd::COMPLETE,
+        })
+        .encode();
+        self.broadcast(&frame, false);
+        for peer in &self.peers {
+            peer.link.close();
+        }
+    }
+}
+
+/// Why a client replica stopped.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The link failed or the server went silent past the idle patience.
+    Recv(RecvError),
+    /// A frame failed to encode/send or decode.
+    Wire(WireError),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Recv(e) => write!(f, "receive failed: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn proto<T>(msg: impl Into<String>) -> Result<T, ClientError> {
+    Err(ClientError::Protocol(msg.into()))
+}
+
+/// Test- and experiment-facing knobs for a client replica's behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientOptions {
+    /// Sleep this long after training a round's sessions, before sending the
+    /// results — a controllable straggler.
+    pub train_delay_ms: u64,
+    /// After sending this many session results, announce a voluntary leave
+    /// (`RunEnd::LEAVE`) and return.
+    pub leave_after_sessions: Option<usize>,
+    /// On receiving this many `RoundStart` frames, return immediately
+    /// without training or notice — a simulated crash.
+    pub abort_after_round_starts: Option<usize>,
+}
+
+/// What a client replica did before it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReport {
+    /// The peer id the server assigned in its `Welcome`.
+    pub peer_id: PeerId,
+    /// Rounds synced (RoundSync frames applied).
+    pub rounds: usize,
+    /// Sessions trained and reported.
+    pub sessions: usize,
+    /// Termination reason ([`RunEnd`] code).
+    pub reason: u8,
+}
+
+/// Client side of the join handshake: sends `Hello`, waits for the server's
+/// `Welcome`, and returns the assigned peer id plus the opaque run-spec
+/// string (so the caller can build its replica before calling
+/// [`run_client`]).
+///
+/// # Errors
+///
+/// Fails if the link errors, the deadline passes, or the server answers
+/// with anything but a `Welcome`.
+pub fn client_handshake(
+    link: &dyn Link,
+    nonce: u64,
+    deadline: Instant,
+) -> Result<(PeerId, String), ClientError> {
+    link.send(&WireMessage::Hello(Hello { nonce }).encode())
+        .map_err(ClientError::Wire)?;
+    let frame = link.recv_deadline(deadline).map_err(ClientError::Recv)?;
+    match WireMessage::decode(&frame).map_err(ClientError::Wire)? {
+        WireMessage::Welcome(w) => Ok((w.peer_id, w.spec)),
+        other => proto(format!("expected Welcome, got {:?}", other.kind())),
+    }
+}
+
+/// Runs the client replica loop until the server ends the run (or an
+/// option-triggered leave/abort fires). Call after [`client_handshake`];
+/// `dataset`, `strategy`, and `cfg` must match the server's run, or the
+/// replicated state (and therefore the training results) will diverge.
+///
+/// The loop blocks on the link with `cfg.net.client_idle_ms` patience,
+/// handling each lifecycle frame as described in the module docs. All
+/// strategy hooks fire in exactly the order the in-process driver fires
+/// them, so a strategy cannot tell it is running remotely.
+///
+/// # Errors
+///
+/// Fails on link errors, undecodable frames, idle timeout, or protocol
+/// violations (unknown group codes, out-of-range ids, unexpected kinds).
+pub fn run_client(
+    link: &dyn Link,
+    peer_id: PeerId,
+    dataset: &FdilDataset,
+    strategy: &mut dyn FdilStrategy,
+    cfg: &RunConfig,
+    opts: &ClientOptions,
+    telemetry: &Telemetry,
+) -> Result<ClientReport, ClientError> {
+    if let Err(err) = cfg.validate() {
+        return proto(format!("invalid RunConfig: {err}"));
+    }
+    strategy.attach_telemetry(telemetry);
+    let schedules = build_schedule(&cfg.increment, dataset.num_domains(), cfg.seed);
+    let mut holdings: Vec<Holdings> = Vec::new();
+    let idle = Duration::from_millis(cfg.net.client_idle_ms);
+    let mut report = ClientReport {
+        peer_id,
+        rounds: 0,
+        sessions: 0,
+        reason: RunEnd::COMPLETE,
+    };
+    let mut round_starts = 0usize;
+    loop {
+        let frame = link
+            .recv_deadline(Instant::now() + idle)
+            .map_err(ClientError::Recv)?;
+        match WireMessage::decode(&frame).map_err(ClientError::Wire)? {
+            WireMessage::TaskBegin(tb) => {
+                let task = tb.task as usize;
+                let Some(schedule) = schedules.get(task) else {
+                    return proto(format!("TaskBegin for out-of-range task {task}"));
+                };
+                strategy.on_task_start(task, &tb.global);
+                distribute_task_data(&mut holdings, schedule, dataset, cfg, task);
+            }
+            WireMessage::RoundStart(rs) => {
+                round_starts += 1;
+                if opts
+                    .abort_after_round_starts
+                    .is_some_and(|n| round_starts >= n)
+                {
+                    report.reason = RunEnd::ABORT;
+                    return Ok(report);
+                }
+                let (task, round) = (rs.task as usize, rs.round as usize);
+                let WireMessage::ModelBroadcast(model) =
+                    WireMessage::decode(&rs.model).map_err(ClientError::Wire)?
+                else {
+                    return proto("RoundStart model is not a ModelBroadcast");
+                };
+                let broadcast = match &rs.extra {
+                    Some(frame) => Some(WireMessage::decode(frame).map_err(ClientError::Wire)?),
+                    None => None,
+                };
+                let mut results: Vec<Vec<u8>> = Vec::with_capacity(rs.sessions.len());
+                {
+                    let ctx = strategy.round_ctx(task, round, &model.model, broadcast.as_ref());
+                    for a in &rs.sessions {
+                        let cid = a.client_id as usize;
+                        let Some(group) = group_from_code(a.group) else {
+                            return proto(format!("unknown group code {}", a.group));
+                        };
+                        let Some(h) = holdings.get(cid) else {
+                            return proto(format!("assignment for unknown client {cid}"));
+                        };
+                        let setting = TrainSetting {
+                            client_id: cid,
+                            task,
+                            round,
+                            group,
+                            samples: h.for_group(group),
+                            local_epochs: cfg.local_epochs,
+                            batch_size: cfg.batch_size,
+                            seed: a.seed,
+                        };
+                        let start = Instant::now();
+                        let out = ctx.train_client(&setting, telemetry);
+                        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let update = WireMessage::ClientModelUpdate(WireClientModelUpdate {
+                            client_id: a.client_id,
+                            weight: out.update.weight,
+                            model: out.update.flat,
+                        })
+                        .encode();
+                        let merge = out.merge.map(|m| m.encode());
+                        results.push(
+                            WireMessage::SessionResult(SessionResult {
+                                task: rs.task,
+                                round: rs.round,
+                                client_id: a.client_id,
+                                wall_ns,
+                                update,
+                                merge,
+                            })
+                            .encode(),
+                        );
+                    }
+                }
+                if opts.train_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(opts.train_delay_ms));
+                }
+                for frame in results {
+                    link.send(&frame).map_err(ClientError::Wire)?;
+                    report.sessions += 1;
+                    telemetry.counter("client.sessions", 1);
+                    if opts
+                        .leave_after_sessions
+                        .is_some_and(|n| report.sessions >= n)
+                    {
+                        let bye = WireMessage::RunEnd(RunEnd {
+                            reason: RunEnd::LEAVE,
+                        })
+                        .encode();
+                        let _ = link.send(&bye);
+                        report.reason = RunEnd::LEAVE;
+                        return Ok(report);
+                    }
+                }
+            }
+            WireMessage::RoundSync(sync) => {
+                let (task, round) = (sync.task as usize, sync.round as usize);
+                for (cid, frame) in &sync.merges {
+                    let msg = WireMessage::decode(frame).map_err(ClientError::Wire)?;
+                    strategy.merge_client(task, round, *cid as usize, msg);
+                }
+                strategy.on_round_end(task, round, &sync.global);
+                report.rounds += 1;
+                telemetry.counter("client.rounds", 1);
+            }
+            WireMessage::TaskEnd(te) => {
+                let task = te.task as usize;
+                let Some(schedule) = schedules.get(task) else {
+                    return proto(format!("TaskEnd for out-of-range task {task}"));
+                };
+                let client_data =
+                    collect_client_data(&holdings, schedule, cfg.increment.rounds_per_task);
+                strategy.on_task_end(task, &te.global, &client_data);
+                carry_forward(&mut holdings, schedule);
+            }
+            WireMessage::RunEnd(end) => {
+                report.reason = end.reason;
+                return Ok(report);
+            }
+            other => {
+                return proto(format!("unexpected {:?} frame", other.kind()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_codes_round_trip() {
+        for group in [ClientGroup::Old, ClientGroup::Between, ClientGroup::New] {
+            assert_eq!(group_from_code(group_code(group)), Some(group));
+        }
+        assert_eq!(group_from_code(3), None);
+    }
+
+    #[test]
+    fn remote_session_decodes_nested_frames() {
+        let update = WireMessage::ClientModelUpdate(WireClientModelUpdate {
+            client_id: 4,
+            weight: 2.5,
+            model: vec![1.0, -2.0],
+        })
+        .encode();
+        let sr = SessionResult {
+            task: 1,
+            round: 2,
+            client_id: 4,
+            wall_ns: 99,
+            update: update.clone(),
+            merge: None,
+        };
+        let r = remote_session(sr).expect("decodes");
+        assert_eq!(r.update.client_id, 4);
+        assert_eq!(r.update_bytes, update.len() as u64);
+        assert!(r.merge.is_none());
+        assert_eq!(r.stat.client_id, 4);
+        assert_eq!(r.stat.track, 0);
+        assert_eq!(r.stat.duration_ns, 99);
+    }
+
+    #[test]
+    fn remote_session_rejects_wrong_nested_kind() {
+        let sr = SessionResult {
+            task: 0,
+            round: 0,
+            client_id: 0,
+            wall_ns: 0,
+            update: WireMessage::RunEnd(RunEnd { reason: 0 }).encode(),
+            merge: None,
+        };
+        assert!(remote_session(sr).is_err());
+    }
+}

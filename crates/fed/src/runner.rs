@@ -21,18 +21,25 @@
 //! # Wire layer
 //!
 //! Every client↔server exchange travels as a typed [`WireMessage`] encoded
-//! through the `refil-wire` codec and moved over a [`Transport`]: the global
-//! model goes down as a `ModelBroadcast` frame (plus any
-//! [`FdilStrategy::round_broadcast`] message, e.g. RefFiL's
+//! through the `refil-wire` codec and moved over a peer-addressed
+//! [`Link`]: the global model goes down as a `ModelBroadcast` frame (plus
+//! any [`FdilStrategy::round_broadcast`] message, e.g. RefFiL's
 //! `GlobalPromptBroadcast`), and each client's trained parameters come back
 //! as a `ClientModelUpdate` frame alongside an optional strategy merge
 //! message (`PromptUpload`, `RehearsalMemory`, ...). [`TrafficStats`] counts
-//! the actual framed byte lengths. The driver performs all transport and
-//! codec work in client-id order on its own thread, so the wire layer does
-//! not perturb the concurrency model above; because the codec is bit-exact
-//! for `f32`, a loopback-transported run is byte-identical to the
+//! the actual framed byte lengths. The driver performs all link and codec
+//! work in client-id order on its own thread, so the wire layer does not
+//! perturb the concurrency model above; because the codec is bit-exact for
+//! `f32`, a loopback-transported run is byte-identical to the
 //! codec-bypassing direct path ([`FdilRunner::direct`]), which exists
 //! precisely to enforce that equivalence in tests.
+//!
+//! [`FdilRunner::serve`] runs the same loop over real sockets: planned
+//! sessions are assigned to connected peer processes, trained remotely, and
+//! collected under a per-round deadline — see the `net` module. Because
+//! remote results ride inside control frames as the *same* nested payload
+//! frames, the per-client traffic accounting stays byte-identical to the
+//! loopback run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -47,12 +54,14 @@ use refil_telemetry::{
     ArenaStats, PoolStats, RoundReport, SessionStat, Telemetry, TelemetrySummary,
 };
 use refil_wire::{
-    ClientModelUpdate as WireClientModelUpdate, Loopback, ModelBroadcast, Transport, WireMessage,
+    ClientModelUpdate as WireClientModelUpdate, Link, Listener, Loopback, ModelBroadcast,
+    SessionAssignment, WireMessage,
 };
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 use crate::config::RunConfig;
-use crate::increment::{build_schedule, select_clients, ClientGroup};
+use crate::increment::{build_schedule, select_clients, ClientGroup, TaskSchedule};
+use crate::net::{group_code, RemoteSession, ServeState};
 use crate::traffic::TrafficStats;
 
 /// Everything a strategy needs to run one local training session.
@@ -337,6 +346,14 @@ impl RunResult {
 /// (`None` until the slot's worker completes it).
 type SessionSlots = Vec<Option<(SessionOutput, SessionStat)>>;
 
+/// One round's session results, indexed by planned-session slot: trained
+/// locally on the worker pool, or collected from remote peers (`None` =
+/// the result missed the round deadline).
+enum RoundOutputs {
+    Local(SessionSlots),
+    Remote(Vec<Option<RemoteSession>>),
+}
+
 /// Converts the nn crate's thread-local scratch accounting into the
 /// telemetry report type.
 fn arena_stats(s: refil_nn::ScratchStats) -> ArenaStats {
@@ -353,7 +370,7 @@ fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
+pub(crate) fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
     // SplitMix64-style mixing for decorrelated per-session seeds.
     // `round` may be a `usize::MAX` sentinel, so the +1 must wrap too.
     let mut z = master
@@ -366,14 +383,17 @@ fn session_seed(master: u64, task: usize, round: usize, client: usize) -> u64 {
 }
 
 /// Per-client data holdings maintained by the driver.
+///
+/// `pub(crate)` because the networked client replica (`crate::net`) evolves
+/// an identical copy from the same deterministic inputs.
 #[derive(Debug, Default, Clone)]
-struct Holdings {
+pub(crate) struct Holdings {
     /// Data carried from previous tasks.
-    old: Vec<Sample>,
+    pub(crate) old: Vec<Sample>,
     /// New-domain data received this task (empty for `U_o` clients).
-    new: Vec<Sample>,
+    pub(crate) new: Vec<Sample>,
     /// Cached `old ++ new` for `U_b` rounds.
-    both: Vec<Sample>,
+    pub(crate) both: Vec<Sample>,
 }
 
 impl Holdings {
@@ -385,6 +405,74 @@ impl Holdings {
         self.both.reserve(self.old.len() + self.new.len());
         self.both.extend_from_slice(&self.old);
         self.both.extend_from_slice(&self.new);
+    }
+
+    /// The client's effective training data for `group`.
+    pub(crate) fn for_group(&self, group: ClientGroup) -> &[Sample] {
+        match group {
+            ClientGroup::Old => &self.old,
+            ClientGroup::New => &self.new,
+            ClientGroup::Between => &self.both,
+        }
+    }
+}
+
+/// Distributes task `task`'s new-domain training data among the schedule's
+/// recipients: the deterministic holdings evolution shared verbatim by the
+/// in-process driver, the networked server, and every client replica (the
+/// partition is seeded from `cfg.seed` alone, never from the round RNG).
+pub(crate) fn distribute_task_data(
+    holdings: &mut Vec<Holdings>,
+    schedule: &TaskSchedule,
+    dataset: &FdilDataset,
+    cfg: &RunConfig,
+    task: usize,
+) {
+    holdings.resize_with(schedule.clients.len(), Holdings::default);
+    let recipients = schedule.new_data_recipients();
+    if !recipients.is_empty() {
+        let parts = partition_quantity_shift(
+            dataset.domains[task].train.clone(),
+            recipients.len(),
+            QuantityShift::Lognormal(cfg.quantity_sigma),
+            session_seed(cfg.seed, task, usize::MAX, 0),
+        );
+        for (cid, part) in recipients.iter().zip(parts) {
+            holdings[*cid].new = part;
+            holdings[*cid].rebuild_both();
+        }
+    }
+}
+
+/// Each client's effective data at the end of a task (for
+/// [`FdilStrategy::on_task_end`]), in client-id order.
+pub(crate) fn collect_client_data(
+    holdings: &[Holdings],
+    schedule: &TaskSchedule,
+    rounds: usize,
+) -> Vec<(usize, Vec<Sample>)> {
+    schedule
+        .clients
+        .iter()
+        .map(|plan| {
+            let h = &holdings[plan.id];
+            let data = h
+                .for_group(plan.group_at(rounds.saturating_sub(1)))
+                .to_vec();
+            (plan.id, data)
+        })
+        .collect()
+}
+
+/// Task-boundary holdings transition: clients that saw the new domain carry
+/// it forward as their old data.
+pub(crate) fn carry_forward(holdings: &mut [Holdings], schedule: &TaskSchedule) {
+    for plan in &schedule.clients {
+        if plan.receives_new_data() {
+            let h = &mut holdings[plan.id];
+            h.old = std::mem::take(&mut h.new);
+            h.both.clear();
+        }
     }
 }
 
@@ -476,10 +564,11 @@ fn threads_from_env() -> usize {
 /// Client sessions within a round execute on `threads` scoped workers; the
 /// result is byte-for-byte identical at any thread count (see the module
 /// docs for why). By default every exchange is encoded through the
-/// `refil-wire` codec and moved over an in-memory [`Loopback`] transport
-/// pair; [`FdilRunner::direct`] bypasses the codec (identical results, same
-/// measured traffic via `WireMessage::encoded_len`), and
-/// [`FdilRunner::run_with_transports`] plugs in custom transports.
+/// `refil-wire` codec and moved over an in-memory [`Loopback`] link pair;
+/// [`FdilRunner::direct`] bypasses the codec (identical results, same
+/// measured traffic via `WireMessage::encoded_len`),
+/// [`FdilRunner::run_with_links`] plugs in custom links, and
+/// [`FdilRunner::serve`] drives the same protocol over real sockets.
 #[derive(Debug, Clone)]
 pub struct FdilRunner {
     cfg: RunConfig,
@@ -563,38 +652,79 @@ impl FdilRunner {
     /// domain has no test data.
     pub fn run(&self, dataset: &FdilDataset, strategy: &mut dyn FdilStrategy) -> RunResult {
         if self.direct {
-            self.run_inner(dataset, strategy, None)
+            self.run_inner(dataset, strategy, None, None)
         } else {
             let downlink = Loopback::new();
             let uplink = Loopback::new();
-            self.run_inner(dataset, strategy, Some((&downlink, &uplink)))
+            self.run_inner(dataset, strategy, Some((&downlink, &uplink)), None)
         }
     }
 
     /// Like [`FdilRunner::run`], but moves every frame over caller-supplied
-    /// transports (`downlink` server→client, `uplink` client→server) instead
-    /// of a private loopback pair — the hook for delayed, lossy, faulty, or
-    /// compressed transports.
+    /// links (`downlink` server→client, `uplink` client→server) instead of a
+    /// private loopback pair — the hook for delayed, faulty, or compressed
+    /// in-process links.
+    ///
+    /// Both links must be *echo* links in the [`Loopback`] sense: the driver
+    /// plays both ends, so every frame it sends on a link must come back out
+    /// of that same link's [`Link::recv_deadline`] (possibly transformed).
+    /// For real peer-to-peer sockets use [`FdilRunner::serve`] instead.
     ///
     /// # Panics
     ///
-    /// Panics like [`FdilRunner::run`], and additionally if a transport
-    /// errors, drops a frame, or delivers one that fails to decode.
-    pub fn run_with_transports(
+    /// Panics like [`FdilRunner::run`], and additionally if a link errors,
+    /// delivers no frame within 60 s, or delivers one that fails to decode.
+    pub fn run_with_links(
         &self,
         dataset: &FdilDataset,
         strategy: &mut dyn FdilStrategy,
-        downlink: &dyn Transport,
-        uplink: &dyn Transport,
+        downlink: &dyn Link,
+        uplink: &dyn Link,
     ) -> RunResult {
-        self.run_inner(dataset, strategy, Some((downlink, uplink)))
+        self.run_inner(dataset, strategy, Some((downlink, uplink)), None)
+    }
+
+    /// Runs the full FDIL protocol as a long-lived federation server: client
+    /// processes connect through `listener`, planned sessions are assigned
+    /// round-robin over the connected peers, trained remotely, and collected
+    /// under the per-round deadline of [`RunConfig::net`]. Sessions whose
+    /// results miss the deadline (stragglers, crashed peers) are counted as
+    /// `clients_late` in that round's [`RoundReport`] and the round completes
+    /// with partial participation.
+    ///
+    /// `spec` is an opaque run-description string handed to every joining
+    /// peer in its `Welcome` frame (conventionally JSON naming the dataset,
+    /// method, and seed so the peer can build its replica).
+    ///
+    /// The server blocks until at least [`crate::NetConfig::min_peers`] peers
+    /// have joined, then admits further joiners at round boundaries; a peer
+    /// joining mid-run is caught up from a replay log of task/round sync
+    /// frames. When every peer stays connected and on time, the run's
+    /// semantic outputs (accuracies, traffic, per-kind wire bytes) are
+    /// byte-identical to [`FdilRunner::run`] with the same config.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`FdilRunner::run`]. Peer failures never panic — they
+    /// surface as `clients_late` and `net.peers_left` telemetry.
+    pub fn serve(
+        &self,
+        dataset: &FdilDataset,
+        strategy: &mut dyn FdilStrategy,
+        listener: &dyn Listener,
+        spec: &str,
+    ) -> RunResult {
+        let mut state = ServeState::new(listener, spec, self.cfg.net, self.telemetry.clone());
+        state.wait_for_peers();
+        self.run_inner(dataset, strategy, None, Some(&mut state))
     }
 
     fn run_inner(
         &self,
         dataset: &FdilDataset,
         strategy: &mut dyn FdilStrategy,
-        wire: Option<(&dyn Transport, &dyn Transport)>,
+        wire: Option<(&dyn Link, &dyn Link)>,
+        mut serve: Option<&mut ServeState<'_>>,
     ) -> RunResult {
         let cfg = &self.cfg;
         let telemetry = &self.telemetry;
@@ -630,21 +760,11 @@ impl FdilRunner {
             let _task_span = telemetry.span(&format!("task:{task}"));
             traffic.start_task(task);
             strategy.on_task_start(task, &global);
-            holdings.resize_with(schedule.clients.len(), Holdings::default);
 
             // Distribute the new domain's training data among recipients.
-            let recipients = schedule.new_data_recipients();
-            if !recipients.is_empty() {
-                let parts = partition_quantity_shift(
-                    dataset.domains[task].train.clone(),
-                    recipients.len(),
-                    QuantityShift::Lognormal(cfg.quantity_sigma),
-                    session_seed(cfg.seed, task, usize::MAX, 0),
-                );
-                for (cid, part) in recipients.iter().zip(parts) {
-                    holdings[*cid].new = part;
-                    holdings[*cid].rebuild_both();
-                }
+            distribute_task_data(&mut holdings, schedule, dataset, cfg, task);
+            if let Some(srv) = serve.as_deref_mut() {
+                srv.begin_task(task, &global);
             }
 
             let rounds = cfg.increment.rounds_per_task;
@@ -679,11 +799,7 @@ impl FdilRunner {
                     }
                     let plan = &schedule.clients[cid];
                     let group = plan.group_at(round);
-                    let samples: &[Sample] = match group {
-                        ClientGroup::Old => &holdings[cid].old,
-                        ClientGroup::New => &holdings[cid].new,
-                        ClientGroup::Between => &holdings[cid].both,
-                    };
+                    let samples: &[Sample] = holdings[cid].for_group(group);
                     if samples.is_empty() {
                         continue;
                     }
@@ -701,7 +817,8 @@ impl FdilRunner {
                 // strategy broadcast) travels as encoded frames through the
                 // downlink, and sessions train on the *decoded* copy. The
                 // direct path moves the same typed messages unencoded while
-                // accounting the identical frame sizes.
+                // accounting the identical frame sizes; the serve path nests
+                // the same encoded frames inside each peer's `RoundStart`.
                 let broadcast_start = std::time::Instant::now();
                 let broadcast_t0 = telemetry.now_ns();
                 let model_msg = WireMessage::ModelBroadcast(ModelBroadcast {
@@ -709,20 +826,44 @@ impl FdilRunner {
                     round: round as u32,
                     model: global.clone(),
                 });
-                let (model_out, model_bytes) = roundtrip(downlink, model_msg);
-                let WireMessage::ModelBroadcast(model_out) = model_out else {
-                    panic!("downlink delivered a non-ModelBroadcast frame");
-                };
-                let round_model = model_out.model;
                 let extra_msg = strategy.round_broadcast(task, round);
                 let extra_kind = extra_msg.as_ref().map(WireMessage::kind);
-                let (broadcast, extra_bytes) = match extra_msg {
-                    Some(msg) => {
-                        let (decoded, bytes) = roundtrip(downlink, msg);
-                        (Some(decoded), bytes)
-                    }
-                    None => (None, 0),
-                };
+                let (round_model, broadcast, model_bytes, extra_bytes) =
+                    if let Some(srv) = serve.as_deref_mut() {
+                        let model_frame = model_msg.encode();
+                        let model_bytes = model_frame.len() as u64;
+                        let (extra_frame, extra_bytes) = match extra_msg {
+                            Some(msg) => {
+                                let frame = msg.encode();
+                                let bytes = frame.len() as u64;
+                                (Some(frame), bytes)
+                            }
+                            None => (None, 0),
+                        };
+                        let assignments: Vec<SessionAssignment> = sessions
+                            .iter()
+                            .map(|s| SessionAssignment {
+                                client_id: s.cid as u64,
+                                group: group_code(s.group),
+                                seed: s.seed,
+                            })
+                            .collect();
+                        srv.begin_round(task, round, &assignments, model_frame, extra_frame);
+                        (Vec::new(), None, model_bytes, extra_bytes)
+                    } else {
+                        let (model_out, model_bytes) = roundtrip(downlink, model_msg);
+                        let WireMessage::ModelBroadcast(model_out) = model_out else {
+                            panic!("downlink delivered a non-ModelBroadcast frame");
+                        };
+                        let (broadcast, extra_bytes) = match extra_msg {
+                            Some(msg) => {
+                                let (decoded, bytes) = roundtrip(downlink, msg);
+                                (Some(decoded), bytes)
+                            }
+                            None => (None, 0),
+                        };
+                        (model_out.model, broadcast, model_bytes, extra_bytes)
+                    };
                 let down_bytes = model_bytes + extra_bytes;
                 report.phases.broadcast = elapsed_ns(broadcast_start);
                 telemetry.timeline_span(0, "broadcast", broadcast_t0, report.phases.broadcast);
@@ -741,18 +882,26 @@ impl FdilRunner {
                 let timeline = telemetry.timeline();
                 let train_start = std::time::Instant::now();
                 let train_t0 = telemetry.now_ns();
-                let (outputs, train_pool, train_scratch): (
-                    SessionSlots,
+                let (mut outputs, train_pool, train_scratch): (
+                    RoundOutputs,
                     Option<PoolStats>,
                     ArenaStats,
-                ) = {
+                ) = if let Some(srv) = serve.as_deref_mut() {
+                    // Remote path: peers train their assigned sessions; the
+                    // driver blocks (without spinning) until every result is
+                    // in or the round deadline passes.
+                    let deadline = std::time::Instant::now()
+                        + std::time::Duration::from_millis(cfg.net.round_deadline_ms);
+                    let slots = srv.collect(deadline);
+                    (RoundOutputs::Remote(slots), None, ArenaStats::default())
+                } else {
                     let ctx = strategy.round_ctx(task, round, &round_model, broadcast.as_ref());
                     let workers = self.threads.min(sessions.len());
                     if workers <= 1 {
                         let t = telemetry.scoped(&round_path);
                         let mut lane = timeline.lane(0);
                         let _ = refil_nn::take_scratch_stats();
-                        let outputs = sessions
+                        let outputs: SessionSlots = sessions
                             .iter()
                             .map(|s| {
                                 let start = lane.tick();
@@ -768,7 +917,11 @@ impl FdilRunner {
                             .collect();
                         let scratch = arena_stats(refil_nn::take_scratch_stats());
                         let wall = timeline.tick().saturating_sub(train_t0);
-                        (outputs, timeline.merge(vec![lane], wall), scratch)
+                        (
+                            RoundOutputs::Local(outputs),
+                            timeline.merge(vec![lane], wall),
+                            scratch,
+                        )
                     } else {
                         let next = AtomicUsize::new(0);
                         let slots: Mutex<SessionSlots> =
@@ -820,7 +973,9 @@ impl FdilRunner {
                         let wall = timeline.tick().saturating_sub(train_t0);
                         let pool = timeline.merge(lanes, wall);
                         (
-                            slots.into_inner().expect("session slots poisoned"),
+                            RoundOutputs::Local(
+                                slots.into_inner().expect("session slots poisoned"),
+                            ),
                             pool,
                             scratch,
                         )
@@ -839,23 +994,43 @@ impl FdilRunner {
                 let aggregate_t0 = telemetry.now_ns();
                 let mut updates = Vec::with_capacity(sessions.len());
                 let mut merges: Vec<(usize, WireMessage)> = Vec::new();
-                for (session, output) in sessions.iter().zip(outputs) {
-                    let (out, stat) = output.expect("planned session never ran");
-                    report.sessions.push(stat);
-                    let update_msg = WireMessage::ClientModelUpdate(WireClientModelUpdate {
-                        client_id: session.cid as u64,
-                        weight: out.update.weight,
-                        model: out.update.flat,
-                    });
-                    let (update_out, update_bytes) = roundtrip(uplink, update_msg);
-                    let WireMessage::ClientModelUpdate(update_out) = update_out else {
-                        panic!("uplink delivered a non-ClientModelUpdate frame");
+                for (i, session) in sessions.iter().enumerate() {
+                    // Normalize both paths to the same shape: the decoded
+                    // update, its frame bytes, the optional decoded merge
+                    // with its frame bytes, and the session stat. `None`
+                    // means the result never arrived (remote path only).
+                    let collected = match &mut outputs {
+                        RoundOutputs::Local(slots) => {
+                            let (out, stat) = slots[i].take().expect("planned session never ran");
+                            let update_msg =
+                                WireMessage::ClientModelUpdate(WireClientModelUpdate {
+                                    client_id: session.cid as u64,
+                                    weight: out.update.weight,
+                                    model: out.update.flat,
+                                });
+                            let (update_out, update_bytes) = roundtrip(uplink, update_msg);
+                            let WireMessage::ClientModelUpdate(update_out) = update_out else {
+                                panic!("uplink delivered a non-ClientModelUpdate frame");
+                            };
+                            let merge = out.merge.map(|msg| roundtrip(uplink, msg));
+                            Some((update_out, update_bytes, merge, stat))
+                        }
+                        RoundOutputs::Remote(slots) => slots[i]
+                            .take()
+                            .map(|r| (r.update, r.update_bytes, r.merge, r.stat)),
                     };
+                    let Some((update_out, update_bytes, merge, stat)) = collected else {
+                        // Straggler or dead peer: the round proceeds without
+                        // this session and no bytes are accounted for it.
+                        telemetry.counter("clients.late", 1);
+                        report.clients_late += 1;
+                        continue;
+                    };
+                    report.sessions.push(stat);
                     let mut up_bytes = update_bytes;
                     telemetry.counter("wire.client_model_update_bytes", update_bytes);
                     bump_wire(&mut report.wire_bytes, "client_model_update", update_bytes);
-                    if let Some(merge_msg) = out.merge {
-                        let (decoded, bytes) = roundtrip(uplink, merge_msg);
+                    if let Some((decoded, bytes)) = merge {
                         up_bytes += bytes;
                         let kind = decoded.kind().name();
                         telemetry.counter(&format!("wire.{kind}_bytes"), bytes);
@@ -883,6 +1058,12 @@ impl FdilRunner {
                     let _fedavg_span = telemetry.span("fedavg");
                     global = fedavg(&updates);
                 }
+                if let Some(srv) = serve.as_deref_mut() {
+                    // Sync every peer (and the replay log) with the new
+                    // global and the full ordered merge sequence, so each
+                    // client replica ingests exactly what the server does.
+                    srv.finish_round(task, round, &global, &merges);
+                }
                 traffic.record_round();
                 telemetry.counter("rounds", 1);
                 report.phases.aggregate = elapsed_ns(aggregate_start);
@@ -901,28 +1082,13 @@ impl FdilRunner {
             }
 
             // Task-end hook: expose each client's effective data (for Fisher etc.).
-            let client_data: Vec<(usize, Vec<Sample>)> = schedule
-                .clients
-                .iter()
-                .map(|plan| {
-                    let h = &holdings[plan.id];
-                    let data = match plan.group_at(rounds.saturating_sub(1)) {
-                        ClientGroup::Old => h.old.clone(),
-                        ClientGroup::New => h.new.clone(),
-                        ClientGroup::Between => h.both.clone(),
-                    };
-                    (plan.id, data)
-                })
-                .collect();
+            let client_data = collect_client_data(&holdings, schedule, rounds);
             strategy.on_task_end(task, &global, &client_data);
 
             // Clients that saw the new domain carry it forward as their data.
-            for plan in &schedule.clients {
-                if plan.receives_new_data() {
-                    let h = &mut holdings[plan.id];
-                    h.old = std::mem::take(&mut h.new);
-                    h.both.clear();
-                }
+            carry_forward(&mut holdings, schedule);
+            if let Some(srv) = serve.as_deref_mut() {
+                srv.end_task(task, &global);
             }
 
             // Evaluate on every domain seen so far, fanning (domain, batch)
@@ -950,6 +1116,9 @@ impl FdilRunner {
             domain_acc.push(row);
         }
 
+        if let Some(srv) = serve {
+            srv.finish_run();
+        }
         telemetry.info(format!(
             "run done: {} rounds, {} client updates, {} bytes total",
             traffic.rounds,
@@ -1164,24 +1333,24 @@ fn eval_item(
 }
 
 /// Moves one message the way the active path dictates: encoded through the
-/// transport (send → recv → decode) when one is given, or as the typed value
+/// echo link (send → recv → decode) when one is given, or as the typed value
 /// itself on the direct path. Byte accounting is identical either way —
 /// `WireMessage::encoded_len` always equals the encoded frame's length.
 ///
 /// # Panics
 ///
-/// Panics if the transport errors, delivers no frame, or delivers one that
-/// fails to decode — all fatal protocol violations for the driver.
-fn roundtrip(link: Option<&dyn Transport>, msg: WireMessage) -> (WireMessage, u64) {
+/// Panics if the link errors, delivers no frame within 60 s (an echo link
+/// has the frame queued already — any wait at all means the link is broken),
+/// or delivers one that fails to decode — all fatal protocol violations for
+/// the driver.
+fn roundtrip(link: Option<&dyn Link>, msg: WireMessage) -> (WireMessage, u64) {
     match link {
         Some(link) => {
             let frame = msg.encode();
             let bytes = frame.len() as u64;
-            link.send(frame).expect("transport send failed");
-            let received = link
-                .recv()
-                .expect("transport recv failed")
-                .expect("transport delivered no frame");
+            link.send(&frame).expect("link send failed");
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            let received = link.recv_deadline(deadline).expect("link recv failed");
             let decoded = WireMessage::decode(&received).expect("received frame failed to decode");
             (decoded, bytes)
         }
@@ -1228,6 +1397,7 @@ mod tests {
     use super::*;
     use crate::increment::IncrementConfig;
     use refil_data::{DatasetSpec, DomainSpec};
+    use std::time::{Duration, Instant};
 
     use refil_wire::{PromptGroup, PromptUpload};
 
@@ -1421,6 +1591,7 @@ mod tests {
             eval_batch: 64,
             dropout_prob: 0.0,
             seed: 3,
+            net: crate::NetConfig::default(),
         }
     }
 
@@ -1497,20 +1668,21 @@ mod tests {
     }
 
     #[test]
-    fn explicit_loopback_transports_match_run() {
+    fn explicit_loopback_links_match_run() {
         let ds = tiny_dataset();
         let mut s1 = CentroidStrategy::new(3, 6);
         let mut s2 = CentroidStrategy::new(3, 6);
         let a = FdilRunner::new(tiny_config()).run(&ds, &mut s1);
         let downlink = refil_wire::Loopback::new();
         let uplink = refil_wire::Loopback::new();
-        let b =
-            FdilRunner::new(tiny_config()).run_with_transports(&ds, &mut s2, &downlink, &uplink);
+        let b = FdilRunner::new(tiny_config()).run_with_links(&ds, &mut s2, &downlink, &uplink);
         assert_eq!(a.final_global, b.final_global);
         assert_eq!(a.traffic, b.traffic);
-        // Every frame sent was also consumed.
+        // Every frame sent was also consumed, and no round reported lates
+        // on the in-process path.
         assert_eq!(downlink.pending(), 0);
         assert_eq!(uplink.pending(), 0);
+        assert!(b.rounds.iter().all(|r| r.clients_late == 0));
     }
 
     #[test]
@@ -1689,6 +1861,115 @@ mod tests {
         let c = session_seed(1, 0, 1, 0);
         let d = session_seed(2, 0, 0, 0);
         assert!(a != b && a != c && a != d && b != c);
+    }
+
+    /// Spawns `n` in-process client threads that connect to `endpoint`,
+    /// handshake, and run the replica loop to completion.
+    fn spawn_clients(
+        endpoint: &refil_wire::Endpoint,
+        ds: &FdilDataset,
+        cfg: RunConfig,
+        n: usize,
+        opts: crate::net::ClientOptions,
+    ) -> Vec<std::thread::JoinHandle<crate::net::ClientReport>> {
+        (0..n)
+            .map(|i| {
+                let ep = endpoint.clone();
+                let ds = ds.clone();
+                let opts = opts.clone();
+                std::thread::spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    let link = refil_wire::connect(&ep, deadline).expect("connect failed");
+                    let (pid, _spec) = crate::net::client_handshake(&link, i as u64, deadline)
+                        .expect("handshake failed");
+                    let mut strat = CentroidStrategy::new(3, 6);
+                    crate::net::run_client(
+                        &link,
+                        pid,
+                        &ds,
+                        &mut strat,
+                        &cfg,
+                        &opts,
+                        &Telemetry::disabled(),
+                    )
+                    .expect("client failed")
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_over_tcp_matches_in_process_run() {
+        let ds = tiny_dataset();
+        let mut cfg = tiny_config();
+        cfg.net.min_peers = 2;
+        let mut s_local = CentroidStrategy::new(3, 6);
+        let local = FdilRunner::new(cfg).run(&ds, &mut s_local);
+
+        let listener =
+            refil_wire::NetListener::bind(&refil_wire::Endpoint::Tcp("127.0.0.1:0".into()))
+                .expect("bind failed");
+        let endpoint = listener.local_endpoint();
+        let clients = spawn_clients(&endpoint, &ds, cfg, 2, crate::net::ClientOptions::default());
+        let mut s_srv = CentroidStrategy::new(3, 6);
+        let served = FdilRunner::new(cfg).serve(&ds, &mut s_srv, &listener, "tiny-spec");
+        for c in clients {
+            let report = c.join().expect("client thread panicked");
+            assert_eq!(report.reason, 0, "client should end with COMPLETE");
+            assert!(report.rounds > 0);
+        }
+
+        assert_eq!(local.final_global, served.final_global);
+        assert_eq!(local.domain_acc, served.domain_acc);
+        assert_eq!(local.traffic, served.traffic);
+        assert_eq!(s_local.merged, s_srv.merged);
+        assert!(served.rounds.iter().all(|r| r.clients_late == 0));
+    }
+
+    #[test]
+    fn serve_survives_client_abort_mid_run() {
+        let ds = tiny_dataset();
+        let mut cfg = tiny_config();
+        cfg.net.min_peers = 2;
+        cfg.net.round_deadline_ms = 400;
+        cfg.net.join_grace_ms = 100;
+
+        let listener =
+            refil_wire::NetListener::bind(&refil_wire::Endpoint::Tcp("127.0.0.1:0".into()))
+                .expect("bind failed");
+        let endpoint = listener.local_endpoint();
+        // One client aborts (drops the connection) after its second
+        // RoundStart; the other stays for the whole run.
+        let quitter = spawn_clients(
+            &endpoint,
+            &ds,
+            cfg,
+            1,
+            crate::net::ClientOptions {
+                abort_after_round_starts: Some(2),
+                ..Default::default()
+            },
+        );
+        let stayer = spawn_clients(&endpoint, &ds, cfg, 1, crate::net::ClientOptions::default());
+        let mut s_srv = CentroidStrategy::new(3, 6);
+        let served = FdilRunner::new(cfg).serve(&ds, &mut s_srv, &listener, "tiny-spec");
+        for c in quitter.into_iter().chain(stayer) {
+            c.join().expect("client thread panicked");
+        }
+
+        // The run completed every planned round; the sessions assigned to
+        // the aborted peer were recorded as late, not lost or hung.
+        assert_eq!(served.traffic.rounds, 6);
+        assert_eq!(served.domain_acc.len(), 2);
+        let late: u64 = served.rounds.iter().map(|r| r.clients_late).sum();
+        assert!(late > 0, "aborting peer should strand some sessions");
+        let planned: u64 = served
+            .rounds
+            .iter()
+            .map(|r| r.clients_trained + r.clients_late)
+            .sum();
+        let trained: u64 = served.rounds.iter().map(|r| r.clients_trained).sum();
+        assert_eq!(trained + late, planned);
     }
 
     #[test]

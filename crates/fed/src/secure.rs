@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use refil_nn::gaussian;
-use refil_wire::{Loopback, MaskedModelUpdate, Transport, WireMessage};
+use refil_wire::{Link, Loopback, MaskedModelUpdate, WireMessage};
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 
@@ -149,11 +149,17 @@ pub fn secure_round(
     for (i, u) in updates.iter().enumerate() {
         let masked = mask_update(i, &u.flat, u.weight, &participants, round_seed, mask_scale);
         uplink
-            .send(WireMessage::MaskedModelUpdate(masked.to_wire()).encode())
+            .send(&WireMessage::MaskedModelUpdate(masked.to_wire()).encode())
             .expect("loopback send failed");
     }
+    // Exactly one frame per participant is queued; any wait means the link
+    // is broken, so a short deadline suffices.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     let mut masked = Vec::with_capacity(updates.len());
-    while let Some(frame) = uplink.recv().expect("loopback recv failed") {
+    for _ in updates {
+        let frame = uplink
+            .recv_deadline(deadline)
+            .expect("loopback recv failed");
         match WireMessage::decode(&frame).expect("masked frame failed to decode") {
             WireMessage::MaskedModelUpdate(m) => masked.push(MaskedUpdate::from_wire(m)),
             other => panic!("uplink delivered a {:?} frame", other.kind()),

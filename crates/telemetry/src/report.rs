@@ -157,6 +157,11 @@ pub struct RoundReport {
     pub clients_trained: u64,
     /// Clients dropped by the participation schedule this round.
     pub clients_dropped: u64,
+    /// Networked runs: sessions whose results missed the round deadline
+    /// (stragglers and dead peers). Always 0 on the in-process paths.
+    /// `#[serde(default)]` keeps pre-networking reports deserializable.
+    #[serde(default)]
+    pub clients_late: u64,
     /// Per-domain accuracies when this round closed a task, else `None`.
     pub eval_domain_acc: Option<Vec<f32>>,
     /// Scratch-arena accounting summed over the round's sessions and eval.
@@ -259,6 +264,7 @@ mod tests {
             wire_bytes: BTreeMap::new(),
             clients_trained: 1,
             clients_dropped: 0,
+            clients_late: 0,
             eval_domain_acc: Some(vec![0.5, 0.25]),
             scratch: ArenaStats::default(),
         };

@@ -14,7 +14,11 @@ pub const HEADER_LEN: usize = 16;
 
 /// Typed decode/transport failure. Decoding never panics: every malformed
 /// frame maps to one of these.
+///
+/// Marked `#[non_exhaustive]`: future transports may add variants without a
+/// semver break, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WireError {
     /// The buffer is shorter than the bytes the frame declares.
     Truncated {
@@ -56,6 +60,9 @@ pub enum WireError {
     Malformed(&'static str),
     /// The transport can no longer move frames.
     TransportClosed,
+    /// An I/O failure on a socket-backed transport (the message is the
+    /// stringified OS error).
+    Io(String),
 }
 
 impl fmt::Display for WireError {
@@ -80,6 +87,7 @@ impl fmt::Display for WireError {
             }
             Self::Malformed(what) => write!(f, "malformed payload: {what}"),
             Self::TransportClosed => write!(f, "transport closed"),
+            Self::Io(msg) => write!(f, "transport i/o error: {msg}"),
         }
     }
 }
@@ -102,17 +110,43 @@ pub enum MessageKind {
     MaskedModelUpdate = 5,
     /// Client-owned episodic memory in transit (rehearsal oracle).
     RehearsalMemory = 6,
+    /// Client → server: first frame on a fresh connection.
+    Hello = 7,
+    /// Server → client: handshake reply assigning a peer id.
+    Welcome = 8,
+    /// Server → client: opens a round with nested broadcast frames and the
+    /// peer's session assignments.
+    RoundStart = 9,
+    /// Client → server: one trained session's nested update/merge frames.
+    SessionResult = 10,
+    /// Server → client: closes a round with the post-aggregate global model
+    /// and the ordered merge frames.
+    RoundSync = 11,
+    /// Server → client: a task is starting (replicas run task setup).
+    TaskBegin = 12,
+    /// Server → client: a task finished (replicas run task teardown).
+    TaskEnd = 13,
+    /// Either direction: the run (or this peer's participation) is over.
+    RunEnd = 14,
 }
 
 impl MessageKind {
     /// Every kind, in wire-id order (for exhaustive tests).
-    pub const ALL: [MessageKind; 6] = [
+    pub const ALL: [MessageKind; 14] = [
         MessageKind::ModelBroadcast,
         MessageKind::ClientModelUpdate,
         MessageKind::PromptUpload,
         MessageKind::GlobalPromptBroadcast,
         MessageKind::MaskedModelUpdate,
         MessageKind::RehearsalMemory,
+        MessageKind::Hello,
+        MessageKind::Welcome,
+        MessageKind::RoundStart,
+        MessageKind::SessionResult,
+        MessageKind::RoundSync,
+        MessageKind::TaskBegin,
+        MessageKind::TaskEnd,
+        MessageKind::RunEnd,
     ];
 
     /// Parses the header's kind field.
@@ -124,6 +158,14 @@ impl MessageKind {
             4 => Ok(Self::GlobalPromptBroadcast),
             5 => Ok(Self::MaskedModelUpdate),
             6 => Ok(Self::RehearsalMemory),
+            7 => Ok(Self::Hello),
+            8 => Ok(Self::Welcome),
+            9 => Ok(Self::RoundStart),
+            10 => Ok(Self::SessionResult),
+            11 => Ok(Self::RoundSync),
+            12 => Ok(Self::TaskBegin),
+            13 => Ok(Self::TaskEnd),
+            14 => Ok(Self::RunEnd),
             other => Err(WireError::UnknownKind(other)),
         }
     }
@@ -138,6 +180,14 @@ impl MessageKind {
             Self::GlobalPromptBroadcast => "global_prompt_broadcast",
             Self::MaskedModelUpdate => "masked_model_update",
             Self::RehearsalMemory => "rehearsal_memory",
+            Self::Hello => "hello",
+            Self::Welcome => "welcome",
+            Self::RoundStart => "round_start",
+            Self::SessionResult => "session_result",
+            Self::RoundSync => "round_sync",
+            Self::TaskBegin => "task_begin",
+            Self::TaskEnd => "task_end",
+            Self::RunEnd => "run_end",
         }
     }
 }
@@ -253,6 +303,23 @@ impl Writer<'_> {
             self.f32(x);
         }
     }
+
+    /// Length-prefixed byte string: `u32` length followed by the raw bytes
+    /// (used for nested frames and UTF-8 strings).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("byte string exceeds u32 framing"));
+        self.0.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Encoded size of a length-prefixed byte string.
+pub(crate) fn bytes_len(v: &[u8]) -> usize {
+    4 + v.len()
 }
 
 /// Bounds-checked little-endian payload reader. Every overrun is a typed
@@ -312,6 +379,18 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
             .collect())
+    }
+
+    /// Length-prefixed byte string; the length is validated against the
+    /// remaining bytes before allocating.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let n = self.u32(what)? as usize;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string; invalid UTF-8 is a typed error.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| WireError::Malformed(what))
     }
 
     /// A `u32` element count, validated against a minimum per-element byte

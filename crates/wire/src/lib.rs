@@ -2,10 +2,13 @@
 //!
 //! The typed wire layer: every client↔server exchange in the federation is
 //! encoded through the versioned binary codec defined here and moved as a
-//! framed byte buffer over a [`Transport`]. This replaces the simulation's
-//! former pass-by-clone plumbing (and its back-of-envelope byte estimates)
-//! with a real, measured wire format, so communication accounting reports
-//! exactly what an implementation would put on the network.
+//! framed byte buffer over a peer-addressed [`Link`]. This replaces the
+//! simulation's former pass-by-clone plumbing (and its back-of-envelope
+//! byte estimates) with a real, measured wire format, so communication
+//! accounting reports exactly what an implementation would put on the
+//! network — and, since the socket transports ([`NetListener`] /
+//! [`connect`]) carry the very same frames, what a networked run *does*
+//! put on it.
 //!
 //! ## Frame layout
 //!
@@ -38,6 +41,19 @@
 //! | 4 | [`GlobalPromptBroadcast`] | server → client | post-FINCH prompt representatives + generalized prompt |
 //! | 5 | [`MaskedModelUpdate`] | client → server | secure-aggregation masked parameters |
 //! | 6 | [`RehearsalMemory`] | client → client (via server) | episodic-memory samples (rehearsal oracle only) |
+//! | 7 | [`Hello`] | client → server | connection handshake (client nonce) |
+//! | 8 | [`Welcome`] | server → client | assigned peer id + run spec string |
+//! | 9 | [`RoundStart`] | server → client | nested broadcast frames + session assignments |
+//! | 10 | [`SessionResult`] | client → server | nested update/merge frames for one session |
+//! | 11 | [`RoundSync`] | server → client | post-aggregate global model + ordered merge frames |
+//! | 12 | [`TaskBegin`] | server → client | task-start marker + global model |
+//! | 13 | [`TaskEnd`] | server → client | task-end marker + global model |
+//! | 14 | [`RunEnd`] | either | run / participation termination |
+//!
+//! Kinds 1–6 are the *payload* exchanges whose sizes define the paper's
+//! communication accounting; kinds 7–14 are the *control* protocol the
+//! networked server speaks, and they carry payload exchanges as nested
+//! encoded frames so accounting stays byte-identical to the loopback run.
 //!
 //! `f32` values are encoded as their IEEE-754 little-endian bit patterns,
 //! so an encode→decode round trip is bit-exact and a loopback-transported
@@ -54,7 +70,8 @@
 //! # Examples
 //!
 //! ```
-//! use refil_wire::{Loopback, ModelBroadcast, Transport, WireMessage};
+//! use refil_wire::{Link, Loopback, ModelBroadcast, WireMessage};
+//! use std::time::{Duration, Instant};
 //!
 //! let msg = WireMessage::ModelBroadcast(ModelBroadcast {
 //!     task: 0,
@@ -65,23 +82,27 @@
 //! assert_eq!(frame.len(), msg.encoded_len());
 //!
 //! let link = Loopback::new();
-//! link.send(frame).unwrap();
-//! let received = link.recv().unwrap().expect("frame queued");
+//! link.send(&frame).unwrap();
+//! let deadline = Instant::now() + Duration::from_secs(1);
+//! let received = link.recv_deadline(deadline).expect("frame queued");
 //! assert_eq!(WireMessage::decode(&received).unwrap(), msg);
 //! ```
 
 #![warn(missing_docs)]
 
 mod frame;
+mod link;
 mod message;
-mod transport;
+mod net;
 
 pub use frame::{crc32, MessageKind, WireError, HEADER_LEN, MAGIC, SCHEMA_VERSION};
+pub use link::{ConnectError, Link, Listener, Loopback, PeerId, RecvError, SERVER_PEER};
 pub use message::{
-    ClientModelUpdate, GlobalPromptBroadcast, MaskedModelUpdate, ModelBroadcast, PromptGroup,
-    PromptUpload, RehearsalMemory, WireMessage, WireSample,
+    ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
+    PromptGroup, PromptUpload, RehearsalMemory, RoundStart, RoundSync, RunEnd, SessionAssignment,
+    SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
-pub use transport::{Loopback, Transport};
+pub use net::{connect, Endpoint, NetLink, NetListener, MAX_FRAME_LEN};
 
 #[cfg(test)]
 mod proptests;

@@ -5,7 +5,7 @@
 //! see the crate docs for the frame header wrapping every payload.
 
 use crate::frame::{
-    open_frame, seal_frame, MessageKind, Reader, WireError, Writer, HEADER_LEN, MAGIC,
+    bytes_len, open_frame, seal_frame, MessageKind, Reader, WireError, Writer, HEADER_LEN, MAGIC,
     SCHEMA_VERSION,
 };
 
@@ -100,6 +100,126 @@ pub struct RehearsalMemory {
     pub samples: Vec<WireSample>,
 }
 
+/// Client → server: the first frame on a fresh connection. The nonce is
+/// echoed nowhere; it exists so a handshake frame is never empty and can
+/// carry a client-chosen tag in logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Client-chosen tag (e.g. a PID), for server-side logs only.
+    pub nonce: u64,
+}
+
+/// Server → client: handshake reply. After this the client replays any
+/// catch-up frames the server queued and then participates from the next
+/// round boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Welcome {
+    /// The peer id the listener assigned to this connection.
+    pub peer_id: u64,
+    /// Opaque run-spec string (the server's serialized experiment spec) so
+    /// a bare client process can reconstruct the replicated state.
+    pub spec: String,
+}
+
+/// One session assignment inside a [`RoundStart`]: which logical client a
+/// peer trains this round, and with what seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionAssignment {
+    /// Logical client to train.
+    pub client_id: u64,
+    /// Client group code (0 = old, 1 = between, 2 = new).
+    pub group: u8,
+    /// Per-session RNG seed drawn by the server.
+    pub seed: u64,
+}
+
+/// Server → client: opens a round. The model broadcast (and the optional
+/// strategy broadcast) travel as *nested encoded frames*, so the bytes a
+/// logical client receives are identical to the loopback run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStart {
+    /// Task the round belongs to.
+    pub task: u32,
+    /// Round within the task.
+    pub round: u32,
+    /// Nested encoded [`ModelBroadcast`] frame.
+    pub model: Vec<u8>,
+    /// Nested encoded strategy broadcast frame, when the strategy emits one.
+    pub extra: Option<Vec<u8>>,
+    /// The sessions this peer trains this round (possibly empty).
+    pub sessions: Vec<SessionAssignment>,
+}
+
+/// Client → server: one trained session's results. Tagged with task and
+/// round so the server can discard results that arrive after the round's
+/// deadline already passed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Task the session belonged to.
+    pub task: u32,
+    /// Round the session belonged to.
+    pub round: u32,
+    /// Logical client that was trained.
+    pub client_id: u64,
+    /// Wall-clock training time on the client, for session stats.
+    pub wall_ns: u64,
+    /// Nested encoded [`ClientModelUpdate`] frame.
+    pub update: Vec<u8>,
+    /// Nested encoded merge frame (e.g. a [`PromptUpload`]), if any.
+    pub merge: Option<Vec<u8>>,
+}
+
+/// Server → client: closes a round. Replicas apply the ordered merge
+/// frames, then run their round-end hooks against the new global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSync {
+    /// Task the round belonged to.
+    pub task: u32,
+    /// Round within the task.
+    pub round: u32,
+    /// Post-aggregate global parameter vector.
+    pub global: Vec<f32>,
+    /// `(client_id, nested encoded merge frame)` in client-id order.
+    pub merges: Vec<(u64, Vec<u8>)>,
+}
+
+/// Server → client: a task is starting; replicas run task setup (data
+/// partition, strategy task-start hook) against this global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskBegin {
+    /// Task (0-based) that is starting.
+    pub task: u32,
+    /// Global parameter vector entering the task.
+    pub global: Vec<f32>,
+}
+
+/// Server → client: a task finished; replicas run task teardown (strategy
+/// task-end hook, data carry-forward) against this global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskEnd {
+    /// Task (0-based) that finished.
+    pub task: u32,
+    /// Global parameter vector leaving the task.
+    pub global: Vec<f32>,
+}
+
+/// Either direction: participation is over. Server → client when the run
+/// completes or aborts; client → server for a voluntary mid-run leave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEnd {
+    /// 0 = run complete, 1 = voluntary leave, 2 = abort.
+    pub reason: u8,
+}
+
+impl RunEnd {
+    /// The run finished normally.
+    pub const COMPLETE: u8 = 0;
+    /// The sender is leaving mid-run.
+    pub const LEAVE: u8 = 1;
+    /// The run was aborted.
+    pub const ABORT: u8 = 2;
+}
+
 /// A decoded wire message: the typed union of every protocol exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
@@ -115,6 +235,22 @@ pub enum WireMessage {
     MaskedModelUpdate(MaskedModelUpdate),
     /// Episodic memory in transit.
     RehearsalMemory(RehearsalMemory),
+    /// Connection handshake, client side.
+    Hello(Hello),
+    /// Connection handshake, server side.
+    Welcome(Welcome),
+    /// Round opening with nested broadcasts + assignments.
+    RoundStart(RoundStart),
+    /// One session's nested results.
+    SessionResult(SessionResult),
+    /// Round closing with the new global + ordered merges.
+    RoundSync(RoundSync),
+    /// Task-start marker.
+    TaskBegin(TaskBegin),
+    /// Task-end marker.
+    TaskEnd(TaskEnd),
+    /// Run / participation termination.
+    RunEnd(RunEnd),
 }
 
 fn f32s_len(v: &[f32]) -> usize {
@@ -131,6 +267,14 @@ impl WireMessage {
             Self::GlobalPromptBroadcast(_) => MessageKind::GlobalPromptBroadcast,
             Self::MaskedModelUpdate(_) => MessageKind::MaskedModelUpdate,
             Self::RehearsalMemory(_) => MessageKind::RehearsalMemory,
+            Self::Hello(_) => MessageKind::Hello,
+            Self::Welcome(_) => MessageKind::Welcome,
+            Self::RoundStart(_) => MessageKind::RoundStart,
+            Self::SessionResult(_) => MessageKind::SessionResult,
+            Self::RoundSync(_) => MessageKind::RoundSync,
+            Self::TaskBegin(_) => MessageKind::TaskBegin,
+            Self::TaskEnd(_) => MessageKind::TaskEnd,
+            Self::RunEnd(_) => MessageKind::RunEnd,
         }
     }
 
@@ -170,6 +314,29 @@ impl WireMessage {
                     .map(|s| 4 + f32s_len(&s.features))
                     .sum::<usize>()
             }
+            Self::Hello(_) => 8,
+            Self::Welcome(m) => 8 + bytes_len(m.spec.as_bytes()),
+            Self::RoundStart(m) => {
+                8 + bytes_len(&m.model)
+                    + 1
+                    + m.extra.as_deref().map_or(0, bytes_len)
+                    + 4
+                    + 17 * m.sessions.len()
+            }
+            Self::SessionResult(m) => {
+                24 + bytes_len(&m.update) + 1 + m.merge.as_deref().map_or(0, bytes_len)
+            }
+            Self::RoundSync(m) => {
+                8 + f32s_len(&m.global)
+                    + 4
+                    + m.merges
+                        .iter()
+                        .map(|(_, frame)| 8 + bytes_len(frame))
+                        .sum::<usize>()
+            }
+            Self::TaskBegin(m) => 4 + f32s_len(&m.global),
+            Self::TaskEnd(m) => 4 + f32s_len(&m.global),
+            Self::RunEnd(_) => 1,
         };
         HEADER_LEN + payload
     }
@@ -235,6 +402,62 @@ impl WireMessage {
                     w.f32s(&s.features);
                 }
             }
+            Self::Hello(m) => w.u64(m.nonce),
+            Self::Welcome(m) => {
+                w.u64(m.peer_id);
+                w.str(&m.spec);
+            }
+            Self::RoundStart(m) => {
+                w.u32(m.task);
+                w.u32(m.round);
+                w.bytes(&m.model);
+                match &m.extra {
+                    Some(frame) => {
+                        w.u8(1);
+                        w.bytes(frame);
+                    }
+                    None => w.u8(0),
+                }
+                w.u32(u32::try_from(m.sessions.len()).expect("session count"));
+                for s in &m.sessions {
+                    w.u64(s.client_id);
+                    w.u8(s.group);
+                    w.u64(s.seed);
+                }
+            }
+            Self::SessionResult(m) => {
+                w.u32(m.task);
+                w.u32(m.round);
+                w.u64(m.client_id);
+                w.u64(m.wall_ns);
+                w.bytes(&m.update);
+                match &m.merge {
+                    Some(frame) => {
+                        w.u8(1);
+                        w.bytes(frame);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Self::RoundSync(m) => {
+                w.u32(m.task);
+                w.u32(m.round);
+                w.f32s(&m.global);
+                w.u32(u32::try_from(m.merges.len()).expect("merge count"));
+                for (client_id, frame) in &m.merges {
+                    w.u64(*client_id);
+                    w.bytes(frame);
+                }
+            }
+            Self::TaskBegin(m) => {
+                w.u32(m.task);
+                w.f32s(&m.global);
+            }
+            Self::TaskEnd(m) => {
+                w.u32(m.task);
+                w.f32s(&m.global);
+            }
+            Self::RunEnd(m) => w.u8(m.reason),
         }
         seal_frame(&mut buf);
         debug_assert_eq!(buf.len(), self.encoded_len());
@@ -320,6 +543,87 @@ impl WireMessage {
                     samples,
                 })
             }
+            MessageKind::Hello => Self::Hello(Hello {
+                nonce: r.u64("nonce")?,
+            }),
+            MessageKind::Welcome => Self::Welcome(Welcome {
+                peer_id: r.u64("peer_id")?,
+                spec: r.str("spec")?,
+            }),
+            MessageKind::RoundStart => {
+                let task = r.u32("task")?;
+                let round = r.u32("round")?;
+                let model = r.bytes("model frame")?;
+                let extra = match r.u8("extra tag")? {
+                    0 => None,
+                    1 => Some(r.bytes("extra frame")?),
+                    _ => return Err(WireError::Malformed("extra tag")),
+                };
+                let n_sessions = r.count(17, "session count")?;
+                let mut sessions = Vec::with_capacity(n_sessions);
+                for _ in 0..n_sessions {
+                    sessions.push(SessionAssignment {
+                        client_id: r.u64("session client_id")?,
+                        group: r.u8("session group")?,
+                        seed: r.u64("session seed")?,
+                    });
+                }
+                Self::RoundStart(RoundStart {
+                    task,
+                    round,
+                    model,
+                    extra,
+                    sessions,
+                })
+            }
+            MessageKind::SessionResult => {
+                let task = r.u32("task")?;
+                let round = r.u32("round")?;
+                let client_id = r.u64("client_id")?;
+                let wall_ns = r.u64("wall_ns")?;
+                let update = r.bytes("update frame")?;
+                let merge = match r.u8("merge tag")? {
+                    0 => None,
+                    1 => Some(r.bytes("merge frame")?),
+                    _ => return Err(WireError::Malformed("merge tag")),
+                };
+                Self::SessionResult(SessionResult {
+                    task,
+                    round,
+                    client_id,
+                    wall_ns,
+                    update,
+                    merge,
+                })
+            }
+            MessageKind::RoundSync => {
+                let task = r.u32("task")?;
+                let round = r.u32("round")?;
+                let global = r.f32s("global")?;
+                let n_merges = r.count(12, "merge count")?;
+                let mut merges = Vec::with_capacity(n_merges);
+                for _ in 0..n_merges {
+                    let client_id = r.u64("merge client_id")?;
+                    merges.push((client_id, r.bytes("merge frame")?));
+                }
+                Self::RoundSync(RoundSync {
+                    task,
+                    round,
+                    global,
+                    merges,
+                })
+            }
+            MessageKind::TaskBegin => Self::TaskBegin(TaskBegin {
+                task: r.u32("task")?,
+                global: r.f32s("global")?,
+            }),
+            MessageKind::TaskEnd => Self::TaskEnd(TaskEnd {
+                task: r.u32("task")?,
+                global: r.f32s("global")?,
+            }),
+            MessageKind::RunEnd => Self::RunEnd(RunEnd {
+                reason: r.u8("reason")?,
+            }),
         };
         r.finish()?;
         Ok(msg)
@@ -386,7 +690,109 @@ mod tests {
                     },
                 ],
             }),
+            WireMessage::Hello(Hello { nonce: 0x1234 }),
+            WireMessage::Welcome(Welcome {
+                peer_id: 3,
+                spec: "{\"dataset\":\"digits\",\"seed\":42}".to_string(),
+            }),
+            WireMessage::Welcome(Welcome {
+                peer_id: 1,
+                spec: String::new(),
+            }),
+            WireMessage::RoundStart(RoundStart {
+                task: 1,
+                round: 2,
+                model: WireMessage::ModelBroadcast(ModelBroadcast {
+                    task: 1,
+                    round: 2,
+                    model: vec![0.5, -1.0],
+                })
+                .encode(),
+                extra: Some(vec![0xab; 5]),
+                sessions: vec![
+                    SessionAssignment {
+                        client_id: 0,
+                        group: 2,
+                        seed: 77,
+                    },
+                    SessionAssignment {
+                        client_id: 9,
+                        group: 0,
+                        seed: u64::MAX,
+                    },
+                ],
+            }),
+            WireMessage::RoundStart(RoundStart {
+                task: 0,
+                round: 0,
+                model: Vec::new(),
+                extra: None,
+                sessions: Vec::new(),
+            }),
+            WireMessage::SessionResult(SessionResult {
+                task: 3,
+                round: 1,
+                client_id: 4,
+                wall_ns: 123_456,
+                update: vec![1, 2, 3, 4],
+                merge: Some(vec![5, 6]),
+            }),
+            WireMessage::SessionResult(SessionResult {
+                task: 0,
+                round: 0,
+                client_id: 0,
+                wall_ns: 0,
+                update: Vec::new(),
+                merge: None,
+            }),
+            WireMessage::RoundSync(RoundSync {
+                task: 2,
+                round: 4,
+                global: vec![1.0, 2.0, -3.5],
+                merges: vec![(1, vec![9]), (5, Vec::new())],
+            }),
+            WireMessage::TaskBegin(TaskBegin {
+                task: 0,
+                global: vec![0.25],
+            }),
+            WireMessage::TaskEnd(TaskEnd {
+                task: 6,
+                global: Vec::new(),
+            }),
+            WireMessage::RunEnd(RunEnd {
+                reason: RunEnd::LEAVE,
+            }),
         ]
+    }
+
+    #[test]
+    fn exemplars_cover_every_kind() {
+        let mut kinds: Vec<MessageKind> = exemplars().iter().map(WireMessage::kind).collect();
+        kinds.sort_by_key(|k| *k as u16);
+        kinds.dedup();
+        assert_eq!(kinds, MessageKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn nested_frames_decode_recursively() {
+        // A RoundStart's model field is itself a sealed frame; decoding the
+        // outer envelope must hand back bytes the codec accepts verbatim.
+        let inner = WireMessage::ModelBroadcast(ModelBroadcast {
+            task: 2,
+            round: 7,
+            model: vec![4.0, -0.125],
+        });
+        let outer = WireMessage::RoundStart(RoundStart {
+            task: 2,
+            round: 7,
+            model: inner.encode(),
+            extra: None,
+            sessions: Vec::new(),
+        });
+        let WireMessage::RoundStart(back) = WireMessage::decode(&outer.encode()).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(WireMessage::decode(&back.model).unwrap(), inner);
     }
 
     #[test]

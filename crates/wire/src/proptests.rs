@@ -15,8 +15,9 @@ use proptest::prelude::*;
 
 use crate::frame::HEADER_LEN;
 use crate::message::{
-    ClientModelUpdate, GlobalPromptBroadcast, MaskedModelUpdate, ModelBroadcast, PromptGroup,
-    PromptUpload, RehearsalMemory, WireMessage, WireSample,
+    ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
+    PromptGroup, PromptUpload, RehearsalMemory, RoundStart, RoundSync, RunEnd, SessionAssignment,
+    SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
 use crate::{WireError, MAGIC};
 
@@ -89,7 +90,7 @@ fn build_message(
             weight: f32::from_bits(wbits),
             masked: f32s(model_bits),
         }),
-        _ => WireMessage::RehearsalMemory(RehearsalMemory {
+        5 => WireMessage::RehearsalMemory(RehearsalMemory {
             client_id: id,
             seed: aux,
             samples: nested
@@ -101,7 +102,73 @@ fn build_message(
                 })
                 .collect(),
         }),
+        6 => WireMessage::Hello(Hello { nonce: id }),
+        7 => WireMessage::Welcome(Welcome {
+            peer_id: id,
+            // Arbitrary ASCII spec derived from the bit pool.
+            spec: model_bits
+                .iter()
+                .map(|b| char::from((b % 26) as u8 + b'a'))
+                .collect(),
+        }),
+        8 => WireMessage::RoundStart(RoundStart {
+            task: id as u32,
+            round: aux as u32,
+            model: raw_bytes(model_bits),
+            extra: if flag == 1 {
+                Some(raw_bytes(&[wbits]))
+            } else {
+                None
+            },
+            sessions: nested
+                .iter()
+                .enumerate()
+                .map(|(i, bits)| SessionAssignment {
+                    client_id: id.wrapping_add(i as u64),
+                    group: (bits.len() % 3) as u8,
+                    seed: aux.wrapping_mul(i as u64 + 1),
+                })
+                .collect(),
+        }),
+        9 => WireMessage::SessionResult(SessionResult {
+            task: id as u32,
+            round: aux as u32,
+            client_id: id,
+            wall_ns: aux,
+            update: raw_bytes(model_bits),
+            merge: if flag == 1 {
+                Some(raw_bytes(&[wbits, wbits]))
+            } else {
+                None
+            },
+        }),
+        10 => WireMessage::RoundSync(RoundSync {
+            task: id as u32,
+            round: aux as u32,
+            global: f32s(model_bits),
+            merges: nested
+                .iter()
+                .enumerate()
+                .map(|(i, bits)| (id.wrapping_add(i as u64), raw_bytes(bits)))
+                .collect(),
+        }),
+        11 => WireMessage::TaskBegin(TaskBegin {
+            task: id as u32,
+            global: f32s(model_bits),
+        }),
+        12 => WireMessage::TaskEnd(TaskEnd {
+            task: id as u32,
+            global: f32s(model_bits),
+        }),
+        _ => WireMessage::RunEnd(RunEnd {
+            reason: (wbits % 3) as u8,
+        }),
     }
+}
+
+/// An opaque byte string (stand-in for a nested frame) from a bit pool.
+fn raw_bytes(bits: &[u32]) -> Vec<u8> {
+    bits.iter().flat_map(|b| b.to_le_bytes()).collect()
 }
 
 /// Bit-exact equality: `PartialEq` on f32 treats NaN != NaN, so compare
@@ -117,7 +184,7 @@ proptest! {
 
     #[test]
     fn every_kind_round_trips_across_random_shapes(
-        kind in 0usize..6,
+        kind in 0usize..14,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -152,7 +219,7 @@ proptest! {
 
     #[test]
     fn corrupting_any_single_byte_yields_a_wire_error(
-        kind in 0usize..6,
+        kind in 0usize..14,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -188,7 +255,7 @@ proptest! {
 
     #[test]
     fn truncating_a_frame_is_always_detected(
-        kind in 0usize..6,
+        kind in 0usize..14,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -209,7 +276,7 @@ proptest! {
 
     #[test]
     fn header_magic_and_length_match_constants(
-        kind in 0usize..6,
+        kind in 0usize..14,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -221,5 +288,57 @@ proptest! {
         let frame = msg.encode();
         prop_assert!(frame.len() >= HEADER_LEN);
         prop_assert!(frame[..4] == MAGIC, "bad magic prefix");
+    }
+}
+
+#[cfg(unix)]
+mod socket {
+    //! Corruption crossing a *real* socket: the transport restores message
+    //! boundaries faithfully, and the codec's CRC — not the transport —
+    //! rejects the damage with a typed error instead of a crash or a
+    //! silently wrong decode. Small case count: each case pays for a
+    //! socketpair.
+
+    use super::*;
+    use crate::link::Link;
+    use crate::net::NetLink;
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn corrupt_frame_over_unix_socket_is_detected(
+            kind in 0usize..14,
+            id in 0u64..=u64::MAX,
+            aux in 0u64..=u64::MAX,
+            wbits in 0u32..=u32::MAX,
+            model_bits in prop::collection::vec(0u32..=u32::MAX, 0..16),
+            nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..8), 0..3),
+            flag in 0usize..2,
+            pos_seed in 0usize..=usize::MAX,
+            flip in 1u8..=255,
+        ) {
+            let (a, b) = UnixStream::pair().expect("socketpair");
+            let tx = NetLink::from_unix(a, 1).expect("tx link");
+            let rx = NetLink::from_unix(b, 2).expect("rx link");
+            let msg = build_message(kind, id, aux, wbits, &model_bits, &nested, flag);
+            let clean = msg.encode();
+            let mut corrupt = clean.clone();
+            let pos = pos_seed % corrupt.len();
+            corrupt[pos] ^= flip;
+            tx.send(&corrupt).expect("send over socket");
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let received = rx.recv_deadline(deadline).expect("frame arrives intact");
+            prop_assert_eq!(&received, &corrupt, "transport altered the bytes");
+            match WireMessage::decode(&received) {
+                Err(_) => {}
+                Ok(back) => {
+                    prop_assert_eq!(back.encode(), clean, "corrupt frame decoded silently");
+                    prop_assert!(false, "corrupt frame decoded at byte {}", pos);
+                }
+            }
+        }
     }
 }

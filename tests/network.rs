@@ -1,0 +1,306 @@
+//! Networked federation equivalence: a server driving real client
+//! *processes* over TCP and Unix sockets must be byte-identical, in every
+//! semantic `RunResult` field, to the same-seed in-process loopback run.
+//!
+//! Client processes are spawned by re-executing this test binary: the
+//! `net_client_child` test below is a no-op under a normal `cargo test`,
+//! but becomes a federation client when `REFIL_NET_CHILD_ADDR` is set.
+//! The straggler tests pin the deadline path: a client that drops mid-run
+//! (or trains slower than the round deadline) strands its sessions as
+//! `clients_late`, and the run still completes deterministically.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use refil::continual::{Finetune, MethodConfig};
+use refil::core::{RefFiL, RefFiLConfig};
+use refil::data::{DatasetSpec, DomainSpec, FdilDataset};
+use refil::fed::{
+    client_handshake, connect, run_client, ClientOptions, Endpoint, FdilRunner, FdilStrategy,
+    IncrementConfig, NetListener, RunConfig, RunResult, Telemetry,
+};
+use refil::nn::models::{BackboneConfig, ExtractorKind};
+
+fn dataset() -> FdilDataset {
+    DatasetSpec {
+        name: "net".into(),
+        classes: 3,
+        feature_dim: 8,
+        proto_scale: 2.5,
+        within_std: 0.4,
+        test_fraction: 0.3,
+        signature_dim: 2,
+        signature_scale: 0.6,
+        domains: vec![
+            DomainSpec::new("d0", 150, 0.15, 0.05),
+            DomainSpec::new("d1", 150, 0.3, 0.4).with_collision(1.0),
+        ],
+    }
+    .generate(11)
+}
+
+fn method_cfg() -> MethodConfig {
+    MethodConfig {
+        backbone: BackboneConfig {
+            in_dim: 8,
+            extractor_width: 16,
+            extractor_depth: 1,
+            n_patches: 2,
+            token_dim: 8,
+            heads: 2,
+            blocks: 1,
+            classes: 3,
+            extractor: ExtractorKind::ResidualMlp,
+        },
+        lr: 0.05,
+        prompt_len: 2,
+        max_tasks: 2,
+        ..MethodConfig::default()
+    }
+}
+
+fn build_strategy(name: &str) -> Box<dyn FdilStrategy> {
+    match name {
+        "reffil" => Box::new(RefFiL::new(RefFiLConfig::new(method_cfg()))),
+        "finetune" => Box::new(Finetune::new(method_cfg())),
+        other => panic!("unknown strategy {other:?}"),
+    }
+}
+
+fn run_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        increment: IncrementConfig {
+            initial_clients: 4,
+            select_per_round: 3,
+            increment_per_task: 1,
+            transition_fraction: 0.8,
+            rounds_per_task: 3,
+        },
+        local_epochs: 1,
+        batch_size: 16,
+        quantity_sigma: 0.5,
+        eval_batch: 128,
+        dropout_prob: 0.0,
+        seed,
+        net: Default::default(),
+    }
+}
+
+/// Spawns a client process by re-executing this test binary with the
+/// child-mode environment set. `extra` adds straggler knobs.
+fn spawn_client(addr: &str, method: &str, seed: u64, extra: &[(&str, String)]) -> Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.args(["net_client_child", "--exact"])
+        .env("REFIL_NET_CHILD_ADDR", addr)
+        .env("REFIL_NET_CHILD_METHOD", method)
+        .env("REFIL_NET_CHILD_SEED", seed.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn client process")
+}
+
+/// Serves one full run on `endpoint` with `clients` freshly spawned client
+/// processes, waits for them to exit, and returns the server's result.
+fn serve_run(
+    endpoint: &Endpoint,
+    method: &str,
+    mut cfg: RunConfig,
+    clients: usize,
+    extra: &[(&str, String)],
+    require_client_success: bool,
+) -> RunResult {
+    let ds = dataset();
+    cfg.net.min_peers = clients;
+    let listener = NetListener::bind(endpoint).expect("bind");
+    let addr = listener.local_endpoint().to_string();
+    let children: Vec<Child> = (0..clients)
+        .map(|_| spawn_client(&addr, method, cfg.seed, extra))
+        .collect();
+    let mut strat = build_strategy(method);
+    let result = FdilRunner::new(cfg).serve(&ds, strat.as_mut(), &listener, "net-test");
+    for mut child in children {
+        let status = child.wait().expect("wait for client");
+        if require_client_success {
+            assert!(status.success(), "client process failed: {status}");
+        }
+    }
+    result
+}
+
+fn assert_semantically_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.final_global, b.final_global, "final_global diverged");
+    assert_eq!(a.domain_acc, b.domain_acc, "domain_acc diverged");
+    assert_eq!(a.traffic, b.traffic, "traffic stats diverged");
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (x, y) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(x.wire_bytes, y.wire_bytes, "per-round wire bytes diverged");
+        assert_eq!(x.clients_trained, y.clients_trained);
+        assert_eq!(x.clients_dropped, y.clients_dropped);
+        assert_eq!(x.clients_late, y.clients_late);
+    }
+}
+
+#[test]
+fn reffil_over_tcp_matches_loopback_across_seeds() {
+    let ds = dataset();
+    for seed in [13u64, 29] {
+        let mut local_strat = build_strategy("reffil");
+        let local = FdilRunner::new(run_cfg(seed)).run(&ds, local_strat.as_mut());
+        let served = serve_run(
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+            "reffil",
+            run_cfg(seed),
+            2,
+            &[],
+            true,
+        );
+        assert_semantically_identical(&local, &served);
+        assert!(
+            served.rounds.iter().all(|r| r.clients_late == 0),
+            "healthy run reported late sessions at seed {seed}"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn finetune_over_unix_socket_matches_loopback_across_seeds() {
+    let ds = dataset();
+    let dir = std::env::temp_dir().join(format!("refil-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+    for seed in [13u64, 29] {
+        let sock = dir.join(format!("run-{seed}.sock"));
+        let mut local_strat = build_strategy("finetune");
+        let local = FdilRunner::new(run_cfg(seed)).run(&ds, local_strat.as_mut());
+        let served = serve_run(
+            &Endpoint::Unix(sock),
+            "finetune",
+            run_cfg(seed),
+            2,
+            &[],
+            true,
+        );
+        assert_semantically_identical(&local, &served);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn straggler_dropout_completes_deterministically() {
+    // Both clients crash (drop the connection without notice) on their
+    // third RoundStart. Every round from then on completes all-late via
+    // the deadline/disconnect path — and because session results depend
+    // only on the replicated state, not on which peer trains them, two
+    // such runs are byte-identical in every semantic field.
+    let abort = [("REFIL_NET_CHILD_ABORT", "3".to_string())];
+    let run = || {
+        let mut cfg = run_cfg(13);
+        cfg.net.round_deadline_ms = 2_000;
+        cfg.net.join_grace_ms = 100;
+        serve_run(
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+            "finetune",
+            cfg,
+            2,
+            &abort,
+            true,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_semantically_identical(&a, &b);
+
+    // The run completed every planned round and task despite losing every
+    // peer mid-run...
+    assert_eq!(a.traffic.rounds, 6);
+    assert_eq!(a.domain_acc.len(), 2);
+    // ...with the stranded sessions recorded as late, not lost.
+    let late: u64 = a.rounds.iter().map(|r| r.clients_late).sum();
+    let trained: u64 = a.rounds.iter().map(|r| r.clients_trained).sum();
+    assert!(late > 0, "aborting both clients must strand sessions");
+    assert!(trained > 0, "rounds before the abort must train normally");
+    // Once both peers are gone nothing mixes trained and late sessions:
+    // each round is either fully trained (before the crash) or fully late.
+    assert!(a
+        .rounds
+        .iter()
+        .all(|r| r.clients_trained == 0 || r.clients_late == 0));
+}
+
+#[test]
+fn slow_client_misses_deadline_but_run_completes() {
+    // A single client that sleeps longer than the round deadline: its
+    // results always arrive after the server sealed the round (and are
+    // discarded as stale), so every session is late — but the server
+    // never hangs and still walks the full task schedule.
+    let delay = [("REFIL_NET_CHILD_DELAY", "700".to_string())];
+    let mut cfg = run_cfg(13);
+    cfg.increment.rounds_per_task = 2;
+    cfg.net.round_deadline_ms = 150;
+    cfg.net.join_grace_ms = 100;
+    let started = Instant::now();
+    // The slow client may die on a send into the closed socket after the
+    // server finishes; its exit status is not part of the contract.
+    let result = serve_run(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        "finetune",
+        cfg,
+        1,
+        &delay,
+        false,
+    );
+    assert_eq!(result.traffic.rounds, 4, "run must complete all rounds");
+    assert_eq!(result.domain_acc.len(), 2);
+    let late: u64 = result.rounds.iter().map(|r| r.clients_late).sum();
+    let planned: u64 = result
+        .rounds
+        .iter()
+        .map(|r| r.clients_trained + r.clients_late)
+        .sum();
+    assert_eq!(late, planned, "every session should miss the deadline");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "deadline path must not hang"
+    );
+}
+
+/// Child-mode entry point: a no-op test normally, a federation client when
+/// re-executed by the tests above with `REFIL_NET_CHILD_ADDR` set.
+#[test]
+fn net_client_child() {
+    let Ok(addr) = std::env::var("REFIL_NET_CHILD_ADDR") else {
+        return;
+    };
+    let method = std::env::var("REFIL_NET_CHILD_METHOD").expect("child method");
+    let seed: u64 = std::env::var("REFIL_NET_CHILD_SEED")
+        .expect("child seed")
+        .parse()
+        .expect("child seed parses");
+    let mut opts = ClientOptions::default();
+    if let Ok(n) = std::env::var("REFIL_NET_CHILD_ABORT") {
+        opts.abort_after_round_starts = Some(n.parse().expect("abort count"));
+    }
+    if let Ok(ms) = std::env::var("REFIL_NET_CHILD_DELAY") {
+        opts.train_delay_ms = ms.parse().expect("delay ms");
+    }
+    let endpoint = Endpoint::parse(&addr).expect("child address");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let link = connect(&endpoint, deadline).expect("child connect");
+    let (peer_id, _spec) = client_handshake(&link, seed, deadline).expect("child handshake");
+    let ds = dataset();
+    let mut strat = build_strategy(&method);
+    run_client(
+        &link,
+        peer_id,
+        &ds,
+        strat.as_mut(),
+        &run_cfg(seed),
+        &opts,
+        &Telemetry::disabled(),
+    )
+    .expect("child replica loop");
+}

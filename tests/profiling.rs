@@ -65,6 +65,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         eval_batch: 64,
         dropout_prob: 0.0,
         seed,
+        net: Default::default(),
     }
 }
 
@@ -199,12 +200,13 @@ fn chrome_trace_is_valid_json_with_strictly_nested_tracks() {
 /// The thread-count-independent projection of a round report.
 fn semantic_projection(r: &RoundReport) -> String {
     format!(
-        "task={} round={} wire={:?} trained={} dropped={} sessions={:?} eval={:?}",
+        "task={} round={} wire={:?} trained={} dropped={} late={} sessions={:?} eval={:?}",
         r.task,
         r.round,
         r.wire_bytes,
         r.clients_trained,
         r.clients_dropped,
+        r.clients_late,
         r.sessions.iter().map(|s| s.client_id).collect::<Vec<_>>(),
         r.eval_domain_acc
     )
@@ -278,6 +280,7 @@ fn round_report_json_pins_field_presence() {
         "wire_bytes",
         "clients_trained",
         "clients_dropped",
+        "clients_late",
         "eval_domain_acc",
         "scratch",
         "reserved_bytes",

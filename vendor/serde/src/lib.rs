@@ -515,6 +515,19 @@ pub fn struct_field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T
     }
 }
 
+/// Like [`struct_field`], but a missing key yields `T::default()` instead of
+/// an error — the deserialization half of `#[serde(default)]`, used for
+/// fields added after data was serialized.
+pub fn struct_field_or_default<T: Deserialize + Default>(
+    v: &Value,
+    name: &str,
+) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => T::de(field),
+        None => Ok(T::default()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

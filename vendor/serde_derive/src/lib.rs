@@ -6,7 +6,10 @@
 //! and emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
 //! traits. Supported shapes — the full set used in this workspace:
 //!
-//! * structs with named fields, honouring `#[serde(skip)]`,
+//! * structs with named fields, honouring `#[serde(skip)]` (omitted when
+//!   serializing, defaulted when deserializing) and `#[serde(default)]`
+//!   (serialized normally, defaulted when the key is absent — the
+//!   backward-compatibility knob for newly added fields),
 //! * tuple structs (newtype structs serialize transparently),
 //! * unit structs,
 //! * enums with unit, tuple/newtype, and struct variants, in serde's
@@ -37,6 +40,16 @@ enum Kind {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: deserialize to `Default::default()` when the
+    /// key is missing instead of erroring.
+    default: bool,
+}
+
+/// Field-level serde attributes the vendored derive understands.
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -140,11 +153,12 @@ impl Cursor {
         }
     }
 
-    /// Consumes leading `#[...]` attributes, returning whether any of them
-    /// was `#[serde(skip)]`. Any other `#[serde(...)]` content is an error:
-    /// the vendored derive must not silently change semantics.
-    fn eat_attributes(&mut self) -> Result<bool, String> {
-        let mut skip = false;
+    /// Consumes leading `#[...]` attributes, returning which supported
+    /// `#[serde(...)]` markers were present. Any other `#[serde(...)]`
+    /// content is an error: the vendored derive must not silently change
+    /// semantics.
+    fn eat_attributes(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
         while self.eat_punct('#') {
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
@@ -159,13 +173,15 @@ impl Cursor {
                                 }
                                 _ => String::new(),
                             };
-                            if args.trim() == "skip" {
-                                skip = true;
-                            } else {
-                                return Err(format!(
-                                    "unsupported serde attribute `#[serde({args})]` \
-                                     (vendored derive supports only `skip`)"
-                                ));
+                            match args.trim() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                other => {
+                                    return Err(format!(
+                                        "unsupported serde attribute `#[serde({other})]` \
+                                         (vendored derive supports only `skip` and `default`)"
+                                    ));
+                                }
                             }
                         }
                     }
@@ -173,7 +189,7 @@ impl Cursor {
                 other => return Err(format!("malformed attribute, found {other:?}")),
             }
         }
-        Ok(skip)
+        Ok(attrs)
     }
 
     /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -276,7 +292,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     loop {
-        let skip = c.eat_attributes()?;
+        let attrs = c.eat_attributes()?;
         if c.at_end() {
             break;
         }
@@ -286,7 +302,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             return Err(format!("expected `:` after field `{name}`"));
         }
         c.skip_type();
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
         if !c.eat_punct(',') {
             break;
         }
@@ -445,6 +465,11 @@ fn gen_named_constructor(path: &str, ty_label: &str, source: &str, fields: &[Fie
             inits.push_str(&format!(
                 "{}: ::core::default::Default::default(),\n",
                 f.name
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: ::serde::struct_field_or_default({source}, {n:?})?,\n",
+                n = f.name
             ));
         } else {
             inits.push_str(&format!(
