@@ -7,17 +7,20 @@
 //! bench_gate BASELINE CANDIDATE [--tolerance PCT] [--force]
 //! ```
 //!
-//! The diff mode compares every shared `*_ns` median and exits 1 if any
-//! candidate median is more than `--tolerance` percent (default 10) slower
-//! than its baseline. Reports from different hosts or thread budgets are
-//! refused (exit 2) unless `--force` is given. `--check` validates each
-//! file parses, carries a complete `meta` header, and holds at least one
-//! positive metric — the per-PR CI guard that committed BENCH files stay
+//! The diff mode compares every shared `*_ns` median plus every shared
+//! ratio key (`speedup`, `*_speedup`, `*_ratio` — e.g.
+//! `fed/eval/parallel_vs_serial`) and exits 1 if any candidate median is
+//! more than `--tolerance` percent (default 10) slower than its baseline,
+//! or any candidate ratio has *dropped* by more than the same tolerance.
+//! Reports from different hosts or thread budgets are refused (exit 2)
+//! unless `--force` is given. `--check` validates each file parses,
+//! carries a complete `meta` header, and holds at least one positive
+//! metric — the per-PR CI guard that committed BENCH files stay
 //! machine-readable.
 
 use std::process::ExitCode;
 
-use refil_bench::gate::{check_report, compare, GateError};
+use refil_bench::gate::{check_report, compare, GateError, MetricKind};
 
 const USAGE: &str = "usage:
   bench_gate --check FILE...
@@ -70,14 +73,26 @@ fn run_diff(baseline: &str, candidate: &str, tolerance_pct: f64, force: bool) ->
     };
     println!(
         "{:<56} {:>12} {:>12} {:>8}",
-        "metric", "baseline ns", "candidate ns", "delta"
+        "metric", "baseline", "candidate", "delta"
     );
     for d in &cmp.deltas {
+        // Time metrics print raw nanoseconds; ratios print as `1.234x`.
+        // `delta` is always "positive = worse" regardless of kind.
+        let (baseline, candidate) = match d.kind {
+            MetricKind::TimeNs => (
+                format!("{}", d.baseline as u64),
+                format!("{}", d.candidate as u64),
+            ),
+            MetricKind::Ratio => (
+                format!("{:.3}x", d.baseline),
+                format!("{:.3}x", d.candidate),
+            ),
+        };
         println!(
             "{:<56} {:>12} {:>12} {:>+7.1}%{}",
             d.name,
-            d.baseline_ns,
-            d.candidate_ns,
+            baseline,
+            candidate,
             d.delta * 100.0,
             if d.regressed { "  << REGRESSION" } else { "" }
         );

@@ -19,6 +19,7 @@ use refil_continual::{Finetune, MethodConfig};
 use refil_data::{DatasetSpec, DomainSpec};
 use refil_fed::{FdilRunner, IncrementConfig, RunConfig};
 use refil_nn::gemm::{gemm, gemm_nt, gemm_ref, gemm_ref_branchy, gemm_tn};
+use refil_nn::gemm_fast::{gelu_fast, gemm_fast};
 use refil_nn::models::BackboneConfig;
 use refil_nn::{Graph, Params, Tensor};
 
@@ -165,6 +166,7 @@ fn round_workload(threads: usize, conv: bool) {
         eval_batch: 128,
         dropout_prob: 0.0,
         seed: 13,
+        threads: 0,
         net: Default::default(),
     };
     let mut strat = Finetune::new(method);
@@ -339,6 +341,76 @@ fn main() {
             name: "nn/gemm_tn".into(),
             shape: label.into(),
             median_ns: tn,
+        });
+
+        // The `KernelPolicy::Fast` FMA/SIMD microkernel at the same shape,
+        // dueled against the bit-exact tiled kernel it replaces when the
+        // policy is flipped.
+        let mut out_fast = vec![0.0f32; m * n];
+        let (fast, tiled_again) = duel_ns(
+            reps,
+            || {
+                out_fast.fill(0.0);
+                gemm_fast(a.data(), b.data(), &mut out_fast, m, k, n);
+                black_box(out_fast[0]);
+            },
+            || {
+                out.fill(0.0);
+                gemm(a.data(), b.data(), &mut out, m, k, n);
+                black_box(out[0]);
+            },
+        );
+        kernels.push(KernelRecord {
+            name: "nn/gemm_fast".into(),
+            shape: label.into(),
+            median_ns: fast,
+        });
+        speedups.push(Speedup {
+            name: format!("nn/gemm_fast/{label}"),
+            baseline: "bit-exact tiled kernel".into(),
+            speedup: tiled_again.min(tiled) as f64 / fast as f64,
+        });
+    }
+
+    // The fast rational-tanh GELU vs the libm forward it replaces under
+    // `KernelPolicy::Fast` — one backbone-realistic activation width.
+    {
+        let len = 160 * 32;
+        let src = Tensor::randn(&[len], 1.0, &mut rng);
+        let mut out_fast: Vec<f32> = Vec::with_capacity(len);
+        let mut out_exact: Vec<f32> = Vec::with_capacity(len);
+        let (fast, libm) = duel_ns(
+            reps,
+            || {
+                out_fast.clear();
+                gelu_fast(src.data(), &mut out_fast);
+                black_box(out_fast[0]);
+            },
+            || {
+                out_exact.clear();
+                const C: f32 = 0.797_884_6;
+                out_exact.extend(
+                    src.data()
+                        .iter()
+                        .map(|&x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())),
+                );
+                black_box(out_exact[0]);
+            },
+        );
+        kernels.push(KernelRecord {
+            name: "nn/gelu_fast".into(),
+            shape: format!("{len}"),
+            median_ns: fast,
+        });
+        kernels.push(KernelRecord {
+            name: "nn/gelu_libm".into(),
+            shape: format!("{len}"),
+            median_ns: libm,
+        });
+        speedups.push(Speedup {
+            name: "nn/gelu_fast".into(),
+            baseline: "libm tanhf gelu forward".into(),
+            speedup: libm as f64 / fast as f64,
         });
     }
 

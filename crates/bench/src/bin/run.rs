@@ -24,7 +24,7 @@
 //! | `--min-peers N`          | listen | clients to wait for before round one (default 1) |
 //! | `--round-deadline-ms N`  | listen | per-round straggler deadline (default 30000) |
 //! | `--join-grace-ms N`      | listen | wait for re-joins when all peers leave (default 10000) |
-//! | `--threads N`            | all | worker threads (0 = all cores; default from `REFIL_THREADS`) |
+//! | `--threads N`            | all | worker pool size (0 = auto: all cores; N clamps to the core count; default from `REFIL_THREADS`) |
 //! | `--json FILE`            | local, listen | write scores + accuracy matrix as JSON |
 //! | `--trace FILE`           | all | stream telemetry events as JSONL |
 //! | `--trace-chrome FILE`    | all | write a Chrome trace-event file (Perfetto) |

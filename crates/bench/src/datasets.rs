@@ -119,6 +119,7 @@ impl DatasetChoice {
             eval_batch: 256,
             dropout_prob: 0.0,
             seed,
+            threads: 0,
             net: refil_fed::NetConfig::default(),
         }
     }

@@ -3,11 +3,15 @@
 //!
 //! Reports are treated generically: any object carrying a `name` (plus
 //! optional `shape` / `threads` discriminators) contributes one metric per
-//! `*_ns` field, so `BENCH_eval.json` records, `BENCH_kernels.json` kernel
-//! rows, and its end-to-end naive/tiled pairs all gate without
-//! format-specific code. Comparability is enforced through the
-//! [`BenchMeta`] header — same hostname and thread budget — unless the
-//! caller forces the diff.
+//! `*_ns` field and one per ratio field (`speedup`, `*_speedup`,
+//! `*_ratio`), so `BENCH_eval.json` records, its `speedups` rows (e.g.
+//! `fed/eval/parallel_vs_serial`), `BENCH_kernels.json` kernel rows, and
+//! its end-to-end naive/tiled pairs all gate without format-specific code.
+//! Time metrics regress when the candidate gets *slower*; ratio metrics
+//! regress when the candidate ratio *drops* — a shrinking
+//! `parallel_vs_serial` fails the gate even if every raw median held
+//! steady. Comparability is enforced through the [`BenchMeta`] header —
+//! same hostname and thread budget — unless the caller forces the diff.
 
 use std::collections::BTreeMap;
 
@@ -36,17 +40,30 @@ impl std::fmt::Display for GateError {
 
 impl std::error::Error for GateError {}
 
+/// What a gated metric measures, which fixes its direction of regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A `*_ns` median — bigger is worse.
+    TimeNs,
+    /// A `speedup` / `*_speedup` / `*_ratio` field — smaller is worse.
+    Ratio,
+}
+
 /// One metric's before/after in a gate comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
-    /// Metric key, e.g. `fed/eval/tape_free_serial/median_ns`.
+    /// Metric key, e.g. `fed/eval/tape_free_serial/median_ns` or
+    /// `fed/eval/parallel_vs_serial/speedup`.
     pub name: String,
-    /// Baseline median nanoseconds.
-    pub baseline_ns: u64,
-    /// Candidate median nanoseconds.
-    pub candidate_ns: u64,
-    /// Signed relative change: `(candidate - baseline) / baseline`.
-    /// Positive = slower.
+    /// Whether this is a time median or a ratio.
+    pub kind: MetricKind,
+    /// Baseline value (nanoseconds for [`MetricKind::TimeNs`], a unitless
+    /// ratio for [`MetricKind::Ratio`]).
+    pub baseline: f64,
+    /// Candidate value, same units as `baseline`.
+    pub candidate: f64,
+    /// Signed relative worsening, positive = regression: relative slowdown
+    /// for time metrics, relative ratio loss for ratio metrics.
     pub delta: f64,
     /// True when `delta` exceeds the tolerance.
     pub regressed: bool,
@@ -103,15 +120,31 @@ fn meta_of(label: &str, doc: &Value) -> Result<BenchMeta, GateError> {
 /// different thread counts stay distinct.
 pub fn extract_metrics(doc: &Value) -> BTreeMap<String, u64> {
     let mut metrics = BTreeMap::new();
-    walk(doc, &mut metrics);
+    let mut ratios = BTreeMap::new();
+    walk(doc, &mut metrics, &mut ratios);
     metrics
 }
 
-fn walk(v: &Value, metrics: &mut BTreeMap<String, u64>) {
+/// Extracts every `<identity>/<ratio field>` metric from a report, where a
+/// ratio field is named `speedup` or ends in `_speedup` / `_ratio`. These
+/// gate in the opposite direction from `*_ns` medians: a *drop* in the
+/// candidate ratio is the regression.
+pub fn extract_ratios(doc: &Value) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let mut ratios = BTreeMap::new();
+    walk(doc, &mut metrics, &mut ratios);
+    ratios
+}
+
+fn is_ratio_key(key: &str) -> bool {
+    key == "speedup" || key.ends_with("_speedup") || key.ends_with("_ratio")
+}
+
+fn walk(v: &Value, metrics: &mut BTreeMap<String, u64>, ratios: &mut BTreeMap<String, f64>) {
     match v {
         Value::Seq(items) => {
             for item in items {
-                walk(item, metrics);
+                walk(item, metrics, ratios);
             }
         }
         Value::Map(entries) => {
@@ -130,12 +163,16 @@ fn walk(v: &Value, metrics: &mut BTreeMap<String, u64>) {
                         if let Some(ns) = val.as_u64() {
                             metrics.insert(format!("{identity}/{key}"), ns);
                         }
+                    } else if is_ratio_key(key) {
+                        if let Some(r) = val.as_f64() {
+                            ratios.insert(format!("{identity}/{key}"), r);
+                        }
                     }
                 }
             }
             for (key, val) in entries {
                 if key != "meta" {
-                    walk(val, metrics);
+                    walk(val, metrics, ratios);
                 }
             }
         }
@@ -144,7 +181,9 @@ fn walk(v: &Value, metrics: &mut BTreeMap<String, u64>) {
 }
 
 /// Validates one report for gating: parses, carries a complete [`BenchMeta`]
-/// header, and yields at least one strictly positive `*_ns` metric.
+/// header, and yields at least one strictly positive `*_ns` metric. Ratio
+/// metrics, when present, must be finite and strictly positive; they count
+/// toward the returned metric total.
 pub fn check_report(label: &str, text: &str) -> Result<usize, GateError> {
     let doc = parse(label, text)?;
     meta_of(label, &doc)?;
@@ -161,7 +200,15 @@ pub fn check_report(label: &str, text: &str) -> Result<usize, GateError> {
             )));
         }
     }
-    Ok(metrics.len())
+    let ratios = extract_ratios(&doc);
+    for (name, r) in &ratios {
+        if !r.is_finite() || *r <= 0.0 {
+            return Err(GateError::Invalid(format!(
+                "{label}: ratio metric {name} is not a finite positive number"
+            )));
+        }
+    }
+    Ok(metrics.len() + ratios.len())
 }
 
 /// Diffs `candidate` against `baseline`. `tolerance` is the allowed relative
@@ -200,8 +247,9 @@ pub fn compare(
                 };
                 deltas.push(MetricDelta {
                     name: name.clone(),
-                    baseline_ns: b,
-                    candidate_ns: c,
+                    kind: MetricKind::TimeNs,
+                    baseline: b as f64,
+                    candidate: c as f64,
                     delta,
                     regressed: delta > tolerance,
                 });
@@ -214,6 +262,33 @@ pub fn compare(
             unmatched.push(format!("+{name}"));
         }
     }
+    let base_ratios = extract_ratios(&baseline);
+    let cand_ratios = extract_ratios(&candidate);
+    for (name, &b) in &base_ratios {
+        match cand_ratios.get(name) {
+            Some(&c) => {
+                // Ratios regress downward: the delta is the relative loss of
+                // speedup, so the same `delta > tolerance` test applies.
+                let delta = if b == 0.0 { 0.0 } else { (b - c) / b };
+                deltas.push(MetricDelta {
+                    name: name.clone(),
+                    kind: MetricKind::Ratio,
+                    baseline: b,
+                    candidate: c,
+                    delta,
+                    regressed: delta > tolerance,
+                });
+            }
+            None => unmatched.push(format!("-{name}")),
+        }
+    }
+    for name in cand_ratios.keys() {
+        if !base_ratios.contains_key(name) {
+            unmatched.push(format!("+{name}"));
+        }
+    }
+    deltas.sort_by(|a, b| a.name.cmp(&b.name));
+    unmatched.sort();
     Ok(Comparison { deltas, unmatched })
 }
 
@@ -279,9 +354,10 @@ mod tests {
         let cand = report("h", 4, &[("new", 100), ("same", 50)]);
         let cmp = compare(&base, &cand, 0.1, false).expect("comparable");
         assert_eq!(cmp.deltas.len(), 1);
+        // `unmatched` is reported in sorted order.
         assert_eq!(
             cmp.unmatched,
-            vec!["-old/median_ns".to_string(), "+new/median_ns".to_string()]
+            vec!["+new/median_ns".to_string(), "-old/median_ns".to_string()]
         );
     }
 
@@ -302,6 +378,64 @@ mod tests {
         ));
         let ok = report("h", 4, &[("a", 10)]);
         assert_eq!(check_report("x", &ok).expect("valid"), 1);
+    }
+
+    fn ratio_report(host: &str, pairs: &[(&str, u64, f64)]) -> String {
+        let records: Vec<String> = pairs
+            .iter()
+            .map(|(name, ns, sp)| {
+                format!("{{\"name\":\"{name}\",\"median_ns\":{ns},\"speedup\":{sp}}}")
+            })
+            .collect();
+        format!(
+            "{{\"meta\":{{\"git_sha\":\"abc\",\"hostname\":\"{host}\",\"threads\":1}},\
+             \"records\":[{}]}}",
+            records.join(",")
+        )
+    }
+
+    #[test]
+    fn ratio_drop_beyond_tolerance_regresses() {
+        let base = ratio_report("h", &[("par_vs_ser", 100, 2.0)]);
+        let cand = ratio_report("h", &[("par_vs_ser", 100, 1.6)]);
+        let cmp = compare(&base, &cand, 0.10, false).expect("comparable");
+        let regressed: Vec<&str> = cmp.regressions().map(|d| d.name.as_str()).collect();
+        assert_eq!(regressed, vec!["par_vs_ser/speedup"]);
+        let d = cmp
+            .deltas
+            .iter()
+            .find(|d| d.kind == MetricKind::Ratio)
+            .expect("ratio delta");
+        assert!((d.delta - 0.20).abs() < 1e-9, "2.0 -> 1.6 is a 20% loss");
+    }
+
+    #[test]
+    fn ratio_gain_never_regresses_even_at_zero_tolerance() {
+        let base = ratio_report("h", &[("par_vs_ser", 100, 1.5)]);
+        let cand = ratio_report("h", &[("par_vs_ser", 100, 2.5)]);
+        let cmp = compare(&base, &cand, 0.0, false).expect("comparable");
+        assert_eq!(cmp.regressions().count(), 0);
+        assert_eq!(cmp.deltas.len(), 2, "one ns metric + one ratio metric");
+    }
+
+    #[test]
+    fn check_counts_ratios_and_rejects_nonpositive_ones() {
+        let ok = ratio_report("h", &[("a", 10, 1.5)]);
+        assert_eq!(check_report("x", &ok).expect("valid"), 2);
+        let bad = ratio_report("h", &[("a", 10, 0.0)]);
+        assert!(matches!(
+            check_report("x", &bad),
+            Err(GateError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn ratio_keys_match_speedup_and_suffixes_only() {
+        assert!(is_ratio_key("speedup"));
+        assert!(is_ratio_key("fill_speedup"));
+        assert!(is_ratio_key("hit_ratio"));
+        assert!(!is_ratio_key("speedup_note"));
+        assert!(!is_ratio_key("median_ns"));
     }
 
     #[test]

@@ -64,5 +64,7 @@ pub fn tiny_run_config() -> RunConfig {
         eval_batch: 128,
         dropout_prob: 0.0,
         seed: 13,
+        threads: 0,
+        net: Default::default(),
     }
 }

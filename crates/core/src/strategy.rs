@@ -700,6 +700,8 @@ mod tests {
             eval_batch: 128,
             dropout_prob: 0.0,
             seed: 13,
+            threads: 0,
+            net: Default::default(),
         }
     }
 

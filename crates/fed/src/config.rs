@@ -30,6 +30,15 @@ pub struct RunConfig {
     pub dropout_prob: f32,
     /// Master seed for the run.
     pub seed: u64,
+    /// Worker threads for client fan-out and eval sweeps. `0` (the default,
+    /// and what pre-existing serialized configs decode to) defers to the
+    /// runner's `REFIL_THREADS` environment default; any other value is
+    /// taken as an explicit request. [`RunConfigBuilder::threads`] resolves
+    /// an explicit "auto" (`threads(0)`) to the machine's available
+    /// parallelism at build time. Thread count never changes results, only
+    /// wall time, so this field is inert for determinism.
+    #[serde(default)]
+    pub threads: usize,
     /// Networked-server options; inert on the in-process paths, so adding
     /// (or changing) them cannot perturb a loopback or direct run.
     #[serde(default)]
@@ -74,6 +83,7 @@ impl Default for RunConfig {
             eval_batch: 256,
             dropout_prob: 0.0,
             seed: 0,
+            threads: 0,
             net: NetConfig::default(),
         }
     }
@@ -240,6 +250,21 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count. `0` means "auto": it resolves to the
+    /// machine's available parallelism right here, so the built config
+    /// carries a concrete count (the runner additionally clamps to
+    /// available cores at dispatch time — oversubscription never helps).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Sets all networked-server options at once.
     pub fn net(mut self, net: NetConfig) -> Self {
         self.cfg.net = net;
@@ -313,6 +338,37 @@ mod tests {
         assert_eq!(cfg.eval_batch, 32);
         assert!((cfg.dropout_prob - 0.25).abs() < f32::EPSILON);
         assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn builder_resolves_auto_threads_to_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let auto = RunConfig::builder().threads(0).build().expect("valid");
+        assert_eq!(auto.threads, cores, "threads(0) must mean all cores");
+        let explicit = RunConfig::builder().threads(3).build().expect("valid");
+        assert_eq!(explicit.threads, 3);
+        // Unset stays 0: the runner then falls back to REFIL_THREADS.
+        assert_eq!(RunConfig::default().threads, 0);
+    }
+
+    #[test]
+    fn old_configs_without_threads_field_deserialize_to_env_default() {
+        let json = serde_json::to_string(&RunConfig::default()).expect("serialize");
+        let stripped = {
+            let v = serde_json::parse_value(&json).unwrap();
+            let serde_json::Value::Map(entries) = v else {
+                panic!("config did not serialize to a map");
+            };
+            let without: Vec<_> = entries
+                .into_iter()
+                .filter(|(k, _)| k != "threads")
+                .collect();
+            serde_json::to_string(&serde_json::Value::Map(without)).unwrap()
+        };
+        let cfg: RunConfig = serde_json::from_str(&stripped).expect("deserialize sans threads");
+        assert_eq!(cfg.threads, 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ mod aggregate;
 mod config;
 mod increment;
 mod net;
+mod pool;
 mod runner;
 pub mod secure;
 mod traffic;

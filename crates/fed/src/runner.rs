@@ -42,7 +42,7 @@
 //! loopback run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,8 +51,10 @@ use serde::{Deserialize, Serialize};
 use refil_data::{partition_quantity_shift, FdilDataset, QuantityShift, Sample};
 use refil_nn::Tensor;
 use refil_telemetry::{
-    ArenaStats, PoolStats, RoundReport, SessionStat, Telemetry, TelemetrySummary,
+    ArenaStats, Lane, PoolStats, RoundReport, SessionStat, Telemetry, TelemetrySummary,
 };
+
+use crate::pool::WorkerPool;
 use refil_wire::{
     ClientModelUpdate as WireClientModelUpdate, Link, Listener, Loopback, ModelBroadcast,
     SessionAssignment, WireMessage,
@@ -569,23 +571,52 @@ fn threads_from_env() -> usize {
 /// measured traffic via `WireMessage::encoded_len`),
 /// [`FdilRunner::run_with_links`] plugs in custom links, and
 /// [`FdilRunner::serve`] drives the same protocol over real sockets.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FdilRunner {
     cfg: RunConfig,
     telemetry: Telemetry,
     threads: usize,
+    clamp: bool,
     direct: bool,
+    /// Lazily-created persistent worker pool, sized to
+    /// [`FdilRunner::effective_threads`] on the first dispatch that wants
+    /// more than one worker and reused for every round and eval sweep after.
+    pool: OnceLock<Arc<WorkerPool>>,
+}
+
+impl Clone for FdilRunner {
+    /// Clones the configuration, not the pool: each clone lazily builds its
+    /// own worker pool, so clones can run concurrently without serializing
+    /// on shared workers.
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg,
+            telemetry: self.telemetry.clone(),
+            threads: self.threads,
+            clamp: self.clamp,
+            direct: self.direct,
+            pool: OnceLock::new(),
+        }
+    }
 }
 
 impl FdilRunner {
     /// A runner for `cfg` with telemetry disabled and the thread count taken
-    /// from the `REFIL_THREADS` environment variable (default 1).
+    /// from [`RunConfig::threads`] when nonzero, otherwise from the
+    /// `REFIL_THREADS` environment variable (default 1).
     pub fn new(cfg: RunConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            threads_from_env()
+        } else {
+            resolve_threads(cfg.threads)
+        };
         Self {
             cfg,
             telemetry: Telemetry::disabled(),
-            threads: threads_from_env(),
+            threads,
+            clamp: true,
             direct: false,
+            pool: OnceLock::new(),
         }
     }
 
@@ -603,6 +634,20 @@ impl FdilRunner {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = resolve_threads(threads);
+        self.pool = OnceLock::new();
+        self
+    }
+
+    /// Controls whether the worker count is clamped to the machine's
+    /// available parallelism (default `true`). Oversubscribing threads past
+    /// physical cores only adds spawn and contention cost — the clamp is
+    /// what lets callers say `.threads(16)` portably. Disable it only to
+    /// deliberately oversubscribe (e.g. pool-scheduling tests that need
+    /// more workers than this machine has cores).
+    #[must_use]
+    pub fn clamp_threads(mut self, clamp: bool) -> Self {
+        self.clamp = clamp;
+        self.pool = OnceLock::new();
         self
     }
 
@@ -611,9 +656,29 @@ impl FdilRunner {
         &self.cfg
     }
 
-    /// The resolved worker-thread count this runner will use.
+    /// The requested worker-thread count (`0` already resolved to all
+    /// cores). See [`FdilRunner::effective_threads`] for the count actually
+    /// dispatched.
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The worker count dispatches actually use: the requested count clamped
+    /// to available parallelism (unless [`FdilRunner::clamp_threads`]
+    /// disabled the clamp).
+    pub fn effective_threads(&self) -> usize {
+        if self.clamp {
+            self.threads.min(resolve_threads(0))
+        } else {
+            self.threads
+        }
+    }
+
+    /// The persistent worker pool, created on first use at the effective
+    /// worker count.
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.effective_threads())))
     }
 
     /// Bypasses the wire codec: typed messages move in memory without being
@@ -896,7 +961,7 @@ impl FdilRunner {
                     (RoundOutputs::Remote(slots), None, ArenaStats::default())
                 } else {
                     let ctx = strategy.round_ctx(task, round, &round_model, broadcast.as_ref());
-                    let workers = self.threads.min(sessions.len());
+                    let workers = self.effective_threads().min(sessions.len());
                     if workers <= 1 {
                         let t = telemetry.scoped(&round_path);
                         let mut lane = timeline.lane(0);
@@ -919,64 +984,58 @@ impl FdilRunner {
                         let wall = timeline.tick().saturating_sub(train_t0);
                         (
                             RoundOutputs::Local(outputs),
-                            timeline.merge(vec![lane], wall),
+                            timeline.merge(&[&lane], wall),
                             scratch,
                         )
                     } else {
+                        let pool = self.pool();
+                        let _dispatch = pool.serialize();
                         let next = AtomicUsize::new(0);
                         let slots: Mutex<SessionSlots> =
                             Mutex::new(sessions.iter().map(|_| None).collect());
-                        let per_worker = crossbeam::thread::scope(|scope| {
-                            let handles: Vec<_> = (0..workers)
-                                .map(|slot| {
-                                    let ctx = &*ctx;
-                                    let sessions = &sessions;
-                                    let next = &next;
-                                    let slots = &slots;
-                                    let t = telemetry.scoped(&round_path);
-                                    let mut lane = timeline.lane(slot);
-                                    let track = slot as u32 + 1;
-                                    scope.spawn(move |_| {
-                                        loop {
-                                            let i = next.fetch_add(1, Ordering::Relaxed);
-                                            let Some(session) = sessions.get(i) else {
-                                                break;
-                                            };
-                                            let start = lane.tick();
-                                            let (out, duration_ns) =
-                                                run_session(ctx, session, cfg, &t);
-                                            lane.record("client", Some(session.cid as u64), start);
-                                            let stat = SessionStat {
-                                                client_id: session.cid as u64,
-                                                track,
-                                                duration_ns,
-                                            };
-                                            slots.lock().expect("session slots poisoned")[i] =
-                                                Some((out, stat));
-                                        }
-                                        (lane, refil_nn::take_scratch_stats())
-                                    })
-                                })
-                                .collect();
-                            handles
-                                .into_iter()
-                                .map(|h| h.join().expect("client session worker panicked"))
-                                .collect::<Vec<_>>()
-                        })
-                        .expect("client session worker panicked");
+                        let worker_scratch: Mutex<Vec<ArenaStats>> =
+                            Mutex::new(vec![ArenaStats::default(); workers]);
+                        pool.run(workers, &|slot| {
+                            let t = telemetry.scoped(&round_path);
+                            let mut lane = pool.lane(slot);
+                            timeline.rearm(&mut lane, slot);
+                            let track = slot as u32 + 1;
+                            let ctx = &*ctx;
+                            let _ = refil_nn::take_scratch_stats();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(session) = sessions.get(i) else {
+                                    break;
+                                };
+                                let start = lane.tick();
+                                let (out, duration_ns) = run_session(ctx, session, cfg, &t);
+                                lane.record("client", Some(session.cid as u64), start);
+                                let stat = SessionStat {
+                                    client_id: session.cid as u64,
+                                    track,
+                                    duration_ns,
+                                };
+                                slots.lock().expect("session slots poisoned")[i] =
+                                    Some((out, stat));
+                            }
+                            worker_scratch.lock().expect("scratch slots poisoned")[slot] =
+                                arena_stats(refil_nn::take_scratch_stats());
+                        });
                         let mut scratch = ArenaStats::default();
-                        let mut lanes = Vec::with_capacity(per_worker.len());
-                        for (lane, worker_scratch) in per_worker {
-                            scratch.merge(&arena_stats(worker_scratch));
-                            lanes.push(lane);
+                        for s in worker_scratch.into_inner().expect("scratch slots poisoned") {
+                            scratch.merge(&s);
                         }
                         let wall = timeline.tick().saturating_sub(train_t0);
-                        let pool = timeline.merge(lanes, wall);
+                        let guards: Vec<_> = (0..workers).map(|s| pool.lane(s)).collect();
+                        let lanes: Vec<&Lane> = guards.iter().map(|g| &**g).collect();
+                        let pool_stats = timeline.merge(&lanes, wall);
+                        drop(lanes);
+                        drop(guards);
                         (
                             RoundOutputs::Local(
                                 slots.into_inner().expect("session slots poisoned"),
                             ),
-                            pool,
+                            pool_stats,
                             scratch,
                         )
                     }
@@ -1144,13 +1203,22 @@ impl FdilRunner {
     /// Evaluates the global model on every domain seen up to `task`
     /// (inclusive), returning one accuracy (%) per domain.
     ///
-    /// All `(domain, batch)` work items are planned up front and fanned
-    /// across the runner's worker pool; each worker holds its own
-    /// [`DomainEvaluator`] (and thus its own reusable tape-free inference
-    /// session) over the one shared [`EvalContext`]. Per-item correct counts
-    /// land in slots indexed by plan order and integer summation is
-    /// order-independent, so the result is byte-identical at any thread
-    /// count.
+    /// Work is chunked at *domain* granularity: each item walks one
+    /// domain's test split in [`EVAL_BLOCK`]-row `[n, dim]` tensors, so the
+    /// kernel layer sees wide multi-RHS GEMMs that stay cache-resident
+    /// instead of dozens of thin per-batch ones (or one domain-wide forward
+    /// whose activations spill L1). Because every forward op is
+    /// row-independent (GEMM accumulates each output element in a fixed
+    /// ascending-k chain regardless of how many rows are in flight;
+    /// LayerNorm/softmax/attention are per-row), the predictions are
+    /// bit-identical to the fine-grained batched sweep — pinned against
+    /// [`evaluate_domain`] in the test suite.
+    ///
+    /// Items are fanned across the runner's persistent worker pool; each
+    /// worker holds its own [`DomainEvaluator`] (and thus its own reusable
+    /// tape-free inference session) over the one shared [`EvalContext`].
+    /// Per-item correct counts land in slots indexed by plan order, so the
+    /// result is byte-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -1180,102 +1248,92 @@ impl FdilRunner {
         task: usize,
     ) -> (Vec<f32>, Option<PoolStats>, ArenaStats) {
         let telemetry = &self.telemetry;
-        let batch = self.cfg.eval_batch.max(1);
-        let mut items: Vec<EvalItem<'_>> = Vec::new();
+        let mut items: Vec<EvalItem<'_>> = Vec::with_capacity(task + 1);
         for domain in 0..=task {
             let test = &dataset.domains[domain].test;
             assert!(!test.is_empty(), "domain {domain} has no test data");
-            for chunk in test.chunks(batch) {
-                items.push(EvalItem { domain, chunk });
-            }
+            items.push(EvalItem {
+                domain,
+                chunk: test,
+            });
         }
         let eval_path = telemetry.current_path();
         let timeline = telemetry.timeline();
         let sweep_t0 = timeline.tick();
         let ctx = strategy.eval_ctx(global);
-        let workers = self.threads.min(items.len());
-        let (counts, pool, scratch): (Vec<usize>, Option<PoolStats>, ArenaStats) = if workers <= 1 {
-            let t = telemetry.scoped(&eval_path);
-            let mut lane = timeline.lane(0);
-            let _ = refil_nn::take_scratch_stats();
-            let mut evaluator = ctx.evaluator();
-            let mut staging = Vec::new();
-            let counts = items
-                .iter()
-                .enumerate()
-                .map(|(i, item)| {
-                    let start = lane.tick();
-                    let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
-                    lane.record("eval", Some(i as u64), start);
-                    correct
-                })
-                .collect();
-            let scratch = arena_stats(refil_nn::take_scratch_stats());
-            let wall = timeline.tick().saturating_sub(sweep_t0);
-            (counts, timeline.merge(vec![lane], wall), scratch)
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; items.len()]);
-            let per_worker = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|slot| {
-                        let ctx = &*ctx;
-                        let items = &items;
-                        let next = &next;
-                        let slots = &slots;
-                        let t = telemetry.scoped(&eval_path);
-                        let mut lane = timeline.lane(slot);
-                        scope.spawn(move |_| {
-                            let mut evaluator = ctx.evaluator();
-                            let mut staging = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(item) = items.get(i) else {
-                                    break;
-                                };
-                                let start = lane.tick();
-                                let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
-                                lane.record("eval", Some(i as u64), start);
-                                slots.lock().expect("eval slots poisoned")[i] = Some(correct);
-                            }
-                            (lane, refil_nn::take_scratch_stats())
-                        })
+        let workers = self.effective_threads().min(items.len());
+        let (counts, pool_stats, scratch): (Vec<usize>, Option<PoolStats>, ArenaStats) =
+            if workers <= 1 {
+                let t = telemetry.scoped(&eval_path);
+                let mut lane = timeline.lane(0);
+                let _ = refil_nn::take_scratch_stats();
+                let mut evaluator = ctx.evaluator();
+                let mut staging = Vec::new();
+                let counts = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let start = lane.tick();
+                        let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
+                        lane.record("eval", Some(i as u64), start);
+                        correct
                     })
                     .collect();
-                handles
+                let scratch = arena_stats(refil_nn::take_scratch_stats());
+                let wall = timeline.tick().saturating_sub(sweep_t0);
+                (counts, timeline.merge(&[&lane], wall), scratch)
+            } else {
+                let pool = self.pool();
+                let _dispatch = pool.serialize();
+                let next = AtomicUsize::new(0);
+                let slots: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; items.len()]);
+                let worker_scratch: Mutex<Vec<ArenaStats>> =
+                    Mutex::new(vec![ArenaStats::default(); workers]);
+                pool.run(workers, &|slot| {
+                    let t = telemetry.scoped(&eval_path);
+                    let mut lane = pool.lane(slot);
+                    timeline.rearm(&mut lane, slot);
+                    let ctx = &*ctx;
+                    let _ = refil_nn::take_scratch_stats();
+                    let mut evaluator = ctx.evaluator();
+                    let mut staging = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        let start = lane.tick();
+                        let correct = eval_item(&mut *evaluator, item, &mut staging, &t);
+                        lane.record("eval", Some(i as u64), start);
+                        slots.lock().expect("eval slots poisoned")[i] = Some(correct);
+                    }
+                    worker_scratch.lock().expect("scratch slots poisoned")[slot] =
+                        arena_stats(refil_nn::take_scratch_stats());
+                });
+                let mut scratch = ArenaStats::default();
+                for s in worker_scratch.into_inner().expect("scratch slots poisoned") {
+                    scratch.merge(&s);
+                }
+                let wall = timeline.tick().saturating_sub(sweep_t0);
+                let guards: Vec<_> = (0..workers).map(|s| pool.lane(s)).collect();
+                let lanes: Vec<&Lane> = guards.iter().map(|g| &**g).collect();
+                let pool_stats = timeline.merge(&lanes, wall);
+                drop(lanes);
+                drop(guards);
+                let counts = slots
+                    .into_inner()
+                    .expect("eval slots poisoned")
                     .into_iter()
-                    .map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("evaluation worker panicked");
-            let mut scratch = ArenaStats::default();
-            let mut lanes = Vec::with_capacity(per_worker.len());
-            for (lane, worker_scratch) in per_worker {
-                scratch.merge(&arena_stats(worker_scratch));
-                lanes.push(lane);
-            }
-            let wall = timeline.tick().saturating_sub(sweep_t0);
-            let pool = timeline.merge(lanes, wall);
-            let counts = slots
-                .into_inner()
-                .expect("eval slots poisoned")
-                .into_iter()
-                .map(|c| c.expect("planned eval item never ran"))
-                .collect();
-            (counts, pool, scratch)
-        };
-        let row = (0..=task)
-            .map(|domain| {
-                let correct: usize = items
-                    .iter()
-                    .zip(&counts)
-                    .filter(|(item, _)| item.domain == domain)
-                    .map(|(_, &c)| c)
-                    .sum();
-                100.0 * correct as f32 / dataset.domains[domain].test.len() as f32
-            })
+                    .map(|c| c.expect("planned eval item never ran"))
+                    .collect();
+                (counts, pool_stats, scratch)
+            };
+        let row = items
+            .iter()
+            .zip(&counts)
+            .map(|(item, &correct)| 100.0 * correct as f32 / item.chunk.len() as f32)
             .collect();
-        (row, pool, scratch)
+        (row, pool_stats, scratch)
     }
 }
 
@@ -1290,13 +1348,28 @@ fn bump_wire(map: &mut std::collections::BTreeMap<String, u64>, kind: &str, byte
     }
 }
 
-/// One planned unit of evaluation work: a single test batch of one domain.
+/// One planned unit of evaluation work: a slice of one domain's test split.
+/// The runner's sweep plans one item per domain (coarse scheduling; the
+/// item itself forwards in [`EVAL_BLOCK`]-row blocks); [`evaluate_domain`]
+/// plans one per `eval_batch` chunk.
 struct EvalItem<'a> {
     domain: usize,
     chunk: &'a [Sample],
 }
 
-/// Evaluates one planned batch, returning its correct-prediction count.
+/// Samples staged per multi-RHS forward inside one eval item. Wider batches
+/// amortize plan replay, but past ~64 rows the activation working set
+/// spills L1 and data movement starts dominating the GEMMs (measured in
+/// `BENCH_eval.json`: a whole-domain forward is slower than 64-row blocks
+/// despite fewer plan replays). The block split is positional and constant
+/// — independent of worker count — and per-row forward arithmetic doesn't
+/// depend on batch width, so results stay byte-identical at any thread
+/// count and any block size.
+const EVAL_BLOCK: usize = 64;
+
+/// Evaluates one planned item, returning its correct-prediction count. The
+/// item's samples run through the evaluator in [`EVAL_BLOCK`]-row multi-RHS
+/// forwards.
 ///
 /// `staging` is the worker's reusable feature buffer: it is moved into the
 /// batch tensor and reclaimed afterwards, so steady-state evaluation does no
@@ -1312,24 +1385,28 @@ fn eval_item(
 ) -> usize {
     let _span = t.span("evaluate_domain");
     let dim = item.chunk[0].features.len();
-    let mut data = std::mem::take(staging);
-    data.clear();
-    data.reserve(item.chunk.len() * dim);
-    for s in item.chunk {
-        data.extend_from_slice(&s.features);
+    let mut correct = 0usize;
+    for block in item.chunk.chunks(EVAL_BLOCK) {
+        let mut data = std::mem::take(staging);
+        data.clear();
+        data.reserve(block.len() * dim);
+        for s in block {
+            data.extend_from_slice(&s.features);
+        }
+        let features = Tensor::from_vec(data, &[block.len(), dim]);
+        let start = std::time::Instant::now();
+        let preds = evaluator.predict_domain(&features, item.domain);
+        t.counter("eval.forward_ns", start.elapsed().as_nanos() as u64);
+        t.counter("eval.batches", 1);
+        *staging = features.into_vec();
+        correct += preds
+            .iter()
+            .zip(block)
+            .filter(|(p, s)| **p == s.label)
+            .count();
     }
-    let features = Tensor::from_vec(data, &[item.chunk.len(), dim]);
-    let start = std::time::Instant::now();
-    let preds = evaluator.predict_domain(&features, item.domain);
-    t.counter("eval.forward_ns", start.elapsed().as_nanos() as u64);
     t.counter("eval.samples", item.chunk.len() as u64);
-    t.counter("eval.batches", 1);
-    *staging = features.into_vec();
-    preds
-        .iter()
-        .zip(item.chunk)
-        .filter(|(p, s)| **p == s.label)
-        .count()
+    correct
 }
 
 /// Moves one message the way the active path dictates: encoded through the
@@ -1591,6 +1668,7 @@ mod tests {
             eval_batch: 64,
             dropout_prob: 0.0,
             seed: 3,
+            threads: 0,
             net: crate::NetConfig::default(),
         }
     }

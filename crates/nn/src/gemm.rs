@@ -22,6 +22,73 @@
 //! registers across the whole `k` loop (the naive kernel reloads and
 //! re-stores the output row once per `k` step) and from branch-free inner
 //! loops the compiler can vectorize across the `n` dimension.
+//!
+//! # Kernel policy
+//!
+//! The bit-exact contract above forbids FP contraction (a fused
+//! multiply-add rounds once where the oracle rounds twice), which leaves
+//! real throughput on the table on FMA hardware. [`KernelPolicy`] is the
+//! opt-in: the default [`KernelPolicy::BitExact`] keeps these kernels as
+//! the oracle; [`KernelPolicy::Fast`] (or `REFIL_FAST_KERNELS=1`) routes
+//! all three layouts through the explicit SIMD/FMA microkernels in
+//! [`crate::gemm_fast`], which stay deterministic (run-to-run and
+//! thread-count stable) but match the oracle only within the documented
+//! error bound. `REFIL_NAIVE_GEMM=1` takes precedence over either policy —
+//! it exists to replay the pre-tiling pipeline.
+
+/// Which GEMM implementations the process uses. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// The register-tiled no-contraction kernels below: byte-identical to
+    /// the naive ascending-`k` oracle. The default.
+    BitExact,
+    /// The explicit FMA/SIMD microkernels in [`crate::gemm_fast`]:
+    /// deterministic, but fused — within `2k·ε` of the oracle rather than
+    /// equal to it. Falls back to `BitExact` kernels on machines without a
+    /// SIMD fast path.
+    Fast,
+}
+
+/// Process-global kernel policy. `0` = not yet resolved (first read
+/// consults `REFIL_FAST_KERNELS`), `1` = bit-exact, `2` = fast.
+static POLICY: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// The active [`KernelPolicy`]: whatever [`set_kernel_policy`] installed,
+/// otherwise `Fast` when the process started with `REFIL_FAST_KERNELS=1`,
+/// otherwise `BitExact`.
+pub fn kernel_policy() -> KernelPolicy {
+    match POLICY.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => KernelPolicy::BitExact,
+        2 => KernelPolicy::Fast,
+        _ => {
+            let policy = match std::env::var("REFIL_FAST_KERNELS") {
+                Ok(v) if v == "1" => KernelPolicy::Fast,
+                _ => KernelPolicy::BitExact,
+            };
+            set_kernel_policy(policy);
+            policy
+        }
+    }
+}
+
+/// Installs `policy` process-wide (benches A/B-ing the kernels, tests
+/// pinning the fast path). Affects every subsequent GEMM on every thread;
+/// callers that flip it temporarily must serialize with other kernel users
+/// and restore the previous policy.
+pub fn set_kernel_policy(policy: KernelPolicy) {
+    let raw = match policy {
+        KernelPolicy::BitExact => 1,
+        KernelPolicy::Fast => 2,
+    };
+    POLICY.store(raw, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// True when the active policy is `Fast` *and* this machine has a real
+/// SIMD fast path to route to.
+#[inline]
+pub(crate) fn fast_enabled() -> bool {
+    kernel_policy() == KernelPolicy::Fast && crate::gemm_fast::fast_kernels_available()
+}
 
 /// Rows of the register tile: output rows in flight per micro-kernel call.
 pub const MR: usize = 8;
@@ -42,6 +109,9 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if fast_enabled() {
+        return crate::gemm_fast::gemm_fast(a, b, out, m, k, n);
+    }
     let mut i = 0;
     while i < m {
         let ib = MR.min(m - i);
@@ -141,6 +211,9 @@ pub fn gemm_nt(a: &[f32], bt: &[f32], out: &mut [f32], m: usize, k: usize, n: us
         gemm_ref_branchy(a, &b, out, m, k, n);
         return;
     }
+    if fast_enabled() {
+        return crate::gemm_fast::gemm_nt_fast(a, bt, out, m, k, n);
+    }
     // Reading `bt` in place means stride-`k` gathers in the inner loop,
     // which defeats vectorization. Instead each `NR`-column strip of `bt`
     // is transposed once into a contiguous `[k][NR]` pack (zero-padded past
@@ -222,6 +295,9 @@ pub fn gemm_tn(at: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
         }
         gemm_ref_branchy(&a, b, out, m, k, n);
         return;
+    }
+    if fast_enabled() {
+        return crate::gemm_fast::gemm_tn_fast(at, b, out, m, k, n);
     }
     let mut i = 0;
     while i < m {

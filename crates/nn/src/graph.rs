@@ -645,9 +645,21 @@ impl Graph {
         )
     }
 
-    /// Gaussian error linear unit (tanh approximation).
+    /// Gaussian error linear unit (tanh approximation). Under
+    /// [`crate::KernelPolicy::Fast`] the forward value routes to the
+    /// vectorized rational-tanh kernel in [`crate::gemm_fast::gelu_fast`]
+    /// (libm `tanhf` dominates backbone inference otherwise); the backward
+    /// closure keeps the exact derivative in both policies.
     pub fn gelu(&self, a: Var) -> Var {
-        let v = self.unary_value(a, gelu_fwd);
+        let v = if crate::gemm::fast_enabled() {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            let mut out = self.out_cleared(av.numel());
+            crate::gemm_fast::gelu_fast(av.data(), &mut out);
+            Tensor::from_vec(out, av.shape())
+        } else {
+            self.unary_value(a, gelu_fwd)
+        };
         self.push(
             v,
             self.deps(&[a.id]),
@@ -1001,14 +1013,13 @@ impl Graph {
             let nd = av.ndim();
             let (r, c) = (av.shape()[nd - 2], av.shape()[nd - 1]);
             let batch: usize = av.shape()[..nd - 2].iter().product();
-            let mut data = self.out_zeroed(av.numel());
+            // Output-major fill: sequential writes (no zero-fill pass), the
+            // strided accesses land on the read side where they are cheaper.
+            let mut data = self.out_cleared(av.numel());
             for bi in 0..batch {
                 let src = &av.data()[bi * r * c..(bi + 1) * r * c];
-                let dst = &mut data[bi * r * c..(bi + 1) * r * c];
-                for i in 0..r {
-                    for j in 0..c {
-                        dst[j * r + i] = src[i * c + j];
-                    }
+                for j in 0..c {
+                    data.extend((0..r).map(|i| src[i * c + j]));
                 }
             }
             let mut shape = av.shape().to_vec();
@@ -1056,10 +1067,21 @@ impl Graph {
         let v = {
             let nodes = self.nodes.borrow();
             let av = &nodes[a.id].value;
-            let mut out = self.out_zeroed(av.numel());
-            permute_0213_into(av, &mut out);
             let s = av.shape();
-            Tensor::from_vec(out, &[s[0], s[2], s[1], s[3]])
+            let (sa, sb, sc, sd) = (s[0], s[1], s[2], s[3]);
+            // Output-major fill: sequential writes of contiguous `d`-runs
+            // with no zero-fill pass (the permutation keeps the last axis
+            // contiguous on both sides).
+            let mut out = self.out_cleared(av.numel());
+            for ai in 0..sa {
+                for ci in 0..sc {
+                    for bi in 0..sb {
+                        let src = ((ai * sb + bi) * sc + ci) * sd;
+                        out.extend_from_slice(&av.data()[src..src + sd]);
+                    }
+                }
+            }
+            Tensor::from_vec(out, &[sa, sc, sb, sd])
         };
         self.push(
             v,
@@ -1081,11 +1103,12 @@ impl Graph {
             let bv = &nodes[bias.id].value;
             let d = *xv.shape().last().expect("add_bias on 0-d tensor");
             assert_eq!(bv.shape(), [d], "bias shape mismatch");
-            let mut out = self.out_copied(xv.data());
-            for row in out.chunks_mut(d) {
-                for (o, &b) in row.iter_mut().zip(bv.data()) {
-                    *o += b;
-                }
+            // Single-pass fill (same adds as copy-then-accumulate, so
+            // bit-identical) instead of a full copy traversal followed by a
+            // read-modify-write one.
+            let mut out = self.out_cleared(xv.numel());
+            for row in xv.data().chunks(d) {
+                out.extend(row.iter().zip(bv.data()).map(|(&x, &b)| x + b));
             }
             Tensor::from_vec(out, xv.shape())
         };

@@ -39,6 +39,7 @@
 pub mod checkpoint;
 mod conv;
 pub mod gemm;
+pub mod gemm_fast;
 mod graph;
 pub mod infer;
 pub mod init;
@@ -52,6 +53,8 @@ mod proptests;
 mod schedule;
 mod tensor;
 
+pub use gemm::{kernel_policy, set_kernel_policy, KernelPolicy};
+pub use gemm_fast::fast_kernels_available;
 pub use graph::{take_scratch_stats, Graph, ScratchStats, Var};
 pub use infer::{force_taped, taped_forced, InferenceSession};
 pub use optim::{clip_grad_norm, Adam, Sgd};

@@ -1,0 +1,421 @@
+//! Fast-kernel contract tests: `KernelPolicy::Fast` GEMM and conv outputs
+//! must stay within the accumulation bound documented in
+//! `crates/nn/src/gemm_fast.rs`:
+//!
+//! ```text
+//! |fast(i,j) − bitexact(i,j)| ≤ 2k · ε · (|seed(i,j)| + Σ_p |a[i,p] · b[p,j]|)
+//! ```
+//!
+//! with `ε = f32::EPSILON`, and the fast path must itself be run-to-run
+//! deterministic (bitwise). These live in their own integration-test binary
+//! because the kernel policy is process-global: flipping it inside the
+//! crate's unit-test process would race the oracle-pinning tests in
+//! `gemm.rs`. Oracles here are naive ascending-`k` loops, which the
+//! bit-exact kernels are pinned (bitwise) against in the unit suite — so
+//! the comparisons below are immune to the policy flips.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use refil_nn::gemm_fast::{gelu_fast, gemm_fast, gemm_nt_fast, gemm_tn_fast};
+use refil_nn::{set_kernel_policy, Graph, KernelPolicy, Tensor};
+
+fn seeded(seed: u64, len: usize) -> Vec<f32> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Bit-exact oracle: one accumulator chain per element, ascending `p`.
+/// The tiled kernels in `gemm.rs` are pinned bitwise against this shape.
+fn naive_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = out[i * n + j];
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Per-element tolerance from the documented contract:
+/// `2k · ε · (|seed| + Σ_p |a[i,p] · b[p,j]|)`.
+fn gemm_tolerances(a: &[f32], b: &[f32], seed: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut tol = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut mag = seed[i * n + j].abs() as f64;
+            for p in 0..k {
+                mag += (a[i * k + p] * b[p * n + j]).abs() as f64;
+            }
+            tol[i * n + j] = (2.0 * k as f64 * f32::EPSILON as f64 * mag) as f32;
+        }
+    }
+    tol
+}
+
+fn assert_within(fast: &[f32], exact: &[f32], tol: &[f32]) -> Result<(), TestCaseError> {
+    for (idx, ((&f, &e), &t)) in fast.iter().zip(exact).zip(tol).enumerate() {
+        prop_assert!(
+            (f - e).abs() <= t,
+            "element {idx}: fast {f} vs bit-exact {e} exceeds tolerance {t}"
+        );
+    }
+    Ok(())
+}
+
+/// Transpose a row-major `r × c` matrix into `c × r`.
+fn transpose(src: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut dst = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            dst[j * r + i] = src[i * c + j];
+        }
+    }
+    dst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `gemm_fast` (4×16 FMA tile + remainders) honors the contract for
+    /// shapes straddling every tile boundary.
+    #[test]
+    fn fast_gemm_matches_bitexact_within_contract(
+        m in 1usize..=21,
+        k in 1usize..=48,
+        n in 1usize..=37,
+        seed in 0u64..1024,
+    ) {
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x9e37_79b9, k * n);
+        let init = seeded(seed ^ 0x5175_7c15, m * n);
+
+        let mut exact = init.clone();
+        naive_gemm(&a, &b, &mut exact, m, k, n);
+        let mut fast = init.clone();
+        gemm_fast(&a, &b, &mut fast, m, k, n);
+
+        assert_within(&fast, &exact, &gemm_tolerances(&a, &b, &init, m, k, n))?;
+    }
+
+    /// `gemm_nt_fast` (lane-parallel dot + fixed-order horizontal sum)
+    /// honors the contract.
+    #[test]
+    fn fast_gemm_nt_matches_bitexact_within_contract(
+        m in 1usize..=13,
+        k in 1usize..=48,
+        n in 1usize..=13,
+        seed in 0u64..1024,
+    ) {
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x9e37_79b9, k * n);
+        let bt = transpose(&b, k, n);
+        let init = seeded(seed ^ 0x5175_7c15, m * n);
+
+        let mut exact = init.clone();
+        naive_gemm(&a, &b, &mut exact, m, k, n);
+        let mut fast = init.clone();
+        gemm_nt_fast(&a, &bt, &mut fast, m, k, n);
+
+        assert_within(&fast, &exact, &gemm_tolerances(&a, &b, &init, m, k, n))?;
+    }
+
+    /// `gemm_tn_fast` (broadcast-from-Aᵀ FMA tile) honors the contract.
+    #[test]
+    fn fast_gemm_tn_matches_bitexact_within_contract(
+        m in 1usize..=21,
+        k in 1usize..=32,
+        n in 1usize..=37,
+        seed in 0u64..1024,
+    ) {
+        let a = seeded(seed, m * k);
+        let at = transpose(&a, m, k);
+        let b = seeded(seed ^ 0x9e37_79b9, k * n);
+        let init = seeded(seed ^ 0x5175_7c15, m * n);
+
+        let mut exact = init.clone();
+        naive_gemm(&a, &b, &mut exact, m, k, n);
+        let mut fast = init.clone();
+        gemm_tn_fast(&at, &b, &mut fast, m, k, n);
+
+        assert_within(&fast, &exact, &gemm_tolerances(&a, &b, &init, m, k, n))?;
+    }
+
+    /// A fixed shape always takes the same instruction sequence: the fast
+    /// kernels are bitwise run-to-run stable.
+    #[test]
+    fn fast_kernels_are_run_to_run_bitwise_stable(
+        m in 1usize..=17,
+        k in 1usize..=40,
+        n in 1usize..=19,
+        seed in 0u64..1024,
+    ) {
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x9e37_79b9, k * n);
+        let bt = transpose(&b, k, n);
+        let at = transpose(&a, m, k);
+        let init = seeded(seed ^ 0x5175_7c15, m * n);
+
+        for run in 0..2usize {
+            let mut first = init.clone();
+            gemm_fast(&a, &b, &mut first, m, k, n);
+            let mut again = init.clone();
+            gemm_fast(&a, &b, &mut again, m, k, n);
+            prop_assert_eq!(bits(&first), bits(&again), "gemm_fast unstable on run {}", run);
+
+            let mut nt_a = init.clone();
+            gemm_nt_fast(&a, &bt, &mut nt_a, m, k, n);
+            let mut nt_b = init.clone();
+            gemm_nt_fast(&a, &bt, &mut nt_b, m, k, n);
+            prop_assert_eq!(bits(&nt_a), bits(&nt_b), "gemm_nt_fast unstable on run {}", run);
+
+            let mut tn_a = init.clone();
+            gemm_tn_fast(&at, &b, &mut tn_a, m, k, n);
+            let mut tn_b = init.clone();
+            gemm_tn_fast(&at, &b, &mut tn_b, m, k, n);
+            prop_assert_eq!(bits(&tn_a), bits(&tn_b), "gemm_tn_fast unstable on run {}", run);
+        }
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Serializes the policy-flipping tests below: the kernel policy is
+/// process-global, so two of them interleaving would corrupt each other's
+/// oracle runs.
+static POLICY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the global policy set to `Fast`, restoring `BitExact`
+/// even on panic (so one failing case cannot poison the rest).
+fn with_fast_policy<R>(f: impl FnOnce() -> R) -> R {
+    let _lock = POLICY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_policy(KernelPolicy::BitExact);
+        }
+    }
+    let _restore = Restore;
+    set_kernel_policy(KernelPolicy::Fast);
+    f()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_forward(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    b: usize,
+    c_in: usize,
+    l: usize,
+    c_out: usize,
+    k: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let g = Graph::new();
+    let xv = g.constant(Tensor::from_vec(x.to_vec(), &[b, c_in, l]));
+    let wv = g.constant(Tensor::from_vec(w.to_vec(), &[c_out, c_in, k]));
+    let bv = g.constant(Tensor::from_vec(bias.to_vec(), &[c_out]));
+    g.value(g.conv1d(xv, wv, bv, pad)).data().to_vec()
+}
+
+/// Per-element tolerance for the conv lowering: the reduction chain is
+/// `c_in · k` taps seeded with the bias, so the contract bound is
+/// `2 · c_in·k · ε · (|bias| + Σ |x · w|)` over the unpadded taps.
+#[allow(clippy::too_many_arguments)]
+fn conv_tolerances(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    b: usize,
+    c_in: usize,
+    l: usize,
+    c_out: usize,
+    k: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let l_out = l + 2 * pad - k + 1;
+    let chain = 2.0 * (c_in * k) as f64 * f32::EPSILON as f64;
+    let mut tol = vec![0.0f32; b * c_out * l_out];
+    for bi in 0..b {
+        for co in 0..c_out {
+            for lo in 0..l_out {
+                let mut mag = bias[co].abs() as f64;
+                for ci in 0..c_in {
+                    for kk in 0..k {
+                        let xi = lo + kk;
+                        if xi < pad || xi - pad >= l {
+                            continue;
+                        }
+                        let xe = x[(bi * c_in + ci) * l + (xi - pad)];
+                        let we = w[(co * c_in + ci) * k + kk];
+                        mag += (xe * we).abs() as f64;
+                    }
+                }
+                tol[(bi * c_out + co) * l_out + lo] = (chain * mag) as f32;
+            }
+        }
+    }
+    tol
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The graph-level conv lowering under `KernelPolicy::Fast` stays
+    /// within the contract bound of the bit-exact run, and is itself
+    /// bitwise run-to-run stable.
+    #[test]
+    fn fast_policy_conv_matches_bitexact_within_contract(
+        b in 1usize..=2,
+        c_in in 1usize..=3,
+        c_out in 1usize..=3,
+        l in 2usize..=10,
+        k in 1usize..=3,
+        pad in 0usize..=1,
+        seed in 0u64..1024,
+    ) {
+        prop_assume!(l + 2 * pad >= k);
+        let x = seeded(seed, b * c_in * l);
+        let w = seeded(seed ^ 0x9e37_79b9, c_out * c_in * k);
+        let bias = seeded(seed ^ 0x5175_7c15, c_out);
+
+        let _lock = POLICY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_kernel_policy(KernelPolicy::BitExact);
+        let exact = conv_forward(&x, &w, &bias, b, c_in, l, c_out, k, pad);
+        drop(_lock);
+
+        let (fast, again) = with_fast_policy(|| {
+            (
+                conv_forward(&x, &w, &bias, b, c_in, l, c_out, k, pad),
+                conv_forward(&x, &w, &bias, b, c_in, l, c_out, k, pad),
+            )
+        });
+
+        prop_assert_eq!(bits(&fast), bits(&again), "Fast conv unstable run-to-run");
+        let tol = conv_tolerances(&x, &w, &bias, b, c_in, l, c_out, k, pad);
+        assert_within(&fast, &exact, &tol)?;
+    }
+
+    /// Policy-level sanity: flipping the global policy routes the public
+    /// `gemm` entry point through the fast path and back.
+    #[test]
+    fn policy_flip_round_trips_through_public_gemm(
+        m in 1usize..=9,
+        k in 1usize..=24,
+        n in 1usize..=9,
+        seed in 0u64..1024,
+    ) {
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x9e37_79b9, k * n);
+        let init = seeded(seed ^ 0x5175_7c15, m * n);
+
+        let mut oracle = init.clone();
+        naive_gemm(&a, &b, &mut oracle, m, k, n);
+
+        let mut fast = init.clone();
+        with_fast_policy(|| refil_nn::gemm::gemm(&a, &b, &mut fast, m, k, n));
+
+        let mut direct = init.clone();
+        gemm_fast(&a, &b, &mut direct, m, k, n);
+        prop_assert_eq!(
+            bits(&fast),
+            bits(&direct),
+            "policy-routed gemm must take the fast kernel verbatim"
+        );
+
+        let _lock = POLICY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_kernel_policy(KernelPolicy::BitExact);
+        let mut exact = init.clone();
+        refil_nn::gemm::gemm(&a, &b, &mut exact, m, k, n);
+        prop_assert_eq!(
+            bits(&exact),
+            bits(&oracle),
+            "restored BitExact policy must be bit-identical to the oracle"
+        );
+    }
+}
+
+/// Exact tanh-GELU reference, mirroring `graph::gelu_fwd` (same constants,
+/// same association, libm `tanh`).
+fn gelu_exact(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+#[test]
+fn fast_gelu_dense_grid_within_contract() {
+    // |gelu_fast − gelu_fwd| ≤ 1e-6 · (1 + |x|), scanned densely across the
+    // active region and well into both saturated tails (documented contract
+    // in crates/nn/src/gemm_fast.rs).
+    let src: Vec<f32> = (-12_000..=12_000).map(|i| i as f32 * 1e-3).collect();
+    let mut fast = Vec::new();
+    gelu_fast(&src, &mut fast);
+    for (&x, &y) in src.iter().zip(&fast) {
+        let exact = gelu_exact(x);
+        let tol = 1e-6 * (1.0 + x.abs());
+        assert!(
+            (y - exact).abs() <= tol,
+            "gelu_fast({x}) = {y}, exact {exact}, tol {tol}"
+        );
+    }
+}
+
+#[test]
+fn fast_gelu_is_position_independent_bitwise() {
+    // A value must produce the same bits whether it lands in an 8-wide SIMD
+    // lane or the scalar tail: evaluate a slice whole, then element by
+    // element (single-element slices always take the tail path).
+    let src = seeded(99, 37); // non-multiple of 8 forces a real tail
+    let mut whole = Vec::new();
+    gelu_fast(&src, &mut whole);
+    for (i, &x) in src.iter().enumerate() {
+        let mut one = Vec::new();
+        gelu_fast(&[x], &mut one);
+        assert_eq!(one[0].to_bits(), whole[i].to_bits(), "element {i} ({x})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Graph::gelu` under `Fast` takes the vectorized kernel verbatim, and
+    /// a restored `BitExact` policy reproduces the libm forward bitwise.
+    #[test]
+    fn policy_flip_round_trips_through_graph_gelu(
+        seed in 0u64..1000,
+        len in 1usize..64,
+    ) {
+        let src = seeded(seed, len);
+        let mut kernel = Vec::new();
+        gelu_fast(&src, &mut kernel);
+
+        let fast = with_fast_policy(|| {
+            let g = Graph::new();
+            let x = g.constant(Tensor::from_vec(src.clone(), &[len]));
+            g.value(g.gelu(x)).data().to_vec()
+        });
+        prop_assert_eq!(
+            bits(&fast),
+            bits(&kernel),
+            "policy-routed gelu must take the fast kernel verbatim"
+        );
+
+        let _lock = POLICY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_kernel_policy(KernelPolicy::BitExact);
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(src.clone(), &[len]));
+        let exact = g.value(g.gelu(x)).data().to_vec();
+        let oracle: Vec<f32> = src.iter().map(|&v| gelu_exact(v)).collect();
+        prop_assert_eq!(
+            bits(&exact),
+            bits(&oracle),
+            "restored BitExact policy must reproduce the libm forward"
+        );
+    }
+}

@@ -2,12 +2,15 @@
 //! runner's scoped thread pools.
 //!
 //! A [`Timeline`] is created once per pool dispatch ([`crate::Telemetry::timeline`]).
-//! Each worker takes one [`Lane`] (moved into its thread), records
-//! `(label, start, end)` tick pairs into a preallocated buffer with no
-//! locking and no per-event allocation, and hands the lane back through its
-//! join result. [`Timeline::merge`] then — on the driver thread, off the hot
-//! path — computes per-worker busy/idle/steal accounting and streams every
-//! slice as a [`crate::TraceEvent::TimelineSpan`].
+//! Each worker records `(label, start, end)` tick pairs into its own
+//! [`Lane`] — a preallocated buffer with no locking and no per-event
+//! allocation. Persistent pools keep one [`Lane::detached`] per slot alive
+//! across dispatches and revive it with [`Timeline::rearm`] (clear events,
+//! keep capacity); one-shot callers mint fresh lanes with
+//! [`Timeline::lane`]. [`Timeline::merge`] then — on the driver thread, off
+//! the hot path — computes per-worker busy/idle/steal accounting over the
+//! lanes that actually ran items and streams every slice as a
+//! [`crate::TraceEvent::TimelineSpan`].
 //!
 //! On a disabled collector every lane method is a branch on a bool: no clock
 //! reads, no buffer, no events.
@@ -49,6 +52,19 @@ pub struct Lane {
 }
 
 impl Lane {
+    /// A dormant lane: disabled, no epoch, no buffer. Persistent pools
+    /// preallocate one per worker slot and bring it to life with
+    /// [`Timeline::rearm`] at each dispatch, so the event buffer is
+    /// allocated once and reused across rounds.
+    pub fn detached() -> Self {
+        Self {
+            enabled: false,
+            epoch: None,
+            track: 0,
+            events: Vec::new(),
+        }
+    }
+
     /// Current tick (nanoseconds since the collector epoch), or 0 when the
     /// lane is disabled. Pair with [`Lane::record`] around a work item.
     #[inline]
@@ -129,6 +145,21 @@ impl Timeline {
         }
     }
 
+    /// Re-arms a (possibly reused) lane for worker slot `slot` under this
+    /// timeline: adopts this dispatch's enablement, epoch, and track, and
+    /// clears prior events while keeping the buffer's capacity. This is the
+    /// persistent-pool counterpart of [`Timeline::lane`] — same semantics,
+    /// zero steady-state allocation.
+    pub fn rearm(&self, lane: &mut Lane, slot: usize) {
+        lane.enabled = self.enabled;
+        lane.epoch = self.epoch;
+        lane.track = u32::try_from(slot + 1).unwrap_or(u32::MAX);
+        lane.events.clear();
+        if self.enabled && lane.events.capacity() < LANE_CAPACITY {
+            lane.events.reserve(LANE_CAPACITY - lane.events.capacity());
+        }
+    }
+
     /// Current tick on the shared clock (0 when disabled) — use for the
     /// pool's wall-clock envelope around dispatch and merge.
     pub fn tick(&self) -> u64 {
@@ -142,19 +173,30 @@ impl Timeline {
     /// streams every recorded slice as a [`crate::TraceEvent::TimelineSpan`].
     ///
     /// `wall_ns` is the pool's dispatch wall time (`tick()` delta around the
-    /// scoped spawn/join). Per worker: `busy` is the sum of recorded
-    /// interval durations, `idle` is `wall − busy` (time the slot existed
-    /// but ran nothing), and `steals` counts items executed beyond the
-    /// slot's static fair share `ceil(total_items / workers)` — with the
-    /// runner's shared-counter scheduling, that is exactly the load
-    /// imbalance a worker absorbed from slower peers. Returns `None` when
-    /// the timeline is disabled.
-    pub fn merge(&self, lanes: Vec<Lane>, wall_ns: u64) -> Option<PoolStats> {
+    /// dispatch/completion barrier). Lanes are borrowed, not consumed, so a
+    /// persistent pool's lanes survive the merge and are reused next round.
+    ///
+    /// Workers that never won a single item off the shared counter are
+    /// dropped entirely: their all-idle tracks are scheduling noise, not
+    /// real workers (the old threads=4 table on a 2-core box reported two
+    /// phantom 0%-busy tracks). Per *participating* worker: `busy` is the
+    /// sum of recorded interval durations, `idle` is `wall − busy`, and
+    /// `steals` counts items executed beyond the fair share
+    /// `ceil(total_items / participating_workers)` — with the runner's
+    /// shared-counter scheduling, that is exactly the load imbalance a
+    /// worker absorbed from slower peers. Returns `None` when the timeline
+    /// is disabled.
+    pub fn merge(&self, lanes: &[&Lane], wall_ns: u64) -> Option<PoolStats> {
         if !self.enabled {
             return None;
         }
-        let workers = lanes.len();
-        let total_items: usize = lanes.iter().map(|lane| lane.events.len()).sum();
+        let live: Vec<&Lane> = lanes
+            .iter()
+            .copied()
+            .filter(|lane| !lane.events.is_empty())
+            .collect();
+        let workers = live.len();
+        let total_items: usize = live.iter().map(|lane| lane.events.len()).sum();
         let fair_share = if workers == 0 {
             0
         } else {
@@ -162,7 +204,7 @@ impl Timeline {
         };
         let mut per_worker = Vec::with_capacity(workers);
         let mut name = String::new();
-        for lane in &lanes {
+        for lane in &live {
             let mut busy_ns = 0u64;
             for event in &lane.events {
                 let dur_ns = event.end_ns.saturating_sub(event.start_ns);
@@ -239,7 +281,49 @@ mod tests {
             0,
             "disabled lanes must not allocate"
         );
-        assert!(timeline.merge(vec![lane], 0).is_none());
+        assert!(timeline.merge(&[&lane], 0).is_none());
+    }
+
+    #[test]
+    fn rearm_revives_a_detached_lane_and_keeps_capacity() {
+        let t = Telemetry::collecting();
+        let timeline = t.timeline();
+        let mut lane = Lane::detached();
+        assert_eq!(lane.tick(), 0, "detached lanes are dormant");
+        timeline.rearm(&mut lane, 2);
+        assert_eq!(lane.track, 3);
+        assert!(lane.events.capacity() >= LANE_CAPACITY);
+        let s = lane.tick();
+        lane.record("eval", Some(1), s);
+        assert_eq!(lane.len(), 1);
+        let cap = lane.events.capacity();
+        timeline.rearm(&mut lane, 0);
+        assert!(lane.is_empty(), "rearm clears prior events");
+        assert_eq!(lane.track, 1);
+        assert_eq!(lane.events.capacity(), cap, "rearm keeps the buffer");
+    }
+
+    #[test]
+    fn merge_drops_workers_that_never_ran_an_item() {
+        let t = Telemetry::collecting();
+        let timeline = t.timeline();
+        // Three slots, but only two ever win items: the idle slot must not
+        // appear in the stats, and fair share is computed over the live pair
+        // (4 items / 2 workers = 2 each → one steal for the 3-item worker).
+        let mut a = timeline.lane(0);
+        let mut b = timeline.lane(1);
+        let idle = timeline.lane(2);
+        for i in 0..3 {
+            let s = a.tick();
+            a.record("eval", Some(i), s);
+        }
+        let s = b.tick();
+        b.record("eval", Some(9), s);
+        let stats = timeline.merge(&[&a, &b, &idle], 1_000).expect("enabled");
+        assert_eq!(stats.workers.len(), 2, "idle slot reported as a worker");
+        assert!(stats.workers.iter().all(|w| w.items > 0));
+        assert_eq!(stats.workers[0].steals, 1);
+        assert_eq!(stats.workers[1].steals, 0);
     }
 
     #[test]
@@ -254,7 +338,7 @@ mod tests {
         let busy = lane.events[0].end_ns - lane.events[0].start_ns;
         assert!(busy >= 1_000_000, "recorded at least the sleep: {busy}");
         let wall = busy + 500;
-        let stats = timeline.merge(vec![lane], wall).expect("enabled");
+        let stats = timeline.merge(&[&lane], wall).expect("enabled");
         assert_eq!(stats.workers.len(), 1);
         let w = &stats.workers[0];
         assert_eq!(w.track, 1);
@@ -280,7 +364,7 @@ mod tests {
         }
         let s = b.tick();
         b.record("eval", Some(9), s);
-        let stats = timeline.merge(vec![a, b], 1_000).expect("enabled");
+        let stats = timeline.merge(&[&a, &b], 1_000).expect("enabled");
         assert_eq!(stats.workers[0].steals, 2);
         assert_eq!(stats.workers[1].steals, 0);
         assert_eq!(stats.total_items(), 6);

@@ -67,6 +67,7 @@ fn run_cfg(seed: u64, dropout: f32) -> RunConfig {
         eval_batch: 128,
         dropout_prob: dropout,
         seed,
+        threads: 0,
         net: Default::default(),
     }
 }

@@ -1,0 +1,150 @@
+//! Determinism of full federated runs under `KernelPolicy::Fast`.
+//!
+//! The fast FMA/SIMD kernels trade bit-equality *with the bit-exact
+//! oracle* for speed, but they keep the determinism contract: a fixed
+//! shape always takes the same instruction sequence, so a Fast-mode run
+//! must be byte-identical run-to-run AND across worker-thread counts.
+//! These tests pin that at threads {1, 4} — with core clamping disabled
+//! so the 4-thread leg exercises the real worker pool even on small CI
+//! hosts — for the full RefFiL method and a baseline.
+//!
+//! This file is its own test binary because the kernel policy is
+//! process-global; flipping it inside another suite would poison the
+//! default-policy (bit-exact) pins there.
+
+use std::sync::Mutex;
+
+use refil::continual::{Finetune, MethodConfig};
+use refil::core::{RefFiL, RefFiLConfig};
+use refil::data::{DatasetSpec, DomainSpec, FdilDataset};
+use refil::fed::{FdilRunner, FdilStrategy, IncrementConfig, RunConfig, RunResult};
+use refil::nn::models::{BackboneConfig, ExtractorKind};
+use refil::nn::{set_kernel_policy, KernelPolicy};
+
+/// Serializes the tests in this binary: each flips the process-global
+/// kernel policy for its duration.
+static POLICY_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_fast_policy<R>(f: impl FnOnce() -> R) -> R {
+    let _lock = POLICY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_policy(KernelPolicy::BitExact);
+        }
+    }
+    let _restore = Restore;
+    set_kernel_policy(KernelPolicy::Fast);
+    f()
+}
+
+fn dataset() -> FdilDataset {
+    DatasetSpec {
+        name: "fastdet".into(),
+        classes: 3,
+        feature_dim: 8,
+        proto_scale: 2.5,
+        within_std: 0.4,
+        test_fraction: 0.3,
+        signature_dim: 2,
+        signature_scale: 0.6,
+        domains: vec![
+            DomainSpec::new("d0", 150, 0.15, 0.05),
+            DomainSpec::new("d1", 150, 0.3, 0.4).with_collision(1.0),
+        ],
+    }
+    .generate(11)
+}
+
+fn method() -> MethodConfig {
+    MethodConfig {
+        backbone: BackboneConfig {
+            in_dim: 8,
+            extractor_width: 16,
+            extractor_depth: 1,
+            n_patches: 2,
+            token_dim: 8,
+            heads: 2,
+            blocks: 1,
+            classes: 3,
+            extractor: ExtractorKind::ResidualMlp,
+        },
+        lr: 0.05,
+        prompt_len: 2,
+        max_tasks: 2,
+        ..MethodConfig::default()
+    }
+}
+
+fn run_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        increment: IncrementConfig {
+            initial_clients: 4,
+            select_per_round: 3,
+            increment_per_task: 1,
+            transition_fraction: 0.8,
+            rounds_per_task: 3,
+        },
+        local_epochs: 1,
+        batch_size: 16,
+        quantity_sigma: 0.5,
+        eval_batch: 128,
+        dropout_prob: 0.0,
+        seed,
+        threads: 0,
+        net: Default::default(),
+    }
+}
+
+/// Runs at `threads` with clamping off, so requesting 4 workers spawns 4
+/// workers regardless of the host's core count.
+fn run_at(threads: usize, ds: &FdilDataset, strat: &mut dyn FdilStrategy) -> RunResult {
+    FdilRunner::new(run_cfg(13))
+        .threads(threads)
+        .clamp_threads(false)
+        .run(ds, strat)
+}
+
+fn assert_byte_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(
+        a.final_global, b.final_global,
+        "{what}: final_global diverged"
+    );
+    assert_eq!(a.domain_acc, b.domain_acc, "{what}: domain_acc diverged");
+    assert_eq!(a.traffic, b.traffic, "{what}: traffic stats diverged");
+}
+
+#[test]
+fn fast_mode_reffil_is_stable_across_runs_and_thread_counts() {
+    let ds = dataset();
+    with_fast_policy(|| {
+        let mut runs = Vec::new();
+        for threads in [1usize, 4, 1, 4] {
+            let mut strat = RefFiL::new(RefFiLConfig::new(method()));
+            runs.push((threads, run_at(threads, &ds, &mut strat)));
+        }
+        let (_, first_t1) = &runs[0];
+        let (_, first_t4) = &runs[1];
+        assert_byte_identical(first_t1, &runs[2].1, "Fast RefFiL repeat at threads=1");
+        assert_byte_identical(first_t4, &runs[3].1, "Fast RefFiL repeat at threads=4");
+        assert_byte_identical(first_t1, first_t4, "Fast RefFiL threads 1 vs 4");
+    });
+}
+
+#[test]
+fn fast_mode_finetune_is_stable_across_runs_and_thread_counts() {
+    let ds = dataset();
+    with_fast_policy(|| {
+        let mut s1a = Finetune::new(method());
+        let r1a = run_at(1, &ds, &mut s1a);
+        let mut s1b = Finetune::new(method());
+        let r1b = run_at(1, &ds, &mut s1b);
+        let mut s4a = Finetune::new(method());
+        let r4a = run_at(4, &ds, &mut s4a);
+        let mut s4b = Finetune::new(method());
+        let r4b = run_at(4, &ds, &mut s4b);
+        assert_byte_identical(&r1a, &r1b, "Fast finetune repeat at threads=1");
+        assert_byte_identical(&r4a, &r4b, "Fast finetune repeat at threads=4");
+        assert_byte_identical(&r1a, &r4a, "Fast finetune threads 1 vs 4");
+    });
+}

@@ -78,6 +78,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         eval_batch: 32,
         dropout_prob: 0.0,
         seed,
+        threads: 0,
         net: Default::default(),
     }
 }

@@ -82,6 +82,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         eval_batch: 128,
         dropout_prob: 0.0,
         seed,
+        threads: 0,
         net: Default::default(),
     }
 }
