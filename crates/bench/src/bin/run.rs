@@ -24,6 +24,8 @@
 //! | `--min-peers N`          | listen | clients to wait for before round one (default 1) |
 //! | `--round-deadline-ms N`  | listen | per-round straggler deadline (default 30000) |
 //! | `--join-grace-ms N`      | listen | wait for re-joins when all peers leave (default 10000) |
+//! | `--sample-fraction F`    | listen | per-round participation fraction in (0, 1]; 0 disables sampling (default 0) |
+//! | `--min-sample N`         | listen | never sample below N sessions per round (default 0 = 1) |
 //! | `--threads N`            | all | worker pool size (0 = auto: all cores; N clamps to the core count; default from `REFIL_THREADS`) |
 //! | `--json FILE`            | local, listen | write scores + accuracy matrix as JSON |
 //! | `--trace FILE`           | all | stream telemetry events as JSONL |
@@ -64,7 +66,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--listen ADDR [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N]] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]\n       run --connect ADDR [--threads N] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--listen ADDR [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N]] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]\n       run --connect ADDR [--threads N] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -115,6 +117,8 @@ fn parse_args() -> Args {
             "--min-peers" => out.overrides.min_peers = Some(num(&mut args)),
             "--round-deadline-ms" => out.overrides.round_deadline_ms = Some(num(&mut args)),
             "--join-grace-ms" => out.overrides.join_grace_ms = Some(num(&mut args)),
+            "--sample-fraction" => out.overrides.sample_fraction = Some(num(&mut args)),
+            "--min-sample" => out.overrides.min_sample = Some(num(&mut args)),
             "--threads" => out.threads = Some(num(&mut args)),
             "--json" => out.json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),

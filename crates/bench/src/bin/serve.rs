@@ -5,7 +5,7 @@
 //! cargo run --release -p refil-bench --bin serve -- \
 //!     --listen tcp:127.0.0.1:7700 --dataset digits --method reffil \
 //!     [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] \
-//!     [--join-grace-ms N] [--threads N]
+//!     [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N]
 //! ```
 //!
 //! | flag | meaning |
@@ -18,6 +18,8 @@
 //! | `--min-peers N`            | clients to wait for before round one (default 1) |
 //! | `--round-deadline-ms N`    | per-round straggler deadline (default 30000) |
 //! | `--join-grace-ms N`        | wait for re-joins when all peers leave (default 10000) |
+//! | `--sample-fraction F`      | per-round participation fraction in (0, 1]; 0 disables sampling (default 0) |
+//! | `--min-sample N`           | never sample below N sessions per round (default 0 = 1) |
 //! | `--threads N`              | eval worker threads (0 = all cores) |
 //!
 //! `REFIL_SCALE=smoke|bench|paper` selects the protocol scale; the server
@@ -42,7 +44,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve --listen <tcp:host:port|unix:PATH> --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--threads N]"
+        "usage: serve --listen <tcp:host:port|unix:PATH> --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -85,6 +87,8 @@ fn parse_args() -> Args {
             "--min-peers" => overrides.min_peers = Some(num(&mut args)),
             "--round-deadline-ms" => overrides.round_deadline_ms = Some(num(&mut args)),
             "--join-grace-ms" => overrides.join_grace_ms = Some(num(&mut args)),
+            "--sample-fraction" => overrides.sample_fraction = Some(num(&mut args)),
+            "--min-sample" => overrides.min_sample = Some(num(&mut args)),
             "--threads" => threads = Some(num(&mut args)),
             "--help" | "-h" => usage(),
             other => {

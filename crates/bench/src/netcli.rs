@@ -136,6 +136,10 @@ pub struct NetOverrides {
     pub round_deadline_ms: Option<u64>,
     /// Re-join grace when the peer set empties (`--join-grace-ms`).
     pub join_grace_ms: Option<u64>,
+    /// Per-round participation fraction (`--sample-fraction`).
+    pub sample_fraction: Option<f32>,
+    /// Sampling floor (`--min-sample`).
+    pub min_sample: Option<usize>,
 }
 
 /// Runs a federation server: binds `addr`, waits for clients, and drives
@@ -168,6 +172,12 @@ pub fn serve(
     }
     if let Some(ms) = overrides.join_grace_ms {
         run_cfg.net.join_grace_ms = ms;
+    }
+    if let Some(f) = overrides.sample_fraction {
+        run_cfg.net.sample_fraction = f;
+    }
+    if let Some(n) = overrides.min_sample {
+        run_cfg.net.min_sample = n;
     }
     run_cfg.validate().map_err(|e| e.to_string())?;
 
@@ -212,8 +222,9 @@ pub fn client(
     let endpoint = Endpoint::parse(addr).map_err(|e| e.to_string())?;
     let deadline = Instant::now() + CONNECT_TIMEOUT;
     let link = connect(&endpoint, deadline).map_err(|e| format!("connect {addr}: {e}"))?;
-    let (peer_id, spec_json) = client_handshake(&link, u64::from(std::process::id()), deadline)
-        .map_err(|e| format!("handshake: {e}"))?;
+    let (peer_id, spec_json, _resume_token) =
+        client_handshake(&link, u64::from(std::process::id()), None, deadline)
+            .map_err(|e| format!("handshake: {e}"))?;
     let spec = NetSpec::from_json(&spec_json)?;
     let resolved = spec.resolve()?;
     telemetry.info(format!(

@@ -60,6 +60,25 @@ pub struct NetConfig {
     /// Client-side patience between server frames before a client gives
     /// up on an idle link.
     pub client_idle_ms: u64,
+    /// Sampled participation: the fraction of each round's planned
+    /// sessions that actually train, drawn seed-deterministically (from
+    /// `seed`, task, and round — never from the main selection RNG, so
+    /// enabling sampling perturbs nothing else, and loopback ≡ networked
+    /// stays byte-identical). `0.0` — the default, and what serialized
+    /// configs from before this knob decode to — disables sampling (full
+    /// participation); a value in `(0, 1]` keeps `ceil(fraction · n)`
+    /// sessions, floored by [`NetConfig::min_sample`].
+    #[serde(default)]
+    pub sample_fraction: f32,
+    /// Floor on the sessions kept per round while sampling is active
+    /// (values `< 1` behave as `1`). Ignored when sampling is disabled.
+    #[serde(default)]
+    pub min_sample: usize,
+    /// Per-peer outbound-queue cap in bytes: when a peer's unsent backlog
+    /// exceeds this, the reactor declares it too slow and disconnects it.
+    /// `0` (the default) disables the policy.
+    #[serde(default)]
+    pub send_queue_max_bytes: usize,
 }
 
 impl Default for NetConfig {
@@ -69,7 +88,23 @@ impl Default for NetConfig {
             min_peers: 1,
             join_grace_ms: 10_000,
             client_idle_ms: 120_000,
+            sample_fraction: 0.0,
+            min_sample: 0,
+            send_queue_max_bytes: 0,
         }
+    }
+}
+
+impl NetConfig {
+    /// The sessions to keep out of `planned` under this config's sampling
+    /// knobs; `None` when sampling is disabled or keeps everything.
+    pub fn sample_size(&self, planned: usize) -> Option<usize> {
+        if self.sample_fraction <= 0.0 || planned == 0 {
+            return None;
+        }
+        let by_fraction = (self.sample_fraction as f64 * planned as f64).ceil() as usize;
+        let kept = by_fraction.max(self.min_sample.max(1)).min(planned);
+        (kept < planned).then_some(kept)
     }
 }
 
@@ -126,6 +161,11 @@ impl RunConfig {
         if self.net.client_idle_ms == 0 {
             return Err(ConfigError::ZeroClientIdle);
         }
+        if !(0.0..=1.0).contains(&self.net.sample_fraction) || self.net.sample_fraction.is_nan() {
+            return Err(ConfigError::SampleFractionOutOfRange(
+                self.net.sample_fraction,
+            ));
+        }
         Ok(())
     }
 }
@@ -153,6 +193,9 @@ pub enum ConfigError {
     ZeroMinPeers,
     /// `net.client_idle_ms == 0` would make clients give up immediately.
     ZeroClientIdle,
+    /// `net.sample_fraction` must be `0.0` (sampling disabled) or a
+    /// fraction in `(0, 1]`.
+    SampleFractionOutOfRange(f32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -175,6 +218,12 @@ impl std::fmt::Display for ConfigError {
             Self::ZeroRoundDeadline => write!(f, "net.round_deadline_ms must be at least 1"),
             Self::ZeroMinPeers => write!(f, "net.min_peers must be at least 1"),
             Self::ZeroClientIdle => write!(f, "net.client_idle_ms must be at least 1"),
+            Self::SampleFractionOutOfRange(s) => {
+                write!(
+                    f,
+                    "net.sample_fraction must be 0 (disabled) or in (0, 1], got {s}"
+                )
+            }
         }
     }
 }
@@ -292,6 +341,24 @@ impl RunConfigBuilder {
     /// Sets the client-side idle patience (milliseconds).
     pub fn client_idle_ms(mut self, ms: u64) -> Self {
         self.cfg.net.client_idle_ms = ms;
+        self
+    }
+
+    /// Sets the sampled-participation fraction (`0.0` disables sampling).
+    pub fn sample_fraction(mut self, fraction: f32) -> Self {
+        self.cfg.net.sample_fraction = fraction;
+        self
+    }
+
+    /// Sets the floor on sessions kept per round while sampling.
+    pub fn min_sample(mut self, min_sample: usize) -> Self {
+        self.cfg.net.min_sample = min_sample;
+        self
+    }
+
+    /// Sets the per-peer outbound-queue cap in bytes (`0` = unbounded).
+    pub fn send_queue_max_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.net.send_queue_max_bytes = bytes;
         self
     }
 
@@ -451,6 +518,104 @@ mod tests {
             RunConfig::builder().client_idle_ms(0).build(),
             Err(ConfigError::ZeroClientIdle)
         );
+    }
+
+    #[test]
+    fn builder_sets_and_validates_sampling_options() {
+        let cfg = RunConfig::builder()
+            .sample_fraction(0.5)
+            .min_sample(2)
+            .send_queue_max_bytes(1 << 20)
+            .build()
+            .expect("valid sampling options");
+        assert!((cfg.net.sample_fraction - 0.5).abs() < f32::EPSILON);
+        assert_eq!(cfg.net.min_sample, 2);
+        assert_eq!(cfg.net.send_queue_max_bytes, 1 << 20);
+        assert_eq!(
+            RunConfig::builder().sample_fraction(1.5).build(),
+            Err(ConfigError::SampleFractionOutOfRange(1.5))
+        );
+        assert_eq!(
+            RunConfig::builder().sample_fraction(-0.1).build(),
+            Err(ConfigError::SampleFractionOutOfRange(-0.1))
+        );
+        assert!(RunConfig::builder()
+            .sample_fraction(f32::NAN)
+            .build()
+            .is_err());
+        // 0.0 means "sampling disabled" and stays valid.
+        assert!(RunConfig::builder().sample_fraction(0.0).build().is_ok());
+    }
+
+    #[test]
+    fn sample_size_covers_the_edge_cases() {
+        let disabled = NetConfig::default();
+        assert_eq!(disabled.sample_size(10), None);
+
+        let half = NetConfig {
+            sample_fraction: 0.5,
+            ..NetConfig::default()
+        };
+        assert_eq!(half.sample_size(10), Some(5));
+        assert_eq!(half.sample_size(0), None);
+        // ceil() keeps at least one session even for tiny fractions.
+        let tiny = NetConfig {
+            sample_fraction: 0.01,
+            ..NetConfig::default()
+        };
+        assert_eq!(tiny.sample_size(10), Some(1));
+        // A full fraction keeps everything, which means "no sampling".
+        let full = NetConfig {
+            sample_fraction: 1.0,
+            ..NetConfig::default()
+        };
+        assert_eq!(full.sample_size(10), None);
+        // min_sample floors the kept count, capped at the planned count.
+        let floored = NetConfig {
+            sample_fraction: 0.1,
+            min_sample: 4,
+            ..NetConfig::default()
+        };
+        assert_eq!(floored.sample_size(10), Some(4));
+        assert_eq!(floored.sample_size(3), None);
+    }
+
+    #[test]
+    fn net_configs_without_sampling_fields_deserialize_to_disabled() {
+        let json = serde_json::to_string(&RunConfig::default()).expect("serialize");
+        let stripped = {
+            let v = serde_json::parse_value(&json).unwrap();
+            let serde_json::Value::Map(entries) = v else {
+                panic!("config did not serialize to a map");
+            };
+            let rewritten: Vec<_> = entries
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "net" {
+                        return (k, v);
+                    }
+                    let serde_json::Value::Map(net) = v else {
+                        panic!("net did not serialize to a map");
+                    };
+                    let kept: Vec<_> = net
+                        .into_iter()
+                        .filter(|(nk, _)| {
+                            nk != "sample_fraction"
+                                && nk != "min_sample"
+                                && nk != "send_queue_max_bytes"
+                        })
+                        .collect();
+                    (k, serde_json::Value::Map(kept))
+                })
+                .collect();
+            serde_json::to_string(&serde_json::Value::Map(rewritten)).unwrap()
+        };
+        let cfg: RunConfig =
+            serde_json::from_str(&stripped).expect("deserialize sans sampling fields");
+        assert!(cfg.net.sample_fraction == 0.0);
+        assert_eq!(cfg.net.min_sample, 0);
+        assert_eq!(cfg.net.send_queue_max_bytes, 0);
+        assert_eq!(cfg.net.sample_size(100), None);
     }
 
     #[test]

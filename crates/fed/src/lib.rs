@@ -32,7 +32,10 @@ pub use config::{ConfigError, NetConfig, RunConfig, RunConfigBuilder};
 pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
-pub use net::{client_handshake, run_client, ClientError, ClientOptions, ClientReport};
+pub use net::{
+    client_handshake, process_thread_count, run_client, run_client_resumable, run_clients_pumped,
+    ClientError, ClientOptions, ClientReport,
+};
 pub use runner::{
     evaluate_domain, ClientUpdate, DomainEvaluator, EvalContext, FdilRunner, FdilStrategy,
     RoundContext, RunResult, SessionOutput, TrainSetting,
@@ -46,8 +49,8 @@ pub use refil_telemetry::{
     WorkerStats,
 };
 pub use refil_wire::{
-    connect, ClientModelUpdate, ConnectError, Endpoint, GlobalPromptBroadcast, Link, Listener,
-    Loopback, MaskedModelUpdate, MessageKind, ModelBroadcast, NetLink, NetListener, PeerId,
-    PromptGroup, PromptUpload, RecvError, RehearsalMemory, WireError, WireMessage, WireSample,
-    SERVER_PEER,
+    connect, ClientModelUpdate, ConnectError, Endpoint, GlobalPromptBroadcast, Interest, Link,
+    Listener, Loopback, MaskedModelUpdate, MessageKind, ModelBroadcast, NetLink, NetListener,
+    PeerId, PollSet, PromptGroup, PromptUpload, RecvError, RehearsalMemory, Resume, WireError,
+    WireMessage, WireSample, SERVER_PEER,
 };

@@ -384,6 +384,13 @@ pub(crate) fn session_seed(master: u64, task: usize, round: usize, client: usize
     z ^ (z >> 31)
 }
 
+/// Seed for the sampled-participation RNG: its own stream (decorrelated
+/// from selection/dropout and from session seeds via the sentinel client
+/// id) so enabling sampling never perturbs the other draws.
+pub(crate) fn sample_seed(master: u64, task: usize, round: usize) -> u64 {
+    session_seed(master ^ 0x5a4d_9e00, task, round, usize::MAX - 1)
+}
+
 /// Per-client data holdings maintained by the driver.
 ///
 /// `pub(crate)` because the networked client replica (`crate::net`) evolves
@@ -876,6 +883,35 @@ impl FdilRunner {
                         samples,
                         seed: session_seed(cfg.seed, task, round, cid),
                     });
+                }
+
+                // Sampled participation: keep a seed-deterministic subset of
+                // the planned sessions. This runs on the shared path (before
+                // the serve/local fork) with its own RNG stream, so enabling
+                // it never perturbs selection or dropout draws, and loopback
+                // and networked runs sample identically.
+                if let Some(keep) = cfg.net.sample_size(sessions.len()) {
+                    let removed = (sessions.len() - keep) as u64;
+                    let mut sampler = StdRng::seed_from_u64(sample_seed(cfg.seed, task, round));
+                    let mut order: Vec<usize> = (0..sessions.len()).collect();
+                    for i in 0..keep {
+                        // Partial Fisher–Yates: the first `keep` entries are
+                        // a uniform draw without replacement.
+                        let j = i + (sampler.gen::<u64>() as usize) % (order.len() - i);
+                        order.swap(i, j);
+                    }
+                    let mut kept = vec![false; sessions.len()];
+                    for &i in &order[..keep] {
+                        kept[i] = true;
+                    }
+                    let mut slot = 0;
+                    sessions.retain(|_| {
+                        let keep_this = kept[slot];
+                        slot += 1;
+                        keep_this
+                    });
+                    telemetry.counter("clients.sampled_out", removed);
+                    report.clients_sampled_out = removed;
                 }
 
                 // Server → clients: the round's global model (plus any
@@ -1958,8 +1994,9 @@ mod tests {
                 std::thread::spawn(move || {
                     let deadline = Instant::now() + Duration::from_secs(30);
                     let link = refil_wire::connect(&ep, deadline).expect("connect failed");
-                    let (pid, _spec) = crate::net::client_handshake(&link, i as u64, deadline)
-                        .expect("handshake failed");
+                    let (pid, _spec, _token) =
+                        crate::net::client_handshake(&link, i as u64, None, deadline)
+                            .expect("handshake failed");
                     let mut strat = CentroidStrategy::new(3, 6);
                     crate::net::run_client(
                         &link,
@@ -2005,19 +2042,23 @@ mod tests {
     }
 
     #[test]
-    fn serve_survives_client_abort_mid_run() {
+    fn serve_reassigns_aborted_peers_sessions_mid_run() {
         let ds = tiny_dataset();
         let mut cfg = tiny_config();
         cfg.net.min_peers = 2;
-        cfg.net.round_deadline_ms = 400;
+        cfg.net.round_deadline_ms = 4000;
         cfg.net.join_grace_ms = 100;
+        let mut s_local = CentroidStrategy::new(3, 6);
+        let local = FdilRunner::new(cfg).run(&ds, &mut s_local);
 
         let listener =
             refil_wire::NetListener::bind(&refil_wire::Endpoint::Tcp("127.0.0.1:0".into()))
                 .expect("bind failed");
         let endpoint = listener.local_endpoint();
         // One client aborts (drops the connection) after its second
-        // RoundStart; the other stays for the whole run.
+        // RoundStart; the other stays for the whole run. The reactor
+        // reassigns the aborted peer's slots to the survivor, so the run
+        // completes with nothing late and byte-identical to the local run.
         let quitter = spawn_clients(
             &endpoint,
             &ds,
@@ -2035,19 +2076,75 @@ mod tests {
             c.join().expect("client thread panicked");
         }
 
-        // The run completed every planned round; the sessions assigned to
-        // the aborted peer were recorded as late, not lost or hung.
         assert_eq!(served.traffic.rounds, 6);
         assert_eq!(served.domain_acc.len(), 2);
         let late: u64 = served.rounds.iter().map(|r| r.clients_late).sum();
-        assert!(late > 0, "aborting peer should strand some sessions");
-        let planned: u64 = served
-            .rounds
-            .iter()
-            .map(|r| r.clients_trained + r.clients_late)
-            .sum();
-        let trained: u64 = served.rounds.iter().map(|r| r.clients_trained).sum();
-        assert_eq!(trained + late, planned);
+        assert_eq!(late, 0, "orphaned sessions should be reassigned, not late");
+        assert_eq!(local.final_global, served.final_global);
+        assert_eq!(local.domain_acc, served.domain_acc);
+        assert_eq!(local.traffic, served.traffic);
+        assert_eq!(s_local.merged, s_srv.merged);
+    }
+
+    #[test]
+    fn served_run_resumes_after_link_blip() {
+        let ds = tiny_dataset();
+        let mut cfg = tiny_config();
+        cfg.net.min_peers = 2;
+        cfg.net.round_deadline_ms = 4000;
+        let mut s_local = CentroidStrategy::new(3, 6);
+        let local = FdilRunner::new(cfg).run(&ds, &mut s_local);
+
+        let listener =
+            refil_wire::NetListener::bind(&refil_wire::Endpoint::Tcp("127.0.0.1:0".into()))
+                .expect("bind failed");
+        let endpoint = listener.local_endpoint();
+        // One client deliberately drops its link after the second
+        // RoundStart, then reconnects with its resume token; its replica
+        // state survives the blip, the server replays only the missed
+        // suffix, and the stranded slots are covered by the other peer.
+        let ep = endpoint.clone();
+        let ds2 = ds.clone();
+        let blipper = std::thread::spawn(move || {
+            let mut connect = || {
+                refil_wire::connect(&ep, Instant::now() + Duration::from_secs(30))
+                    .map(|l| Box::new(l) as Box<dyn refil_wire::Link>)
+            };
+            let mut strat = CentroidStrategy::new(3, 6);
+            crate::net::run_client_resumable(
+                &mut connect,
+                7,
+                &ds2,
+                &mut strat,
+                &cfg,
+                &crate::net::ClientOptions {
+                    drop_link_after_round_starts: Some(2),
+                    max_reconnects: 1,
+                    ..Default::default()
+                },
+                &Telemetry::disabled(),
+            )
+            .expect("resumable client failed")
+        });
+        let stayer = spawn_clients(&endpoint, &ds, cfg, 1, crate::net::ClientOptions::default());
+        let mut s_srv = CentroidStrategy::new(3, 6);
+        let served = FdilRunner::new(cfg).serve(&ds, &mut s_srv, &listener, "tiny-spec");
+        let blip_report = blipper.join().expect("blipper thread panicked");
+        for c in stayer {
+            c.join().expect("client thread panicked");
+        }
+
+        assert_eq!(
+            blip_report.resumes, 1,
+            "the blip should resume exactly once"
+        );
+        assert_eq!(blip_report.reason, 0, "resumed client should see COMPLETE");
+        let late: u64 = served.rounds.iter().map(|r| r.clients_late).sum();
+        assert_eq!(late, 0, "blipped slots should be reassigned, not late");
+        assert_eq!(local.final_global, served.final_global);
+        assert_eq!(local.domain_acc, served.domain_acc);
+        assert_eq!(local.traffic, served.traffic);
+        assert_eq!(s_local.merged, s_srv.merged);
     }
 
     #[test]

@@ -162,6 +162,11 @@ pub struct RoundReport {
     /// `#[serde(default)]` keeps pre-networking reports deserializable.
     #[serde(default)]
     pub clients_late: u64,
+    /// Sessions removed by sampled participation (`net.sample_fraction`)
+    /// this round. Always 0 when sampling is disabled.
+    /// `#[serde(default)]` keeps pre-sampling reports deserializable.
+    #[serde(default)]
+    pub clients_sampled_out: u64,
     /// Per-domain accuracies when this round closed a task, else `None`.
     pub eval_domain_acc: Option<Vec<f32>>,
     /// Scratch-arena accounting summed over the round's sessions and eval.
@@ -265,6 +270,7 @@ mod tests {
             clients_trained: 1,
             clients_dropped: 0,
             clients_late: 0,
+            clients_sampled_out: 1,
             eval_domain_acc: Some(vec![0.5, 0.25]),
             scratch: ArenaStats::default(),
         };

@@ -6,8 +6,10 @@ use std::fmt;
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"RFWL";
 
-/// Current schema version; decoders accept exactly this value.
-pub const SCHEMA_VERSION: u16 = 1;
+/// Current schema version; decoders accept exactly this value. Bumped to 2
+/// when the handshake payloads grew session-resumption fields
+/// ([`crate::Hello::resume`], [`crate::Welcome::resume_token`]).
+pub const SCHEMA_VERSION: u16 = 2;
 
 /// Fixed header size preceding every payload.
 pub const HEADER_LEN: usize = 16;

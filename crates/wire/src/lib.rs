@@ -18,7 +18,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RFWL"
-//! 4       2     schema version (u16, currently 1)
+//! 4       2     schema version (u16, currently 2)
 //! 6       2     message kind (u16, see MessageKind)
 //! 8       4     payload length (u32)
 //! 12      4     CRC32 over header bytes 0..12 ++ payload
@@ -41,8 +41,8 @@
 //! | 4 | [`GlobalPromptBroadcast`] | server → client | post-FINCH prompt representatives + generalized prompt |
 //! | 5 | [`MaskedModelUpdate`] | client → server | secure-aggregation masked parameters |
 //! | 6 | [`RehearsalMemory`] | client → client (via server) | episodic-memory samples (rehearsal oracle only) |
-//! | 7 | [`Hello`] | client → server | connection handshake (client nonce) |
-//! | 8 | [`Welcome`] | server → client | assigned peer id + run spec string |
+//! | 7 | [`Hello`] | client → server | connection handshake (client nonce, optional resume token) |
+//! | 8 | [`Welcome`] | server → client | assigned peer id + resume token + run spec string |
 //! | 9 | [`RoundStart`] | server → client | nested broadcast frames + session assignments |
 //! | 10 | [`SessionResult`] | client → server | nested update/merge frames for one session |
 //! | 11 | [`RoundSync`] | server → client | post-aggregate global model + ordered merge frames |
@@ -94,15 +94,17 @@ mod frame;
 mod link;
 mod message;
 mod net;
+mod poll;
 
 pub use frame::{crc32, MessageKind, WireError, HEADER_LEN, MAGIC, SCHEMA_VERSION};
 pub use link::{ConnectError, Link, Listener, Loopback, PeerId, RecvError, SERVER_PEER};
 pub use message::{
     ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
-    PromptGroup, PromptUpload, RehearsalMemory, RoundStart, RoundSync, RunEnd, SessionAssignment,
-    SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
+    PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync, RunEnd,
+    SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
 pub use net::{connect, Endpoint, NetLink, NetListener, MAX_FRAME_LEN};
+pub use poll::{Interest, PollSet};
 
 #[cfg(test)]
 mod proptests;

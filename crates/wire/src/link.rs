@@ -63,6 +63,11 @@ pub enum ConnectError {
     DeadlineExceeded,
     /// The endpoint string could not be parsed.
     BadAddress(String),
+    /// A TCP endpoint (`tcp:host:port` or `host:port`) with an empty host
+    /// part, e.g. `tcp::7700`.
+    EmptyHost(String),
+    /// A Unix-socket endpoint with an empty path, i.e. the bare `unix:`.
+    EmptyPath(String),
     /// The remote actively refused (or the socket could not be bound).
     Refused(String),
     /// Any other I/O failure.
@@ -74,6 +79,8 @@ impl fmt::Display for ConnectError {
         match self {
             Self::DeadlineExceeded => write!(f, "connect deadline exceeded"),
             Self::BadAddress(a) => write!(f, "bad endpoint address: {a}"),
+            Self::EmptyHost(a) => write!(f, "empty host in endpoint address: {a}"),
+            Self::EmptyPath(a) => write!(f, "empty socket path in endpoint address: {a}"),
             Self::Refused(msg) => write!(f, "connection refused: {msg}"),
             Self::Io(msg) => write!(f, "connect i/o error: {msg}"),
         }
@@ -100,6 +107,56 @@ pub trait Link: Send + Sync {
     /// from a gone peer ([`RecvError::Disconnected`]).
     fn recv_deadline(&self, deadline: Instant) -> Result<Vec<u8>, RecvError>;
 
+    /// Switches the link into (or out of) readiness mode. In readiness
+    /// mode the `try_*` methods never block and a reactor drives the link
+    /// off a [`crate::PollSet`]; the blocking [`Link::send`] /
+    /// [`Link::recv_deadline`] API remains the client-side contract.
+    /// Default: no-op — in-memory links are always ready.
+    fn set_nonblocking(&self, _on: bool) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    /// Non-blocking receive: one complete frame if available *now*,
+    /// `Ok(None)` otherwise. Partially received frames are reassembled
+    /// across calls, so interleaving with [`Link::recv_deadline`] is safe.
+    /// Default: a zero-deadline [`Link::recv_deadline`], correct for links
+    /// that check their queue before the deadline.
+    fn try_recv_frame(&self) -> Result<Option<Vec<u8>>, RecvError> {
+        match self.recv_deadline(Instant::now()) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvError::DeadlineExceeded) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Queues one sealed frame on the link's outbound buffer and flushes
+    /// opportunistically, returning the bytes still pending afterwards —
+    /// the reactor's backpressure signal. Default: a blocking
+    /// [`Link::send`] with nothing left pending.
+    fn enqueue_frame(&self, frame: &[u8]) -> Result<usize, WireError> {
+        self.send(frame).map(|()| 0)
+    }
+
+    /// Drains as much of the outbound buffer as the transport accepts
+    /// without blocking; returns the bytes still pending. Default: nothing
+    /// is ever buffered.
+    fn try_flush(&self) -> Result<usize, WireError> {
+        Ok(0)
+    }
+
+    /// Outbound bytes accepted by [`Link::enqueue_frame`] but not yet
+    /// written to the transport.
+    fn pending_tx(&self) -> usize {
+        0
+    }
+
+    /// The raw file descriptor a [`crate::PollSet`] can watch for
+    /// readiness, when the transport has one. `None` selects the poll
+    /// set's bounded-sleep fallback.
+    fn poll_fd(&self) -> Option<i32> {
+        None
+    }
+
     /// Closes the link; subsequent sends fail and blocked receivers wake
     /// with [`RecvError::Disconnected`]. Default: no-op.
     fn close(&self) {}
@@ -110,6 +167,23 @@ pub trait Listener: Send {
     /// Blocks until a peer connects or `deadline` passes. Each accepted
     /// link carries a fresh, listener-unique [`PeerId`].
     fn accept_deadline(&self, deadline: Instant) -> Result<Box<dyn Link>, ConnectError>;
+
+    /// Non-blocking accept: a freshly connected link if one is pending
+    /// *now*, `Ok(None)` otherwise. Default: a zero-deadline
+    /// [`Listener::accept_deadline`].
+    fn try_accept_link(&self) -> Result<Option<Box<dyn Link>>, ConnectError> {
+        match self.accept_deadline(Instant::now()) {
+            Ok(link) => Ok(Some(link)),
+            Err(ConnectError::DeadlineExceeded) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The raw file descriptor a [`crate::PollSet`] can watch for pending
+    /// connections, when the transport has one.
+    fn poll_fd(&self) -> Option<i32> {
+        None
+    }
 
     /// Human-readable bound address (for logs and client hand-off).
     fn local_addr(&self) -> String;
@@ -270,6 +344,23 @@ mod tests {
             "receiver spun: {} condvar waits for one idle deadline",
             link.wait_count()
         );
+    }
+
+    #[test]
+    fn readiness_defaults_fit_the_loopback() {
+        // The defaulted try_* surface must behave correctly for a link
+        // whose queue is checked before the deadline: no frame -> None,
+        // queued frame -> Some, closed -> Disconnected, nothing buffered.
+        let link = Loopback::new();
+        assert_eq!(link.try_recv_frame().unwrap(), None);
+        link.set_nonblocking(true).unwrap();
+        assert_eq!(link.enqueue_frame(&[1, 2]).unwrap(), 0);
+        assert_eq!(link.pending_tx(), 0);
+        assert_eq!(link.try_flush().unwrap(), 0);
+        assert_eq!(link.try_recv_frame().unwrap(), Some(vec![1, 2]));
+        assert_eq!(link.poll_fd(), None);
+        link.close();
+        assert_eq!(link.try_recv_frame(), Err(RecvError::Disconnected));
     }
 
     #[test]

@@ -100,6 +100,18 @@ pub struct RehearsalMemory {
     pub samples: Vec<WireSample>,
 }
 
+/// Session-resumption claim inside a [`Hello`]: which earlier session the
+/// reconnecting client is, and how far through the server's catch-up log
+/// its replica already got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resume {
+    /// Token from the previous [`Welcome`] on this server.
+    pub token: u64,
+    /// Count of catch-up (replay-log) frames the client's replica has
+    /// already applied; the server resumes the replay from this index.
+    pub cursor: u64,
+}
+
 /// Client → server: the first frame on a fresh connection. The nonce is
 /// echoed nowhere; it exists so a handshake frame is never empty and can
 /// carry a client-chosen tag in logs.
@@ -107,6 +119,10 @@ pub struct RehearsalMemory {
 pub struct Hello {
     /// Client-chosen tag (e.g. a PID), for server-side logs only.
     pub nonce: u64,
+    /// Resumption claim when the client is reconnecting with its replica
+    /// state intact. The server then replays only the control frames past
+    /// the claimed cursor instead of the full catch-up log.
+    pub resume: Option<Resume>,
 }
 
 /// Server → client: handshake reply. After this the client replays any
@@ -116,6 +132,9 @@ pub struct Hello {
 pub struct Welcome {
     /// The peer id the listener assigned to this connection.
     pub peer_id: u64,
+    /// Session token the client presents in [`Hello::resume`] if it
+    /// reconnects, entitling it to an incremental replay.
+    pub resume_token: u64,
     /// Opaque run-spec string (the server's serialized experiment spec) so
     /// a bare client process can reconstruct the replicated state.
     pub spec: String,
@@ -314,8 +333,8 @@ impl WireMessage {
                     .map(|s| 4 + f32s_len(&s.features))
                     .sum::<usize>()
             }
-            Self::Hello(_) => 8,
-            Self::Welcome(m) => 8 + bytes_len(m.spec.as_bytes()),
+            Self::Hello(m) => 9 + if m.resume.is_some() { 16 } else { 0 },
+            Self::Welcome(m) => 16 + bytes_len(m.spec.as_bytes()),
             Self::RoundStart(m) => {
                 8 + bytes_len(&m.model)
                     + 1
@@ -402,9 +421,20 @@ impl WireMessage {
                     w.f32s(&s.features);
                 }
             }
-            Self::Hello(m) => w.u64(m.nonce),
+            Self::Hello(m) => {
+                w.u64(m.nonce);
+                match m.resume {
+                    Some(resume) => {
+                        w.u8(1);
+                        w.u64(resume.token);
+                        w.u64(resume.cursor);
+                    }
+                    None => w.u8(0),
+                }
+            }
             Self::Welcome(m) => {
                 w.u64(m.peer_id);
+                w.u64(m.resume_token);
                 w.str(&m.spec);
             }
             Self::RoundStart(m) => {
@@ -543,11 +573,21 @@ impl WireMessage {
                     samples,
                 })
             }
-            MessageKind::Hello => Self::Hello(Hello {
-                nonce: r.u64("nonce")?,
-            }),
+            MessageKind::Hello => {
+                let nonce = r.u64("nonce")?;
+                let resume = match r.u8("resume tag")? {
+                    0 => None,
+                    1 => Some(Resume {
+                        token: r.u64("resume token")?,
+                        cursor: r.u64("resume cursor")?,
+                    }),
+                    _ => return Err(WireError::Malformed("resume tag")),
+                };
+                Self::Hello(Hello { nonce, resume })
+            }
             MessageKind::Welcome => Self::Welcome(Welcome {
                 peer_id: r.u64("peer_id")?,
+                resume_token: r.u64("resume_token")?,
                 spec: r.str("spec")?,
             }),
             MessageKind::RoundStart => {
@@ -690,13 +730,25 @@ mod tests {
                     },
                 ],
             }),
-            WireMessage::Hello(Hello { nonce: 0x1234 }),
+            WireMessage::Hello(Hello {
+                nonce: 0x1234,
+                resume: None,
+            }),
+            WireMessage::Hello(Hello {
+                nonce: 0x99,
+                resume: Some(Resume {
+                    token: u64::MAX,
+                    cursor: 17,
+                }),
+            }),
             WireMessage::Welcome(Welcome {
                 peer_id: 3,
+                resume_token: 0xfeed_f00d,
                 spec: "{\"dataset\":\"digits\",\"seed\":42}".to_string(),
             }),
             WireMessage::Welcome(Welcome {
                 peer_id: 1,
+                resume_token: 0,
                 spec: String::new(),
             }),
             WireMessage::RoundStart(RoundStart {

@@ -9,13 +9,14 @@
 //! blocks in the kernel instead of spinning; partially read frames are
 //! preserved across timeouts and resumed on the next call.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -48,14 +49,17 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Parses an address string. `unix:<path>` selects a Unix-domain
-    /// socket; anything else must look like `host:port`.
+    /// socket; anything else must look like `host:port`. Structurally
+    /// valid addresses with an empty host or path get their own
+    /// [`ConnectError::EmptyHost`] / [`ConnectError::EmptyPath`] variants
+    /// so a CLI can say exactly what is missing.
     pub fn parse(addr: &str) -> Result<Self, ConnectError> {
         if let Some(path) = addr.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ConnectError::EmptyPath(addr.to_string()));
+            }
             #[cfg(unix)]
             {
-                if path.is_empty() {
-                    return Err(ConnectError::BadAddress(addr.to_string()));
-                }
                 return Ok(Self::Unix(PathBuf::from(path)));
             }
             #[cfg(not(unix))]
@@ -68,8 +72,12 @@ impl Endpoint {
         let tcp = addr.strip_prefix("tcp:").unwrap_or(addr);
         // `host:port` with a numeric port; IPv6 needs the bracketed form.
         match tcp.rsplit_once(':') {
-            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
-                Ok(Self::Tcp(tcp.to_string()))
+            Some((host, port)) if port.parse::<u16>().is_ok() => {
+                if host.is_empty() {
+                    Err(ConnectError::EmptyHost(addr.to_string()))
+                } else {
+                    Ok(Self::Tcp(tcp.to_string()))
+                }
             }
             _ => Err(ConnectError::BadAddress(addr.to_string())),
         }
@@ -107,6 +115,23 @@ impl Stream {
             Self::Tcp(s) => s.set_read_timeout(t),
             #[cfg(unix)]
             Self::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_nonblocking(on),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Self::Tcp(s) => s.as_raw_fd(),
+            Self::Unix(s) => s.as_raw_fd(),
         }
     }
 
@@ -157,13 +182,29 @@ struct ReadHalf {
     body_got: usize,
 }
 
+/// Send-side state: bytes accepted by [`Link::enqueue_frame`] but not yet
+/// written sit in `pending` until a flush drains them — the reactor's
+/// per-link backpressure buffer.
+struct WriteHalf {
+    stream: Stream,
+    pending: VecDeque<u8>,
+}
+
 /// One socket-backed [`Link`] (TCP or Unix). Reads and writes are guarded
 /// by separate locks over cloned handles, so a collector thread can block
-/// in `recv_deadline` while the driver sends.
+/// in `recv_deadline` while the driver sends. In readiness mode
+/// ([`Link::set_nonblocking`]) the `try_*` methods never block and the
+/// reactor watches [`Link::poll_fd`] through a [`crate::PollSet`].
 pub struct NetLink {
     peer: PeerId,
     reader: Mutex<ReadHalf>,
-    writer: Mutex<Stream>,
+    writer: Mutex<WriteHalf>,
+    /// Whether the underlying file description is in non-blocking mode
+    /// (shared by both cloned halves). `try_recv_frame` uses it to decide
+    /// if a bounding read timeout is still needed.
+    nonblocking: AtomicBool,
+    #[cfg(unix)]
+    raw_fd: i32,
 }
 
 fn closed_kind(kind: ErrorKind) -> bool {
@@ -182,6 +223,8 @@ impl NetLink {
         let writer = stream
             .try_clone()
             .map_err(|e| ConnectError::Io(e.to_string()))?;
+        #[cfg(unix)]
+        let raw_fd = stream.raw_fd();
         Ok(Self {
             peer,
             reader: Mutex::new(ReadHalf {
@@ -191,7 +234,13 @@ impl NetLink {
                 body: Vec::new(),
                 body_got: 0,
             }),
-            writer: Mutex::new(writer),
+            writer: Mutex::new(WriteHalf {
+                stream: writer,
+                pending: VecDeque::new(),
+            }),
+            nonblocking: AtomicBool::new(false),
+            #[cfg(unix)]
+            raw_fd,
         })
     }
 
@@ -220,6 +269,71 @@ fn fill(stream: &mut Stream, buf: &mut [u8], got: &mut usize) -> Result<bool, Re
     Ok(true)
 }
 
+/// One non-blocking pass of the frame reassembly machine. `Ok(None)` means
+/// the transport had no more bytes to give right now; partial state stays
+/// in `r` and resumes on the next call (from either receive API).
+fn try_read_frame(r: &mut ReadHalf) -> Result<Option<Vec<u8>>, RecvError> {
+    if r.len_got < 4 {
+        let mut len_buf = r.len_buf;
+        let done = fill(&mut r.stream, &mut len_buf, &mut r.len_got)?;
+        r.len_buf = len_buf;
+        if !done {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(r.len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(RecvError::Frame(WireError::Malformed(
+                "length prefix exceeds frame cap",
+            )));
+        }
+        r.body = vec![0; len];
+        r.body_got = 0;
+    }
+    if !fill(&mut r.stream, &mut r.body, &mut r.body_got)? {
+        return Ok(None);
+    }
+    r.len_got = 0;
+    Ok(Some(std::mem::take(&mut r.body)))
+}
+
+fn send_io(e: std::io::Error) -> WireError {
+    if closed_kind(e.kind()) {
+        WireError::TransportClosed
+    } else {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Writes as much of `w.pending` as the stream accepts right now (all of
+/// it on a blocking description). Returns the bytes still pending.
+fn drain_pending(w: &mut WriteHalf) -> Result<usize, WireError> {
+    loop {
+        let n = {
+            let (head, tail) = w.pending.as_slices();
+            let chunk: &[u8] = if head.is_empty() { tail } else { head };
+            if chunk.is_empty() {
+                break;
+            }
+            match w.stream.write(chunk) {
+                Ok(0) => return Err(WireError::TransportClosed),
+                Ok(n) => n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(send_io(e)),
+            }
+        };
+        w.pending.drain(..n);
+    }
+    if w.pending.is_empty() {
+        match w.stream.flush() {
+            Ok(()) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(send_io(e)),
+        }
+    }
+    Ok(w.pending.len())
+}
+
 impl Link for NetLink {
     fn peer_id(&self) -> PeerId {
         self.peer
@@ -228,21 +342,35 @@ impl Link for NetLink {
     fn send(&self, frame: &[u8]) -> Result<(), WireError> {
         let len = u32::try_from(frame.len()).map_err(|_| WireError::Malformed("frame length"))?;
         let mut w = self.writer.lock().expect("net link writer poisoned");
-        let io = |e: std::io::Error| {
-            if closed_kind(e.kind()) {
-                WireError::TransportClosed
-            } else {
-                WireError::Io(e.to_string())
+        w.pending.extend(len.to_le_bytes());
+        w.pending.extend(frame.iter().copied());
+        // Blocking contract: nothing (including any backlog enqueued in
+        // readiness mode) stays buffered. On a non-blocking description,
+        // WouldBlock is waited out in short sleeps.
+        loop {
+            if drain_pending(&mut w)? == 0 {
+                return Ok(());
             }
-        };
-        w.write_all(&len.to_le_bytes()).map_err(io)?;
-        w.write_all(frame).map_err(io)?;
-        w.flush().map_err(io)
+            std::thread::sleep(MIN_READ_TIMEOUT);
+        }
     }
 
     fn recv_deadline(&self, deadline: Instant) -> Result<Vec<u8>, RecvError> {
         let mut r = self.reader.lock().expect("net link reader poisoned");
         let r = &mut *r;
+        if self.nonblocking.load(Ordering::Relaxed) {
+            // No OS read timeout to lean on in readiness mode: poll the
+            // reassembly machine in short sleeps instead.
+            loop {
+                if let Some(frame) = try_read_frame(r)? {
+                    return Ok(frame);
+                }
+                if Instant::now() >= deadline {
+                    return Err(RecvError::DeadlineExceeded);
+                }
+                std::thread::sleep(MIN_READ_TIMEOUT);
+            }
+        }
         loop {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| {
                 // A sub-millisecond remainder would be clamped *up* past
@@ -254,27 +382,64 @@ impl Link for NetLink {
             r.stream
                 .set_read_timeout(remaining)
                 .map_err(|e| RecvError::Io(e.to_string()))?;
-            if r.len_got < 4 {
-                let mut len_buf = r.len_buf;
-                let done = fill(&mut r.stream, &mut len_buf, &mut r.len_got)?;
-                r.len_buf = len_buf;
-                if !done {
-                    continue;
-                }
-                let len = u32::from_le_bytes(r.len_buf) as usize;
-                if len > MAX_FRAME_LEN {
-                    return Err(RecvError::Frame(WireError::Malformed(
-                        "length prefix exceeds frame cap",
-                    )));
-                }
-                r.body = vec![0; len];
-                r.body_got = 0;
+            if let Some(frame) = try_read_frame(r)? {
+                return Ok(frame);
             }
-            if !fill(&mut r.stream, &mut r.body, &mut r.body_got)? {
-                continue;
-            }
-            r.len_got = 0;
-            return Ok(std::mem::take(&mut r.body));
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> Result<(), WireError> {
+        let r = self.reader.lock().expect("net link reader poisoned");
+        // O_NONBLOCK lives on the shared file description, so one call
+        // covers both cloned halves.
+        r.stream
+            .set_nonblocking(on)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        self.nonblocking.store(on, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv_frame(&self) -> Result<Option<Vec<u8>>, RecvError> {
+        let mut r = self.reader.lock().expect("net link reader poisoned");
+        if !self.nonblocking.load(Ordering::Relaxed) {
+            // Bound the peek on a blocking description by the minimum OS
+            // read timeout.
+            r.stream
+                .set_read_timeout(MIN_READ_TIMEOUT)
+                .map_err(|e| RecvError::Io(e.to_string()))?;
+        }
+        try_read_frame(&mut r)
+    }
+
+    fn enqueue_frame(&self, frame: &[u8]) -> Result<usize, WireError> {
+        let len = u32::try_from(frame.len()).map_err(|_| WireError::Malformed("frame length"))?;
+        let mut w = self.writer.lock().expect("net link writer poisoned");
+        w.pending.extend(len.to_le_bytes());
+        w.pending.extend(frame.iter().copied());
+        drain_pending(&mut w)
+    }
+
+    fn try_flush(&self) -> Result<usize, WireError> {
+        let mut w = self.writer.lock().expect("net link writer poisoned");
+        drain_pending(&mut w)
+    }
+
+    fn pending_tx(&self) -> usize {
+        self.writer
+            .lock()
+            .expect("net link writer poisoned")
+            .pending
+            .len()
+    }
+
+    fn poll_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            Some(self.raw_fd)
+        }
+        #[cfg(not(unix))]
+        {
+            None
         }
     }
 
@@ -282,6 +447,7 @@ impl Link for NetLink {
         self.writer
             .lock()
             .expect("net link writer poisoned")
+            .stream
             .shutdown();
     }
 }
@@ -379,21 +545,45 @@ impl Drop for NetListener {
 impl Listener for NetListener {
     fn accept_deadline(&self, deadline: Instant) -> Result<Box<dyn Link>, ConnectError> {
         loop {
-            match self.try_accept() {
-                Ok(Some(stream)) => {
-                    let peer = self.next_peer.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Box::new(NetLink::from_stream(stream, peer)?));
-                }
-                Ok(None) => {
+            match self.try_accept_link()? {
+                Some(link) => return Ok(link),
+                None => {
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(ConnectError::DeadlineExceeded);
                     }
                     std::thread::sleep(RETRY_INTERVAL.min(deadline - now));
                 }
+            }
+        }
+    }
+
+    fn try_accept_link(&self) -> Result<Option<Box<dyn Link>>, ConnectError> {
+        loop {
+            match self.try_accept() {
+                Ok(Some(stream)) => {
+                    let peer = self.next_peer.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(Box::new(NetLink::from_stream(stream, peer)?)));
+                }
+                Ok(None) => return Ok(None),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(ConnectError::Io(e.to_string())),
             }
+        }
+    }
+
+    fn poll_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            Some(match &self.inner {
+                Bound::Tcp(l) => l.as_raw_fd(),
+                Bound::Unix(l, _) => l.as_raw_fd(),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            None
         }
     }
 
@@ -461,21 +651,32 @@ mod tests {
             Endpoint::parse("no-port"),
             Err(ConnectError::BadAddress(_))
         ));
-        assert!(matches!(
-            Endpoint::parse(":99"),
-            Err(ConnectError::BadAddress(_))
-        ));
         #[cfg(unix)]
-        {
-            assert_eq!(
-                Endpoint::parse("unix:/tmp/x.sock").unwrap(),
-                Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
-            );
-            assert!(matches!(
-                Endpoint::parse("unix:"),
-                Err(ConnectError::BadAddress(_))
-            ));
-        }
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+    }
+
+    #[test]
+    fn empty_host_and_empty_path_get_typed_errors() {
+        // A bare `:99` / `tcp::99` names a port but no host; a bare
+        // `unix:` names no path. Each failure mode has its own variant so
+        // a CLI can say exactly what is missing.
+        assert_eq!(
+            Endpoint::parse(":99"),
+            Err(ConnectError::EmptyHost(":99".to_string()))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp::99"),
+            Err(ConnectError::EmptyHost("tcp::99".to_string()))
+        );
+        assert_eq!(
+            Endpoint::parse("unix:"),
+            Err(ConnectError::EmptyPath("unix:".to_string()))
+        );
+        // The non-empty forms still parse.
+        assert!(Endpoint::parse("tcp:localhost:99").is_ok());
     }
 
     #[test]
@@ -520,10 +721,11 @@ mod tests {
         // receive call has already timed out holding partial state.
         let frame = vec![7u8; 10];
         {
-            let w = &client.writer;
-            let mut s = w.lock().unwrap();
-            s.write_all(&(frame.len() as u32).to_le_bytes()).unwrap();
-            s.flush().unwrap();
+            let mut w = client.writer.lock().unwrap();
+            w.stream
+                .write_all(&(frame.len() as u32).to_le_bytes())
+                .unwrap();
+            w.stream.flush().unwrap();
         }
         assert_eq!(
             server_side.recv_deadline(Instant::now() + Duration::from_millis(40)),
@@ -535,9 +737,9 @@ mod tests {
 
     impl NetLink {
         fn send_raw_body(&self, body: &[u8]) {
-            let mut s = self.writer.lock().unwrap();
-            s.write_all(body).unwrap();
-            s.flush().unwrap();
+            let mut w = self.writer.lock().unwrap();
+            w.stream.write_all(body).unwrap();
+            w.stream.flush().unwrap();
         }
     }
 
@@ -556,9 +758,9 @@ mod tests {
     fn absurd_length_prefix_is_framing_error_not_allocation() {
         let (server_side, client) = tcp_pair();
         {
-            let mut s = client.writer.lock().unwrap();
-            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
-            s.flush().unwrap();
+            let mut w = client.writer.lock().unwrap();
+            w.stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            w.stream.flush().unwrap();
         }
         assert!(matches!(
             server_side.recv_deadline(far()),
@@ -583,6 +785,110 @@ mod tests {
         drop(listener);
         assert!(!path.exists(), "listener drop removes the socket file");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_recv_frame_reassembles_partial_frames_without_blocking() {
+        let (server_side, client) = tcp_pair();
+        server_side.set_nonblocking(true).unwrap();
+        // Nothing sent yet: an immediate None, not a block.
+        let start = Instant::now();
+        assert_eq!(server_side.try_recv_frame().unwrap(), None);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        // Trickle one frame in three fragments; the reassembly state must
+        // survive across try_recv_frame calls.
+        let frame = vec![3u8; 9];
+        let mut wire = (frame.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&frame);
+        let chunks: Vec<&[u8]> = wire.chunks(5).collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            client.send_raw_body(chunk);
+            std::thread::sleep(Duration::from_millis(10));
+            if i + 1 < chunks.len() {
+                assert_eq!(server_side.try_recv_frame().unwrap(), None);
+            }
+        }
+        let got = loop {
+            if let Some(f) = server_side.try_recv_frame().unwrap() {
+                break f;
+            }
+        };
+        assert_eq!(got, frame);
+        // A disconnect surfaces as the typed error, same as recv_deadline.
+        client.close();
+        drop(client);
+        let err = loop {
+            match server_side.try_recv_frame() {
+                Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                Ok(Some(_)) => panic!("no frame was sent"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, RecvError::Disconnected);
+    }
+
+    #[test]
+    fn enqueue_buffers_under_backpressure_and_try_flush_drains() {
+        let (server_side, client) = tcp_pair();
+        server_side.set_nonblocking(true).unwrap();
+        // Stuff large frames without the peer reading until the socket
+        // buffer fills and bytes start pending locally.
+        let frame = vec![7u8; 256 * 1024];
+        let mut sent = 0usize;
+        let pending = loop {
+            let pending = server_side.enqueue_frame(&frame).unwrap();
+            sent += 1;
+            assert_eq!(server_side.pending_tx(), pending);
+            if pending > 0 {
+                break pending;
+            }
+            assert!(sent < 1024, "socket buffer never filled");
+        };
+        assert!(pending > 0);
+        // Drain the peer side; try_flush must eventually empty the buffer
+        // and every queued frame must arrive intact and in order.
+        let reader = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            (0..sent)
+                .map(|_| client.recv_deadline(deadline).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if server_side.try_flush().unwrap() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "backlog never drained");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server_side.pending_tx(), 0);
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), sent);
+        assert!(got.iter().all(|f| f == &frame));
+    }
+
+    #[test]
+    fn try_accept_link_is_immediate() {
+        let listener =
+            NetListener::bind(&Endpoint::parse("127.0.0.1:0").unwrap()).expect("bind tcp");
+        assert!(listener.try_accept_link().unwrap().is_none());
+        let _client = connect(&listener.local_endpoint(), far()).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            if let Some(link) = listener.try_accept_link().unwrap() {
+                break link;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pending connection never surfaced"
+            );
+        };
+        assert_eq!(accepted.peer_id(), 1);
+        #[cfg(unix)]
+        {
+            assert!(listener.poll_fd().is_some());
+            assert!(accepted.poll_fd().is_some());
+        }
     }
 
     #[test]

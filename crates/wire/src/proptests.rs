@@ -16,8 +16,8 @@ use proptest::prelude::*;
 use crate::frame::HEADER_LEN;
 use crate::message::{
     ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
-    PromptGroup, PromptUpload, RehearsalMemory, RoundStart, RoundSync, RunEnd, SessionAssignment,
-    SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
+    PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync, RunEnd,
+    SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
 use crate::{WireError, MAGIC};
 
@@ -102,9 +102,21 @@ fn build_message(
                 })
                 .collect(),
         }),
-        6 => WireMessage::Hello(Hello { nonce: id }),
+        6 => WireMessage::Hello(Hello {
+            nonce: id,
+            // Both handshake shapes: a fresh join and a resuming rejoin.
+            resume: if flag == 1 {
+                Some(Resume {
+                    token: aux,
+                    cursor: aux.rotate_left(17),
+                })
+            } else {
+                None
+            },
+        }),
         7 => WireMessage::Welcome(Welcome {
             peer_id: id,
+            resume_token: aux,
             // Arbitrary ASCII spec derived from the bit pool.
             spec: model_bits
                 .iter()
@@ -244,6 +256,60 @@ proptest! {
                 prop_assert!(false, "corrupt frame decoded at byte {}", pos);
             }
         }
+    }
+
+    #[test]
+    fn control_frames_with_real_nested_payloads_round_trip(
+        inner_kind in 0usize..6,
+        outer_sel in 0usize..3,
+        id in 0u64..=u64::MAX,
+        aux in 0u64..=u64::MAX,
+        wbits in 0u32..=u32::MAX,
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..16),
+        nested in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..8), 0..3),
+        flag in 0usize..2,
+    ) {
+        // The control protocol's defining structure: payload exchanges ride
+        // inside RoundStart/SessionResult/RoundSync as *sealed frames*.
+        // The outer codec must hand those bytes back verbatim, and the
+        // inner codec must accept them — for every payload kind, not just
+        // the raw byte blobs the generic round-trip sweep uses.
+        let inner = build_message(inner_kind, id, aux, wbits, &model_bits, &nested, flag);
+        let inner_frame = inner.encode();
+        let outer = match outer_sel {
+            0 => WireMessage::RoundStart(RoundStart {
+                task: id as u32,
+                round: aux as u32,
+                model: inner_frame.clone(),
+                extra: if flag == 1 { Some(inner_frame.clone()) } else { None },
+                sessions: Vec::new(),
+            }),
+            1 => WireMessage::SessionResult(SessionResult {
+                task: id as u32,
+                round: aux as u32,
+                client_id: id,
+                wall_ns: aux,
+                update: inner_frame.clone(),
+                merge: if flag == 1 { Some(inner_frame.clone()) } else { None },
+            }),
+            _ => WireMessage::RoundSync(RoundSync {
+                task: id as u32,
+                round: aux as u32,
+                global: f32s(&model_bits),
+                merges: vec![(id, inner_frame.clone())],
+            }),
+        };
+        let encoded = outer.encode();
+        prop_assert_eq!(encoded.len(), outer.encoded_len());
+        let back = WireMessage::decode(&encoded).expect("outer decode");
+        let nested_back = match &back {
+            WireMessage::RoundStart(m) => m.model.clone(),
+            WireMessage::SessionResult(m) => m.update.clone(),
+            WireMessage::RoundSync(m) => m.merges[0].1.clone(),
+            _ => unreachable!("outer selector"),
+        };
+        prop_assert_eq!(&nested_back, &inner_frame, "nested frame bytes altered");
+        assert_same(&WireMessage::decode(&nested_back).expect("nested decode"), &inner)?;
     }
 
     #[test]

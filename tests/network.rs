@@ -5,8 +5,10 @@
 //! Client processes are spawned by re-executing this test binary: the
 //! `net_client_child` test below is a no-op under a normal `cargo test`,
 //! but becomes a federation client when `REFIL_NET_CHILD_ADDR` is set.
-//! The straggler tests pin the deadline path: a client that drops mid-run
-//! (or trains slower than the round deadline) strands its sessions as
+//! The straggler tests pin the failure paths: a crashed client's sessions
+//! are reassigned to surviving peers (and a rejoining process catches up
+//! from the replay log); only when no live peer remains — or a client
+//! trains slower than the round deadline — are sessions stranded as
 //! `clients_late`, and the run still completes deterministically.
 
 use std::process::{Child, Command, Stdio};
@@ -142,6 +144,7 @@ fn assert_semantically_identical(a: &RunResult, b: &RunResult) {
         assert_eq!(x.clients_trained, y.clients_trained);
         assert_eq!(x.clients_dropped, y.clients_dropped);
         assert_eq!(x.clients_late, y.clients_late);
+        assert_eq!(x.clients_sampled_out, y.clients_sampled_out);
     }
 }
 
@@ -188,6 +191,76 @@ fn finetune_over_unix_socket_matches_loopback_across_seeds() {
         assert_semantically_identical(&local, &served);
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampled_participation_matches_loopback() {
+    // Per-round client sampling draws from its own seeded RNG stream on the
+    // shared planning path, so a networked run samples exactly the sessions
+    // the loopback run samples — and stays byte-identical.
+    let ds = dataset();
+    let mut cfg = run_cfg(29);
+    cfg.net.sample_fraction = 0.5;
+    cfg.net.min_sample = 1;
+    let mut local_strat = build_strategy("finetune");
+    let local = FdilRunner::new(cfg).run(&ds, local_strat.as_mut());
+    let sampled_out: u64 = local.rounds.iter().map(|r| r.clients_sampled_out).sum();
+    assert!(
+        sampled_out > 0,
+        "half sampling must leave some sessions out"
+    );
+    let served = serve_run(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        "finetune",
+        cfg,
+        2,
+        &[],
+        true,
+    );
+    assert_semantically_identical(&local, &served);
+}
+
+#[test]
+fn crashed_client_is_reassigned_and_a_rejoiner_catches_up() {
+    // One client crashes (drops its connection without notice) on its second
+    // RoundStart. The reactor reassigns the stranded sessions to the
+    // surviving peer, so nothing goes late and the run stays byte-identical
+    // to the loopback run. A replacement process then joins mid-run, catches
+    // up from the server's full replay log, and finishes COMPLETE.
+    let ds = dataset();
+    let mut cfg = run_cfg(13);
+    cfg.net.min_peers = 2;
+    cfg.net.round_deadline_ms = 4_000;
+    let mut local_strat = build_strategy("finetune");
+    let local = FdilRunner::new(cfg).run(&ds, local_strat.as_mut());
+
+    let listener = NetListener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let addr = listener.local_endpoint().to_string();
+    let crash = [("REFIL_NET_CHILD_ABORT", "2".to_string())];
+    // The stayer trains with a small delay so the run is still in flight
+    // when the replacement process connects.
+    let slow = [("REFIL_NET_CHILD_DELAY", "200".to_string())];
+    let mut crasher = spawn_client(&addr, "finetune", 13, &crash);
+    let mut stayer = spawn_client(&addr, "finetune", 13, &slow);
+    let rejoin_addr = addr.clone();
+    let rejoiner = std::thread::spawn(move || {
+        let status = crasher.wait().expect("wait for crasher");
+        assert!(status.success(), "crasher child failed: {status}");
+        let mut child = spawn_client(&rejoin_addr, "finetune", 13, &[]);
+        child.wait().expect("wait for rejoiner")
+    });
+    let mut strat = build_strategy("finetune");
+    let served = FdilRunner::new(cfg).serve(&ds, strat.as_mut(), &listener, "net-test");
+    let rejoin_status = rejoiner.join().expect("rejoiner thread");
+    assert!(rejoin_status.success(), "rejoiner child failed");
+    let stayer_status = stayer.wait().expect("wait for stayer");
+    assert!(stayer_status.success(), "stayer child failed");
+
+    assert_semantically_identical(&local, &served);
+    assert!(
+        served.rounds.iter().all(|r| r.clients_late == 0),
+        "crashed peer's sessions must be reassigned, not stranded"
+    );
 }
 
 #[test]
@@ -291,7 +364,8 @@ fn net_client_child() {
     let endpoint = Endpoint::parse(&addr).expect("child address");
     let deadline = Instant::now() + Duration::from_secs(60);
     let link = connect(&endpoint, deadline).expect("child connect");
-    let (peer_id, _spec) = client_handshake(&link, seed, deadline).expect("child handshake");
+    let (peer_id, _spec, _token) =
+        client_handshake(&link, seed, None, deadline).expect("child handshake");
     let ds = dataset();
     let mut strat = build_strategy(&method);
     run_client(
