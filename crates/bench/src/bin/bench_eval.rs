@@ -167,6 +167,7 @@ fn run_cfg() -> RunConfig {
         seed: 13,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 

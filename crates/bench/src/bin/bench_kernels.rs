@@ -168,6 +168,7 @@ fn round_workload(threads: usize, conv: bool) {
         seed: 13,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     };
     let mut strat = Finetune::new(method);
     black_box(

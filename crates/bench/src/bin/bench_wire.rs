@@ -1,0 +1,251 @@
+//! Accuracy-vs-bytes recorder for the wire compression layer: runs the same
+//! pinned-seed RefFiL experiment under a matrix of [`WireConfig`]s (plus the
+//! prompt-only exchange mode) and writes `BENCH_wire.json` to the repo root
+//! with, per row, the uplink bytes as encoded on the wire, the dense-frame
+//! bytes the same updates would have cost uncompressed, the resulting
+//! reduction ratio, and the Avg/Last/forgetting scores — so the
+//! bytes-for-accuracy trade recorded in the paper's communication analysis
+//! is regenerated in-tree and gated by `bench_gate --check`.
+//!
+//! Run with `cargo run --release -p refil-bench --bin bench_wire`.
+//! `REFIL_SCALE=smoke` shrinks the protocol for CI smoke runs.
+//!
+//! The bin asserts the acceptance floor itself: the aggressive lossy spec
+//! (`delta+int8+topk0.5`) and the prompt-only mode must both cut encoded
+//! uplink bytes at least 5× while landing final accuracy within one point
+//! of the uncompressed run, and every row's per-kind `wire_bytes` columns
+//! must sum exactly to the run's total traffic.
+
+use std::time::Instant;
+
+use refil_bench::datasets::DatasetChoice;
+use refil_bench::methods::{build_method, method_config, MethodChoice};
+use refil_bench::runner::ExperimentSpec;
+use refil_bench::BenchMeta;
+use refil_eval::scores;
+use refil_fed::{FdilRunner, Telemetry, WireConfig, WireQuant};
+
+/// One compression row: a method plus the wire spec it runs under.
+struct Row {
+    name: &'static str,
+    method: MethodChoice,
+    wire: WireConfig,
+}
+
+fn rows() -> Vec<Row> {
+    let base = WireConfig::default();
+    vec![
+        Row {
+            name: "none",
+            method: MethodChoice::RefFiL,
+            wire: base,
+        },
+        Row {
+            name: "delta",
+            method: MethodChoice::RefFiL,
+            wire: WireConfig {
+                delta: true,
+                ..base
+            },
+        },
+        Row {
+            name: "delta+f16",
+            method: MethodChoice::RefFiL,
+            wire: WireConfig {
+                delta: true,
+                quant: WireQuant::F16,
+                ..base
+            },
+        },
+        Row {
+            name: "delta+int8+topk0.25",
+            method: MethodChoice::RefFiL,
+            wire: WireConfig {
+                delta: true,
+                quant: WireQuant::Int8,
+                topk_fraction: 0.25,
+            },
+        },
+        Row {
+            name: "delta+int8+topk0.5",
+            method: MethodChoice::RefFiL,
+            wire: WireConfig {
+                delta: true,
+                quant: WireQuant::Int8,
+                topk_fraction: 0.5,
+            },
+        },
+        Row {
+            name: "prompt-only",
+            method: MethodChoice::RefFiLPromptOnly,
+            wire: base,
+        },
+        Row {
+            name: "prompt-only+delta+int8",
+            method: MethodChoice::RefFiLPromptOnly,
+            wire: WireConfig {
+                delta: true,
+                quant: WireQuant::Int8,
+                ..base
+            },
+        },
+    ]
+}
+
+#[derive(serde::Serialize)]
+struct WireRecord {
+    name: String,
+    /// Wall time of the full federated run under this spec.
+    run_ns: u64,
+    /// Encoded uplink bytes summed over every round.
+    uplink_encoded_bytes: u64,
+    /// Dense-frame bytes the same updates would have cost.
+    uplink_raw_bytes: u64,
+    /// `raw / encoded` — the gated compression figure (higher is better).
+    uplink_reduction_ratio: f64,
+    /// Average incremental accuracy (%).
+    acc_avg: f32,
+    /// Final-step accuracy (%).
+    acc_last: f32,
+    /// Forgetting measure (%).
+    forgetting: f32,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    generated_by: String,
+    meta: BenchMeta,
+    dataset: String,
+    seed: u64,
+    records: Vec<WireRecord>,
+}
+
+/// Runs one row on the pinned experiment and folds its accounting.
+fn run_row(spec: &ExperimentSpec, row: &Row) -> WireRecord {
+    let dataset = spec
+        .dataset
+        .generate(&spec.scale, spec.seed, spec.new_order);
+    let cfg = method_config(spec.dataset, dataset.num_domains(), spec.seed ^ 7);
+    let mut strategy = build_method(row.method, cfg);
+    let mut run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
+    run_cfg.wire = row.wire;
+    let t = Instant::now();
+    let result = FdilRunner::new(run_cfg)
+        .telemetry(&Telemetry::disabled())
+        .threads(1)
+        .run(&dataset, strategy.as_mut());
+    let run_ns = t.elapsed().as_nanos() as u64;
+
+    // The per-kind wire ledger must partition the traffic totals exactly,
+    // compression or not: every encoded frame lands in exactly one kind.
+    let per_kind: u64 = result.rounds.iter().map(|r| r.total_wire_bytes()).sum();
+    let traffic_total = result.traffic.up_bytes + result.traffic.down_bytes;
+    assert_eq!(
+        per_kind, traffic_total,
+        "{}: per-kind wire bytes ({per_kind}) != traffic total ({traffic_total})",
+        row.name
+    );
+
+    // Note `encoded` can exceed `raw` slightly (a few tens of bytes per
+    // update) for specs that keep dense f32 values: the compressed frame
+    // carries the delta base tag and index header that a plain
+    // `ClientModelUpdate` does not.
+    let encoded: u64 = result.rounds.iter().map(|r| r.uplink_encoded_bytes).sum();
+    let raw: u64 = result.rounds.iter().map(|r| r.uplink_raw_bytes).sum();
+    let s = scores(&result.domain_acc);
+    WireRecord {
+        name: format!("fed/wire/{}", row.name),
+        run_ns,
+        uplink_encoded_bytes: encoded,
+        uplink_raw_bytes: raw,
+        uplink_reduction_ratio: raw as f64 / encoded as f64,
+        acc_avg: s.avg,
+        acc_last: s.last,
+        forgetting: s.forgetting,
+    }
+}
+
+fn out_path_from_args() -> String {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json").to_string();
+    let mut out = default;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("bench_wire: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_wire: unknown argument {other}\nusage: bench_wire [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let out_path = out_path_from_args();
+    let spec = ExperimentSpec::new(DatasetChoice::OfficeCaltech10);
+
+    let mut records = Vec::new();
+    for row in rows() {
+        let rec = run_row(&spec, &row);
+        println!(
+            "{:<32} {:>12} B encoded  {:>12} B raw  {:>7.2}x  Avg {:>6.2}%  Last {:>6.2}%",
+            rec.name,
+            rec.uplink_encoded_bytes,
+            rec.uplink_raw_bytes,
+            rec.uplink_reduction_ratio,
+            rec.acc_avg,
+            rec.acc_last,
+        );
+        records.push(rec);
+    }
+
+    // Acceptance floor: each aggressive spec must buy >= 5x uplink with
+    // final accuracy within one point of the uncompressed run of the same
+    // method — the codec must not change what the model learns. (The
+    // prompt-only *mode* itself trades accuracy for bytes at bench scale,
+    // where the from-scratch backbone still benefits from aggregation; that
+    // trade is the curve's point and is recorded, not gated.)
+    let row = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("row {name} present"))
+    };
+    for (aggressive, uncompressed) in [
+        ("fed/wire/delta+int8+topk0.5", "fed/wire/none"),
+        ("fed/wire/prompt-only+delta+int8", "fed/wire/prompt-only"),
+    ] {
+        let rec = row(aggressive);
+        assert!(
+            rec.uplink_reduction_ratio >= 5.0,
+            "{aggressive}: reduction {:.2}x below the 5x floor",
+            rec.uplink_reduction_ratio
+        );
+        let baseline_last = row(uncompressed).acc_last;
+        assert!(
+            (rec.acc_last - baseline_last).abs() <= 1.0,
+            "{aggressive}: final accuracy {:.2}% strays more than 1 point from \
+             the uncompressed {:.2}%",
+            rec.acc_last,
+            baseline_last
+        );
+    }
+
+    let report = Report {
+        generated_by: "cargo run --release -p refil-bench --bin bench_wire".into(),
+        meta: BenchMeta::capture(),
+        dataset: spec.dataset.name().to_string(),
+        seed: spec.seed,
+        records,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write wire report");
+    println!("wrote {out_path}");
+}

@@ -16,7 +16,7 @@
 //! | flag | modes | meaning |
 //! |------|-------|---------|
 //! | `--dataset <name>`       | local, listen | `digits`, `office`, `pacs`, `domainnet` |
-//! | `--method <name>`        | local, listen | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil` |
+//! | `--method <name>`        | local, listen | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil`, `reffil+prompt` |
 //! | `--seed N`               | local, listen | master seed (default 42) |
 //! | `--new-order`            | local, listen | Table 4 shuffled domain order |
 //! | `--listen <addr>`        | listen | serve rounds over `tcp:host:port`, `host:port`, or `unix:PATH` |
@@ -26,6 +26,7 @@
 //! | `--join-grace-ms N`      | listen | wait for re-joins when all peers leave (default 10000) |
 //! | `--sample-fraction F`    | listen | per-round participation fraction in (0, 1]; 0 disables sampling (default 0) |
 //! | `--min-sample N`         | listen | never sample below N sessions per round (default 0 = 1) |
+//! | `--wire SPEC`            | local, listen | uplink compression spec, e.g. `delta+int8+topk0.5`, `f16`, `none` (default none) |
 //! | `--threads N`            | all | worker pool size (0 = auto: all cores; N clamps to the core count; default from `REFIL_THREADS`) |
 //! | `--json FILE`            | local, listen | write scores + accuracy matrix as JSON |
 //! | `--trace FILE`           | all | stream telemetry events as JSONL |
@@ -41,9 +42,9 @@
 //! their respective modes.
 
 use refil_bench::methods::method_by_name;
-use refil_bench::netcli::{self, scale_name_from_env, NetOverrides, NetSpec};
+use refil_bench::netcli::{self, parse_wire_arg, scale_name_from_env, NetOverrides, NetSpec};
 use refil_bench::{
-    dataset_by_name, run_experiment_with_threads, DatasetChoice, ExperimentSpec, MethodChoice,
+    dataset_by_name, run_experiment_with_wire, DatasetChoice, ExperimentSpec, MethodChoice,
     MethodResult, Scale,
 };
 use refil_fed::ClientOptions;
@@ -66,7 +67,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--listen ADDR [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N]] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]\n       run --connect ADDR [--threads N] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
+        "usage: run --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil|reffil+prompt> [--seed N] [--new-order] [--listen ADDR [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N]] [--wire SPEC] [--threads N] [--json FILE] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]\n       run --connect ADDR [--threads N] [--trace FILE] [--trace-chrome FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -119,6 +120,16 @@ fn parse_args() -> Args {
             "--join-grace-ms" => out.overrides.join_grace_ms = Some(num(&mut args)),
             "--sample-fraction" => out.overrides.sample_fraction = Some(num(&mut args)),
             "--min-sample" => out.overrides.min_sample = Some(num(&mut args)),
+            "--wire" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match parse_wire_arg(&v) {
+                    Ok(w) => out.overrides.wire = Some(w),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
+            }
             "--threads" => out.threads = Some(num(&mut args)),
             "--json" => out.json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
@@ -305,7 +316,7 @@ fn main() {
             new_order: args.new_order,
             seed: args.seed,
         };
-        run_experiment_with_threads(&spec, method, &telemetry, args.threads)
+        run_experiment_with_wire(&spec, method, &telemetry, args.threads, args.overrides.wire)
     };
     telemetry.flush();
     print_result(&args, &r, &status, start.elapsed());

@@ -5,14 +5,15 @@
 //! cargo run --release -p refil-bench --bin serve -- \
 //!     --listen tcp:127.0.0.1:7700 --dataset digits --method reffil \
 //!     [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] \
-//!     [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N]
+//!     [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N] \
+//!     [--wire SPEC]
 //! ```
 //!
 //! | flag | meaning |
 //! |------|---------|
 //! | `--listen <addr>`          | bind address: `tcp:host:port`, `host:port`, or `unix:PATH` |
 //! | `--dataset <name>`         | `digits`, `office`, `pacs`, `domainnet` |
-//! | `--method <name>`          | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil` |
+//! | `--method <name>`          | `finetune`, `lwf`, `ewc`, `l2p`, `l2p+pool`, `dualprompt`, `dualprompt+pool`, `reffil`, `reffil+prompt` |
 //! | `--seed N`                 | master seed (default 42) |
 //! | `--new-order`              | Table 4 shuffled domain order |
 //! | `--min-peers N`            | clients to wait for before round one (default 1) |
@@ -20,6 +21,7 @@
 //! | `--join-grace-ms N`        | wait for re-joins when all peers leave (default 10000) |
 //! | `--sample-fraction F`      | per-round participation fraction in (0, 1]; 0 disables sampling (default 0) |
 //! | `--min-sample N`           | never sample below N sessions per round (default 0 = 1) |
+//! | `--wire SPEC`              | uplink compression, e.g. `delta+int8+topk0.25`, `f16`, `none` (default none) |
 //! | `--threads N`              | eval worker threads (0 = all cores) |
 //!
 //! `REFIL_SCALE=smoke|bench|paper` selects the protocol scale; the server
@@ -28,7 +30,7 @@
 //! in-process `run` invocation.
 
 use refil_bench::methods::method_by_name;
-use refil_bench::netcli::{scale_name_from_env, serve, NetOverrides, NetSpec};
+use refil_bench::netcli::{parse_wire_arg, scale_name_from_env, serve, NetOverrides, NetSpec};
 use refil_bench::{dataset_by_name, DatasetChoice, MethodChoice};
 use refil_telemetry::Telemetry;
 
@@ -44,7 +46,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve --listen <tcp:host:port|unix:PATH> --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil> [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N]"
+        "usage: serve --listen <tcp:host:port|unix:PATH> --dataset <digits|office|pacs|domainnet> --method <finetune|lwf|ewc|l2p|l2p+pool|dualprompt|dualprompt+pool|reffil|reffil+prompt> [--seed N] [--new-order] [--min-peers N] [--round-deadline-ms N] [--join-grace-ms N] [--sample-fraction F] [--min-sample N] [--threads N] [--wire SPEC]"
     );
     std::process::exit(2);
 }
@@ -89,6 +91,16 @@ fn parse_args() -> Args {
             "--join-grace-ms" => overrides.join_grace_ms = Some(num(&mut args)),
             "--sample-fraction" => overrides.sample_fraction = Some(num(&mut args)),
             "--min-sample" => overrides.min_sample = Some(num(&mut args)),
+            "--wire" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match parse_wire_arg(&v) {
+                    Ok(w) => overrides.wire = Some(w),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
+            }
             "--threads" => threads = Some(num(&mut args)),
             "--help" | "-h" => usage(),
             other => {

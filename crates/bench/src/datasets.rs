@@ -121,6 +121,7 @@ impl DatasetChoice {
             seed,
             threads: 0,
             net: refil_fed::NetConfig::default(),
+            wire: refil_fed::WireConfig::default(),
         }
     }
 }

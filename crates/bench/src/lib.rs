@@ -29,5 +29,5 @@ pub use methods::{build_method, method_names, MethodChoice};
 pub use netcli::{scale_by_name, scale_name_from_env, NetOverrides, NetSpec, ResolvedSpec};
 pub use runner::{
     run_all_methods, run_experiment, run_experiment_traced, run_experiment_with_threads,
-    ExperimentSpec, MethodResult,
+    run_experiment_with_wire, ExperimentSpec, MethodResult,
 };

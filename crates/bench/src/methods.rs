@@ -26,6 +26,11 @@ pub enum MethodChoice {
     FedDualPromptPool,
     /// The paper's contribution.
     RefFiL,
+    /// RefFiL with prompt-only parameter exchange: the shared backbone
+    /// stays at the server's broadcast values and only the prompt
+    /// machinery travels uplink (the communication-light deployment; not a
+    /// paper table row, so excluded from [`MethodChoice::all`]).
+    RefFiLPromptOnly,
 }
 
 impl MethodChoice {
@@ -55,6 +60,7 @@ impl MethodChoice {
             Self::FedDualPrompt => "dualprompt",
             Self::FedDualPromptPool => "dualprompt+pool",
             Self::RefFiL => "reffil",
+            Self::RefFiLPromptOnly => "reffil+prompt",
         }
     }
 
@@ -69,6 +75,7 @@ impl MethodChoice {
             Self::FedDualPrompt => "FedDualPrompt",
             Self::FedDualPromptPool => "FedDualPrompt\u{2020}",
             Self::RefFiL => "RefFiL",
+            Self::RefFiLPromptOnly => "RefFiL (prompt-only)",
         }
     }
 }
@@ -134,6 +141,9 @@ pub fn build_method(choice: MethodChoice, cfg: MethodConfig) -> Box<dyn FdilStra
         MethodChoice::FedDualPrompt => Box::new(FedDualPrompt::new(prompt_cfg, false)),
         MethodChoice::FedDualPromptPool => Box::new(FedDualPrompt::new(prompt_cfg, true)),
         MethodChoice::RefFiL => Box::new(RefFiL::new(RefFiLConfig::new(prompt_cfg))),
+        MethodChoice::RefFiLPromptOnly => Box::new(RefFiL::new(
+            RefFiLConfig::new(prompt_cfg).with_prompt_only(true),
+        )),
     }
 }
 
@@ -165,6 +175,9 @@ pub fn method_by_name(name: &str) -> Option<MethodChoice> {
             Some(MethodChoice::FedDualPromptPool)
         }
         "reffil" => Some(MethodChoice::RefFiL),
+        "reffil+prompt" | "reffil+promptonly" | "reffilprompt" => {
+            Some(MethodChoice::RefFiLPromptOnly)
+        }
         _ => None,
     }
 }
@@ -195,6 +208,14 @@ mod tests {
         assert_eq!(method_by_name("RefFiL"), Some(MethodChoice::RefFiL));
         assert_eq!(method_by_name("l2p+pool"), Some(MethodChoice::FedL2pPool));
         assert_eq!(method_by_name("ewc"), Some(MethodChoice::FedEwc));
+        assert_eq!(
+            method_by_name("reffil+prompt"),
+            Some(MethodChoice::RefFiLPromptOnly)
+        );
+        assert_eq!(
+            method_by_name(MethodChoice::RefFiLPromptOnly.cli_name()),
+            Some(MethodChoice::RefFiLPromptOnly)
+        );
         assert_eq!(method_by_name("unknown"), None);
     }
 

@@ -140,6 +140,50 @@ pub struct NetOverrides {
     pub sample_fraction: Option<f32>,
     /// Sampling floor (`--min-sample`).
     pub min_sample: Option<usize>,
+    /// Uplink compression (`--wire`, e.g. `delta+int8+topk0.25`).
+    pub wire: Option<refil_fed::WireConfig>,
+}
+
+/// Parses a `--wire` argument: `none` (identity), or any `+`-joined
+/// combination of `delta`, `f16`, `int8`, and `topk<fraction>` — the same
+/// vocabulary [`CompressionSpec`](refil_fed::CompressionSpec) displays.
+///
+/// # Errors
+///
+/// Fails on unknown terms, conflicting quantizers, or an out-of-range
+/// top-k fraction.
+pub fn parse_wire_arg(arg: &str) -> Result<refil_fed::WireConfig, String> {
+    let mut wire = refil_fed::WireConfig::default();
+    if arg == "none" || arg == "identity" {
+        return Ok(wire);
+    }
+    for term in arg.split('+') {
+        if term == "delta" {
+            wire.delta = true;
+        } else if term == "f16" || term == "int8" {
+            if wire.quant != refil_fed::WireQuant::None {
+                return Err(format!("--wire {arg}: more than one quantizer"));
+            }
+            wire.quant = if term == "f16" {
+                refil_fed::WireQuant::F16
+            } else {
+                refil_fed::WireQuant::Int8
+            };
+        } else if let Some(frac) = term.strip_prefix("topk") {
+            wire.topk_fraction = frac
+                .parse::<f32>()
+                .map_err(|e| format!("--wire {arg}: bad top-k fraction {frac:?}: {e}"))?;
+        } else {
+            return Err(format!("--wire {arg}: unknown term {term:?}"));
+        }
+    }
+    if !wire.spec().is_valid() {
+        return Err(format!(
+            "--wire {arg}: top-k fraction must be in (0, 1], got {}",
+            wire.topk_fraction
+        ));
+    }
+    Ok(wire)
 }
 
 /// Runs a federation server: binds `addr`, waits for clients, and drives
@@ -178,6 +222,9 @@ pub fn serve(
     }
     if let Some(n) = overrides.min_sample {
         run_cfg.net.min_sample = n;
+    }
+    if let Some(w) = overrides.wire {
+        run_cfg.wire = w;
     }
     run_cfg.validate().map_err(|e| e.to_string())?;
 
@@ -222,9 +269,11 @@ pub fn client(
     let endpoint = Endpoint::parse(addr).map_err(|e| e.to_string())?;
     let deadline = Instant::now() + CONNECT_TIMEOUT;
     let link = connect(&endpoint, deadline).map_err(|e| format!("connect {addr}: {e}"))?;
-    let (peer_id, spec_json, _resume_token) =
+    let (peer_id, spec_json, _resume_token, compression) =
         client_handshake(&link, u64::from(std::process::id()), None, deadline)
             .map_err(|e| format!("handshake: {e}"))?;
+    let mut opts = *opts;
+    opts.compression = compression;
     let spec = NetSpec::from_json(&spec_json)?;
     let resolved = spec.resolve()?;
     telemetry.info(format!(
@@ -246,7 +295,7 @@ pub fn client(
         &dataset,
         strategy.as_mut(),
         &cfg,
-        opts,
+        &opts,
         telemetry,
     )
     .map_err(|e| format!("client loop: {e}"))?;
@@ -281,6 +330,22 @@ mod tests {
         for m in MethodChoice::all() {
             assert_eq!(method_by_name(m.cli_name()), Some(m), "{:?}", m);
         }
+    }
+
+    #[test]
+    fn wire_args_parse_to_specs() {
+        assert_eq!(
+            parse_wire_arg("none").unwrap(),
+            refil_fed::WireConfig::default()
+        );
+        let w = parse_wire_arg("delta+int8+topk0.25").unwrap();
+        assert_eq!(w.spec().to_string(), "delta+int8+topk0.25");
+        let w = parse_wire_arg("f16").unwrap();
+        assert_eq!(w.quant, refil_fed::WireQuant::F16);
+        assert!(!w.delta);
+        assert!(parse_wire_arg("f16+int8").is_err());
+        assert!(parse_wire_arg("topk0").is_err());
+        assert!(parse_wire_arg("zstd").is_err());
     }
 
     #[test]

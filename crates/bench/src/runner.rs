@@ -77,12 +77,29 @@ pub fn run_experiment_with_threads(
     telemetry: &Telemetry,
     threads: Option<usize>,
 ) -> MethodResult {
+    run_experiment_with_wire(spec, method, telemetry, threads, None)
+}
+
+/// Like [`run_experiment_with_threads`], additionally overriding the uplink
+/// compression spec (`wire = None` keeps the dataset default, i.e. the
+/// identity spec). This is the loopback counterpart of the networked
+/// `--wire` flag: same config knob, same byte accounting.
+pub fn run_experiment_with_wire(
+    spec: &ExperimentSpec,
+    method: MethodChoice,
+    telemetry: &Telemetry,
+    threads: Option<usize>,
+    wire: Option<refil_fed::WireConfig>,
+) -> MethodResult {
     let dataset = spec
         .dataset
         .generate(&spec.scale, spec.seed, spec.new_order);
     let cfg = method_config(spec.dataset, dataset.num_domains(), spec.seed ^ 7);
     let mut strategy = build_method(method, cfg);
-    let run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
+    let mut run_cfg = spec.dataset.run_config(&spec.scale, spec.seed);
+    if let Some(w) = wire {
+        run_cfg.wire = w;
+    }
     let mut runner = FdilRunner::new(run_cfg).telemetry(telemetry);
     if let Some(n) = threads {
         runner = runner.threads(n);

@@ -66,5 +66,6 @@ pub fn tiny_run_config() -> RunConfig {
         seed: 13,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }

@@ -83,6 +83,19 @@ pub struct RefFiLConfig {
     /// removing the task-ID dependence the paper's Limitations section
     /// acknowledges (at `max_tasks`-times inference cost).
     pub task_free_inference: bool,
+    /// When set, clients exchange only the prompt machinery (the CDAP
+    /// generator / fixed prompt, the task keys, and the tokenizer) in their
+    /// round updates once the task-0 warm-up has trained the shared
+    /// backbone; from task 1 on the extractor, attention blocks, and
+    /// classifier are FLEX-style frozen at the last globally aggregated
+    /// weights, locally and over the wire. This is the communication-light
+    /// deployment the paper motivates: prompts are the learned state that
+    /// travels, and the steady-state uplink shrinks to the prompt
+    /// machinery's footprint. At bench scale it trades accuracy for bytes —
+    /// the from-scratch backbone here keeps benefiting from aggregation,
+    /// unlike the paper's pretrained frozen ViT (see `BENCH_wire.json`).
+    #[serde(default)]
+    pub prompt_only: bool,
 }
 
 impl RefFiLConfig {
@@ -99,6 +112,7 @@ impl RefFiLConfig {
             cluster_mode: ClusterMode::Finch,
             weighted_prompt_sharing: false,
             task_free_inference: false,
+            prompt_only: false,
         }
     }
 
@@ -125,6 +139,14 @@ impl RefFiLConfig {
         self.task_free_inference = on;
         self
     }
+
+    /// Switches to prompt-only parameter exchange after the task-0 warm-up
+    /// (the shared backbone freezes at the last aggregated weights; only
+    /// the prompt machinery travels uplink).
+    pub fn with_prompt_only(mut self, on: bool) -> Self {
+        self.prompt_only = on;
+        self
+    }
 }
 
 /// The RefFiL federated domain-incremental learning strategy.
@@ -143,7 +165,17 @@ pub struct RefFiL {
 
 impl RefFiL {
     /// Builds RefFiL (or an ablated variant, per `cfg.flags`).
-    pub fn new(cfg: RefFiLConfig) -> Self {
+    pub fn new(mut cfg: RefFiLConfig) -> Self {
+        if cfg.prompt_only {
+            // Prompt-only exchange only works if local training matches what
+            // actually travels: after the task-0 warm-up the shared backbone
+            // is hard-frozen (not just slowed), so prompts adapt against the
+            // exact weights every other client and the server hold. Without
+            // this, clients co-adapt prompts to local backbone drift that the
+            // masked exchange then throws away.
+            cfg.method.stable_after_first_task = true;
+            cfg.method.stable_backbone_scale = 0.0;
+        }
         let mut core = ModelCore::new(cfg.method);
         let bb = cfg.method.backbone;
         let mut rng = StdRng::seed_from_u64(cfg.method.init_seed ^ 0x5265_6646_694c); // "RefFiL"
@@ -522,6 +554,38 @@ impl FdilStrategy for RefFiL {
         self.current_task = task;
     }
 
+    fn exchange_mask(&self, task: u64) -> Option<Vec<u32>> {
+        if !self.cfg.prompt_only || task == 0 {
+            // Task 0 is the collaborative warm-up: the shared backbone is
+            // still being learned from scratch, so the full model is
+            // exchanged. From task 1 on the backbone runs in its stabilized
+            // regime (`stable_after_first_task`) and stays at the last
+            // globally-aggregated weights; only the prompt-side slice moves.
+            return None;
+        }
+        // Flat-layout indices of everything that is *not* the shared
+        // backbone, using the same prefixes the training loop treats as
+        // shared (`backbone.extractor*`, `backbone.block*`, `backbone.cls*`,
+        // see `ModelCore::train_local`): the CDAP generator or fixed prompt
+        // plus the tokenizer. The driver sends only these coordinates; the
+        // server keeps its broadcast values for the rest, which exactly
+        // matches local training because `new` hard-froze those weights
+        // after the warm-up task.
+        let mut mask = Vec::new();
+        let mut off = 0u32;
+        for (_, e) in self.core.params.iter() {
+            let n = e.value.numel() as u32;
+            let shared_backbone = e.name.starts_with("backbone.extractor")
+                || e.name.starts_with("backbone.block")
+                || e.name.starts_with("backbone.cls");
+            if !shared_backbone {
+                mask.extend(off..off + n);
+            }
+            off += n;
+        }
+        Some(mask)
+    }
+
     fn round_broadcast(&self, task: usize, round: usize) -> Option<WireMessage> {
         if !self.cfg.flags.needs_store() {
             return None;
@@ -702,6 +766,7 @@ mod tests {
             seed: 13,
             threads: 0,
             net: Default::default(),
+            wire: Default::default(),
         }
     }
 
@@ -716,6 +781,84 @@ mod tests {
         assert!(!strat.prompt_store().is_empty());
         // Prompt traffic must be accounted for.
         assert!(res.traffic.up_bytes > res.traffic.down_bytes / 2);
+    }
+
+    #[test]
+    fn prompt_only_mask_covers_exactly_the_non_extractor_params() {
+        let full = RefFiL::new(tiny_cfg());
+        assert_eq!(full.exchange_mask(1), None, "default exchanges everything");
+
+        let strat = RefFiL::new(tiny_cfg().with_prompt_only(true));
+        assert_eq!(
+            strat.exchange_mask(0),
+            None,
+            "task 0 is the full-exchange backbone warm-up"
+        );
+        let mask = strat.exchange_mask(1).expect("prompt-only mode masks");
+        let total = strat.core.params.num_scalars();
+        assert!(!mask.is_empty());
+        assert!(
+            (mask.len() as usize) < total,
+            "mask must be a strict subset"
+        );
+        assert!(
+            mask.windows(2).all(|w| w[0] < w[1]),
+            "mask indices strictly ascending"
+        );
+        // Recompute coverage from the named layout: a coordinate is in the
+        // mask iff its parameter is not shared-backbone.
+        let mut expected = Vec::new();
+        let mut off = 0u32;
+        for (_, e) in strat.core.params.iter() {
+            let n = e.value.numel() as u32;
+            let shared = e.name.starts_with("backbone.extractor")
+                || e.name.starts_with("backbone.block")
+                || e.name.starts_with("backbone.cls");
+            if !shared {
+                expected.extend(off..off + n);
+            }
+            off += n;
+        }
+        assert_eq!(off as usize, total);
+        assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn prompt_only_run_learns_and_shrinks_uplink() {
+        let ds = tiny_dataset();
+        let mut strat = RefFiL::new(tiny_cfg().with_prompt_only(true));
+        let res = FdilRunner::new(tiny_run_config()).run(&ds, &mut strat);
+        assert_eq!(res.domain_acc.len(), 2);
+        assert!(res.domain_acc[0][0] > 50.0, "{:?}", res.domain_acc);
+        // Task 0 is the full-exchange warm-up, so its raw and encoded
+        // columns match; from task 1 on the masked exchange must actually
+        // shrink the uplink.
+        let warm: Vec<_> = res.rounds.iter().filter(|r| r.task == 0).collect();
+        assert!(!warm.is_empty());
+        for r in &warm {
+            assert_eq!(
+                r.uplink_raw_bytes, r.uplink_encoded_bytes,
+                "warm-up is dense"
+            );
+        }
+        let raw: u64 = res
+            .rounds
+            .iter()
+            .filter(|r| r.task >= 1)
+            .map(|r| r.uplink_raw_bytes)
+            .sum();
+        let encoded: u64 = res
+            .rounds
+            .iter()
+            .filter(|r| r.task >= 1)
+            .map(|r| r.uplink_encoded_bytes)
+            .sum();
+        assert!(raw > 0 && encoded > 0);
+        assert!(
+            encoded * 2 < raw,
+            "prompt-only uplink should be well under half the dense cost \
+             (raw {raw}, encoded {encoded})"
+        );
     }
 
     #[test]

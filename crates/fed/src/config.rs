@@ -7,6 +7,7 @@
 //! front-loads those checks into [`RunConfigBuilder::build`], which returns a
 //! [`ConfigError`] naming the offending field instead.
 
+use refil_wire::{CompressionSpec, QuantMode};
 use serde::{Deserialize, Serialize};
 
 use crate::increment::IncrementConfig;
@@ -43,6 +44,70 @@ pub struct RunConfig {
     /// (or changing) them cannot perturb a loopback or direct run.
     #[serde(default)]
     pub net: NetConfig,
+    /// Uplink payload-compression options (delta / quantization / top-k).
+    /// The default is the identity spec, which routes through the plain
+    /// uncompressed path — and is what serialized configs from before this
+    /// knob decode to.
+    #[serde(default)]
+    pub wire: WireConfig,
+}
+
+/// Scalar quantization codec selection for [`WireConfig`] (the config-side
+/// mirror of [`refil_wire::QuantMode`], kept separate so the wire crate
+/// stays serde-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireQuant {
+    /// Values ride as raw `f32` — bit-exact.
+    #[default]
+    None,
+    /// IEEE binary16, round-to-nearest-even.
+    F16,
+    /// Asymmetric affine u8 over each update's value range.
+    Int8,
+}
+
+/// Uplink compression options: what [`CompressionSpec`] the server assigns
+/// to codec-capable clients (and the in-process runner applies locally).
+/// The composition order is fixed: delta → top-k → quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireConfig {
+    /// Send `x − base` against the round's broadcast instead of `x`.
+    pub delta: bool,
+    /// Scalar codec for the values that survive top-k.
+    pub quant: WireQuant,
+    /// Fraction of coordinates kept by magnitude top-k; must be in
+    /// `(0, 1]`, where `1.0` keeps everything.
+    pub topk_fraction: f32,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            delta: false,
+            quant: WireQuant::None,
+            topk_fraction: 1.0,
+        }
+    }
+}
+
+impl WireConfig {
+    /// The wire-level spec this config selects.
+    pub fn spec(&self) -> CompressionSpec {
+        CompressionSpec {
+            delta: self.delta,
+            quant: match self.quant {
+                WireQuant::None => QuantMode::None,
+                WireQuant::F16 => QuantMode::F16,
+                WireQuant::Int8 => QuantMode::Int8,
+            },
+            topk_fraction: self.topk_fraction,
+        }
+    }
+
+    /// Whether this config changes any payload ([`CompressionSpec::is_active`]).
+    pub fn is_active(&self) -> bool {
+        self.spec().is_active()
+    }
 }
 
 /// Options for the networked federation server ([`crate::FdilRunner::serve`]).
@@ -120,6 +185,7 @@ impl Default for RunConfig {
             seed: 0,
             threads: 0,
             net: NetConfig::default(),
+            wire: WireConfig::default(),
         }
     }
 }
@@ -166,6 +232,9 @@ impl RunConfig {
                 self.net.sample_fraction,
             ));
         }
+        if !self.wire.spec().is_valid() {
+            return Err(ConfigError::TopkFractionOutOfRange(self.wire.topk_fraction));
+        }
         Ok(())
     }
 }
@@ -196,6 +265,9 @@ pub enum ConfigError {
     /// `net.sample_fraction` must be `0.0` (sampling disabled) or a
     /// fraction in `(0, 1]`.
     SampleFractionOutOfRange(f32),
+    /// `wire.topk_fraction` must be a fraction in `(0, 1]` — `0.0` would
+    /// keep nothing and NaN would make top-k selection unstable.
+    TopkFractionOutOfRange(f32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -223,6 +295,9 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "net.sample_fraction must be 0 (disabled) or in (0, 1], got {s}"
                 )
+            }
+            Self::TopkFractionOutOfRange(t) => {
+                write!(f, "wire.topk_fraction must be in (0, 1], got {t}")
             }
         }
     }
@@ -359,6 +434,30 @@ impl RunConfigBuilder {
     /// Sets the per-peer outbound-queue cap in bytes (`0` = unbounded).
     pub fn send_queue_max_bytes(mut self, bytes: usize) -> Self {
         self.cfg.net.send_queue_max_bytes = bytes;
+        self
+    }
+
+    /// Sets all uplink-compression options at once.
+    pub fn wire(mut self, wire: WireConfig) -> Self {
+        self.cfg.wire = wire;
+        self
+    }
+
+    /// Enables or disables delta encoding against the round broadcast.
+    pub fn wire_delta(mut self, delta: bool) -> Self {
+        self.cfg.wire.delta = delta;
+        self
+    }
+
+    /// Sets the uplink scalar quantization codec.
+    pub fn wire_quant(mut self, quant: WireQuant) -> Self {
+        self.cfg.wire.quant = quant;
+        self
+    }
+
+    /// Sets the top-k kept fraction (`1.0` keeps every coordinate).
+    pub fn wire_topk_fraction(mut self, fraction: f32) -> Self {
+        self.cfg.wire.topk_fraction = fraction;
         self
     }
 
@@ -616,6 +715,64 @@ mod tests {
         assert_eq!(cfg.net.min_sample, 0);
         assert_eq!(cfg.net.send_queue_max_bytes, 0);
         assert_eq!(cfg.net.sample_size(100), None);
+    }
+
+    #[test]
+    fn builder_sets_and_validates_wire_options() {
+        let cfg = RunConfig::builder()
+            .wire_delta(true)
+            .wire_quant(WireQuant::Int8)
+            .wire_topk_fraction(0.25)
+            .build()
+            .expect("valid wire options");
+        assert!(cfg.wire.delta);
+        assert_eq!(cfg.wire.quant, WireQuant::Int8);
+        assert!((cfg.wire.topk_fraction - 0.25).abs() < f32::EPSILON);
+        assert_eq!(cfg.wire.spec().to_string(), "delta+int8+topk0.25");
+        assert!(cfg.wire.is_active());
+        assert!(!WireConfig::default().is_active());
+        assert_eq!(
+            RunConfig::builder().wire_topk_fraction(0.0).build(),
+            Err(ConfigError::TopkFractionOutOfRange(0.0))
+        );
+        assert_eq!(
+            RunConfig::builder().wire_topk_fraction(1.5).build(),
+            Err(ConfigError::TopkFractionOutOfRange(1.5))
+        );
+        assert!(RunConfig::builder()
+            .wire_topk_fraction(f32::NAN)
+            .build()
+            .is_err());
+        let msg = ConfigError::TopkFractionOutOfRange(1.5).to_string();
+        assert!(
+            msg.contains("topk_fraction") && msg.contains("1.5"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn configs_without_wire_field_deserialize_to_identity() {
+        let json = serde_json::to_string(&RunConfig::default()).expect("serialize");
+        let stripped = {
+            let v = serde_json::parse_value(&json).unwrap();
+            let serde_json::Value::Map(entries) = v else {
+                panic!("config did not serialize to a map");
+            };
+            let without: Vec<_> = entries.into_iter().filter(|(k, _)| k != "wire").collect();
+            serde_json::to_string(&serde_json::Value::Map(without)).unwrap()
+        };
+        let cfg: RunConfig = serde_json::from_str(&stripped).expect("deserialize sans wire");
+        assert_eq!(cfg.wire, WireConfig::default());
+        assert!(!cfg.wire.is_active());
+        // And a config with the field round-trips it.
+        let active = RunConfig::builder()
+            .wire_delta(true)
+            .wire_quant(WireQuant::F16)
+            .build()
+            .expect("valid");
+        let json = serde_json::to_string(&active).expect("serialize");
+        let back: RunConfig = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.wire, active.wire);
     }
 
     #[test]

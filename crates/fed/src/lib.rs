@@ -28,7 +28,7 @@ pub mod secure;
 mod traffic;
 
 pub use aggregate::{balanced_mean, fedavg, WeightedUpdate};
-pub use config::{ConfigError, NetConfig, RunConfig, RunConfigBuilder};
+pub use config::{ConfigError, NetConfig, RunConfig, RunConfigBuilder, WireConfig, WireQuant};
 pub use increment::{
     build_schedule, select_clients, ClientGroup, ClientPlan, IncrementConfig, TaskSchedule,
 };
@@ -49,8 +49,8 @@ pub use refil_telemetry::{
     WorkerStats,
 };
 pub use refil_wire::{
-    connect, ClientModelUpdate, ConnectError, Endpoint, GlobalPromptBroadcast, Interest, Link,
-    Listener, Loopback, MaskedModelUpdate, MessageKind, ModelBroadcast, NetLink, NetListener,
-    PeerId, PollSet, PromptGroup, PromptUpload, RecvError, RehearsalMemory, Resume, WireError,
-    WireMessage, WireSample, SERVER_PEER,
+    connect, ClientModelUpdate, CompressedModelUpdate, CompressionSpec, ConnectError, Endpoint,
+    GlobalPromptBroadcast, Interest, Link, Listener, Loopback, MaskedModelUpdate, MessageKind,
+    ModelBroadcast, NetLink, NetListener, PeerId, PollSet, PromptGroup, PromptUpload, QuantMode,
+    RecvError, RehearsalMemory, Resume, WireError, WireMessage, WireSample, SERVER_PEER,
 };

@@ -58,7 +58,8 @@
 //! keeps exclusively what must be centralized: client selection, dropout
 //! and sampling RNGs, FedAvg, and evaluation.
 //!
-//! Payload exchanges (`ModelBroadcast`, `ClientModelUpdate`, merge
+//! Payload exchanges (`ModelBroadcast`, `ClientModelUpdate` or its
+//! compressed form `CompressedModelUpdate`, merge
 //! messages) ride *inside* control frames as nested encoded frames, so the
 //! per-logical-client traffic accounting of a networked run is
 //! byte-identical to the loopback run's. Physical per-peer socket traffic
@@ -79,9 +80,10 @@ use refil_data::FdilDataset;
 use refil_telemetry::SessionStat;
 use refil_telemetry::Telemetry;
 use refil_wire::{
-    ClientModelUpdate as WireClientModelUpdate, ConnectError, Hello, Interest, Link, Listener,
-    PeerId, PollSet, RecvError, Resume, RoundStart, RoundSync, RunEnd, SessionAssignment,
-    SessionResult, TaskBegin, TaskEnd, Welcome, WireError, WireMessage,
+    ClientModelUpdate as WireClientModelUpdate, CompressedModelUpdate, CompressionSpec,
+    ConnectError, Hello, Interest, Link, Listener, PeerId, PollSet, RecvError, Resume, RoundStart,
+    RoundSync, RunEnd, SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireError,
+    WireMessage, CODEC_REVISION,
 };
 
 use crate::config::{NetConfig, RunConfig};
@@ -129,11 +131,22 @@ fn group_from_code(code: u8) -> Option<ClientGroup> {
     }
 }
 
+/// A decoded client uplink: either the plain dense update or the
+/// compression-layer frame the server still has to reconstruct against its
+/// broadcast history.
+pub(crate) enum RemoteUpdate {
+    /// Dense `ClientModelUpdate` (legacy peers, or compression inactive).
+    Plain(WireClientModelUpdate),
+    /// `CompressedModelUpdate` awaiting reconstruction against the broadcast
+    /// tagged `(base_task, base_round)`.
+    Compressed(CompressedModelUpdate),
+}
+
 /// One remote session's collected result, already decoded into exactly what
 /// the aggregate loop consumes on the in-process path.
 pub(crate) struct RemoteSession {
-    /// Decoded nested `ClientModelUpdate`.
-    pub(crate) update: WireClientModelUpdate,
+    /// Decoded nested model update (plain or compressed).
+    pub(crate) update: RemoteUpdate,
     /// Encoded length of the nested update frame (logical uplink bytes).
     pub(crate) update_bytes: u64,
     /// Decoded nested merge message with its frame length, if any.
@@ -146,10 +159,14 @@ pub(crate) struct RemoteSession {
 /// Decodes a `SessionResult`'s nested frames into a [`RemoteSession`].
 fn remote_session(sr: SessionResult) -> Result<RemoteSession, WireError> {
     let update_bytes = sr.update.len() as u64;
-    let WireMessage::ClientModelUpdate(update) = WireMessage::decode(&sr.update)? else {
-        return Err(WireError::Malformed(
-            "nested update is not a ClientModelUpdate",
-        ));
+    let update = match WireMessage::decode(&sr.update)? {
+        WireMessage::ClientModelUpdate(u) => RemoteUpdate::Plain(u),
+        WireMessage::CompressedModelUpdate(c) => RemoteUpdate::Compressed(c),
+        _ => {
+            return Err(WireError::Malformed(
+                "nested update is not a model update frame",
+            ))
+        }
     };
     let merge = match sr.merge {
         Some(frame) => {
@@ -229,6 +246,9 @@ pub(crate) struct ServeState<'a> {
     listener: &'a dyn Listener,
     spec: String,
     net: NetConfig,
+    /// Compression spec offered to codec-aware peers in the `Welcome`
+    /// (`None` when the run exchanges plain dense updates).
+    compression: Option<CompressionSpec>,
     telemetry: Telemetry,
     peers: Vec<Peer>,
     /// Resume tokens of disconnected-but-resumable sessions.
@@ -265,12 +285,14 @@ impl<'a> ServeState<'a> {
         listener: &'a dyn Listener,
         spec: &str,
         net: NetConfig,
+        compression: Option<CompressionSpec>,
         telemetry: Telemetry,
     ) -> Self {
         Self {
             listener,
             spec: spec.to_string(),
             net,
+            compression,
             telemetry,
             peers: Vec::new(),
             resumable: HashSet::new(),
@@ -462,6 +484,13 @@ impl<'a> ServeState<'a> {
             peer_id: self.peers[pi].peer_id,
             resume_token: token,
             spec: self.spec.clone(),
+            // Only codec-aware peers are offered the compression spec;
+            // legacy peers keep exchanging plain dense updates.
+            compression: if hello.codec >= CODEC_REVISION {
+                self.compression
+            } else {
+                None
+            },
         })
         .encode();
         let ok = {
@@ -869,6 +898,9 @@ pub struct ClientOptions {
     /// How many times [`run_client_resumable`] may reconnect after losing
     /// the link before giving up.
     pub max_reconnects: usize,
+    /// Compression spec negotiated in the `Welcome` (set by the client
+    /// front-ends after the handshake). `None` sends plain dense updates.
+    pub compression: Option<CompressionSpec>,
 }
 
 /// What a client replica did before it stopped.
@@ -888,8 +920,9 @@ pub struct ClientReport {
 
 /// Client side of the join handshake: sends `Hello` (optionally claiming a
 /// resumable session), waits for the server's `Welcome`, and returns the
-/// assigned peer id, the opaque run-spec string, and the resume token to
-/// present if this connection later blips.
+/// assigned peer id, the opaque run-spec string, the resume token to
+/// present if this connection later blips, and the compression spec the
+/// server negotiated (if any).
 ///
 /// # Errors
 ///
@@ -900,12 +933,19 @@ pub fn client_handshake(
     nonce: u64,
     resume: Option<Resume>,
     deadline: Instant,
-) -> Result<(PeerId, String, u64), ClientError> {
-    link.send(&WireMessage::Hello(Hello { nonce, resume }).encode())
-        .map_err(ClientError::Wire)?;
+) -> Result<(PeerId, String, u64, Option<CompressionSpec>), ClientError> {
+    link.send(
+        &WireMessage::Hello(Hello {
+            nonce,
+            codec: CODEC_REVISION,
+            resume,
+        })
+        .encode(),
+    )
+    .map_err(ClientError::Wire)?;
     let frame = link.recv_deadline(deadline).map_err(ClientError::Recv)?;
     match WireMessage::decode(&frame).map_err(ClientError::Wire)? {
-        WireMessage::Welcome(w) => Ok((w.peer_id, w.spec, w.resume_token)),
+        WireMessage::Welcome(w) => Ok((w.peer_id, w.spec, w.resume_token, w.compression)),
         other => proto(format!("expected Welcome, got {:?}", other.kind())),
     }
 }
@@ -1048,6 +1088,17 @@ impl<'a> ClientSession<'a> {
             None => None,
         };
         let mut results: Vec<Vec<u8>> = Vec::with_capacity(rs.sessions.len());
+        // Compressed uplinks are used only when the server negotiated a spec
+        // and either the spec is lossy/active or the strategy restricts the
+        // exchanged coordinates during this task (e.g. prompt-only RefFiL,
+        // whose mask is `None` for the warm-up task 0).
+        let mask = self.strategy.exchange_mask(u64::from(rs.task));
+        let spec = self
+            .opts
+            .compression
+            .unwrap_or_else(CompressionSpec::identity);
+        let use_compressed =
+            self.opts.compression.is_some() && (spec.is_active() || mask.is_some());
         {
             let ctx = self
                 .strategy
@@ -1073,12 +1124,26 @@ impl<'a> ClientSession<'a> {
                 let start = Instant::now();
                 let out = ctx.train_client(&setting, self.telemetry);
                 let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                let update = WireMessage::ClientModelUpdate(WireClientModelUpdate {
-                    client_id: a.client_id,
-                    weight: out.update.weight,
-                    model: out.update.flat,
-                })
-                .encode();
+                let update = if use_compressed {
+                    WireMessage::CompressedModelUpdate(CompressedModelUpdate::compress(
+                        &spec,
+                        mask.as_deref(),
+                        a.client_id,
+                        out.update.weight,
+                        &out.update.flat,
+                        &model.model,
+                        model.task,
+                        model.round,
+                    ))
+                    .encode()
+                } else {
+                    WireMessage::ClientModelUpdate(WireClientModelUpdate {
+                        client_id: a.client_id,
+                        weight: out.update.weight,
+                        model: out.update.flat,
+                    })
+                    .encode()
+                };
                 let merge = out.merge.map(|m| m.encode());
                 results.push(
                     WireMessage::SessionResult(SessionResult {
@@ -1188,8 +1253,11 @@ pub fn run_client_resumable(
     }
     let idle = Duration::from_millis(cfg.net.client_idle_ms);
     let mut link = connect().map_err(|e| ClientError::Protocol(format!("connect failed: {e}")))?;
-    let (peer_id, _spec, token) = client_handshake(&*link, nonce, None, Instant::now() + idle)?;
-    let mut session = ClientSession::new(dataset, strategy, cfg, *opts, telemetry, peer_id);
+    let (peer_id, _spec, token, compression) =
+        client_handshake(&*link, nonce, None, Instant::now() + idle)?;
+    let mut opts = *opts;
+    opts.compression = compression;
+    let mut session = ClientSession::new(dataset, strategy, cfg, opts, telemetry, peer_id);
     let mut reconnects = 0usize;
     loop {
         let step = match link.recv_deadline(Instant::now() + idle) {
@@ -1233,7 +1301,7 @@ fn resume_link(
     loop {
         match connect() {
             Ok(link) => {
-                let (peer_id, _spec, _token) =
+                let (peer_id, _spec, _token, _compression) =
                     client_handshake(&*link, nonce, Some(resume), deadline)?;
                 session.report.peer_id = peer_id;
                 session.report.resumes += 1;
@@ -1387,12 +1455,43 @@ mod tests {
             merge: None,
         };
         let r = remote_session(sr).expect("decodes");
-        assert_eq!(r.update.client_id, 4);
+        let RemoteUpdate::Plain(update_msg) = r.update else {
+            panic!("expected a plain update");
+        };
+        assert_eq!(update_msg.client_id, 4);
         assert_eq!(r.update_bytes, update.len() as u64);
         assert!(r.merge.is_none());
         assert_eq!(r.stat.client_id, 4);
         assert_eq!(r.stat.track, 0);
         assert_eq!(r.stat.duration_ns, 99);
+    }
+
+    #[test]
+    fn remote_session_decodes_compressed_frames() {
+        let spec = CompressionSpec {
+            delta: true,
+            quant: refil_wire::QuantMode::Int8,
+            topk_fraction: 0.5,
+        };
+        let base = vec![0.5f32, -1.0, 2.0, 0.0];
+        let flat = vec![0.75f32, -1.0, 1.0, 0.25];
+        let compressed = CompressedModelUpdate::compress(&spec, None, 7, 1.5, &flat, &base, 2, 3);
+        let frame = WireMessage::CompressedModelUpdate(compressed).encode();
+        let sr = SessionResult {
+            task: 2,
+            round: 3,
+            client_id: 7,
+            wall_ns: 11,
+            update: frame.clone(),
+            merge: None,
+        };
+        let r = remote_session(sr).expect("decodes");
+        let RemoteUpdate::Compressed(c) = r.update else {
+            panic!("expected a compressed update");
+        };
+        assert_eq!(c.client_id, 7);
+        assert_eq!((c.base_task, c.base_round), (2, 3));
+        assert_eq!(r.update_bytes, frame.len() as u64);
     }
 
     #[test]

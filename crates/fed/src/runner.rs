@@ -56,14 +56,14 @@ use refil_telemetry::{
 
 use crate::pool::WorkerPool;
 use refil_wire::{
-    ClientModelUpdate as WireClientModelUpdate, Link, Listener, Loopback, ModelBroadcast,
-    SessionAssignment, WireMessage,
+    ClientModelUpdate as WireClientModelUpdate, CompressedModelUpdate, Link, Listener, Loopback,
+    ModelBroadcast, SessionAssignment, WireMessage,
 };
 
 use crate::aggregate::{fedavg, WeightedUpdate};
 use crate::config::RunConfig;
 use crate::increment::{build_schedule, select_clients, ClientGroup, TaskSchedule};
-use crate::net::{group_code, RemoteSession, ServeState};
+use crate::net::{group_code, RemoteSession, RemoteUpdate, ServeState};
 use crate::traffic::TrafficStats;
 
 /// Everything a strategy needs to run one local training session.
@@ -190,6 +190,22 @@ pub trait FdilStrategy {
     /// transports it alongside the `ModelBroadcast`, and hands the decoded
     /// message back into [`FdilStrategy::round_ctx`].
     fn round_broadcast(&self, _task: usize, _round: usize) -> Option<WireMessage> {
+        None
+    }
+
+    /// The subset of flat-parameter coordinates this strategy exchanges in
+    /// client updates during `task`, as strictly ascending indices into the
+    /// flat layout — or `None` (the default) to exchange every coordinate.
+    ///
+    /// A masked exchange sends only those coordinates over the wire
+    /// (a `CompressedModelUpdate` sparse frame); the server keeps its
+    /// broadcast values for the rest. The mask may vary by task: RefFiL's
+    /// prompt-only mode exchanges the full model during task 0 (while the
+    /// shared backbone is still being learned collaboratively) and only the
+    /// prompt/head coordinates from task 1 on, once the backbone has entered
+    /// its stabilized regime.
+    fn exchange_mask(&self, task: u64) -> Option<Vec<u32>> {
+        let _ = task;
         None
     }
 
@@ -786,7 +802,20 @@ impl FdilRunner {
         listener: &dyn Listener,
         spec: &str,
     ) -> RunResult {
-        let mut state = ServeState::new(listener, spec, self.cfg.net, self.telemetry.clone());
+        // The serve path compresses when the run config asks for it or the
+        // strategy restricts the exchanged coordinates during any task; the
+        // negotiated spec goes out in every codec-aware peer's `Welcome`.
+        let wire_spec = self.cfg.wire.spec();
+        let masks_any_task =
+            (0..dataset.num_domains()).any(|t| strategy.exchange_mask(t as u64).is_some());
+        let compression = (wire_spec.is_active() || masks_any_task).then_some(wire_spec);
+        let mut state = ServeState::new(
+            listener,
+            spec,
+            self.cfg.net,
+            compression,
+            self.telemetry.clone(),
+        );
         state.wait_for_peers();
         self.run_inner(dataset, strategy, None, Some(&mut state))
     }
@@ -822,6 +851,20 @@ impl FdilRunner {
         let mut global = strategy.init_global();
         let downlink = wire.map(|(down, _)| down);
         let uplink = wire.map(|(_, up)| up);
+        // Uplink compression: active when the config asks for delta/quant/
+        // top-k or the strategy exchanges only a subset of coordinates in
+        // some task. The server reconstructs compressed updates against its
+        // own broadcast history, keyed by the (task, round) tag clients echo
+        // back. The mask itself is refreshed per task (it may be `None` for
+        // a warm-up task and restrictive afterwards); a round sends
+        // compressed frames only when the spec is lossy or the current
+        // task's mask restricts the exchange — the exact condition remote
+        // clients apply, keeping loopback and networked runs byte-identical.
+        let wire_spec = cfg.wire.spec();
+        let masks_any_task = (0..num_tasks).any(|t| strategy.exchange_mask(t as u64).is_some());
+        let round_compression = (wire_spec.is_active() || masks_any_task).then_some(wire_spec);
+        let mut broadcast_history: std::collections::VecDeque<((u32, u32), Vec<f32>)> =
+            std::collections::VecDeque::new();
         let mut holdings: Vec<Holdings> = Vec::new();
         let mut traffic = TrafficStats::default();
         let mut domain_acc: Vec<Vec<f32>> = Vec::with_capacity(num_tasks);
@@ -832,6 +875,9 @@ impl FdilRunner {
             let _task_span = telemetry.span(&format!("task:{task}"));
             traffic.start_task(task);
             strategy.on_task_start(task, &global);
+            let exchange_mask = strategy.exchange_mask(task as u64);
+            let task_compression =
+                round_compression.filter(|s| s.is_active() || exchange_mask.is_some());
 
             // Distribute the new domain's training data among recipients.
             distribute_task_data(&mut holdings, schedule, dataset, cfg, task);
@@ -965,6 +1011,18 @@ impl FdilRunner {
                         };
                         (model_out.model, broadcast, model_bytes, extra_bytes)
                     };
+                if round_compression.is_some() {
+                    // Remember what this round's broadcast said, so client
+                    // updates delta-encoded against it can be reconstructed.
+                    // The codec is bit-exact for f32, so the server-side
+                    // `global` equals the decoded broadcast every client
+                    // applied. A short history tolerates results that arrive
+                    // tagged with an earlier round's base.
+                    broadcast_history.push_back(((task as u32, round as u32), global.clone()));
+                    while broadcast_history.len() > 8 {
+                        broadcast_history.pop_front();
+                    }
+                }
                 let down_bytes = model_bytes + extra_bytes;
                 report.phases.broadcast = elapsed_ns(broadcast_start);
                 telemetry.timeline_span(0, "broadcast", broadcast_t0, report.phases.broadcast);
@@ -1097,15 +1155,37 @@ impl FdilRunner {
                     let collected = match &mut outputs {
                         RoundOutputs::Local(slots) => {
                             let (out, stat) = slots[i].take().expect("planned session never ran");
-                            let update_msg =
+                            // On the in-process paths the driver plays both
+                            // roles: it builds exactly the uplink frame a
+                            // remote client would (compressed against the
+                            // round's decoded broadcast when compression is
+                            // on), moves it through the uplink, and consumes
+                            // the decoded result below like a remote one.
+                            let update_msg = if let Some(spec) = task_compression {
+                                WireMessage::CompressedModelUpdate(CompressedModelUpdate::compress(
+                                    &spec,
+                                    exchange_mask.as_deref(),
+                                    session.cid as u64,
+                                    out.update.weight,
+                                    &out.update.flat,
+                                    &round_model,
+                                    task as u32,
+                                    round as u32,
+                                ))
+                            } else {
                                 WireMessage::ClientModelUpdate(WireClientModelUpdate {
                                     client_id: session.cid as u64,
                                     weight: out.update.weight,
                                     model: out.update.flat,
-                                });
+                                })
+                            };
                             let (update_out, update_bytes) = roundtrip(uplink, update_msg);
-                            let WireMessage::ClientModelUpdate(update_out) = update_out else {
-                                panic!("uplink delivered a non-ClientModelUpdate frame");
+                            let update_out = match update_out {
+                                WireMessage::ClientModelUpdate(u) => RemoteUpdate::Plain(u),
+                                WireMessage::CompressedModelUpdate(c) => {
+                                    RemoteUpdate::Compressed(c)
+                                }
+                                _ => panic!("uplink delivered a non-model-update frame"),
                             };
                             let merge = out.merge.map(|msg| roundtrip(uplink, msg));
                             Some((update_out, update_bytes, merge, stat))
@@ -1121,10 +1201,46 @@ impl FdilRunner {
                         report.clients_late += 1;
                         continue;
                     };
+                    // The raw column is what the same update would have cost
+                    // as a dense `ClientModelUpdate` frame; encoded is what
+                    // actually moved. Equal unless compression is active.
+                    let (update_kind, raw_bytes) = match &update_out {
+                        RemoteUpdate::Plain(_) => ("client_model_update", update_bytes),
+                        RemoteUpdate::Compressed(c) => {
+                            ("compressed_model_update", c.uncompressed_frame_len() as u64)
+                        }
+                    };
+                    // Reconstruct a compressed update against the broadcast
+                    // it names before any bytes are accounted, so a session
+                    // that cannot be applied counts as late, not trained.
+                    let update = match update_out {
+                        RemoteUpdate::Plain(u) => WeightedUpdate {
+                            flat: u.model,
+                            weight: u.weight,
+                        },
+                        RemoteUpdate::Compressed(c) => {
+                            let flat = broadcast_history
+                                .iter()
+                                .rev()
+                                .find(|(tag, _)| *tag == (c.base_task, c.base_round))
+                                .and_then(|(_, base)| c.reconstruct(base).ok());
+                            let Some(flat) = flat else {
+                                telemetry.counter("clients.late", 1);
+                                report.clients_late += 1;
+                                continue;
+                            };
+                            WeightedUpdate {
+                                flat,
+                                weight: c.weight,
+                            }
+                        }
+                    };
                     report.sessions.push(stat);
                     let mut up_bytes = update_bytes;
-                    telemetry.counter("wire.client_model_update_bytes", update_bytes);
-                    bump_wire(&mut report.wire_bytes, "client_model_update", update_bytes);
+                    telemetry.counter(&format!("wire.{update_kind}_bytes"), update_bytes);
+                    bump_wire(&mut report.wire_bytes, update_kind, update_bytes);
+                    report.uplink_raw_bytes += raw_bytes;
+                    report.uplink_encoded_bytes += update_bytes;
                     if let Some((decoded, bytes)) = merge {
                         up_bytes += bytes;
                         let kind = decoded.kind().name();
@@ -1144,10 +1260,7 @@ impl FdilRunner {
                     }
                     telemetry.counter("clients.trained", 1);
                     report.clients_trained += 1;
-                    updates.push(WeightedUpdate {
-                        flat: update_out.model,
-                        weight: update_out.weight,
-                    });
+                    updates.push(update);
                 }
                 if !updates.is_empty() {
                     let _fedavg_span = telemetry.span("fedavg");
@@ -1706,6 +1819,7 @@ mod tests {
             seed: 3,
             threads: 0,
             net: crate::NetConfig::default(),
+            wire: crate::WireConfig::default(),
         }
     }
 
@@ -1994,9 +2108,11 @@ mod tests {
                 std::thread::spawn(move || {
                     let deadline = Instant::now() + Duration::from_secs(30);
                     let link = refil_wire::connect(&ep, deadline).expect("connect failed");
-                    let (pid, _spec, _token) =
+                    let (pid, _spec, _token, compression) =
                         crate::net::client_handshake(&link, i as u64, None, deadline)
                             .expect("handshake failed");
+                    let mut opts = opts;
+                    opts.compression = compression;
                     let mut strat = CentroidStrategy::new(3, 6);
                     crate::net::run_client(
                         &link,

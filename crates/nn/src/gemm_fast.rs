@@ -210,8 +210,14 @@ pub fn gelu_fast(src: &[f32], out: &mut Vec<f32>) {
         unsafe { x86::gelu_avx2_fma(src, out) };
         return;
     }
-    // aarch64 (and any FMA-native baseline): `mul_add` lowers to a fused
-    // instruction, so the scalar loop is already the fast path.
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { neon::gelu_neon(src, out) };
+        return;
+    }
+    // Any FMA-native baseline without a vector path: `mul_add` lowers to a
+    // fused instruction, so the scalar loop is already fast.
     #[allow(unreachable_code)]
     out.extend(src.iter().map(|&x| gelu_fma(x)));
 }
@@ -514,7 +520,58 @@ mod x86 {
 
 #[cfg(target_arch = "aarch64")]
 mod neon {
-    use std::arch::aarch64::{vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vst1q_f32};
+    use std::arch::aarch64::{
+        vaddq_f32, vaddvq_f32, vdivq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vmaxq_f32, vminq_f32,
+        vmulq_f32, vst1q_f32,
+    };
+
+    /// 4-wide tanh-GELU. Operation-for-operation mirror of the scalar
+    /// [`super::gelu_fma`] (and of the AVX2 lane code): same contractions
+    /// (`vfmaq_f32` vs. `mul_add`), same clamp order
+    /// (`min(hi, max(lo, x))`), same correctly-rounded divide — so lane and
+    /// tail results agree bitwise for finite inputs and the error contract
+    /// `|gelu_fast(x) − gelu_fwd(x)| ≤ 1e-6 · (1 + |x|)` carries over.
+    pub(super) unsafe fn gelu_neon(src: &[f32], out: &mut Vec<f32>) {
+        use super::tanh_poly::*;
+        let n = src.len();
+        out.reserve(n);
+        let c = vdupq_n_f32(super::GELU_C);
+        let k = vdupq_n_f32(super::GELU_K);
+        let lo = vdupq_n_f32(-super::TANH_CLAMP);
+        let hi = vdupq_n_f32(super::TANH_CLAMP);
+        let half = vdupq_n_f32(0.5);
+        let one = vdupq_n_f32(1.0);
+        let mut buf = [0.0f32; 4];
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = vld1q_f32(src.as_ptr().add(i));
+            let x2 = vmulq_f32(x, x);
+            // vfmaq_f32(a, b, c) = a + b·c, so the addend comes first.
+            let inner = vmulq_f32(c, vfmaq_f32(x, vmulq_f32(k, x2), x));
+            let z = vminq_f32(hi, vmaxq_f32(lo, inner));
+            let z2 = vmulq_f32(z, z);
+            let p = vdupq_n_f32(A13);
+            let p = vfmaq_f32(vdupq_n_f32(A11), p, z2);
+            let p = vfmaq_f32(vdupq_n_f32(A9), p, z2);
+            let p = vfmaq_f32(vdupq_n_f32(A7), p, z2);
+            let p = vfmaq_f32(vdupq_n_f32(A5), p, z2);
+            let p = vfmaq_f32(vdupq_n_f32(A3), p, z2);
+            let p = vfmaq_f32(vdupq_n_f32(A1), p, z2);
+            let p = vmulq_f32(p, z);
+            let q = vdupq_n_f32(B6);
+            let q = vfmaq_f32(vdupq_n_f32(B4), q, z2);
+            let q = vfmaq_f32(vdupq_n_f32(B2), q, z2);
+            let q = vfmaq_f32(vdupq_n_f32(B0), q, z2);
+            let t = vdivq_f32(p, q);
+            let y = vmulq_f32(vmulq_f32(half, x), vaddq_f32(one, t));
+            vst1q_f32(buf.as_mut_ptr(), y);
+            out.extend_from_slice(&buf);
+            i += 4;
+        }
+        for &x in &src[i..] {
+            out.push(super::gelu_fma(x));
+        }
+    }
 
     /// Contracted `out += a · b`: one row at a time over two 4-lane
     /// accumulators, scalar fused tail past the 8-lane columns.

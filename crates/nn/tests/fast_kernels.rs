@@ -381,6 +381,54 @@ fn fast_gelu_is_position_independent_bitwise() {
     }
 }
 
+/// aarch64: the 4-wide NEON GELU must agree with the scalar fused sequence
+/// bitwise for finite inputs — `vfmaq_f32` mirrors `mul_add` contraction for
+/// contraction, so a value's bits cannot depend on whether it landed in a
+/// vector lane or the scalar tail. (On x86_64 the same property is pinned by
+/// `fast_gelu_is_position_independent_bitwise` against the AVX2 lanes.)
+#[cfg(target_arch = "aarch64")]
+#[test]
+fn neon_gelu_matches_scalar_fma_bitwise() {
+    use refil_nn::gemm_fast::gelu_fma;
+    let src = seeded(7, 133); // non-multiple of 4 forces a real scalar tail
+    let mut fast = Vec::new();
+    gelu_fast(&src, &mut fast);
+    assert_eq!(fast.len(), src.len());
+    for (i, &x) in src.iter().enumerate() {
+        assert_eq!(
+            fast[i].to_bits(),
+            gelu_fma(x).to_bits(),
+            "lane {i} ({x}) diverges from the scalar fused sequence"
+        );
+    }
+}
+
+/// aarch64: the saturated tails and the clamp boundary stay inside the
+/// documented error contract through the NEON path (the dense grid test
+/// covers the active region; this pins the exact clamp edges).
+#[cfg(target_arch = "aarch64")]
+#[test]
+fn neon_gelu_clamp_edges_within_contract() {
+    let edges = [
+        -7.905_311_5f32,
+        7.905_311_5,
+        -7.905_312,
+        7.905_312,
+        -30.0,
+        30.0,
+    ];
+    let mut fast = Vec::new();
+    gelu_fast(&edges, &mut fast);
+    for (&x, &y) in edges.iter().zip(&fast) {
+        let exact = gelu_exact(x);
+        let tol = 1e-6 * (1.0 + x.abs());
+        assert!(
+            (y - exact).abs() <= tol,
+            "gelu_fast({x}) = {y}, exact {exact}, tol {tol}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

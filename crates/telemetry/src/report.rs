@@ -169,6 +169,17 @@ pub struct RoundReport {
     pub clients_sampled_out: u64,
     /// Per-domain accuracies when this round closed a task, else `None`.
     pub eval_domain_acc: Option<Vec<f32>>,
+    /// What this round's client updates would have cost as plain dense
+    /// frames — the denominator of the compression ratio. Equals
+    /// [`RoundReport::uplink_encoded_bytes`] when compression is off.
+    /// `#[serde(default)]` keeps pre-compression reports deserializable.
+    #[serde(default)]
+    pub uplink_raw_bytes: u64,
+    /// Encoded bytes the round's client update frames actually occupied on
+    /// the wire (also counted per kind in [`RoundReport::wire_bytes`]).
+    /// `#[serde(default)]` keeps pre-compression reports deserializable.
+    #[serde(default)]
+    pub uplink_encoded_bytes: u64,
     /// Scratch-arena accounting summed over the round's sessions and eval.
     pub scratch: ArenaStats,
 }
@@ -272,6 +283,8 @@ mod tests {
             clients_late: 0,
             clients_sampled_out: 1,
             eval_domain_acc: Some(vec![0.5, 0.25]),
+            uplink_raw_bytes: 128,
+            uplink_encoded_bytes: 32,
             scratch: ArenaStats::default(),
         };
         report.wire_bytes.insert("model_broadcast".into(), 64);

@@ -8,8 +8,10 @@ pub const MAGIC: [u8; 4] = *b"RFWL";
 
 /// Current schema version; decoders accept exactly this value. Bumped to 2
 /// when the handshake payloads grew session-resumption fields
-/// ([`crate::Hello::resume`], [`crate::Welcome::resume_token`]).
-pub const SCHEMA_VERSION: u16 = 2;
+/// ([`crate::Hello::resume`], [`crate::Welcome::resume_token`]); bumped to 3
+/// when the handshake grew compression negotiation ([`crate::Hello::codec`],
+/// [`crate::Welcome::compression`]).
+pub const SCHEMA_VERSION: u16 = 3;
 
 /// Fixed header size preceding every payload.
 pub const HEADER_LEN: usize = 16;
@@ -130,11 +132,14 @@ pub enum MessageKind {
     TaskEnd = 13,
     /// Either direction: the run (or this peer's participation) is over.
     RunEnd = 14,
+    /// Client → server: delta/top-k/quantized parameters, reconstructed by
+    /// the server against its own broadcast history.
+    CompressedModelUpdate = 15,
 }
 
 impl MessageKind {
     /// Every kind, in wire-id order (for exhaustive tests).
-    pub const ALL: [MessageKind; 14] = [
+    pub const ALL: [MessageKind; 15] = [
         MessageKind::ModelBroadcast,
         MessageKind::ClientModelUpdate,
         MessageKind::PromptUpload,
@@ -149,6 +154,7 @@ impl MessageKind {
         MessageKind::TaskBegin,
         MessageKind::TaskEnd,
         MessageKind::RunEnd,
+        MessageKind::CompressedModelUpdate,
     ];
 
     /// Parses the header's kind field.
@@ -168,6 +174,7 @@ impl MessageKind {
             12 => Ok(Self::TaskBegin),
             13 => Ok(Self::TaskEnd),
             14 => Ok(Self::RunEnd),
+            15 => Ok(Self::CompressedModelUpdate),
             other => Err(WireError::UnknownKind(other)),
         }
     }
@@ -190,6 +197,7 @@ impl MessageKind {
             Self::TaskBegin => "task_begin",
             Self::TaskEnd => "task_end",
             Self::RunEnd => "run_end",
+            Self::CompressedModelUpdate => "compressed_model_update",
         }
     }
 }
@@ -286,6 +294,10 @@ impl Writer<'_> {
         self.0.push(v);
     }
 
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
     pub fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -303,6 +315,24 @@ impl Writer<'_> {
         self.u32(u32::try_from(v.len()).expect("vector exceeds u32 framing"));
         for &x in v {
             self.f32(x);
+        }
+    }
+
+    /// Length-prefixed `u16` vector: `u32` count followed by raw LE words
+    /// (used for f16-quantized payloads).
+    pub fn u16s(&mut self, v: &[u16]) {
+        self.u32(u32::try_from(v.len()).expect("vector exceeds u32 framing"));
+        for &x in v {
+            self.u16(x);
+        }
+    }
+
+    /// Length-prefixed `u32` vector: `u32` count followed by raw LE words
+    /// (used for sparse index lists).
+    pub fn u32s(&mut self, v: &[u32]) {
+        self.u32(u32::try_from(v.len()).expect("vector exceeds u32 framing"));
+        for &x in v {
+            self.u32(x);
         }
     }
 
@@ -380,6 +410,28 @@ impl<'a> Reader<'a> {
         Ok(bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    /// Length-prefixed `u16` vector; the count is validated against the
+    /// remaining bytes before allocating.
+    pub fn u16s(&mut self, what: &'static str) -> Result<Vec<u16>, WireError> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n.checked_mul(2).ok_or(WireError::Malformed(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+            .collect())
+    }
+
+    /// Length-prefixed `u32` vector; the count is validated against the
+    /// remaining bytes before allocating.
+    pub fn u32s(&mut self, what: &'static str) -> Result<Vec<u32>, WireError> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n.checked_mul(4).ok_or(WireError::Malformed(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
             .collect())
     }
 

@@ -18,7 +18,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RFWL"
-//! 4       2     schema version (u16, currently 2)
+//! 4       2     schema version (u16, currently 3)
 //! 6       2     message kind (u16, see MessageKind)
 //! 8       4     payload length (u32)
 //! 12      4     CRC32 over header bytes 0..12 ++ payload
@@ -49,11 +49,25 @@
 //! | 12 | [`TaskBegin`] | server → client | task-start marker + global model |
 //! | 13 | [`TaskEnd`] | server → client | task-end marker + global model |
 //! | 14 | [`RunEnd`] | either | run / participation termination |
+//! | 15 | [`CompressedModelUpdate`] | client → server | delta/top-k/quantized parameters + FedAvg weight |
 //!
-//! Kinds 1–6 are the *payload* exchanges whose sizes define the paper's
-//! communication accounting; kinds 7–14 are the *control* protocol the
-//! networked server speaks, and they carry payload exchanges as nested
+//! Kinds 1–6 and 15 are the *payload* exchanges whose sizes define the
+//! paper's communication accounting; kinds 7–14 are the *control* protocol
+//! the networked server speaks, and they carry payload exchanges as nested
 //! encoded frames so accounting stays byte-identical to the loopback run.
+//!
+//! ## Compression
+//!
+//! [`CompressedModelUpdate`] is the communication-efficient replacement for
+//! [`ClientModelUpdate`]: the client composes delta encoding (against the
+//! last [`ModelBroadcast`] it applied), top-k sparsification, and f16/int8
+//! quantization — in that order — according to the [`CompressionSpec`] the
+//! server assigned in [`Welcome`]. The frame is self-describing: the server
+//! reconstructs it with nothing but the matching broadcast from its own
+//! history (keyed by the `base_task`/`base_round` tag the client echoes
+//! back). Old clients advertise codec revision 0 in [`Hello`] and are never
+//! sent a spec, so mixed fleets interoperate. See [`compress`]'s module docs
+//! for the deterministic rounding rules and reconstruction-error contracts.
 //!
 //! `f32` values are encoded as their IEEE-754 little-endian bit patterns,
 //! so an encode→decode round trip is bit-exact and a loopback-transported
@@ -90,18 +104,20 @@
 
 #![warn(missing_docs)]
 
+pub mod compress;
 mod frame;
 mod link;
 mod message;
 mod net;
 mod poll;
 
+pub use compress::{CompressionSpec, QuantMode, QuantValues, SparseIndex, CODEC_REVISION};
 pub use frame::{crc32, MessageKind, WireError, HEADER_LEN, MAGIC, SCHEMA_VERSION};
 pub use link::{ConnectError, Link, Listener, Loopback, PeerId, RecvError, SERVER_PEER};
 pub use message::{
-    ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
-    PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync, RunEnd,
-    SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
+    ClientModelUpdate, CompressedModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate,
+    ModelBroadcast, PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync,
+    RunEnd, SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
 pub use net::{connect, Endpoint, NetLink, NetListener, MAX_FRAME_LEN};
 pub use poll::{Interest, PollSet};

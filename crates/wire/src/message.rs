@@ -4,6 +4,7 @@
 //! decoded union. Payload layouts are little-endian and length-prefixed;
 //! see the crate docs for the frame header wrapping every payload.
 
+use crate::compress::{topk_count, topk_positions, CompressionSpec, QuantValues, SparseIndex};
 use crate::frame::{
     bytes_len, open_frame, seal_frame, MessageKind, Reader, WireError, Writer, HEADER_LEN, MAGIC,
     SCHEMA_VERSION,
@@ -100,6 +101,113 @@ pub struct RehearsalMemory {
     pub samples: Vec<WireSample>,
 }
 
+/// Client → server: a compressed model update. Carries delta/top-k/quantized
+/// parameters relative to a [`ModelBroadcast`] the client applied; the server
+/// reconstructs the full update from its own broadcast history, keyed by the
+/// `(base_task, base_round)` tag. Built by [`CompressedModelUpdate::compress`]
+/// under a negotiated [`CompressionSpec`]; self-describing, so reconstruction
+/// needs only the base model, not the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedModelUpdate {
+    /// Reporting client.
+    pub client_id: u64,
+    /// FedAvg weight (never compressed).
+    pub weight: f32,
+    /// Task of the [`ModelBroadcast`] the values are relative to.
+    pub base_task: u32,
+    /// Round of that broadcast within its task.
+    pub base_round: u32,
+    /// When true, carried values are `x − base` and reconstruction adds the
+    /// base back; when false they are absolute replacements.
+    pub delta: bool,
+    /// Full flat parameter count; coordinates the index leaves out keep
+    /// their base (broadcast) value on reconstruction.
+    pub total_len: u32,
+    /// Which coordinates the update carries.
+    pub index: SparseIndex,
+    /// The carried values, ascending coordinate order, possibly quantized.
+    pub values: QuantValues,
+}
+
+impl CompressedModelUpdate {
+    /// Compresses a trained flat parameter vector against the broadcast it
+    /// was trained from, in the fixed composition order delta → top-k →
+    /// quant. `mask` restricts the exchanged coordinates (ascending, unique;
+    /// a strategy's partial-exchange set) before top-k applies; `None`
+    /// considers every coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` and `base` lengths differ or a mask index is out of
+    /// range — both are caller bugs, not wire conditions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compress(
+        spec: &CompressionSpec,
+        mask: Option<&[u32]>,
+        client_id: u64,
+        weight: f32,
+        flat: &[f32],
+        base: &[f32],
+        base_task: u32,
+        base_round: u32,
+    ) -> Self {
+        assert_eq!(flat.len(), base.len(), "flat/base length mismatch");
+        let candidates: Vec<usize> = match mask {
+            Some(m) => m.iter().map(|&i| i as usize).collect(),
+            None => (0..flat.len()).collect(),
+        };
+        let vals: Vec<f32> = candidates
+            .iter()
+            .map(|&i| {
+                if spec.delta {
+                    flat[i] - base[i]
+                } else {
+                    flat[i]
+                }
+            })
+            .collect();
+        let k = topk_count(spec.topk_fraction, vals.len());
+        let keep = topk_positions(&vals, k);
+        let positions: Vec<usize> = keep.iter().map(|&p| candidates[p]).collect();
+        let kept: Vec<f32> = keep.iter().map(|&p| vals[p]).collect();
+        Self {
+            client_id,
+            weight,
+            base_task,
+            base_round,
+            delta: spec.delta,
+            total_len: u32::try_from(flat.len()).expect("model exceeds u32 framing"),
+            index: SparseIndex::for_positions(&positions, flat.len()),
+            values: QuantValues::quantize(spec.quant, &kept),
+        }
+    }
+
+    /// Rebuilds the full flat update against `base` (the tagged broadcast):
+    /// carried coordinates are dequantized (and added to the base under
+    /// delta mode); everything else keeps its base value.
+    pub fn reconstruct(&self, base: &[f32]) -> Result<Vec<f32>, WireError> {
+        if base.len() != self.total_len as usize {
+            return Err(WireError::Malformed("base length mismatch"));
+        }
+        let positions = self.index.positions(base.len());
+        let vals = self.values.dequantize();
+        if positions.len() != vals.len() {
+            return Err(WireError::Malformed("value count mismatch"));
+        }
+        let mut out = base.to_vec();
+        for (&i, &v) in positions.iter().zip(&vals) {
+            out[i] = if self.delta { base[i] + v } else { v };
+        }
+        Ok(out)
+    }
+
+    /// Frame size of the equivalent *uncompressed* [`ClientModelUpdate`],
+    /// for raw-vs-encoded byte accounting.
+    pub fn uncompressed_frame_len(&self) -> usize {
+        HEADER_LEN + 12 + 4 + 4 * self.total_len as usize
+    }
+}
+
 /// Session-resumption claim inside a [`Hello`]: which earlier session the
 /// reconnecting client is, and how far through the server's catch-up log
 /// its replica already got.
@@ -119,6 +227,11 @@ pub struct Resume {
 pub struct Hello {
     /// Client-chosen tag (e.g. a PID), for server-side logs only.
     pub nonce: u64,
+    /// Highest compression codec revision the client supports
+    /// ([`crate::compress::CODEC_REVISION`]); 0 means the legacy protocol
+    /// without [`CompressedModelUpdate`] support, and the server will not
+    /// assign such a peer a compression spec.
+    pub codec: u8,
     /// Resumption claim when the client is reconnecting with its replica
     /// state intact. The server then replays only the control frames past
     /// the claimed cursor instead of the full catch-up log.
@@ -138,6 +251,10 @@ pub struct Welcome {
     /// Opaque run-spec string (the server's serialized experiment spec) so
     /// a bare client process can reconstruct the replicated state.
     pub spec: String,
+    /// Compression spec this peer must apply to its uplink updates, when
+    /// the run compresses and the peer's [`Hello::codec`] supports it.
+    /// `None` keeps the peer on plain [`ClientModelUpdate`] frames.
+    pub compression: Option<CompressionSpec>,
 }
 
 /// One session assignment inside a [`RoundStart`]: which logical client a
@@ -270,6 +387,8 @@ pub enum WireMessage {
     TaskEnd(TaskEnd),
     /// Run / participation termination.
     RunEnd(RunEnd),
+    /// Client → server delta/top-k/quantized parameters.
+    CompressedModelUpdate(CompressedModelUpdate),
 }
 
 fn f32s_len(v: &[f32]) -> usize {
@@ -294,6 +413,7 @@ impl WireMessage {
             Self::TaskBegin(_) => MessageKind::TaskBegin,
             Self::TaskEnd(_) => MessageKind::TaskEnd,
             Self::RunEnd(_) => MessageKind::RunEnd,
+            Self::CompressedModelUpdate(_) => MessageKind::CompressedModelUpdate,
         }
     }
 
@@ -333,8 +453,16 @@ impl WireMessage {
                     .map(|s| 4 + f32s_len(&s.features))
                     .sum::<usize>()
             }
-            Self::Hello(m) => 9 + if m.resume.is_some() { 16 } else { 0 },
-            Self::Welcome(m) => 16 + bytes_len(m.spec.as_bytes()),
+            Self::Hello(m) => 10 + if m.resume.is_some() { 16 } else { 0 },
+            Self::Welcome(m) => {
+                16 + bytes_len(m.spec.as_bytes())
+                    + 1
+                    + if m.compression.is_some() {
+                        CompressionSpec::WIRE_LEN
+                    } else {
+                        0
+                    }
+            }
             Self::RoundStart(m) => {
                 8 + bytes_len(&m.model)
                     + 1
@@ -356,6 +484,7 @@ impl WireMessage {
             Self::TaskBegin(m) => 4 + f32s_len(&m.global),
             Self::TaskEnd(m) => 4 + f32s_len(&m.global),
             Self::RunEnd(_) => 1,
+            Self::CompressedModelUpdate(m) => 25 + m.index.encoded_len() + m.values.encoded_len(),
         };
         HEADER_LEN + payload
     }
@@ -423,6 +552,7 @@ impl WireMessage {
             }
             Self::Hello(m) => {
                 w.u64(m.nonce);
+                w.u8(m.codec);
                 match m.resume {
                     Some(resume) => {
                         w.u8(1);
@@ -436,6 +566,13 @@ impl WireMessage {
                 w.u64(m.peer_id);
                 w.u64(m.resume_token);
                 w.str(&m.spec);
+                match &m.compression {
+                    Some(spec) => {
+                        w.u8(1);
+                        spec.write(&mut w);
+                    }
+                    None => w.u8(0),
+                }
             }
             Self::RoundStart(m) => {
                 w.u32(m.task);
@@ -488,6 +625,16 @@ impl WireMessage {
                 w.f32s(&m.global);
             }
             Self::RunEnd(m) => w.u8(m.reason),
+            Self::CompressedModelUpdate(m) => {
+                w.u64(m.client_id);
+                w.f32(m.weight);
+                w.u32(m.base_task);
+                w.u32(m.base_round);
+                w.u8(u8::from(m.delta));
+                w.u32(m.total_len);
+                m.index.write(&mut w);
+                m.values.write(&mut w);
+            }
         }
         seal_frame(&mut buf);
         debug_assert_eq!(buf.len(), self.encoded_len());
@@ -575,6 +722,7 @@ impl WireMessage {
             }
             MessageKind::Hello => {
                 let nonce = r.u64("nonce")?;
+                let codec = r.u8("codec revision")?;
                 let resume = match r.u8("resume tag")? {
                     0 => None,
                     1 => Some(Resume {
@@ -583,13 +731,28 @@ impl WireMessage {
                     }),
                     _ => return Err(WireError::Malformed("resume tag")),
                 };
-                Self::Hello(Hello { nonce, resume })
+                Self::Hello(Hello {
+                    nonce,
+                    codec,
+                    resume,
+                })
             }
-            MessageKind::Welcome => Self::Welcome(Welcome {
-                peer_id: r.u64("peer_id")?,
-                resume_token: r.u64("resume_token")?,
-                spec: r.str("spec")?,
-            }),
+            MessageKind::Welcome => {
+                let peer_id = r.u64("peer_id")?;
+                let resume_token = r.u64("resume_token")?;
+                let spec = r.str("spec")?;
+                let compression = match r.u8("compression tag")? {
+                    0 => None,
+                    1 => Some(CompressionSpec::read(&mut r, "compression spec")?),
+                    _ => return Err(WireError::Malformed("compression tag")),
+                };
+                Self::Welcome(Welcome {
+                    peer_id,
+                    resume_token,
+                    spec,
+                    compression,
+                })
+            }
             MessageKind::RoundStart => {
                 let task = r.u32("task")?;
                 let round = r.u32("round")?;
@@ -664,6 +827,33 @@ impl WireMessage {
             MessageKind::RunEnd => Self::RunEnd(RunEnd {
                 reason: r.u8("reason")?,
             }),
+            MessageKind::CompressedModelUpdate => {
+                let client_id = r.u64("client_id")?;
+                let weight = r.f32("weight")?;
+                let base_task = r.u32("base_task")?;
+                let base_round = r.u32("base_round")?;
+                let delta = match r.u8("delta flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("delta flag")),
+                };
+                let total_len = r.u32("total_len")?;
+                let index = SparseIndex::read(&mut r, total_len as usize, "sparse index")?;
+                let values = QuantValues::read(&mut r, "quant values")?;
+                if values.len() != index.count(total_len as usize) {
+                    return Err(WireError::Malformed("value count mismatch"));
+                }
+                Self::CompressedModelUpdate(CompressedModelUpdate {
+                    client_id,
+                    weight,
+                    base_task,
+                    base_round,
+                    delta,
+                    total_len,
+                    index,
+                    values,
+                })
+            }
         };
         r.finish()?;
         Ok(msg)
@@ -673,6 +863,7 @@ impl WireMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compress::{QuantMode, CODEC_REVISION};
 
     pub(crate) fn exemplars() -> Vec<WireMessage> {
         vec![
@@ -732,10 +923,12 @@ mod tests {
             }),
             WireMessage::Hello(Hello {
                 nonce: 0x1234,
+                codec: 0,
                 resume: None,
             }),
             WireMessage::Hello(Hello {
                 nonce: 0x99,
+                codec: CODEC_REVISION,
                 resume: Some(Resume {
                     token: u64::MAX,
                     cursor: 17,
@@ -745,11 +938,17 @@ mod tests {
                 peer_id: 3,
                 resume_token: 0xfeed_f00d,
                 spec: "{\"dataset\":\"digits\",\"seed\":42}".to_string(),
+                compression: None,
             }),
             WireMessage::Welcome(Welcome {
                 peer_id: 1,
                 resume_token: 0,
                 spec: String::new(),
+                compression: Some(CompressionSpec {
+                    delta: true,
+                    quant: QuantMode::Int8,
+                    topk_fraction: 0.25,
+                }),
             }),
             WireMessage::RoundStart(RoundStart {
                 task: 1,
@@ -813,6 +1012,46 @@ mod tests {
             }),
             WireMessage::RunEnd(RunEnd {
                 reason: RunEnd::LEAVE,
+            }),
+            WireMessage::CompressedModelUpdate(CompressedModelUpdate {
+                client_id: 5,
+                weight: 12.0,
+                base_task: 1,
+                base_round: 2,
+                delta: true,
+                total_len: 6,
+                index: SparseIndex::List(vec![0, 3, 5]),
+                values: QuantValues::Int8 {
+                    zero_point: -0.5,
+                    scale: 0.01,
+                    codes: vec![0, 130, 255],
+                },
+            }),
+            WireMessage::CompressedModelUpdate(CompressedModelUpdate {
+                client_id: 0,
+                weight: 1.0,
+                base_task: 0,
+                base_round: 0,
+                delta: false,
+                total_len: 4,
+                index: SparseIndex::Dense,
+                values: QuantValues::F32(vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE]),
+            }),
+            WireMessage::CompressedModelUpdate(CompressedModelUpdate {
+                client_id: 9,
+                weight: 3.0,
+                base_task: 0,
+                base_round: 1,
+                delta: true,
+                total_len: 40,
+                index: SparseIndex::Bitmap({
+                    let mut bits = vec![0u8; 5];
+                    for p in [0usize, 9, 17, 31, 39] {
+                        bits[p / 8] |= 1 << (p % 8);
+                    }
+                    bits
+                }),
+                values: QuantValues::F16(vec![0x3c00, 0x8000, 0x7bff, 0x0001, 0xc000]),
             }),
         ]
     }
@@ -939,5 +1178,116 @@ mod tests {
             WireMessage::decode(&frame),
             Err(WireError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn compress_without_quant_or_topk_is_lossless() {
+        // Dense f32 (even with delta off) must reconstruct bit-exactly.
+        let flat = vec![0.5f32, -1.25, 3.0e-7, 42.0];
+        let base = vec![0.0f32; 4];
+        let spec = CompressionSpec {
+            delta: false,
+            quant: QuantMode::None,
+            topk_fraction: 1.0,
+        };
+        let msg = CompressedModelUpdate::compress(&spec, None, 7, 2.0, &flat, &base, 0, 1);
+        assert_eq!(msg.index, SparseIndex::Dense);
+        let back = msg.reconstruct(&base).expect("reconstruct");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&flat));
+    }
+
+    #[test]
+    fn delta_topk_reconstruction_keeps_base_for_dropped_coords() {
+        let base = vec![1.0f32, 2.0, 3.0, 4.0];
+        // Largest deltas at coords 1 (|2.0|) and 3 (|−1.5|).
+        let flat = vec![1.1f32, 4.0, 3.05, 2.5];
+        let spec = CompressionSpec {
+            delta: true,
+            quant: QuantMode::None,
+            topk_fraction: 0.5,
+        };
+        let msg = CompressedModelUpdate::compress(&spec, None, 1, 1.0, &flat, &base, 0, 0);
+        assert_eq!(msg.index.positions(4), vec![1, 3]);
+        let back = msg.reconstruct(&base).expect("reconstruct");
+        assert_eq!(back, vec![1.0, 4.0, 3.0, 2.5]);
+    }
+
+    #[test]
+    fn mask_restricts_exchanged_coordinates() {
+        let base = vec![0.0f32; 5];
+        let flat = vec![10.0f32, 20.0, 30.0, 40.0, 50.0];
+        let spec = CompressionSpec::identity();
+        let msg = CompressedModelUpdate::compress(&spec, Some(&[1, 4]), 2, 1.0, &flat, &base, 0, 0);
+        assert_eq!(msg.index.positions(5), vec![1, 4]);
+        let back = msg.reconstruct(&base).expect("reconstruct");
+        // Unmasked coordinates reconstruct to the base (broadcast) values.
+        assert_eq!(back, vec![0.0, 20.0, 0.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn reconstruct_rejects_wrong_base_length() {
+        let spec = CompressionSpec::identity();
+        let msg = CompressedModelUpdate::compress(&spec, None, 0, 1.0, &[1.0; 3], &[0.0; 3], 0, 0);
+        assert!(matches!(
+            msg.reconstruct(&[0.0; 4]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_sparse_payloads_are_typed_errors() {
+        // An index list that is not ascending must decode to Malformed,
+        // not panic — rebuild the frame so the checksum is valid.
+        let msg = CompressedModelUpdate {
+            client_id: 1,
+            weight: 1.0,
+            base_task: 0,
+            base_round: 0,
+            delta: false,
+            total_len: 4,
+            index: SparseIndex::List(vec![2, 1]),
+            values: QuantValues::F32(vec![0.0, 1.0]),
+        };
+        assert!(matches!(
+            WireMessage::decode(&WireMessage::CompressedModelUpdate(msg).encode()),
+            Err(WireError::Malformed(_))
+        ));
+        // A bitmap whose popcount disagrees with the value count.
+        let msg = CompressedModelUpdate {
+            client_id: 1,
+            weight: 1.0,
+            base_task: 0,
+            base_round: 0,
+            delta: false,
+            total_len: 8,
+            index: SparseIndex::Bitmap(vec![0b0000_0011]),
+            values: QuantValues::F32(vec![0.0]),
+        };
+        assert!(matches!(
+            WireMessage::decode(&WireMessage::CompressedModelUpdate(msg).encode()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn uncompressed_frame_len_matches_plain_update() {
+        let spec = CompressionSpec {
+            delta: true,
+            quant: QuantMode::Int8,
+            topk_fraction: 0.25,
+        };
+        let flat = vec![0.5f32; 100];
+        let base = vec![0.0f32; 100];
+        let msg = CompressedModelUpdate::compress(&spec, None, 3, 2.0, &flat, &base, 0, 0);
+        let plain = WireMessage::ClientModelUpdate(ClientModelUpdate {
+            client_id: 3,
+            weight: 2.0,
+            model: flat,
+        });
+        assert_eq!(msg.uncompressed_frame_len(), plain.encoded_len());
+        // And the compressed frame is genuinely smaller.
+        let encoded = WireMessage::CompressedModelUpdate(msg).encode();
+        assert!(encoded.len() * 4 < plain.encoded_len());
     }
 }

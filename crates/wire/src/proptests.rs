@@ -13,11 +13,14 @@
 
 use proptest::prelude::*;
 
+use crate::compress::{
+    f16_from_f32, f16_to_f32, int8_dequantize_one, int8_quantize, CompressionSpec, QuantMode,
+};
 use crate::frame::HEADER_LEN;
 use crate::message::{
-    ClientModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate, ModelBroadcast,
-    PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync, RunEnd,
-    SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
+    ClientModelUpdate, CompressedModelUpdate, GlobalPromptBroadcast, Hello, MaskedModelUpdate,
+    ModelBroadcast, PromptGroup, PromptUpload, RehearsalMemory, Resume, RoundStart, RoundSync,
+    RunEnd, SessionAssignment, SessionResult, TaskBegin, TaskEnd, Welcome, WireMessage, WireSample,
 };
 use crate::{WireError, MAGIC};
 
@@ -104,6 +107,7 @@ fn build_message(
         }),
         6 => WireMessage::Hello(Hello {
             nonce: id,
+            codec: (wbits % 3) as u8,
             // Both handshake shapes: a fresh join and a resuming rejoin.
             resume: if flag == 1 {
                 Some(Resume {
@@ -122,6 +126,19 @@ fn build_message(
                 .iter()
                 .map(|b| char::from((b % 26) as u8 + b'a'))
                 .collect(),
+            compression: if flag == 1 {
+                Some(CompressionSpec {
+                    delta: aux % 2 == 0,
+                    quant: match wbits % 3 {
+                        0 => QuantMode::None,
+                        1 => QuantMode::F16,
+                        _ => QuantMode::Int8,
+                    },
+                    topk_fraction: [0.25f32, 0.5, 0.75, 1.0][(aux % 4) as usize],
+                })
+            } else {
+                None
+            },
         }),
         8 => WireMessage::RoundStart(RoundStart {
             task: id as u32,
@@ -172,6 +189,31 @@ fn build_message(
             task: id as u32,
             global: f32s(model_bits),
         }),
+        13 => {
+            // Built through the real encoder so the index/values invariants
+            // hold; NaNs, infinities, and subnormals stay in the pool.
+            let flat = f32s(model_bits);
+            let base = vec![0.0f32; flat.len()];
+            let spec = CompressionSpec {
+                delta: flag == 1,
+                quant: match aux % 3 {
+                    0 => QuantMode::None,
+                    1 => QuantMode::F16,
+                    _ => QuantMode::Int8,
+                },
+                topk_fraction: [0.25f32, 0.5, 0.75, 1.0][(wbits % 4) as usize],
+            };
+            WireMessage::CompressedModelUpdate(CompressedModelUpdate::compress(
+                &spec,
+                None,
+                id,
+                f32::from_bits(wbits),
+                &flat,
+                &base,
+                id as u32,
+                aux as u32,
+            ))
+        }
         _ => WireMessage::RunEnd(RunEnd {
             reason: (wbits % 3) as u8,
         }),
@@ -196,7 +238,7 @@ proptest! {
 
     #[test]
     fn every_kind_round_trips_across_random_shapes(
-        kind in 0usize..14,
+        kind in 0usize..15,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -231,7 +273,7 @@ proptest! {
 
     #[test]
     fn corrupting_any_single_byte_yields_a_wire_error(
-        kind in 0usize..14,
+        kind in 0usize..15,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -260,7 +302,7 @@ proptest! {
 
     #[test]
     fn control_frames_with_real_nested_payloads_round_trip(
-        inner_kind in 0usize..6,
+        inner_kind in 0usize..7,
         outer_sel in 0usize..3,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
@@ -274,6 +316,9 @@ proptest! {
         // The outer codec must hand those bytes back verbatim, and the
         // inner codec must accept them — for every payload kind, not just
         // the raw byte blobs the generic round-trip sweep uses.
+        // Selector 6 maps to the compressed payload kind (build_message 13);
+        // 0–5 are the classic payload kinds.
+        let inner_kind = if inner_kind == 6 { 13 } else { inner_kind };
         let inner = build_message(inner_kind, id, aux, wbits, &model_bits, &nested, flag);
         let inner_frame = inner.encode();
         let outer = match outer_sel {
@@ -321,7 +366,7 @@ proptest! {
 
     #[test]
     fn truncating_a_frame_is_always_detected(
-        kind in 0usize..14,
+        kind in 0usize..15,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -342,7 +387,7 @@ proptest! {
 
     #[test]
     fn header_magic_and_length_match_constants(
-        kind in 0usize..14,
+        kind in 0usize..15,
         id in 0u64..=u64::MAX,
         aux in 0u64..=u64::MAX,
         wbits in 0u32..=u32::MAX,
@@ -354,6 +399,114 @@ proptest! {
         let frame = msg.encode();
         prop_assert!(frame.len() >= HEADER_LEN);
         prop_assert!(frame[..4] == MAGIC, "bad magic prefix");
+    }
+
+    #[test]
+    fn f16_reconstruction_error_contract_holds(xbits in 0u32..=u32::MAX) {
+        // The documented bound from `compress`:
+        //   |x − dec(enc(x))| ≤ max(|x|·2⁻¹¹, 2⁻²⁵)  for finite |x| ≤ 65504,
+        // saturation to ±65504 beyond that, NaN stays NaN.
+        let x = f32::from_bits(xbits);
+        let back = f16_to_f32(f16_from_f32(x));
+        if x.is_nan() {
+            prop_assert!(back.is_nan());
+        } else if x.abs() > 65504.0 {
+            prop_assert_eq!(back, 65504.0f32.copysign(x), "saturation for {}", x);
+        } else {
+            let err = (f64::from(x) - f64::from(back)).abs();
+            let bound = (f64::from(x.abs()) * 2f64.powi(-11)).max(2f64.powi(-25));
+            prop_assert!(err <= bound, "x={:e} back={:e} err={:e} bound={:e}", x, back, err, bound);
+        }
+    }
+
+    #[test]
+    fn f16_codec_is_deterministic_and_idempotent(xbits in 0u32..=u32::MAX) {
+        let x = f32::from_bits(xbits);
+        let h = f16_from_f32(x);
+        prop_assert_eq!(h, f16_from_f32(x), "same input, same bits");
+        // Decoded values are fixed points: re-encoding loses nothing more.
+        prop_assert_eq!(f16_from_f32(f16_to_f32(h)), h, "grid fixed point");
+    }
+
+    #[test]
+    fn int8_reconstruction_error_contract_holds(
+        ints in prop::collection::vec(-1_000_000i32..=1_000_000, 1..64),
+        scale_exp in -8i32..=8,
+    ) {
+        // Finite tensors across 17 orders of magnitude of spread; the
+        // documented bound is |x − dec| ≤ scale/2 + (|x| + scale)·2⁻²⁰.
+        let mag = 10f64.powi(scale_exp) as f32;
+        let values: Vec<f32> = ints.iter().map(|&i| i as f32 * 1e-4 * mag).collect();
+        let (zp, scale, codes) = int8_quantize(&values);
+        prop_assert_eq!(codes.len(), values.len());
+        for (&x, &c) in values.iter().zip(&codes) {
+            let back = int8_dequantize_one(zp, scale, c);
+            let err = (f64::from(x) - f64::from(back)).abs();
+            let bound = f64::from(scale) / 2.0
+                + (f64::from(x.abs()) + f64::from(scale)) * 2f64.powi(-20);
+            prop_assert!(err <= bound, "x={:e} back={:e} err={:e} bound={:e}", x, back, err, bound);
+        }
+    }
+
+    #[test]
+    fn int8_quantization_is_deterministic(
+        ints in prop::collection::vec(-1_000_000i32..=1_000_000, 1..32),
+    ) {
+        let values: Vec<f32> = ints.iter().map(|&i| i as f32 * 1e-4).collect();
+        prop_assert_eq!(int8_quantize(&values), int8_quantize(&values));
+    }
+
+    #[test]
+    fn identity_spec_compression_is_bit_exact(
+        model_bits in prop::collection::vec(0u32..=u32::MAX, 0..32),
+        base_bits in prop::collection::vec(0u32..=u32::MAX, 0..32),
+        id in 0u64..=u64::MAX,
+    ) {
+        // The lossless contract behind the determinism-suite guarantee:
+        // {delta: false, quant: none, topk: 1.0} must reconstruct every bit
+        // pattern exactly, including NaNs and infinities, after a real
+        // encode → decode round trip.
+        let flat = f32s(&model_bits);
+        let mut base = f32s(&base_bits);
+        base.resize(flat.len(), 0.0);
+        let msg = CompressedModelUpdate::compress(
+            &CompressionSpec::identity(), None, id, 1.0, &flat, &base, 0, 0,
+        );
+        let decoded = WireMessage::decode(&WireMessage::CompressedModelUpdate(msg).encode())
+            .expect("round trip");
+        let WireMessage::CompressedModelUpdate(decoded) = decoded else {
+            return Err(TestCaseError::fail("wrong kind back"));
+        };
+        let back = decoded.reconstruct(&base).expect("reconstruct");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&back), bits(&flat));
+    }
+
+    #[test]
+    fn delta_topk_reconstruction_touches_only_selected_coords(
+        ints in prop::collection::vec(-1_000_000i32..=1_000_000, 1..48),
+        base_ints in prop::collection::vec(-1_000_000i32..=1_000_000, 1..48),
+        frac_sel in 0usize..3,
+    ) {
+        let flat: Vec<f32> = ints.iter().map(|&i| i as f32 * 1e-4).collect();
+        let mut base: Vec<f32> = base_ints.iter().map(|&i| i as f32 * 1e-4).collect();
+        base.resize(flat.len(), 0.0);
+        let spec = CompressionSpec {
+            delta: true,
+            quant: QuantMode::None,
+            topk_fraction: [0.25f32, 0.5, 0.75][frac_sel],
+        };
+        let msg = CompressedModelUpdate::compress(&spec, None, 1, 1.0, &flat, &base, 0, 0);
+        let selected = msg.index.positions(flat.len());
+        let back = msg.reconstruct(&base).expect("reconstruct");
+        for (i, (&b, &f)) in base.iter().zip(&flat).enumerate() {
+            if selected.binary_search(&i).is_ok() {
+                // Unquantized delta: base + (flat − base), one rounding step.
+                prop_assert_eq!(back[i], b + (f - b), "selected coord {}", i);
+            } else {
+                prop_assert_eq!(back[i].to_bits(), b.to_bits(), "dropped coord {}", i);
+            }
+        }
     }
 }
 
@@ -376,7 +529,7 @@ mod socket {
 
         #[test]
         fn corrupt_frame_over_unix_socket_is_detected(
-            kind in 0usize..14,
+            kind in 0usize..15,
             id in 0u64..=u64::MAX,
             aux in 0u64..=u64::MAX,
             wbits in 0u32..=u32::MAX,

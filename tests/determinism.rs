@@ -11,7 +11,9 @@
 use refil::continual::{Finetune, MethodConfig};
 use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{DatasetSpec, DomainSpec, FdilDataset};
-use refil::fed::{FdilRunner, FdilStrategy, IncrementConfig, RunConfig, RunResult};
+use refil::fed::{
+    FdilRunner, FdilStrategy, IncrementConfig, RunConfig, RunResult, WireConfig, WireQuant,
+};
 use refil::nn::models::{BackboneConfig, ExtractorKind};
 
 fn dataset() -> FdilDataset {
@@ -69,6 +71,7 @@ fn run_cfg(seed: u64, dropout: f32) -> RunConfig {
         seed,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 
@@ -148,6 +151,62 @@ fn wire_path_matches_direct_path_across_seeds() {
         let f_r_direct = FdilRunner::new(cfg).direct(true).run(&ds, &mut f_direct);
         assert_byte_identical(&f_r_wire, &f_r_direct);
     }
+}
+
+#[test]
+fn lossless_wire_spec_matches_direct_path() {
+    // `WireConfig { delta: false, quant: None, topk_fraction: 1.0 }` is the
+    // identity spec: the compression layer must never engage, so the run is
+    // byte-identical to bypassing the frame codec entirely (`.direct(true)`)
+    // — the same guarantee the default config gives, stated explicitly for
+    // the spec's lossless corner.
+    let ds = dataset();
+    for seed in [13u64, 29] {
+        let mut cfg = run_cfg(seed, 0.0);
+        cfg.wire = WireConfig {
+            delta: false,
+            quant: WireQuant::None,
+            topk_fraction: 1.0,
+        };
+        let mut s_wire = RefFiL::new(RefFiLConfig::new(method()));
+        let r_wire = FdilRunner::new(cfg).run(&ds, &mut s_wire);
+        let mut s_direct = RefFiL::new(RefFiLConfig::new(method()));
+        let r_direct = FdilRunner::new(cfg).direct(true).run(&ds, &mut s_direct);
+        assert_byte_identical(&r_wire, &r_direct);
+        // The identity spec must not have routed updates through the
+        // compressed frame kind: raw == encoded on every round.
+        for r in &r_wire.rounds {
+            assert_eq!(r.uplink_raw_bytes, r.uplink_encoded_bytes);
+            assert!(!r.wire_bytes.contains_key("compressed_model_update"));
+        }
+    }
+}
+
+#[test]
+fn compressed_runs_are_thread_count_invariant() {
+    // Lossy compression (delta + int8 + top-k) is still deterministic: all
+    // randomness is pre-drawn and quantization/tie-breaking are fixed-order,
+    // so worker count stays an execution detail with the codec active.
+    let ds = dataset();
+    let mut cfg = run_cfg(13, 0.0);
+    cfg.wire = WireConfig {
+        delta: true,
+        quant: WireQuant::Int8,
+        topk_fraction: 0.5,
+    };
+    let mut s1 = RefFiL::new(RefFiLConfig::new(method()));
+    let r1 = run_at(1, cfg, &ds, &mut s1);
+    let mut s4 = RefFiL::new(RefFiLConfig::new(method()));
+    let r4 = run_at(4, cfg, &ds, &mut s4);
+    assert_byte_identical(&r1, &r4);
+    // And the codec genuinely engaged: encoded uplink well under dense.
+    let raw: u64 = r1.rounds.iter().map(|r| r.uplink_raw_bytes).sum();
+    let encoded: u64 = r1.rounds.iter().map(|r| r.uplink_encoded_bytes).sum();
+    assert!(raw > 0 && encoded > 0);
+    assert!(
+        encoded * 2 < raw,
+        "compression should have engaged (raw {raw}, encoded {encoded})"
+    );
 }
 
 #[test]

@@ -93,6 +93,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         seed,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 

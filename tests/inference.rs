@@ -80,6 +80,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         seed,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 

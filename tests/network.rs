@@ -19,7 +19,7 @@ use refil::core::{RefFiL, RefFiLConfig};
 use refil::data::{DatasetSpec, DomainSpec, FdilDataset};
 use refil::fed::{
     client_handshake, connect, run_client, ClientOptions, Endpoint, FdilRunner, FdilStrategy,
-    IncrementConfig, NetListener, RunConfig, RunResult, Telemetry,
+    IncrementConfig, NetListener, RunConfig, RunResult, Telemetry, WireConfig, WireQuant,
 };
 use refil::nn::models::{BackboneConfig, ExtractorKind};
 
@@ -64,6 +64,9 @@ fn method_cfg() -> MethodConfig {
 fn build_strategy(name: &str) -> Box<dyn FdilStrategy> {
     match name {
         "reffil" => Box::new(RefFiL::new(RefFiLConfig::new(method_cfg()))),
+        "reffil+prompt" => Box::new(RefFiL::new(
+            RefFiLConfig::new(method_cfg()).with_prompt_only(true),
+        )),
         "finetune" => Box::new(Finetune::new(method_cfg())),
         other => panic!("unknown strategy {other:?}"),
     }
@@ -86,6 +89,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         seed,
         threads: 0,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 
@@ -145,6 +149,8 @@ fn assert_semantically_identical(a: &RunResult, b: &RunResult) {
         assert_eq!(x.clients_dropped, y.clients_dropped);
         assert_eq!(x.clients_late, y.clients_late);
         assert_eq!(x.clients_sampled_out, y.clients_sampled_out);
+        assert_eq!(x.uplink_raw_bytes, y.uplink_raw_bytes);
+        assert_eq!(x.uplink_encoded_bytes, y.uplink_encoded_bytes);
     }
 }
 
@@ -167,6 +173,72 @@ fn reffil_over_tcp_matches_loopback_across_seeds() {
             served.rounds.iter().all(|r| r.clients_late == 0),
             "healthy run reported late sessions at seed {seed}"
         );
+    }
+}
+
+#[test]
+fn compressed_reffil_over_tcp_matches_loopback() {
+    // A lossy spec (delta + int8 + top-k) negotiated through `Hello`/
+    // `Welcome`: remote clients compress against the broadcast they decoded,
+    // the server reconstructs from its history, and the whole run must stay
+    // byte-identical to the in-process loopback run under the same spec —
+    // including the per-kind wire ledger and raw-vs-encoded columns.
+    let ds = dataset();
+    let mut cfg = run_cfg(13);
+    cfg.wire = WireConfig {
+        delta: true,
+        quant: WireQuant::Int8,
+        topk_fraction: 0.5,
+    };
+    let mut local_strat = build_strategy("reffil");
+    let local = FdilRunner::new(cfg).run(&ds, local_strat.as_mut());
+    let served = serve_run(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        "reffil",
+        cfg,
+        2,
+        &[],
+        true,
+    );
+    assert_semantically_identical(&local, &served);
+    // The codec genuinely ran: every round's updates travelled as
+    // `CompressedModelUpdate` frames at well under the dense cost.
+    let raw: u64 = served.rounds.iter().map(|r| r.uplink_raw_bytes).sum();
+    let encoded: u64 = served.rounds.iter().map(|r| r.uplink_encoded_bytes).sum();
+    assert!(raw > 0 && encoded * 2 < raw, "raw {raw}, encoded {encoded}");
+    for r in &served.rounds {
+        assert!(r.wire_bytes.contains_key("compressed_model_update"));
+        assert!(!r.wire_bytes.contains_key("client_model_update"));
+    }
+}
+
+#[test]
+fn prompt_only_reffil_over_tcp_matches_loopback() {
+    // Masked (prompt-only) exchange under the *identity* spec: task 0 goes
+    // up dense, later tasks as sparse frames — and remote clients must make
+    // exactly the same per-task compressed-or-plain choice as the loopback
+    // driver, or the byte ledgers diverge.
+    let ds = dataset();
+    let cfg = run_cfg(13);
+    let mut local_strat = build_strategy("reffil+prompt");
+    let local = FdilRunner::new(cfg).run(&ds, local_strat.as_mut());
+    let served = serve_run(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        "reffil+prompt",
+        cfg,
+        2,
+        &[],
+        true,
+    );
+    assert_semantically_identical(&local, &served);
+    for r in &served.rounds {
+        if r.task == 0 {
+            assert!(!r.wire_bytes.contains_key("compressed_model_update"));
+            assert_eq!(r.uplink_raw_bytes, r.uplink_encoded_bytes);
+        } else {
+            assert!(r.wire_bytes.contains_key("compressed_model_update"));
+            assert!(r.uplink_encoded_bytes < r.uplink_raw_bytes);
+        }
     }
 }
 
@@ -364,8 +436,9 @@ fn net_client_child() {
     let endpoint = Endpoint::parse(&addr).expect("child address");
     let deadline = Instant::now() + Duration::from_secs(60);
     let link = connect(&endpoint, deadline).expect("child connect");
-    let (peer_id, _spec, _token) =
+    let (peer_id, _spec, _token, compression) =
         client_handshake(&link, seed, None, deadline).expect("child handshake");
+    opts.compression = compression;
     let ds = dataset();
     let mut strat = build_strategy(&method);
     run_client(

@@ -83,6 +83,7 @@ fn run_cfg() -> RunConfig {
         seed: 41,
         threads: 1,
         net: Default::default(),
+        wire: Default::default(),
     }
 }
 
@@ -121,7 +122,7 @@ fn served_thread_shape(n_clients: usize) -> (RunResult, Vec<ClientReport>, (usiz
         let mut peer_ids = Vec::with_capacity(n_clients);
         for nonce in 0..n_clients {
             let link = connect(&endpoint, deadline).expect("pump connect");
-            let (peer_id, _spec, _token) =
+            let (peer_id, _spec, _token, _compression) =
                 client_handshake(&link, nonce as u64, None, deadline).expect("pump handshake");
             links.push(Box::new(link));
             peer_ids.push(peer_id);
